@@ -1,0 +1,55 @@
+// Ablation C: branch-misprediction cycle models (the paper's stated future
+// work, §VIII).  For every workload: misprediction rates of each predictor
+// and the resulting DOE cycle estimates, against the perfect-prediction
+// baseline used for Table II.
+#include <memory>
+
+#include "bench_util.h"
+#include "cycle/branch_predict.h"
+#include "cycle/models.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+int main() {
+  header("Ablation: branch prediction models (RISC, DOE, 3-cycle refill)");
+
+  std::printf("%-8s %10s | %9s %9s %9s %9s | %12s %12s\n", "app", "branches",
+              "not-tkn", "1-bit", "2-bit", "gshare", "perfect cyc", "2-bit cyc");
+
+  for (const workloads::Workload& w : workloads::all()) {
+    const elf::ElfFile exe = workloads::build_workload(w, "RISC");
+
+    uint64_t perfect_cycles = 0;
+    {
+      cycle::MemoryHierarchy memory;
+      cycle::DoeModel model(&memory);
+      workloads::run_executable(exe, &model);
+      perfect_cycles = model.cycles();
+    }
+
+    double miss[4];
+    uint64_t branches = 0;
+    uint64_t cycles_2bit = 0;
+    const char* kinds[4] = {"not-taken", "1bit", "2bit", "gshare"};
+    for (int k = 0; k < 4; ++k) {
+      cycle::MemoryHierarchy memory;
+      cycle::DoeModel model(&memory);
+      const auto predictor = cycle::make_predictor(kinds[k]);
+      model.set_branch_prediction(predictor.get(), 3);
+      workloads::run_executable(exe, &model);
+      miss[k] = predictor->stats().miss_rate();
+      branches = predictor->stats().branches;
+      if (std::string(kinds[k]) == "2bit") cycles_2bit = model.cycles();
+    }
+    std::printf("%-8s %10llu | %8.2f%% %8.2f%% %8.2f%% %8.2f%% | %12llu %12llu\n",
+                w.name.c_str(), static_cast<unsigned long long>(branches),
+                100 * miss[0], 100 * miss[1], 100 * miss[2], 100 * miss[3],
+                static_cast<unsigned long long>(perfect_cycles),
+                static_cast<unsigned long long>(cycles_2bit));
+  }
+  std::printf("\n(perfect prediction is the Table II configuration; the 2-bit"
+              " column shows\n the estimate once the future-work mispredict"
+              " model is enabled)\n");
+  return 0;
+}

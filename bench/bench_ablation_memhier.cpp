@@ -1,0 +1,59 @@
+// Ablation B: memory-hierarchy configuration sweep on AES (the workload the
+// paper singles out as L1-bound: its working set exceeds the 2 KiB L1 and
+// causes 14% misses).  Sweeps L1 size, associativity and port count and
+// reports DOE cycles and L1 miss rate.
+#include "bench_util.h"
+#include "cycle/models.h"
+#include "support/strings.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+namespace {
+
+void run_config(const elf::ElfFile& exe, const char* label,
+                const cycle::HierarchyConfig& cfg) {
+  cycle::MemoryHierarchy memory(cfg);
+  cycle::DoeModel doe(&memory);
+  workloads::run_executable(exe, &doe);
+  std::printf("%-26s %12llu %10.2f%% %10.2f%%\n", label,
+              static_cast<unsigned long long>(doe.cycles()),
+              100.0 * memory.l1().miss_rate(), 100.0 * memory.l2().miss_rate());
+}
+
+} // namespace
+
+int main() {
+  header("Ablation: memory hierarchy sweep on AES (RISC, DOE model)");
+  const elf::ElfFile exe = workloads::build_workload(workloads::by_name("aes"), "RISC");
+
+  std::printf("%-26s %12s %11s %11s\n", "configuration", "DOE cycles", "L1 miss",
+              "L2 miss");
+
+  for (const uint32_t size : {1024u, 2048u, 4096u, 8192u}) {
+    cycle::HierarchyConfig cfg;
+    cfg.l1.size_bytes = size;
+    run_config(exe, ksim::strf("L1 %u B (4-way, 1 port)", size).c_str(), cfg);
+  }
+  for (const uint32_t assoc : {1u, 2u, 8u}) {
+    cycle::HierarchyConfig cfg;
+    cfg.l1.associativity = assoc;
+    run_config(exe, ksim::strf("L1 2048 B (%u-way, 1 port)", assoc).c_str(), cfg);
+  }
+  for (const unsigned ports : {2u, 4u}) {
+    cycle::HierarchyConfig cfg;
+    cfg.l1_ports = ports;
+    run_config(exe, ksim::strf("L1 2048 B (4-way, %u ports)", ports).c_str(), cfg);
+  }
+  {
+    cycle::HierarchyConfig cfg;
+    cfg.l2.delay = 12;
+    run_config(exe, "slow L2 (12-cycle latency)", cfg);
+  }
+  {
+    cycle::HierarchyConfig cfg;
+    cfg.memory_delay = 60;
+    run_config(exe, "slow DRAM (60-cycle latency)", cfg);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 4: the theoretical ILP (cycle model of §VI-A, measured
+// on the RISC instruction stream) compared against the operations per cycle
+// actually achieved by VLIW processor instances of issue widths 1/2/4/6/8
+// (DOE cycle model with the paper's memory hierarchy), for all applications.
+//
+// Expected shape (paper §VII-B): DCT and AES offer high theoretical ILP while
+// FFT (recursive), cjpeg/djpeg and quicksort offer little; AES achieves only
+// a fraction of its ILP because its working set exceeds the 2 KiB L1.
+#include "bench_util.h"
+#include "cycle/models.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+int main() {
+  header("Figure 4: theoretical ILP vs achieved operations/cycle");
+
+  std::printf("%-8s %6s | %8s %8s %8s %8s %8s | %8s\n", "app", "ILP", "RISC",
+              "VLIW2", "VLIW4", "VLIW6", "VLIW8", "L1 miss");
+
+  const char* widths[] = {"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"};
+  for (const workloads::Workload& w : workloads::all()) {
+    // Theoretical ILP on the RISC stream.
+    cycle::IlpModel ilp;
+    workloads::run_executable(workloads::build_workload(w, "RISC"), &ilp);
+
+    double opc[5];
+    double l1_miss_risc = 0;
+    for (int i = 0; i < 5; ++i) {
+      cycle::MemoryHierarchy memory;
+      cycle::DoeModel doe(&memory);
+      workloads::run_executable(workloads::build_workload(w, widths[i]), &doe);
+      opc[i] = doe.ops_per_cycle();
+      if (i == 0) l1_miss_risc = memory.l1().miss_rate();
+    }
+    std::printf("%-8s %6.2f | %8.3f %8.3f %8.3f %8.3f %8.3f | %7.1f%%\n",
+                w.name.c_str(), ilp.ilp(), opc[0], opc[1], opc[2], opc[3], opc[4],
+                100.0 * l1_miss_risc);
+  }
+  std::printf("\n(ILP: upper bound with unlimited resources and ideal 3-cycle"
+              " memory;\n achieved: DOE model, L1 2KiB/4-way/3cy, L2 256KiB/6cy,"
+              " memory 18cy, 1 L1 port)\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) of the simulator primitives whose
+// costs Table I aggregates: operation detection, decode-cache hits,
+// interpreter steps, cycle-model updates and memory-hierarchy accesses.
+#include <benchmark/benchmark.h>
+
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "kcc/compiler.h"
+#include "sim/simulator.h"
+
+namespace ksim {
+namespace {
+
+const isa::IsaSet& set() { return isa::kisa(); }
+
+void BM_Detect(benchmark::State& state) {
+  const isa::IsaInfo& risc = *set().find_isa("RISC");
+  // A mix of encodings across the operation table.
+  std::vector<uint32_t> words;
+  for (const isa::OpInfo* op : risc.ops)
+    words.push_back(op->match_bits | (1u << set().stop_bit()));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set().detect(risc, words[i]));
+    i = (i + 1) % words.size();
+  }
+}
+BENCHMARK(BM_Detect);
+
+elf::ElfFile tight_loop_exe() {
+  const elf::ElfFile user = kasm::assemble_or_throw(R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 1000000000
+loop:
+  addi r5, r5, 1
+  add r7, r5, r6
+  xor r8, r7, r5
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)");
+  const elf::ElfFile start = kasm::assemble_or_throw(kasm::start_stub_assembly());
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  return kasm::link_or_throw({start, user, libc});
+}
+
+void BM_InterpreterStep(benchmark::State& state) {
+  sim::Simulator simulator(set());
+  simulator.load(tight_loop_exe());
+  for (auto _ : state) {
+    if (simulator.step().has_value()) state.SkipWithError("program ended");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterStep);
+
+void BM_InterpreterStepNoCache(benchmark::State& state) {
+  sim::SimOptions opts;
+  opts.use_decode_cache = false;
+  sim::Simulator simulator(set(), opts);
+  simulator.load(tight_loop_exe());
+  for (auto _ : state) {
+    if (simulator.step().has_value()) state.SkipWithError("program ended");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterStepNoCache);
+
+isa::DecodedInstr synthetic_instr() {
+  isa::DecodedInstr di;
+  const isa::OpInfo* add = set().find_op("ADD");
+  di.num_ops = 2;
+  di.size_bytes = 8;
+  for (int s = 0; s < 2; ++s) {
+    di.ops[s].info = add;
+    di.ops[s].fn = add->fn;
+    di.ops[s].rd = static_cast<uint8_t>(5 + s);
+    di.ops[s].ra = 1;
+    di.ops[s].rb = 2;
+  }
+  return di;
+}
+
+template <typename ModelT, bool kWithMem>
+void BM_CycleModel(benchmark::State& state) {
+  cycle::MemoryHierarchy memory;
+  ModelT model = [&] {
+    if constexpr (std::is_same_v<ModelT, cycle::IlpModel>)
+      return cycle::IlpModel();
+    else
+      return ModelT(kWithMem ? &memory : nullptr);
+  }();
+  const isa::DecodedInstr di = synthetic_instr();
+  isa::ExecCtx ctx;
+  ctx.begin_instruction(0);
+  for (auto _ : state) {
+    model.on_instruction(di, ctx);
+    benchmark::DoNotOptimize(model.cycles());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleModel<cycle::IlpModel, false>)->Name("BM_IlpModel");
+BENCHMARK(BM_CycleModel<cycle::AieModel, true>)->Name("BM_AieModel");
+BENCHMARK(BM_CycleModel<cycle::DoeModel, true>)->Name("BM_DoeModel");
+
+void BM_MemoryHierarchyHit(benchmark::State& state) {
+  cycle::MemoryHierarchy memory;
+  memory.entry().access(0x1000, cycle::AccessType::Read, 0, 0);
+  uint64_t now = 10;
+  for (auto _ : state) {
+    now = memory.entry().access(0x1000, cycle::AccessType::Read, 0, now) + 1;
+  }
+}
+BENCHMARK(BM_MemoryHierarchyHit);
+
+void BM_MemoryHierarchyStream(benchmark::State& state) {
+  cycle::MemoryHierarchy memory;
+  uint32_t addr = 0;
+  uint64_t now = 0;
+  for (auto _ : state) {
+    now = memory.entry().access(addr, cycle::AccessType::Read, 0, now) + 1;
+    addr = (addr + 32) & 0xFFFFF;
+  }
+}
+BENCHMARK(BM_MemoryHierarchyStream);
+
+void BM_Assemble(benchmark::State& state) {
+  const std::string source = kasm::libc_stub_assembly();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kasm::assemble_or_throw(source));
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_CompileFib(benchmark::State& state) {
+  const char* src =
+      "int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }\n"
+      "int main() { return fib(10); }\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kcc::compile_or_throw(src));
+  }
+}
+BENCHMARK(BM_CompileFib);
+
+} // namespace
+} // namespace ksim
+
+BENCHMARK_MAIN();

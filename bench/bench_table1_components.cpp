@@ -1,0 +1,80 @@
+// Reproduces Table I: average execution time per instruction of the
+// simulator components (Execute, Cache Access, Detect & Decode, ILP, AIE,
+// DOE, Memory Model), measured on the cjpeg application compiled for the
+// RISC processor instance — derived from end-to-end timings by solving the
+// same linear relations the paper uses (§VII-A).
+#include <memory>
+
+#include "bench_util.h"
+#include "cycle/models.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+int main() {
+  header("Table I: simulator component costs (cjpeg, RISC instance)");
+
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("cjpeg"), "RISC");
+
+  sim::SimOptions base;                    // cache + prediction (production config)
+  sim::SimOptions cache_only;
+  cache_only.use_prediction = false;
+  sim::SimOptions no_cache;
+  no_cache.use_decode_cache = false;
+
+  const TimedRun t_nocache = timed_run(exe, no_cache);
+  const TimedRun t_cache = timed_run(exe, cache_only);
+  const TimedRun t_pred = timed_run(exe, base);
+
+  cycle::MemoryHierarchy memory;
+  auto with_model = [&](char kind, bool with_mem) {
+    return timed_run(exe, base, [&, kind, with_mem]() -> cycle::CycleModel* {
+      static std::unique_ptr<cycle::CycleModel> model;
+      memory.reset();
+      switch (kind) {
+        case 'i': model = std::make_unique<cycle::IlpModel>(); break;
+        case 'a':
+          model = std::make_unique<cycle::AieModel>(with_mem ? &memory : nullptr);
+          break;
+        default:
+          model = std::make_unique<cycle::DoeModel>(with_mem ? &memory : nullptr);
+          break;
+      }
+      return model.get();
+    });
+  };
+  const TimedRun t_ilp = with_model('i', true);
+  const TimedRun t_aie = with_model('a', true);
+  const TimedRun t_aie_nomem = with_model('a', false);
+  const TimedRun t_doe = with_model('d', true);
+
+  // Solve the linear relations (paper: "by solving a system of linear
+  // equations"):
+  //   t_nocache = exec + detect&decode
+  //   t_cache   = exec + lookup
+  //   t_pred    = exec + (1 - p) * lookup        (p: prediction hit rate)
+  const double p = t_pred.stats.lookup_avoidance();
+  const double lookup = (t_cache.ns_per_instr() - t_pred.ns_per_instr()) / p;
+  const double exec = t_cache.ns_per_instr() - lookup;
+  const double detect = t_nocache.ns_per_instr() - exec;
+
+  std::printf("%-28s %14s\n", "Simulator component", "ns/instruction");
+  std::printf("%-28s %14.1f\n", "Execute (1 operation)", exec);
+  std::printf("%-28s %14.1f\n", "Cache Access", lookup);
+  std::printf("%-28s %14.1f\n", "Detect & Decode", detect);
+  std::printf("%-28s %14.1f\n", "ILP",
+              t_ilp.ns_per_instr() - t_pred.ns_per_instr());
+  std::printf("%-28s %14.1f\n", "AIE (including memory)",
+              t_aie.ns_per_instr() - t_pred.ns_per_instr());
+  std::printf("%-28s %14.1f\n", "DOE (including memory)",
+              t_doe.ns_per_instr() - t_pred.ns_per_instr());
+  std::printf("%-28s %14.1f\n", "Memory Model",
+              t_aie.ns_per_instr() - t_aie_nomem.ns_per_instr());
+
+  std::printf("\n(raw: no-cache %.1f ns, cache %.1f ns, cache+pred %.1f ns;"
+              " prediction hit rate %.1f%%)\n",
+              t_nocache.ns_per_instr(), t_cache.ns_per_instr(),
+              t_pred.ns_per_instr(), 100.0 * p);
+  return 0;
+}

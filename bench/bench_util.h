@@ -1,0 +1,74 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "cycle/cycle_model.h"
+#include "support/error.h"
+#include "isa/kisa.h"
+#include "sim/simulator.h"
+#include "workloads/build.h"
+
+namespace ksim::bench {
+
+/// Wall-clock seconds of the fastest of `repeats` runs of `fn`.
+inline double time_best(const std::function<void()>& fn, int repeats = 3) {
+  double best = 1e30;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct TimedRun {
+  double seconds = 0;
+  uint64_t instructions = 0;
+  uint64_t operations = 0;
+  sim::SimStats stats;
+  uint64_t cycles = 0;
+
+  double mips() const { return instructions / seconds / 1e6; }
+  double ns_per_instr() const { return seconds * 1e9 / static_cast<double>(instructions); }
+};
+
+/// Runs `exe` with the given simulator options / optional model, timed
+/// (fastest of `repeats`).
+inline TimedRun timed_run(const elf::ElfFile& exe, const sim::SimOptions& opts,
+                          const std::function<cycle::CycleModel*()>& make_model = {},
+                          int repeats = 3) {
+  TimedRun out;
+  out.seconds = 1e30;
+  for (int i = 0; i < repeats; ++i) {
+    sim::Simulator simulator(isa::kisa(), opts);
+    simulator.load(exe);
+    cycle::CycleModel* model = make_model ? make_model() : nullptr;
+    if (model != nullptr) simulator.set_cycle_model(model);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::StopReason reason = simulator.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (reason != sim::StopReason::Exited)
+      throw ksim::Error("bench run did not exit cleanly: " +
+                  std::string(sim::to_string(reason)));
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs < out.seconds) {
+      out.seconds = secs;
+      out.instructions = simulator.stats().instructions;
+      out.operations = simulator.stats().operations;
+      out.stats = simulator.stats();
+      out.cycles = model != nullptr ? model->cycles() : 0;
+    }
+  }
+  return out;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace ksim::bench

@@ -1,0 +1,67 @@
+// Multiple hardware threads on one reconfigurable fabric (paper Fig. 1 and
+// §III): processor instances with different ISAs co-exist on the EDPE array,
+// new threads are instantiated at run time when resources allow, and a
+// thread's SWITCHTARGET reconfiguration can wait for EDPEs to free up.
+#include <cstdio>
+
+#include "isa/kisa.h"
+#include "sim/fabric.h"
+#include "workloads/build.h"
+
+int main() {
+  using namespace ksim;
+
+  const char* worker = R"(
+int main() {
+  unsigned h = 2166136261u;
+  for (int i = 0; i < 3000; i++) h = (h ^ (unsigned)i) * 16777619u;
+  printf("worker done h=%x\n", h);
+  return 0;
+}
+)";
+  const char* reconfigurer = R"(
+isa("VLIW8") int burst(int n) {
+  int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+  for (int i = 0; i < n; i += 4) { s0 += i; s1 += i + 1; s2 += i + 2; s3 += i + 3; }
+  return s0 + s1 + s2 + s3;
+}
+int main() {
+  int total = 0;
+  for (int rep = 0; rep < 3; rep++) total += burst(400);
+  printf("burst total=%d\n", total);
+  return 0;
+}
+)";
+
+  sim::Fabric fabric(isa::kisa(), {.total_edpes = 8});
+  std::printf("fabric: %d EDPEs\n", 8);
+
+  struct Spawn {
+    const char* name;
+    const char* src;
+    const char* isa;
+  };
+  const Spawn spawns[] = {
+      {"jpeg-style worker (VLIW4)", worker, "VLIW4"},
+      {"background task (RISC)", worker, "RISC"},
+      {"reconfiguring thread (RISC->VLIW8)", reconfigurer, "RISC"},
+      {"too-wide latecomer (VLIW6)", worker, "VLIW6"},
+  };
+  for (const Spawn& s : spawns) {
+    const int id =
+        fabric.spawn(workloads::build_executable(s.src, s.isa, "thread.c"), s.name);
+    std::printf("spawn %-36s -> %s (EDPEs in use: %d/8)\n", s.name,
+                id >= 0 ? "ok" : "REJECTED (no free EDPEs)", fabric.edpes_in_use());
+  }
+
+  fabric.run_to_completion();
+  std::printf("\nall threads finished:\n");
+  for (size_t id = 0; id < fabric.thread_count(); ++id) {
+    const sim::ThreadStatus st = fabric.status(static_cast<int>(id));
+    std::printf("  %-36s %8llu instructions, waited %llu rounds, exit %d\n",
+                st.name.c_str(), static_cast<unsigned long long>(st.instructions),
+                static_cast<unsigned long long>(st.waited_steps), st.exit_code);
+    std::printf("    output: %s", fabric.output(static_cast<int>(id)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "adl/model.h"
+
+#include "support/error.h"
+
+namespace ksim::adl {
+
+const FieldDef* FormatDef::find_field(std::string_view field_name) const {
+  for (const FieldDef& f : fields)
+    if (f.name == field_name) return &f;
+  return nullptr;
+}
+
+const IsaDef* AdlModel::find_isa(std::string_view isa_name) const {
+  for (const IsaDef& i : isas)
+    if (i.name == isa_name) return &i;
+  return nullptr;
+}
+
+const IsaDef* AdlModel::find_isa_by_id(int id) const {
+  for (const IsaDef& i : isas)
+    if (i.id == id) return &i;
+  return nullptr;
+}
+
+const IsaDef& AdlModel::default_isa() const {
+  for (const IsaDef& i : isas)
+    if (i.is_default) return i;
+  check(!isas.empty(), "ADL model has no ISAs");
+  return isas.front();
+}
+
+const FormatDef* AdlModel::find_format(std::string_view format_name) const {
+  for (const FormatDef& f : formats)
+    if (f.name == format_name) return &f;
+  return nullptr;
+}
+
+const RegisterDef* AdlModel::find_register(std::string_view reg_name) const {
+  for (const RegisterDef& r : registers)
+    if (r.name == reg_name) return &r;
+  return nullptr;
+}
+
+const OperationDef* AdlModel::find_operation(std::string_view op_name) const {
+  for (const OperationDef& o : operations)
+    if (o.name == op_name) return &o;
+  return nullptr;
+}
+
+int AdlModel::general_register_count() const {
+  int n = 0;
+  for (const RegisterDef& r : registers)
+    if (!r.is_special) ++n;
+  return n;
+}
+
+} // namespace ksim::adl

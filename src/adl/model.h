@@ -1,0 +1,114 @@
+// Architecture Description Language (ADL) object model.
+//
+// The ADL describes, for a family of ISA configurations sharing one register
+// file: the ISAs (name, id, issue width), the registers, the instruction
+// formats (named bit fields of a 32-bit operation word), and the operations
+// (constant match fields, operand fields, implicit registers, delay class,
+// memory behaviour and the name of the simulation function implementing the
+// semantics).  TargetGen (src/isa/targetgen.h) turns this description into the
+// operation tables the simulator executes from, mirroring the code-generation
+// step of the paper's framework.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ksim::adl {
+
+/// One ISA configuration (e.g. RISC or a 4-issue VLIW).
+struct IsaDef {
+  std::string name;
+  int id = 0;          ///< unique identification number (SWITCHTARGET operand)
+  int issue_width = 1; ///< max operations per instruction
+  bool is_default = false;
+};
+
+/// One architectural register.
+struct RegisterDef {
+  std::string name;
+  int index = 0;       ///< dense index into the register file (IP gets its own)
+  bool is_zero = false;///< hardwired to zero
+  bool is_special = false; ///< not part of the general register file (e.g. IP)
+};
+
+/// A bit field of an operation word.
+struct FieldDef {
+  std::string name;
+  uint8_t hi = 0;
+  uint8_t lo = 0;
+  bool is_signed = false; ///< immediate fields: sign-extend on extraction
+
+  unsigned width() const { return hi - lo + 1u; }
+};
+
+/// A named instruction format: a set of non-overlapping fields.
+struct FormatDef {
+  std::string name;
+  std::vector<FieldDef> fields;
+
+  const FieldDef* find_field(std::string_view field_name) const;
+};
+
+/// A constant field constraint used for operation detection.
+struct MatchDef {
+  std::string field; ///< "opcode", "funct", ...
+  uint32_t value = 0;
+};
+
+enum class MemKind : uint8_t { None, Load, Store };
+
+/// How the assembler resolves a symbolic operand for this operation.
+enum class RelocKind : uint8_t {
+  None,   ///< immediate is a plain number
+  PcRel,  ///< signed word offset relative to the *next* instruction
+  Abs25,  ///< absolute word address in a 25-bit field
+};
+
+/// One operation (machine instruction of one slot).
+struct OperationDef {
+  std::string name;     ///< mnemonic
+  std::string format;   ///< format name
+  std::vector<MatchDef> match; ///< constant fields identifying the operation
+  std::string semantic; ///< simulation-function name in the semantics registry
+  int delay = 1;        ///< execution latency in cycles; kDelayMem = memory model
+  MemKind mem = MemKind::None;
+  bool is_branch = false;
+  bool is_call = false;
+  bool is_ret = false;
+  bool serial_only = false; ///< must be the only operation of its instruction
+  std::vector<std::string> reads;   ///< operand fields read as registers
+  std::vector<std::string> writes;  ///< operand fields written as registers
+  std::vector<std::string> implicit_reads;  ///< register names read implicitly
+  std::vector<std::string> implicit_writes; ///< register names written implicitly
+  std::vector<std::string> syntax;  ///< assembly operand pattern, e.g. {"rd","ra","rb"}
+  RelocKind reloc = RelocKind::None;
+  std::vector<std::string> isas;    ///< restrict to these ISAs; empty = all
+};
+
+/// Delay value meaning "ask the memory model".
+inline constexpr int kDelayMem = -1;
+
+/// The complete architecture description.
+struct AdlModel {
+  std::string name;
+  uint8_t stop_bit = 31;       ///< bit marking the last operation of an instruction
+  FieldDef opcode_field;       ///< primary constant field shared by all formats
+  std::vector<IsaDef> isas;
+  std::vector<RegisterDef> registers;
+  std::vector<FormatDef> formats;
+  std::vector<OperationDef> operations;
+
+  const IsaDef* find_isa(std::string_view isa_name) const;
+  const IsaDef* find_isa_by_id(int id) const;
+  const IsaDef& default_isa() const;
+  const FormatDef* find_format(std::string_view format_name) const;
+  const RegisterDef* find_register(std::string_view reg_name) const;
+  const OperationDef* find_operation(std::string_view op_name) const;
+
+  /// Number of general (non-special) registers.
+  int general_register_count() const;
+};
+
+} // namespace ksim::adl

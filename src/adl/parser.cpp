@@ -1,0 +1,381 @@
+#include "adl/parser.h"
+
+#include <algorithm>
+#include <string>
+
+#include "support/strings.h"
+
+namespace ksim::adl {
+namespace {
+
+/// Splits "key=value" → (key, value); flags become (word, "").
+std::pair<std::string_view, std::string_view> split_attr(std::string_view token) {
+  const size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return {token, {}};
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+class Parser {
+public:
+  Parser(std::string_view text, std::string_view file, DiagEngine& diags)
+      : text_(text), file_(file), diags_(diags) {}
+
+  AdlModel run() {
+    int line_no = 0;
+    for (std::string_view raw : split(text_, '\n')) {
+      ++line_no;
+      line_no_ = line_no;
+      std::string_view line = raw;
+      if (const size_t hash = line.find('#'); hash != std::string_view::npos)
+        line = line.substr(0, hash);
+      line = trim(line);
+      if (line.empty()) continue;
+      parse_line(line);
+    }
+    validate();
+    return std::move(model_);
+  }
+
+private:
+  SrcLoc loc() const { return SrcLoc{std::string(file_), line_no_, 0}; }
+  void error(std::string msg) { diags_.error(loc(), std::move(msg)); }
+
+  bool parse_range(std::string_view s, uint8_t& hi, uint8_t& lo) {
+    const auto parts = split(s, ':');
+    int64_t h = 0;
+    int64_t l = 0;
+    if (parts.size() != 2 || !parse_int(parts[0], h) || !parse_int(parts[1], l) || h < l ||
+        h > 31 || l < 0) {
+      error("malformed bit range '" + std::string(s) + "' (expected hi:lo within 31:0)");
+      return false;
+    }
+    hi = static_cast<uint8_t>(h);
+    lo = static_cast<uint8_t>(l);
+    return true;
+  }
+
+  void parse_line(std::string_view line) {
+    const auto tokens = split_ws(line);
+    const std::string_view kw = tokens[0];
+    if (kw == "adl") {
+      if (tokens.size() >= 2) model_.name = std::string(tokens[1]);
+    } else if (kw == "stopbit") {
+      int64_t v = 0;
+      if (tokens.size() != 2 || !parse_int(tokens[1], v) || v < 0 || v > 31)
+        error("stopbit expects one bit index");
+      else
+        model_.stop_bit = static_cast<uint8_t>(v);
+    } else if (kw == "opcodefield") {
+      if (tokens.size() != 2 ||
+          !parse_range(tokens[1], model_.opcode_field.hi, model_.opcode_field.lo))
+        error("opcodefield expects hi:lo");
+      model_.opcode_field.name = "opcode";
+    } else if (kw == "isa") {
+      parse_isa(tokens);
+    } else if (kw == "regfile") {
+      parse_regfile(tokens);
+    } else if (kw == "reg") {
+      parse_reg(tokens);
+    } else if (kw == "format") {
+      parse_format(tokens);
+    } else if (kw == "op") {
+      parse_op(tokens);
+    } else {
+      error("unknown ADL keyword '" + std::string(kw) + "'");
+    }
+  }
+
+  void parse_isa(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() < 2) {
+      error("isa expects a name");
+      return;
+    }
+    IsaDef isa;
+    isa.name = std::string(tokens[1]);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      const auto [key, value] = split_attr(tokens[i]);
+      int64_t v = 0;
+      if (key == "id" && parse_int(value, v))
+        isa.id = static_cast<int>(v);
+      else if (key == "issue" && parse_int(value, v) && v >= 1 && v <= 8)
+        isa.issue_width = static_cast<int>(v);
+      else if (key == "default")
+        isa.is_default = true;
+      else
+        error("bad isa attribute '" + std::string(tokens[i]) + "'");
+    }
+    model_.isas.push_back(std::move(isa));
+  }
+
+  void parse_regfile(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() < 3) {
+      error("regfile expects: regfile <prefix> count=N [zero=N]");
+      return;
+    }
+    const std::string prefix(tokens[1]);
+    int64_t count = 0;
+    int64_t zero = -1;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      const auto [key, value] = split_attr(tokens[i]);
+      int64_t v = 0;
+      if (key == "count" && parse_int(value, v))
+        count = v;
+      else if (key == "zero" && parse_int(value, v))
+        zero = v;
+      else
+        error("bad regfile attribute '" + std::string(tokens[i]) + "'");
+    }
+    if (count <= 0 || count > 64) {
+      error("regfile count must be in 1..64");
+      return;
+    }
+    for (int i = 0; i < count; ++i) {
+      RegisterDef r;
+      r.name = prefix + std::to_string(i);
+      r.index = i;
+      r.is_zero = (i == zero);
+      model_.registers.push_back(std::move(r));
+    }
+  }
+
+  void parse_reg(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() != 2) {
+      error("reg expects a name");
+      return;
+    }
+    RegisterDef r;
+    r.name = std::string(tokens[1]);
+    r.index = static_cast<int>(model_.registers.size());
+    r.is_special = true;
+    model_.registers.push_back(std::move(r));
+  }
+
+  void parse_format(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() < 2) {
+      error("format expects a name");
+      return;
+    }
+    FormatDef fmt;
+    fmt.name = std::string(tokens[1]);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      const auto [key, value] = split_attr(tokens[i]);
+      if (key != "fields") {
+        error("bad format attribute '" + std::string(tokens[i]) + "'");
+        continue;
+      }
+      for (std::string_view spec : split(value, ',')) {
+        // name:hi:lo[:s|:u]
+        auto parts = split(spec, ':');
+        if (parts.size() < 3 || parts.size() > 4) {
+          error("malformed field spec '" + std::string(spec) + "'");
+          continue;
+        }
+        FieldDef f;
+        f.name = std::string(parts[0]);
+        int64_t hi = 0;
+        int64_t lo = 0;
+        if (!parse_int(parts[1], hi) || !parse_int(parts[2], lo) || hi < lo || hi > 31 ||
+            lo < 0) {
+          error("malformed field range in '" + std::string(spec) + "'");
+          continue;
+        }
+        f.hi = static_cast<uint8_t>(hi);
+        f.lo = static_cast<uint8_t>(lo);
+        if (parts.size() == 4) {
+          if (parts[3] == "s")
+            f.is_signed = true;
+          else if (parts[3] != "u")
+            error("field qualifier must be s or u in '" + std::string(spec) + "'");
+        }
+        fmt.fields.push_back(std::move(f));
+      }
+    }
+    model_.formats.push_back(std::move(fmt));
+  }
+
+  void parse_op(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() < 2) {
+      error("op expects a mnemonic");
+      return;
+    }
+    OperationDef op;
+    op.name = std::string(tokens[1]);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      const auto [key, value] = split_attr(tokens[i]);
+      if (key == "format") {
+        op.format = std::string(value);
+      } else if (key == "match") {
+        for (std::string_view m : split(value, ',')) {
+          const auto parts = split(m, ':');
+          int64_t v = 0;
+          if (parts.size() != 2 || !parse_int(parts[1], v)) {
+            error("malformed match '" + std::string(m) + "'");
+            continue;
+          }
+          op.match.push_back({std::string(parts[0]), static_cast<uint32_t>(v)});
+        }
+      } else if (key == "sem") {
+        op.semantic = std::string(value);
+      } else if (key == "delay") {
+        if (value == "mem") {
+          op.delay = kDelayMem;
+        } else {
+          int64_t v = 0;
+          if (!parse_int(value, v) || v < 1 || v > 1000)
+            error("delay must be a positive cycle count or 'mem'");
+          else
+            op.delay = static_cast<int>(v);
+        }
+      } else if (key == "mem") {
+        if (value == "load")
+          op.mem = MemKind::Load;
+        else if (value == "store")
+          op.mem = MemKind::Store;
+        else
+          error("mem must be load or store");
+      } else if (key == "branch") {
+        op.is_branch = true;
+      } else if (key == "call") {
+        op.is_call = true;
+      } else if (key == "ret") {
+        op.is_ret = true;
+      } else if (key == "serial") {
+        op.serial_only = true;
+      } else if (key == "reads") {
+        for (auto f : split(value, ',')) op.reads.emplace_back(f);
+      } else if (key == "writes") {
+        for (auto f : split(value, ',')) op.writes.emplace_back(f);
+      } else if (key == "ireads") {
+        for (auto f : split(value, ',')) op.implicit_reads.emplace_back(f);
+      } else if (key == "iwrites") {
+        for (auto f : split(value, ',')) op.implicit_writes.emplace_back(f);
+      } else if (key == "syntax") {
+        for (auto f : split(value, ','))
+          if (!f.empty()) op.syntax.emplace_back(f);
+      } else if (key == "reloc") {
+        if (value == "pcrel")
+          op.reloc = RelocKind::PcRel;
+        else if (value == "abs25")
+          op.reloc = RelocKind::Abs25;
+        else
+          error("reloc must be pcrel or abs25");
+      } else if (key == "isas") {
+        for (auto f : split(value, ',')) op.isas.emplace_back(f);
+      } else {
+        error("bad op attribute '" + std::string(tokens[i]) + "'");
+      }
+    }
+    model_.operations.push_back(std::move(op));
+  }
+
+  // -- semantic validation -------------------------------------------------
+
+  void validate() {
+    validate_isas();
+    validate_formats();
+    for (const OperationDef& op : model_.operations) validate_op(op);
+  }
+
+  void validate_isas() {
+    for (size_t i = 0; i < model_.isas.size(); ++i)
+      for (size_t j = i + 1; j < model_.isas.size(); ++j) {
+        if (model_.isas[i].id == model_.isas[j].id)
+          error("duplicate ISA id " + std::to_string(model_.isas[i].id));
+        if (model_.isas[i].name == model_.isas[j].name)
+          error("duplicate ISA name " + model_.isas[i].name);
+      }
+    const int defaults = static_cast<int>(
+        std::count_if(model_.isas.begin(), model_.isas.end(),
+                      [](const IsaDef& i) { return i.is_default; }));
+    if (defaults > 1) error("more than one default ISA");
+  }
+
+  void validate_formats() {
+    for (const FormatDef& fmt : model_.formats) {
+      uint32_t used = (1u << model_.stop_bit);
+      for (uint8_t b = model_.opcode_field.lo; b <= model_.opcode_field.hi; ++b)
+        used |= (1u << b);
+      for (const FieldDef& f : fmt.fields) {
+        uint32_t mask = 0;
+        for (uint8_t b = f.lo; b <= f.hi; ++b) mask |= (1u << b);
+        if ((mask & used) != 0 && f.name != "opcode")
+          error("format " + fmt.name + ": field " + f.name +
+                " overlaps another field, the opcode field, or the stop bit");
+        used |= mask;
+      }
+    }
+  }
+
+  void validate_op(const OperationDef& op) {
+    const FormatDef* fmt = model_.find_format(op.format);
+    if (fmt == nullptr) {
+      error("op " + op.name + ": unknown format '" + op.format + "'");
+      return;
+    }
+    auto field_exists = [&](const std::string& name) {
+      return name == "opcode" || fmt->find_field(name) != nullptr;
+    };
+    for (const MatchDef& m : op.match)
+      if (!field_exists(m.field))
+        error("op " + op.name + ": match field '" + m.field + "' not in format " + op.format);
+    bool has_opcode_match = false;
+    for (const MatchDef& m : op.match) has_opcode_match |= (m.field == "opcode");
+    if (!has_opcode_match) error("op " + op.name + ": missing opcode match");
+    for (const auto& f : op.reads)
+      if (fmt->find_field(f) == nullptr)
+        error("op " + op.name + ": read field '" + f + "' not in format");
+    for (const auto& f : op.writes)
+      if (fmt->find_field(f) == nullptr)
+        error("op " + op.name + ": write field '" + f + "' not in format");
+    for (const auto& r : op.implicit_reads)
+      if (model_.find_register(r) == nullptr)
+        error("op " + op.name + ": unknown implicit register '" + r + "'");
+    for (const auto& r : op.implicit_writes)
+      if (model_.find_register(r) == nullptr)
+        error("op " + op.name + ": unknown implicit register '" + r + "'");
+    for (const auto& isa : op.isas)
+      if (model_.find_isa(isa) == nullptr)
+        error("op " + op.name + ": unknown ISA '" + isa + "'");
+    for (const auto& tok : op.syntax) {
+      // A token is a field name or "fieldA(fieldB)".
+      std::string_view t = tok;
+      const size_t paren = t.find('(');
+      if (paren != std::string_view::npos) {
+        if (t.back() != ')') {
+          error("op " + op.name + ": malformed syntax token '" + tok + "'");
+          continue;
+        }
+        const std::string outer(t.substr(0, paren));
+        const std::string inner(t.substr(paren + 1, t.size() - paren - 2));
+        if (fmt->find_field(outer) == nullptr || fmt->find_field(inner) == nullptr)
+          error("op " + op.name + ": syntax token '" + tok + "' names unknown fields");
+      } else if (fmt->find_field(std::string(t)) == nullptr) {
+        error("op " + op.name + ": syntax token '" + tok + "' not a field of " + op.format);
+      }
+    }
+    if (op.semantic.empty()) error("op " + op.name + ": missing sem= attribute");
+    if (op.mem != MemKind::None && op.delay != kDelayMem)
+      error("op " + op.name + ": memory operations must use delay=mem");
+  }
+
+  std::string_view text_;
+  std::string_view file_;
+  DiagEngine& diags_;
+  AdlModel model_;
+  int line_no_ = 0;
+};
+
+} // namespace
+
+AdlModel parse_adl(std::string_view text, std::string_view file_name, DiagEngine& diags) {
+  return Parser(text, file_name, diags).run();
+}
+
+AdlModel parse_adl_or_throw(std::string_view text, std::string_view file_name) {
+  DiagEngine diags;
+  AdlModel model = parse_adl(text, file_name, diags);
+  diags.throw_if_errors();
+  return model;
+}
+
+} // namespace ksim::adl

@@ -1,0 +1,34 @@
+// Parser for the textual ADL format.
+//
+// The format is line based.  `#` starts a comment.  Example:
+//
+//   adl kahrisma
+//   stopbit 31
+//   opcodefield 30:25
+//   isa RISC id=0 issue=1 default
+//   regfile r count=32 zero=0
+//   reg IP
+//   format R fields=rd:24:20,ra:19:15,rb:14:10,funct:9:4
+//   op ADD format=R match=opcode:0,funct:0 sem=add delay=1
+//      reads=ra,rb writes=rd syntax=rd,ra,rb   (one op per line)
+//
+// Recognised op attributes: format=, match=, sem=, delay=<n|mem>,
+// mem=load|store, reads=, writes=, ireads=, iwrites=, syntax=,
+// reloc=pcrel|abs25, isas=, and the flags branch, call, ret, serial.
+#pragma once
+
+#include <string_view>
+
+#include "adl/model.h"
+#include "support/diag.h"
+
+namespace ksim::adl {
+
+/// Parses an ADL description.  Reports problems to `diags`; returns the
+/// (possibly partial) model.  Callers should check diags.has_errors().
+AdlModel parse_adl(std::string_view text, std::string_view file_name, DiagEngine& diags);
+
+/// Convenience wrapper that throws ksim::Error on any diagnostic error.
+AdlModel parse_adl_or_throw(std::string_view text, std::string_view file_name = "<adl>");
+
+} // namespace ksim::adl

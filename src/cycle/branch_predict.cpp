@@ -1,0 +1,70 @@
+#include "cycle/branch_predict.h"
+
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace ksim::cycle {
+
+OneBitPredictor::OneBitPredictor(size_t entries) : table_(entries, 0) {
+  check(is_pow2(entries), "OneBitPredictor: table size must be a power of two");
+}
+
+bool OneBitPredictor::predict(uint32_t pc) { return table_[index(pc)] != 0; }
+
+void OneBitPredictor::update(uint32_t pc, bool taken) {
+  table_[index(pc)] = taken ? 1 : 0;
+}
+
+void OneBitPredictor::reset() {
+  std::fill(table_.begin(), table_.end(), 0);
+  reset_stats();
+}
+
+TwoBitPredictor::TwoBitPredictor(size_t entries) : table_(entries, 1) {
+  check(is_pow2(entries), "TwoBitPredictor: table size must be a power of two");
+}
+
+bool TwoBitPredictor::predict(uint32_t pc) { return table_[index(pc)] >= 2; }
+
+void TwoBitPredictor::update(uint32_t pc, bool taken) {
+  uint8_t& counter = table_[index(pc)];
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+}
+
+void TwoBitPredictor::reset() {
+  std::fill(table_.begin(), table_.end(), 1);
+  reset_stats();
+}
+
+GsharePredictor::GsharePredictor(unsigned history_bits)
+    : table_(size_t{1} << history_bits, 1),
+      history_mask_((1u << history_bits) - 1u) {
+  check(history_bits >= 1 && history_bits <= 20, "GsharePredictor: bad history size");
+}
+
+bool GsharePredictor::predict(uint32_t pc) { return table_[index(pc)] >= 2; }
+
+void GsharePredictor::update(uint32_t pc, bool taken) {
+  uint8_t& counter = table_[index(pc)];
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+void GsharePredictor::reset() {
+  std::fill(table_.begin(), table_.end(), 1);
+  history_ = 0;
+  reset_stats();
+}
+
+std::unique_ptr<BranchPredictor> make_predictor(const std::string& kind) {
+  if (kind == "not-taken") return std::make_unique<NotTakenPredictor>();
+  if (kind == "taken") return std::make_unique<TakenPredictor>();
+  if (kind == "1bit") return std::make_unique<OneBitPredictor>();
+  if (kind == "2bit") return std::make_unique<TwoBitPredictor>();
+  if (kind == "gshare") return std::make_unique<GsharePredictor>();
+  throw Error("unknown branch predictor '" + kind + "'");
+}
+
+} // namespace ksim::cycle

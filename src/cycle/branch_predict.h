@@ -1,0 +1,129 @@
+// Branch prediction models — the paper's stated future work (§VIII: "we plan
+// to integrate cycle-approximation models for branch misprediction into our
+// simulator").  A predictor guesses each branch's direction; the DOE/AIE
+// models charge a configurable refill penalty on a mispredict by stalling
+// instruction delivery (Table II's evaluation used perfect prediction, which
+// remains the default: no predictor attached).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ksim::cycle {
+
+struct PredictorStats {
+  uint64_t branches = 0;
+  uint64_t mispredictions = 0;
+
+  double miss_rate() const {
+    return branches == 0
+               ? 0.0
+               : static_cast<double>(mispredictions) / static_cast<double>(branches);
+  }
+};
+
+class BranchPredictor {
+public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predicted direction for the branch at `pc`.
+  virtual bool predict(uint32_t pc) = 0;
+  /// Trains the predictor with the actual outcome.
+  virtual void update(uint32_t pc, bool taken) = 0;
+
+  virtual std::string name() const = 0;
+  virtual void reset() = 0;
+
+  /// Convenience: predict + update + stats. Returns true on a mispredict.
+  bool observe(uint32_t pc, bool taken) {
+    ++stats_.branches;
+    const bool predicted = predict(pc);
+    update(pc, taken);
+    if (predicted != taken) {
+      ++stats_.mispredictions;
+      return true;
+    }
+    return false;
+  }
+
+  const PredictorStats& stats() const { return stats_; }
+
+protected:
+  void reset_stats() { stats_ = {}; }
+
+private:
+  PredictorStats stats_;
+};
+
+/// Static predictor: always predicts not-taken (fall through).
+class NotTakenPredictor final : public BranchPredictor {
+public:
+  bool predict(uint32_t) override { return false; }
+  void update(uint32_t, bool) override {}
+  std::string name() const override { return "static-not-taken"; }
+  void reset() override { reset_stats(); }
+};
+
+/// Static predictor: backward taken, forward not-taken (loops).
+/// Needs the target direction; we approximate with "taken" since K-ISA loop
+/// branches are overwhelmingly backward — see BackwardTakenPredictor::predict.
+class TakenPredictor final : public BranchPredictor {
+public:
+  bool predict(uint32_t) override { return true; }
+  void update(uint32_t, bool) override {}
+  std::string name() const override { return "static-taken"; }
+  void reset() override { reset_stats(); }
+};
+
+/// 1-bit last-outcome predictor, direct-mapped table indexed by pc.
+class OneBitPredictor final : public BranchPredictor {
+public:
+  explicit OneBitPredictor(size_t entries = 1024);
+  bool predict(uint32_t pc) override;
+  void update(uint32_t pc, bool taken) override;
+  std::string name() const override { return "1-bit"; }
+  void reset() override;
+
+private:
+  size_t index(uint32_t pc) const { return (pc >> 2) & (table_.size() - 1); }
+  std::vector<uint8_t> table_;
+};
+
+/// 2-bit saturating-counter predictor.
+class TwoBitPredictor final : public BranchPredictor {
+public:
+  explicit TwoBitPredictor(size_t entries = 1024);
+  bool predict(uint32_t pc) override;
+  void update(uint32_t pc, bool taken) override;
+  std::string name() const override { return "2-bit"; }
+  void reset() override;
+
+private:
+  size_t index(uint32_t pc) const { return (pc >> 2) & (table_.size() - 1); }
+  std::vector<uint8_t> table_; ///< 0..3, >=2 predicts taken
+};
+
+/// Gshare: global history XORed into the table index, 2-bit counters.
+class GsharePredictor final : public BranchPredictor {
+public:
+  explicit GsharePredictor(unsigned history_bits = 10);
+  bool predict(uint32_t pc) override;
+  void update(uint32_t pc, bool taken) override;
+  std::string name() const override { return "gshare"; }
+  void reset() override;
+
+private:
+  size_t index(uint32_t pc) const {
+    return ((pc >> 2) ^ history_) & (table_.size() - 1);
+  }
+  std::vector<uint8_t> table_;
+  uint32_t history_ = 0;
+  uint32_t history_mask_;
+};
+
+/// Factory by name ("not-taken", "taken", "1bit", "2bit", "gshare").
+std::unique_ptr<BranchPredictor> make_predictor(const std::string& kind);
+
+} // namespace ksim::cycle

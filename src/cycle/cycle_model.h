@@ -1,0 +1,37 @@
+// Cycle-model interface (paper §VI).  The interpreter calls on_instruction()
+// after each executed instruction ("After an instruction is executed optional
+// tasks are performed. These optional tasks include the cycle approximation").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/exec.h"
+
+namespace ksim::cycle {
+
+class CycleModel {
+public:
+  virtual ~CycleModel() = default;
+
+  /// Accounts one executed instruction.  `di` carries the static operation
+  /// info, `ctx` the dynamic facts (memory addresses, branch outcome).
+  virtual void on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) = 0;
+
+  /// Approximated cycle count so far.
+  virtual uint64_t cycles() const = 0;
+
+  /// Operations accounted so far.
+  virtual uint64_t operations() const = 0;
+
+  virtual void reset() = 0;
+  virtual std::string name() const = 0;
+
+  /// Operations per cycle (0 when nothing ran).
+  double ops_per_cycle() const {
+    const uint64_t c = cycles();
+    return c == 0 ? 0.0 : static_cast<double>(operations()) / static_cast<double>(c);
+  }
+};
+
+} // namespace ksim::cycle

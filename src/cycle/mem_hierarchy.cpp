@@ -1,0 +1,167 @@
+#include "cycle/mem_hierarchy.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::cycle {
+
+// -- MainMemory ----------------------------------------------------------------
+
+uint64_t MainMemory::access(uint32_t /*addr*/, AccessType /*type*/, int /*slot*/,
+                            uint64_t start) {
+  ++stats_.accesses;
+  return start + delay_;
+}
+
+void MainMemory::reset() { stats_ = {}; }
+
+std::string MainMemory::describe() const { return strf("memory(delay=%u)", delay_); }
+
+// -- CacheModule ----------------------------------------------------------------
+
+CacheModule::CacheModule(const CacheConfig& config, MemModule* next)
+    : config_(config), next_(next) {
+  check(is_pow2(config.size_bytes) && is_pow2(config.line_size) &&
+            config.associativity > 0 && config.line_size > 0,
+        "CacheModule: size and line size must be powers of two");
+  check(config.size_bytes % (config.line_size * config.associativity) == 0,
+        "CacheModule: size not divisible by line_size*associativity");
+  check(next != nullptr, "CacheModule: missing next-level module");
+  num_sets_ = config.size_bytes / (config.line_size * config.associativity);
+  lines_.resize(static_cast<size_t>(num_sets_) * config.associativity);
+}
+
+uint64_t CacheModule::access(uint32_t addr, AccessType type, int slot, uint64_t start) {
+  ++stats_.accesses;
+  // "Within the delay function the current cycle is initialized by the start
+  // cycle plus the access delay."
+  uint64_t current = start + config_.delay;
+
+  const uint32_t set = set_index(addr);
+  const uint32_t tag = tag_of(addr);
+  Line* set_base = &lines_[static_cast<size_t>(set) * config_.associativity];
+
+  // Hit: completion is the maximum of the current cycle and the cycle the
+  // line was written (the line may have been filled by a "later" call that
+  // executed earlier — out-of-order call support).
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = set_base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru = ++lru_counter_;
+      if (type == AccessType::Write) line.dirty = true;
+      return std::max(current, line.write_cycle);
+    }
+  }
+
+  // Miss: fetch the line from the next level (write-allocate).
+  ++stats_.misses;
+  uint32_t victim = 0;
+  for (uint32_t w = 1; w < config_.associativity; ++w) {
+    const Line& cand = set_base[w];
+    const Line& best = set_base[victim];
+    if (!cand.valid) {
+      victim = w;
+      break;
+    }
+    if (best.valid && cand.lru < best.lru) victim = w;
+  }
+  Line& line = set_base[victim];
+
+  current = next_->access(addr, AccessType::Read, slot, current);
+  if (line.valid && line.dirty) {
+    ++stats_.writebacks;
+    const uint32_t victim_addr =
+        (line.tag * num_sets_ + set) * config_.line_size;
+    current = next_->access(victim_addr, AccessType::Write, slot, current);
+  }
+  // "After the subaccess the data must be stored inside the cache, so the
+  // cache delay is added again."
+  current += config_.delay;
+
+  line.valid = true;
+  line.dirty = (type == AccessType::Write);
+  line.tag = tag;
+  line.write_cycle = current;
+  line.lru = ++lru_counter_;
+  return current;
+}
+
+void CacheModule::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  lru_counter_ = 0;
+  stats_ = {};
+}
+
+std::string CacheModule::describe() const {
+  return strf("%s(%u B, %u-way, %u B lines, delay=%u)", config_.name.c_str(),
+              config_.size_bytes, config_.associativity, config_.line_size, config_.delay);
+}
+
+// -- ConnectionLimit ---------------------------------------------------------------
+
+uint64_t ConnectionLimit::claim(uint64_t cycle) {
+  // Find the first cycle >= `cycle` with a free port and reserve it.
+  while (true) {
+    unsigned& used = used_[cycle];
+    if (used < ports_) {
+      ++used;
+      max_cycle_seen_ = std::max(max_cycle_seen_, cycle);
+      return cycle;
+    }
+    ++stats_.port_stalls;
+    ++cycle;
+  }
+}
+
+void ConnectionLimit::prune(uint64_t below) {
+  for (auto it = used_.begin(); it != used_.end();)
+    it = (it->first < below) ? used_.erase(it) : std::next(it);
+}
+
+uint64_t ConnectionLimit::access(uint32_t addr, AccessType type, int slot,
+                                 uint64_t start) {
+  ++stats_.accesses;
+  const uint64_t granted_start = claim(start);
+  uint64_t completion = next_->access(addr, type, slot, granted_start);
+  // "The same mechanism is applied to the completion cycle that is returned
+  // from the submodule."
+  completion = claim(completion);
+  // Keep the reservation table bounded; accesses arrive in roughly
+  // monotonic program order, so far-past cycles can be dropped.
+  if (used_.size() > (1u << 16) && max_cycle_seen_ > (1u << 15))
+    prune(max_cycle_seen_ - (1u << 15));
+  return completion;
+}
+
+void ConnectionLimit::reset() {
+  used_.clear();
+  max_cycle_seen_ = 0;
+  stats_ = {};
+}
+
+std::string ConnectionLimit::describe() const {
+  return strf("connection_limit(ports=%u)", ports_);
+}
+
+// -- MemoryHierarchy -----------------------------------------------------------------
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config) {
+  memory_ = std::make_unique<MainMemory>(config.memory_delay);
+  l2_ = std::make_unique<CacheModule>(config.l2, memory_.get());
+  l1_ = std::make_unique<CacheModule>(config.l1, l2_.get());
+  limit_ = std::make_unique<ConnectionLimit>(config.l1_ports, l1_.get());
+  entry_ = limit_.get();
+}
+
+void MemoryHierarchy::reset() {
+  memory_->reset();
+  l2_->reset();
+  l1_->reset();
+  limit_->reset();
+}
+
+} // namespace ksim::cycle

@@ -1,0 +1,165 @@
+// Memory delay approximation (paper §VI-D).
+//
+// A memory hierarchy is composed from three module types sharing one
+// interface — a function that returns the completion cycle of a memory
+// access given its start cycle:
+//   * MainMemory       — fixed access delay,
+//   * CacheModule      — n-way set-associative, write-back, LRU; each line
+//                        remembers the cycle it was written so the module
+//                        stays correct when called out of (cycle) order,
+//   * ConnectionLimit  — bounded number of ports per cycle, applied to both
+//                        the start and the returned completion cycle.
+//
+// The delay functions are called in *program order* while the modelled
+// hardware may execute accesses out of order; the line write-cycle and port
+// bookkeeping absorb that, as described in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ksim::cycle {
+
+enum class AccessType : uint8_t { Read, Write };
+
+/// Statistics of one module (reported by the ablation benches).
+struct MemModuleStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;       ///< caches only
+  uint64_t misses = 0;     ///< caches only
+  uint64_t writebacks = 0; ///< caches only
+  uint64_t port_stalls = 0;///< connection limits only
+};
+
+class MemModule {
+public:
+  virtual ~MemModule() = default;
+
+  /// Returns the completion cycle of the access starting at `start`.
+  virtual uint64_t access(uint32_t addr, AccessType type, int slot, uint64_t start) = 0;
+
+  /// Clears all state (cache contents, port reservations) and statistics.
+  virtual void reset() = 0;
+
+  virtual const MemModuleStats& stats() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// Main memory: completion = start + delay.
+class MainMemory final : public MemModule {
+public:
+  explicit MainMemory(unsigned delay) : delay_(delay) {}
+
+  uint64_t access(uint32_t addr, AccessType type, int slot, uint64_t start) override;
+  void reset() override;
+  const MemModuleStats& stats() const override { return stats_; }
+  std::string describe() const override;
+
+private:
+  unsigned delay_;
+  MemModuleStats stats_;
+};
+
+struct CacheConfig {
+  uint32_t size_bytes = 2048;
+  uint32_t line_size = 32;
+  uint32_t associativity = 4;
+  unsigned delay = 3;
+  std::string name = "cache";
+};
+
+/// n-way set-associative cache with write-back policy and LRU replacement.
+class CacheModule final : public MemModule {
+public:
+  CacheModule(const CacheConfig& config, MemModule* next);
+
+  uint64_t access(uint32_t addr, AccessType type, int slot, uint64_t start) override;
+  void reset() override;
+  const MemModuleStats& stats() const override { return stats_; }
+  std::string describe() const override;
+
+  const CacheConfig& config() const { return config_; }
+  double miss_rate() const {
+    return stats_.accesses == 0
+               ? 0.0
+               : static_cast<double>(stats_.misses) / static_cast<double>(stats_.accesses);
+  }
+
+private:
+  struct Line {
+    uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint64_t write_cycle = 0; ///< cycle the line was (re)filled
+    uint64_t lru = 0;         ///< last-use stamp
+  };
+
+  uint32_t set_index(uint32_t addr) const { return (addr / config_.line_size) % num_sets_; }
+  uint32_t tag_of(uint32_t addr) const { return addr / config_.line_size / num_sets_; }
+
+  CacheConfig config_;
+  MemModule* next_;
+  uint32_t num_sets_;
+  std::vector<Line> lines_; ///< num_sets_ * associativity
+  uint64_t lru_counter_ = 0;
+  MemModuleStats stats_;
+};
+
+/// Limits the number of accesses entering its submodule per cycle.
+class ConnectionLimit final : public MemModule {
+public:
+  ConnectionLimit(unsigned ports, MemModule* next)
+      : ports_(ports), next_(next) {}
+
+  uint64_t access(uint32_t addr, AccessType type, int slot, uint64_t start) override;
+  void reset() override;
+  const MemModuleStats& stats() const override { return stats_; }
+  std::string describe() const override;
+
+private:
+  /// Claims a port at or after `cycle`; returns the cycle actually used.
+  uint64_t claim(uint64_t cycle);
+  void prune(uint64_t below);
+
+  unsigned ports_;
+  MemModule* next_;
+  std::unordered_map<uint64_t, unsigned> used_; ///< cycle → ports taken
+  uint64_t max_cycle_seen_ = 0;
+  MemModuleStats stats_;
+};
+
+/// The paper's evaluation hierarchy (§VII): 1-port connection limit in front
+/// of an L1 (2 KiB, 4-way, 3 cycles), L2 (256 KiB, 4-way, 6 cycles) and main
+/// memory (18 cycles).
+struct HierarchyConfig {
+  unsigned l1_ports = 1;
+  CacheConfig l1{2048, 32, 4, 3, "L1"};
+  CacheConfig l2{256 * 1024, 32, 4, 6, "L2"};
+  unsigned memory_delay = 18;
+};
+
+/// Owns a composed hierarchy; entry() is the module the cycle models call.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const HierarchyConfig& config = {});
+
+  MemModule& entry() { return *entry_; }
+  void reset();
+
+  const CacheModule& l1() const { return *l1_; }
+  const CacheModule& l2() const { return *l2_; }
+  const ConnectionLimit& limit() const { return *limit_; }
+  const MainMemory& memory() const { return *memory_; }
+
+private:
+  std::unique_ptr<MainMemory> memory_;
+  std::unique_ptr<CacheModule> l2_;
+  std::unique_ptr<CacheModule> l1_;
+  std::unique_ptr<ConnectionLimit> limit_;
+  MemModule* entry_;
+};
+
+} // namespace ksim::cycle

@@ -1,0 +1,172 @@
+#include "cycle/models.h"
+
+#include <algorithm>
+
+namespace ksim::cycle {
+
+namespace detail {
+
+uint64_t RegCycles::max_of_sources(const isa::DecodedOp& op) const {
+  const isa::OpInfo& info = *op.info;
+  uint64_t m = 0;
+  if (info.ra_is_src) m = std::max(m, cycles_[op.ra]);
+  if (info.rb_is_src) m = std::max(m, cycles_[op.rb]);
+  if (info.rd_is_src) m = std::max(m, cycles_[op.rd]);
+  if (info.implicit_reads != 0) {
+    uint64_t mask = info.implicit_reads & 0xFFFFFFFFull; // general regs only
+    while (mask != 0) {
+      const unsigned r = static_cast<unsigned>(__builtin_ctzll(mask));
+      mask &= mask - 1;
+      m = std::max(m, cycles_[r]);
+    }
+  }
+  return m;
+}
+
+void RegCycles::write_destinations(const isa::DecodedOp& op, uint64_t completion) {
+  const isa::OpInfo& info = *op.info;
+  if (info.rd_is_dst && op.rd != 0) cycles_[op.rd] = completion;
+  if (info.implicit_writes != 0) {
+    uint64_t mask = info.implicit_writes & 0xFFFFFFFFull; // skip the IP bit
+    while (mask != 0) {
+      const unsigned r = static_cast<unsigned>(__builtin_ctzll(mask));
+      mask &= mask - 1;
+      if (r != 0) cycles_[r] = completion;
+    }
+  }
+}
+
+} // namespace detail
+
+// -- IlpModel -------------------------------------------------------------------
+
+void IlpModel::on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) {
+  // The ILP model treats every operation individually (it is meant to run on
+  // a RISC stream, but handles groups by applying the same rules per op).
+  // Two-phase within a group so ops read pre-instruction write cycles.
+  uint64_t new_branch_completion = last_branch_completion_;
+  uint64_t new_store_start = last_store_start_;
+  struct Upd {
+    const isa::DecodedOp* op;
+    uint64_t completion;
+  } updates[isa::kMaxSlots];
+
+  for (int s = 0; s < di.num_ops; ++s) {
+    const isa::DecodedOp& op = di.ops[s];
+    const isa::OpInfo& info = *op.info;
+
+    uint64_t start = regs_.max_of_sources(op);
+    // Operations cannot be scheduled past a branch boundary.
+    start = std::max(start, last_branch_completion_);
+    // Pessimistic memory model: every memory operation depends on the last
+    // store and can execute earliest at that store's start cycle.
+    if (info.mem != adl::MemKind::None) start = std::max(start, last_store_start_);
+
+    const unsigned delay =
+        info.uses_memory_model() ? memory_delay_ : static_cast<unsigned>(info.delay);
+    const uint64_t completion = start + delay;
+
+    if (info.is_branch) new_branch_completion = std::max(new_branch_completion, completion);
+    if (info.is_store()) new_store_start = std::max(new_store_start, start);
+
+    updates[s] = {&op, completion};
+    max_completion_ = std::max(max_completion_, completion);
+    ++operations_;
+    (void)ctx;
+  }
+  for (int s = 0; s < di.num_ops; ++s)
+    regs_.write_destinations(*updates[s].op, updates[s].completion);
+  last_branch_completion_ = new_branch_completion;
+  last_store_start_ = new_store_start;
+}
+
+void IlpModel::reset() {
+  regs_.reset();
+  last_branch_completion_ = 0;
+  last_store_start_ = 0;
+  max_completion_ = 0;
+  operations_ = 0;
+}
+
+// -- AieModel -------------------------------------------------------------------
+
+void AieModel::on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) {
+  const uint64_t issue = completion_;
+  uint64_t instr_completion = issue;
+  uint64_t refill = 0;
+  for (int s = 0; s < di.num_ops; ++s) {
+    const isa::DecodedOp& op = di.ops[s];
+    const isa::OpInfo& info = *op.info;
+    uint64_t op_completion;
+    if (info.uses_memory_model() && ctx.mem[s].valid && memory_ != nullptr) {
+      op_completion = memory_->entry().access(
+          ctx.mem[s].addr,
+          ctx.mem[s].is_store ? AccessType::Write : AccessType::Read, s, issue);
+    } else {
+      op_completion = issue + static_cast<unsigned>(std::max(info.delay, 1));
+    }
+    if (info.is_branch && predictor_ != nullptr &&
+        predictor_->observe(di.addr + static_cast<uint32_t>(s) * 4, ctx.branch_taken))
+      refill = mispredict_penalty_;
+    instr_completion = std::max(instr_completion, op_completion);
+    ++operations_;
+  }
+  completion_ = std::max(instr_completion + refill, issue + 1);
+}
+
+void AieModel::reset() {
+  completion_ = 0;
+  operations_ = 0;
+}
+
+// -- DoeModel -------------------------------------------------------------------
+
+void DoeModel::on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) {
+  struct Upd {
+    const isa::DecodedOp* op;
+    uint64_t completion;
+  } updates[isa::kMaxSlots];
+
+  for (int s = 0; s < di.num_ops; ++s) {
+    const isa::DecodedOp& op = di.ops[s];
+    const isa::OpInfo& info = *op.info;
+
+    // Issue once the previous operation of this slot has issued (one issue
+    // per slot and cycle), all true data dependencies are fulfilled, and —
+    // with a branch predictor attached — the front end has recovered from
+    // the last mispredict.
+    uint64_t issue = std::max(regs_.max_of_sources(op), slot_last_issue_[s] + 1);
+    issue = std::max(issue, fetch_ready_);
+
+    uint64_t completion;
+    if (info.uses_memory_model() && ctx.mem[s].valid && memory_ != nullptr) {
+      completion = memory_->entry().access(
+          ctx.mem[s].addr,
+          ctx.mem[s].is_store ? AccessType::Write : AccessType::Read, s, issue);
+    } else {
+      completion = issue + static_cast<unsigned>(std::max(info.delay, 1));
+    }
+
+    if (info.is_branch && predictor_ != nullptr &&
+        predictor_->observe(di.addr + static_cast<uint32_t>(s) * 4, ctx.branch_taken))
+      fetch_ready_ = std::max(fetch_ready_, completion + mispredict_penalty_);
+
+    slot_last_issue_[s] = issue;
+    updates[s] = {&op, completion};
+    max_completion_ = std::max(max_completion_, completion);
+    ++operations_;
+  }
+  for (int s = 0; s < di.num_ops; ++s)
+    regs_.write_destinations(*updates[s].op, updates[s].completion);
+}
+
+void DoeModel::reset() {
+  regs_.reset();
+  slot_last_issue_.fill(0);
+  fetch_ready_ = 0;
+  max_completion_ = 0;
+  operations_ = 0;
+  if (predictor_ != nullptr) predictor_->reset();
+}
+
+} // namespace ksim::cycle

@@ -1,0 +1,121 @@
+// The three cycle-approximation models of the paper (§VI):
+//   * IlpModel — theoretical ILP upper bound (infinite issue width, infinite
+//     renaming registers, ideal 3-cycle memory, unlimited parallel memory
+//     accesses; limited only by true data dependencies, branch boundaries and
+//     the pessimistic store ordering, §VI-A),
+//   * AieModel — Atomic Instruction Execution (§VI-B),
+//   * DoeModel — Dynamic Operation Execution with drifting slots (§VI-C).
+// AIE and DOE use the memory delay approximation (§VI-D); ILP uses a fixed
+// three-cycle memory delay.
+#pragma once
+
+#include <array>
+
+#include "cycle/branch_predict.h"
+#include "cycle/cycle_model.h"
+#include "cycle/mem_hierarchy.h"
+
+namespace ksim::cycle {
+
+namespace detail {
+
+/// Tracks per-register last-write cycles (32 general registers; the IP is
+/// excluded — control dependencies are modelled separately).
+class RegCycles {
+public:
+  uint64_t max_of_sources(const isa::DecodedOp& op) const;
+  void write_destinations(const isa::DecodedOp& op, uint64_t completion);
+  void reset() { cycles_.fill(0); }
+
+private:
+  std::array<uint64_t, 32> cycles_{};
+};
+
+} // namespace detail
+
+/// Theoretical ILP measurement (§VI-A).  Intended to run over a RISC
+/// instruction stream.
+class IlpModel final : public CycleModel {
+public:
+  /// `memory_delay` is the ideal memory latency (3 = the paper's L1 delay).
+  explicit IlpModel(unsigned memory_delay = 3) : memory_delay_(memory_delay) {}
+
+  void on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) override;
+  uint64_t cycles() const override { return max_completion_; }
+  uint64_t operations() const override { return operations_; }
+  void reset() override;
+  std::string name() const override { return "ILP"; }
+
+  /// The theoretical ILP value: operations / cycles.
+  double ilp() const { return ops_per_cycle(); }
+
+private:
+  unsigned memory_delay_;
+  detail::RegCycles regs_;
+  uint64_t last_branch_completion_ = 0;
+  uint64_t last_store_start_ = 0;
+  uint64_t max_completion_ = 0;
+  uint64_t operations_ = 0;
+};
+
+/// Atomic Instruction Execution (§VI-B): all operations of an instruction
+/// issue together; the next instruction waits for all of them to finish.
+class AieModel final : public CycleModel {
+public:
+  explicit AieModel(MemoryHierarchy* memory) : memory_(memory) {}
+
+  /// Attaches a branch-misprediction model (default: perfect prediction).
+  /// A mispredicted branch stalls instruction delivery for `penalty` cycles
+  /// after the branch completes.
+  void set_branch_prediction(BranchPredictor* predictor, unsigned penalty) {
+    predictor_ = predictor;
+    mispredict_penalty_ = penalty;
+  }
+
+  void on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) override;
+  uint64_t cycles() const override { return completion_; }
+  uint64_t operations() const override { return operations_; }
+  void reset() override;
+  std::string name() const override { return "AIE"; }
+
+private:
+  MemoryHierarchy* memory_;
+  BranchPredictor* predictor_ = nullptr;
+  unsigned mispredict_penalty_ = 0;
+  uint64_t completion_ = 0;
+  uint64_t operations_ = 0;
+};
+
+/// Dynamic Operation Execution (§VI-C): slots issue independently and may
+/// drift; an operation issues once the previous operation of its slot has
+/// issued (+1 cycle) and its true data dependencies are fulfilled.
+class DoeModel final : public CycleModel {
+public:
+  explicit DoeModel(MemoryHierarchy* memory) : memory_(memory) {}
+
+  /// Attaches a branch-misprediction model (default: perfect prediction, as
+  /// used for Table II).  On a mispredict no operation can issue earlier
+  /// than the branch's completion plus `penalty` (pipeline refill).
+  void set_branch_prediction(BranchPredictor* predictor, unsigned penalty) {
+    predictor_ = predictor;
+    mispredict_penalty_ = penalty;
+  }
+
+  void on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) override;
+  uint64_t cycles() const override { return max_completion_; }
+  uint64_t operations() const override { return operations_; }
+  void reset() override;
+  std::string name() const override { return "DOE"; }
+
+private:
+  MemoryHierarchy* memory_;
+  BranchPredictor* predictor_ = nullptr;
+  unsigned mispredict_penalty_ = 0;
+  uint64_t fetch_ready_ = 0; ///< earliest issue after the last mispredict
+  detail::RegCycles regs_;
+  std::array<uint64_t, isa::kMaxSlots> slot_last_issue_{};
+  uint64_t max_completion_ = 0;
+  uint64_t operations_ = 0;
+};
+
+} // namespace ksim::cycle

@@ -1,0 +1,348 @@
+// ksim — command line driver for the KAHRISMA toolchain and simulator.
+//
+//   ksim run [options] <file.c|file.s|file.elf>   compile/assemble, link, run
+//   ksim run --workload <name> [options]          run a built-in workload
+//   ksim build -o out.elf [options] <inputs...>   build an executable
+//   ksim cc <file.c>                              print generated assembly
+//   ksim disasm <file.elf>                        disassemble an executable
+//   ksim workloads                                list built-in workloads
+//
+// run options:
+//   --isa NAME       target/entry ISA (RISC, VLIW2, VLIW4, VLIW6, VLIW8)
+//   --model NAME     cycle model: none (default), ilp, aie, doe, rtl
+//   --trace FILE     write an operation trace (paper §V, goal 3)
+//   --profile        print a per-function profile (paper §IV, goal 2)
+//   --no-decode-cache / --no-prediction   disable §V-A optimizations
+//   --bp KIND        branch predictor for AIE/DOE (not-taken, taken, 1bit,
+//                    2bit, gshare); default: perfect prediction
+//   --bp-penalty N   mispredict refill penalty in cycles (default 3)
+//   --opstats        print a per-operation execution histogram
+//   --max-instr N    stop after N instructions
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "cycle/branch_predict.h"
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/disasm.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "kcc/compiler.h"
+#include "rtl/rtl_sim.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "workloads/build.h"
+
+namespace ksim {
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: ksim <run|build|cc|disasm|workloads> [options] [files]\n"
+               "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
+               "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
+               "      [--no-decode-cache] [--no-prediction] [--max-instr N]\n"
+               "  build -o <out.elf> [--isa NAME] <file.c|.s ...>\n"
+               "  cc [--isa NAME] <file.c>\n"
+               "  disasm <file.elf>\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct Options {
+  std::string isa = "RISC";
+  std::string model = "none";
+  std::string trace_file;
+  std::string output;
+  std::string workload;
+  bool profile = false;
+  bool opstats = false;
+  std::string bp_kind;
+  int bp_penalty = 3;
+  bool decode_cache = true;
+  bool prediction = true;
+  uint64_t max_instr = 0;
+  std::vector<std::string> inputs;
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--isa") {
+      opt.isa = next();
+    } else if (arg == "--model") {
+      opt.model = next();
+    } else if (arg == "--trace") {
+      opt.trace_file = next();
+    } else if (arg == "--workload") {
+      opt.workload = next();
+    } else if (arg == "-o") {
+      opt.output = next();
+    } else if (arg == "--profile") {
+      opt.profile = true;
+    } else if (arg == "--opstats") {
+      opt.opstats = true;
+    } else if (arg == "--bp") {
+      opt.bp_kind = next();
+    } else if (arg == "--bp-penalty") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v >= 0, "--bp-penalty expects a cycle count");
+      opt.bp_penalty = static_cast<int>(v);
+    } else if (arg == "--no-decode-cache") {
+      opt.decode_cache = false;
+    } else if (arg == "--no-prediction") {
+      opt.prediction = false;
+    } else if (arg == "--max-instr") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--max-instr expects a count");
+      opt.max_instr = static_cast<uint64_t>(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      opt.inputs.push_back(arg);
+    }
+  }
+  return opt;
+}
+
+elf::ElfFile build_from_inputs(const Options& opt) {
+  std::vector<elf::ElfFile> objects;
+  objects.push_back(kasm::assemble_or_throw(kasm::start_stub_assembly(opt.isa)));
+  for (const std::string& path : opt.inputs) {
+    if (ends_with(path, ".elf")) {
+      // Already-linked executables cannot be re-linked.
+      throw Error("cannot link an executable: " + path);
+    }
+    std::string assembly;
+    if (ends_with(path, ".c")) {
+      kcc::CompileOptions copt;
+      copt.file_name = path;
+      copt.codegen.default_isa = opt.isa;
+      assembly = kcc::compile_or_throw(read_file(path), copt);
+    } else {
+      assembly = read_file(path);
+    }
+    kasm::AsmOptions aopt;
+    aopt.file_name = path;
+    objects.push_back(kasm::assemble_or_throw(assembly, aopt));
+  }
+  objects.push_back(kasm::assemble_or_throw(kasm::libc_stub_assembly()));
+  kasm::LinkOptions lopt;
+  const isa::IsaInfo* isa = isa::kisa().find_isa(opt.isa);
+  check(isa != nullptr, "unknown ISA " + opt.isa);
+  lopt.entry_isa = isa->id;
+  return kasm::link_or_throw(objects, lopt);
+}
+
+elf::ElfFile load_or_build(const Options& opt) {
+  if (!opt.workload.empty())
+    return workloads::build_workload(workloads::by_name(opt.workload), opt.isa);
+  check(!opt.inputs.empty(), "no input file");
+  if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
+    const std::string bytes = read_file(opt.inputs[0]);
+    return elf::ElfFile::parse(
+        std::span(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+  }
+  return build_from_inputs(opt);
+}
+
+int cmd_run(const Options& opt) {
+  const elf::ElfFile exe = load_or_build(opt);
+
+  sim::SimOptions sopt;
+  sopt.use_decode_cache = opt.decode_cache;
+  sopt.use_prediction = opt.prediction;
+  sopt.max_instructions = opt.max_instr;
+  sopt.collect_op_stats = opt.opstats;
+  sim::Simulator simulator(isa::kisa(), sopt);
+  simulator.load(exe);
+  simulator.libc().set_echo(true);
+
+  cycle::MemoryHierarchy memory;
+  std::unique_ptr<cycle::CycleModel> model;
+  if (opt.model == "ilp")
+    model = std::make_unique<cycle::IlpModel>();
+  else if (opt.model == "aie")
+    model = std::make_unique<cycle::AieModel>(&memory);
+  else if (opt.model == "doe" || opt.model == "rtl")
+    model = std::make_unique<cycle::DoeModel>(&memory);
+  else
+    check(opt.model == "none", "unknown cycle model " + opt.model);
+
+  std::unique_ptr<cycle::BranchPredictor> predictor;
+  if (!opt.bp_kind.empty()) {
+    predictor = cycle::make_predictor(opt.bp_kind);
+    if (auto* doe = dynamic_cast<cycle::DoeModel*>(model.get()); doe != nullptr)
+      doe->set_branch_prediction(predictor.get(),
+                                 static_cast<unsigned>(opt.bp_penalty));
+    else if (auto* aie = dynamic_cast<cycle::AieModel*>(model.get()); aie != nullptr)
+      aie->set_branch_prediction(predictor.get(),
+                                 static_cast<unsigned>(opt.bp_penalty));
+    else
+      check(false, "--bp requires --model aie or --model doe");
+  }
+
+  rtl::TraceRecorder recorder; // for --model rtl
+  if (opt.model == "rtl") simulator.set_cycle_model(&recorder);
+  else if (model != nullptr) simulator.set_cycle_model(model.get());
+
+  std::ofstream trace_stream;
+  std::unique_ptr<sim::TraceWriter> trace;
+  if (!opt.trace_file.empty()) {
+    trace_stream.open(opt.trace_file);
+    check(trace_stream.good(), "cannot write " + opt.trace_file);
+    trace = std::make_unique<sim::TraceWriter>(trace_stream);
+    simulator.set_trace(trace.get());
+  }
+  sim::Profiler profiler;
+  if (opt.profile) simulator.set_profiler(&profiler);
+
+  const sim::StopReason reason = simulator.run();
+  if (reason == sim::StopReason::Trap || reason == sim::StopReason::DecodeError) {
+    std::cerr << simulator.error_report();
+    return 1;
+  }
+
+  const sim::SimStats& stats = simulator.stats();
+  std::cerr << strf("[ksim] %s after %llu instructions (%llu operations)\n",
+                    sim::to_string(reason),
+                    static_cast<unsigned long long>(stats.instructions),
+                    static_cast<unsigned long long>(stats.operations));
+  if (opt.model == "rtl") {
+    rtl::RtlSimulator rtl_sim;
+    const rtl::RtlStats rstats = rtl_sim.run(recorder.trace());
+    std::cerr << strf("[ksim] RTL reference: %llu cycles\n",
+                      static_cast<unsigned long long>(rstats.cycles));
+  } else if (model != nullptr) {
+    std::cerr << strf("[ksim] %s cycles: %llu (%.3f ops/cycle)\n",
+                      model->name().c_str(),
+                      static_cast<unsigned long long>(model->cycles()),
+                      model->ops_per_cycle());
+  }
+  if (predictor != nullptr) {
+    std::cerr << strf("[ksim] branch predictor %s: %llu branches, %llu mispredicts"
+                      " (%.2f%%), penalty %d\n",
+                      predictor->name().c_str(),
+                      static_cast<unsigned long long>(predictor->stats().branches),
+                      static_cast<unsigned long long>(predictor->stats().mispredictions),
+                      100.0 * predictor->stats().miss_rate(), opt.bp_penalty);
+  }
+  if (opt.opstats) {
+    std::cerr << "[ksim] operation histogram:\n";
+    const auto hist = simulator.op_histogram();
+    for (size_t i = 0; i < hist.size() && i < 16; ++i)
+      std::cerr << strf("  %-14s %12llu (%.1f%%)\n", hist[i].first->name.c_str(),
+                        static_cast<unsigned long long>(hist[i].second),
+                        100.0 * static_cast<double>(hist[i].second) /
+                            static_cast<double>(simulator.stats().operations));
+  }
+  if (opt.profile) {
+    std::cerr << "[ksim] profile (cycles instructions calls function):\n";
+    for (const sim::FuncProfile& p : profiler.report())
+      std::cerr << strf("  %10llu %10llu %8llu  %s\n",
+                        static_cast<unsigned long long>(p.cycles),
+                        static_cast<unsigned long long>(p.instructions),
+                        static_cast<unsigned long long>(p.calls), p.name.c_str());
+  }
+  return simulator.exit_code();
+}
+
+int cmd_build(const Options& opt) {
+  check(!opt.output.empty(), "build requires -o <out.elf>");
+  const elf::ElfFile exe = build_from_inputs(opt);
+  const std::vector<uint8_t> bytes = exe.serialize();
+  std::ofstream out(opt.output, std::ios::binary);
+  check(out.good(), "cannot write " + opt.output);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::cerr << strf("[ksim] wrote %s (%zu bytes, entry ISA %s)\n", opt.output.c_str(),
+                    bytes.size(), opt.isa.c_str());
+  return 0;
+}
+
+int cmd_cc(const Options& opt) {
+  check(opt.inputs.size() == 1, "cc expects one .c file");
+  kcc::CompileOptions copt;
+  copt.file_name = opt.inputs[0];
+  copt.codegen.default_isa = opt.isa;
+  std::cout << kcc::compile_or_throw(read_file(opt.inputs[0]), copt);
+  return 0;
+}
+
+int cmd_disasm(const Options& opt) {
+  check(opt.inputs.size() == 1, "disasm expects one .elf file");
+  const std::string bytes = read_file(opt.inputs[0]);
+  const elf::ElfFile exe = elf::ElfFile::parse(
+      std::span(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+  const elf::Section* text = exe.find_section(".text");
+  check(text != nullptr, "no .text section");
+  const isa::IsaSet& set = isa::kisa();
+  const isa::IsaInfo* isa = set.find_isa(static_cast<int>(exe.flags));
+  check(isa != nullptr, "executable names an unknown entry ISA");
+  std::cout << "# entry " << hex32(exe.entry) << ", ISA " << isa->name << "\n";
+  std::vector<uint32_t> words(text->data.size() / 4);
+  for (size_t i = 0; i < words.size(); ++i)
+    for (int b = 3; b >= 0; --b)
+      words[i] = (words[i] << 8) | text->data[i * 4 + static_cast<size_t>(b)];
+  size_t i = 0;
+  while (i < words.size()) {
+    size_t consumed = 0;
+    const std::string line = kasm::disassemble_instr(
+        set, *isa, std::span(words).subspan(i), consumed);
+    std::cout << hex32(text->addr + static_cast<uint32_t>(i * 4)) << "  " << line
+              << "\n";
+    i += consumed == 0 ? 1 : consumed;
+  }
+  return 0;
+}
+
+int cmd_workloads() {
+  for (const workloads::Workload& w : workloads::all())
+    std::cout << strf("%-8s %s\n", w.name.c_str(), w.description.c_str());
+  return 0;
+}
+
+int main_impl(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Options opt = parse_options(argc, argv, 2);
+  if (cmd == "run") return cmd_run(opt);
+  if (cmd == "build") return cmd_build(opt);
+  if (cmd == "cc") return cmd_cc(opt);
+  if (cmd == "disasm") return cmd_disasm(opt);
+  if (cmd == "workloads") return cmd_workloads();
+  usage();
+}
+
+} // namespace
+} // namespace ksim
+
+int main(int argc, char** argv) {
+  try {
+    return ksim::main_impl(argc, argv);
+  } catch (const ksim::Error& e) {
+    std::cerr << "ksim: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,497 @@
+#include "elf/elf.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::elf {
+namespace {
+
+// Serialized structure sizes (ELF32).
+constexpr uint32_t kEhdrSize = 52;
+constexpr uint32_t kPhdrSize = 32;
+constexpr uint32_t kShdrSize = 40;
+constexpr uint32_t kSymSize = 16;
+constexpr uint32_t kRelaSize = 16;
+
+constexpr uint32_t PT_LOAD = 1;
+
+class ByteWriter {
+public:
+  explicit ByteWriter(std::vector<uint8_t>& out) : out_(out) {}
+
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u16(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v));
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  void pad_to(size_t offset) {
+    check(out_.size() <= offset, "ELF writer: backward padding");
+    out_.resize(offset, 0);
+  }
+  size_t pos() const { return out_.size(); }
+
+  /// Patches a previously written u32 at `offset`.
+  void patch_u32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+
+private:
+  std::vector<uint8_t>& out_;
+};
+
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  uint8_t u8(size_t off) const {
+    bound(off, 1);
+    return bytes_[off];
+  }
+  uint16_t u16(size_t off) const {
+    bound(off, 2);
+    return static_cast<uint16_t>(bytes_[off] | (bytes_[off + 1] << 8));
+  }
+  uint32_t u32(size_t off) const {
+    bound(off, 4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | bytes_[off + static_cast<size_t>(i)];
+    return v;
+  }
+  std::span<const uint8_t> slice(size_t off, size_t n) const {
+    bound(off, n);
+    return bytes_.subspan(off, n);
+  }
+  size_t size() const { return bytes_.size(); }
+
+private:
+  void bound(size_t off, size_t n) const {
+    check(off + n <= bytes_.size(), "ELF reader: truncated file");
+  }
+  std::span<const uint8_t> bytes_;
+};
+
+/// Simple string table builder.
+class StrTab {
+public:
+  StrTab() { data_.push_back('\0'); }
+  uint32_t add(std::string_view s) {
+    if (s.empty()) return 0;
+    const auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+    const uint32_t off = static_cast<uint32_t>(data_.size());
+    data_.insert(data_.end(), s.begin(), s.end());
+    data_.push_back('\0');
+    index_.emplace(std::string(s), off);
+    return off;
+  }
+  const std::vector<char>& data() const { return data_; }
+
+private:
+  std::vector<char> data_;
+  std::map<std::string, uint32_t> index_;
+};
+
+std::string read_str(std::span<const uint8_t> strtab, uint32_t off) {
+  check(off < strtab.size(), "ELF reader: string offset out of range");
+  const char* begin = reinterpret_cast<const char*>(strtab.data()) + off;
+  const size_t max = strtab.size() - off;
+  const size_t len = ::strnlen(begin, max);
+  check(len < max, "ELF reader: unterminated string");
+  return std::string(begin, len);
+}
+
+} // namespace
+
+Section* ElfFile::find_section(std::string_view name) {
+  for (Section& s : sections)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Section* ElfFile::find_section(std::string_view name) const {
+  for (const Section& s : sections)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Symbol* ElfFile::find_symbol(std::string_view name) const {
+  for (const Symbol& s : symbols)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+uint16_t ElfFile::section_index(std::string_view name) const {
+  for (size_t i = 0; i < sections.size(); ++i)
+    if (sections[i].name == name) return static_cast<uint16_t>(i + 1);
+  return 0;
+}
+
+std::vector<uint8_t> ElfFile::serialize() const {
+  // ELF requires local symbols to precede globals in the symbol table.
+  std::vector<uint32_t> order; // positions into `symbols`, locals first
+  for (uint32_t i = 0; i < symbols.size(); ++i)
+    if (st_bind(symbols[i].info) == STB_LOCAL) order.push_back(i);
+  const uint32_t first_global = static_cast<uint32_t>(order.size()) + 1; // +1: null sym
+  for (uint32_t i = 0; i < symbols.size(); ++i)
+    if (st_bind(symbols[i].info) != STB_LOCAL) order.push_back(i);
+  std::vector<uint32_t> new_index(symbols.size());
+  for (uint32_t n = 0; n < order.size(); ++n) new_index[order[n]] = n + 1;
+
+  StrTab strtab;
+  for (const Symbol& s : symbols) strtab.add(s.name);
+
+  // Assemble the final section list: user sections, rela sections, symtab,
+  // strtab, shstrtab.
+  struct OutSec {
+    Section meta;
+    std::vector<uint8_t> owned;                 ///< for synthesized sections
+    const std::vector<uint8_t>* external = nullptr; ///< for user sections
+
+    /// Stable accessor: user sections reference the caller's data (which
+    /// outlives serialization); synthesized sections own theirs (moved along
+    /// with the OutSec when the vector grows).
+    const std::vector<uint8_t>& payload() const { return external ? *external : owned; }
+  };
+  std::vector<OutSec> out;
+  for (const Section& s : sections) {
+    OutSec o;
+    o.meta = s;
+    o.meta.data.clear();
+    o.external = &s.data;
+    out.push_back(std::move(o));
+  }
+
+  const uint16_t symtab_index = static_cast<uint16_t>(sections.size() + relocations.size() + 1);
+  const uint16_t strtab_index = static_cast<uint16_t>(symtab_index + 1);
+
+  for (const auto& [target, relocs] : relocations) {
+    check(target >= 1 && target <= sections.size(),
+          "ELF writer: relocation targets invalid section");
+    OutSec o;
+    o.meta.name = ".krela" + sections[target - 1].name;
+    o.meta.type = SHT_KISA_RELA;
+    o.meta.link = symtab_index;
+    o.meta.info = target;
+    o.meta.entsize = kRelaSize;
+    std::vector<uint8_t> buf;
+    ByteWriter w(buf);
+    for (const Reloc& r : relocs) {
+      w.u32(r.offset);
+      w.u32(r.type);
+      check(r.symbol < symbols.size(), "ELF writer: relocation names invalid symbol");
+      w.u32(new_index[r.symbol]);
+      w.u32(static_cast<uint32_t>(r.addend));
+    }
+    o.owned = std::move(buf);
+    out.push_back(std::move(o));
+  }
+
+  { // .symtab
+    OutSec o;
+    o.meta.name = ".symtab";
+    o.meta.type = SHT_SYMTAB;
+    o.meta.link = strtab_index;
+    o.meta.info = first_global;
+    o.meta.entsize = kSymSize;
+    std::vector<uint8_t> buf;
+    ByteWriter w(buf);
+    w.u32(0); w.u32(0); w.u32(0); w.u8(0); w.u8(0); w.u16(0); // null symbol
+    for (uint32_t idx : order) {
+      const Symbol& s = symbols[idx];
+      w.u32(strtab.add(s.name));
+      w.u32(s.value);
+      w.u32(s.size);
+      w.u8(s.info);
+      w.u8(0);
+      w.u16(s.shndx);
+    }
+    o.owned = std::move(buf);
+    out.push_back(std::move(o));
+  }
+
+  { // .strtab
+    OutSec o;
+    o.meta.name = ".strtab";
+    o.meta.type = SHT_STRTAB;
+    o.meta.addralign = 1;
+    o.owned.assign(strtab.data().begin(), strtab.data().end());
+    out.push_back(std::move(o));
+  }
+
+  StrTab shstrtab;
+  for (const OutSec& o : out) shstrtab.add(o.meta.name);
+  shstrtab.add(".shstrtab");
+  { // .shstrtab
+    OutSec o;
+    o.meta.name = ".shstrtab";
+    o.meta.type = SHT_STRTAB;
+    o.meta.addralign = 1;
+    o.owned.assign(shstrtab.data().begin(), shstrtab.data().end());
+    out.push_back(std::move(o));
+  }
+
+  // Program headers: one PT_LOAD per allocatable PROGBITS section (exec only).
+  std::vector<uint32_t> load_sections;
+  if (type == ET_EXEC)
+    for (uint32_t i = 0; i < sections.size(); ++i)
+      if ((sections[i].flags & SHF_ALLOC) != 0 && sections[i].type == SHT_PROGBITS)
+        load_sections.push_back(i);
+
+  // Layout: ehdr | phdrs | section data ... | shdrs.
+  std::vector<uint8_t> bytes;
+  ByteWriter w(bytes);
+  const uint32_t phoff = load_sections.empty() ? 0 : kEhdrSize;
+  uint32_t off = kEhdrSize + static_cast<uint32_t>(load_sections.size()) * kPhdrSize;
+
+  std::vector<uint32_t> sec_offsets(out.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint32_t align = std::max<uint32_t>(1, out[i].meta.addralign);
+    off = (off + align - 1) & ~(align - 1);
+    sec_offsets[i] = off;
+    if (out[i].meta.type != SHT_NOBITS)
+      off += static_cast<uint32_t>(out[i].payload().size());
+  }
+  const uint32_t shoff = (off + 3u) & ~3u;
+
+  // ELF header.
+  const uint8_t ident[16] = {0x7F, 'E', 'L', 'F', 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  w.bytes(ident, 16);
+  w.u16(type);
+  w.u16(EM_KISA);
+  w.u32(1); // EV_CURRENT
+  w.u32(entry);
+  w.u32(phoff);
+  w.u32(shoff);
+  w.u32(flags);
+  w.u16(kEhdrSize);
+  w.u16(kPhdrSize);
+  w.u16(static_cast<uint16_t>(load_sections.size()));
+  w.u16(kShdrSize);
+  w.u16(static_cast<uint16_t>(out.size() + 1));
+  w.u16(static_cast<uint16_t>(out.size())); // .shstrtab is last
+
+  // Program headers.
+  for (uint32_t si : load_sections) {
+    const Section& s = sections[si];
+    w.u32(PT_LOAD);
+    w.u32(sec_offsets[si]);
+    w.u32(s.addr);
+    w.u32(s.addr);
+    w.u32(static_cast<uint32_t>(s.data.size()));
+    w.u32(s.effective_size());
+    w.u32((s.flags & SHF_EXECINSTR) != 0 ? 0x5u : 0x6u); // R+X / R+W
+    w.u32(4);
+  }
+
+  // Section payloads.
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].meta.type == SHT_NOBITS) continue;
+    w.pad_to(sec_offsets[i]);
+    w.bytes(out[i].payload().data(), out[i].payload().size());
+  }
+
+  // Section headers.
+  w.pad_to(shoff);
+  // Null section header.
+  for (int i = 0; i < 10; ++i) w.u32(0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const Section& m = out[i].meta;
+    w.u32(shstrtab.add(m.name)); // deduplicated: same offset as before
+    w.u32(m.type);
+    w.u32(m.flags);
+    w.u32(m.addr);
+    w.u32(sec_offsets[i]);
+    w.u32(m.type == SHT_NOBITS ? m.size : static_cast<uint32_t>(out[i].payload().size()));
+    w.u32(m.link);
+    w.u32(m.info);
+    w.u32(m.addralign);
+    w.u32(m.entsize);
+  }
+  return bytes;
+}
+
+ElfFile ElfFile::parse(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  check(r.size() >= kEhdrSize, "ELF reader: file too small");
+  check(r.u8(0) == 0x7F && r.u8(1) == 'E' && r.u8(2) == 'L' && r.u8(3) == 'F',
+        "ELF reader: bad magic");
+  check(r.u8(4) == 1 && r.u8(5) == 1, "ELF reader: not little-endian ELF32");
+
+  ElfFile f;
+  f.type = r.u16(16);
+  const uint16_t machine = r.u16(18);
+  check(machine == EM_KISA, "ELF reader: not a K-ISA file (machine " +
+                                std::to_string(machine) + ")");
+  f.entry = r.u32(24);
+  const uint32_t shoff = r.u32(32);
+  f.flags = r.u32(36);
+  const uint16_t shentsize = r.u16(46);
+  const uint16_t shnum = r.u16(48);
+  const uint16_t shstrndx = r.u16(50);
+  check(shentsize == kShdrSize, "ELF reader: unexpected shentsize");
+  check(shnum >= 1 && shstrndx < shnum, "ELF reader: bad section header table");
+
+  struct RawShdr {
+    uint32_t name, type, flags, addr, offset, size, link, info, addralign, entsize;
+  };
+  std::vector<RawShdr> shdrs(shnum);
+  for (uint16_t i = 0; i < shnum; ++i) {
+    const size_t base = shoff + static_cast<size_t>(i) * kShdrSize;
+    shdrs[i] = {r.u32(base),      r.u32(base + 4),  r.u32(base + 8),  r.u32(base + 12),
+                r.u32(base + 16), r.u32(base + 20), r.u32(base + 24), r.u32(base + 28),
+                r.u32(base + 32), r.u32(base + 36)};
+  }
+  const RawShdr& shstr = shdrs[shstrndx];
+  const auto shstr_data = r.slice(shstr.offset, shstr.size);
+
+  // First pass: map serialized indices to user-section indices, load payloads.
+  std::vector<int> user_index(shnum, -1); // serialized idx -> f.sections idx
+  std::vector<uint16_t> symtab_order;     // not needed beyond the null drop
+  int symtab_at = -1;
+  for (uint16_t i = 1; i < shnum; ++i) {
+    const RawShdr& sh = shdrs[i];
+    const std::string name = read_str(shstr_data, sh.name);
+    if (sh.type == SHT_SYMTAB) {
+      symtab_at = i;
+      continue;
+    }
+    if (sh.type == SHT_STRTAB || sh.type == SHT_KISA_RELA) continue;
+    Section s;
+    s.name = name;
+    s.type = sh.type;
+    s.flags = sh.flags;
+    s.addr = sh.addr;
+    s.link = 0;
+    s.info = 0;
+    s.addralign = sh.addralign;
+    s.entsize = sh.entsize;
+    if (sh.type == SHT_NOBITS) {
+      s.size = sh.size;
+    } else {
+      const auto payload = r.slice(sh.offset, sh.size);
+      s.data.assign(payload.begin(), payload.end());
+    }
+    user_index[i] = static_cast<int>(f.sections.size());
+    f.sections.push_back(std::move(s));
+  }
+
+  // Symbols.
+  if (symtab_at >= 0) {
+    const RawShdr& sh = shdrs[symtab_at];
+    check(sh.entsize == kSymSize, "ELF reader: bad symtab entsize");
+    check(sh.link < shnum, "ELF reader: bad symtab link");
+    const RawShdr& str = shdrs[sh.link];
+    const auto str_data = r.slice(str.offset, str.size);
+    const uint32_t count = sh.size / kSymSize;
+    for (uint32_t i = 1; i < count; ++i) { // skip null symbol
+      const size_t base = sh.offset + static_cast<size_t>(i) * kSymSize;
+      Symbol s;
+      s.name = read_str(str_data, r.u32(base));
+      s.value = r.u32(base + 4);
+      s.size = r.u32(base + 8);
+      s.info = r.u8(base + 12);
+      uint16_t shndx = r.u16(base + 14);
+      if (shndx != SHN_UNDEF && shndx < shnum && shndx != SHN_ABS) {
+        check(user_index[shndx] >= 0, "ELF reader: symbol in synthesized section");
+        shndx = static_cast<uint16_t>(user_index[shndx] + 1);
+      }
+      s.shndx = shndx;
+      f.symbols.push_back(std::move(s));
+    }
+  }
+
+  // Relocations.
+  for (uint16_t i = 1; i < shnum; ++i) {
+    const RawShdr& sh = shdrs[i];
+    if (sh.type != SHT_KISA_RELA) continue;
+    check(sh.entsize == kRelaSize && sh.info < shnum && user_index[sh.info] >= 0,
+          "ELF reader: bad relocation section");
+    std::vector<Reloc> relocs;
+    const uint32_t count = sh.size / kRelaSize;
+    for (uint32_t n = 0; n < count; ++n) {
+      const size_t base = sh.offset + static_cast<size_t>(n) * kRelaSize;
+      Reloc rel;
+      rel.offset = r.u32(base);
+      rel.type = r.u32(base + 4);
+      const uint32_t symidx = r.u32(base + 8);
+      check(symidx >= 1 && symidx <= f.symbols.size(), "ELF reader: bad reloc symbol");
+      rel.symbol = symidx - 1;
+      rel.addend = static_cast<int32_t>(r.u32(base + 12));
+      relocs.push_back(rel);
+    }
+    f.relocations.emplace_back(static_cast<uint16_t>(user_index[sh.info] + 1),
+                               std::move(relocs));
+  }
+  return f;
+}
+
+// -- LineMap ------------------------------------------------------------------
+
+std::vector<uint8_t> LineMap::serialize() const {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.u32(static_cast<uint32_t>(files.size()));
+  for (const std::string& fname : files) {
+    w.u32(static_cast<uint32_t>(fname.size()));
+    w.bytes(fname.data(), fname.size());
+  }
+  w.u32(static_cast<uint32_t>(entries.size()));
+  for (const LineEntry& e : entries) {
+    w.u32(e.addr);
+    w.u32(e.file);
+    w.u32(e.line);
+  }
+  return buf;
+}
+
+LineMap LineMap::parse(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  LineMap map;
+  size_t off = 0;
+  const uint32_t nfiles = r.u32(off);
+  off += 4;
+  for (uint32_t i = 0; i < nfiles; ++i) {
+    const uint32_t len = r.u32(off);
+    off += 4;
+    const auto s = r.slice(off, len);
+    map.files.emplace_back(reinterpret_cast<const char*>(s.data()), len);
+    off += len;
+  }
+  const uint32_t nentries = r.u32(off);
+  off += 4;
+  for (uint32_t i = 0; i < nentries; ++i) {
+    LineEntry e{r.u32(off), r.u32(off + 4), r.u32(off + 8)};
+    check(e.file < map.files.size(), "LineMap: bad file index");
+    map.entries.push_back(e);
+    off += 12;
+  }
+  return map;
+}
+
+uint32_t LineMap::intern_file(std::string_view name) {
+  for (uint32_t i = 0; i < files.size(); ++i)
+    if (files[i] == name) return i;
+  files.emplace_back(name);
+  return static_cast<uint32_t>(files.size() - 1);
+}
+
+const LineEntry* LineMap::lookup(uint32_t addr) const {
+  const auto it = std::upper_bound(
+      entries.begin(), entries.end(), addr,
+      [](uint32_t a, const LineEntry& e) { return a < e.addr; });
+  if (it == entries.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+} // namespace ksim::elf

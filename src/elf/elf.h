@@ -1,0 +1,147 @@
+// Minimal ELF32 object model, writer and reader (TIS ELF 1.2).
+//
+// The paper stores object files and application binaries in standard ELF
+// (§IV).  We implement the subset the toolchain needs: little-endian ELF32
+// relocatable and executable files with section headers, one string table,
+// a symbol table, custom relocation sections (machine-specific relocations
+// for K-ISA) and custom debug sections (.kdbg.asm / .kdbg.src, the paper's
+// "custom data section" carrying assembler/source line mappings, §V-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ksim::elf {
+
+// -- ELF constants (subset) ---------------------------------------------------
+inline constexpr uint16_t ET_REL = 1;
+inline constexpr uint16_t ET_EXEC = 2;
+/// Unofficial machine number for the reconstructed KAHRISMA ISA family.
+inline constexpr uint16_t EM_KISA = 0x4B41; // "KA"
+
+inline constexpr uint32_t SHT_NULL = 0;
+inline constexpr uint32_t SHT_PROGBITS = 1;
+inline constexpr uint32_t SHT_SYMTAB = 2;
+inline constexpr uint32_t SHT_STRTAB = 3;
+inline constexpr uint32_t SHT_NOBITS = 8;
+/// Custom relocation section type (RELA-style, see Reloc).
+inline constexpr uint32_t SHT_KISA_RELA = 0x70000001;
+
+inline constexpr uint32_t SHF_WRITE = 0x1;
+inline constexpr uint32_t SHF_ALLOC = 0x2;
+inline constexpr uint32_t SHF_EXECINSTR = 0x4;
+
+inline constexpr uint8_t STB_LOCAL = 0;
+inline constexpr uint8_t STB_GLOBAL = 1;
+inline constexpr uint8_t STT_NOTYPE = 0;
+inline constexpr uint8_t STT_OBJECT = 1;
+inline constexpr uint8_t STT_FUNC = 2;
+
+inline constexpr uint16_t SHN_UNDEF = 0;
+inline constexpr uint16_t SHN_ABS = 0xFFF1;
+
+constexpr uint8_t st_info(uint8_t bind, uint8_t type) {
+  return static_cast<uint8_t>((bind << 4) | (type & 0xF));
+}
+constexpr uint8_t st_bind(uint8_t info) { return info >> 4; }
+constexpr uint8_t st_type(uint8_t info) { return info & 0xF; }
+
+// -- K-ISA relocation types ---------------------------------------------------
+enum KisaReloc : uint32_t {
+  R_KISA_ABS32 = 1,  ///< 32-bit absolute address in data
+  R_KISA_HI16 = 2,   ///< bits 31:16 of address into a U-format imm field
+  R_KISA_LO16 = 3,   ///< bits 15:0 of address into a U-format imm field
+  R_KISA_PCREL15 = 4,///< signed word offset into a B/I-format imm field
+  R_KISA_ABS25 = 5,  ///< word address into a J-format imm field
+};
+
+// -- object model --------------------------------------------------------------
+struct Section {
+  std::string name;
+  uint32_t type = SHT_PROGBITS;
+  uint32_t flags = 0;
+  uint32_t addr = 0;
+  uint32_t size = 0; ///< meaningful for SHT_NOBITS; otherwise data.size()
+  uint32_t link = 0;
+  uint32_t info = 0;
+  uint32_t addralign = 4;
+  uint32_t entsize = 0;
+  std::vector<uint8_t> data;
+
+  uint32_t effective_size() const {
+    return type == SHT_NOBITS ? size : static_cast<uint32_t>(data.size());
+  }
+};
+
+struct Symbol {
+  std::string name;
+  uint32_t value = 0;
+  uint32_t size = 0;
+  uint8_t info = 0;
+  uint16_t shndx = SHN_UNDEF; ///< 1-based section index as serialized
+};
+
+/// RELA-style relocation: patch `section[offset]` with the address of
+/// `symbol` + `addend`, encoded according to `type`.
+struct Reloc {
+  uint32_t offset = 0;
+  uint32_t type = 0;
+  uint32_t symbol = 0; ///< index into the symbol vector
+  int32_t addend = 0;
+};
+
+/// An ELF file in memory.  Section indices used in Symbol::shndx and in
+/// relocation `info` refer to positions in `sections` + 1 (index 0 is the
+/// mandatory NULL section, which is implicit here).
+class ElfFile {
+public:
+  uint16_t type = ET_REL;
+  uint32_t entry = 0;
+  uint32_t flags = 0; ///< we store the entry ISA id here
+  std::vector<Section> sections;
+  std::vector<Symbol> symbols;
+  /// Relocations per target section (key: 1-based section index).
+  std::vector<std::pair<uint16_t, std::vector<Reloc>>> relocations;
+
+  Section* find_section(std::string_view name);
+  const Section* find_section(std::string_view name) const;
+  const Symbol* find_symbol(std::string_view name) const;
+
+  /// 1-based index of a section, 0 if absent.
+  uint16_t section_index(std::string_view name) const;
+
+  /// Serializes to ELF32 bytes (adds NULL section, .shstrtab, .strtab and
+  /// .symtab automatically; relocation lists become SHT_KISA_RELA sections).
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses ELF32 bytes produced by serialize() (or compatible).
+  /// Throws ksim::Error on malformed input.
+  static ElfFile parse(std::span<const uint8_t> bytes);
+};
+
+// -- debug line maps (.kdbg.asm / .kdbg.src) ----------------------------------
+struct LineEntry {
+  uint32_t addr = 0;
+  uint32_t file = 0; ///< index into LineMap::files
+  uint32_t line = 0;
+};
+
+/// Address→line mapping, serialized into a custom section.
+struct LineMap {
+  std::vector<std::string> files;
+  std::vector<LineEntry> entries; ///< sorted by addr
+
+  std::vector<uint8_t> serialize() const;
+  static LineMap parse(std::span<const uint8_t> bytes);
+
+  /// Index of a file name, adding it if needed.
+  uint32_t intern_file(std::string_view name);
+
+  /// Finds the entry covering `addr` (greatest entry.addr <= addr); nullptr
+  /// if none.
+  const LineEntry* lookup(uint32_t addr) const;
+};
+
+} // namespace ksim::elf

@@ -1,0 +1,68 @@
+#include "elf/loader.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::elf {
+
+const FuncInfo* LoadedImage::find_function(uint32_t addr) const {
+  const auto it = std::upper_bound(
+      functions.begin(), functions.end(), addr,
+      [](uint32_t a, const FuncInfo& f) { return a < f.addr; });
+  if (it == functions.begin()) return nullptr;
+  const FuncInfo& f = *(it - 1);
+  return f.contains(addr) ? &f : nullptr;
+}
+
+const FuncInfo* LoadedImage::find_function(std::string_view name) const {
+  for (const FuncInfo& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+std::string LoadedImage::describe(uint32_t addr) const {
+  std::string out = hex32(addr);
+  if (const FuncInfo* f = find_function(addr)) out += " in " + f->name;
+  if (const LineEntry* e = src_lines.lookup(addr))
+    out += " (" + src_lines.files[e->file] + ":" + std::to_string(e->line) + ")";
+  else if (const LineEntry* a = asm_lines.lookup(addr))
+    out += " (" + asm_lines.files[a->file] + ":" + std::to_string(a->line) + ")";
+  return out;
+}
+
+LoadedImage load_executable(const ElfFile& file, isa::ArchState& state) {
+  check(file.type == ET_EXEC, "loader: not an executable ELF file");
+
+  LoadedImage image;
+  image.entry = file.entry;
+  image.entry_isa = static_cast<int>(file.flags);
+
+  for (const Section& s : file.sections) {
+    if ((s.flags & SHF_ALLOC) == 0) continue;
+    if (s.type == SHT_PROGBITS && !s.data.empty()) {
+      state.write_block(s.addr, s.data.data(), s.data.size());
+    } else if (s.type == SHT_NOBITS && s.size > 0) {
+      check(state.in_ram(s.addr, s.size), "loader: bss outside RAM");
+      std::fill_n(state.ram_data() + s.addr, s.size, uint8_t{0});
+    }
+    image.image_end = std::max(image.image_end, s.addr + s.effective_size());
+  }
+
+  for (const Symbol& sym : file.symbols) {
+    if (st_type(sym.info) != STT_FUNC) continue;
+    image.functions.push_back({sym.name, sym.value, sym.size});
+  }
+  std::sort(image.functions.begin(), image.functions.end(),
+            [](const FuncInfo& a, const FuncInfo& b) { return a.addr < b.addr; });
+
+  if (const Section* s = file.find_section(".kdbg.asm"))
+    image.asm_lines = LineMap::parse(s->data);
+  if (const Section* s = file.find_section(".kdbg.src"))
+    image.src_lines = LineMap::parse(s->data);
+
+  return image;
+}
+
+} // namespace ksim::elf

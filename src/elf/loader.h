@@ -1,0 +1,48 @@
+// Loads a K-ISA ELF executable into simulated memory (paper §V: "The ELF
+// file is loaded into the simulated memory of the processor. The start
+// address is extracted and used to initialize the IP.") and extracts the
+// debug metadata the simulator uses for address→line mapping and profiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/elf.h"
+#include "isa/arch_state.h"
+
+namespace ksim::elf {
+
+/// A function known from the executable's symbol table (start/end addresses
+/// are stored in the ELF per paper §V-C).
+struct FuncInfo {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;
+
+  bool contains(uint32_t a) const { return a >= addr && a < addr + size; }
+};
+
+/// Everything the simulator needs to know about a loaded executable.
+struct LoadedImage {
+  uint32_t entry = 0;
+  int entry_isa = 0;      ///< from e_flags; initial active ISA
+  uint32_t image_end = 0; ///< first address past loaded data (heap start)
+  std::vector<FuncInfo> functions; ///< sorted by address
+  LineMap asm_lines;  ///< instruction address → assembly file/line
+  LineMap src_lines;  ///< instruction address → C source file/line
+
+  /// Function covering `addr`, or nullptr.
+  const FuncInfo* find_function(uint32_t addr) const;
+  const FuncInfo* find_function(std::string_view name) const;
+
+  /// Human-readable "function (file:line)" description of an address.
+  std::string describe(uint32_t addr) const;
+};
+
+/// Copies all allocatable sections into `state`'s RAM, zeroes NOBITS
+/// sections, and returns the image metadata.  Throws ksim::Error for
+/// non-executable or out-of-range images.
+LoadedImage load_executable(const ElfFile& file, isa::ArchState& state);
+
+} // namespace ksim::elf

@@ -1,0 +1,45 @@
+#include "isa/arch_state.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::isa {
+
+void ArchState::write_block(uint32_t addr, const void* data, size_t size) {
+  check(in_ram(addr, static_cast<uint32_t>(size)),
+        "write_block outside simulated RAM at " + hex32(addr));
+  std::memcpy(&ram_[addr], data, size);
+}
+
+std::string ArchState::read_cstring(uint32_t addr, size_t max_len) {
+  std::string out;
+  for (size_t i = 0; i < max_len; ++i) {
+    if (addr + i >= ram_.size()) {
+      raise_trap("string read past end of RAM at " + hex32(addr));
+      break;
+    }
+    const char c = static_cast<char>(ram_[addr + i]);
+    if (c == '\0') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+void ArchState::reset_cpu(uint32_t entry_ip, int isa_id) {
+  regs_.fill(0);
+  ip_ = entry_ip;
+  isa_id_ = isa_id;
+  trapped_ = false;
+  trap_message_.clear();
+}
+
+uint32_t ArchState::fault_load(uint32_t addr, unsigned size) {
+  raise_trap(strf("invalid %u-byte load at address %s", size, hex32(addr).c_str()));
+  return 0;
+}
+
+void ArchState::fault_store(uint32_t addr, unsigned size) {
+  raise_trap(strf("invalid %u-byte store at address %s", size, hex32(addr).c_str()));
+}
+
+} // namespace ksim::isa

@@ -1,0 +1,138 @@
+// Architectural state of a simulated KAHRISMA hardware thread: general
+// register file, instruction pointer, currently active ISA (paper §V-D
+// extends the processor state with the active ISA), and the simulated RAM.
+//
+// Memory accessors never throw in the hot path; on a fault they record a trap
+// that the interpreter surfaces with debug information (paper §IV goal 4:
+// error detection within applications).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ksim::isa {
+
+/// Default simulated RAM size (16 MiB).
+inline constexpr uint32_t kDefaultRamSize = 16u * 1024u * 1024u;
+
+/// Base address where executables are loaded.
+inline constexpr uint32_t kCodeBase = 0x1000;
+
+/// Initial stack pointer (top of RAM, 16-byte aligned, minus a red zone).
+inline constexpr uint32_t kStackTop = kDefaultRamSize - 16;
+
+class ArchState {
+public:
+  explicit ArchState(uint32_t ram_size = kDefaultRamSize) : ram_(ram_size, 0) {}
+
+  // -- registers -----------------------------------------------------------
+  uint32_t reg(unsigned index) const { return regs_[index]; }
+  void set_reg(unsigned index, uint32_t value) {
+    regs_[index] = value;
+    regs_[0] = 0; // r0 stays hardwired to zero
+  }
+
+  uint32_t ip() const { return ip_; }
+  void set_ip(uint32_t value) { ip_ = value; }
+
+  int isa_id() const { return isa_id_; }
+  void set_isa_id(int id) { isa_id_ = id; }
+
+  // -- traps -----------------------------------------------------------------
+  bool trapped() const { return trapped_; }
+  const std::string& trap_message() const { return trap_message_; }
+  void raise_trap(std::string message) {
+    if (!trapped_) {
+      trapped_ = true;
+      trap_message_ = std::move(message);
+    }
+  }
+  void clear_trap() {
+    trapped_ = false;
+    trap_message_.clear();
+  }
+
+  // -- memory ----------------------------------------------------------------
+  uint32_t ram_size() const { return static_cast<uint32_t>(ram_.size()); }
+
+  uint8_t load8(uint32_t addr) {
+    if (addr >= ram_.size()) return fault_load(addr, 1);
+    return ram_[addr];
+  }
+  uint16_t load16(uint32_t addr) {
+    if (addr + 1 >= ram_.size() || (addr & 1u)) return fault_load(addr, 2);
+    uint16_t v;
+    std::memcpy(&v, &ram_[addr], 2);
+    return v;
+  }
+  uint32_t load32(uint32_t addr) {
+    if (addr + 3 >= ram_.size() || (addr & 3u)) return fault_load(addr, 4);
+    uint32_t v;
+    std::memcpy(&v, &ram_[addr], 4);
+    return v;
+  }
+  void store8(uint32_t addr, uint8_t value) {
+    if (addr >= ram_.size()) {
+      fault_store(addr, 1);
+      return;
+    }
+    ram_[addr] = value;
+  }
+  void store16(uint32_t addr, uint16_t value) {
+    if (addr + 1 >= ram_.size() || (addr & 1u)) {
+      fault_store(addr, 2);
+      return;
+    }
+    std::memcpy(&ram_[addr], &value, 2);
+  }
+  void store32(uint32_t addr, uint32_t value) {
+    if (addr + 3 >= ram_.size() || (addr & 3u)) {
+      fault_store(addr, 4);
+      return;
+    }
+    std::memcpy(&ram_[addr], &value, 4);
+  }
+
+  /// Fetches one operation word; unlike load32 this does not trap (the caller
+  /// reports a decode error with context instead). Returns false on fault.
+  bool fetch32(uint32_t addr, uint32_t& word) const {
+    if (addr + 3 >= ram_.size() || (addr & 3u)) return false;
+    std::memcpy(&word, &ram_[addr], 4);
+    return true;
+  }
+
+  /// Bulk copy into simulated memory (ELF loading). Throws ksim::Error on
+  /// out-of-range addresses.
+  void write_block(uint32_t addr, const void* data, size_t size);
+
+  /// Reads a NUL-terminated string from simulated memory (bounded).
+  std::string read_cstring(uint32_t addr, size_t max_len = 1u << 20);
+
+  /// Direct access for the C-library emulation (memcpy/memset etc.).
+  uint8_t* ram_data() { return ram_.data(); }
+  const uint8_t* ram_data() const { return ram_.data(); }
+
+  /// True if [addr, addr+size) lies inside RAM.
+  bool in_ram(uint32_t addr, uint32_t size) const {
+    return addr < ram_.size() && size <= ram_.size() - addr;
+  }
+
+  /// Resets registers, IP, ISA and trap state (memory is preserved).
+  void reset_cpu(uint32_t entry_ip, int isa_id);
+
+private:
+  uint32_t fault_load(uint32_t addr, unsigned size);
+  void fault_store(uint32_t addr, unsigned size);
+
+  std::vector<uint8_t> ram_;
+  std::array<uint32_t, 32> regs_{};
+  uint32_t ip_ = kCodeBase;
+  int isa_id_ = 0;
+  bool trapped_ = false;
+  std::string trap_message_;
+};
+
+} // namespace ksim::isa

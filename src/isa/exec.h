@@ -1,0 +1,118 @@
+// Execution interface between decoded operations and simulation functions.
+//
+// The paper executes the operations of a VLIW instruction so that *all*
+// source registers are read before *any* result is written (§V-B, realised
+// there by recursive simulation-function calls).  We realise the same
+// semantics iteratively in two phases: every simulation function pushes its
+// register results into a write-back buffer; the interpreter commits the
+// buffer after all slots of the instruction have executed.  Memory accesses
+// happen in program (slot) order, matching the paper's memory model (§VI-C,
+// point 3).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/arch_state.h"
+#include "isa/optable.h"
+
+namespace ksim::isa {
+
+/// Maximum operations per instruction (8-issue VLIW).
+inline constexpr int kMaxSlots = 8;
+
+/// One fully decoded operation (part of a decode structure, §V).
+struct DecodedOp {
+  ExecFn fn = nullptr;
+  const OpInfo* info = nullptr;
+  uint8_t rd = 0;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  int32_t imm = 0;
+};
+
+/// A decode structure (paper §V): one decoded instruction, i.e. all parallel
+/// operations plus the instruction-prediction link (§V-A).
+struct DecodedInstr {
+  uint32_t addr = 0;
+  uint8_t num_ops = 0;
+  uint8_t size_bytes = 0;
+  int16_t isa_id = 0;
+  DecodedOp ops[kMaxSlots];
+
+  // Instruction prediction: IP and decode structure of the (predicted)
+  // following instruction, updated like a 1-bit branch predictor.
+  uint32_t pred_ip = 0xFFFFFFFFu;
+  const DecodedInstr* pred_next = nullptr;
+};
+
+/// Memory access performed by one slot (input to the cycle models).
+struct MemAccessInfo {
+  uint32_t addr = 0;
+  uint8_t size = 0;
+  bool is_store = false;
+  bool valid = false;
+};
+
+struct ExecCtx;
+
+/// Hook implementing the emulated C standard library (§V-E). The immediate
+/// operand of SIMOP selects the library function.
+class SimOpHandler {
+public:
+  virtual ~SimOpHandler() = default;
+  virtual void handle(int op_number, ExecCtx& ctx) = 0;
+};
+
+/// Deferred register write.
+struct WbEntry {
+  uint8_t reg = 0;
+  uint32_t value = 0;
+};
+
+/// Per-instruction execution context handed to simulation functions.
+struct ExecCtx {
+  ArchState* st = nullptr;
+  const DecodedOp* op = nullptr; ///< operation currently executing
+  int slot = 0;                  ///< slot index of that operation
+  uint32_t seq_next_ip = 0;      ///< address of the next sequential instruction
+
+  bool branch_taken = false;
+  uint32_t branch_target = 0;
+  bool halt = false;
+  bool isa_switch = false;
+  int new_isa = 0;
+
+  SimOpHandler* simop = nullptr;
+
+  int wb_count = 0;
+  WbEntry wb[kMaxSlots * 2]; ///< explicit dst + implicit link writes
+
+  MemAccessInfo mem[kMaxSlots];
+
+  /// Resets the per-instruction state (cheap; called before every instruction).
+  void begin_instruction(uint32_t next_ip) {
+    seq_next_ip = next_ip;
+    branch_taken = false;
+    halt = false;
+    isa_switch = false;
+    wb_count = 0;
+    for (auto& m : mem) m.valid = false;
+  }
+
+  void write_reg(uint8_t reg, uint32_t value) {
+    wb[wb_count].reg = reg;
+    wb[wb_count].value = value;
+    ++wb_count;
+  }
+
+  void record_mem(uint32_t addr, uint8_t size, bool is_store) {
+    mem[slot] = {addr, size, is_store, true};
+  }
+
+  void take_branch(uint32_t target) {
+    branch_taken = true;
+    branch_target = target;
+  }
+};
+
+} // namespace ksim::isa

@@ -1,0 +1,38 @@
+#include "isa/kisa.h"
+
+#include "adl/parser.h"
+#include "isa/kisa_adl.h"
+#include "isa/targetgen.h"
+#include "support/error.h"
+
+namespace ksim::isa {
+
+const IsaSet& kisa() {
+  static const IsaSet set = TargetGen::build(adl::parse_adl_or_throw(kisa_adl_text(), "kisa.adl"));
+  return set;
+}
+
+std::string_view libc_op_name(LibcOp op) {
+  switch (op) {
+    case LibcOp::kExit: return "exit";
+    case LibcOp::kPutchar: return "putchar";
+    case LibcOp::kPuts: return "puts";
+    case LibcOp::kPrintf: return "printf";
+    case LibcOp::kMalloc: return "malloc";
+    case LibcOp::kFree: return "free";
+    case LibcOp::kMemcpy: return "memcpy";
+    case LibcOp::kMemset: return "memset";
+    case LibcOp::kStrlen: return "strlen";
+    case LibcOp::kStrcmp: return "strcmp";
+    case LibcOp::kStrcpy: return "strcpy";
+    case LibcOp::kRand: return "rand";
+    case LibcOp::kSrand: return "srand";
+    case LibcOp::kAbort: return "abort";
+    case LibcOp::kPutInt: return "put_int";
+    case LibcOp::kPutHex: return "put_hex";
+    case LibcOp::kCount: break;
+  }
+  throw Error("libc_op_name: invalid LibcOp");
+}
+
+} // namespace ksim::isa

@@ -1,0 +1,63 @@
+// Convenience access to the built K-ISA family plus the software ABI
+// (calling convention, emulated C-library operation numbers).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "isa/optable.h"
+
+namespace ksim::isa {
+
+/// The K-ISA operation tables, built once from the embedded ADL description.
+const IsaSet& kisa();
+
+/// ISA identification numbers (SWITCHTARGET operands), as declared in the ADL.
+enum KIsaId : int {
+  kIsaRisc = 0,
+  kIsaVliw2 = 1,
+  kIsaVliw4 = 2,
+  kIsaVliw6 = 3,
+  kIsaVliw8 = 4,
+};
+
+/// Calling convention register assignments.
+namespace abi {
+inline constexpr unsigned kZero = 0; ///< hardwired zero
+inline constexpr unsigned kRa = 1;   ///< return address (JAL link register)
+inline constexpr unsigned kSp = 2;   ///< stack pointer
+inline constexpr unsigned kTmp = 3;  ///< assembler/compiler scratch
+inline constexpr unsigned kArg0 = 4; ///< first argument & return value
+inline constexpr unsigned kNumArgRegs = 6; ///< r4..r9 carry arguments
+inline constexpr unsigned kFirstCalleeSaved = 18; ///< r18..r31 are callee-saved
+inline constexpr unsigned kNumRegs = 32;
+} // namespace abi
+
+/// Emulated C standard library functions (immediates of SIMOP, paper §V-E).
+enum class LibcOp : int {
+  kExit = 0,
+  kPutchar = 1,
+  kPuts = 2,
+  kPrintf = 3,
+  kMalloc = 4,
+  kFree = 5,
+  kMemcpy = 6,
+  kMemset = 7,
+  kStrlen = 8,
+  kStrcmp = 9,
+  kStrcpy = 10,
+  kRand = 11,
+  kSrand = 12,
+  kAbort = 13,
+  kPutInt = 14, ///< print one int and a newline (cheap diagnostic output)
+  kPutHex = 15, ///< print one value as 0x%08x and a newline
+  kCount
+};
+
+/// Name of an emulated library function as a linker symbol.
+std::string_view libc_op_name(LibcOp op);
+
+/// Number of emulated library functions.
+inline constexpr int kNumLibcOps = static_cast<int>(LibcOp::kCount);
+
+} // namespace ksim::isa

@@ -1,0 +1,106 @@
+#include "isa/kisa_adl.h"
+
+namespace ksim::isa {
+
+std::string_view kisa_adl_text() {
+  static constexpr std::string_view kText = R"ADL(
+# K-ISA: reconstructed KAHRISMA ISA family.
+# Operation word layout: [31] stop bit, [30:25] opcode, rest per format.
+adl kisa
+stopbit 31
+opcodefield 30:25
+
+# ISA configurations (id is the SWITCHTARGET operand).
+isa RISC  id=0 issue=1 default
+isa VLIW2 id=1 issue=2
+isa VLIW4 id=2 issue=4
+isa VLIW6 id=3 issue=6
+isa VLIW8 id=4 issue=8
+
+# Register file: 32 general registers, r0 hardwired to zero, plus IP.
+regfile r count=32 zero=0
+reg IP
+
+# Instruction formats.
+format R  fields=rd:24:20,ra:19:15,rb:14:10,funct:9:4
+format I  fields=rd:24:20,ra:19:15,imm:14:0:s
+format B  fields=ra:24:20,rb:19:15,imm:14:0:s
+format U  fields=rd:24:20,imm:15:0:u
+format J  fields=imm:24:0:u
+format S  fields=imm:14:0:u
+
+# --- register-register ALU operations (opcode 0, selected by funct) --------
+op ADD   format=R match=opcode:0,funct:0  sem=add   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SUB   format=R match=opcode:0,funct:1  sem=sub   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op AND   format=R match=opcode:0,funct:2  sem=and   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op OR    format=R match=opcode:0,funct:3  sem=or    delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op XOR   format=R match=opcode:0,funct:4  sem=xor   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op NOR   format=R match=opcode:0,funct:5  sem=nor   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SLL   format=R match=opcode:0,funct:6  sem=sll   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SRL   format=R match=opcode:0,funct:7  sem=srl   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SRA   format=R match=opcode:0,funct:8  sem=sra   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SLT   format=R match=opcode:0,funct:9  sem=slt   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SLTU  format=R match=opcode:0,funct:10 sem=sltu  delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SEQ   format=R match=opcode:0,funct:11 sem=seq   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SNE   format=R match=opcode:0,funct:12 sem=sne   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SLE   format=R match=opcode:0,funct:13 sem=sle   delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SLEU  format=R match=opcode:0,funct:14 sem=sleu  delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op MUL   format=R match=opcode:0,funct:15 sem=mul   delay=3 reads=ra,rb writes=rd syntax=rd,ra,rb
+op MULH  format=R match=opcode:0,funct:16 sem=mulh  delay=3 reads=ra,rb writes=rd syntax=rd,ra,rb
+op MULHU format=R match=opcode:0,funct:17 sem=mulhu delay=3 reads=ra,rb writes=rd syntax=rd,ra,rb
+op DIV   format=R match=opcode:0,funct:18 sem=div   delay=12 reads=ra,rb writes=rd syntax=rd,ra,rb
+op DIVU  format=R match=opcode:0,funct:19 sem=divu  delay=12 reads=ra,rb writes=rd syntax=rd,ra,rb
+op REM   format=R match=opcode:0,funct:20 sem=rem   delay=12 reads=ra,rb writes=rd syntax=rd,ra,rb
+op REMU  format=R match=opcode:0,funct:21 sem=remu  delay=12 reads=ra,rb writes=rd syntax=rd,ra,rb
+
+# --- immediate ALU operations ----------------------------------------------
+op ADDI  format=I match=opcode:1  sem=addi  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op ANDI  format=I match=opcode:2  sem=andi  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op ORI   format=I match=opcode:3  sem=ori   delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op XORI  format=I match=opcode:4  sem=xori  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op SLLI  format=I match=opcode:5  sem=slli  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op SRLI  format=I match=opcode:6  sem=srli  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op SRAI  format=I match=opcode:7  sem=srai  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op SLTI  format=I match=opcode:8  sem=slti  delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op SLTIU format=I match=opcode:9  sem=sltiu delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op LUI   format=U match=opcode:10 sem=lui   delay=1 writes=rd syntax=rd,imm
+op ORLO  format=U match=opcode:11 sem=orlo  delay=1 reads=rd writes=rd syntax=rd,imm
+
+# --- memory operations -------------------------------------------------------
+op LB    format=I match=opcode:12 sem=lb  delay=mem mem=load  reads=ra writes=rd syntax=rd,imm(ra)
+op LBU   format=I match=opcode:13 sem=lbu delay=mem mem=load  reads=ra writes=rd syntax=rd,imm(ra)
+op LH    format=I match=opcode:14 sem=lh  delay=mem mem=load  reads=ra writes=rd syntax=rd,imm(ra)
+op LHU   format=I match=opcode:15 sem=lhu delay=mem mem=load  reads=ra writes=rd syntax=rd,imm(ra)
+op LW    format=I match=opcode:16 sem=lw  delay=mem mem=load  reads=ra writes=rd syntax=rd,imm(ra)
+op SB    format=I match=opcode:17 sem=sb  delay=mem mem=store reads=rd,ra syntax=rd,imm(ra)
+op SH    format=I match=opcode:18 sem=sh  delay=mem mem=store reads=rd,ra syntax=rd,imm(ra)
+op SW    format=I match=opcode:19 sem=sw  delay=mem mem=store reads=rd,ra syntax=rd,imm(ra)
+
+# --- control transfer --------------------------------------------------------
+op BEQ   format=B match=opcode:20 sem=beq  delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op BNE   format=B match=opcode:21 sem=bne  delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op BLT   format=B match=opcode:22 sem=blt  delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op BGE   format=B match=opcode:23 sem=bge  delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op BLTU  format=B match=opcode:24 sem=bltu delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op BGEU  format=B match=opcode:25 sem=bgeu delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op J     format=J match=opcode:26 sem=j    delay=1 branch iwrites=IP syntax=imm reloc=abs25
+op JAL   format=J match=opcode:27 sem=jal  delay=1 branch call iwrites=IP,r1 syntax=imm reloc=abs25
+op JR    format=R match=opcode:28,funct:0 sem=jr   delay=1 branch ret reads=ra iwrites=IP syntax=ra
+op JALR  format=R match=opcode:29,funct:0 sem=jalr delay=1 branch call reads=ra writes=rd iwrites=IP syntax=rd,ra
+
+# --- system operations -------------------------------------------------------
+# SWITCHTARGET reconfigures the active ISA (paper V-D).  It is encoded
+# identically in every ISA and always terminates its instruction, so mixed-ISA
+# control flow can cross ISA boundaries.
+op SWITCHTARGET format=S match=opcode:30 sem=switchtarget delay=1 serial iwrites=IP syntax=imm
+# SIMOP invokes an emulated C standard library function (paper V-E); the
+# function number is the immediate.  Arguments/result follow the calling
+# convention (r4..r9 in, r4 out).
+op SIMOP format=S match=opcode:31 sem=simop delay=1 serial ireads=r4,r5,r6,r7,r8,r9 iwrites=r4 syntax=imm
+op HALT  format=S match=opcode:32 sem=halt delay=1 serial syntax=
+op NOP   format=S match=opcode:33 sem=nop  delay=1 syntax=
+)ADL";
+  return kText;
+}
+
+} // namespace ksim::isa

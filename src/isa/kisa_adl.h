@@ -1,0 +1,22 @@
+// The reconstructed KAHRISMA ISA family ("K-ISA") as an ADL description.
+//
+// The original KAHRISMA ADL was a project-internal artifact.  K-ISA is a
+// reconstruction with the properties the paper relies on:
+//  * 32-bit operation words with a stop bit marking the end of an instruction,
+//  * a RISC ISA (1 operation per instruction) and 2/4/6/8-issue VLIW ISAs,
+//  * 32 general registers (r0 hardwired to zero) plus the instruction pointer,
+//  * detection by constant fields (opcode, and funct for register-register
+//    operations),
+//  * implicit registers (e.g. every branch writes IP, JAL writes r1),
+//  * a SWITCHTARGET operation for run-time ISA reconfiguration (§V-D) and a
+//    SIMOP operation carrying emulated C-library calls (§V-E).
+#pragma once
+
+#include <string_view>
+
+namespace ksim::isa {
+
+/// Returns the complete ADL source text for the K-ISA family.
+std::string_view kisa_adl_text();
+
+} // namespace ksim::isa

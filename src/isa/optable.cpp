@@ -1,0 +1,55 @@
+#include "isa/optable.h"
+
+#include "support/bits.h"
+
+namespace ksim::isa {
+
+uint32_t OpField::extract(uint32_t word) const {
+  const uint32_t raw = extract_bits(word, hi, lo);
+  if (is_signed) return static_cast<uint32_t>(sign_extend(raw, hi - lo + 1u));
+  return raw;
+}
+
+const IsaInfo* IsaSet::find_isa(int id) const {
+  for (const IsaInfo& i : isas_)
+    if (i.id == id) return &i;
+  return nullptr;
+}
+
+const IsaInfo* IsaSet::find_isa(std::string_view name) const {
+  for (const IsaInfo& i : isas_)
+    if (i.name == name) return &i;
+  return nullptr;
+}
+
+const IsaInfo& IsaSet::default_isa() const {
+  for (const IsaInfo& i : isas_)
+    if (i.is_default) return i;
+  return isas_.front();
+}
+
+const OpInfo* IsaSet::find_op(std::string_view name) const {
+  for (const OpInfo* op : all_op_ptrs_)
+    if (op->name == name) return op;
+  return nullptr;
+}
+
+const OpInfo* IsaSet::detect(const IsaInfo& isa, uint32_t word) const {
+  // Deliberately the generic process of the paper's framework: for every
+  // operation of the active ISA's table, extract each constant field of the
+  // operation word and compare it (this cost is what the decode cache of
+  // SV-A amortizes away).
+  for (const OpInfo* op : isa.ops) {
+    bool match = true;
+    for (const OpInfo::MatchField& m : op->match_fields) {
+      if (m.field.extract(word) != m.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return op;
+  }
+  return nullptr;
+}
+
+} // namespace ksim::isa

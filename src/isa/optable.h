@@ -1,0 +1,131 @@
+// Runtime operation tables — the data structures the paper's TargetGen
+// utility generates from the ADL (§V, Fig. 3): one operation table per ISA,
+// each entry holding the operation's name, size, fields, implicit registers
+// and a pointer to its simulation function.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/model.h"
+
+namespace ksim::isa {
+
+struct ExecCtx;
+using ExecFn = void (*)(ExecCtx&);
+
+/// Register index of the instruction pointer in implicit-register masks.
+inline constexpr unsigned kIpRegIndex = 32;
+
+/// Canonical operand field of an operation word.
+struct OpField {
+  uint8_t hi = 0;
+  uint8_t lo = 0;
+  bool valid = false;
+  bool is_signed = false;
+
+  uint32_t extract(uint32_t word) const;
+};
+
+/// One operation of the architecture, fully resolved for simulation.
+struct OpInfo {
+  std::string name;
+  uint16_t index = 0; ///< dense index over all operations (trace/stat arrays)
+
+  // Detection: constant fields (paper: "checking the constant fields for each
+  // operation of the current active ISA").  Detection walks `match_fields`
+  // generically, extracting and comparing one field at a time, exactly as a
+  // retargetable, ADL-driven simulator must; `match_mask`/`match_bits` are the
+  // fused form kept for encoders and consistency checks.
+  struct MatchField {
+    OpField field;
+    uint32_t value = 0;
+  };
+  std::vector<MatchField> match_fields;
+  uint32_t match_mask = 0;
+  uint32_t match_bits = 0;
+
+  // Canonical operand fields.  K-ISA operations have at most three register
+  // operands (rd/ra/rb) and one immediate.
+  OpField f_rd, f_ra, f_rb, f_imm;
+  bool rd_is_dst = false;
+  bool rd_is_src = false;
+  bool ra_is_src = false;
+  bool rb_is_src = false;
+
+  int delay = 1; ///< latency in cycles; adl::kDelayMem = memory model
+  adl::MemKind mem = adl::MemKind::None;
+  bool is_branch = false;
+  bool is_call = false;
+  bool is_ret = false;
+  bool serial_only = false;
+
+  uint64_t implicit_reads = 0;  ///< bit i = register i (bit 32 = IP)
+  uint64_t implicit_writes = 0;
+
+  adl::RelocKind reloc = adl::RelocKind::None;
+  std::vector<std::string> syntax; ///< assembler operand pattern
+
+  ExecFn fn = nullptr;
+  const adl::OperationDef* def = nullptr;
+
+  bool is_load() const { return mem == adl::MemKind::Load; }
+  bool is_store() const { return mem == adl::MemKind::Store; }
+  bool uses_memory_model() const { return delay == adl::kDelayMem; }
+};
+
+/// The operation table of one ISA configuration.
+struct IsaInfo {
+  std::string name;
+  int id = 0;
+  int issue_width = 1;
+  bool is_default = false;
+  std::vector<const OpInfo*> ops; ///< operations valid in this ISA
+};
+
+/// All ISAs of an architecture plus shared metadata.
+class IsaSet {
+public:
+  IsaSet() = default;
+  IsaSet(IsaSet&&) = default;
+  IsaSet& operator=(IsaSet&&) = default;
+
+  const adl::AdlModel& model() const { return model_; }
+  uint8_t stop_bit() const { return stop_bit_; }
+  int register_count() const { return register_count_; }
+  int zero_register() const { return zero_register_; }
+
+  const std::vector<IsaInfo>& isas() const { return isas_; }
+  const IsaInfo* find_isa(int id) const;
+  const IsaInfo* find_isa(std::string_view name) const;
+  const IsaInfo& default_isa() const;
+  int max_isa_id() const { return max_isa_id_; }
+
+  /// All operations (superset over all ISAs), in ADL order.
+  const std::vector<const OpInfo*>& all_ops() const { return all_op_ptrs_; }
+  const OpInfo* find_op(std::string_view name) const;
+
+  /// Detects the operation encoded in `word` using the given ISA's table.
+  /// Returns nullptr when no constant-field pattern matches.  This is the
+  /// deliberately simple linear scan the decode cache amortises (§V-A).
+  const OpInfo* detect(const IsaInfo& isa, uint32_t word) const;
+
+  /// True if `word` has the stop bit set (last operation of an instruction).
+  bool is_stop(uint32_t word) const { return ((word >> stop_bit_) & 1u) != 0; }
+
+private:
+  friend class TargetGen;
+
+  adl::AdlModel model_;
+  uint8_t stop_bit_ = 31;
+  int register_count_ = 32;
+  int zero_register_ = 0;
+  int max_isa_id_ = 0;
+  std::vector<std::unique_ptr<OpInfo>> ops_;
+  std::vector<const OpInfo*> all_op_ptrs_;
+  std::vector<IsaInfo> isas_;
+};
+
+} // namespace ksim::isa

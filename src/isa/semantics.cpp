@@ -1,0 +1,232 @@
+#include "isa/semantics.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace ksim::isa {
+namespace {
+
+// Shorthands for operand access inside simulation functions.  All reads go
+// through the architectural register file (values before the instruction);
+// all register writes go through the write-back buffer (committed after all
+// slots executed), implementing the read-before-write semantics of §V-B.
+inline uint32_t ra(ExecCtx& c) { return c.st->reg(c.op->ra); }
+inline uint32_t rb(ExecCtx& c) { return c.st->reg(c.op->rb); }
+inline uint32_t rd_in(ExecCtx& c) { return c.st->reg(c.op->rd); }
+inline int32_t imm(ExecCtx& c) { return c.op->imm; }
+inline void out(ExecCtx& c, uint32_t v) { c.write_reg(c.op->rd, v); }
+
+inline int32_t s(uint32_t v) { return static_cast<int32_t>(v); }
+
+// --- register-register ALU ---------------------------------------------------
+void sem_add(ExecCtx& c) { out(c, ra(c) + rb(c)); }
+void sem_sub(ExecCtx& c) { out(c, ra(c) - rb(c)); }
+void sem_and(ExecCtx& c) { out(c, ra(c) & rb(c)); }
+void sem_or(ExecCtx& c) { out(c, ra(c) | rb(c)); }
+void sem_xor(ExecCtx& c) { out(c, ra(c) ^ rb(c)); }
+void sem_nor(ExecCtx& c) { out(c, ~(ra(c) | rb(c))); }
+void sem_sll(ExecCtx& c) { out(c, ra(c) << (rb(c) & 31u)); }
+void sem_srl(ExecCtx& c) { out(c, ra(c) >> (rb(c) & 31u)); }
+void sem_sra(ExecCtx& c) { out(c, static_cast<uint32_t>(s(ra(c)) >> (rb(c) & 31u))); }
+void sem_slt(ExecCtx& c) { out(c, s(ra(c)) < s(rb(c)) ? 1u : 0u); }
+void sem_sltu(ExecCtx& c) { out(c, ra(c) < rb(c) ? 1u : 0u); }
+void sem_seq(ExecCtx& c) { out(c, ra(c) == rb(c) ? 1u : 0u); }
+void sem_sne(ExecCtx& c) { out(c, ra(c) != rb(c) ? 1u : 0u); }
+void sem_sle(ExecCtx& c) { out(c, s(ra(c)) <= s(rb(c)) ? 1u : 0u); }
+void sem_sleu(ExecCtx& c) { out(c, ra(c) <= rb(c) ? 1u : 0u); }
+void sem_mul(ExecCtx& c) { out(c, ra(c) * rb(c)); }
+void sem_mulh(ExecCtx& c) {
+  const int64_t p = static_cast<int64_t>(s(ra(c))) * static_cast<int64_t>(s(rb(c)));
+  out(c, static_cast<uint32_t>(static_cast<uint64_t>(p) >> 32));
+}
+void sem_mulhu(ExecCtx& c) {
+  const uint64_t p = static_cast<uint64_t>(ra(c)) * static_cast<uint64_t>(rb(c));
+  out(c, static_cast<uint32_t>(p >> 32));
+}
+void sem_div(ExecCtx& c) {
+  const int32_t d = s(rb(c));
+  if (d == 0) {
+    c.st->raise_trap("integer division by zero");
+    return;
+  }
+  const int32_t n = s(ra(c));
+  if (n == INT32_MIN && d == -1) {
+    out(c, static_cast<uint32_t>(INT32_MIN)); // wraps, like most hardware
+    return;
+  }
+  out(c, static_cast<uint32_t>(n / d));
+}
+void sem_divu(ExecCtx& c) {
+  const uint32_t d = rb(c);
+  if (d == 0) {
+    c.st->raise_trap("integer division by zero");
+    return;
+  }
+  out(c, ra(c) / d);
+}
+void sem_rem(ExecCtx& c) {
+  const int32_t d = s(rb(c));
+  if (d == 0) {
+    c.st->raise_trap("integer remainder by zero");
+    return;
+  }
+  const int32_t n = s(ra(c));
+  if (n == INT32_MIN && d == -1) {
+    out(c, 0);
+    return;
+  }
+  out(c, static_cast<uint32_t>(n % d));
+}
+void sem_remu(ExecCtx& c) {
+  const uint32_t d = rb(c);
+  if (d == 0) {
+    c.st->raise_trap("integer remainder by zero");
+    return;
+  }
+  out(c, ra(c) % d);
+}
+
+// --- immediate ALU -------------------------------------------------------------
+void sem_addi(ExecCtx& c) { out(c, ra(c) + static_cast<uint32_t>(imm(c))); }
+void sem_andi(ExecCtx& c) { out(c, ra(c) & static_cast<uint32_t>(imm(c))); }
+void sem_ori(ExecCtx& c) { out(c, ra(c) | static_cast<uint32_t>(imm(c))); }
+void sem_xori(ExecCtx& c) { out(c, ra(c) ^ static_cast<uint32_t>(imm(c))); }
+void sem_slli(ExecCtx& c) { out(c, ra(c) << (static_cast<uint32_t>(imm(c)) & 31u)); }
+void sem_srli(ExecCtx& c) { out(c, ra(c) >> (static_cast<uint32_t>(imm(c)) & 31u)); }
+void sem_srai(ExecCtx& c) {
+  out(c, static_cast<uint32_t>(s(ra(c)) >> (static_cast<uint32_t>(imm(c)) & 31u)));
+}
+void sem_slti(ExecCtx& c) { out(c, s(ra(c)) < imm(c) ? 1u : 0u); }
+void sem_sltiu(ExecCtx& c) { out(c, ra(c) < static_cast<uint32_t>(imm(c)) ? 1u : 0u); }
+void sem_lui(ExecCtx& c) { out(c, static_cast<uint32_t>(imm(c)) << 16); }
+void sem_orlo(ExecCtx& c) { out(c, rd_in(c) | (static_cast<uint32_t>(imm(c)) & 0xFFFFu)); }
+
+// --- memory ----------------------------------------------------------------------
+inline uint32_t ea(ExecCtx& c) { return ra(c) + static_cast<uint32_t>(imm(c)); }
+
+void sem_lb(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 1, false);
+  out(c, static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(c.st->load8(a)))));
+}
+void sem_lbu(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 1, false);
+  out(c, c.st->load8(a));
+}
+void sem_lh(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 2, false);
+  out(c, static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(c.st->load16(a)))));
+}
+void sem_lhu(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 2, false);
+  out(c, c.st->load16(a));
+}
+void sem_lw(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 4, false);
+  out(c, c.st->load32(a));
+}
+void sem_sb(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 1, true);
+  c.st->store8(a, static_cast<uint8_t>(rd_in(c)));
+}
+void sem_sh(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 2, true);
+  c.st->store16(a, static_cast<uint16_t>(rd_in(c)));
+}
+void sem_sw(ExecCtx& c) {
+  const uint32_t a = ea(c);
+  c.record_mem(a, 4, true);
+  c.st->store32(a, rd_in(c));
+}
+
+// --- control transfer ---------------------------------------------------------
+// Branch targets are relative to the next sequential instruction, in units of
+// operation words.
+inline uint32_t branch_target(ExecCtx& c) {
+  return c.seq_next_ip + (static_cast<uint32_t>(imm(c)) << 2);
+}
+
+void sem_beq(ExecCtx& c) {
+  if (ra(c) == rb(c)) c.take_branch(branch_target(c));
+}
+void sem_bne(ExecCtx& c) {
+  if (ra(c) != rb(c)) c.take_branch(branch_target(c));
+}
+void sem_blt(ExecCtx& c) {
+  if (s(ra(c)) < s(rb(c))) c.take_branch(branch_target(c));
+}
+void sem_bge(ExecCtx& c) {
+  if (s(ra(c)) >= s(rb(c))) c.take_branch(branch_target(c));
+}
+void sem_bltu(ExecCtx& c) {
+  if (ra(c) < rb(c)) c.take_branch(branch_target(c));
+}
+void sem_bgeu(ExecCtx& c) {
+  if (ra(c) >= rb(c)) c.take_branch(branch_target(c));
+}
+void sem_j(ExecCtx& c) { c.take_branch(static_cast<uint32_t>(imm(c)) << 2); }
+void sem_jal(ExecCtx& c) {
+  c.write_reg(1, c.seq_next_ip); // link register r1 (implicit write)
+  c.take_branch(static_cast<uint32_t>(imm(c)) << 2);
+}
+void sem_jr(ExecCtx& c) { c.take_branch(ra(c)); }
+void sem_jalr(ExecCtx& c) {
+  c.write_reg(c.op->rd, c.seq_next_ip);
+  c.take_branch(ra(c));
+}
+
+// --- system ----------------------------------------------------------------------
+void sem_switchtarget(ExecCtx& c) {
+  c.isa_switch = true;
+  c.new_isa = imm(c);
+}
+void sem_simop(ExecCtx& c) {
+  if (c.simop == nullptr) {
+    c.st->raise_trap("SIMOP executed but no C-library emulation installed");
+    return;
+  }
+  c.simop->handle(imm(c), c);
+}
+void sem_halt(ExecCtx& c) { c.halt = true; }
+void sem_nop(ExecCtx&) {}
+
+const std::unordered_map<std::string, ExecFn>& registry() {
+  static const std::unordered_map<std::string, ExecFn> kMap = {
+      {"add", sem_add},   {"sub", sem_sub},     {"and", sem_and},
+      {"or", sem_or},     {"xor", sem_xor},     {"nor", sem_nor},
+      {"sll", sem_sll},   {"srl", sem_srl},     {"sra", sem_sra},
+      {"slt", sem_slt},   {"sltu", sem_sltu},   {"seq", sem_seq},
+      {"sne", sem_sne},   {"sle", sem_sle},     {"sleu", sem_sleu},
+      {"mul", sem_mul},   {"mulh", sem_mulh},   {"mulhu", sem_mulhu},
+      {"div", sem_div},   {"divu", sem_divu},   {"rem", sem_rem},
+      {"remu", sem_remu}, {"addi", sem_addi},   {"andi", sem_andi},
+      {"ori", sem_ori},   {"xori", sem_xori},   {"slli", sem_slli},
+      {"srli", sem_srli}, {"srai", sem_srai},   {"slti", sem_slti},
+      {"sltiu", sem_sltiu},{"lui", sem_lui},    {"orlo", sem_orlo},
+      {"lb", sem_lb},     {"lbu", sem_lbu},     {"lh", sem_lh},
+      {"lhu", sem_lhu},   {"lw", sem_lw},       {"sb", sem_sb},
+      {"sh", sem_sh},     {"sw", sem_sw},       {"beq", sem_beq},
+      {"bne", sem_bne},   {"blt", sem_blt},     {"bge", sem_bge},
+      {"bltu", sem_bltu}, {"bgeu", sem_bgeu},   {"j", sem_j},
+      {"jal", sem_jal},   {"jr", sem_jr},       {"jalr", sem_jalr},
+      {"switchtarget", sem_switchtarget},       {"simop", sem_simop},
+      {"halt", sem_halt}, {"nop", sem_nop},
+  };
+  return kMap;
+}
+
+} // namespace
+
+ExecFn find_semantic(std::string_view name) {
+  const auto& map = registry();
+  const auto it = map.find(std::string(name));
+  return it == map.end() ? nullptr : it->second;
+}
+
+} // namespace ksim::isa

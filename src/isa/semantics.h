@@ -1,0 +1,20 @@
+// Registry of simulation functions.
+//
+// In the paper, TargetGen generates one C++ simulation function per operation
+// from a code fragment embedded in the ADL.  Here the function bodies live in
+// this registry and the ADL references them by name (sem= attribute); the
+// TargetGen equivalent (src/isa/targetgen.h) binds names to function pointers
+// when it builds the operation tables.  See DESIGN.md §2 for why this
+// substitution is behaviour-preserving.
+#pragma once
+
+#include <string_view>
+
+#include "isa/exec.h"
+
+namespace ksim::isa {
+
+/// Looks up a simulation function by its ADL name; nullptr if unknown.
+ExecFn find_semantic(std::string_view name);
+
+} // namespace ksim::isa

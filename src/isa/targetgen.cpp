@@ -1,0 +1,194 @@
+#include "isa/targetgen.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/semantics.h"
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::isa {
+namespace {
+
+uint32_t field_mask(uint8_t hi, uint8_t lo) {
+  uint32_t m = 0;
+  for (uint8_t b = lo; b <= hi; ++b) m |= (1u << b);
+  return m;
+}
+
+OpField to_opfield(const adl::FieldDef& f) {
+  OpField of;
+  of.hi = f.hi;
+  of.lo = f.lo;
+  of.valid = true;
+  of.is_signed = f.is_signed;
+  return of;
+}
+
+uint64_t register_mask(const adl::AdlModel& model, const std::vector<std::string>& names) {
+  uint64_t mask = 0;
+  for (const std::string& n : names) {
+    const adl::RegisterDef* r = model.find_register(n);
+    check(r != nullptr, "TargetGen: unknown register " + n);
+    mask |= (uint64_t{1} << static_cast<unsigned>(r->index));
+  }
+  return mask;
+}
+
+} // namespace
+
+IsaSet TargetGen::build(adl::AdlModel model) {
+  return build(std::move(model), [](std::string_view name) { return find_semantic(name); });
+}
+
+IsaSet TargetGen::build(adl::AdlModel model, const SemanticResolver& resolver) {
+  IsaSet set;
+  set.stop_bit_ = model.stop_bit;
+  set.register_count_ = model.general_register_count();
+  check(set.register_count_ > 0 && set.register_count_ <= 32,
+        "TargetGen: register count must be in 1..32");
+  set.zero_register_ = 0;
+  for (const adl::RegisterDef& r : model.registers)
+    if (r.is_zero) set.zero_register_ = r.index;
+
+  check(!model.isas.empty(), "TargetGen: model has no ISAs");
+  check(model.opcode_field.hi >= model.opcode_field.lo,
+        "TargetGen: model has no opcode field");
+
+  // Build OpInfo entries.
+  uint16_t index = 0;
+  for (const adl::OperationDef& def : model.operations) {
+    const adl::FormatDef* fmt = model.find_format(def.format);
+    check(fmt != nullptr, "TargetGen: op " + def.name + " has unknown format");
+
+    auto op = std::make_unique<OpInfo>();
+    op->name = def.name;
+    op->index = index++;
+
+    for (const adl::MatchDef& m : def.match) {
+      const adl::FieldDef* f =
+          m.field == "opcode" ? &model.opcode_field : fmt->find_field(m.field);
+      check(f != nullptr, "TargetGen: op " + def.name + " matches unknown field " + m.field);
+      check(fits_unsigned(m.value, f->width()),
+            "TargetGen: op " + def.name + " match value too wide for field " + m.field);
+      op->match_mask |= field_mask(f->hi, f->lo);
+      op->match_bits |= (m.value << f->lo);
+      OpInfo::MatchField mf;
+      mf.field = to_opfield(*f);
+      mf.field.is_signed = false;
+      mf.value = m.value;
+      op->match_fields.push_back(mf);
+    }
+
+    for (const adl::FieldDef& f : fmt->fields) {
+      if (f.name == "rd")
+        op->f_rd = to_opfield(f);
+      else if (f.name == "ra")
+        op->f_ra = to_opfield(f);
+      else if (f.name == "rb")
+        op->f_rb = to_opfield(f);
+      else if (f.name == "imm")
+        op->f_imm = to_opfield(f);
+      else if (f.name != "funct")
+        throw Error("TargetGen: op " + def.name + " uses non-canonical field " + f.name +
+                    " (K-ISA operations are limited to rd/ra/rb/imm/funct)");
+    }
+
+    for (const std::string& r : def.reads) {
+      if (r == "rd")
+        op->rd_is_src = true;
+      else if (r == "ra")
+        op->ra_is_src = true;
+      else if (r == "rb")
+        op->rb_is_src = true;
+      else
+        throw Error("TargetGen: op " + def.name + " reads non-register field " + r);
+    }
+    for (const std::string& w : def.writes) {
+      check(w == "rd", "TargetGen: op " + def.name + " writes non-rd field " + w);
+      op->rd_is_dst = true;
+    }
+
+    op->delay = def.delay;
+    op->mem = def.mem;
+    op->is_branch = def.is_branch;
+    op->is_call = def.is_call;
+    op->is_ret = def.is_ret;
+    op->serial_only = def.serial_only;
+    op->implicit_reads = register_mask(model, def.implicit_reads);
+    op->implicit_writes = register_mask(model, def.implicit_writes);
+    op->reloc = def.reloc;
+    op->syntax = def.syntax;
+    op->def = &def; // patched below once the model is moved into the set
+
+    op->fn = resolver(def.semantic);
+    check(op->fn != nullptr,
+          "TargetGen: op " + def.name + " has unknown semantic '" + def.semantic + "'");
+
+    set.ops_.push_back(std::move(op));
+  }
+
+  // Reject ambiguous encodings: two operations are ambiguous when no constant
+  // bit they share distinguishes them.
+  for (size_t i = 0; i < set.ops_.size(); ++i)
+    for (size_t j = i + 1; j < set.ops_.size(); ++j) {
+      const OpInfo& a = *set.ops_[i];
+      const OpInfo& b = *set.ops_[j];
+      const uint32_t common = a.match_mask & b.match_mask;
+      if ((a.match_bits & common) == (b.match_bits & common))
+        throw Error("TargetGen: ambiguous encodings for " + a.name + " and " + b.name);
+    }
+
+  for (const auto& op : set.ops_) set.all_op_ptrs_.push_back(op.get());
+
+  // Per-ISA operation tables.
+  for (const adl::IsaDef& idef : model.isas) {
+    IsaInfo isa;
+    isa.name = idef.name;
+    isa.id = idef.id;
+    isa.issue_width = idef.issue_width;
+    isa.is_default = idef.is_default;
+    for (size_t i = 0; i < set.ops_.size(); ++i) {
+      const adl::OperationDef& def = model.operations[i];
+      const bool in_isa =
+          def.isas.empty() ||
+          std::find(def.isas.begin(), def.isas.end(), idef.name) != def.isas.end();
+      if (in_isa) isa.ops.push_back(set.ops_[i].get());
+    }
+    set.max_isa_id_ = std::max(set.max_isa_id_, idef.id);
+    set.isas_.push_back(std::move(isa));
+  }
+
+  set.model_ = std::move(model);
+  // Re-point def back-pointers at the moved-into-place operation definitions.
+  for (size_t i = 0; i < set.ops_.size(); ++i)
+    set.ops_[i]->def = &set.model_.operations[i];
+  return set;
+}
+
+std::string TargetGen::emit_cpp(const IsaSet& set) {
+  std::ostringstream os;
+  os << "// Generated by TargetGen from ADL model '" << set.model().name << "'.\n";
+  os << "// One entry per operation: {name, match_mask, match_bits, delay, sem}.\n";
+  os << "static const GeneratedOp kOperationTable[] = {\n";
+  for (const OpInfo* op : set.all_ops()) {
+    os << "    {\"" << op->name << "\", " << hex32(op->match_mask) << ", "
+       << hex32(op->match_bits) << ", " << op->delay << ", sem_" << op->def->semantic
+       << "},\n";
+  }
+  os << "};\n\n";
+  for (const IsaInfo& isa : set.isas()) {
+    os << "// ISA " << isa.name << " (id " << isa.id << ", issue width " << isa.issue_width
+       << "): " << isa.ops.size() << " operations.\n";
+    os << "static const uint16_t kIsa" << isa.name << "Ops[] = {";
+    for (size_t i = 0; i < isa.ops.size(); ++i) {
+      if (i % 12 == 0) os << "\n    ";
+      os << isa.ops[i]->index << ", ";
+    }
+    os << "\n};\n";
+  }
+  return os.str();
+}
+
+} // namespace ksim::isa

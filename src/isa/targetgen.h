@@ -1,0 +1,35 @@
+// TargetGen — turns an ADL model into the runtime operation tables used by
+// the simulator (paper Fig. 3: "TargetGen" generates the register table,
+// operation tables and simulation functions from the ADL description).
+//
+// The paper's TargetGen emits C++ source that is compiled into the tools; we
+// build the same tables at load time and bind simulation functions from the
+// semantics registry.  emit_cpp() additionally renders the table as a C++
+// fragment equivalent to what an offline generator would produce (exercised
+// by tests and the quickstart example to document the correspondence).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "adl/model.h"
+#include "isa/optable.h"
+
+namespace ksim::isa {
+
+/// Resolves an ADL semantic name to a simulation function.
+using SemanticResolver = std::function<ExecFn(std::string_view)>;
+
+class TargetGen {
+public:
+  /// Builds the operation tables for `model`.  Throws ksim::Error on
+  /// inconsistent models (unknown semantics, ambiguous encodings, operands
+  /// outside the canonical rd/ra/rb/imm set).
+  static IsaSet build(adl::AdlModel model);
+  static IsaSet build(adl::AdlModel model, const SemanticResolver& resolver);
+
+  /// Renders the operation tables of `set` as a C++ source fragment.
+  static std::string emit_cpp(const IsaSet& set);
+};
+
+} // namespace ksim::isa

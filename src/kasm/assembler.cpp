@@ -1,0 +1,941 @@
+#include "kasm/assembler.h"
+
+#include <map>
+#include <optional>
+
+#include "isa/kisa.h"
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::kasm {
+namespace {
+
+using isa::OpInfo;
+
+enum Section : int { kText = 0, kData = 1, kBss = 2, kNumSections = 3 };
+
+const char* const kSectionNames[kNumSections] = {".text", ".data", ".bss"};
+
+struct Operand {
+  enum class Kind { Reg, Imm, SymImm, Mem };
+  Kind kind = Kind::Imm;
+  unsigned reg = 0;      ///< Reg: register index; Mem: base register
+  int64_t imm = 0;       ///< Imm: value; Mem: displacement; SymImm: addend
+  std::string sym;       ///< SymImm: symbol name
+};
+
+struct ParsedOp {
+  const OpInfo* info = nullptr;
+  std::vector<Operand> operands;
+};
+
+struct Group {
+  uint32_t addr = 0; ///< .text offset
+  std::vector<ParsedOp> ops;
+  int line = 0;
+  const isa::IsaInfo* isa = nullptr;
+};
+
+struct SymbolInfo {
+  int section = -1; ///< -1 = undefined
+  uint32_t value = 0;
+  uint32_t size = 0;
+  bool is_global = false;
+  bool is_func = false;
+  bool defined = false;
+  bool referenced = false;
+};
+
+struct PendingReloc {
+  int section = kText;
+  uint32_t offset = 0;
+  uint32_t type = 0;
+  std::string symbol;
+  int32_t addend = 0;
+};
+
+std::optional<unsigned> parse_register(std::string_view tok) {
+  if (tok == "zero") return 0u;
+  if (tok == "ra") return 1u;
+  if (tok == "sp") return 2u;
+  if (tok.size() >= 2 && (tok[0] == 'r' || tok[0] == 'R')) {
+    int64_t n = 0;
+    if (parse_int(tok.substr(1), n) && n >= 0 && n < 32) return static_cast<unsigned>(n);
+  }
+  return std::nullopt;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
+}
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  return out;
+}
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '.' || c == '$';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+
+class Assembler {
+public:
+  Assembler(std::string_view source, const AsmOptions& options, DiagEngine& diags)
+      : source_(source),
+        options_(options),
+        set_(options.isa_set != nullptr ? *options.isa_set : isa::kisa()),
+        diags_(diags) {
+    asm_lines_.intern_file(options_.file_name);
+  }
+
+  elf::ElfFile run() {
+    active_isa_ = set_.find_isa(options_.initial_isa);
+    if (active_isa_ == nullptr) {
+      error(0, "unknown initial ISA '" + options_.initial_isa + "'");
+      return {};
+    }
+    int line_no = 0;
+    for (std::string_view raw : split(source_, '\n')) {
+      ++line_no;
+      process_line(raw, line_no);
+    }
+    if (!current_func_.empty())
+      error(line_no, "missing .endfunc for function '" + current_func_ + "'");
+    encode_groups();
+    return build_object();
+  }
+
+private:
+  SrcLoc loc(int line) const { return SrcLoc{options_.file_name, line, 0}; }
+  void error(int line, std::string msg) { diags_.error(loc(line), std::move(msg)); }
+  void warning(int line, std::string msg) { diags_.warning(loc(line), std::move(msg)); }
+
+  uint32_t& offset(int section) { return offsets_[section]; }
+  std::vector<uint8_t>& data(int section) { return data_[section]; }
+
+  // -- line processing ---------------------------------------------------------
+
+  void process_line(std::string_view raw, int line) {
+    std::string_view s = raw;
+    // Strip comments ('#' anywhere, but not inside string literals).
+    bool in_str = false;
+    size_t cut = s.size();
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '"' && (i == 0 || s[i - 1] != '\\')) in_str = !in_str;
+      if (s[i] == '#' && !in_str) {
+        cut = i;
+        break;
+      }
+    }
+    s = trim(s.substr(0, cut));
+    if (s.empty()) return;
+
+    // Labels (possibly several on one line).
+    while (!s.empty() && is_ident_start(s[0])) {
+      size_t n = 1;
+      while (n < s.size() && is_ident_char(s[n])) ++n;
+      if (n < s.size() && s[n] == ':') {
+        define_label(std::string(s.substr(0, n)), line);
+        s = trim(s.substr(n + 1));
+        continue;
+      }
+      break;
+    }
+    if (s.empty()) return;
+
+    if (s[0] == '.') {
+      process_directive(s, line);
+      return;
+    }
+    process_instruction(s, line);
+  }
+
+  void define_label(const std::string& name, int line) {
+    SymbolInfo& sym = symbols_[name];
+    if (sym.defined) {
+      error(line, "redefinition of label '" + name + "'");
+      return;
+    }
+    sym.defined = true;
+    sym.section = section_;
+    sym.value = offset(section_);
+  }
+
+  // -- directives ---------------------------------------------------------------
+
+  void process_directive(std::string_view s, int line) {
+    const auto tokens = split_ws(s);
+    const std::string dir = lower(tokens[0]);
+    auto rest_after = [&](std::string_view d) {
+      return trim(s.substr(d.size()));
+    };
+
+    if (dir == ".text") {
+      section_ = kText;
+    } else if (dir == ".data") {
+      section_ = kData;
+    } else if (dir == ".bss") {
+      section_ = kBss;
+    } else if (dir == ".isa") {
+      if (tokens.size() != 2) {
+        error(line, ".isa expects one ISA name");
+        return;
+      }
+      const isa::IsaInfo* isa = set_.find_isa(upper(tokens[1]));
+      if (isa == nullptr)
+        error(line, "unknown ISA '" + std::string(tokens[1]) + "'");
+      else
+        active_isa_ = isa;
+    } else if (dir == ".global" || dir == ".globl") {
+      if (tokens.size() != 2) {
+        error(line, ".global expects one symbol");
+        return;
+      }
+      symbols_[std::string(tokens[1])].is_global = true;
+    } else if (dir == ".align") {
+      int64_t n = 0;
+      if (tokens.size() != 2 || !parse_int(tokens[1], n) || !is_pow2(static_cast<uint64_t>(n))) {
+        error(line, ".align expects a power-of-two byte count");
+        return;
+      }
+      align_to(static_cast<uint32_t>(n));
+    } else if (dir == ".word" || dir == ".half" || dir == ".byte") {
+      emit_data_values(dir, rest_after(dir), line);
+    } else if (dir == ".ascii" || dir == ".asciz") {
+      emit_string(rest_after(dir), dir == ".asciz", line);
+    } else if (dir == ".space") {
+      int64_t n = 0;
+      if (tokens.size() != 2 || !parse_int(tokens[1], n) || n < 0) {
+        error(line, ".space expects a byte count");
+        return;
+      }
+      emit_zeros(static_cast<uint32_t>(n));
+    } else if (dir == ".func") {
+      if (tokens.size() != 2) {
+        error(line, ".func expects one name");
+        return;
+      }
+      if (!current_func_.empty()) {
+        error(line, ".func inside function '" + current_func_ + "'");
+        return;
+      }
+      current_func_ = std::string(tokens[1]);
+      define_label(current_func_, line);
+      SymbolInfo& sym = symbols_[current_func_];
+      sym.is_func = true;
+      func_start_ = offset(kText);
+    } else if (dir == ".endfunc") {
+      if (current_func_.empty()) {
+        error(line, ".endfunc without .func");
+        return;
+      }
+      symbols_[current_func_].size = offset(kText) - func_start_;
+      current_func_.clear();
+    } else if (dir == ".file") {
+      const auto str = parse_string_literal(rest_after(dir), line);
+      if (str) src_file_ = src_lines_.intern_file(*str);
+    } else if (dir == ".loc") {
+      int64_t n = 0;
+      if (tokens.size() != 2 || !parse_int(tokens[1], n) || n < 0) {
+        error(line, ".loc expects a line number");
+        return;
+      }
+      src_line_ = static_cast<uint32_t>(n);
+      src_line_pending_ = true;
+    } else {
+      error(line, "unknown directive '" + dir + "'");
+    }
+  }
+
+  void align_to(uint32_t alignment) {
+    uint32_t& off = offset(section_);
+    const uint32_t aligned = (off + alignment - 1) & ~(alignment - 1);
+    if (section_ != kBss) data(section_).resize(aligned, 0);
+    off = aligned;
+  }
+
+  void emit_zeros(uint32_t count) {
+    if (section_ != kBss) data(section_).resize(data(section_).size() + count, 0);
+    offset(section_) += count;
+  }
+
+  void emit_data_values(const std::string& dir, std::string_view rest, int line) {
+    const unsigned size = dir == ".word" ? 4 : dir == ".half" ? 2 : 1;
+    if (section_ == kBss) {
+      error(line, "data directive in .bss");
+      return;
+    }
+    for (std::string_view item : split(rest, ',')) {
+      item = trim(item);
+      if (item.empty()) {
+        error(line, "empty value in " + dir);
+        continue;
+      }
+      int64_t value = 0;
+      if (parse_int(item, value)) {
+        if (size < 4 && !fits_signed(value, size * 8) && !fits_unsigned(value, size * 8))
+          error(line, "value " + std::string(item) + " does not fit in " + dir);
+        append_le(section_, static_cast<uint32_t>(value), size);
+      } else if (size == 4) {
+        // symbol[+/-offset]
+        std::string sym;
+        int64_t addend = 0;
+        if (!parse_symbol_expr(item, sym, addend)) {
+          error(line, "malformed value '" + std::string(item) + "'");
+          continue;
+        }
+        relocs_.push_back({section_, offset(section_), elf::R_KISA_ABS32, sym,
+                           static_cast<int32_t>(addend)});
+        symbols_[sym].referenced = true;
+        append_le(section_, 0, 4);
+      } else {
+        error(line, "symbolic values only allowed in .word");
+      }
+    }
+  }
+
+  void emit_string(std::string_view rest, bool zero_terminate, int line) {
+    if (section_ == kBss) {
+      error(line, "string data in .bss");
+      return;
+    }
+    const auto str = parse_string_literal(rest, line);
+    if (!str) return;
+    for (char c : *str) append_le(section_, static_cast<uint8_t>(c), 1);
+    if (zero_terminate) append_le(section_, 0, 1);
+  }
+
+  std::optional<std::string> parse_string_literal(std::string_view s, int line) {
+    s = trim(s);
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+      error(line, "expected a string literal");
+      return std::nullopt;
+    }
+    s = s.substr(1, s.size() - 2);
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '\\') {
+        out.push_back(s[i]);
+        continue;
+      }
+      ++i;
+      if (i >= s.size()) {
+        error(line, "trailing backslash in string literal");
+        return std::nullopt;
+      }
+      switch (s[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '0': out.push_back('\0'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        default:
+          error(line, std::string("unknown escape '\\") + s[i] + "'");
+          return std::nullopt;
+      }
+    }
+    return out;
+  }
+
+  void append_le(int section, uint32_t value, unsigned size) {
+    for (unsigned i = 0; i < size; ++i)
+      data(section).push_back(static_cast<uint8_t>(value >> (8 * i)));
+    offset(section) += size;
+  }
+
+  // -- instructions --------------------------------------------------------------
+
+  void process_instruction(std::string_view s, int line) {
+    if (section_ != kText) {
+      error(line, "instruction outside .text");
+      return;
+    }
+    // Split the `||` group.
+    std::vector<std::string_view> slots;
+    size_t start = 0;
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      if (s[i] == '|' && s[i + 1] == '|') {
+        slots.push_back(trim(s.substr(start, i - start)));
+        start = i + 2;
+        ++i;
+      }
+    }
+    slots.push_back(trim(s.substr(start)));
+    const bool in_group = slots.size() > 1;
+
+    std::vector<std::vector<ParsedOp>> expanded; // per slot: 1..n ops
+    for (std::string_view slot : slots) {
+      if (slot.empty()) {
+        error(line, "empty slot in `||` group");
+        return;
+      }
+      auto ops = parse_slot(slot, line);
+      if (ops.empty()) return; // error already reported
+      if (in_group && ops.size() > 1) {
+        error(line, "multi-operation pseudo instruction inside `||` group");
+        return;
+      }
+      expanded.push_back(std::move(ops));
+    }
+
+    if (in_group) {
+      std::vector<ParsedOp> group_ops;
+      for (auto& ops : expanded) group_ops.push_back(std::move(ops.front()));
+      emit_group(std::move(group_ops), line);
+    } else {
+      // A single slot may have expanded into several sequential instructions.
+      for (auto& op : expanded.front()) {
+        std::vector<ParsedOp> one;
+        one.push_back(std::move(op));
+        emit_group(std::move(one), line);
+      }
+    }
+  }
+
+  void emit_group(std::vector<ParsedOp> ops, int line) {
+    if (static_cast<int>(ops.size()) > active_isa_->issue_width) {
+      error(line, strf("instruction group of %zu operations exceeds the %d-issue width of %s",
+                       ops.size(), active_isa_->issue_width, active_isa_->name.c_str()));
+      return;
+    }
+    int branches = 0;
+    for (const ParsedOp& op : ops) {
+      if (op.info->is_branch) ++branches;
+      if (op.info->serial_only && ops.size() > 1)
+        error(line, op.info->name + " must be the only operation of its instruction");
+      // Availability in the active ISA.
+      bool found = false;
+      for (const OpInfo* cand : active_isa_->ops) found |= (cand == op.info);
+      if (!found)
+        error(line, op.info->name + " is not available in ISA " + active_isa_->name);
+    }
+    if (branches > 1) error(line, "more than one branch in an instruction group");
+
+    Group g;
+    g.addr = offset(kText);
+    g.ops = std::move(ops);
+    g.line = line;
+    g.isa = active_isa_;
+    offset(kText) += static_cast<uint32_t>(g.ops.size()) * 4;
+    data(kText).resize(offset(kText), 0);
+
+    asm_lines_.entries.push_back({g.addr, 0, static_cast<uint32_t>(line)});
+    if (src_line_pending_) {
+      src_lines_.entries.push_back({g.addr, src_file_, src_line_});
+      src_line_pending_ = false;
+    }
+    groups_.push_back(std::move(g));
+  }
+
+  /// Parses one slot (mnemonic + operands) and expands pseudos.  Returns an
+  /// empty vector on error.
+  std::vector<ParsedOp> parse_slot(std::string_view slot, int line) {
+    size_t n = 0;
+    while (n < slot.size() && !std::isspace(static_cast<unsigned char>(slot[n]))) ++n;
+    const std::string mnemonic = upper(slot.substr(0, n));
+    const std::string_view rest = trim(slot.substr(n));
+
+    std::vector<std::string> operand_tokens;
+    if (!rest.empty())
+      for (std::string_view t : split(rest, ','))
+        operand_tokens.emplace_back(trim(t));
+
+    // Pseudo instructions first.
+    if (auto pseudo = expand_pseudo(mnemonic, operand_tokens, line); pseudo)
+      return std::move(*pseudo);
+
+    const OpInfo* info = set_.find_op(mnemonic == "SWT" ? "SWITCHTARGET" : mnemonic);
+    if (info == nullptr) {
+      error(line, "unknown mnemonic '" + mnemonic + "'");
+      return {};
+    }
+    ParsedOp op;
+    op.info = info;
+    if (!parse_operands(op, operand_tokens, line)) return {};
+    return {std::move(op)};
+  }
+
+  bool parse_operands(ParsedOp& op, const std::vector<std::string>& tokens, int line) {
+    const auto& pattern = op.info->syntax;
+    if (tokens.size() != pattern.size()) {
+      error(line, strf("%s expects %zu operand(s), got %zu", op.info->name.c_str(),
+                       pattern.size(), tokens.size()));
+      return false;
+    }
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      const std::string& pat = pattern[i];
+      const std::string& tok = tokens[i];
+      Operand operand;
+      if (pat == "rd" || pat == "ra" || pat == "rb") {
+        const auto reg = parse_register(tok);
+        if (!reg) {
+          error(line, "expected a register, got '" + tok + "'");
+          return false;
+        }
+        operand.kind = Operand::Kind::Reg;
+        operand.reg = *reg;
+      } else if (pat == "imm") {
+        if (!parse_imm_operand(op.info, tok, operand, line)) return false;
+      } else if (pat == "imm(ra)") {
+        if (!parse_mem_operand(tok, operand, line)) return false;
+      } else {
+        error(line, "internal: unsupported syntax pattern '" + pat + "'");
+        return false;
+      }
+      op.operands.push_back(std::move(operand));
+    }
+    return true;
+  }
+
+  bool parse_imm_operand(const OpInfo* info, const std::string& tok, Operand& operand,
+                         int line) {
+    int64_t value = 0;
+    if (parse_int(tok, value)) {
+      operand.kind = Operand::Kind::Imm;
+      operand.imm = value;
+      return true;
+    }
+    // SWITCHTARGET accepts an ISA name.
+    if (info->name == "SWITCHTARGET") {
+      if (const isa::IsaInfo* isa = set_.find_isa(upper(tok)); isa != nullptr) {
+        operand.kind = Operand::Kind::Imm;
+        operand.imm = isa->id;
+        return true;
+      }
+    }
+    std::string sym;
+    int64_t addend = 0;
+    if (!parse_symbol_expr(tok, sym, addend)) {
+      error(line, "malformed immediate '" + tok + "'");
+      return false;
+    }
+    operand.kind = Operand::Kind::SymImm;
+    operand.sym = std::move(sym);
+    operand.imm = addend;
+    symbols_[operand.sym].referenced = true;
+    return true;
+  }
+
+  bool parse_mem_operand(const std::string& tok, Operand& operand, int line) {
+    const size_t paren = tok.find('(');
+    if (paren == std::string::npos || tok.back() != ')') {
+      error(line, "expected displacement(register), got '" + tok + "'");
+      return false;
+    }
+    const std::string disp = std::string(trim(std::string_view(tok).substr(0, paren)));
+    const std::string base =
+        std::string(trim(std::string_view(tok).substr(paren + 1, tok.size() - paren - 2)));
+    int64_t value = 0;
+    if (!disp.empty() && !parse_int(disp, value)) {
+      error(line, "displacement must be an integer in '" + tok + "'");
+      return false;
+    }
+    const auto reg = parse_register(base);
+    if (!reg) {
+      error(line, "expected a base register in '" + tok + "'");
+      return false;
+    }
+    operand.kind = Operand::Kind::Mem;
+    operand.reg = *reg;
+    operand.imm = value;
+    return true;
+  }
+
+  bool parse_symbol_expr(std::string_view s, std::string& sym, int64_t& addend) {
+    s = trim(s);
+    if (s.empty() || !is_ident_start(s[0])) return false;
+    size_t n = 1;
+    while (n < s.size() && is_ident_char(s[n])) ++n;
+    sym = std::string(s.substr(0, n));
+    addend = 0;
+    std::string_view rest = trim(s.substr(n));
+    if (rest.empty()) return true;
+    if (rest[0] != '+' && rest[0] != '-') return false;
+    int64_t v = 0;
+    if (!parse_int(rest, v)) return false;
+    addend = v;
+    return true;
+  }
+
+  /// Expands pseudo mnemonics; returns nullopt if `mnemonic` is not a pseudo.
+  std::optional<std::vector<ParsedOp>> expand_pseudo(
+      const std::string& mnemonic, const std::vector<std::string>& tokens, int line) {
+    auto make = [&](const char* name) {
+      ParsedOp op;
+      op.info = set_.find_op(name);
+      check(op.info != nullptr, std::string("pseudo expansion uses unknown op ") + name);
+      return op;
+    };
+    auto reg_op = [&](const std::string& tok) -> std::optional<Operand> {
+      const auto r = parse_register(tok);
+      if (!r) {
+        error(line, "expected a register, got '" + tok + "'");
+        return std::nullopt;
+      }
+      Operand o;
+      o.kind = Operand::Kind::Reg;
+      o.reg = *r;
+      return o;
+    };
+    auto imm_op = [&](int64_t v) {
+      Operand o;
+      o.kind = Operand::Kind::Imm;
+      o.imm = v;
+      return o;
+    };
+
+    if (mnemonic == "LI") {
+      if (tokens.size() != 2) {
+        error(line, "li expects rd, imm32");
+        return std::vector<ParsedOp>{};
+      }
+      const auto rd = reg_op(tokens[0]);
+      int64_t value = 0;
+      if (!rd) return std::vector<ParsedOp>{};
+      if (!parse_int(tokens[1], value) || !(fits_signed(value, 32) || fits_unsigned(value, 32))) {
+        error(line, "li immediate must be a 32-bit integer literal");
+        return std::vector<ParsedOp>{};
+      }
+      std::vector<ParsedOp> out;
+      if (fits_signed(value, 15)) {
+        ParsedOp op = make("ADDI");
+        Operand zero;
+        zero.kind = Operand::Kind::Reg;
+        zero.reg = 0;
+        op.operands = {*rd, zero, imm_op(value)};
+        out.push_back(std::move(op));
+      } else {
+        const uint32_t v = static_cast<uint32_t>(value);
+        ParsedOp hi = make("LUI");
+        hi.operands = {*rd, imm_op(v >> 16)};
+        out.push_back(std::move(hi));
+        if ((v & 0xFFFFu) != 0) {
+          ParsedOp lo = make("ORLO");
+          lo.operands = {*rd, imm_op(v & 0xFFFFu)};
+          out.push_back(std::move(lo));
+        }
+      }
+      return out;
+    }
+    if (mnemonic == "LA") {
+      if (tokens.size() != 2) {
+        error(line, "la expects rd, symbol");
+        return std::vector<ParsedOp>{};
+      }
+      const auto rd = reg_op(tokens[0]);
+      if (!rd) return std::vector<ParsedOp>{};
+      std::string sym;
+      int64_t addend = 0;
+      if (!parse_symbol_expr(tokens[1], sym, addend)) {
+        error(line, "la expects a symbol operand");
+        return std::vector<ParsedOp>{};
+      }
+      symbols_[sym].referenced = true;
+      Operand hi_imm;
+      hi_imm.kind = Operand::Kind::SymImm;
+      hi_imm.sym = sym;
+      hi_imm.imm = addend;
+      ParsedOp hi = make("LUI");
+      hi.operands = {*rd, hi_imm};
+      ParsedOp lo = make("ORLO");
+      lo.operands = {*rd, hi_imm};
+      std::vector<ParsedOp> out;
+      out.push_back(std::move(hi));
+      out.push_back(std::move(lo));
+      return out;
+    }
+    if (mnemonic == "MV" || mnemonic == "NOT" || mnemonic == "NEG") {
+      if (tokens.size() != 2) {
+        error(line, lower(mnemonic) + " expects rd, ra");
+        return std::vector<ParsedOp>{};
+      }
+      const auto rd = reg_op(tokens[0]);
+      const auto ra = reg_op(tokens[1]);
+      if (!rd || !ra) return std::vector<ParsedOp>{};
+      Operand zero;
+      zero.kind = Operand::Kind::Reg;
+      zero.reg = 0;
+      ParsedOp op = make(mnemonic == "MV" ? "ADD" : mnemonic == "NOT" ? "NOR" : "SUB");
+      if (mnemonic == "NEG")
+        op.operands = {*rd, zero, *ra}; // 0 - ra
+      else if (mnemonic == "NOT")
+        op.operands = {*rd, *ra, *ra}; // ~(ra | ra)
+      else
+        op.operands = {*rd, *ra, zero};
+      std::vector<ParsedOp> out;
+      out.push_back(std::move(op));
+      return out;
+    }
+    if (mnemonic == "RET") {
+      if (!tokens.empty()) {
+        error(line, "ret takes no operands");
+        return std::vector<ParsedOp>{};
+      }
+      ParsedOp op = make("JR");
+      Operand ra;
+      ra.kind = Operand::Kind::Reg;
+      ra.reg = isa::abi::kRa;
+      op.operands = {ra};
+      std::vector<ParsedOp> out;
+      out.push_back(std::move(op));
+      return out;
+    }
+    if (mnemonic == "CALL" || mnemonic == "B") {
+      if (tokens.size() != 1) {
+        error(line, lower(mnemonic) + " expects a target symbol");
+        return std::vector<ParsedOp>{};
+      }
+      ParsedOp op = make(mnemonic == "CALL" ? "JAL" : "J");
+      Operand target;
+      if (!parse_imm_operand(op.info, tokens[0], target, line))
+        return std::vector<ParsedOp>{};
+      op.operands = {target};
+      std::vector<ParsedOp> out;
+      out.push_back(std::move(op));
+      return out;
+    }
+    if (mnemonic == "BEQZ" || mnemonic == "BNEZ") {
+      if (tokens.size() != 2) {
+        error(line, lower(mnemonic) + " expects ra, target");
+        return std::vector<ParsedOp>{};
+      }
+      const auto ra = reg_op(tokens[0]);
+      if (!ra) return std::vector<ParsedOp>{};
+      ParsedOp op = make(mnemonic == "BEQZ" ? "BEQ" : "BNE");
+      Operand zero;
+      zero.kind = Operand::Kind::Reg;
+      zero.reg = 0;
+      Operand target;
+      if (!parse_imm_operand(op.info, tokens[1], target, line))
+        return std::vector<ParsedOp>{};
+      op.operands = {*ra, zero, target};
+      std::vector<ParsedOp> out;
+      out.push_back(std::move(op));
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  // -- encoding (pass 2) ---------------------------------------------------------
+
+  void encode_groups() {
+    for (const Group& g : groups_) encode_group(g);
+  }
+
+  void encode_group(const Group& g) {
+    const uint32_t group_end = g.addr + static_cast<uint32_t>(g.ops.size()) * 4;
+    for (size_t slot = 0; slot < g.ops.size(); ++slot) {
+      const ParsedOp& op = g.ops[slot];
+      const uint32_t op_addr = g.addr + static_cast<uint32_t>(slot) * 4;
+      uint32_t word = op.info->match_bits;
+      if (slot + 1 == g.ops.size()) word |= (1u << set_.stop_bit());
+
+      size_t operand_index = 0;
+      for (const std::string& pat : op.info->syntax) {
+        const Operand& operand = op.operands[operand_index++];
+        if (pat == "rd")
+          word = insert_field(word, op.info->f_rd, operand.reg);
+        else if (pat == "ra")
+          word = insert_field(word, op.info->f_ra, operand.reg);
+        else if (pat == "rb")
+          word = insert_field(word, op.info->f_rb, operand.reg);
+        else if (pat == "imm")
+          word = encode_imm(word, g, op, operand, op_addr, group_end);
+        else if (pat == "imm(ra)") {
+          word = insert_field(word, op.info->f_ra, operand.reg);
+          if (!fits_signed(operand.imm, op.info->f_imm.hi - op.info->f_imm.lo + 1u))
+            error(g.line, strf("displacement %lld out of range",
+                               static_cast<long long>(operand.imm)));
+          word = insert_field(word, op.info->f_imm, static_cast<uint32_t>(operand.imm));
+        }
+      }
+      patch_word(op_addr, word);
+    }
+  }
+
+  uint32_t encode_imm(uint32_t word, const Group& g, const ParsedOp& op,
+                      const Operand& operand, uint32_t op_addr, uint32_t group_end) {
+    const isa::OpField& f = op.info->f_imm;
+    const unsigned width = f.hi - f.lo + 1u;
+    if (operand.kind == Operand::Kind::Imm) {
+      int64_t value = operand.imm;
+      if (op.info->reloc == adl::RelocKind::Abs25) value = value / 4; // byte → word addr
+      const bool ok = f.is_signed ? fits_signed(value, width) : fits_unsigned(value, width);
+      if (!ok)
+        error(g.line,
+              strf("immediate %lld out of range for %s",
+                   static_cast<long long>(operand.imm), op.info->name.c_str()));
+      return insert_field(word, f, static_cast<uint32_t>(value));
+    }
+
+    // Symbolic immediate.
+    const std::string& sym = operand.sym;
+    const auto it = symbols_.find(sym);
+    const bool local_text = it != symbols_.end() && it->second.defined &&
+                            it->second.section == kText;
+    switch (op.info->reloc) {
+      case adl::RelocKind::PcRel: {
+        if (local_text) {
+          const int64_t delta =
+              static_cast<int64_t>(it->second.value) + operand.imm - group_end;
+          if ((delta & 3) != 0 || !fits_signed(delta / 4, width)) {
+            error(g.line, "branch target out of range or misaligned");
+            return word;
+          }
+          return insert_field(word, f, static_cast<uint32_t>(delta / 4));
+        }
+        relocs_.push_back({kText, op_addr, elf::R_KISA_PCREL15, sym,
+                           static_cast<int32_t>(operand.imm) +
+                               static_cast<int32_t>(op_addr) -
+                               static_cast<int32_t>(group_end)});
+        return word;
+      }
+      case adl::RelocKind::Abs25:
+        relocs_.push_back({kText, op_addr, elf::R_KISA_ABS25, sym,
+                           static_cast<int32_t>(operand.imm)});
+        return word;
+      case adl::RelocKind::None: {
+        // Only LUI/ORLO accept symbolic immediates without a dedicated
+        // relocation kind; they carry HI16/LO16 halves of the address.
+        if (op.info->name == "LUI") {
+          relocs_.push_back({kText, op_addr, elf::R_KISA_HI16, sym,
+                             static_cast<int32_t>(operand.imm)});
+          return word;
+        }
+        if (op.info->name == "ORLO") {
+          relocs_.push_back({kText, op_addr, elf::R_KISA_LO16, sym,
+                             static_cast<int32_t>(operand.imm)});
+          return word;
+        }
+        error(g.line, op.info->name + " does not accept a symbolic immediate");
+        return word;
+      }
+    }
+    return word;
+  }
+
+  uint32_t insert_field(uint32_t word, const isa::OpField& f, uint32_t value) {
+    return f.valid ? insert_bits(word, f.hi, f.lo, value) : word;
+  }
+
+  void patch_word(uint32_t text_offset, uint32_t word) {
+    auto& text = data(kText);
+    for (unsigned i = 0; i < 4; ++i)
+      text[text_offset + i] = static_cast<uint8_t>(word >> (8 * i));
+  }
+
+  // -- object building -------------------------------------------------------------
+
+  elf::ElfFile build_object() {
+    elf::ElfFile obj;
+    obj.type = elf::ET_REL;
+
+    elf::Section text;
+    text.name = ".text";
+    text.flags = elf::SHF_ALLOC | elf::SHF_EXECINSTR;
+    text.data = std::move(data_[kText]);
+    obj.sections.push_back(std::move(text));
+
+    elf::Section dat;
+    dat.name = ".data";
+    dat.flags = elf::SHF_ALLOC | elf::SHF_WRITE;
+    dat.data = std::move(data_[kData]);
+    obj.sections.push_back(std::move(dat));
+
+    elf::Section bss;
+    bss.name = ".bss";
+    bss.type = elf::SHT_NOBITS;
+    bss.flags = elf::SHF_ALLOC | elf::SHF_WRITE;
+    bss.size = offsets_[kBss];
+    obj.sections.push_back(std::move(bss));
+
+    elf::Section dbg_asm;
+    dbg_asm.name = ".kdbg.asm";
+    dbg_asm.addralign = 1;
+    dbg_asm.data = asm_lines_.serialize();
+    obj.sections.push_back(std::move(dbg_asm));
+
+    elf::Section dbg_src;
+    dbg_src.name = ".kdbg.src";
+    dbg_src.addralign = 1;
+    dbg_src.data = src_lines_.serialize();
+    obj.sections.push_back(std::move(dbg_src));
+
+    // Symbols: defined first (locals then globals handled by the writer),
+    // then undefined referenced symbols.
+    std::map<std::string, uint32_t> symbol_index;
+    for (const auto& [name, info] : symbols_) {
+      if (!info.defined && !info.referenced) continue;
+      elf::Symbol sym;
+      sym.name = name;
+      sym.value = info.value;
+      sym.size = info.size;
+      const uint8_t bind = (info.is_global || !info.defined) ? elf::STB_GLOBAL
+                                                             : elf::STB_LOCAL;
+      const uint8_t type = info.is_func ? elf::STT_FUNC : elf::STT_NOTYPE;
+      sym.info = elf::st_info(bind, type);
+      sym.shndx = info.defined ? static_cast<uint16_t>(info.section + 1) : elf::SHN_UNDEF;
+      symbol_index[name] = static_cast<uint32_t>(obj.symbols.size());
+      obj.symbols.push_back(std::move(sym));
+    }
+
+    std::vector<elf::Reloc> per_section[kNumSections];
+    for (const PendingReloc& r : relocs_) {
+      const auto it = symbol_index.find(r.symbol);
+      check(it != symbol_index.end(), "assembler: reloc to untracked symbol");
+      per_section[r.section].push_back({r.offset, r.type, it->second, r.addend});
+    }
+    for (int s = 0; s < kNumSections; ++s)
+      if (!per_section[s].empty())
+        obj.relocations.emplace_back(static_cast<uint16_t>(s + 1),
+                                     std::move(per_section[s]));
+    return obj;
+  }
+
+  std::string_view source_;
+  const AsmOptions& options_;
+  const isa::IsaSet& set_;
+  DiagEngine& diags_;
+
+  const isa::IsaInfo* active_isa_ = nullptr;
+  int section_ = kText;
+  uint32_t offsets_[kNumSections] = {0, 0, 0};
+  std::vector<uint8_t> data_[kNumSections];
+
+  std::map<std::string, SymbolInfo> symbols_;
+  std::vector<PendingReloc> relocs_;
+  std::vector<Group> groups_;
+
+  std::string current_func_;
+  uint32_t func_start_ = 0;
+
+  elf::LineMap asm_lines_;
+  elf::LineMap src_lines_;
+  uint32_t src_file_ = 0;
+  uint32_t src_line_ = 0;
+  bool src_line_pending_ = false;
+};
+
+} // namespace
+
+elf::ElfFile assemble(std::string_view source, const AsmOptions& options,
+                      DiagEngine& diags) {
+  return Assembler(source, options, diags).run();
+}
+
+elf::ElfFile assemble_or_throw(std::string_view source, const AsmOptions& options) {
+  DiagEngine diags;
+  elf::ElfFile obj = assemble(source, options, diags);
+  diags.throw_if_errors();
+  return obj;
+}
+
+} // namespace ksim::kasm

@@ -1,0 +1,49 @@
+// Mixed-ISA assembler for K-ISA (paper §IV: "The assembler supports
+// mixed-ISA assembly files. During assembling the ISA can be switched using a
+// special assembly pseudo directive.").
+//
+// Directives:
+//   .isa NAME            switch active ISA (RISC / VLIW2 / VLIW4 / VLIW6 / VLIW8)
+//   .text / .data / .bss switch section
+//   .global NAME         export symbol
+//   .align N             align to N bytes (power of two)
+//   .word/.half/.byte V[,V...]   data (V: integer, or symbol[+off] for .word)
+//   .asciz "s" / .ascii "s"      string data
+//   .space N             N zero bytes
+//   .func NAME / .endfunc        function symbol with size (STT_FUNC)
+//   .file "NAME"         C source file for subsequent .loc directives
+//   .loc LINE            next instruction maps to source line LINE (paper V-C)
+//
+// Instructions: `MNEMONIC operands`, case-insensitive mnemonics; VLIW
+// instructions pack several operations on one line separated by `||`
+// (the assembler sets the stop bit on the last operation of each group):
+//   add r4, r5, r6 || lw r7, 0(r2) || bne r4, r0, loop
+//
+// Pseudo instructions: li, la, mv, not, neg, ret, call, b, beqz, bnez.
+// Multi-operation pseudos (li with a wide immediate, la, call) may not appear
+// inside a `||` group.
+#pragma once
+
+#include <string_view>
+
+#include "elf/elf.h"
+#include "isa/optable.h"
+#include "support/diag.h"
+
+namespace ksim::kasm {
+
+struct AsmOptions {
+  std::string file_name = "<asm>";      ///< for diagnostics and .kdbg.asm
+  const isa::IsaSet* isa_set = nullptr; ///< defaults to isa::kisa()
+  std::string initial_isa = "RISC";     ///< active ISA at the top of the file
+};
+
+/// Assembles `source` into a relocatable ELF object.  Errors are reported via
+/// `diags`; the returned object is only meaningful if !diags.has_errors().
+elf::ElfFile assemble(std::string_view source, const AsmOptions& options,
+                      DiagEngine& diags);
+
+/// Convenience wrapper that throws ksim::Error on diagnostics.
+elf::ElfFile assemble_or_throw(std::string_view source, const AsmOptions& options = {});
+
+} // namespace ksim::kasm

@@ -1,0 +1,53 @@
+#include "kasm/disasm.h"
+
+#include "support/strings.h"
+
+namespace ksim::kasm {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return s;
+}
+
+} // namespace
+
+std::string disassemble_op(const isa::IsaSet& set, const isa::IsaInfo& isa, uint32_t word) {
+  const isa::OpInfo* info = set.detect(isa, word);
+  if (info == nullptr) return strf(".word %s  # undecodable", hex32(word).c_str());
+  std::string out = lower(info->name);
+  bool first = true;
+  for (const std::string& pat : info->syntax) {
+    out += first ? " " : ", ";
+    first = false;
+    if (pat == "rd")
+      out += "r" + std::to_string(info->f_rd.extract(word));
+    else if (pat == "ra")
+      out += "r" + std::to_string(info->f_ra.extract(word));
+    else if (pat == "rb")
+      out += "r" + std::to_string(info->f_rb.extract(word));
+    else if (pat == "imm")
+      out += std::to_string(static_cast<int32_t>(info->f_imm.extract(word)));
+    else if (pat == "imm(ra)")
+      out += strf("%d(r%u)", static_cast<int32_t>(info->f_imm.extract(word)),
+                  info->f_ra.extract(word));
+  }
+  return out;
+}
+
+std::string disassemble_instr(const isa::IsaSet& set, const isa::IsaInfo& isa,
+                              std::span<const uint32_t> words, size_t& consumed) {
+  std::string out;
+  consumed = 0;
+  for (size_t i = 0; i < words.size() && consumed < static_cast<size_t>(isa.issue_width);
+       ++i) {
+    if (!out.empty()) out += " || ";
+    out += disassemble_op(set, isa, words[i]);
+    ++consumed;
+    if (set.is_stop(words[i])) break;
+  }
+  return out;
+}
+
+} // namespace ksim::kasm

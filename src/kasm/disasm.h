@@ -1,0 +1,22 @@
+// Disassembler for K-ISA code (used by the simulator's debugging facilities
+// and by tests to round-trip the assembler).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "isa/optable.h"
+
+namespace ksim::kasm {
+
+/// Disassembles a single operation word.  Returns e.g. "add r4, r5, r6".
+std::string disassemble_op(const isa::IsaSet& set, const isa::IsaInfo& isa, uint32_t word);
+
+/// Disassembles one *instruction* (a stop-bit delimited group) starting at
+/// `words[0]`; consumes up to issue-width words.  Returns the text (slots
+/// joined with " || ") and sets `consumed` to the number of words used.
+std::string disassemble_instr(const isa::IsaSet& set, const isa::IsaInfo& isa,
+                              std::span<const uint32_t> words, size_t& consumed);
+
+} // namespace ksim::kasm

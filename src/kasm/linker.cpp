@@ -1,0 +1,291 @@
+#include "kasm/linker.h"
+
+#include <map>
+
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::kasm {
+namespace {
+
+struct SectionPlacement {
+  uint32_t text = 0; ///< absolute base of this object's .text
+  uint32_t data = 0;
+  uint32_t bss = 0;
+
+  uint32_t base_for(const std::string& name) const {
+    if (name == ".text") return text;
+    if (name == ".data") return data;
+    if (name == ".bss") return bss;
+    return 0;
+  }
+};
+
+uint32_t align_up(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
+
+} // namespace
+
+elf::ElfFile link(const std::vector<elf::ElfFile>& objects, const LinkOptions& options,
+                  DiagEngine& diags) {
+  SrcLoc link_loc{"<link>", 0, 0};
+  auto error = [&](std::string msg) { diags.error(link_loc, std::move(msg)); };
+
+  // -- layout -----------------------------------------------------------------
+  std::vector<SectionPlacement> place(objects.size());
+  uint32_t cursor = options.text_base;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const elf::Section* text = objects[i].find_section(".text");
+    place[i].text = cursor;
+    cursor = align_up(cursor + (text != nullptr ? text->effective_size() : 0), 4);
+  }
+  cursor = align_up(cursor, 16);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const elf::Section* data = objects[i].find_section(".data");
+    place[i].data = cursor;
+    cursor = align_up(cursor + (data != nullptr ? data->effective_size() : 0), 8);
+  }
+  cursor = align_up(cursor, 16);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const elf::Section* bss = objects[i].find_section(".bss");
+    place[i].bss = cursor;
+    cursor = align_up(cursor + (bss != nullptr ? bss->effective_size() : 0), 8);
+  }
+  const uint32_t bss_end = cursor;
+
+  // -- global symbol resolution -------------------------------------------------
+  struct Def {
+    size_t object = 0;
+    uint32_t addr = 0;
+    uint32_t size = 0;
+    uint8_t info = 0;
+  };
+  std::map<std::string, Def> globals;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (const elf::Symbol& sym : objects[i].symbols) {
+      if (sym.shndx == elf::SHN_UNDEF) continue;
+      if (elf::st_bind(sym.info) != elf::STB_GLOBAL) continue;
+      check(sym.shndx >= 1 && sym.shndx <= objects[i].sections.size(),
+            "linker: symbol with invalid section index");
+      const std::string& sec = objects[i].sections[sym.shndx - 1].name;
+      const uint32_t addr = place[i].base_for(sec) + sym.value;
+      const auto [it, inserted] = globals.emplace(sym.name, Def{i, addr, sym.size, sym.info});
+      if (!inserted) error("duplicate definition of symbol '" + sym.name + "'");
+      (void)it;
+    }
+  }
+
+  // Absolute address of symbol `index` of object `obj`; false if undefined.
+  auto resolve = [&](size_t obj, uint32_t index, uint32_t& out) {
+    check(index < objects[obj].symbols.size(), "linker: relocation symbol out of range");
+    const elf::Symbol& sym = objects[obj].symbols[index];
+    if (sym.shndx != elf::SHN_UNDEF) {
+      const std::string& sec = objects[obj].sections[sym.shndx - 1].name;
+      out = place[obj].base_for(sec) + sym.value;
+      return true;
+    }
+    const auto it = globals.find(sym.name);
+    if (it == globals.end()) {
+      error("undefined symbol '" + sym.name + "'");
+      return false;
+    }
+    out = it->second.addr;
+    return true;
+  };
+
+  // -- merge section payloads ----------------------------------------------------
+  std::vector<uint8_t> text_data(place.empty() ? 0 : 0);
+  std::vector<uint8_t> data_data;
+  const uint32_t text_size =
+      objects.empty() ? 0
+                      : (place.back().text - options.text_base +
+                         (objects.back().find_section(".text") != nullptr
+                              ? objects.back().find_section(".text")->effective_size()
+                              : 0));
+  const uint32_t data_base = objects.empty() ? options.text_base : place.front().data;
+  const uint32_t data_size =
+      objects.empty() ? 0
+                      : (place.back().data - data_base +
+                         (objects.back().find_section(".data") != nullptr
+                              ? objects.back().find_section(".data")->effective_size()
+                              : 0));
+  text_data.resize(align_up(text_size, 4), 0);
+  data_data.resize(align_up(data_size, 4), 0);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (const elf::Section* s = objects[i].find_section(".text"); s != nullptr)
+      std::copy(s->data.begin(), s->data.end(),
+                text_data.begin() + (place[i].text - options.text_base));
+    if (const elf::Section* s = objects[i].find_section(".data"); s != nullptr)
+      std::copy(s->data.begin(), s->data.end(), data_data.begin() + (place[i].data - data_base));
+  }
+
+  // Byte accessors over the merged image.
+  auto image_at = [&](uint32_t addr) -> uint8_t* {
+    if (addr >= options.text_base && addr - options.text_base < text_data.size())
+      return &text_data[addr - options.text_base];
+    if (addr >= data_base && addr - data_base < data_data.size())
+      return &data_data[addr - data_base];
+    return nullptr;
+  };
+  auto read32 = [&](uint32_t addr, uint32_t& v) {
+    uint8_t* p = image_at(addr);
+    if (p == nullptr || image_at(addr + 3) == nullptr) return false;
+    v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+    return true;
+  };
+  auto write32 = [&](uint32_t addr, uint32_t v) {
+    uint8_t* p = image_at(addr);
+    if (p == nullptr || image_at(addr + 3) == nullptr) return false;
+    for (int i = 0; i < 4; ++i) p[static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+    return true;
+  };
+
+  // -- relocations ------------------------------------------------------------------
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (const auto& [target_index, relocs] : objects[i].relocations) {
+      check(target_index >= 1 && target_index <= objects[i].sections.size(),
+            "linker: relocation section out of range");
+      const std::string& sec = objects[i].sections[target_index - 1].name;
+      const uint32_t sec_base = place[i].base_for(sec);
+      for (const elf::Reloc& r : relocs) {
+        uint32_t s_addr = 0;
+        if (!resolve(i, r.symbol, s_addr)) continue;
+        const uint32_t p_addr = sec_base + r.offset;
+        const int64_t value = static_cast<int64_t>(s_addr) + r.addend;
+        uint32_t word = 0;
+        switch (r.type) {
+          case elf::R_KISA_ABS32:
+            if (!write32(p_addr, static_cast<uint32_t>(value)))
+              error("ABS32 relocation outside image at " + hex32(p_addr));
+            break;
+          case elf::R_KISA_HI16:
+            if (!read32(p_addr, word) ||
+                !write32(p_addr, insert_bits(word, 15, 0,
+                                             static_cast<uint32_t>(value) >> 16)))
+              error("HI16 relocation outside image at " + hex32(p_addr));
+            break;
+          case elf::R_KISA_LO16:
+            if (!read32(p_addr, word) ||
+                !write32(p_addr, insert_bits(word, 15, 0,
+                                             static_cast<uint32_t>(value) & 0xFFFFu)))
+              error("LO16 relocation outside image at " + hex32(p_addr));
+            break;
+          case elf::R_KISA_PCREL15: {
+            const int64_t delta = value - static_cast<int64_t>(p_addr);
+            if ((delta & 3) != 0 || !fits_signed(delta / 4, 15)) {
+              error("PCREL15 relocation out of range at " + hex32(p_addr));
+              break;
+            }
+            if (!read32(p_addr, word) ||
+                !write32(p_addr, insert_bits(word, 14, 0,
+                                             static_cast<uint32_t>(delta / 4))))
+              error("PCREL15 relocation outside image at " + hex32(p_addr));
+            break;
+          }
+          case elf::R_KISA_ABS25: {
+            if ((value & 3) != 0 || !fits_unsigned(value / 4, 25)) {
+              error("ABS25 relocation out of range at " + hex32(p_addr));
+              break;
+            }
+            if (!read32(p_addr, word) ||
+                !write32(p_addr, insert_bits(word, 24, 0,
+                                             static_cast<uint32_t>(value / 4))))
+              error("ABS25 relocation outside image at " + hex32(p_addr));
+            break;
+          }
+          default:
+            error("unknown relocation type " + std::to_string(r.type));
+        }
+      }
+    }
+  }
+
+  // -- entry point --------------------------------------------------------------------
+  uint32_t entry = options.text_base;
+  const auto entry_it = globals.find(options.entry_symbol);
+  if (entry_it == globals.end())
+    error("entry symbol '" + options.entry_symbol + "' is not defined");
+  else
+    entry = entry_it->second.addr;
+
+  // -- build the executable --------------------------------------------------------------
+  elf::ElfFile exe;
+  exe.type = elf::ET_EXEC;
+  exe.entry = entry;
+  exe.flags = static_cast<uint32_t>(options.entry_isa);
+
+  elf::Section text;
+  text.name = ".text";
+  text.flags = elf::SHF_ALLOC | elf::SHF_EXECINSTR;
+  text.addr = options.text_base;
+  text.data = std::move(text_data);
+  exe.sections.push_back(std::move(text));
+
+  elf::Section dat;
+  dat.name = ".data";
+  dat.flags = elf::SHF_ALLOC | elf::SHF_WRITE;
+  dat.addr = data_base;
+  dat.data = std::move(data_data);
+  exe.sections.push_back(std::move(dat));
+
+  elf::Section bss;
+  bss.name = ".bss";
+  bss.type = elf::SHT_NOBITS;
+  bss.flags = elf::SHF_ALLOC | elf::SHF_WRITE;
+  bss.addr = objects.empty() ? bss_end : place.front().bss;
+  bss.size = bss_end - bss.addr;
+  exe.sections.push_back(std::move(bss));
+
+  // All defined symbols with absolute values (functions keep their sizes so
+  // the simulator can map addresses to functions, paper §V-C).
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (const elf::Symbol& sym : objects[i].symbols) {
+      if (sym.shndx == elf::SHN_UNDEF || sym.name.empty()) continue;
+      const std::string& sec = objects[i].sections[sym.shndx - 1].name;
+      elf::Symbol out = sym;
+      out.value = place[i].base_for(sec) + sym.value;
+      out.shndx = exe.section_index(sec);
+      exe.symbols.push_back(std::move(out));
+    }
+  }
+
+  // Merge the debug line maps.
+  elf::LineMap asm_map;
+  elf::LineMap src_map;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    auto merge = [&](const char* name, elf::LineMap& out) {
+      const elf::Section* s = objects[i].find_section(name);
+      if (s == nullptr || s->data.empty()) return;
+      const elf::LineMap in = elf::LineMap::parse(s->data);
+      for (const elf::LineEntry& e : in.entries) {
+        const uint32_t file = out.intern_file(in.files.at(e.file));
+        out.entries.push_back({e.addr + place[i].text, file, e.line});
+      }
+    };
+    merge(".kdbg.asm", asm_map);
+    merge(".kdbg.src", src_map);
+  }
+  elf::Section dbg_asm;
+  dbg_asm.name = ".kdbg.asm";
+  dbg_asm.addralign = 1;
+  dbg_asm.data = asm_map.serialize();
+  exe.sections.push_back(std::move(dbg_asm));
+  elf::Section dbg_src;
+  dbg_src.name = ".kdbg.src";
+  dbg_src.addralign = 1;
+  dbg_src.data = src_map.serialize();
+  exe.sections.push_back(std::move(dbg_src));
+
+  return exe;
+}
+
+elf::ElfFile link_or_throw(const std::vector<elf::ElfFile>& objects,
+                           const LinkOptions& options) {
+  DiagEngine diags;
+  elf::ElfFile exe = link(objects, options, diags);
+  diags.throw_if_errors();
+  return exe;
+}
+
+} // namespace ksim::kasm

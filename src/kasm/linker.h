@@ -1,0 +1,29 @@
+// Linker: combines relocatable K-ISA ELF objects into an executable
+// (paper §IV: "all object files are linked together into the application
+// binary", stored in standard ELF).
+#pragma once
+
+#include <vector>
+
+#include "elf/elf.h"
+#include "isa/arch_state.h"
+#include "support/diag.h"
+
+namespace ksim::kasm {
+
+struct LinkOptions {
+  std::string entry_symbol = "_start";
+  int entry_isa = 0;                       ///< stored in e_flags (initial ISA)
+  uint32_t text_base = isa::kCodeBase;     ///< load address of .text
+};
+
+/// Links `objects` into an executable.  Undefined/duplicate symbols and
+/// relocation overflows are reported via `diags`.
+elf::ElfFile link(const std::vector<elf::ElfFile>& objects, const LinkOptions& options,
+                  DiagEngine& diags);
+
+/// Convenience wrapper that throws ksim::Error on diagnostics.
+elf::ElfFile link_or_throw(const std::vector<elf::ElfFile>& objects,
+                           const LinkOptions& options = {});
+
+} // namespace ksim::kasm

@@ -1,0 +1,33 @@
+#include "kasm/stubs.h"
+
+#include <algorithm>
+
+#include "isa/arch_state.h"
+#include "isa/kisa.h"
+#include "support/strings.h"
+
+namespace ksim::kasm {
+
+std::string libc_stub_assembly(const std::vector<std::string>& replaced) {
+  std::string out = "# auto-generated C library stubs\n.isa RISC\n.text\n";
+  for (int i = 0; i < isa::kNumLibcOps; ++i) {
+    const std::string name(isa::libc_op_name(static_cast<isa::LibcOp>(i)));
+    if (std::find(replaced.begin(), replaced.end(), name) != replaced.end()) continue;
+    out += strf(".global %s\n.func %s\n  simop %d\n  ret\n.endfunc\n", name.c_str(),
+                name.c_str(), i);
+  }
+  return out;
+}
+
+std::string start_stub_assembly(const std::string& isa_name) {
+  std::string out = "# auto-generated program entry\n";
+  out += ".isa " + isa_name + "\n.text\n.global _start\n.func _start\n";
+  out += strf("  li sp, %u\n", isa::kStackTop);
+  out += "  call main\n";
+  // main's return value is already in r4, the first argument register.
+  out += strf("  simop %d   # exit(r4)\n", static_cast<int>(isa::LibcOp::kExit));
+  out += "  halt\n.endfunc\n";
+  return out;
+}
+
+} // namespace ksim::kasm

@@ -1,0 +1,29 @@
+// Auto-generated assembly stubs for the emulated C standard library
+// (paper §V-E: "Each library function is made visible to the linker by
+// providing an automatically generated assembly file containing a small
+// function body for each library function that only executes the simulation
+// operation and returns afterwards.") plus the program entry stub.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ksim::kasm {
+
+/// Assembly source defining one global function per emulated library
+/// function: `name: SIMOP <n>; ret`.  The stop-bit encoding makes these
+/// bodies decodable from any active ISA, so one stub file serves every ISA
+/// (the paper's motivation for native library emulation: no per-ISA libc
+/// rebuild).  Functions named in `replaced` are omitted — the paper supports
+/// replacing any native library function "with real implementations on the
+/// simulated ISA" (§V-E); the replacement is then linked in like ordinary
+/// user code and its cycles are counted by the cycle models.
+std::string libc_stub_assembly(const std::vector<std::string>& replaced = {});
+
+/// Assembly source for `_start`: sets up the stack pointer, calls `main`,
+/// passes its return value to exit() and halts as a backstop.  `isa_name` is
+/// the ISA `main` is compiled for (the entry code must match the initial ISA,
+/// paper §V-D).
+std::string start_stub_assembly(const std::string& isa_name = "RISC");
+
+} // namespace ksim::kasm

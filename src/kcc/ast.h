@@ -1,0 +1,128 @@
+// Abstract syntax tree for MiniC.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kcc/lexer.h"
+
+namespace ksim::kcc {
+
+/// Scalar/pointer types.  Arrays appear only in declarations (they decay to
+/// pointers in expressions).
+struct Type {
+  enum class Base : uint8_t { Void, Int, UInt, Char, UChar };
+  Base base = Base::Int;
+  int ptr = 0; ///< pointer depth
+
+  bool is_void() const { return base == Base::Void && ptr == 0; }
+  bool is_pointer() const { return ptr > 0; }
+  bool is_unsigned() const {
+    return is_pointer() || base == Base::UInt || base == Base::UChar;
+  }
+  bool is_char() const { return !is_pointer() && (base == Base::Char || base == Base::UChar); }
+
+  /// Size of a value of this type (pointers are 4 bytes).
+  int size() const { return is_pointer() ? 4 : (is_char() ? 1 : 4); }
+
+  /// Size of the pointee (for pointer arithmetic / indexing).
+  Type deref() const {
+    Type t = *this;
+    t.ptr -= 1;
+    return t;
+  }
+  Type pointer_to() const {
+    Type t = *this;
+    t.ptr += 1;
+    return t;
+  }
+
+  bool operator==(const Type&) const = default;
+
+  std::string to_string() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,  ///< value
+    StrLit,  ///< text (lowered to an anonymous global)
+    Var,     ///< text = name
+    Unary,   ///< op (Minus/Tilde/Bang/Amp/Star/Inc/Dec), a; postfix flag for ++/--
+    Binary,  ///< op, a, b
+    Assign,  ///< op (Assign or compound), a = lvalue, b = rhs
+    Cond,    ///< a ? b : c
+    Call,    ///< text = callee, args
+    Index,   ///< a[b]
+    Cast,    ///< (type) a
+  };
+  Kind kind = Kind::IntLit;
+  Tok op = Tok::Eof;
+  int64_t value = 0;
+  std::string text;
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;
+  bool postfix = false;
+  Type cast_type;
+  int line = 0;
+
+  // Filled by semantic analysis (irgen).
+  Type type;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A variable declaration (local or global).
+struct VarDecl {
+  Type type;         ///< element type for arrays
+  std::string name;
+  int array_size = -1; ///< -1: scalar; otherwise number of elements
+  ExprPtr init;        ///< scalar initializer
+  std::vector<ExprPtr> init_list; ///< array initializer
+  std::string init_string;        ///< char-array string initializer
+  bool has_init_string = false;
+  int line = 0;
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block, If, While, DoWhile, For, Break, Continue, Return, ExprStmt, Decl, Empty,
+  };
+  Kind kind = Kind::Empty;
+  std::vector<StmtPtr> body;  ///< Block
+  ExprPtr cond;               ///< If/While/DoWhile/For
+  StmtPtr then_stmt, else_stmt;
+  StmtPtr init_stmt;          ///< For (declaration or expression statement)
+  ExprPtr step;               ///< For
+  ExprPtr expr;               ///< Return/ExprStmt
+  std::unique_ptr<VarDecl> decl;
+  int line = 0;
+};
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct FuncDecl {
+  Type ret;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;      ///< null for prototypes
+  std::string isa;   ///< target ISA name ("" = translation-unit default)
+  bool is_variadic = false; ///< only builtin printf
+  int line = 0;
+};
+
+/// A translation unit: globals and functions in source order.
+struct TranslationUnit {
+  std::vector<std::unique_ptr<VarDecl>> globals;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+};
+
+} // namespace ksim::kcc

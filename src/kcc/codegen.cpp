@@ -1,0 +1,683 @@
+#include "kcc/codegen.h"
+
+#include <algorithm>
+
+#include "isa/kisa.h"
+#include "kcc/regalloc.h"
+#include "kcc/schedule.h"
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::kcc {
+namespace {
+
+/// Cached OpInfo pointers for every mnemonic codegen emits.
+struct Ops {
+  const isa::IsaSet& set = isa::kisa();
+  const isa::OpInfo* get(const char* name) const {
+    const isa::OpInfo* op = set.find_op(name);
+    check(op != nullptr, std::string("codegen: unknown op ") + name);
+    return op;
+  }
+#define KOP(N) const isa::OpInfo* N = get(#N)
+  KOP(ADD); KOP(SUB); KOP(AND); KOP(OR); KOP(XOR); KOP(SLL); KOP(SRL); KOP(SRA);
+  KOP(SLT); KOP(SLTU); KOP(SEQ); KOP(SNE); KOP(SLE); KOP(SLEU);
+  KOP(MUL); KOP(DIV); KOP(DIVU); KOP(REM); KOP(REMU);
+  KOP(ADDI); KOP(ANDI); KOP(ORI); KOP(XORI); KOP(SLLI); KOP(SRLI); KOP(SRAI);
+  KOP(SLTI); KOP(SLTIU); KOP(LUI); KOP(ORLO);
+  KOP(LB); KOP(LBU); KOP(LH); KOP(LHU); KOP(LW); KOP(SB); KOP(SH); KOP(SW);
+  KOP(BEQ); KOP(BNE); KOP(BLT); KOP(BGE); KOP(BLTU); KOP(BGEU);
+  KOP(J); KOP(JAL); KOP(JR); KOP(SWITCHTARGET);
+#undef KOP
+};
+
+const Ops& ops() {
+  static const Ops kOps;
+  return kOps;
+}
+
+struct MBlock {
+  std::string label;
+  std::vector<MachineOp> body;     ///< schedulable operations
+  std::vector<MachineOp> trailing; ///< unconditional jump etc., never grouped
+};
+
+class FuncCodegen {
+public:
+  FuncCodegen(const IrProgram& prog, const IrFunction& fn, const CodegenOptions& options,
+              DiagEngine& diags)
+      : prog_(prog), fn_(fn), options_(options), diags_(diags) {}
+
+  std::string run() {
+    alloc_ = allocate_registers(fn_);
+    layout_frame();
+    lower_blocks();
+    return emit();
+  }
+
+private:
+  void error(std::string msg) {
+    diags_.error({fn_.name, fn_.line, 0}, std::move(msg));
+  }
+
+  const std::string& func_isa() const {
+    return fn_.isa.empty() ? options_.default_isa : fn_.isa;
+  }
+
+  int issue_width() const {
+    const isa::IsaInfo* isa = ops().set.find_isa(func_isa());
+    return isa != nullptr ? isa->issue_width : 1;
+  }
+
+  // -- frame layout -----------------------------------------------------------
+  //
+  //   sp + 0 ..                 outgoing stack arguments
+  //        + out_args_          frame objects (arrays, address-taken locals)
+  //        + spill_base_        spill slots
+  //        + saved_base_        saved callee-saved registers
+  //        + ra_off_            saved return address (if the function calls)
+  //   sp + frame_size_          caller frame / incoming stack arguments
+
+  void layout_frame() {
+    int out_args = 0;
+    needs_ra_ = false;
+    for (const IrBlock& b : fn_.blocks)
+      for (const IrInst& inst : b.insts)
+        if (inst.op == IrOp::Call) {
+          needs_ra_ = true;
+          out_args = std::max(
+              out_args,
+              4 * std::max(0, static_cast<int>(inst.args.size()) -
+                                  static_cast<int>(isa::abi::kNumArgRegs)));
+        }
+    out_args_ = out_args;
+
+    int off = out_args_;
+    frame_obj_off_.resize(fn_.frame.size());
+    for (size_t i = 0; i < fn_.frame.size(); ++i) {
+      off = (off + 3) & ~3;
+      frame_obj_off_[i] = off;
+      off += fn_.frame[i].size;
+    }
+    off = (off + 3) & ~3;
+    spill_base_ = off;
+    off += 4 * alloc_.num_spill_slots;
+    saved_base_ = off;
+    saved_regs_.clear();
+    for (int r = regs::kCalleeFirst; r <= regs::kCalleeLast; ++r)
+      if (alloc_.callee_used[static_cast<size_t>(r)]) saved_regs_.push_back(r);
+    off += 4 * static_cast<int>(saved_regs_.size());
+    if (needs_ra_) {
+      ra_off_ = off;
+      off += 4;
+    }
+    frame_size_ = (off + 7) & ~7;
+  }
+
+  int spill_off(int slot) const { return spill_base_ + 4 * slot; }
+
+  // -- machine-op helpers -------------------------------------------------------
+
+  MachineOp mop(const isa::OpInfo* info, int rd = 0, int ra = 0, int rb = 0,
+                int32_t imm = 0) {
+    MachineOp op;
+    op.info = info;
+    op.rd = static_cast<uint8_t>(rd);
+    op.ra = static_cast<uint8_t>(ra);
+    op.rb = static_cast<uint8_t>(rb);
+    op.imm = imm;
+    op.line = cur_line_;
+    return op;
+  }
+
+  void push(MachineOp op) { cur_->body.push_back(std::move(op)); }
+
+  void push_jump(const std::string& label) {
+    MachineOp j = mop(ops().J);
+    j.has_sym = true;
+    j.sym = label;
+    cur_->trailing.push_back(std::move(j));
+  }
+
+  void emit_mv(int dst, int src) {
+    if (dst != src) push(mop(ops().ADD, dst, src, 0));
+  }
+
+  /// Materializes a 32-bit constant into `reg`.
+  void emit_li(int reg, int32_t value) {
+    if (fits_signed(value, 15)) {
+      push(mop(ops().ADDI, reg, 0, 0, value));
+      return;
+    }
+    const uint32_t v = static_cast<uint32_t>(value);
+    push(mop(ops().LUI, reg, 0, 0, static_cast<int32_t>(v >> 16)));
+    if ((v & 0xFFFFu) != 0)
+      push(mop(ops().ORLO, reg, 0, 0, static_cast<int32_t>(v & 0xFFFFu)));
+  }
+
+  void emit_la(int reg, const std::string& sym, int32_t add) {
+    MachineOp hi = mop(ops().LUI, reg);
+    hi.has_sym = true;
+    hi.sym = sym;
+    hi.sym_add = add;
+    push(std::move(hi));
+    MachineOp lo = mop(ops().ORLO, reg);
+    lo.has_sym = true;
+    lo.sym = sym;
+    lo.sym_add = add;
+    push(std::move(lo));
+  }
+
+  void emit_sp_add(int32_t delta) {
+    if (delta == 0) return;
+    if (fits_signed(delta, 15)) {
+      push(mop(ops().ADDI, 2, 2, 0, delta));
+    } else {
+      emit_li(regs::kScratch0, delta);
+      push(mop(ops().ADD, 2, 2, regs::kScratch0));
+    }
+  }
+
+  bool check_frame_offset(int off) {
+    if (fits_signed(off, 15)) return true;
+    error(strf("frame of %s too large (offset %d does not fit)", fn_.name.c_str(), off));
+    return false;
+  }
+
+  // -- register access --------------------------------------------------------------
+
+  bool has_loc(int vreg) const {
+    return alloc_.reg[static_cast<size_t>(vreg)] >= 0 ||
+           alloc_.spill_slot[static_cast<size_t>(vreg)] >= 0;
+  }
+
+  /// Register holding `vreg`'s value; spilled values are reloaded into
+  /// `scratch` first.
+  int use_reg(int vreg, int scratch) {
+    const int r = alloc_.reg[static_cast<size_t>(vreg)];
+    if (r >= 0) return r;
+    const int slot = alloc_.spill_slot[static_cast<size_t>(vreg)];
+    check(slot >= 0, "codegen: use of value without a location");
+    check_frame_offset(spill_off(slot));
+    push(mop(ops().LW, scratch, 2, 0, spill_off(slot)));
+    return scratch;
+  }
+
+  /// Register a result for `vreg` should be computed into; -1 if the value is
+  /// dead (instruction may be skipped for pure ops).
+  int def_reg(int vreg) {
+    const int r = alloc_.reg[static_cast<size_t>(vreg)];
+    if (r >= 0) return r;
+    if (alloc_.spill_slot[static_cast<size_t>(vreg)] >= 0) return regs::kSpillD;
+    return -1;
+  }
+
+  /// Completes a definition (stores spilled results).
+  void finish_def(int vreg) {
+    const int slot = alloc_.spill_slot[static_cast<size_t>(vreg)];
+    if (slot < 0) return;
+    check_frame_offset(spill_off(slot));
+    push(mop(ops().SW, regs::kSpillD, 2, 0, spill_off(slot)));
+  }
+
+  // -- parallel moves -----------------------------------------------------------------
+
+  /// Emits moves realizing dst←src for all pairs "in parallel" (reads before
+  /// writes), breaking cycles via kScratch0.
+  void parallel_move(std::vector<std::pair<int, int>> moves) {
+    for (auto it = moves.begin(); it != moves.end();)
+      it = (it->first == it->second) ? moves.erase(it) : std::next(it);
+    while (!moves.empty()) {
+      bool progress = false;
+      for (auto it = moves.begin(); it != moves.end(); ++it) {
+        const int dst = it->first;
+        bool dst_is_source = false;
+        for (const auto& m : moves)
+          if (m.second == dst && &m != &*it) dst_is_source = true;
+        if (!dst_is_source) {
+          emit_mv(dst, it->second);
+          moves.erase(it);
+          progress = true;
+          break;
+        }
+      }
+      if (progress) continue;
+      // Cycle: save the first destination's current value in scratch and
+      // redirect its readers there.
+      const int dst = moves.front().first;
+      emit_mv(regs::kScratch0, dst);
+      emit_mv(dst, moves.front().second);
+      moves.erase(moves.begin());
+      for (auto& m : moves)
+        if (m.second == dst) m.second = regs::kScratch0;
+    }
+  }
+
+  // -- lowering -----------------------------------------------------------------------
+
+  std::string block_label(int id) const {
+    return ".L" + fn_.name + "_" + std::to_string(id);
+  }
+  std::string exit_label() const { return ".L" + fn_.name + "_exit"; }
+
+  void lower_blocks() {
+    blocks_.clear();
+    blocks_.resize(fn_.blocks.size() + 1); // +1 for the epilogue
+
+    for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+      cur_ = &blocks_[i];
+      cur_->label = block_label(fn_.blocks[i].id);
+      if (i == 0) emit_prologue();
+      const bool is_last_ir_block = (i + 1 == fn_.blocks.size());
+      lower_block(fn_.blocks[i], is_last_ir_block);
+    }
+
+    // Epilogue.
+    cur_ = &blocks_.back();
+    cur_->label = exit_label();
+    cur_line_ = 0;
+    for (size_t i = 0; i < saved_regs_.size(); ++i)
+      push(mop(ops().LW, saved_regs_[i], 2, 0, saved_base_ + 4 * static_cast<int>(i)));
+    if (needs_ra_) push(mop(ops().LW, 1, 2, 0, ra_off_));
+    emit_sp_add(frame_size_);
+    MachineOp ret = mop(ops().JR, 0, 1);
+    cur_->trailing.push_back(std::move(ret));
+  }
+
+  void emit_prologue() {
+    cur_line_ = fn_.line;
+    emit_sp_add(-frame_size_);
+    if (needs_ra_) {
+      check_frame_offset(ra_off_);
+      push(mop(ops().SW, 1, 2, 0, ra_off_));
+    }
+    for (size_t i = 0; i < saved_regs_.size(); ++i)
+      push(mop(ops().SW, saved_regs_[i], 2, 0, saved_base_ + 4 * static_cast<int>(i)));
+
+    // Incoming parameters: spill stores first (they read the argument
+    // registers), then the register parallel move, then stack-parameter loads.
+    std::vector<std::pair<int, int>> moves;
+    for (size_t i = 0; i < fn_.param_vregs.size(); ++i) {
+      const int vreg = fn_.param_vregs[i];
+      if (!has_loc(vreg)) continue; // unused parameter
+      if (i < isa::abi::kNumArgRegs) {
+        const int src = static_cast<int>(isa::abi::kArg0 + i);
+        const int slot = alloc_.spill_slot[static_cast<size_t>(vreg)];
+        if (slot >= 0) {
+          check_frame_offset(spill_off(slot));
+          push(mop(ops().SW, src, 2, 0, spill_off(slot)));
+        } else {
+          moves.emplace_back(alloc_.reg[static_cast<size_t>(vreg)], src);
+        }
+      }
+    }
+    parallel_move(std::move(moves));
+    for (size_t i = isa::abi::kNumArgRegs; i < fn_.param_vregs.size(); ++i) {
+      const int vreg = fn_.param_vregs[i];
+      if (!has_loc(vreg)) continue;
+      const int in_off =
+          frame_size_ + 4 * static_cast<int>(i - isa::abi::kNumArgRegs);
+      if (!check_frame_offset(in_off)) continue;
+      const int r = def_reg(vreg);
+      push(mop(ops().LW, r, 2, 0, in_off));
+      finish_def(vreg);
+    }
+  }
+
+  void lower_block(const IrBlock& b, bool is_last) {
+    for (const IrInst& inst : b.insts) {
+      cur_line_ = inst.line;
+      lower_inst(inst, b, is_last);
+    }
+  }
+
+  void lower_inst(const IrInst& inst, const IrBlock& b, bool is_last_block) {
+    switch (inst.op) {
+      case IrOp::LiConst: {
+        const int rd = def_reg(inst.dst);
+        if (rd < 0) return;
+        emit_li(rd, inst.imm);
+        finish_def(inst.dst);
+        return;
+      }
+      case IrOp::LaGlobal: {
+        const int rd = def_reg(inst.dst);
+        if (rd < 0) return;
+        emit_la(rd, inst.sym, inst.imm);
+        finish_def(inst.dst);
+        return;
+      }
+      case IrOp::FrameAddr: {
+        const int rd = def_reg(inst.dst);
+        if (rd < 0) return;
+        const int off = frame_obj_off_[static_cast<size_t>(inst.frame_id)] + inst.imm;
+        if (!check_frame_offset(off)) return;
+        push(mop(ops().ADDI, rd, 2, 0, off));
+        finish_def(inst.dst);
+        return;
+      }
+      case IrOp::Mv: {
+        const int rd = def_reg(inst.dst);
+        if (rd < 0) return;
+        const int ra = use_reg(inst.a, regs::kSpillA);
+        emit_mv(rd, ra);
+        finish_def(inst.dst);
+        return;
+      }
+      case IrOp::Load: {
+        const int rd = def_reg(inst.dst);
+        if (rd < 0) return;
+        const int ra = use_reg(inst.a, regs::kSpillA);
+        const isa::OpInfo* op =
+            inst.size == 1 ? (inst.is_signed ? ops().LB : ops().LBU)
+            : inst.size == 2 ? (inst.is_signed ? ops().LH : ops().LHU)
+                             : ops().LW;
+        push(mop(op, rd, ra, 0, inst.imm));
+        finish_def(inst.dst);
+        return;
+      }
+      case IrOp::Store: {
+        const int ra = use_reg(inst.a, regs::kSpillA);
+        const int rv = use_reg(inst.b, regs::kSpillB);
+        const isa::OpInfo* op =
+            inst.size == 1 ? ops().SB : inst.size == 2 ? ops().SH : ops().SW;
+        push(mop(op, rv, ra, 0, inst.imm));
+        return;
+      }
+      case IrOp::Call:
+        lower_call(inst);
+        return;
+      case IrOp::Ret: {
+        if (inst.a >= 0) {
+          const int r = use_reg(inst.a, regs::kSpillA);
+          emit_mv(static_cast<int>(isa::abi::kArg0), r);
+        }
+        push_jump(exit_label());
+        return;
+      }
+      case IrOp::Br: {
+        const bool fallthrough = !is_last_block && inst.target == b.id + 1;
+        if (!fallthrough) push_jump(block_label(inst.target));
+        return;
+      }
+      case IrOp::CondBr: {
+        const int ra = use_reg(inst.a, regs::kSpillA);
+        const int rb = use_reg(inst.b, regs::kSpillB);
+        const isa::OpInfo* op = nullptr;
+        switch (inst.cc) {
+          case Cc::Eq: op = ops().BEQ; break;
+          case Cc::Ne: op = ops().BNE; break;
+          case Cc::LtS: op = ops().BLT; break;
+          case Cc::GeS: op = ops().BGE; break;
+          case Cc::LtU: op = ops().BLTU; break;
+          case Cc::GeU: op = ops().BGEU; break;
+        }
+        MachineOp br = mop(op, 0, ra, rb);
+        br.has_sym = true;
+        br.sym = block_label(inst.target);
+        push(std::move(br));
+        const bool fallthrough = !is_last_block && inst.target2 == b.id + 1;
+        if (!fallthrough) push_jump(block_label(inst.target2));
+        return;
+      }
+      default:
+        lower_alu(inst);
+        return;
+    }
+  }
+
+  void lower_alu(const IrInst& inst) {
+    const int rd = def_reg(inst.dst);
+    if (rd < 0) return; // dead pure computation
+    const int ra = use_reg(inst.a, regs::kSpillA);
+
+    if (inst.has_imm) {
+      const isa::OpInfo* op = nullptr;
+      switch (inst.op) {
+        case IrOp::Add: op = ops().ADDI; break;
+        case IrOp::And: op = ops().ANDI; break;
+        case IrOp::Or: op = ops().ORI; break;
+        case IrOp::Xor: op = ops().XORI; break;
+        case IrOp::Shl: op = ops().SLLI; break;
+        case IrOp::ShrL: op = ops().SRLI; break;
+        case IrOp::ShrA: op = ops().SRAI; break;
+        case IrOp::SltS: op = ops().SLTI; break;
+        case IrOp::SltU: op = ops().SLTIU; break;
+        default: break;
+      }
+      if (op != nullptr) {
+        push(mop(op, rd, ra, 0, inst.imm));
+        finish_def(inst.dst);
+        return;
+      }
+      // No immediate form: materialize into scratch B.
+      emit_li(regs::kSpillB, inst.imm);
+      lower_alu_rr(inst, rd, ra, regs::kSpillB);
+      finish_def(inst.dst);
+      return;
+    }
+
+    const int rb = use_reg(inst.b, regs::kSpillB);
+    lower_alu_rr(inst, rd, ra, rb);
+    finish_def(inst.dst);
+  }
+
+  void lower_alu_rr(const IrInst& inst, int rd, int ra, int rb) {
+    const isa::OpInfo* op = nullptr;
+    switch (inst.op) {
+      case IrOp::Add: op = ops().ADD; break;
+      case IrOp::Sub: op = ops().SUB; break;
+      case IrOp::Mul: op = ops().MUL; break;
+      case IrOp::DivS: op = ops().DIV; break;
+      case IrOp::DivU: op = ops().DIVU; break;
+      case IrOp::RemS: op = ops().REM; break;
+      case IrOp::RemU: op = ops().REMU; break;
+      case IrOp::And: op = ops().AND; break;
+      case IrOp::Or: op = ops().OR; break;
+      case IrOp::Xor: op = ops().XOR; break;
+      case IrOp::Shl: op = ops().SLL; break;
+      case IrOp::ShrL: op = ops().SRL; break;
+      case IrOp::ShrA: op = ops().SRA; break;
+      case IrOp::SltS: op = ops().SLT; break;
+      case IrOp::SltU: op = ops().SLTU; break;
+      case IrOp::SleS: op = ops().SLE; break;
+      case IrOp::SleU: op = ops().SLEU; break;
+      case IrOp::Seq: op = ops().SEQ; break;
+      case IrOp::Sne: op = ops().SNE; break;
+      default:
+        error("codegen: unhandled IR operation");
+        return;
+    }
+    push(mop(op, rd, ra, rb));
+  }
+
+  void lower_call(const IrInst& inst) {
+    const auto sig_it = prog_.signatures.find(inst.sym);
+    const FuncSig* sig = sig_it != prog_.signatures.end() ? &sig_it->second : nullptr;
+
+    // Stack arguments first (they read argument sources before any moves).
+    for (size_t i = isa::abi::kNumArgRegs; i < inst.args.size(); ++i) {
+      const int src = use_reg(inst.args[i], regs::kScratch0);
+      push(mop(ops().SW, src, 2, 0,
+               4 * static_cast<int>(i - isa::abi::kNumArgRegs)));
+    }
+
+    // Register arguments: parallel move for register-resident sources,
+    // direct loads for spilled ones.
+    std::vector<std::pair<int, int>> moves;
+    std::vector<std::pair<int, int>> loads; // target reg ← spill slot
+    for (size_t i = 0; i < std::min<size_t>(inst.args.size(), isa::abi::kNumArgRegs);
+         ++i) {
+      const int target = static_cast<int>(isa::abi::kArg0 + i);
+      const int vreg = inst.args[i];
+      const int r = alloc_.reg[static_cast<size_t>(vreg)];
+      if (r >= 0)
+        moves.emplace_back(target, r);
+      else
+        loads.emplace_back(target, alloc_.spill_slot[static_cast<size_t>(vreg)]);
+    }
+    parallel_move(std::move(moves));
+    for (const auto& [target, slot] : loads) {
+      check(slot >= 0, "codegen: argument without a location");
+      push(mop(ops().LW, target, 2, 0, spill_off(slot)));
+    }
+
+    // Cross-ISA call sequence (§V-D): all three are single-operation
+    // instructions whose encodings are ISA-invariant, so control can cross
+    // the reconfiguration boundary safely.
+    const std::string& cur_isa = func_isa();
+    std::string callee_isa =
+        sig != nullptr && !sig->isa.empty() ? sig->isa : options_.default_isa;
+    const bool switch_isa =
+        sig != nullptr && !sig->isa_any && callee_isa != cur_isa;
+    if (switch_isa) {
+      MachineOp swt = mop(ops().SWITCHTARGET);
+      const isa::IsaInfo* isa = ops().set.find_isa(callee_isa);
+      if (isa == nullptr) {
+        error("unknown ISA '" + callee_isa + "' for function " + inst.sym);
+        return;
+      }
+      swt.imm = isa->id;
+      swt.no_group = true;
+      push(std::move(swt));
+    }
+
+    MachineOp jal = mop(ops().JAL);
+    jal.has_sym = true;
+    jal.sym = inst.sym;
+    jal.no_group = true;
+    push(std::move(jal));
+
+    if (switch_isa) {
+      MachineOp swt = mop(ops().SWITCHTARGET);
+      swt.imm = ops().set.find_isa(cur_isa)->id;
+      swt.no_group = true;
+      push(std::move(swt));
+    }
+
+    // Result.
+    if (inst.dst >= 0 && has_loc(inst.dst)) {
+      const int r = alloc_.reg[static_cast<size_t>(inst.dst)];
+      if (r >= 0) {
+        emit_mv(r, static_cast<int>(isa::abi::kArg0));
+      } else {
+        const int slot = alloc_.spill_slot[static_cast<size_t>(inst.dst)];
+        push(mop(ops().SW, static_cast<int>(isa::abi::kArg0), 2, 0, spill_off(slot)));
+      }
+    }
+  }
+
+  // -- emission ------------------------------------------------------------------------
+
+  std::string emit() {
+    std::string out;
+    out += ".text\n.isa " + func_isa() + "\n";
+    out += ".global " + fn_.name + "\n";
+    out += ".func " + fn_.name + "\n";
+    const int width = options_.schedule ? issue_width() : 1;
+    int last_loc = -1;
+    for (size_t bi = 0; bi < blocks_.size(); ++bi) {
+      const MBlock& b = blocks_[bi];
+      out += b.label + ":\n";
+      const auto groups = schedule_block(b.body, width);
+      for (const auto& group : groups) {
+        int line = 0;
+        for (const MachineOp& op : group)
+          if (op.line > 0) {
+            line = line == 0 ? op.line : std::min(line, op.line);
+          }
+        if (options_.emit_loc && line > 0 && line != last_loc) {
+          out += strf("  .loc %d\n", line);
+          last_loc = line;
+        }
+        out += "  ";
+        for (size_t k = 0; k < group.size(); ++k) {
+          if (k > 0) out += " || ";
+          out += render(group[k]);
+        }
+        out += "\n";
+      }
+      for (const MachineOp& op : b.trailing) out += "  " + render(op) + "\n";
+    }
+    out += ".endfunc\n";
+    return out;
+  }
+
+  const IrProgram& prog_;
+  const IrFunction& fn_;
+  const CodegenOptions& options_;
+  DiagEngine& diags_;
+  Allocation alloc_;
+
+  int out_args_ = 0;
+  std::vector<int> frame_obj_off_;
+  int spill_base_ = 0;
+  int saved_base_ = 0;
+  int ra_off_ = 0;
+  int frame_size_ = 0;
+  bool needs_ra_ = false;
+  std::vector<int> saved_regs_;
+
+  std::vector<MBlock> blocks_;
+  MBlock* cur_ = nullptr;
+  int cur_line_ = 0;
+};
+
+void emit_globals(const IrProgram& prog, std::string& out) {
+  bool any_data = false;
+  bool any_bss = false;
+  for (const GlobalVar& g : prog.globals) (g.zero_init ? any_bss : any_data) = true;
+
+  if (any_data) {
+    out += ".data\n";
+    for (const GlobalVar& g : prog.globals) {
+      if (g.zero_init) continue;
+      out += strf(".align %d\n", std::max(g.align, 1));
+      out += g.name + ":\n";
+      // Words where possible, bytes otherwise.
+      size_t i = 0;
+      while (i + 4 <= g.init_data.size() && g.align >= 4) {
+        std::string line = "  .word ";
+        int n = 0;
+        for (; n < 8 && i + 4 <= g.init_data.size(); ++n, i += 4) {
+          uint32_t w = 0;
+          for (int k = 3; k >= 0; --k) w = (w << 8) | g.init_data[i + static_cast<size_t>(k)];
+          line += strf("%s0x%x", n > 0 ? ", " : "", w);
+        }
+        out += line + "\n";
+      }
+      while (i < g.init_data.size()) {
+        std::string line = "  .byte ";
+        int n = 0;
+        for (; n < 12 && i < g.init_data.size(); ++n, ++i)
+          line += strf("%s%u", n > 0 ? ", " : "", g.init_data[i]);
+        out += line + "\n";
+      }
+    }
+  }
+  if (any_bss) {
+    out += ".bss\n";
+    for (const GlobalVar& g : prog.globals) {
+      if (!g.zero_init) continue;
+      out += strf(".align %d\n", std::max(g.align, 1));
+      out += g.name + ":\n  .space " + std::to_string(g.size) + "\n";
+    }
+  }
+}
+
+} // namespace
+
+std::string generate_assembly(const IrProgram& prog, const CodegenOptions& options,
+                              std::string_view source_file, DiagEngine& diags) {
+  std::string out = "# generated by kcc\n";
+  if (options.emit_loc) out += ".file \"" + std::string(source_file) + "\"\n";
+  emit_globals(prog, out);
+  for (const IrFunction& fn : prog.functions) {
+    out += "\n";
+    out += FuncCodegen(prog, fn, options, diags).run();
+  }
+  return out;
+}
+
+} // namespace ksim::kcc

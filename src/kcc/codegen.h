@@ -1,0 +1,24 @@
+// Code generation: IR → K-ISA assembly text (consumed by the assembler).
+// Handles frame layout, calling convention, spill code, mixed-ISA call
+// sequences (SWITCHTARGET around JAL for cross-ISA calls) and per-block VLIW
+// scheduling for the target ISA's issue width.
+#pragma once
+
+#include <string>
+
+#include "kcc/ir.h"
+#include "support/diag.h"
+
+namespace ksim::kcc {
+
+struct CodegenOptions {
+  std::string default_isa = "RISC"; ///< ISA for functions without isa("...")
+  bool schedule = true;             ///< pack VLIW groups (false: one op per instr)
+  bool emit_loc = true;             ///< emit .loc directives for debug info
+};
+
+/// Generates a complete assembly file for `prog`.
+std::string generate_assembly(const IrProgram& prog, const CodegenOptions& options,
+                              std::string_view source_file, DiagEngine& diags);
+
+} // namespace ksim::kcc

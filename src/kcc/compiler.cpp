@@ -1,0 +1,27 @@
+#include "kcc/compiler.h"
+
+#include "kcc/irgen.h"
+#include "kcc/parser.h"
+
+namespace ksim::kcc {
+
+CompileResult compile(std::string_view source, const CompileOptions& options,
+                      DiagEngine& diags, bool dump_ir) {
+  CompileResult result;
+  const TranslationUnit unit = parse(source, options.file_name, diags);
+  if (diags.has_errors()) return result;
+  const IrProgram prog = generate_ir(unit, options.file_name, diags);
+  if (diags.has_errors()) return result;
+  if (dump_ir) result.ir_dump = dump(prog);
+  result.assembly = generate_assembly(prog, options.codegen, options.file_name, diags);
+  return result;
+}
+
+std::string compile_or_throw(std::string_view source, const CompileOptions& options) {
+  DiagEngine diags;
+  CompileResult result = compile(source, options, diags);
+  diags.throw_if_errors();
+  return std::move(result.assembly);
+}
+
+} // namespace ksim::kcc

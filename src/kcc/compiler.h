@@ -1,0 +1,33 @@
+// MiniC compiler driver: C source → K-ISA assembly.
+//
+// Mirrors the paper's retargetable compiler interface (§IV): per-function ISA
+// targeting via isa("NAME") attributes, a translation-unit default ISA, `.isa`
+// pseudo directives in the output, and .file/.loc debug directives feeding the
+// simulator's source-line mapping.
+#pragma once
+
+#include <string>
+
+#include "kcc/codegen.h"
+#include "support/diag.h"
+
+namespace ksim::kcc {
+
+struct CompileOptions {
+  std::string file_name = "<minic>";
+  CodegenOptions codegen;
+};
+
+struct CompileResult {
+  std::string assembly;
+  std::string ir_dump; ///< filled when dump_ir was requested
+};
+
+/// Compiles MiniC source to assembly.  Errors go to `diags`.
+CompileResult compile(std::string_view source, const CompileOptions& options,
+                      DiagEngine& diags, bool dump_ir = false);
+
+/// Convenience wrapper that throws ksim::Error on any diagnostic.
+std::string compile_or_throw(std::string_view source, const CompileOptions& options = {});
+
+} // namespace ksim::kcc

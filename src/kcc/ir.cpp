@@ -1,0 +1,198 @@
+#include "kcc/ir.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::kcc {
+
+Cc negate_cc(Cc cc) {
+  switch (cc) {
+    case Cc::Eq: return Cc::Ne;
+    case Cc::Ne: return Cc::Eq;
+    case Cc::LtS: return Cc::GeS;
+    case Cc::GeS: return Cc::LtS;
+    case Cc::LtU: return Cc::GeU;
+    case Cc::GeU: return Cc::LtU;
+  }
+  throw Error("negate_cc: bad cc");
+}
+
+namespace {
+
+const char* op_name(IrOp op) {
+  switch (op) {
+    case IrOp::Add: return "add";
+    case IrOp::Sub: return "sub";
+    case IrOp::Mul: return "mul";
+    case IrOp::DivS: return "divs";
+    case IrOp::DivU: return "divu";
+    case IrOp::RemS: return "rems";
+    case IrOp::RemU: return "remu";
+    case IrOp::And: return "and";
+    case IrOp::Or: return "or";
+    case IrOp::Xor: return "xor";
+    case IrOp::Shl: return "shl";
+    case IrOp::ShrL: return "shrl";
+    case IrOp::ShrA: return "shra";
+    case IrOp::SltS: return "slts";
+    case IrOp::SltU: return "sltu";
+    case IrOp::SleS: return "sles";
+    case IrOp::SleU: return "sleu";
+    case IrOp::Seq: return "seq";
+    case IrOp::Sne: return "sne";
+    case IrOp::LiConst: return "li";
+    case IrOp::LaGlobal: return "la";
+    case IrOp::FrameAddr: return "frameaddr";
+    case IrOp::Mv: return "mv";
+    case IrOp::Load: return "load";
+    case IrOp::Store: return "store";
+    case IrOp::Call: return "call";
+    case IrOp::Ret: return "ret";
+    case IrOp::Br: return "br";
+    case IrOp::CondBr: return "condbr";
+  }
+  return "?";
+}
+
+const char* cc_name(Cc cc) {
+  switch (cc) {
+    case Cc::Eq: return "eq";
+    case Cc::Ne: return "ne";
+    case Cc::LtS: return "lt";
+    case Cc::GeS: return "ge";
+    case Cc::LtU: return "ltu";
+    case Cc::GeU: return "geu";
+  }
+  return "?";
+}
+
+std::string inst_to_string(const IrInst& i) {
+  switch (i.op) {
+    case IrOp::LiConst: return strf("v%d = li %d", i.dst, i.imm);
+    case IrOp::LaGlobal: return strf("v%d = la %s+%d", i.dst, i.sym.c_str(), i.imm);
+    case IrOp::FrameAddr: return strf("v%d = frameaddr #%d+%d", i.dst, i.frame_id, i.imm);
+    case IrOp::Mv: return strf("v%d = v%d", i.dst, i.a);
+    case IrOp::Load:
+      return strf("v%d = load%u%s [v%d+%d]", i.dst, i.size, i.is_signed ? "s" : "u",
+                  i.a, i.imm);
+    case IrOp::Store: return strf("store%u [v%d+%d], v%d", i.size, i.a, i.imm, i.b);
+    case IrOp::Call: {
+      std::string s = i.dst >= 0 ? strf("v%d = call %s(", i.dst, i.sym.c_str())
+                                 : strf("call %s(", i.sym.c_str());
+      for (size_t k = 0; k < i.args.size(); ++k)
+        s += strf("%sv%d", k > 0 ? ", " : "", i.args[k]);
+      return s + ")";
+    }
+    case IrOp::Ret: return i.a >= 0 ? strf("ret v%d", i.a) : "ret";
+    case IrOp::Br: return strf("br b%d", i.target);
+    case IrOp::CondBr:
+      return strf("if (v%d %s v%d) br b%d else b%d", i.a, cc_name(i.cc), i.b, i.target,
+                  i.target2);
+    default:
+      if (i.has_imm) return strf("v%d = %s v%d, %d", i.dst, op_name(i.op), i.a, i.imm);
+      return strf("v%d = %s v%d, v%d", i.dst, op_name(i.op), i.a, i.b);
+  }
+}
+
+} // namespace
+
+std::string dump(const IrFunction& fn) {
+  std::string out = strf("function %s (%zu params, %d vregs, isa=%s)\n", fn.name.c_str(),
+                         fn.param_vregs.size(), fn.num_vregs,
+                         fn.isa.empty() ? "<default>" : fn.isa.c_str());
+  for (size_t i = 0; i < fn.frame.size(); ++i)
+    out += strf("  frame #%zu: %s, %d bytes\n", i, fn.frame[i].name.c_str(),
+                fn.frame[i].size);
+  for (const IrBlock& b : fn.blocks) {
+    out += strf("b%d:\n", b.id);
+    for (const IrInst& inst : b.insts) out += "  " + inst_to_string(inst) + "\n";
+  }
+  return out;
+}
+
+std::string dump(const IrProgram& prog) {
+  std::string out;
+  for (const GlobalVar& g : prog.globals)
+    out += strf("global %s: %d bytes%s\n", g.name.c_str(), g.size,
+                g.zero_init ? " (bss)" : "");
+  for (const IrFunction& fn : prog.functions) out += dump(fn);
+  return out;
+}
+
+void layout_blocks(IrFunction& fn) {
+  const size_t n = fn.blocks.size();
+  if (n == 0) return;
+
+  // Reachability from the entry block.
+  std::vector<bool> reachable(n, false);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    if (reachable[static_cast<size_t>(b)]) continue;
+    reachable[static_cast<size_t>(b)] = true;
+    const IrInst& t = fn.blocks[static_cast<size_t>(b)].insts.back();
+    if (t.op == IrOp::Br) stack.push_back(t.target);
+    if (t.op == IrOp::CondBr) {
+      stack.push_back(t.target);
+      stack.push_back(t.target2);
+    }
+  }
+
+  // Chain layout: follow each block's fallthrough edge while possible.
+  std::vector<int> order;
+  std::vector<bool> placed(n, false);
+  std::vector<int> worklist = {0};
+  size_t scan = 0;
+  while (true) {
+    int b = -1;
+    while (!worklist.empty()) {
+      const int cand = worklist.back();
+      worklist.pop_back();
+      if (!placed[static_cast<size_t>(cand)]) {
+        b = cand;
+        break;
+      }
+    }
+    if (b < 0) {
+      while (scan < n && (placed[scan] || !reachable[scan])) ++scan;
+      if (scan == n) break;
+      b = static_cast<int>(scan);
+    }
+    // Extend the chain through fallthrough edges.
+    while (b >= 0 && !placed[static_cast<size_t>(b)]) {
+      placed[static_cast<size_t>(b)] = true;
+      order.push_back(b);
+      const IrInst& t = fn.blocks[static_cast<size_t>(b)].insts.back();
+      int next = -1;
+      if (t.op == IrOp::Br) {
+        next = t.target;
+      } else if (t.op == IrOp::CondBr) {
+        worklist.push_back(t.target);
+        next = t.target2;
+      }
+      b = next;
+    }
+  }
+
+  // Renumber and rewrite targets.
+  std::vector<int> new_id(n, -1);
+  for (size_t i = 0; i < order.size(); ++i)
+    new_id[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  std::vector<IrBlock> blocks;
+  blocks.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    IrBlock blk = std::move(fn.blocks[static_cast<size_t>(order[i])]);
+    blk.id = static_cast<int>(i);
+    IrInst& t = blk.insts.back();
+    if (t.op == IrOp::Br) t.target = new_id[static_cast<size_t>(t.target)];
+    if (t.op == IrOp::CondBr) {
+      t.target = new_id[static_cast<size_t>(t.target)];
+      t.target2 = new_id[static_cast<size_t>(t.target2)];
+    }
+    blocks.push_back(std::move(blk));
+  }
+  fn.blocks = std::move(blocks);
+}
+
+} // namespace ksim::kcc

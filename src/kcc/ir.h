@@ -1,0 +1,110 @@
+// Three-address intermediate representation of the MiniC compiler.
+// Virtual registers (non-SSA), basic blocks, explicit frame objects for
+// address-taken locals and local arrays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kcc/ast.h"
+
+namespace ksim::kcc {
+
+enum class IrOp : uint8_t {
+  // dst = a OP b (or OP imm when has_imm)
+  Add, Sub, Mul, DivS, DivU, RemS, RemU, And, Or, Xor, Shl, ShrL, ShrA,
+  SltS, SltU, SleS, SleU, Seq, Sne,
+  LiConst,   ///< dst = imm
+  LaGlobal,  ///< dst = &sym + imm
+  FrameAddr, ///< dst = sp-relative address of frame object `frame_id` (+imm)
+  Mv,        ///< dst = a
+  Load,      ///< dst = size-byte load from [a + imm] (is_signed: sign-extend)
+  Store,     ///< size-byte store of b to [a + imm]
+  Call,      ///< dst (optional, -1) = sym(args)
+  Ret,       ///< return a (-1 for void)
+  Br,        ///< unconditional jump to block `target`
+  CondBr,    ///< if (a cc b) goto target else goto target2
+};
+
+/// Condition codes matching the branch operations of K-ISA.
+enum class Cc : uint8_t { Eq, Ne, LtS, GeS, LtU, GeU };
+
+Cc negate_cc(Cc cc);
+
+struct IrInst {
+  IrOp op = IrOp::Mv;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  int32_t imm = 0;
+  bool has_imm = false;
+  uint8_t size = 4;       ///< Load/Store width
+  bool is_signed = true;  ///< Load sign extension; DivS vs DivU chosen by op
+  Cc cc = Cc::Eq;
+  std::string sym;        ///< LaGlobal / Call
+  std::vector<int> args;  ///< Call arguments
+  int target = -1;        ///< Br / CondBr taken
+  int target2 = -1;       ///< CondBr fallthrough
+  int frame_id = -1;      ///< FrameAddr
+  int line = 0;           ///< source line (.loc)
+};
+
+struct IrBlock {
+  int id = 0;
+  std::vector<IrInst> insts; ///< last instruction is the terminator
+};
+
+struct FrameObject {
+  std::string name;
+  int size = 4;
+  int align = 4;
+};
+
+struct IrFunction {
+  std::string name;
+  std::string isa;           ///< "" = unit default
+  Type ret;
+  std::vector<int> param_vregs;
+  int num_vregs = 0;
+  std::vector<IrBlock> blocks; ///< block id == vector index
+  std::vector<FrameObject> frame;
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string name;
+  int size = 4;
+  int align = 4;
+  bool zero_init = true;          ///< true → .bss
+  std::vector<uint8_t> init_data; ///< when !zero_init
+};
+
+struct FuncSig {
+  Type ret;
+  std::vector<Type> params;
+  std::string isa;    ///< "" = unit default
+  bool variadic = false;
+  bool isa_any = false; ///< callable from any ISA without switching (libc stubs)
+  bool defined = false;
+  bool builtin = false; ///< implicit libc declaration; user code may override
+                        ///< it with a simulated-ISA implementation (§V-E)
+};
+
+struct IrProgram {
+  std::vector<GlobalVar> globals;
+  std::vector<IrFunction> functions;
+  std::map<std::string, FuncSig> signatures;
+};
+
+/// Human-readable dump (tests and -emit-ir debugging).
+std::string dump(const IrFunction& fn);
+std::string dump(const IrProgram& prog);
+
+/// Reorders blocks into fallthrough-friendly chains (a branch's false edge
+/// is placed right after it whenever possible), renumbers them, and drops
+/// unreachable blocks.  Run after IR generation, before codegen.
+void layout_blocks(IrFunction& fn);
+
+} // namespace ksim::kcc

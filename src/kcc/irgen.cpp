@@ -1,0 +1,1413 @@
+#include "kcc/irgen.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::kcc {
+namespace {
+
+struct Value {
+  int vreg = -1;
+  Type type;
+  /// True when vreg is a freshly created temporary owned by this expression
+  /// (safe to adopt as a variable's register without a copy).
+  bool fresh = false;
+};
+
+struct LValue {
+  enum class Kind { Reg, Mem };
+  Kind kind = Kind::Reg;
+  int vreg = -1;      ///< Reg: the variable's vreg; Mem: the address base vreg
+  int32_t offset = 0; ///< Mem only
+  Type type;          ///< type of the stored value
+};
+
+struct VarInfo {
+  enum class Kind { Global, LocalReg, LocalFrame };
+  Kind kind = Kind::LocalReg;
+  Type type;          ///< element type for arrays
+  bool is_array = false;
+  int vreg = -1;
+  int frame_id = -1;
+  std::string sym;
+};
+
+class IrGen {
+public:
+  IrGen(const TranslationUnit& unit, std::string_view file, DiagEngine& diags)
+      : unit_(unit), file_(file), diags_(diags) {}
+
+  IrProgram run() {
+    declare_builtins();
+    for (const auto& g : unit_.globals) gen_global(*g);
+    for (const auto& f : unit_.functions) declare_function(*f);
+    for (const auto& f : unit_.functions)
+      if (f->body != nullptr) gen_function(*f);
+    return std::move(prog_);
+  }
+
+private:
+  void error(int line, std::string msg) {
+    diags_.error({std::string(file_), line, 0}, std::move(msg));
+  }
+
+  // -- declarations -----------------------------------------------------------
+
+  void declare_builtins() {
+    const Type i{Type::Base::Int, 0};
+    const Type u{Type::Base::UInt, 0};
+    const Type v{Type::Base::Void, 0};
+    const Type cp{Type::Base::Char, 1};
+    auto add = [&](const char* name, Type ret, std::vector<Type> params,
+                   bool variadic = false) {
+      FuncSig sig;
+      sig.ret = ret;
+      sig.params = std::move(params);
+      sig.variadic = variadic;
+      sig.isa_any = true; // stop-bit stubs decode identically in every ISA
+      sig.defined = true; // provided by the libc stub object
+      sig.builtin = true; // may be overridden by a simulated implementation
+      prog_.signatures[name] = std::move(sig);
+    };
+    add("exit", v, {i});
+    add("putchar", i, {i});
+    add("puts", i, {cp});
+    add("printf", i, {cp}, /*variadic=*/true);
+    add("malloc", cp, {u});
+    add("free", v, {cp});
+    add("memcpy", cp, {cp, cp, u});
+    add("memset", cp, {cp, i, u});
+    add("strlen", u, {cp});
+    add("strcmp", i, {cp, cp});
+    add("strcpy", cp, {cp, cp});
+    add("rand", i, {});
+    add("srand", v, {u});
+    add("abort", v, {});
+    add("put_int", v, {i});
+    add("put_hex", v, {u});
+  }
+
+  void declare_function(const FuncDecl& f) {
+    FuncSig sig;
+    sig.ret = f.ret;
+    for (const Param& p : f.params) sig.params.push_back(p.type);
+    sig.isa = f.isa;
+    sig.defined = f.body != nullptr;
+    const auto it = prog_.signatures.find(f.name);
+    if (it == prog_.signatures.end()) {
+      prog_.signatures[f.name] = std::move(sig);
+      return;
+    }
+    FuncSig& old = it->second;
+    if (old.builtin && sig.defined) {
+      // User code replaces a native library function with a real
+      // implementation on the simulated ISA (paper §V-E).
+      if (old.params.size() != sig.params.size())
+        error(f.line, "replacement of builtin '" + f.name + "' changes its signature");
+      prog_.signatures[f.name] = std::move(sig);
+      return;
+    }
+    if (old.params.size() != sig.params.size() && !old.variadic)
+      error(f.line, "conflicting declaration of '" + f.name + "'");
+    if (old.defined && sig.defined)
+      error(f.line, "redefinition of function '" + f.name + "'");
+    if (sig.defined) {
+      old.defined = true;
+      if (!sig.isa.empty()) old.isa = sig.isa;
+    }
+    if (old.isa.empty() && !sig.isa.empty()) old.isa = sig.isa;
+  }
+
+  // -- constant evaluation -------------------------------------------------------
+
+  bool const_eval(const Expr& e, int64_t& out) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        out = e.value;
+        return true;
+      case Expr::Kind::Unary: {
+        int64_t v = 0;
+        if (e.a == nullptr || !const_eval(*e.a, v)) return false;
+        switch (e.op) {
+          case Tok::Minus: out = -v; return true;
+          case Tok::Tilde: out = ~v; return true;
+          case Tok::Bang: out = v == 0 ? 1 : 0; return true;
+          default: return false;
+        }
+      }
+      case Expr::Kind::Cast: {
+        int64_t v = 0;
+        if (!const_eval(*e.a, v)) return false;
+        if (e.cast_type.is_char() && e.cast_type.ptr == 0)
+          out = e.cast_type.is_unsigned() ? (v & 0xFF)
+                                          : static_cast<int8_t>(v & 0xFF);
+        else
+          out = static_cast<int32_t>(v);
+        return true;
+      }
+      case Expr::Kind::Binary: {
+        int64_t a = 0;
+        int64_t b = 0;
+        if (!const_eval(*e.a, a) || !const_eval(*e.b, b)) return false;
+        const auto ua = static_cast<uint32_t>(a);
+        const auto ub = static_cast<uint32_t>(b);
+        switch (e.op) {
+          case Tok::Plus: out = static_cast<int32_t>(ua + ub); return true;
+          case Tok::Minus: out = static_cast<int32_t>(ua - ub); return true;
+          case Tok::Star: out = static_cast<int32_t>(ua * ub); return true;
+          case Tok::Slash:
+            if (b == 0) return false;
+            out = static_cast<int32_t>(a / b);
+            return true;
+          case Tok::Percent:
+            if (b == 0) return false;
+            out = static_cast<int32_t>(a % b);
+            return true;
+          case Tok::Amp: out = static_cast<int32_t>(ua & ub); return true;
+          case Tok::Pipe: out = static_cast<int32_t>(ua | ub); return true;
+          case Tok::Caret: out = static_cast<int32_t>(ua ^ ub); return true;
+          case Tok::Shl: out = static_cast<int32_t>(ua << (ub & 31)); return true;
+          case Tok::Shr: out = static_cast<int32_t>(ua >> (ub & 31)); return true;
+          case Tok::Lt: out = a < b; return true;
+          case Tok::Gt: out = a > b; return true;
+          case Tok::Le: out = a <= b; return true;
+          case Tok::Ge: out = a >= b; return true;
+          case Tok::EqEq: out = a == b; return true;
+          case Tok::NotEq: out = a != b; return true;
+          default: return false;
+        }
+      }
+      default:
+        return false;
+    }
+  }
+
+  // -- globals --------------------------------------------------------------------
+
+  void append_scalar(std::vector<uint8_t>& bytes, int64_t value, int size) {
+    for (int i = 0; i < size; ++i)
+      bytes.push_back(static_cast<uint8_t>(static_cast<uint64_t>(value) >> (8 * i)));
+  }
+
+  void gen_global(const VarDecl& d) {
+    if (globals_.count(d.name) != 0 || prog_.signatures.count(d.name) != 0) {
+      error(d.line, "redefinition of '" + d.name + "'");
+      return;
+    }
+    GlobalVar g;
+    g.name = d.name;
+    const int elem = d.type.size();
+    const int count = d.array_size >= 0 ? d.array_size : 1;
+    g.size = elem * count;
+    g.align = elem >= 4 ? 4 : elem;
+
+    if (d.has_init_string) {
+      g.zero_init = false;
+      for (char c : d.init_string) g.init_data.push_back(static_cast<uint8_t>(c));
+      g.init_data.resize(static_cast<size_t>(g.size), 0);
+    } else if (!d.init_list.empty()) {
+      if (static_cast<int>(d.init_list.size()) > count)
+        error(d.line, "too many initializers for '" + d.name + "'");
+      g.zero_init = false;
+      for (const ExprPtr& e : d.init_list) {
+        int64_t v = 0;
+        if (!const_eval(*e, v)) {
+          error(e->line, "global initializer must be constant");
+          v = 0;
+        }
+        append_scalar(g.init_data, v, elem);
+      }
+      g.init_data.resize(static_cast<size_t>(g.size), 0);
+    } else if (d.init != nullptr) {
+      int64_t v = 0;
+      if (!const_eval(*d.init, v)) {
+        error(d.init->line, "global initializer must be constant");
+        v = 0;
+      }
+      if (v != 0) {
+        g.zero_init = false;
+        append_scalar(g.init_data, v, elem);
+        g.init_data.resize(static_cast<size_t>(g.size), 0);
+      }
+    }
+
+    VarInfo info;
+    info.kind = VarInfo::Kind::Global;
+    info.type = d.type;
+    info.is_array = d.array_size >= 0;
+    info.sym = d.name;
+    globals_[d.name] = info;
+    prog_.globals.push_back(std::move(g));
+  }
+
+  std::string intern_string(const std::string& text) {
+    const auto it = string_pool_.find(text);
+    if (it != string_pool_.end()) return it->second;
+    const std::string name = strf(".Lstr%zu", string_pool_.size());
+    GlobalVar g;
+    g.name = name;
+    g.size = static_cast<int>(text.size()) + 1;
+    g.align = 1;
+    g.zero_init = false;
+    for (char c : text) g.init_data.push_back(static_cast<uint8_t>(c));
+    g.init_data.push_back(0);
+    prog_.globals.push_back(std::move(g));
+    string_pool_[text] = name;
+    return name;
+  }
+
+  // -- function generation -----------------------------------------------------------
+
+  int new_vreg() { return fn_->num_vregs++; }
+
+  int new_block() {
+    const int id = static_cast<int>(fn_->blocks.size());
+    fn_->blocks.push_back({id, {}});
+    return id;
+  }
+
+  IrInst& emit(IrInst inst) {
+    inst.line = cur_line_;
+    fn_->blocks[static_cast<size_t>(cur_block_)].insts.push_back(std::move(inst));
+    return fn_->blocks[static_cast<size_t>(cur_block_)].insts.back();
+  }
+
+  bool block_terminated() const {
+    const auto& insts = fn_->blocks[static_cast<size_t>(cur_block_)].insts;
+    if (insts.empty()) return false;
+    const IrOp op = insts.back().op;
+    return op == IrOp::Br || op == IrOp::CondBr || op == IrOp::Ret;
+  }
+
+  void switch_to(int block) {
+    if (!block_terminated()) {
+      IrInst br;
+      br.op = IrOp::Br;
+      br.target = block;
+      emit(br);
+    }
+    cur_block_ = block;
+    const_cache_.clear();
+    global_addr_cache_.clear();
+  }
+
+  /// Starts emitting into `block` without adding a fallthrough branch
+  /// (used after explicit terminators).
+  void start_block(int block) {
+    cur_block_ = block;
+    const_cache_.clear();
+    global_addr_cache_.clear();
+  }
+
+  int materialize_const(int32_t value) {
+    const auto it = const_cache_.find(value);
+    if (it != const_cache_.end()) return it->second;
+    IrInst li;
+    li.op = IrOp::LiConst;
+    li.dst = new_vreg();
+    li.imm = value;
+    emit(li);
+    const_cache_[value] = li.dst;
+    return li.dst;
+  }
+
+  // Scope management.
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  VarInfo* find_var(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    const auto g = globals_.find(name);
+    return g == globals_.end() ? nullptr : &g->second;
+  }
+
+  /// Collects names of locals whose address is taken anywhere in the function
+  /// (conservative, name-based).
+  void collect_addr_taken(const Stmt& s, std::set<std::string>& out) {
+    const std::function<void(const Expr&)> walk_expr = [&](const Expr& e) {
+      if (e.kind == Expr::Kind::Unary && e.op == Tok::Amp && e.a != nullptr &&
+          e.a->kind == Expr::Kind::Var)
+        out.insert(e.a->text);
+      for (const Expr* child : {e.a.get(), e.b.get(), e.c.get()})
+        if (child != nullptr) walk_expr(*child);
+      for (const ExprPtr& arg : e.args) walk_expr(*arg);
+    };
+    const std::function<void(const Stmt&)> walk = [&](const Stmt& st) {
+      for (const Expr* e :
+           {st.cond.get(), st.step.get(), st.expr.get()})
+        if (e != nullptr) walk_expr(*e);
+      if (st.decl != nullptr) {
+        if (st.decl->init != nullptr) walk_expr(*st.decl->init);
+        for (const ExprPtr& e : st.decl->init_list) walk_expr(*e);
+      }
+      for (const Stmt* child :
+           {st.then_stmt.get(), st.else_stmt.get(), st.init_stmt.get()})
+        if (child != nullptr) walk(*child);
+      for (const StmtPtr& child : st.body) walk(*child);
+    };
+    walk(s);
+  }
+
+  void gen_function(const FuncDecl& f) {
+    IrFunction fn;
+    fn.name = f.name;
+    fn.isa = f.isa;
+    fn.ret = f.ret;
+    fn.line = f.line;
+    fn_ = &fn;
+    cur_fn_decl_ = &f;
+    addr_taken_.clear();
+    collect_addr_taken(*f.body, addr_taken_);
+
+    scopes_.clear();
+    push_scope();
+    start_block(new_block());
+
+    for (const Param& p : f.params) {
+      const int vreg = new_vreg();
+      fn.param_vregs.push_back(vreg);
+      VarInfo info;
+      info.type = p.type;
+      if (addr_taken_.count(p.name) != 0) {
+        info.kind = VarInfo::Kind::LocalFrame;
+        info.frame_id = static_cast<int>(fn.frame.size());
+        fn.frame.push_back({p.name, 4, 4});
+        // Copy the incoming value to its frame slot.
+        IrInst addr;
+        addr.op = IrOp::FrameAddr;
+        addr.dst = new_vreg();
+        addr.frame_id = info.frame_id;
+        emit(addr);
+        IrInst store;
+        store.op = IrOp::Store;
+        store.a = addr.dst;
+        store.b = vreg;
+        store.size = 4;
+        emit(store);
+      } else {
+        info.kind = VarInfo::Kind::LocalReg;
+        info.vreg = vreg;
+      }
+      scopes_.back()[p.name] = info;
+    }
+
+    gen_stmt(*f.body);
+
+    if (!block_terminated()) {
+      // Implicit return (0 for value-returning functions, as for main in C99).
+      IrInst ret;
+      ret.op = IrOp::Ret;
+      ret.a = f.ret.is_void() ? -1 : materialize_const(0);
+      emit(ret);
+    }
+    // Every block must end in a terminator for the layout pass; blocks that
+    // were created but never reached (dead join points) get a plain return.
+    for (IrBlock& b : fn.blocks) {
+      const bool terminated =
+          !b.insts.empty() && (b.insts.back().op == IrOp::Br ||
+                               b.insts.back().op == IrOp::CondBr ||
+                               b.insts.back().op == IrOp::Ret);
+      if (!terminated) {
+        IrInst ret;
+        ret.op = IrOp::Ret;
+        ret.a = -1;
+        b.insts.push_back(ret);
+      }
+    }
+    layout_blocks(fn);
+    pop_scope();
+    prog_.functions.push_back(std::move(fn));
+    fn_ = nullptr;
+  }
+
+  // -- statements -----------------------------------------------------------------------
+
+  void gen_stmt(const Stmt& s) {
+    cur_line_ = s.line;
+    switch (s.kind) {
+      case Stmt::Kind::Empty:
+        return;
+      case Stmt::Kind::Block: {
+        push_scope();
+        for (const StmtPtr& child : s.body) gen_stmt(*child);
+        pop_scope();
+        return;
+      }
+      case Stmt::Kind::Decl:
+        gen_local_decl(*s.decl);
+        return;
+      case Stmt::Kind::ExprStmt:
+        gen_expr(*s.expr);
+        return;
+      case Stmt::Kind::Return: {
+        IrInst ret;
+        ret.op = IrOp::Ret;
+        if (s.expr != nullptr) {
+          if (cur_fn_decl_->ret.is_void())
+            error(s.line, "returning a value from a void function");
+          ret.a = gen_expr(*s.expr).vreg;
+        } else if (!cur_fn_decl_->ret.is_void()) {
+          error(s.line, "non-void function must return a value");
+          ret.a = materialize_const(0);
+        }
+        emit(ret);
+        start_block(new_block());
+        return;
+      }
+      case Stmt::Kind::If: {
+        const int then_b = new_block();
+        const int else_b = s.else_stmt != nullptr ? new_block() : -1;
+        const int join_b = new_block();
+        gen_cond(*s.cond, then_b, else_b >= 0 ? else_b : join_b);
+        start_block(then_b);
+        gen_stmt(*s.then_stmt);
+        switch_to(join_b);
+        if (else_b >= 0) {
+          start_block(else_b);
+          gen_stmt(*s.else_stmt);
+          switch_to(join_b);
+        }
+        start_block(join_b);
+        return;
+      }
+      case Stmt::Kind::While: {
+        // Rotated loop: entry test, then a bottom-tested body (one branch per
+        // iteration instead of a conditional branch plus a jump).
+        const int body = new_block();
+        const int check = new_block();
+        const int exit = new_block();
+        gen_cond(*s.cond, body, exit);
+        start_block(body);
+        loop_stack_.push_back({check, exit});
+        gen_stmt(*s.then_stmt);
+        loop_stack_.pop_back();
+        switch_to(check);
+        gen_cond(*s.cond, body, exit);
+        start_block(exit);
+        return;
+      }
+      case Stmt::Kind::DoWhile: {
+        const int body = new_block();
+        const int cond_b = new_block();
+        const int exit = new_block();
+        switch_to(body);
+        loop_stack_.push_back({cond_b, exit});
+        gen_stmt(*s.then_stmt);
+        loop_stack_.pop_back();
+        switch_to(cond_b);
+        gen_cond(*s.cond, body, exit);
+        start_block(exit);
+        return;
+      }
+      case Stmt::Kind::For: {
+        // Rotated: entry test, body, step, bottom test.
+        push_scope();
+        if (s.init_stmt != nullptr) gen_stmt(*s.init_stmt);
+        const int body = new_block();
+        const int step_b = new_block();
+        const int exit = new_block();
+        if (s.cond != nullptr)
+          gen_cond(*s.cond, body, exit);
+        else
+          switch_to(body);
+        start_block(body);
+        loop_stack_.push_back({step_b, exit});
+        gen_stmt(*s.then_stmt);
+        loop_stack_.pop_back();
+        switch_to(step_b);
+        if (s.step != nullptr) gen_expr(*s.step);
+        if (s.cond != nullptr) {
+          gen_cond(*s.cond, body, exit);
+        } else {
+          IrInst br;
+          br.op = IrOp::Br;
+          br.target = body;
+          emit(br);
+        }
+        start_block(exit);
+        pop_scope();
+        return;
+      }
+      case Stmt::Kind::Break: {
+        if (loop_stack_.empty()) {
+          error(s.line, "break outside a loop");
+          return;
+        }
+        IrInst br;
+        br.op = IrOp::Br;
+        br.target = loop_stack_.back().break_target;
+        emit(br);
+        start_block(new_block());
+        return;
+      }
+      case Stmt::Kind::Continue: {
+        if (loop_stack_.empty()) {
+          error(s.line, "continue outside a loop");
+          return;
+        }
+        IrInst br;
+        br.op = IrOp::Br;
+        br.target = loop_stack_.back().continue_target;
+        emit(br);
+        start_block(new_block());
+        return;
+      }
+    }
+  }
+
+  void gen_local_decl(const VarDecl& d) {
+    VarInfo info;
+    info.type = d.type;
+    if (d.array_size >= 0 || addr_taken_.count(d.name) != 0) {
+      info.kind = VarInfo::Kind::LocalFrame;
+      info.is_array = d.array_size >= 0;
+      const int elem = d.type.size();
+      const int bytes = d.array_size >= 0 ? elem * d.array_size : 4;
+      info.frame_id = static_cast<int>(fn_->frame.size());
+      fn_->frame.push_back({d.name, std::max(bytes, 4), 4});
+      if (d.has_init_string) {
+        // Copy the string into the array element by element.
+        const int addr = frame_addr(info.frame_id, 0);
+        for (size_t i = 0; i <= d.init_string.size(); ++i) {
+          const char c = i < d.init_string.size() ? d.init_string[i] : '\0';
+          IrInst store;
+          store.op = IrOp::Store;
+          store.a = addr;
+          store.b = materialize_const(c);
+          store.imm = static_cast<int32_t>(i);
+          store.size = 1;
+          emit(store);
+        }
+      } else if (!d.init_list.empty()) {
+        const int addr = frame_addr(info.frame_id, 0);
+        for (size_t i = 0; i < d.init_list.size(); ++i) {
+          IrInst store;
+          store.op = IrOp::Store;
+          store.a = addr;
+          store.b = coerce(gen_expr(*d.init_list[i]), d.type).vreg;
+          store.imm = static_cast<int32_t>(i) * elem;
+          store.size = static_cast<uint8_t>(elem);
+          emit(store);
+        }
+      } else if (d.init != nullptr) {
+        const int addr = frame_addr(info.frame_id, 0);
+        IrInst store;
+        store.op = IrOp::Store;
+        store.a = addr;
+        store.b = coerce(gen_expr(*d.init), d.type).vreg;
+        store.size = static_cast<uint8_t>(d.array_size >= 0 ? elem : 4);
+        emit(store);
+      }
+    } else {
+      info.kind = VarInfo::Kind::LocalReg;
+      if (d.init != nullptr) {
+        const Value v = coerce(gen_expr(*d.init), d.type);
+        if (v.fresh) {
+          // Move coalescing: adopt the freshly produced temporary directly.
+          info.vreg = v.vreg;
+        } else {
+          info.vreg = new_vreg();
+          IrInst mv;
+          mv.op = IrOp::Mv;
+          mv.dst = info.vreg;
+          mv.a = v.vreg;
+          emit(mv);
+        }
+      } else {
+        info.vreg = new_vreg();
+      }
+    }
+    if (scopes_.back().count(d.name) != 0)
+      error(d.line, "redefinition of '" + d.name + "' in the same scope");
+    scopes_.back()[d.name] = info;
+  }
+
+  int frame_addr(int frame_id, int32_t offset) {
+    IrInst addr;
+    addr.op = IrOp::FrameAddr;
+    addr.dst = new_vreg();
+    addr.frame_id = frame_id;
+    addr.imm = offset;
+    emit(addr);
+    return addr.dst;
+  }
+
+  // -- conditions ------------------------------------------------------------------------
+
+  struct LoopTargets {
+    int continue_target;
+    int break_target;
+  };
+
+  void emit_cond_br(Cc cc, int a, int b, int t, int f) {
+    IrInst br;
+    br.op = IrOp::CondBr;
+    br.cc = cc;
+    br.a = a;
+    br.b = b;
+    br.target = t;
+    br.target2 = f;
+    emit(br);
+  }
+
+  void gen_cond(const Expr& e, int true_b, int false_b) {
+    cur_line_ = e.line;
+    if (e.kind == Expr::Kind::Unary && e.op == Tok::Bang) {
+      gen_cond(*e.a, false_b, true_b);
+      return;
+    }
+    if (e.kind == Expr::Kind::Binary && e.op == Tok::AndAnd) {
+      const int mid = new_block();
+      gen_cond(*e.a, mid, false_b);
+      start_block(mid);
+      gen_cond(*e.b, true_b, false_b);
+      return;
+    }
+    if (e.kind == Expr::Kind::Binary && e.op == Tok::OrOr) {
+      const int mid = new_block();
+      gen_cond(*e.a, true_b, mid);
+      start_block(mid);
+      gen_cond(*e.b, true_b, false_b);
+      return;
+    }
+    if (e.kind == Expr::Kind::Binary && is_comparison(e.op)) {
+      Value a = gen_expr(*e.a);
+      Value b = gen_expr(*e.b);
+      const bool uns = a.type.is_unsigned() || b.type.is_unsigned();
+      Cc cc;
+      bool swap = false;
+      switch (e.op) {
+        case Tok::EqEq: cc = Cc::Eq; break;
+        case Tok::NotEq: cc = Cc::Ne; break;
+        case Tok::Lt: cc = uns ? Cc::LtU : Cc::LtS; break;
+        case Tok::Ge: cc = uns ? Cc::GeU : Cc::GeS; break;
+        case Tok::Gt: cc = uns ? Cc::LtU : Cc::LtS; swap = true; break;
+        case Tok::Le: cc = uns ? Cc::GeU : Cc::GeS; swap = true; break;
+        default: cc = Cc::Ne; break;
+      }
+      if (swap) std::swap(a, b);
+      emit_cond_br(cc, a.vreg, b.vreg, true_b, false_b);
+      return;
+    }
+    int64_t cval = 0;
+    if (const_eval(e, cval)) {
+      IrInst br;
+      br.op = IrOp::Br;
+      br.target = cval != 0 ? true_b : false_b;
+      emit(br);
+      return;
+    }
+    const Value v = gen_expr(e);
+    emit_cond_br(Cc::Ne, v.vreg, materialize_const(0), true_b, false_b);
+  }
+
+  static bool is_comparison(Tok op) {
+    switch (op) {
+      case Tok::Lt:
+      case Tok::Gt:
+      case Tok::Le:
+      case Tok::Ge:
+      case Tok::EqEq:
+      case Tok::NotEq: return true;
+      default: return false;
+    }
+  }
+
+  // -- expressions ------------------------------------------------------------------------
+
+  /// Inserts conversions for assignments (currently types share one 32-bit
+  /// representation; this normalizes char truncation on demand).
+  Value coerce(Value v, const Type& to) {
+    v.type = to;
+    return v;
+  }
+
+  Value gen_expr(const Expr& e) {
+    cur_line_ = e.line;
+    int64_t cval = 0;
+    if (e.kind != Expr::Kind::IntLit && const_eval(e, cval)) {
+      Value v;
+      v.vreg = materialize_const(static_cast<int32_t>(cval));
+      v.type = Type{Type::Base::Int, 0};
+      return v;
+    }
+    switch (e.kind) {
+      case Expr::Kind::IntLit: {
+        Value v;
+        v.vreg = materialize_const(static_cast<int32_t>(e.value));
+        v.type = Type{Type::Base::Int, 0};
+        return v;
+      }
+      case Expr::Kind::StrLit: {
+        IrInst la;
+        la.op = IrOp::LaGlobal;
+        la.dst = new_vreg();
+        la.sym = intern_string(e.text);
+        emit(la);
+        Value v;
+        v.vreg = la.dst;
+        v.type = Type{Type::Base::Char, 1};
+        v.fresh = true;
+        return v;
+      }
+      case Expr::Kind::Var: {
+        const VarInfo* info = find_var(e.text);
+        if (info == nullptr) {
+          error(e.line, "use of undeclared identifier '" + e.text + "'");
+          return {materialize_const(0), Type{Type::Base::Int, 0}};
+        }
+        if (info->is_array) {
+          // Arrays decay to a pointer to their first element.
+          Value v;
+          v.vreg = address_of(*info, 0);
+          v.type = info->type.pointer_to();
+          return v;
+        }
+        if (info->kind == VarInfo::Kind::LocalReg)
+          return {info->vreg, info->type};
+        // Frame or global scalar: load it.
+        const int addr = address_of(*info, 0);
+        IrInst load;
+        load.op = IrOp::Load;
+        load.dst = new_vreg();
+        load.a = addr;
+        load.size = static_cast<uint8_t>(info->type.size());
+        load.is_signed = !info->type.is_unsigned();
+        emit(load);
+        return {load.dst, info->type, /*fresh=*/true};
+      }
+      case Expr::Kind::Unary:
+        return gen_unary(e);
+      case Expr::Kind::Binary:
+        return gen_binary(e);
+      case Expr::Kind::Assign:
+        return gen_assign(e);
+      case Expr::Kind::Cond: {
+        const int then_b = new_block();
+        const int else_b = new_block();
+        const int join_b = new_block();
+        const int result = new_vreg();
+        gen_cond(*e.a, then_b, else_b);
+        start_block(then_b);
+        const Value tv = gen_expr(*e.b);
+        IrInst mv1;
+        mv1.op = IrOp::Mv;
+        mv1.dst = result;
+        mv1.a = tv.vreg;
+        emit(mv1);
+        switch_to(join_b);
+        start_block(else_b);
+        const Value fv = gen_expr(*e.c);
+        IrInst mv2;
+        mv2.op = IrOp::Mv;
+        mv2.dst = result;
+        mv2.a = fv.vreg;
+        emit(mv2);
+        switch_to(join_b);
+        start_block(join_b);
+        return {result, tv.type, /*fresh=*/true};
+      }
+      case Expr::Kind::Call:
+        return gen_call(e);
+      case Expr::Kind::Index: {
+        const LValue lv = gen_index_lvalue(e);
+        return load_lvalue(lv);
+      }
+      case Expr::Kind::Cast: {
+        Value v = gen_expr(*e.a);
+        if (e.cast_type.is_char() && e.cast_type.ptr == 0) {
+          // Truncate to 8 bits with the right extension.
+          IrInst and8;
+          and8.op = IrOp::And;
+          and8.dst = new_vreg();
+          and8.a = v.vreg;
+          and8.imm = 0xFF;
+          and8.has_imm = true;
+          emit(and8);
+          int out = and8.dst;
+          if (!e.cast_type.is_unsigned()) {
+            IrInst shl;
+            shl.op = IrOp::Shl;
+            shl.dst = new_vreg();
+            shl.a = out;
+            shl.imm = 24;
+            shl.has_imm = true;
+            emit(shl);
+            IrInst sra;
+            sra.op = IrOp::ShrA;
+            sra.dst = new_vreg();
+            sra.a = shl.dst;
+            sra.imm = 24;
+            sra.has_imm = true;
+            emit(sra);
+            out = sra.dst;
+          }
+          return {out, e.cast_type, /*fresh=*/true};
+        }
+        v.type = e.cast_type;
+        return v; // freshness inherited for representation-preserving casts
+      }
+    }
+    return {materialize_const(0), Type{Type::Base::Int, 0}};
+  }
+
+  /// Address of a variable (+byte offset): frame, or global.
+  int address_of(const VarInfo& info, int32_t offset) {
+    if (info.kind == VarInfo::Kind::LocalFrame) return frame_addr(info.frame_id, offset);
+    if (info.kind == VarInfo::Kind::Global) {
+      // Reuse an already materialized address of the same global within the
+      // current block (hot for table-heavy code such as the AES T-tables).
+      const std::pair<std::string, int32_t> key{info.sym, offset};
+      const auto it = global_addr_cache_.find(key);
+      if (it != global_addr_cache_.end()) return it->second;
+      IrInst la;
+      la.op = IrOp::LaGlobal;
+      la.dst = new_vreg();
+      la.sym = info.sym;
+      la.imm = offset;
+      emit(la);
+      global_addr_cache_[key] = la.dst;
+      return la.dst;
+    }
+    throw Error("address_of register variable");
+  }
+
+  LValue gen_lvalue(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Var: {
+        const VarInfo* info = find_var(e.text);
+        if (info == nullptr) {
+          error(e.line, "use of undeclared identifier '" + e.text + "'");
+          return {};
+        }
+        if (info->is_array) {
+          error(e.line, "cannot assign to array '" + e.text + "'");
+          return {};
+        }
+        if (info->kind == VarInfo::Kind::LocalReg) {
+          LValue lv;
+          lv.kind = LValue::Kind::Reg;
+          lv.vreg = info->vreg;
+          lv.type = info->type;
+          return lv;
+        }
+        LValue lv;
+        lv.kind = LValue::Kind::Mem;
+        lv.vreg = address_of(*info, 0);
+        lv.type = info->type;
+        return lv;
+      }
+      case Expr::Kind::Index:
+        return gen_index_lvalue(e);
+      case Expr::Kind::Unary:
+        if (e.op == Tok::Star) {
+          const Value p = gen_expr(*e.a);
+          if (!p.type.is_pointer()) error(e.line, "dereferencing a non-pointer");
+          LValue lv;
+          lv.kind = LValue::Kind::Mem;
+          lv.vreg = p.vreg;
+          lv.type = p.type.is_pointer() ? p.type.deref() : Type{Type::Base::Int, 0};
+          return lv;
+        }
+        break;
+      default:
+        break;
+    }
+    error(e.line, "expression is not assignable");
+    return {};
+  }
+
+  LValue gen_index_lvalue(const Expr& e) {
+    const Value base = gen_expr(*e.a);
+    if (!base.type.is_pointer()) {
+      error(e.line, "indexing a non-pointer");
+      return {};
+    }
+    const Type elem = base.type.deref();
+    const int esize = elem.size();
+
+    LValue lv;
+    lv.kind = LValue::Kind::Mem;
+    lv.type = elem;
+
+    int64_t cidx = 0;
+    if (const_eval(*e.b, cidx) && fits_signed(cidx * esize, 15)) {
+      lv.vreg = base.vreg;
+      lv.offset = static_cast<int32_t>(cidx * esize);
+      return lv;
+    }
+    const Value idx = gen_expr(*e.b);
+    int scaled = idx.vreg;
+    if (esize > 1) {
+      IrInst shl;
+      shl.op = IrOp::Shl;
+      shl.dst = new_vreg();
+      shl.a = idx.vreg;
+      shl.imm = static_cast<int32_t>(log2_pow2(static_cast<uint64_t>(esize)));
+      shl.has_imm = true;
+      emit(shl);
+      scaled = shl.dst;
+    }
+    IrInst add;
+    add.op = IrOp::Add;
+    add.dst = new_vreg();
+    add.a = base.vreg;
+    add.b = scaled;
+    emit(add);
+    lv.vreg = add.dst;
+    return lv;
+  }
+
+  Value load_lvalue(const LValue& lv) {
+    if (lv.kind == LValue::Kind::Reg) return {lv.vreg, lv.type};
+    IrInst load;
+    load.op = IrOp::Load;
+    load.dst = new_vreg();
+    load.a = lv.vreg;
+    load.imm = lv.offset;
+    load.size = static_cast<uint8_t>(lv.type.size());
+    load.is_signed = !lv.type.is_unsigned();
+    emit(load);
+    return {load.dst, lv.type, /*fresh=*/true};
+  }
+
+  void store_lvalue(const LValue& lv, int vreg) {
+    if (lv.kind == LValue::Kind::Reg) {
+      IrInst mv;
+      mv.op = IrOp::Mv;
+      mv.dst = lv.vreg;
+      mv.a = vreg;
+      emit(mv);
+      return;
+    }
+    IrInst store;
+    store.op = IrOp::Store;
+    store.a = lv.vreg;
+    store.b = vreg;
+    store.imm = lv.offset;
+    store.size = static_cast<uint8_t>(lv.type.size());
+    emit(store);
+  }
+
+  Value gen_unary(const Expr& e) {
+    switch (e.op) {
+      case Tok::Minus: {
+        const Value a = gen_expr(*e.a);
+        IrInst sub;
+        sub.op = IrOp::Sub;
+        sub.dst = new_vreg();
+        sub.a = materialize_const(0);
+        sub.b = a.vreg;
+        emit(sub);
+        return {sub.dst, a.type, /*fresh=*/true};
+      }
+      case Tok::Tilde: {
+        const Value a = gen_expr(*e.a);
+        IrInst x;
+        x.op = IrOp::Xor;
+        x.dst = new_vreg();
+        x.a = a.vreg;
+        x.imm = -1;
+        x.has_imm = true;
+        emit(x);
+        return {x.dst, a.type, /*fresh=*/true};
+      }
+      case Tok::Bang: {
+        const Value a = gen_expr(*e.a);
+        IrInst s;
+        s.op = IrOp::Seq;
+        s.dst = new_vreg();
+        s.a = a.vreg;
+        s.b = materialize_const(0);
+        emit(s);
+        return {s.dst, Type{Type::Base::Int, 0}, /*fresh=*/true};
+      }
+      case Tok::Amp: {
+        // &var / &arr[i] / &*p
+        if (e.a->kind == Expr::Kind::Var) {
+          const VarInfo* info = find_var(e.a->text);
+          if (info == nullptr) {
+            error(e.line, "use of undeclared identifier '" + e.a->text + "'");
+            return {materialize_const(0), Type{Type::Base::Int, 1}};
+          }
+          if (info->kind == VarInfo::Kind::LocalReg) {
+            error(e.line, "internal: address-taken variable not in memory");
+            return {materialize_const(0), info->type.pointer_to()};
+          }
+          return {address_of(*info, 0), info->type.pointer_to()};
+        }
+        const LValue lv = gen_lvalue(*e.a);
+        if (lv.kind != LValue::Kind::Mem) {
+          error(e.line, "cannot take the address of this expression");
+          return {materialize_const(0), Type{Type::Base::Int, 1}};
+        }
+        if (lv.offset == 0) return {lv.vreg, lv.type.pointer_to()};
+        IrInst add;
+        add.op = IrOp::Add;
+        add.dst = new_vreg();
+        add.a = lv.vreg;
+        add.imm = lv.offset;
+        add.has_imm = true;
+        emit(add);
+        return {add.dst, lv.type.pointer_to()};
+      }
+      case Tok::Star: {
+        const LValue lv = gen_lvalue(e);
+        return load_lvalue(lv);
+      }
+      case Tok::Inc:
+      case Tok::Dec: {
+        const LValue lv = gen_lvalue(*e.a);
+        Value old = load_lvalue(lv);
+        if (e.postfix && lv.kind == LValue::Kind::Reg) {
+          // The loaded "value" is the variable's own register; preserve the
+          // pre-increment value in a fresh register.
+          IrInst copy;
+          copy.op = IrOp::Mv;
+          copy.dst = new_vreg();
+          copy.a = old.vreg;
+          emit(copy);
+          old.vreg = copy.dst;
+        }
+        const int step =
+            lv.type.is_pointer() ? lv.type.deref().size() : 1;
+        IrInst add;
+        add.op = IrOp::Add;
+        add.dst = new_vreg();
+        add.a = old.vreg;
+        add.imm = e.op == Tok::Inc ? step : -step;
+        add.has_imm = true;
+        emit(add);
+        store_lvalue(lv, add.dst);
+        return {e.postfix ? old.vreg : add.dst, lv.type, /*fresh=*/true};
+      }
+      default:
+        error(e.line, "unsupported unary operator");
+        return {materialize_const(0), Type{Type::Base::Int, 0}};
+    }
+  }
+
+  Value gen_binary(const Expr& e) {
+    // Short-circuit operators materialized through control flow.
+    if (e.op == Tok::AndAnd || e.op == Tok::OrOr) {
+      const int true_b = new_block();
+      const int false_b = new_block();
+      const int join_b = new_block();
+      const int result = new_vreg();
+      gen_cond(e, true_b, false_b);
+      start_block(true_b);
+      IrInst one;
+      one.op = IrOp::LiConst;
+      one.dst = result;
+      one.imm = 1;
+      emit(one);
+      switch_to(join_b);
+      start_block(false_b);
+      IrInst zero;
+      zero.op = IrOp::LiConst;
+      zero.dst = result;
+      zero.imm = 0;
+      emit(zero);
+      switch_to(join_b);
+      start_block(join_b);
+      return {result, Type{Type::Base::Int, 0}, /*fresh=*/true};
+    }
+
+    if (is_comparison(e.op)) return gen_comparison(e);
+
+    // Normalize a constant left operand of commutative operators to the
+    // right, so `2 * x` gets the same shift strength reduction as `x * 2`.
+    const Expr* lhs_expr = e.a.get();
+    const Expr* rhs_expr = e.b.get();
+    if (e.op == Tok::Plus || e.op == Tok::Star || e.op == Tok::Amp ||
+        e.op == Tok::Pipe || e.op == Tok::Caret) {
+      int64_t tmp = 0;
+      if (const_eval(*lhs_expr, tmp) && !const_eval(*rhs_expr, tmp))
+        std::swap(lhs_expr, rhs_expr);
+    }
+
+    const Value a = gen_expr(*lhs_expr);
+
+    // Immediate form when the right operand is a small constant.
+    int64_t cb = 0;
+    const bool b_const = const_eval(*rhs_expr, cb);
+    const Type result_type = arith_type(a.type, *rhs_expr, b_const);
+
+    if (b_const) {
+      if (Value v; gen_binary_imm(e.op, a, static_cast<int32_t>(cb), result_type, v))
+        return v;
+    }
+
+    Value b = gen_expr(*rhs_expr);
+    // Pointer arithmetic: scale the integer side.
+    if (e.op == Tok::Plus || e.op == Tok::Minus) {
+      if (a.type.is_pointer() && !b.type.is_pointer()) {
+        b.vreg = scale(b.vreg, a.type.deref().size());
+      } else if (!a.type.is_pointer() && b.type.is_pointer() && e.op == Tok::Plus) {
+        return gen_simple(IrOp::Add, scale(a.vreg, b.type.deref().size()), b.vreg,
+                          b.type);
+      } else if (a.type.is_pointer() && b.type.is_pointer() && e.op == Tok::Minus) {
+        const Value diff = gen_simple(IrOp::Sub, a.vreg, b.vreg, Type{Type::Base::Int, 0});
+        const int esize = a.type.deref().size();
+        if (esize == 1) return diff;
+        IrInst shr;
+        shr.op = IrOp::ShrA;
+        shr.dst = new_vreg();
+        shr.a = diff.vreg;
+        shr.imm = static_cast<int32_t>(log2_pow2(static_cast<uint64_t>(esize)));
+        shr.has_imm = true;
+        emit(shr);
+        return {shr.dst, Type{Type::Base::Int, 0}};
+      }
+    }
+
+    const bool uns = a.type.is_unsigned() || b.type.is_unsigned();
+    IrOp op;
+    switch (e.op) {
+      case Tok::Plus: op = IrOp::Add; break;
+      case Tok::Minus: op = IrOp::Sub; break;
+      case Tok::Star: op = IrOp::Mul; break;
+      case Tok::Slash: op = uns ? IrOp::DivU : IrOp::DivS; break;
+      case Tok::Percent: op = uns ? IrOp::RemU : IrOp::RemS; break;
+      case Tok::Amp: op = IrOp::And; break;
+      case Tok::Pipe: op = IrOp::Or; break;
+      case Tok::Caret: op = IrOp::Xor; break;
+      case Tok::Shl: op = IrOp::Shl; break;
+      case Tok::Shr: op = a.type.is_unsigned() ? IrOp::ShrL : IrOp::ShrA; break;
+      default:
+        error(e.line, "unsupported binary operator");
+        return a;
+    }
+    return gen_simple(op, a.vreg, b.vreg, result_type);
+  }
+
+  Type arith_type(const Type& a, const Expr& b_expr, bool b_const) {
+    if (a.is_pointer()) return a;
+    if (b_const) return a.is_char() ? Type{Type::Base::Int, 0} : a;
+    // Without evaluating b twice we approximate C's usual conversions: the
+    // signedness union of both sides, at int width.
+    (void)b_expr;
+    return a;
+  }
+
+  Value gen_simple(IrOp op, int a, int b, Type type) {
+    IrInst inst;
+    inst.op = op;
+    inst.dst = new_vreg();
+    inst.a = a;
+    inst.b = b;
+    emit(inst);
+    return {inst.dst, type, /*fresh=*/true};
+  }
+
+  /// Emits `a op imm` when a fused immediate form exists; returns false to
+  /// fall back to the register-register path.
+  bool gen_binary_imm(Tok op, const Value& a, int32_t imm, const Type& result_type,
+                      Value& out) {
+    const bool uns = a.type.is_unsigned();
+    IrOp ir;
+    int32_t value = imm;
+    switch (op) {
+      case Tok::Plus:
+        ir = IrOp::Add;
+        if (a.type.is_pointer()) value = imm * a.type.deref().size();
+        break;
+      case Tok::Minus:
+        ir = IrOp::Add;
+        value = a.type.is_pointer() ? -imm * a.type.deref().size() : -imm;
+        break;
+      case Tok::Amp: ir = IrOp::And; break;
+      case Tok::Pipe: ir = IrOp::Or; break;
+      case Tok::Caret: ir = IrOp::Xor; break;
+      case Tok::Shl: ir = IrOp::Shl; break;
+      case Tok::Shr: ir = uns ? IrOp::ShrL : IrOp::ShrA; break;
+      case Tok::Star:
+        // Multiplication by a power of two becomes a shift.
+        if (value > 0 && is_pow2(static_cast<uint64_t>(value))) {
+          ir = IrOp::Shl;
+          value = static_cast<int32_t>(log2_pow2(static_cast<uint64_t>(value)));
+          break;
+        }
+        return false;
+      case Tok::Slash:
+        if (uns && value > 0 && is_pow2(static_cast<uint64_t>(value))) {
+          ir = IrOp::ShrL;
+          value = static_cast<int32_t>(log2_pow2(static_cast<uint64_t>(value)));
+          break;
+        }
+        return false;
+      case Tok::Percent:
+        if (uns && value > 0 && is_pow2(static_cast<uint64_t>(value))) {
+          ir = IrOp::And;
+          value = value - 1;
+          break;
+        }
+        return false;
+      default:
+        return false;
+    }
+    if (!fits_signed(value, 15)) return false;
+    IrInst inst;
+    inst.op = ir;
+    inst.dst = new_vreg();
+    inst.a = a.vreg;
+    inst.imm = value;
+    inst.has_imm = true;
+    emit(inst);
+    out = {inst.dst, result_type, /*fresh=*/true};
+    return true;
+  }
+
+  Value gen_comparison(const Expr& e) {
+    Value a = gen_expr(*e.a);
+    Value b = gen_expr(*e.b);
+    const bool uns = a.type.is_unsigned() || b.type.is_unsigned();
+    IrOp op;
+    bool swap = false;
+    switch (e.op) {
+      case Tok::EqEq: op = IrOp::Seq; break;
+      case Tok::NotEq: op = IrOp::Sne; break;
+      case Tok::Lt: op = uns ? IrOp::SltU : IrOp::SltS; break;
+      case Tok::Le: op = uns ? IrOp::SleU : IrOp::SleS; break;
+      case Tok::Gt: op = uns ? IrOp::SltU : IrOp::SltS; swap = true; break;
+      case Tok::Ge: op = uns ? IrOp::SleU : IrOp::SleS; swap = true; break;
+      default: op = IrOp::Sne; break;
+    }
+    if (swap) std::swap(a, b);
+    return gen_simple(op, a.vreg, b.vreg, Type{Type::Base::Int, 0});
+  }
+
+  Value gen_assign(const Expr& e) {
+    const LValue lv = gen_lvalue(*e.a);
+    Value rhs;
+    if (e.op == Tok::Assign) {
+      rhs = coerce(gen_expr(*e.b), lv.type);
+    } else {
+      // Compound assignment: load, apply, store.
+      const Value old = load_lvalue(lv);
+      Expr synthetic;
+      synthetic.kind = Expr::Kind::Binary;
+      synthetic.line = e.line;
+      switch (e.op) {
+        case Tok::PlusAssign: synthetic.op = Tok::Plus; break;
+        case Tok::MinusAssign: synthetic.op = Tok::Minus; break;
+        case Tok::StarAssign: synthetic.op = Tok::Star; break;
+        case Tok::SlashAssign: synthetic.op = Tok::Slash; break;
+        case Tok::PercentAssign: synthetic.op = Tok::Percent; break;
+        case Tok::AmpAssign: synthetic.op = Tok::Amp; break;
+        case Tok::PipeAssign: synthetic.op = Tok::Pipe; break;
+        case Tok::CaretAssign: synthetic.op = Tok::Caret; break;
+        case Tok::ShlAssign: synthetic.op = Tok::Shl; break;
+        case Tok::ShrAssign: synthetic.op = Tok::Shr; break;
+        default: synthetic.op = Tok::Plus; break;
+      }
+      rhs = apply_binop(synthetic.op, old, *e.b, e.line);
+      rhs = coerce(rhs, lv.type);
+    }
+    store_lvalue(lv, rhs.vreg);
+    return {rhs.vreg, lv.type, rhs.fresh};
+  }
+
+  /// old OP rhs_expr, reusing the binary lowering.
+  Value apply_binop(Tok op, const Value& old, const Expr& rhs, int line) {
+    int64_t cb = 0;
+    if (const_eval(rhs, cb)) {
+      Value out;
+      if (gen_binary_imm(op, old, static_cast<int32_t>(cb), old.type, out)) return out;
+    }
+    Value b = gen_expr(rhs);
+    if ((op == Tok::Plus || op == Tok::Minus) && old.type.is_pointer())
+      b.vreg = scale(b.vreg, old.type.deref().size());
+    const bool uns = old.type.is_unsigned() || b.type.is_unsigned();
+    IrOp ir;
+    switch (op) {
+      case Tok::Plus: ir = IrOp::Add; break;
+      case Tok::Minus: ir = IrOp::Sub; break;
+      case Tok::Star: ir = IrOp::Mul; break;
+      case Tok::Slash: ir = uns ? IrOp::DivU : IrOp::DivS; break;
+      case Tok::Percent: ir = uns ? IrOp::RemU : IrOp::RemS; break;
+      case Tok::Amp: ir = IrOp::And; break;
+      case Tok::Pipe: ir = IrOp::Or; break;
+      case Tok::Caret: ir = IrOp::Xor; break;
+      case Tok::Shl: ir = IrOp::Shl; break;
+      case Tok::Shr: ir = old.type.is_unsigned() ? IrOp::ShrL : IrOp::ShrA; break;
+      default:
+        error(line, "unsupported compound assignment");
+        ir = IrOp::Add;
+        break;
+    }
+    return gen_simple(ir, old.vreg, b.vreg, old.type);
+  }
+
+  int scale(int vreg, int esize) {
+    if (esize == 1) return vreg;
+    IrInst shl;
+    shl.op = IrOp::Shl;
+    shl.dst = new_vreg();
+    shl.a = vreg;
+    shl.imm = static_cast<int32_t>(log2_pow2(static_cast<uint64_t>(esize)));
+    shl.has_imm = true;
+    emit(shl);
+    return shl.dst;
+  }
+
+  Value gen_call(const Expr& e) {
+    const auto it = prog_.signatures.find(e.text);
+    if (it == prog_.signatures.end()) {
+      error(e.line, "call to undeclared function '" + e.text + "'");
+      return {materialize_const(0), Type{Type::Base::Int, 0}};
+    }
+    const FuncSig& sig = it->second;
+    if (e.args.size() < sig.params.size() ||
+        (e.args.size() > sig.params.size() && !sig.variadic))
+      error(e.line, strf("wrong number of arguments to '%s' (expected %zu, got %zu)",
+                         e.text.c_str(), sig.params.size(), e.args.size()));
+
+    IrInst call;
+    call.op = IrOp::Call;
+    call.sym = e.text;
+    for (const ExprPtr& arg : e.args) call.args.push_back(gen_expr(*arg).vreg);
+    call.dst = sig.ret.is_void() ? -1 : new_vreg();
+    emit(call);
+    const_cache_.clear(); // a call may clobber nothing here, but keep it simple
+    Value v;
+    v.vreg = call.dst >= 0 ? call.dst : materialize_const(0);
+    v.type = sig.ret;
+    v.fresh = call.dst >= 0;
+    return v;
+  }
+
+  const TranslationUnit& unit_;
+  std::string_view file_;
+  DiagEngine& diags_;
+  IrProgram prog_;
+
+  std::map<std::string, VarInfo> globals_;
+  std::map<std::string, std::string> string_pool_;
+
+  IrFunction* fn_ = nullptr;
+  const FuncDecl* cur_fn_decl_ = nullptr;
+  int cur_block_ = 0;
+  int cur_line_ = 0;
+  std::vector<std::map<std::string, VarInfo>> scopes_;
+  std::set<std::string> addr_taken_;
+  std::vector<LoopTargets> loop_stack_;
+  std::map<int32_t, int> const_cache_; ///< per-block constant reuse
+  std::map<std::pair<std::string, int32_t>, int> global_addr_cache_;
+};
+
+} // namespace
+
+IrProgram generate_ir(const TranslationUnit& unit, std::string_view file_name,
+                      DiagEngine& diags) {
+  return IrGen(unit, file_name, diags).run();
+}
+
+} // namespace ksim::kcc

@@ -1,0 +1,14 @@
+// Semantic analysis + IR generation for MiniC.
+#pragma once
+
+#include "kcc/ir.h"
+#include "support/diag.h"
+
+namespace ksim::kcc {
+
+/// Lowers a parsed translation unit to IR.  Type errors, undeclared
+/// identifiers etc. are reported via `diags`.
+IrProgram generate_ir(const TranslationUnit& unit, std::string_view file_name,
+                      DiagEngine& diags);
+
+} // namespace ksim::kcc

@@ -1,0 +1,317 @@
+#include "kcc/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ksim::kcc {
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kMap = {
+      {"int", Tok::KwInt},         {"unsigned", Tok::KwUnsigned},
+      {"char", Tok::KwChar},       {"void", Tok::KwVoid},
+      {"const", Tok::KwConst},     {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+      {"for", Tok::KwFor},         {"do", Tok::KwDo},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"return", Tok::KwReturn},   {"isa", Tok::KwIsa},
+  };
+  return kMap;
+}
+
+class Lexer {
+public:
+  Lexer(std::string_view source, std::string_view file, DiagEngine& diags)
+      : src_(source), file_(file), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_ws_and_comments();
+      Token t = next();
+      out.push_back(t);
+      if (t.kind == Tok::Eof) break;
+    }
+    return out;
+  }
+
+private:
+  char peek(int ahead = 0) const {
+    return pos_ + static_cast<size_t>(ahead) < src_.size()
+               ? src_[pos_ + static_cast<size_t>(ahead)]
+               : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool match(char expect) {
+    if (peek() != expect) return false;
+    advance();
+    return true;
+  }
+  void error(std::string msg) { diags_.error({std::string(file_), line_, col_}, std::move(msg)); }
+
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (pos_ < src_.size()) {
+          advance();
+          advance();
+        } else {
+          error("unterminated block comment");
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = tok_line_;
+    t.column = tok_col_;
+    return t;
+  }
+
+  Token next() {
+    tok_line_ = line_;
+    tok_col_ = col_;
+    if (pos_ >= src_.size()) return make(Tok::Eof);
+    const char c = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident(1, c);
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        ident.push_back(advance());
+      const auto it = keywords().find(ident);
+      if (it != keywords().end()) return make(it->second);
+      Token t = make(Tok::Ident);
+      t.text = std::move(ident);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(c);
+
+    switch (c) {
+      case '\'': return char_literal();
+      case '"': return string_literal();
+      case '(': return make(Tok::LParen);
+      case ')': return make(Tok::RParen);
+      case '{': return make(Tok::LBrace);
+      case '}': return make(Tok::RBrace);
+      case '[': return make(Tok::LBracket);
+      case ']': return make(Tok::RBracket);
+      case ';': return make(Tok::Semi);
+      case ',': return make(Tok::Comma);
+      case '~': return make(Tok::Tilde);
+      case '?': return make(Tok::Question);
+      case ':': return make(Tok::Colon);
+      case '+':
+        if (match('+')) return make(Tok::Inc);
+        if (match('=')) return make(Tok::PlusAssign);
+        return make(Tok::Plus);
+      case '-':
+        if (match('-')) return make(Tok::Dec);
+        if (match('=')) return make(Tok::MinusAssign);
+        return make(Tok::Minus);
+      case '*': return make(match('=') ? Tok::StarAssign : Tok::Star);
+      case '/': return make(match('=') ? Tok::SlashAssign : Tok::Slash);
+      case '%': return make(match('=') ? Tok::PercentAssign : Tok::Percent);
+      case '^': return make(match('=') ? Tok::CaretAssign : Tok::Caret);
+      case '!': return make(match('=') ? Tok::NotEq : Tok::Bang);
+      case '=': return make(match('=') ? Tok::EqEq : Tok::Assign);
+      case '&':
+        if (match('&')) return make(Tok::AndAnd);
+        if (match('=')) return make(Tok::AmpAssign);
+        return make(Tok::Amp);
+      case '|':
+        if (match('|')) return make(Tok::OrOr);
+        if (match('=')) return make(Tok::PipeAssign);
+        return make(Tok::Pipe);
+      case '<':
+        if (match('<')) return make(match('=') ? Tok::ShlAssign : Tok::Shl);
+        if (match('=')) return make(Tok::Le);
+        return make(Tok::Lt);
+      case '>':
+        if (match('>')) return make(match('=') ? Tok::ShrAssign : Tok::Shr);
+        if (match('=')) return make(Tok::Ge);
+        return make(Tok::Gt);
+      default:
+        error(std::string("stray character '") + c + "'");
+        return next();
+    }
+  }
+
+  Token number(char first) {
+    int64_t value = 0;
+    if (first == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      bool any = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        const char d = advance();
+        const int digit = d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10;
+        value = value * 16 + digit;
+        any = true;
+      }
+      if (!any) error("malformed hex literal");
+    } else {
+      value = first - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        value = value * 10 + (advance() - '0');
+    }
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+      advance(); // accept and ignore suffixes
+    Token t = make(Tok::IntLit);
+    t.value = value;
+    return t;
+  }
+
+  bool escape(char& out) {
+    const char e = advance();
+    switch (e) {
+      case 'n': out = '\n'; return true;
+      case 't': out = '\t'; return true;
+      case 'r': out = '\r'; return true;
+      case '0': out = '\0'; return true;
+      case '\\': out = '\\'; return true;
+      case '\'': out = '\''; return true;
+      case '"': out = '"'; return true;
+      default:
+        error(std::string("unknown escape '\\") + e + "'");
+        return false;
+    }
+  }
+
+  Token char_literal() {
+    char value = '\0';
+    if (peek() == '\\') {
+      advance();
+      escape(value);
+    } else if (pos_ < src_.size()) {
+      value = advance();
+    }
+    if (!match('\'')) error("unterminated character literal");
+    Token t = make(Tok::CharLit);
+    t.value = value;
+    return t;
+  }
+
+  Token string_literal() {
+    std::string s;
+    while (pos_ < src_.size() && peek() != '"') {
+      if (peek() == '\\') {
+        advance();
+        char e = '\0';
+        if (escape(e)) s.push_back(e);
+      } else {
+        s.push_back(advance());
+      }
+    }
+    if (!match('"')) error("unterminated string literal");
+    Token t = make(Tok::StrLit);
+    t.text = std::move(s);
+    return t;
+  }
+
+  std::string_view src_;
+  std::string_view file_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token> lex(std::string_view source, std::string_view file_name,
+                       DiagEngine& diags) {
+  return Lexer(source, file_name, diags).run();
+}
+
+const char* tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::Eof: return "end of file";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::CharLit: return "character literal";
+    case Tok::StrLit: return "string literal";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwUnsigned: return "'unsigned'";
+    case Tok::KwChar: return "'char'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwIsa: return "'isa'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PercentAssign: return "'%='";
+    case Tok::AmpAssign: return "'&='";
+    case Tok::PipeAssign: return "'|='";
+    case Tok::CaretAssign: return "'^='";
+    case Tok::ShlAssign: return "'<<='";
+    case Tok::ShrAssign: return "'>>='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Inc: return "'++'";
+    case Tok::Dec: return "'--'";
+    case Tok::Question: return "'?'";
+    case Tok::Colon: return "':'";
+  }
+  return "?";
+}
+
+} // namespace ksim::kcc

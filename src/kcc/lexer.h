@@ -1,0 +1,45 @@
+// Lexer for MiniC, the C subset accepted by the retargetable compiler
+// substitute (see DESIGN.md §2 for what it replaces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace ksim::kcc {
+
+enum class Tok : uint8_t {
+  // literals / identifiers
+  Eof, Ident, IntLit, CharLit, StrLit,
+  // keywords
+  KwInt, KwUnsigned, KwChar, KwVoid, KwConst, KwIf, KwElse, KwWhile, KwFor,
+  KwDo, KwBreak, KwContinue, KwReturn, KwIsa,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma,
+  // operators
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr, Lt, Gt, Le, Ge, EqEq, NotEq, AndAnd, OrOr,
+  Inc, Dec, Question, Colon,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;   ///< identifier / string contents
+  int64_t value = 0;  ///< integer / char literal value
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes `source`.  Reports malformed tokens to `diags` and skips them.
+/// The result always ends with an Eof token.
+std::vector<Token> lex(std::string_view source, std::string_view file_name,
+                       DiagEngine& diags);
+
+/// Token spelling for diagnostics.
+const char* tok_name(Tok kind);
+
+} // namespace ksim::kcc

@@ -1,0 +1,509 @@
+#include "kcc/parser.h"
+
+#include "support/strings.h"
+
+namespace ksim::kcc {
+namespace {
+
+/// Binary operator precedence (higher binds tighter); 0 = not a binary op.
+int precedence(Tok t) {
+  switch (t) {
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent: return 10;
+    case Tok::Plus:
+    case Tok::Minus: return 9;
+    case Tok::Shl:
+    case Tok::Shr: return 8;
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge: return 7;
+    case Tok::EqEq:
+    case Tok::NotEq: return 6;
+    case Tok::Amp: return 5;
+    case Tok::Caret: return 4;
+    case Tok::Pipe: return 3;
+    case Tok::AndAnd: return 2;
+    case Tok::OrOr: return 1;
+    default: return 0;
+  }
+}
+
+bool is_assign_op(Tok t) {
+  switch (t) {
+    case Tok::Assign:
+    case Tok::PlusAssign:
+    case Tok::MinusAssign:
+    case Tok::StarAssign:
+    case Tok::SlashAssign:
+    case Tok::PercentAssign:
+    case Tok::AmpAssign:
+    case Tok::PipeAssign:
+    case Tok::CaretAssign:
+    case Tok::ShlAssign:
+    case Tok::ShrAssign: return true;
+    default: return false;
+  }
+}
+
+class Parser {
+public:
+  Parser(std::string_view source, std::string_view file, DiagEngine& diags)
+      : file_(file), diags_(diags) {
+    tokens_ = lex(source, file, diags);
+  }
+
+  TranslationUnit run() {
+    TranslationUnit unit;
+    while (!at(Tok::Eof)) {
+      const size_t before = pos_;
+      parse_top_level(unit);
+      if (pos_ == before) advance(); // ensure progress on errors
+    }
+    return unit;
+  }
+
+private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(int ahead = 1) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+  void error(std::string msg) {
+    diags_.error({std::string(file_), cur().line, cur().column}, std::move(msg));
+  }
+  Token expect(Tok k, const char* context) {
+    if (at(k)) return advance();
+    error(strf("expected %s %s, got %s", tok_name(k), context, tok_name(cur().kind)));
+    return cur();
+  }
+
+  bool at_type() const {
+    return at(Tok::KwInt) || at(Tok::KwUnsigned) || at(Tok::KwChar) || at(Tok::KwVoid) ||
+           at(Tok::KwConst);
+  }
+
+  Type parse_type() {
+    accept(Tok::KwConst);
+    Type t;
+    if (accept(Tok::KwVoid)) {
+      t.base = Type::Base::Void;
+    } else if (accept(Tok::KwInt)) {
+      t.base = Type::Base::Int;
+    } else if (accept(Tok::KwChar)) {
+      t.base = Type::Base::Char;
+    } else if (accept(Tok::KwUnsigned)) {
+      if (accept(Tok::KwChar))
+        t.base = Type::Base::UChar;
+      else {
+        accept(Tok::KwInt);
+        t.base = Type::Base::UInt;
+      }
+    } else {
+      error("expected a type");
+      advance();
+    }
+    while (accept(Tok::Star)) ++t.ptr;
+    return t;
+  }
+
+  // -- top level ----------------------------------------------------------------
+
+  void parse_top_level(TranslationUnit& unit) {
+    std::string isa_attr;
+    if (accept(Tok::KwIsa)) {
+      expect(Tok::LParen, "after isa");
+      const Token name = expect(Tok::StrLit, "as ISA name");
+      isa_attr = name.text;
+      expect(Tok::RParen, "after ISA name");
+    }
+    if (!at_type()) {
+      error("expected a declaration");
+      return;
+    }
+    const int line = cur().line;
+    Type type = parse_type();
+    const Token name = expect(Tok::Ident, "in declaration");
+
+    if (at(Tok::LParen)) {
+      parse_function(unit, type, name.text, isa_attr, line);
+      return;
+    }
+    if (!isa_attr.empty()) error("isa() attribute only applies to functions");
+    unit.globals.push_back(parse_var_rest(type, name.text, line));
+  }
+
+  void parse_function(TranslationUnit& unit, Type ret, const std::string& name,
+                      const std::string& isa_attr, int line) {
+    auto fn = std::make_unique<FuncDecl>();
+    fn->ret = ret;
+    fn->name = name;
+    fn->isa = isa_attr;
+    fn->line = line;
+    expect(Tok::LParen, "in function declaration");
+    if (!accept(Tok::RParen)) {
+      if (at(Tok::KwVoid) && peek().kind == Tok::RParen) {
+        advance();
+      } else {
+        do {
+          Param p;
+          p.type = parse_type();
+          const Token pname = expect(Tok::Ident, "as parameter name");
+          p.name = pname.text;
+          // Array parameters decay to pointers.
+          if (accept(Tok::LBracket)) {
+            if (!at(Tok::RBracket)) parse_expr(); // tolerate a size, ignored
+            expect(Tok::RBracket, "after array parameter");
+            p.type.ptr += 1;
+          }
+          fn->params.push_back(std::move(p));
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "after parameters");
+    }
+    if (accept(Tok::Semi)) {
+      unit.functions.push_back(std::move(fn)); // prototype
+      return;
+    }
+    fn->body = parse_block();
+    unit.functions.push_back(std::move(fn));
+  }
+
+  std::unique_ptr<VarDecl> parse_var_rest(Type type, const std::string& name, int line) {
+    auto decl = std::make_unique<VarDecl>();
+    decl->type = type;
+    decl->name = name;
+    decl->line = line;
+    if (accept(Tok::LBracket)) {
+      if (at(Tok::RBracket)) {
+        decl->array_size = 0; // size from initializer
+      } else {
+        ExprPtr size = parse_expr();
+        int64_t v = 0;
+        if (!const_eval(*size, v) || v <= 0)
+          error("array size must be a positive constant");
+        else
+          decl->array_size = static_cast<int>(v);
+      }
+      expect(Tok::RBracket, "after array size");
+    }
+    if (accept(Tok::Assign)) {
+      if (accept(Tok::LBrace)) {
+        if (decl->array_size < 0) error("initializer list requires an array");
+        if (!at(Tok::RBrace)) {
+          do {
+            decl->init_list.push_back(parse_assignment());
+          } while (accept(Tok::Comma) && !at(Tok::RBrace));
+        }
+        expect(Tok::RBrace, "after initializer list");
+        if (decl->array_size == 0)
+          decl->array_size = static_cast<int>(decl->init_list.size());
+      } else if (at(Tok::StrLit) && decl->array_size >= 0 && decl->type.is_char()) {
+        decl->init_string = advance().text;
+        decl->has_init_string = true;
+        if (decl->array_size == 0)
+          decl->array_size = static_cast<int>(decl->init_string.size()) + 1;
+      } else {
+        decl->init = parse_assignment();
+      }
+    } else if (decl->array_size == 0) {
+      error("array of unknown size needs an initializer");
+    }
+    expect(Tok::Semi, "after declaration");
+    return decl;
+  }
+
+  /// Best-effort constant evaluation for array sizes.
+  bool const_eval(const Expr& e, int64_t& out) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        out = e.value;
+        return true;
+      case Expr::Kind::Unary:
+        if (e.op == Tok::Minus) {
+          int64_t v = 0;
+          if (!const_eval(*e.a, v)) return false;
+          out = -v;
+          return true;
+        }
+        return false;
+      case Expr::Kind::Binary: {
+        int64_t a = 0;
+        int64_t b = 0;
+        if (!const_eval(*e.a, a) || !const_eval(*e.b, b)) return false;
+        switch (e.op) {
+          case Tok::Plus: out = a + b; return true;
+          case Tok::Minus: out = a - b; return true;
+          case Tok::Star: out = a * b; return true;
+          case Tok::Slash:
+            if (b == 0) return false;
+            out = a / b;
+            return true;
+          case Tok::Shl: out = a << b; return true;
+          default: return false;
+        }
+      }
+      default:
+        return false;
+    }
+  }
+
+  // -- statements ----------------------------------------------------------------
+
+  StmtPtr parse_block() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Block;
+    s->line = cur().line;
+    expect(Tok::LBrace, "to open block");
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+      const size_t before = pos_;
+      s->body.push_back(parse_stmt());
+      if (pos_ == before) advance();
+    }
+    expect(Tok::RBrace, "to close block");
+    return s;
+  }
+
+  StmtPtr parse_stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    if (at(Tok::LBrace)) return parse_block();
+    if (accept(Tok::Semi)) {
+      s->kind = Stmt::Kind::Empty;
+      return s;
+    }
+    if (at_type()) {
+      s->kind = Stmt::Kind::Decl;
+      Type type = parse_type();
+      const Token name = expect(Tok::Ident, "in declaration");
+      s->decl = parse_var_rest(type, name.text, s->line);
+      return s;
+    }
+    if (accept(Tok::KwIf)) {
+      s->kind = Stmt::Kind::If;
+      expect(Tok::LParen, "after if");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "after condition");
+      s->then_stmt = parse_stmt();
+      if (accept(Tok::KwElse)) s->else_stmt = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwWhile)) {
+      s->kind = Stmt::Kind::While;
+      expect(Tok::LParen, "after while");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "after condition");
+      s->then_stmt = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwDo)) {
+      s->kind = Stmt::Kind::DoWhile;
+      s->then_stmt = parse_stmt();
+      expect(Tok::KwWhile, "after do body");
+      expect(Tok::LParen, "after while");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "after condition");
+      expect(Tok::Semi, "after do-while");
+      return s;
+    }
+    if (accept(Tok::KwFor)) {
+      s->kind = Stmt::Kind::For;
+      expect(Tok::LParen, "after for");
+      if (!accept(Tok::Semi)) {
+        if (at_type()) {
+          auto init = std::make_unique<Stmt>();
+          init->kind = Stmt::Kind::Decl;
+          init->line = cur().line;
+          Type type = parse_type();
+          const Token name = expect(Tok::Ident, "in declaration");
+          init->decl = parse_var_rest(type, name.text, init->line); // eats ';'
+          s->init_stmt = std::move(init);
+        } else {
+          auto init = std::make_unique<Stmt>();
+          init->kind = Stmt::Kind::ExprStmt;
+          init->line = cur().line;
+          init->expr = parse_expr();
+          expect(Tok::Semi, "after for initializer");
+          s->init_stmt = std::move(init);
+        }
+      }
+      if (!at(Tok::Semi)) s->cond = parse_expr();
+      expect(Tok::Semi, "after for condition");
+      if (!at(Tok::RParen)) s->step = parse_expr();
+      expect(Tok::RParen, "after for clauses");
+      s->then_stmt = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwBreak)) {
+      s->kind = Stmt::Kind::Break;
+      expect(Tok::Semi, "after break");
+      return s;
+    }
+    if (accept(Tok::KwContinue)) {
+      s->kind = Stmt::Kind::Continue;
+      expect(Tok::Semi, "after continue");
+      return s;
+    }
+    if (accept(Tok::KwReturn)) {
+      s->kind = Stmt::Kind::Return;
+      if (!at(Tok::Semi)) s->expr = parse_expr();
+      expect(Tok::Semi, "after return");
+      return s;
+    }
+    s->kind = Stmt::Kind::ExprStmt;
+    s->expr = parse_expr();
+    expect(Tok::Semi, "after expression");
+    return s;
+  }
+
+  // -- expressions ----------------------------------------------------------------
+
+  ExprPtr make_expr(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = cur().line;
+    return e;
+  }
+
+  ExprPtr parse_expr() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_conditional();
+    if (is_assign_op(cur().kind)) {
+      auto e = make_expr(Expr::Kind::Assign);
+      e->op = advance().kind;
+      e->a = std::move(lhs);
+      e->b = parse_assignment();
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_conditional() {
+    ExprPtr cond = parse_binary(1);
+    if (!accept(Tok::Question)) return cond;
+    auto e = make_expr(Expr::Kind::Cond);
+    e->a = std::move(cond);
+    e->b = parse_assignment();
+    expect(Tok::Colon, "in conditional expression");
+    e->c = parse_assignment();
+    return e;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      const int prec = precedence(cur().kind);
+      if (prec < min_prec || prec == 0) return lhs;
+      const Tok op = advance().kind;
+      ExprPtr rhs = parse_binary(prec + 1);
+      auto e = make_expr(Expr::Kind::Binary);
+      e->op = op;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (at(Tok::Minus) || at(Tok::Tilde) || at(Tok::Bang) || at(Tok::Amp) ||
+        at(Tok::Star) || at(Tok::Inc) || at(Tok::Dec)) {
+      auto e = make_expr(Expr::Kind::Unary);
+      e->op = advance().kind;
+      e->a = parse_unary();
+      return e;
+    }
+    // Cast: '(' type ')' unary — only when a type keyword follows '('.
+    if (at(Tok::LParen) &&
+        (peek().kind == Tok::KwInt || peek().kind == Tok::KwUnsigned ||
+         peek().kind == Tok::KwChar || peek().kind == Tok::KwVoid)) {
+      auto e = make_expr(Expr::Kind::Cast);
+      advance(); // '('
+      e->cast_type = parse_type();
+      expect(Tok::RParen, "after cast type");
+      e->a = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (true) {
+      if (accept(Tok::LBracket)) {
+        auto idx = make_expr(Expr::Kind::Index);
+        idx->a = std::move(e);
+        idx->b = parse_expr();
+        expect(Tok::RBracket, "after index");
+        e = std::move(idx);
+      } else if (at(Tok::LParen) && e->kind == Expr::Kind::Var) {
+        auto call = make_expr(Expr::Kind::Call);
+        call->text = e->text;
+        advance(); // '('
+        if (!at(Tok::RParen)) {
+          do {
+            call->args.push_back(parse_assignment());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        e = std::move(call);
+      } else if (at(Tok::Inc) || at(Tok::Dec)) {
+        auto post = make_expr(Expr::Kind::Unary);
+        post->op = advance().kind;
+        post->postfix = true;
+        post->a = std::move(e);
+        e = std::move(post);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::IntLit) || at(Tok::CharLit)) {
+      auto e = make_expr(Expr::Kind::IntLit);
+      e->value = advance().value;
+      return e;
+    }
+    if (at(Tok::StrLit)) {
+      auto e = make_expr(Expr::Kind::StrLit);
+      e->text = advance().text;
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      auto e = make_expr(Expr::Kind::Var);
+      e->text = advance().text;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "after parenthesized expression");
+      return e;
+    }
+    error(strf("unexpected %s in expression", tok_name(cur().kind)));
+    advance();
+    return make_expr(Expr::Kind::IntLit);
+  }
+
+  std::string_view file_;
+  DiagEngine& diags_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+} // namespace
+
+TranslationUnit parse(std::string_view source, std::string_view file_name,
+                      DiagEngine& diags) {
+  return Parser(source, file_name, diags).run();
+}
+
+} // namespace ksim::kcc

@@ -1,0 +1,24 @@
+// Recursive-descent parser for MiniC.
+//
+// Grammar (informal):
+//   unit      := (funcdecl | vardecl)*
+//   funcdecl  := [isa("NAME")] type ident '(' params ')' (block | ';')
+//   vardecl   := [const] type ident ['[' intexpr ']'] ['=' init] ';'
+//   stmt      := block | if | while | do-while | for | break; | continue;
+//              | return [expr]; | vardecl | expr; | ;
+//   expr      := assignment with the usual C operator precedence,
+//                including ?:, && and || (short-circuit), casts, unary
+//                & * - ~ ! ++ --, postfix ++ -- calls and indexing.
+#pragma once
+
+#include "kcc/ast.h"
+#include "support/diag.h"
+
+namespace ksim::kcc {
+
+/// Parses a translation unit.  Problems go to `diags`; the returned tree is
+/// only meaningful when !diags.has_errors().
+TranslationUnit parse(std::string_view source, std::string_view file_name,
+                      DiagEngine& diags);
+
+} // namespace ksim::kcc

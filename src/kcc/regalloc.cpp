@@ -1,0 +1,266 @@
+#include "kcc/regalloc.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "support/error.h"
+
+namespace ksim::kcc {
+
+void ir_uses(const IrInst& inst, std::vector<int>& out) {
+  switch (inst.op) {
+    case IrOp::LiConst:
+    case IrOp::LaGlobal:
+    case IrOp::FrameAddr:
+    case IrOp::Br:
+      return;
+    case IrOp::Call:
+      for (int a : inst.args) out.push_back(a);
+      return;
+    case IrOp::Ret:
+      if (inst.a >= 0) out.push_back(inst.a);
+      return;
+    case IrOp::CondBr:
+      out.push_back(inst.a);
+      if (inst.b >= 0) out.push_back(inst.b);
+      return;
+    case IrOp::Mv:
+    case IrOp::Load:
+      out.push_back(inst.a);
+      return;
+    case IrOp::Store:
+      out.push_back(inst.a);
+      out.push_back(inst.b);
+      return;
+    default: // binary ALU
+      out.push_back(inst.a);
+      if (!inst.has_imm) out.push_back(inst.b);
+      return;
+  }
+}
+
+int ir_def(const IrInst& inst) {
+  switch (inst.op) {
+    case IrOp::Store:
+    case IrOp::Ret:
+    case IrOp::Br:
+    case IrOp::CondBr:
+      return -1;
+    case IrOp::Call:
+      return inst.dst; // may be -1 for void calls
+    default:
+      return inst.dst;
+  }
+}
+
+namespace {
+
+struct Interval {
+  int vreg = -1;
+  int start = -1;
+  int end = -1; ///< inclusive of the last position
+  bool crosses_call = false;
+};
+
+} // namespace
+
+Allocation allocate_registers(const IrFunction& fn) {
+  Allocation optimistic = allocate_registers_once(fn, /*with_scratch_pool=*/true);
+  if (optimistic.num_spill_slots == 0) return optimistic;
+  return allocate_registers_once(fn, /*with_scratch_pool=*/false);
+}
+
+Allocation allocate_registers_once(const IrFunction& fn, bool with_scratch_pool) {
+  const int n = fn.num_vregs;
+  Allocation alloc;
+  alloc.reg.assign(static_cast<size_t>(n), -1);
+  alloc.spill_slot.assign(static_cast<size_t>(n), -1);
+
+  // -- linearize: global position of each instruction ---------------------------
+  std::vector<int> block_start(fn.blocks.size(), 0);
+  std::vector<int> block_end(fn.blocks.size(), 0);
+  int pos = 0;
+  for (const IrBlock& b : fn.blocks) {
+    block_start[static_cast<size_t>(b.id)] = pos;
+    pos += static_cast<int>(b.insts.size());
+    block_end[static_cast<size_t>(b.id)] = pos;
+  }
+  const int total = pos;
+
+  // -- block-level liveness -------------------------------------------------------
+  std::vector<std::set<int>> use_b(fn.blocks.size());
+  std::vector<std::set<int>> def_b(fn.blocks.size());
+  std::vector<std::set<int>> live_in(fn.blocks.size());
+  std::vector<std::set<int>> live_out(fn.blocks.size());
+  std::vector<std::vector<int>> succs(fn.blocks.size());
+
+  std::vector<int> scratch;
+  for (const IrBlock& b : fn.blocks) {
+    const size_t i = static_cast<size_t>(b.id);
+    for (const IrInst& inst : b.insts) {
+      scratch.clear();
+      ir_uses(inst, scratch);
+      for (int u : scratch)
+        if (def_b[i].count(u) == 0) use_b[i].insert(u);
+      const int d = ir_def(inst);
+      if (d >= 0) def_b[i].insert(d);
+      if (inst.op == IrOp::Br) succs[i].push_back(inst.target);
+      if (inst.op == IrOp::CondBr) {
+        succs[i].push_back(inst.target);
+        succs[i].push_back(inst.target2);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = fn.blocks.size(); i-- > 0;) {
+      std::set<int> out;
+      for (int s : succs[i])
+        out.insert(live_in[static_cast<size_t>(s)].begin(),
+                   live_in[static_cast<size_t>(s)].end());
+      std::set<int> in = use_b[i];
+      for (int v : out)
+        if (def_b[i].count(v) == 0) in.insert(v);
+      if (out != live_out[i] || in != live_in[i]) {
+        live_out[i] = std::move(out);
+        live_in[i] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // -- hull intervals ----------------------------------------------------------------
+  std::vector<Interval> intervals(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) intervals[static_cast<size_t>(v)].vreg = v;
+  auto extend = [&](int v, int from, int to) {
+    Interval& iv = intervals[static_cast<size_t>(v)];
+    if (iv.start < 0 || from < iv.start) iv.start = from;
+    if (to > iv.end) iv.end = to;
+  };
+  // Parameters are defined at position -1 (function entry).
+  for (int p : fn.param_vregs) extend(p, -1, -1);
+
+  std::vector<int> call_positions;
+  for (const IrBlock& b : fn.blocks) {
+    const size_t i = static_cast<size_t>(b.id);
+    int p = block_start[i];
+    for (const IrInst& inst : b.insts) {
+      scratch.clear();
+      ir_uses(inst, scratch);
+      for (int u : scratch) extend(u, p, p);
+      const int d = ir_def(inst);
+      if (d >= 0) extend(d, p, p);
+      if (inst.op == IrOp::Call) call_positions.push_back(p);
+      ++p;
+    }
+    for (int v : live_out[i]) extend(v, block_start[i], block_end[i]);
+    for (int v : live_in[i]) extend(v, block_start[i], block_start[i]);
+  }
+  (void)total;
+
+  for (Interval& iv : intervals) {
+    if (iv.start < 0) continue;
+    const auto it = std::lower_bound(call_positions.begin(), call_positions.end(),
+                                     iv.start);
+    // A call strictly inside (start, end) splits the value's life across it.
+    iv.crosses_call =
+        it != call_positions.end() && *it < iv.end;
+  }
+
+  // -- linear scan ----------------------------------------------------------------------
+  std::vector<Interval> order;
+  for (const Interval& iv : intervals)
+    if (iv.start >= 0 || iv.end >= 0) order.push_back(iv);
+  std::sort(order.begin(), order.end(), [](const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.vreg < b.vreg;
+  });
+
+  std::deque<int> caller_free;
+  for (int r = regs::kCallerFirst; r <= regs::kCallerLast; ++r) caller_free.push_back(r);
+  caller_free.push_back(regs::kExtraCaller);
+  if (with_scratch_pool) {
+    caller_free.push_back(regs::kSpillA);
+    caller_free.push_back(regs::kSpillB);
+    caller_free.push_back(regs::kSpillD);
+  }
+  std::deque<int> callee_free;
+  for (int r = regs::kCalleeFirst; r <= regs::kCalleeLast; ++r) callee_free.push_back(r);
+
+  struct Active {
+    int end;
+    int vreg;
+    int reg;
+    bool operator<(const Active& other) const {
+      if (end != other.end) return end < other.end;
+      return vreg < other.vreg;
+    }
+  };
+  std::set<Active> active;
+
+  auto release = [&](int r) {
+    if (r >= regs::kCalleeFirst && r <= regs::kCalleeLast)
+      callee_free.push_back(r);
+    else
+      caller_free.push_back(r);
+  };
+
+  for (const Interval& iv : order) {
+    // Expire intervals that ended before this one starts.
+    while (!active.empty() && active.begin()->end < iv.start) {
+      release(active.begin()->reg);
+      active.erase(active.begin());
+    }
+
+    int chosen = -1;
+    if (iv.crosses_call) {
+      if (!callee_free.empty()) {
+        chosen = callee_free.front();
+        callee_free.pop_front();
+      }
+    } else {
+      if (!caller_free.empty()) {
+        chosen = caller_free.front();
+        caller_free.pop_front();
+      } else if (!callee_free.empty()) {
+        chosen = callee_free.front();
+        callee_free.pop_front();
+      }
+    }
+
+    if (chosen < 0) {
+      // Spill: prefer evicting the active interval with the furthest end if it
+      // is longer-lived than the current one and pool-compatible.
+      const Active* victim = nullptr;
+      for (auto it = active.rbegin(); it != active.rend(); ++it) {
+        const bool compatible =
+            !iv.crosses_call ||
+            (it->reg >= regs::kCalleeFirst && it->reg <= regs::kCalleeLast);
+        if (compatible) {
+          victim = &*it;
+          break;
+        }
+      }
+      if (victim != nullptr && victim->end > iv.end) {
+        alloc.reg[static_cast<size_t>(victim->vreg)] = -1;
+        alloc.spill_slot[static_cast<size_t>(victim->vreg)] = alloc.num_spill_slots++;
+        chosen = victim->reg;
+        active.erase(*victim);
+      } else {
+        alloc.spill_slot[static_cast<size_t>(iv.vreg)] = alloc.num_spill_slots++;
+        continue;
+      }
+    }
+
+    alloc.reg[static_cast<size_t>(iv.vreg)] = chosen;
+    if (chosen >= regs::kCalleeFirst && chosen <= regs::kCalleeLast)
+      alloc.callee_used[static_cast<size_t>(chosen)] = true;
+    active.insert({intervals[static_cast<size_t>(iv.vreg)].end, iv.vreg, chosen});
+  }
+
+  return alloc;
+}
+
+} // namespace ksim::kcc

@@ -1,0 +1,58 @@
+// Register allocation for the MiniC compiler: liveness analysis and linear
+// scan over hull intervals with call-awareness.
+//
+// Register pools:
+//   caller-saved r4..r17 and r31 — intervals that do not cross a call,
+//   callee-saved r18..r27 — intervals that cross a call (saved in prologue).
+// r0..r2 are fixed (zero, ra, sp); r3/r28/r29 are spill scratch registers;
+// r30 is codegen scratch; r4..r9 carry arguments and return values (they may
+// hold call-free intervals because the call sequences read their argument
+// sources through a parallel move before writing any argument register).
+//
+// Registers are handed out least-recently-freed (FIFO) so that consecutive
+// short-lived temporaries land in different registers — this keeps false
+// (WAR/WAW) dependencies low for the post-allocation VLIW scheduler.
+#pragma once
+
+#include <vector>
+
+#include "kcc/ir.h"
+
+namespace ksim::kcc {
+
+namespace regs {
+inline constexpr int kSpillA = 3;   ///< scratch for spilled operand a
+inline constexpr int kSpillB = 29;  ///< scratch for spilled operand b
+inline constexpr int kSpillD = 28;  ///< scratch for spilled destinations
+inline constexpr int kScratch0 = 30;///< codegen temp (parallel moves, addresses)
+inline constexpr int kExtraCaller = 31; ///< joins the caller-saved pool
+inline constexpr int kCallerFirst = 4;
+inline constexpr int kCallerLast = 17;
+inline constexpr int kCalleeFirst = 18;
+inline constexpr int kCalleeLast = 27;
+} // namespace regs
+
+struct Allocation {
+  std::vector<int> reg;        ///< vreg → physical register, -1 if spilled
+  std::vector<int> spill_slot; ///< vreg → spill slot index, -1 if in a register
+  int num_spill_slots = 0;
+  std::vector<bool> callee_used = std::vector<bool>(32, false);
+
+  bool is_spilled(int vreg) const { return reg[static_cast<size_t>(vreg)] < 0; }
+};
+
+/// Allocates registers for `fn`.  Runs optimistically with the spill-scratch
+/// registers (r3/r28/r29) in the allocatable pool; if that attempt spills, it
+/// reruns with them reserved for spill code.
+Allocation allocate_registers(const IrFunction& fn);
+
+/// Single allocation pass. `with_scratch_pool` adds r3/r28/r29 to the
+/// caller-saved pool (only valid when the result has no spills).
+Allocation allocate_registers_once(const IrFunction& fn, bool with_scratch_pool);
+
+/// Registers read by `inst` (IR level), appended to `out`.
+void ir_uses(const IrInst& inst, std::vector<int>& out);
+/// Register defined by `inst`, or -1.
+int ir_def(const IrInst& inst);
+
+} // namespace ksim::kcc

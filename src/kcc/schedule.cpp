@@ -1,0 +1,175 @@
+#include "kcc/schedule.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::kcc {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return s;
+}
+
+uint64_t reads_mask(const MachineOp& op) {
+  const isa::OpInfo& info = *op.info;
+  uint64_t m = info.implicit_reads & 0xFFFFFFFFull;
+  if (info.ra_is_src) m |= (uint64_t{1} << op.ra);
+  if (info.rb_is_src) m |= (uint64_t{1} << op.rb);
+  if (info.rd_is_src) m |= (uint64_t{1} << op.rd);
+  return m & ~uint64_t{1}; // r0 never carries a dependence
+}
+
+uint64_t writes_mask(const MachineOp& op) {
+  const isa::OpInfo& info = *op.info;
+  uint64_t m = info.implicit_writes & 0xFFFFFFFFull;
+  if (info.rd_is_dst) m |= (uint64_t{1} << op.rd);
+  return m & ~uint64_t{1};
+}
+
+int op_latency(const MachineOp& op) {
+  if (op.info->uses_memory_model()) return 3; // L1 hit latency
+  return std::max(op.info->delay, 1);
+}
+
+} // namespace
+
+std::string render(const MachineOp& op) {
+  std::string out = lower(op.info->name);
+  bool first = true;
+  for (const std::string& pat : op.info->syntax) {
+    out += first ? " " : ", ";
+    first = false;
+    if (pat == "rd") {
+      out += "r" + std::to_string(op.rd);
+    } else if (pat == "ra") {
+      out += "r" + std::to_string(op.ra);
+    } else if (pat == "rb") {
+      out += "r" + std::to_string(op.rb);
+    } else if (pat == "imm") {
+      if (op.has_sym) {
+        out += op.sym;
+        if (op.sym_add != 0) out += strf("%+d", op.sym_add);
+      } else {
+        out += std::to_string(op.imm);
+      }
+    } else if (pat == "imm(ra)") {
+      out += strf("%d(r%u)", op.imm, op.ra);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<MachineOp>> schedule_block(const std::vector<MachineOp>& ops,
+                                                   int issue_width) {
+  std::vector<std::vector<MachineOp>> groups;
+  const size_t n = ops.size();
+  if (n == 0) return groups;
+  if (issue_width <= 1) {
+    for (const MachineOp& op : ops) groups.push_back({op});
+    return groups;
+  }
+
+  // -- dependence edges (i < j) -----------------------------------------------
+  std::vector<std::vector<uint32_t>> strict_preds(n);
+  std::vector<std::vector<uint32_t>> weak_preds(n);
+  std::vector<std::vector<uint32_t>> succs(n); // union, for priorities
+
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t r_j = reads_mask(ops[j]);
+    const uint64_t w_j = writes_mask(ops[j]);
+    const bool mem_j = ops[j].info->mem != adl::MemKind::None;
+    const bool store_j = ops[j].info->is_store();
+    for (size_t i = 0; i < j; ++i) {
+      const uint64_t r_i = reads_mask(ops[i]);
+      const uint64_t w_i = writes_mask(ops[i]);
+      const bool store_i = ops[i].info->is_store();
+      const bool mem_i = ops[i].info->mem != adl::MemKind::None;
+
+      bool strict = false;
+      bool weak = false;
+      if ((w_i & r_j) != 0) strict = true;                       // RAW
+      if ((w_i & w_j) != 0) strict = true;                       // WAW
+      if ((r_i & w_j) != 0) weak = true;                         // WAR
+      if (store_i && mem_j) strict = true;                       // mem after store
+      if (mem_i && store_j) strict = true;                       // store after mem
+      if (ops[i].no_group || ops[j].no_group) strict = true;     // barriers
+      if (ops[i].info->is_branch) strict = true;                 // nothing after a branch
+
+      if (strict) {
+        strict_preds[j].push_back(static_cast<uint32_t>(i));
+        succs[i].push_back(static_cast<uint32_t>(j));
+      } else if (weak) {
+        weak_preds[j].push_back(static_cast<uint32_t>(i));
+        succs[i].push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+
+  // -- critical-path priorities -------------------------------------------------
+  std::vector<int> priority(n, 0);
+  for (size_t i = n; i-- > 0;) {
+    int best = 0;
+    for (uint32_t s : succs[i]) best = std::max(best, priority[s]);
+    priority[i] = best + op_latency(ops[i]);
+  }
+
+  // -- greedy grouping -------------------------------------------------------------
+  // group_of[i]: -1 unscheduled, otherwise the group index.
+  std::vector<int> group_of(n, -1);
+  size_t scheduled = 0;
+  const size_t branch_index = ops.back().info->is_branch ? n - 1 : n;
+
+  while (scheduled < n) {
+    const int g = static_cast<int>(groups.size());
+    std::vector<MachineOp> group;
+    uint64_t group_writes = 0;
+
+    while (static_cast<int>(group.size()) < issue_width) {
+      int pick = -1;
+      for (size_t j = 0; j < n; ++j) {
+        if (group_of[j] >= 0) continue;
+        if (ops[j].no_group && !group.empty()) continue;
+        // The trailing branch may only join the final group (everything else
+        // must already be scheduled, counting the current group's members).
+        if (j == branch_index && scheduled + 1 < n) continue;
+        bool ready = true;
+        for (uint32_t p : strict_preds[j])
+          if (group_of[p] < 0 || group_of[p] == g) {
+            ready = false;
+            break;
+          }
+        if (ready)
+          for (uint32_t p : weak_preds[j])
+            if (group_of[p] < 0) { // may share the group, but not be skipped
+              ready = false;
+              break;
+            }
+        // No same-group WAW/RAW against already chosen members (strict preds
+        // cover RAW/WAW edges; this guards register reuse among *independent*
+        // picks, e.g. two LiConst into the same register cannot happen, but a
+        // same-destination pair without an edge cannot either — keep a cheap
+        // write-set check for safety).
+        if (ready && (writes_mask(ops[j]) & group_writes) != 0) ready = false;
+        if (!ready) continue;
+        if (pick < 0 || priority[j] > priority[static_cast<size_t>(pick)]) {
+          pick = static_cast<int>(j);
+        }
+      }
+      if (pick < 0) break;
+      group_of[static_cast<size_t>(pick)] = g;
+      group_writes |= writes_mask(ops[static_cast<size_t>(pick)]);
+      group.push_back(ops[static_cast<size_t>(pick)]);
+      ++scheduled;
+      if (ops[static_cast<size_t>(pick)].no_group) break;
+    }
+    check(!group.empty(), "scheduler: no progress (cyclic dependences?)");
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+} // namespace ksim::kcc

@@ -1,0 +1,47 @@
+// Machine-operation representation and the per-block VLIW list scheduler.
+//
+// The scheduler runs after register allocation and packs operations into
+// stop-bit delimited instruction groups for an n-issue target.  Dependence
+// rules reflect the execution semantics of §V-B (all sources are read before
+// any write-back within one instruction):
+//   * RAW, WAW, memory and barrier dependences are *strict* — producer and
+//     consumer must sit in different groups,
+//   * WAR dependences are *weak* — the reader may share a group with the
+//     later writer (the old value is still read), but must never be reordered
+//     after it.
+// Memory dependences are pessimistic, exactly like the compiler model the
+// paper describes (§VI-A: no alias analysis — every memory operation depends
+// on the last store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/optable.h"
+
+namespace ksim::kcc {
+
+struct MachineOp {
+  const isa::OpInfo* info = nullptr;
+  uint8_t rd = 0;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  int32_t imm = 0;
+  std::string sym;     ///< symbolic immediate (labels, globals, call targets)
+  int32_t sym_add = 0;
+  bool has_sym = false;
+  bool no_group = false; ///< must be the only op of its group (calls, SIMOP, ...)
+  int line = 0;          ///< source line (0 = none)
+};
+
+/// Renders one operation as assembly text.
+std::string render(const MachineOp& op);
+
+/// Packs `ops` into instruction groups of at most `issue_width` operations.
+/// The input order must be a correct sequential order; the output preserves
+/// all strict/weak dependences.  A trailing branch stays in the final group.
+std::vector<std::vector<MachineOp>> schedule_block(const std::vector<MachineOp>& ops,
+                                                   int issue_width);
+
+} // namespace ksim::kcc

@@ -1,0 +1,157 @@
+#include "rtl/rtl_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ksim::rtl {
+
+RtlStats RtlSimulator::run(const Trace& trace) {
+  RtlStats stats;
+  stats.operations = trace.ops.size();
+  if (trace.ops.empty()) return stats;
+
+  const int nslots = trace.max_slots;
+
+  // Per-instruction op ranges (ops are recorded in program order).
+  struct InstrRange {
+    uint32_t first = 0;
+    uint8_t count = 0;
+  };
+  std::vector<InstrRange> instrs(trace.num_instructions);
+  // Memory issue order (the hardware LSU issues strictly in program order).
+  std::vector<uint32_t> mem_seq(trace.ops.size(), 0xFFFFFFFFu);
+  uint32_t mem_count = 0;
+  for (uint32_t i = 0; i < trace.ops.size(); ++i) {
+    const TraceOp& op = trace.ops[i];
+    InstrRange& r = instrs[op.instr_index];
+    if (r.count == 0) r.first = i;
+    ++r.count;
+    if (op.kind == OpKind::Load || op.kind == OpKind::Store) mem_seq[i] = mem_count++;
+  }
+
+  cycle::MemoryHierarchy memory(config_.memory);
+
+  std::vector<std::deque<uint32_t>> queues(static_cast<size_t>(nslots));
+  std::vector<uint64_t> reg_ready(32, 0);
+  std::vector<uint64_t> div_busy_until(static_cast<size_t>(nslots), 0);
+  std::vector<uint64_t> mul_last_issue(static_cast<size_t>((nslots + 1) / 2),
+                                       ~uint64_t{0});
+  uint32_t fetch_index = 0;
+  uint32_t next_mem = 0;
+  uint64_t cycle = 0;
+  uint64_t max_completion = 0;
+  size_t outstanding = 0;
+
+  auto all_drained = [&] { return fetch_index >= instrs.size() && outstanding == 0; };
+
+  while (!all_drained()) {
+    // -- fetch stage ----------------------------------------------------------
+    for (int f = 0; f < config_.fetch_per_cycle && fetch_index < instrs.size(); ++f) {
+      const InstrRange& r = instrs[fetch_index];
+      bool fits = true;
+      for (uint8_t k = 0; k < r.count; ++k) {
+        const TraceOp& op = trace.ops[r.first + k];
+        if (queues[op.slot].size() >= static_cast<size_t>(config_.queue_depth))
+          fits = false;
+      }
+      if (!fits) {
+        ++stats.fetch_stalls;
+        break;
+      }
+      for (uint8_t k = 0; k < r.count; ++k) {
+        queues[trace.ops[r.first + k].slot].push_back(r.first + k);
+        ++outstanding;
+      }
+      ++fetch_index;
+    }
+
+    // -- issue stage ------------------------------------------------------------
+    // Oldest unissued instruction across all slots (for the drift bound).
+    uint32_t oldest = 0xFFFFFFFFu;
+    for (const auto& q : queues)
+      if (!q.empty()) oldest = std::min(oldest, trace.ops[q.front()].instr_index);
+
+    int mem_issued = 0;
+    for (int s = 0; s < nslots; ++s) {
+      auto& q = queues[static_cast<size_t>(s)];
+      if (q.empty()) continue;
+      const TraceOp& op = trace.ops[q.front()];
+
+      // Bounded slot drift (enables precise interrupts in hardware).
+      if (op.instr_index - oldest > static_cast<uint32_t>(config_.max_drift)) {
+        ++stats.drift_stalls;
+        continue;
+      }
+      // True data dependencies via the register scoreboard.
+      bool ready = true;
+      for (int i = 0; i < op.num_srcs; ++i)
+        if (reg_ready[op.srcs[i]] > cycle) ready = false;
+      if (!ready) {
+        ++stats.data_stalls;
+        continue;
+      }
+      // Structural hazards.
+      uint64_t completion;
+      switch (op.kind) {
+        case OpKind::Mul: {
+          const size_t pair = static_cast<size_t>(s) / 2;
+          if (config_.shared_multiplier && mul_last_issue[pair] == cycle) {
+            ++stats.resource_stalls;
+            continue;
+          }
+          mul_last_issue[pair] = cycle;
+          completion = cycle + op.latency;
+          break;
+        }
+        case OpKind::Div: {
+          if (div_busy_until[static_cast<size_t>(s)] > cycle) {
+            ++stats.resource_stalls;
+            continue;
+          }
+          completion = cycle + op.latency;
+          div_busy_until[static_cast<size_t>(s)] = completion;
+          break;
+        }
+        case OpKind::Load:
+        case OpKind::Store: {
+          if (mem_seq[q.front()] != next_mem) {
+            ++stats.order_stalls;
+            continue;
+          }
+          if (mem_issued >= config_.mem_issue_per_cycle) {
+            ++stats.resource_stalls;
+            continue;
+          }
+          completion = memory.entry().access(
+              op.mem_addr,
+              op.kind == OpKind::Store ? cycle::AccessType::Write
+                                       : cycle::AccessType::Read,
+              s, cycle);
+          ++mem_issued;
+          ++next_mem;
+          break;
+        }
+        default:
+          completion = cycle + op.latency;
+          break;
+      }
+
+      if (op.dst != 0xFF)
+        reg_ready[op.dst] = std::max(reg_ready[op.dst], completion);
+      max_completion = std::max(max_completion, completion);
+      q.pop_front();
+      --outstanding;
+    }
+
+    ++cycle;
+    check(cycle < (uint64_t{1} << 40), "RtlSimulator: runaway simulation");
+  }
+
+  stats.cycles = std::max(max_completion, cycle);
+  return stats;
+}
+
+} // namespace ksim::rtl

@@ -1,0 +1,54 @@
+// Cycle-accurate reference model of the KAHRISMA DOE microarchitecture
+// (Table II baseline — see DESIGN.md §2 for the RTL substitution rationale).
+//
+// Models, cycle by cycle, exactly the resource constraints the DOE cycle
+// approximation (§VI-C) declares itself heuristic about:
+//   1. resource constraints — e.g. a multiplier shared between two slots
+//      (EDPE pairs) and a single-ported L1,
+//   2. bounded drift between the issue slots (precise interrupts),
+//   3. memory operations issuing in hardware (in-order LSU) rather than in
+//      behavioural program order,
+// plus finite per-slot issue queues fed by a fetch stage with limited
+// bandwidth.  The memory hierarchy timing reuses the modules of
+// cycle/mem_hierarchy.h with identical latencies so that the comparison
+// isolates the pipeline model.
+#pragma once
+
+#include <cstdint>
+
+#include "cycle/mem_hierarchy.h"
+#include "rtl/trace_recorder.h"
+
+namespace ksim::rtl {
+
+struct RtlConfig {
+  int queue_depth = 8;        ///< per-slot issue queue entries
+  int fetch_per_cycle = 1;    ///< instructions (groups) fetched per cycle
+  int max_drift = 15;         ///< max instruction-index distance between slots
+  bool shared_multiplier = true; ///< one multiplier per EDPE pair
+  int mem_issue_per_cycle = 1;   ///< L1 is single ported
+  cycle::HierarchyConfig memory; ///< same defaults as the approximation
+};
+
+struct RtlStats {
+  uint64_t cycles = 0;
+  uint64_t operations = 0;
+  uint64_t fetch_stalls = 0;   ///< cycles the fetch could not push a group
+  uint64_t data_stalls = 0;    ///< head-of-queue ops blocked on operands
+  uint64_t resource_stalls = 0;///< blocked on mul/div/memory port
+  uint64_t drift_stalls = 0;   ///< blocked by the drift bound
+  uint64_t order_stalls = 0;   ///< memory ops waiting for in-order issue
+};
+
+/// Replays a recorded trace through the microarchitecture; returns timing.
+class RtlSimulator {
+public:
+  explicit RtlSimulator(const RtlConfig& config = {}) : config_(config) {}
+
+  RtlStats run(const Trace& trace);
+
+private:
+  RtlConfig config_;
+};
+
+} // namespace ksim::rtl

@@ -1,0 +1,64 @@
+#include "rtl/trace_recorder.h"
+
+#include <algorithm>
+
+namespace ksim::rtl {
+namespace {
+
+OpKind classify(const isa::OpInfo& info) {
+  if (info.is_load()) return OpKind::Load;
+  if (info.is_store()) return OpKind::Store;
+  if (info.is_branch) return OpKind::Branch;
+  if (info.name == "MUL" || info.name == "MULH" || info.name == "MULHU") return OpKind::Mul;
+  if (info.name == "DIV" || info.name == "DIVU" || info.name == "REM" ||
+      info.name == "REMU")
+    return OpKind::Div;
+  if (info.serial_only) return OpKind::System;
+  return OpKind::Alu;
+}
+
+} // namespace
+
+void TraceRecorder::on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) {
+  const uint32_t index = trace_.num_instructions++;
+  trace_.max_slots = std::max(trace_.max_slots, static_cast<int>(di.num_ops));
+  for (int s = 0; s < di.num_ops; ++s) {
+    const isa::DecodedOp& op = di.ops[s];
+    const isa::OpInfo& info = *op.info;
+    TraceOp t;
+    t.instr_index = index;
+    t.slot = static_cast<uint8_t>(s);
+    t.kind = classify(info);
+    t.latency = static_cast<uint8_t>(std::max(info.delay, 1));
+
+    if (info.rd_is_dst && op.rd != 0) t.dst = op.rd;
+    auto add_src = [&](uint8_t r) {
+      if (r == 0 || t.num_srcs >= 8) return;
+      for (int i = 0; i < t.num_srcs; ++i)
+        if (t.srcs[i] == r) return;
+      t.srcs[t.num_srcs++] = r;
+    };
+    if (info.ra_is_src) add_src(op.ra);
+    if (info.rb_is_src) add_src(op.rb);
+    if (info.rd_is_src) add_src(op.rd);
+    uint64_t mask = info.implicit_reads & 0xFFFFFFFFull;
+    while (mask != 0) {
+      add_src(static_cast<uint8_t>(__builtin_ctzll(mask)));
+      mask &= mask - 1;
+    }
+    // Implicit register destinations (e.g. JAL's link register).
+    uint64_t wmask = info.implicit_writes & 0xFFFFFFFFull;
+    while (wmask != 0 && t.dst == 0xFF) {
+      const unsigned r = static_cast<unsigned>(__builtin_ctzll(wmask));
+      wmask &= wmask - 1;
+      if (r != 0) t.dst = static_cast<uint8_t>(r);
+    }
+
+    if (ctx.mem[s].valid) t.mem_addr = ctx.mem[s].addr;
+    trace_.ops.push_back(t);
+  }
+}
+
+void TraceRecorder::reset() { trace_ = Trace{}; }
+
+} // namespace ksim::rtl

@@ -1,0 +1,55 @@
+// Dynamic operation trace recording.
+//
+// The paper validates the DOE cycle approximation against an RTL hardware
+// simulation with perfect branch prediction (Table II).  Our stand-in is a
+// trace-driven, cycle-accurate microarchitecture model (rtl_sim.h): a
+// functional simulation first records the dynamic operation stream (this
+// file), then the timing model replays it cycle by cycle.  Perfect branch
+// prediction falls out naturally: the trace is the actual execution path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cycle/cycle_model.h"
+
+namespace ksim::rtl {
+
+enum class OpKind : uint8_t { Alu, Mul, Div, Load, Store, Branch, System };
+
+/// One dynamic operation.
+struct TraceOp {
+  uint32_t instr_index = 0; ///< dynamic instruction (group) number
+  uint8_t slot = 0;
+  uint8_t dst = 0xFF;       ///< destination register, 0xFF = none
+  uint8_t srcs[8];          ///< source registers
+  uint8_t num_srcs = 0;
+  OpKind kind = OpKind::Alu;
+  uint8_t latency = 1;      ///< static latency; loads/stores use the hierarchy
+  uint32_t mem_addr = 0;    ///< valid for Load/Store
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;       ///< program order
+  uint32_t num_instructions = 0;
+  int max_slots = 1;
+};
+
+/// CycleModel adapter that records the trace during a functional run
+/// (cycles() stays 0 — this model only observes).
+class TraceRecorder final : public cycle::CycleModel {
+public:
+  void on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) override;
+  uint64_t cycles() const override { return 0; }
+  uint64_t operations() const override { return trace_.ops.size(); }
+  void reset() override;
+  std::string name() const override { return "trace-recorder"; }
+
+  const Trace& trace() const { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+
+private:
+  Trace trace_;
+};
+
+} // namespace ksim::rtl

@@ -1,0 +1,1 @@
+#include "sim/decode_cache.h"

@@ -1,0 +1,44 @@
+// Decode cache (paper §V-A): all detected and decoded instructions are
+// stored in a hash map tagged by the instruction address, so each executed
+// instruction is detected and decoded only once.  The map key additionally
+// includes the active ISA id because the same address decodes differently
+// after a SWITCHTARGET.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/exec.h"
+
+namespace ksim::sim {
+
+class DecodeCache {
+public:
+  /// Returns the cached decode structure for (addr, isa) or nullptr.
+  isa::DecodedInstr* lookup(uint32_t addr, int isa_id) {
+    const auto it = map_.find(key(addr, isa_id));
+    return it == map_.end() ? nullptr : it->second.get();
+  }
+
+  /// Inserts a decode structure; returns the owned pointer.
+  isa::DecodedInstr* insert(uint32_t addr, int isa_id,
+                            std::unique_ptr<isa::DecodedInstr> di) {
+    auto [it, inserted] = map_.emplace(key(addr, isa_id), std::move(di));
+    return it->second.get();
+  }
+
+  /// Invalidates everything (e.g. after self-modifying code or a reload).
+  void clear() { map_.clear(); }
+
+  size_t size() const { return map_.size(); }
+
+private:
+  static uint64_t key(uint32_t addr, int isa_id) {
+    return static_cast<uint64_t>(addr) | (static_cast<uint64_t>(isa_id) << 32);
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<isa::DecodedInstr>> map_;
+};
+
+} // namespace ksim::sim

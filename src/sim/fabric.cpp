@@ -1,0 +1,120 @@
+#include "sim/fabric.h"
+
+#include "support/error.h"
+
+namespace ksim::sim {
+
+struct Fabric::Thread {
+  std::string name;
+  Simulator sim;
+  ThreadState state = ThreadState::Running;
+  std::optional<StopReason> stop;
+  uint64_t waited = 0;
+
+  Thread(const isa::IsaSet& set, const SimOptions& options) : sim(set, options) {}
+
+  int width(const isa::IsaSet& set) const {
+    const isa::IsaInfo* isa = set.find_isa(sim.state().isa_id());
+    return isa != nullptr ? isa->issue_width : 1;
+  }
+};
+
+Fabric::Fabric(const isa::IsaSet& set, FabricConfig config)
+    : set_(set), config_(config) {
+  check(config_.total_edpes >= 1, "Fabric: need at least one EDPE");
+}
+
+Fabric::~Fabric() = default;
+
+int Fabric::edpes_in_use() const {
+  int used = 0;
+  for (const auto& t : threads_)
+    if (t->state != ThreadState::Finished) used += t->width(set_);
+  return used;
+}
+
+int Fabric::spawn(const elf::ElfFile& exe, std::string name) {
+  const isa::IsaInfo* entry = set_.find_isa(static_cast<int>(exe.flags));
+  check(entry != nullptr, "Fabric::spawn: executable names an unknown entry ISA");
+  if (entry->issue_width > edpes_free()) return -1;
+
+  auto thread = std::make_unique<Thread>(set_, config_.sim_options);
+  thread->name = std::move(name);
+  thread->sim.load(exe);
+  threads_.push_back(std::move(thread));
+  return static_cast<int>(threads_.size()) - 1;
+}
+
+int Fabric::pending_demand(const Thread& t) const {
+  // Peek the next instruction: if it is a SWITCHTARGET the thread is about
+  // to change its EDPE footprint; make the scheduler aware so an up-switch
+  // can wait for capacity instead of over-subscribing the array.
+  uint32_t word = 0;
+  if (!t.sim.state().fetch32(t.sim.state().ip(), word)) return t.width(set_);
+  const isa::IsaInfo* cur = set_.find_isa(t.sim.state().isa_id());
+  if (cur == nullptr) return t.width(set_);
+  const isa::OpInfo* op = set_.detect(*cur, word);
+  if (op == nullptr || op->name != "SWITCHTARGET") return cur->issue_width;
+  const int target_id = static_cast<int>(op->f_imm.extract(word));
+  const isa::IsaInfo* target = set_.find_isa(target_id);
+  return target != nullptr ? target->issue_width : cur->issue_width;
+}
+
+int Fabric::step_all() {
+  int unfinished = 0;
+  progressed_ = false;
+  for (auto& t : threads_) {
+    if (t->state == ThreadState::Finished) continue;
+    ++unfinished;
+
+    const int current = t->width(set_);
+    const int demand = pending_demand(*t);
+    if (demand > current && demand - current > edpes_free()) {
+      // Reconfiguration to a wider instance must wait for free EDPEs.
+      t->state = ThreadState::WaitingForEdpes;
+      ++t->waited;
+      continue;
+    }
+    t->state = ThreadState::Running;
+    progressed_ = true;
+    const auto stop = t->sim.step();
+    if (stop.has_value()) {
+      t->state = ThreadState::Finished;
+      t->stop = stop;
+    }
+  }
+  ++steps_;
+  return unfinished;
+}
+
+void Fabric::run_to_completion() {
+  while (step_all() > 0) {
+    check(progressed_,
+          "Fabric: reconfiguration deadlock — every unfinished thread is "
+          "waiting for EDPEs");
+    check(steps_ < config_.max_steps, "Fabric: step limit reached");
+  }
+}
+
+ThreadStatus Fabric::status(int thread_id) const {
+  check(thread_id >= 0 && static_cast<size_t>(thread_id) < threads_.size(),
+        "Fabric::status: bad thread id");
+  const Thread& t = *threads_[static_cast<size_t>(thread_id)];
+  ThreadStatus s;
+  s.name = t.name;
+  s.state = t.state;
+  s.edpes = t.state == ThreadState::Finished ? 0 : t.width(set_);
+  s.stop = t.stop;
+  s.exit_code = t.sim.exit_code();
+  s.instructions = t.sim.stats().instructions;
+  s.waited_steps = t.waited;
+  return s;
+}
+
+const std::string& Fabric::output(int thread_id) const {
+  check(thread_id >= 0 && static_cast<size_t>(thread_id) < threads_.size(),
+        "Fabric::output: bad thread id");
+  return threads_[static_cast<size_t>(thread_id)]->sim.libc().output();
+}
+
+} // namespace ksim::sim

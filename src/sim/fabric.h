@@ -1,0 +1,77 @@
+// Resource-level model of the KAHRISMA fabric (paper Fig. 1 and §III):
+// a pool of EDPEs (encapsulated datapath elements) from which hardware
+// threads are instantiated.  Each thread is a processor instance whose ISA
+// configuration determines how many EDPEs it occupies (RISC = 1, n-issue
+// VLIW = n).  Threads can be spawned at run time as long as EDPEs are
+// available, and a thread's SWITCHTARGET reconfigurations change its
+// footprint dynamically — switching to a wider ISA blocks until the fabric
+// has capacity (the hardware would likewise wait for tiles to free up).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ksim::sim {
+
+struct FabricConfig {
+  int total_edpes = 8;           ///< EDPE array size
+  SimOptions sim_options;        ///< per-thread simulator options
+  uint64_t max_steps = 50'000'000; ///< global scheduling-step safety limit
+};
+
+enum class ThreadState { Running, WaitingForEdpes, Finished };
+
+struct ThreadStatus {
+  std::string name;
+  ThreadState state = ThreadState::Running;
+  int edpes = 0;                ///< current footprint
+  std::optional<StopReason> stop;
+  int exit_code = 0;
+  uint64_t instructions = 0;
+  uint64_t waited_steps = 0;    ///< scheduler rounds spent waiting for EDPEs
+};
+
+class Fabric {
+public:
+  explicit Fabric(const isa::IsaSet& set, FabricConfig config = {});
+  ~Fabric();
+
+  /// Instantiates a hardware thread.  Fails (returns -1) when the entry
+  /// ISA's EDPE demand exceeds the currently free capacity.
+  int spawn(const elf::ElfFile& exe, std::string name);
+
+  /// EDPEs currently occupied / free.
+  int edpes_in_use() const;
+  int edpes_free() const { return config_.total_edpes - edpes_in_use(); }
+
+  /// Advances every runnable thread by one instruction (round robin).
+  /// Returns the number of threads still unfinished.
+  int step_all();
+
+  /// Runs until every thread finished (or the step limit is reached).
+  void run_to_completion();
+
+  ThreadStatus status(int thread_id) const;
+  size_t thread_count() const { return threads_.size(); }
+
+  /// The program output of a finished (or running) thread.
+  const std::string& output(int thread_id) const;
+
+private:
+  struct Thread;
+
+  /// EDPE demand of the ISA a thread is about to need (peeks SWITCHTARGET).
+  int pending_demand(const Thread& t) const;
+
+  const isa::IsaSet& set_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  uint64_t steps_ = 0;
+  bool progressed_ = false;
+};
+
+} // namespace ksim::sim

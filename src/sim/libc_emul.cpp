@@ -1,0 +1,213 @@
+#include "sim/libc_emul.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace ksim::sim {
+
+using isa::LibcOp;
+namespace abi = isa::abi;
+
+uint32_t LibcEmulator::arg(const isa::ExecCtx& ctx, unsigned index) const {
+  if (index < abi::kNumArgRegs) return ctx.st->reg(abi::kArg0 + index);
+  // Further arguments live on the stack (pushed by the caller at sp+0..).
+  return ctx.st->load32(ctx.st->reg(abi::kSp) + 4 * (index - abi::kNumArgRegs));
+}
+
+void LibcEmulator::emit(std::string_view text) {
+  output_.append(text);
+  if (echo_) std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+void LibcEmulator::do_printf(isa::ExecCtx& ctx) {
+  const std::string fmt = ctx.st->read_cstring(arg(ctx, 0));
+  std::string out;
+  unsigned next_arg = 1;
+  int written = 0;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out.push_back(fmt[i]);
+      ++written;
+      continue;
+    }
+    ++i;
+    if (i >= fmt.size()) break;
+    if (fmt[i] == '%') {
+      out.push_back('%');
+      ++written;
+      continue;
+    }
+    // Parse [0][width] then the conversion character.
+    bool zero_pad = false;
+    bool left = false;
+    if (fmt[i] == '-') {
+      left = true;
+      ++i;
+    }
+    if (i < fmt.size() && fmt[i] == '0') {
+      zero_pad = true;
+      ++i;
+    }
+    unsigned width = 0;
+    while (i < fmt.size() && fmt[i] >= '0' && fmt[i] <= '9') {
+      width = width * 10 + static_cast<unsigned>(fmt[i] - '0');
+      ++i;
+    }
+    if (i >= fmt.size()) break;
+    std::string field;
+    switch (fmt[i]) {
+      case 'd':
+      case 'i':
+        field = std::to_string(static_cast<int32_t>(arg(ctx, next_arg++)));
+        break;
+      case 'u':
+        field = std::to_string(arg(ctx, next_arg++));
+        break;
+      case 'x':
+        field = strf("%x", arg(ctx, next_arg++));
+        break;
+      case 'X':
+        field = strf("%X", arg(ctx, next_arg++));
+        break;
+      case 'c':
+        field.push_back(static_cast<char>(arg(ctx, next_arg++)));
+        break;
+      case 's':
+        field = ctx.st->read_cstring(arg(ctx, next_arg++));
+        break;
+      default:
+        field = std::string("%") + fmt[i]; // unknown conversion: literal
+        break;
+    }
+    if (field.size() < width) {
+      const std::string pad(width - field.size(), zero_pad && !left ? '0' : ' ');
+      field = left ? field + pad : pad + field;
+    }
+    out += field;
+    written += static_cast<int>(field.size());
+  }
+  emit(out);
+  ctx.st->set_reg(abi::kArg0, static_cast<uint32_t>(written));
+}
+
+void LibcEmulator::handle(int op_number, isa::ExecCtx& ctx) {
+  ++calls_;
+  isa::ArchState& st = *ctx.st;
+  if (op_number < 0 || op_number >= isa::kNumLibcOps) {
+    st.raise_trap(strf("SIMOP with unknown library function %d", op_number));
+    return;
+  }
+  switch (static_cast<LibcOp>(op_number)) {
+    case LibcOp::kExit:
+      exited_ = true;
+      exit_code_ = static_cast<int32_t>(arg(ctx, 0));
+      ctx.halt = true;
+      break;
+    case LibcOp::kPutchar: {
+      const char c = static_cast<char>(arg(ctx, 0));
+      emit(std::string_view(&c, 1));
+      st.set_reg(abi::kArg0, arg(ctx, 0));
+      break;
+    }
+    case LibcOp::kPuts: {
+      emit(st.read_cstring(arg(ctx, 0)));
+      emit("\n");
+      st.set_reg(abi::kArg0, 0);
+      break;
+    }
+    case LibcOp::kPrintf:
+      do_printf(ctx);
+      break;
+    case LibcOp::kMalloc: {
+      const uint32_t size = (arg(ctx, 0) + 7u) & ~7u;
+      if (heap_ptr_ + size > heap_end_ || heap_ptr_ + size < heap_ptr_) {
+        st.set_reg(abi::kArg0, 0); // out of memory → NULL
+      } else {
+        st.set_reg(abi::kArg0, heap_ptr_);
+        heap_ptr_ += size;
+      }
+      break;
+    }
+    case LibcOp::kFree:
+      break; // bump allocator: free is a no-op
+    case LibcOp::kMemcpy: {
+      const uint32_t dst = arg(ctx, 0);
+      const uint32_t src = arg(ctx, 1);
+      const uint32_t n = arg(ctx, 2);
+      if (!st.in_ram(dst, n) || !st.in_ram(src, n)) {
+        st.raise_trap("memcpy outside simulated RAM");
+        break;
+      }
+      std::memmove(st.ram_data() + dst, st.ram_data() + src, n);
+      st.set_reg(abi::kArg0, dst);
+      break;
+    }
+    case LibcOp::kMemset: {
+      const uint32_t dst = arg(ctx, 0);
+      const uint32_t value = arg(ctx, 1);
+      const uint32_t n = arg(ctx, 2);
+      if (!st.in_ram(dst, n)) {
+        st.raise_trap("memset outside simulated RAM");
+        break;
+      }
+      std::memset(st.ram_data() + dst, static_cast<int>(value & 0xFF), n);
+      st.set_reg(abi::kArg0, dst);
+      break;
+    }
+    case LibcOp::kStrlen:
+      st.set_reg(abi::kArg0,
+                 static_cast<uint32_t>(st.read_cstring(arg(ctx, 0)).size()));
+      break;
+    case LibcOp::kStrcmp: {
+      const std::string a = st.read_cstring(arg(ctx, 0));
+      const std::string b = st.read_cstring(arg(ctx, 1));
+      st.set_reg(abi::kArg0,
+                 static_cast<uint32_t>(a < b ? -1 : (a > b ? 1 : 0)));
+      break;
+    }
+    case LibcOp::kStrcpy: {
+      const uint32_t dst = arg(ctx, 0);
+      const std::string src = st.read_cstring(arg(ctx, 1));
+      if (!st.in_ram(dst, static_cast<uint32_t>(src.size() + 1))) {
+        st.raise_trap("strcpy outside simulated RAM");
+        break;
+      }
+      std::memcpy(st.ram_data() + dst, src.c_str(), src.size() + 1);
+      st.set_reg(abi::kArg0, dst);
+      break;
+    }
+    case LibcOp::kRand:
+      // Deterministic LCG (C89 reference implementation).
+      rand_state_ = rand_state_ * 1103515245u + 12345u;
+      st.set_reg(abi::kArg0, (rand_state_ >> 16) & 0x7FFFu);
+      break;
+    case LibcOp::kSrand:
+      rand_state_ = arg(ctx, 0);
+      break;
+    case LibcOp::kAbort:
+      st.raise_trap("abort() called by simulated program");
+      break;
+    case LibcOp::kPutInt:
+      emit(std::to_string(static_cast<int32_t>(arg(ctx, 0))));
+      emit("\n");
+      break;
+    case LibcOp::kPutHex:
+      emit(hex32(arg(ctx, 0)));
+      emit("\n");
+      break;
+    case LibcOp::kCount:
+      break;
+  }
+}
+
+void LibcEmulator::reset() {
+  output_.clear();
+  exited_ = false;
+  exit_code_ = 0;
+  calls_ = 0;
+  heap_ptr_ = heap_start_;
+  rand_state_ = 1;
+}
+
+} // namespace ksim::sim

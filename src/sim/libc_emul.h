@@ -1,0 +1,60 @@
+// Emulated C standard library (paper §V-E): SIMOP operations are dispatched
+// here; the emulator reads arguments from registers/stack according to the
+// calling convention, performs the library function natively on the simulated
+// memory, and writes the result back to r4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/exec.h"
+#include "isa/kisa.h"
+
+namespace ksim::sim {
+
+class LibcEmulator final : public isa::SimOpHandler {
+public:
+  LibcEmulator() = default;
+
+  /// Configures the heap region used by malloc (set by the simulator after
+  /// loading an executable: image end .. below the stack).
+  void set_heap(uint32_t start, uint32_t end) {
+    heap_start_ = heap_ptr_ = start;
+    heap_end_ = end;
+  }
+
+  /// Program output (stdout of the simulated program) accumulates here.
+  const std::string& output() const { return output_; }
+  void clear_output() { output_.clear(); }
+
+  /// Also echo program output to the host's stdout.
+  void set_echo(bool echo) { echo_ = echo; }
+
+  bool exited() const { return exited_; }
+  int exit_code() const { return exit_code_; }
+
+  uint64_t calls() const { return calls_; }
+  uint32_t heap_used() const { return heap_ptr_ - heap_start_; }
+
+  void handle(int op_number, isa::ExecCtx& ctx) override;
+
+  /// Resets dynamic state (heap pointer, rand seed, exit flag, output).
+  void reset();
+
+private:
+  uint32_t arg(const isa::ExecCtx& ctx, unsigned index) const;
+  void emit(std::string_view text);
+  void do_printf(isa::ExecCtx& ctx);
+
+  std::string output_;
+  bool echo_ = false;
+  bool exited_ = false;
+  int exit_code_ = 0;
+  uint64_t calls_ = 0;
+  uint32_t heap_start_ = 0;
+  uint32_t heap_ptr_ = 0;
+  uint32_t heap_end_ = 0;
+  uint32_t rand_state_ = 1;
+};
+
+} // namespace ksim::sim

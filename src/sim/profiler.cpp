@@ -1,0 +1,62 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+
+namespace ksim::sim {
+
+int Profiler::func_index(uint32_t addr) {
+  if (image_ == nullptr) return -1;
+  if (profiles_.empty()) {
+    profiles_.resize(image_->functions.size() + 1);
+    for (size_t i = 0; i < image_->functions.size(); ++i)
+      profiles_[i].name = image_->functions[i].name;
+    profiles_.back().name = "<unknown>";
+  }
+  if (addr >= cached_lo_ && addr <= cached_hi_) return cached_index_;
+  const elf::FuncInfo* f = image_->find_function(addr);
+  if (f == nullptr) {
+    cached_lo_ = 1;
+    cached_hi_ = 0;
+    return static_cast<int>(profiles_.size()) - 1;
+  }
+  cached_lo_ = f->addr;
+  cached_hi_ = f->addr + f->size - 1;
+  cached_index_ = static_cast<int>(f - image_->functions.data());
+  return cached_index_;
+}
+
+void Profiler::on_instruction(uint32_t addr, int ops, uint64_t cycles_now) {
+  const int idx = func_index(addr);
+  if (idx < 0) return;
+  FuncProfile& p = profiles_[static_cast<size_t>(idx)];
+  ++p.instructions;
+  p.operations += static_cast<uint64_t>(ops);
+  p.cycles += cycles_now - last_cycles_;
+  last_cycles_ = cycles_now;
+}
+
+void Profiler::on_call(uint32_t target) {
+  const int idx = func_index(target);
+  if (idx >= 0) ++profiles_[static_cast<size_t>(idx)].calls;
+}
+
+std::vector<FuncProfile> Profiler::report() const {
+  std::vector<FuncProfile> out;
+  for (const FuncProfile& p : profiles_)
+    if (p.instructions > 0 || p.calls > 0) out.push_back(p);
+  std::sort(out.begin(), out.end(), [](const FuncProfile& a, const FuncProfile& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    return a.instructions > b.instructions;
+  });
+  return out;
+}
+
+void Profiler::reset() {
+  profiles_.clear();
+  last_cycles_ = 0;
+  cached_lo_ = 1;
+  cached_hi_ = 0;
+  cached_index_ = -1;
+}
+
+} // namespace ksim::sim

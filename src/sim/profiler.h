@@ -1,0 +1,52 @@
+// Function-level profiler (paper §IV goal 2: "cycle-approximate performance
+// results in combination with dynamic program analysis, e.g. profiling. This
+// is ... especially important for the selection of appropriate ISAs for an
+// application on function granularity").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/loader.h"
+
+namespace ksim::sim {
+
+struct FuncProfile {
+  std::string name;
+  uint64_t instructions = 0;
+  uint64_t operations = 0;
+  uint64_t cycles = 0; ///< attributed from the active cycle model (if any)
+  uint64_t calls = 0;
+};
+
+class Profiler {
+public:
+  void attach(const elf::LoadedImage* image) { image_ = image; }
+
+  /// Accounts one instruction at `addr` with `ops` operations; `cycles_now`
+  /// is the running cycle-model total (0 if no model is active).
+  void on_instruction(uint32_t addr, int ops, uint64_t cycles_now);
+
+  /// Accounts a call to the function containing `target`.
+  void on_call(uint32_t target);
+
+  /// Profiles sorted by cycles (descending), then instructions.
+  std::vector<FuncProfile> report() const;
+
+  void reset();
+
+private:
+  int func_index(uint32_t addr);
+
+  const elf::LoadedImage* image_ = nullptr;
+  std::vector<FuncProfile> profiles_; ///< parallel to image_->functions, +1 "<unknown>"
+  uint64_t last_cycles_ = 0;
+  // One-entry lookup cache: instruction streams stay inside one function for
+  // long stretches.
+  uint32_t cached_lo_ = 1;
+  uint32_t cached_hi_ = 0;
+  int cached_index_ = -1;
+};
+
+} // namespace ksim::sim

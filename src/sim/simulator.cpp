@@ -1,0 +1,257 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "kasm/disasm.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::sim {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::Exited: return "exited";
+    case StopReason::Halted: return "halted";
+    case StopReason::Trap: return "trap";
+    case StopReason::DecodeError: return "decode error";
+    case StopReason::InstructionLimit: return "instruction limit";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const isa::IsaSet& set, SimOptions options)
+    : set_(set), options_(options) {
+  // Prediction caches pointers into the decode cache; it cannot work without it.
+  if (!options_.use_decode_cache) options_.use_prediction = false;
+  active_isa_ = &set_.default_isa();
+  ctx_.st = &state_;
+  ctx_.simop = &libc_;
+  if (options_.ip_history > 0) ip_ring_.resize(options_.ip_history, 0);
+  if (options_.collect_op_stats) op_counts_.assign(set_.all_ops().size(), 0);
+}
+
+void Simulator::load(const elf::ElfFile& executable) {
+  image_ = elf::load_executable(executable, state_);
+  const isa::IsaInfo* isa = isa_by_id(image_.entry_isa);
+  check(isa != nullptr,
+        strf("executable requests unknown entry ISA %d", image_.entry_isa));
+  active_isa_ = isa;
+  state_.reset_cpu(image_.entry, isa->id);
+  const uint32_t heap_start = (image_.image_end + 15u) & ~15u;
+  const uint32_t heap_end = isa::kStackTop - (1u << 20); // 1 MiB stack guard
+  check(heap_start < heap_end, "executable leaves no room for the heap");
+  libc_.set_heap(heap_start, heap_end);
+  libc_.reset();
+  decode_cache_.clear();
+  prev_instr_ = nullptr;
+  stats_ = {};
+  ip_ring_pos_ = 0;
+  ip_ring_full_ = false;
+  if (profiler_ != nullptr) {
+    profiler_->reset();
+    profiler_->attach(&image_);
+  }
+  loaded_ = true;
+}
+
+void Simulator::set_profiler(Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr && loaded_) profiler_->attach(&image_);
+}
+
+const isa::IsaInfo* Simulator::isa_by_id(int id) const { return set_.find_isa(id); }
+
+void Simulator::record_ip(uint32_t ip) {
+  if (ip_ring_.empty()) return;
+  ip_ring_[ip_ring_pos_] = ip;
+  ip_ring_pos_ = (ip_ring_pos_ + 1) % ip_ring_.size();
+  if (ip_ring_pos_ == 0) ip_ring_full_ = true;
+}
+
+std::vector<uint32_t> Simulator::ip_history() const {
+  std::vector<uint32_t> out;
+  if (ip_ring_.empty()) return out;
+  const size_t count = ip_ring_full_ ? ip_ring_.size() : ip_ring_pos_;
+  const size_t start = ip_ring_full_ ? ip_ring_pos_ : 0;
+  for (size_t i = 0; i < count; ++i)
+    out.push_back(ip_ring_[(start + i) % ip_ring_.size()]);
+  return out;
+}
+
+bool Simulator::decode_at(uint32_t ip, isa::DecodedInstr& out, std::string& error) {
+  out.addr = ip;
+  out.isa_id = static_cast<int16_t>(active_isa_->id);
+  out.num_ops = 0;
+  out.pred_ip = 0xFFFFFFFFu;
+  out.pred_next = nullptr;
+
+  const int width = active_isa_->issue_width;
+  for (int slot = 0; slot < width; ++slot) {
+    uint32_t word = 0;
+    if (!state_.fetch32(ip + static_cast<uint32_t>(slot) * 4, word)) {
+      error = "instruction fetch outside RAM at " + hex32(ip);
+      return false;
+    }
+    // Operation detection by checking the constant fields of each operation
+    // of the active ISA's table (paper §V).
+    const isa::OpInfo* info = set_.detect(*active_isa_, word);
+    if (info == nullptr) {
+      error = strf("undecodable operation word %s at %s (ISA %s)",
+                   hex32(word).c_str(),
+                   hex32(ip + static_cast<uint32_t>(slot) * 4).c_str(),
+                   active_isa_->name.c_str());
+      return false;
+    }
+    isa::DecodedOp& op = out.ops[slot];
+    op.info = info;
+    op.fn = info->fn;
+    op.rd = info->f_rd.valid ? static_cast<uint8_t>(info->f_rd.extract(word)) : 0;
+    op.ra = info->f_ra.valid ? static_cast<uint8_t>(info->f_ra.extract(word)) : 0;
+    op.rb = info->f_rb.valid ? static_cast<uint8_t>(info->f_rb.extract(word)) : 0;
+    op.imm = info->f_imm.valid ? static_cast<int32_t>(info->f_imm.extract(word)) : 0;
+    ++out.num_ops;
+    if (set_.is_stop(word)) break;
+    if (slot + 1 == width) {
+      error = strf("instruction group at %s exceeds the %d-issue width of %s",
+                   hex32(ip).c_str(), width, active_isa_->name.c_str());
+      return false;
+    }
+  }
+  out.size_bytes = static_cast<uint8_t>(out.num_ops * 4);
+  ++stats_.decodes;
+  return true;
+}
+
+std::optional<StopReason> Simulator::step() {
+  const uint32_t ip = state_.ip();
+  record_ip(ip);
+
+  // -- instruction prediction (§V-A) ----------------------------------------
+  isa::DecodedInstr* di = nullptr;
+  if (options_.use_prediction && prev_instr_ != nullptr && prev_instr_->pred_ip == ip) {
+    di = const_cast<isa::DecodedInstr*>(prev_instr_->pred_next);
+    ++stats_.pred_hits;
+  } else if (options_.use_decode_cache) {
+    ++stats_.cache_lookups;
+    di = decode_cache_.lookup(ip, active_isa_->id);
+    if (di == nullptr) {
+      auto fresh = std::make_unique<isa::DecodedInstr>();
+      if (!decode_at(ip, *fresh, decode_error_)) return StopReason::DecodeError;
+      di = decode_cache_.insert(ip, active_isa_->id, std::move(fresh));
+    }
+    if (options_.use_prediction && prev_instr_ != nullptr) {
+      prev_instr_->pred_ip = ip;
+      prev_instr_->pred_next = di;
+    }
+  } else {
+    if (!decode_at(ip, scratch_instr_, decode_error_)) return StopReason::DecodeError;
+    di = &scratch_instr_;
+  }
+
+  // -- execute (§V-B: read all sources before any write-back) -----------------
+  ctx_.begin_instruction(ip + di->size_bytes);
+  int wb_before[isa::kMaxSlots];
+  for (int slot = 0; slot < di->num_ops; ++slot) {
+    ctx_.op = &di->ops[slot];
+    ctx_.slot = slot;
+    wb_before[slot] = ctx_.wb_count;
+    di->ops[slot].fn(ctx_);
+    if (state_.trapped()) return StopReason::Trap;
+  }
+
+  // -- optional tasks before commit (trace sees pre-commit register values) ---
+  if (trace_ != nullptr) {
+    const uint64_t cycle =
+        cycle_model_ != nullptr ? cycle_model_->cycles() : stats_.instructions;
+    for (int slot = 0; slot < di->num_ops; ++slot)
+      trace_->record_op(cycle, ip + static_cast<uint32_t>(slot) * 4, slot,
+                        di->ops[slot], ctx_, wb_before[slot],
+                        slot + 1 < di->num_ops ? wb_before[slot + 1] : ctx_.wb_count);
+  }
+
+  // -- commit ---------------------------------------------------------------
+  for (int i = 0; i < ctx_.wb_count; ++i)
+    state_.set_reg(ctx_.wb[i].reg, ctx_.wb[i].value);
+  state_.set_ip(ctx_.branch_taken ? ctx_.branch_target : ctx_.seq_next_ip);
+
+  ++stats_.instructions;
+  stats_.operations += di->num_ops;
+  if (options_.collect_op_stats)
+    for (int slot = 0; slot < di->num_ops; ++slot)
+      ++op_counts_[di->ops[slot].info->index];
+  if (libc_.calls() != stats_.libc_calls) stats_.libc_calls = libc_.calls();
+
+  // -- optional tasks (§V: cycle approximation, trace, profiling) -------------
+  if (cycle_model_ != nullptr) cycle_model_->on_instruction(*di, ctx_);
+  if (profiler_ != nullptr) {
+    profiler_->on_instruction(ip, di->num_ops,
+                              cycle_model_ != nullptr ? cycle_model_->cycles() : 0);
+    for (int slot = 0; slot < di->num_ops; ++slot)
+      if (di->ops[slot].info->is_call && ctx_.branch_taken)
+        profiler_->on_call(ctx_.branch_target);
+  }
+
+  prev_instr_ = di;
+
+  // -- ISA reconfiguration (§V-D) ---------------------------------------------
+  if (ctx_.isa_switch) {
+    const isa::IsaInfo* isa = isa_by_id(ctx_.new_isa);
+    if (isa == nullptr) {
+      state_.raise_trap(strf("SWITCHTARGET to unknown ISA id %d", ctx_.new_isa));
+      return StopReason::Trap;
+    }
+    active_isa_ = isa;
+    state_.set_isa_id(isa->id);
+    ++stats_.isa_switches;
+    // Never link predictions across an ISA switch: the successor decodes
+    // under a different operation table.
+    prev_instr_ = nullptr;
+  }
+
+  if (ctx_.halt)
+    return libc_.exited() ? StopReason::Exited : StopReason::Halted;
+  if (options_.max_instructions != 0 && stats_.instructions >= options_.max_instructions)
+    return StopReason::InstructionLimit;
+  return std::nullopt;
+}
+
+StopReason Simulator::run() {
+  check(loaded_, "Simulator::run without a loaded executable");
+  while (true) {
+    if (const auto stop = step(); stop.has_value()) return *stop;
+  }
+}
+
+std::vector<std::pair<const isa::OpInfo*, uint64_t>> Simulator::op_histogram() const {
+  std::vector<std::pair<const isa::OpInfo*, uint64_t>> out;
+  for (size_t i = 0; i < op_counts_.size(); ++i)
+    if (op_counts_[i] > 0) out.emplace_back(set_.all_ops()[i], op_counts_[i]);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::string Simulator::error_report() const {
+  std::string out;
+  if (state_.trapped())
+    out += "trap: " + state_.trap_message() + "\n";
+  else if (!decode_error_.empty())
+    out += "decode error: " + decode_error_ + "\n";
+  out += "  at " + image_.describe(state_.ip()) + "\n";
+
+  uint32_t word = 0;
+  if (state_.fetch32(state_.ip(), word) && active_isa_ != nullptr)
+    out += "  instruction: " + kasm::disassemble_op(set_, *active_isa_, word) + "\n";
+
+  const auto history = ip_history();
+  if (!history.empty()) {
+    out += "instruction pointer history (oldest first):\n";
+    const size_t show = std::min<size_t>(history.size(), 16);
+    for (size_t i = history.size() - show; i < history.size(); ++i)
+      out += "  " + image_.describe(history[i]) + "\n";
+  }
+  return out;
+}
+
+} // namespace ksim::sim

@@ -1,0 +1,144 @@
+// The cycle-approximate, mixed-ISA, interpretation-based instruction set
+// simulator (paper §V): detect → decode → execute loop with a decode cache
+// and instruction prediction, optional cycle approximation, trace generation,
+// profiling and debugging support.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cycle/cycle_model.h"
+#include "elf/loader.h"
+#include "isa/arch_state.h"
+#include "isa/exec.h"
+#include "sim/decode_cache.h"
+#include "sim/libc_emul.h"
+#include "sim/profiler.h"
+#include "sim/trace.h"
+
+namespace ksim::sim {
+
+struct SimOptions {
+  bool use_decode_cache = true; ///< §V-A decode cache
+  bool use_prediction = true;   ///< §V-A instruction prediction (needs the cache)
+  bool collect_op_stats = false;///< per-operation execution histogram
+  uint64_t max_instructions = 0;///< safety limit; 0 = unlimited
+  size_t ip_history = 64;       ///< instruction pointer history length (0 = off)
+};
+
+struct SimStats {
+  uint64_t instructions = 0; ///< executed instructions (groups)
+  uint64_t operations = 0;   ///< executed operations (slots)
+  uint64_t decodes = 0;      ///< instructions actually detected & decoded
+  uint64_t cache_lookups = 0;///< decode-cache hash lookups performed
+  uint64_t pred_hits = 0;    ///< lookups avoided by instruction prediction
+  uint64_t isa_switches = 0; ///< SWITCHTARGET executions
+  uint64_t libc_calls = 0;   ///< emulated C library calls
+
+  /// Fraction of executed instructions whose detect & decode was avoided.
+  double decode_avoidance() const {
+    return instructions == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(decodes) / static_cast<double>(instructions);
+  }
+  /// Fraction of potential hash lookups avoided by prediction.
+  double lookup_avoidance() const {
+    const uint64_t total = cache_lookups + pred_hits;
+    return total == 0 ? 0.0 : static_cast<double>(pred_hits) / static_cast<double>(total);
+  }
+};
+
+enum class StopReason {
+  Exited,           ///< program called exit()
+  Halted,           ///< HALT instruction
+  Trap,             ///< runtime error (bad memory access, div by zero, ...)
+  DecodeError,      ///< undecodable instruction or bad instruction address
+  InstructionLimit, ///< SimOptions::max_instructions reached
+};
+
+const char* to_string(StopReason reason);
+
+class Simulator {
+public:
+  explicit Simulator(const isa::IsaSet& set, SimOptions options = {});
+
+  isa::ArchState& state() { return state_; }
+  const isa::ArchState& state() const { return state_; }
+  LibcEmulator& libc() { return libc_; }
+  const elf::LoadedImage& image() const { return image_; }
+  const SimStats& stats() const { return stats_; }
+  const SimOptions& options() const { return options_; }
+
+  /// Loads an executable, initializes IP/ISA per the ELF header, sets up the
+  /// emulated heap and resets run state.
+  void load(const elf::ElfFile& executable);
+
+  /// Optional hooks (may be null).  The cycle model is consulted after every
+  /// instruction; the profiler attributes instructions/cycles to functions;
+  /// the trace writer logs every operation.
+  void set_cycle_model(cycle::CycleModel* model) { cycle_model_ = model; }
+  void set_trace(TraceWriter* trace) { trace_ = trace; }
+  void set_profiler(Profiler* profiler);
+
+  /// Runs until exit/halt/trap/limit.
+  StopReason run();
+
+  /// Executes exactly one instruction; returns nullopt while runnable.
+  std::optional<StopReason> step();
+
+  int exit_code() const { return libc_.exit_code(); }
+
+  /// Multi-line report describing why and where the simulation stopped
+  /// (trap message, IP, function/source mapping, IP history, disassembly) —
+  /// the paper's §IV goal 4 (error detection within applications).
+  std::string error_report() const;
+
+  /// Recently executed instruction addresses, oldest first.
+  std::vector<uint32_t> ip_history() const;
+
+  /// Clears the decode cache (e.g. after self-modifying code or to measure
+  /// cold-start behaviour).  Also drops the instruction-prediction link,
+  /// which points into the cache.
+  void clear_decode_cache() {
+    decode_cache_.clear();
+    prev_instr_ = nullptr;
+  }
+
+  /// Per-operation execution counts (requires SimOptions::collect_op_stats),
+  /// sorted by count descending.  Useful for the high-level-counter style of
+  /// performance estimation the paper contrasts itself with (§II, [12]).
+  std::vector<std::pair<const isa::OpInfo*, uint64_t>> op_histogram() const;
+
+private:
+  bool decode_at(uint32_t ip, isa::DecodedInstr& out, std::string& error);
+  const isa::IsaInfo* isa_by_id(int id) const;
+  void record_ip(uint32_t ip);
+
+  const isa::IsaSet& set_;
+  SimOptions options_;
+  isa::ArchState state_;
+  elf::LoadedImage image_;
+  DecodeCache decode_cache_;
+  LibcEmulator libc_;
+  isa::ExecCtx ctx_;
+  SimStats stats_;
+
+  const isa::IsaInfo* active_isa_ = nullptr;
+  isa::DecodedInstr* prev_instr_ = nullptr; ///< for instruction prediction
+  isa::DecodedInstr scratch_instr_;         ///< used when the cache is off
+
+  cycle::CycleModel* cycle_model_ = nullptr;
+  TraceWriter* trace_ = nullptr;
+  Profiler* profiler_ = nullptr;
+
+  std::vector<uint64_t> op_counts_;
+  std::vector<uint32_t> ip_ring_;
+  size_t ip_ring_pos_ = 0;
+  bool ip_ring_full_ = false;
+
+  std::string decode_error_;
+  bool loaded_ = false;
+};
+
+} // namespace ksim::sim

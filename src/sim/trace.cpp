@@ -1,0 +1,30 @@
+#include "sim/trace.h"
+
+#include "support/strings.h"
+
+namespace ksim::sim {
+
+void TraceWriter::record_op(uint64_t cycle, uint32_t addr, int slot,
+                            const isa::DecodedOp& op, const isa::ExecCtx& ctx,
+                            int wb_begin, int wb_end) {
+  const isa::OpInfo& info = *op.info;
+  std::string line = strf("%llu %s s%d %s", static_cast<unsigned long long>(cycle),
+                          hex32(addr).c_str(), slot, info.name.c_str());
+  if (info.ra_is_src)
+    line += strf(" in r%u=%s", op.ra, hex32(ctx.st->reg(op.ra)).c_str());
+  if (info.rb_is_src)
+    line += strf(" in r%u=%s", op.rb, hex32(ctx.st->reg(op.rb)).c_str());
+  if (info.rd_is_src)
+    line += strf(" in r%u=%s", op.rd, hex32(ctx.st->reg(op.rd)).c_str());
+  if (info.f_imm.valid) line += strf(" imm=%d", op.imm);
+  for (int i = wb_begin; i < wb_end; ++i)
+    line += strf(" out r%u=%s", ctx.wb[i].reg, hex32(ctx.wb[i].value).c_str());
+  if (ctx.mem[slot].valid)
+    line += strf(" mem %s%u @%s", ctx.mem[slot].is_store ? "w" : "r", ctx.mem[slot].size,
+                 hex32(ctx.mem[slot].addr).c_str());
+  line += '\n';
+  os_ << line;
+  ++records_;
+}
+
+} // namespace ksim::sim

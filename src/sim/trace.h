@@ -1,0 +1,31 @@
+// Trace file generation (paper §V, goal 3): for each executed operation the
+// cycle number, opcode, input/output register numbers and values, and
+// immediate values are appended to the trace.  The trace validates other
+// implementations of the ISA (e.g. an RTL model) and can serve as stimuli for
+// partial implementations.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "isa/exec.h"
+
+namespace ksim::sim {
+
+class TraceWriter {
+public:
+  explicit TraceWriter(std::ostream& os) : os_(os) {}
+
+  /// Records one executed operation.  `wb_begin`/`wb_end` delimit the entries
+  /// this operation appended to the write-back buffer.
+  void record_op(uint64_t cycle, uint32_t addr, int slot, const isa::DecodedOp& op,
+                 const isa::ExecCtx& ctx, int wb_begin, int wb_end);
+
+  uint64_t records() const { return records_; }
+
+private:
+  std::ostream& os_;
+  uint64_t records_ = 0;
+};
+
+} // namespace ksim::sim

@@ -1,0 +1,57 @@
+// Bit-manipulation helpers used by encodings, the assembler, and the
+// simulator's field extraction.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace ksim {
+
+/// Extracts bits [hi:lo] (inclusive, hi >= lo) of `word`, right-aligned.
+constexpr uint32_t extract_bits(uint32_t word, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const uint32_t mask = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+  return (word >> lo) & mask;
+}
+
+/// Inserts `value` into bits [hi:lo] of `word` and returns the result.
+constexpr uint32_t insert_bits(uint32_t word, unsigned hi, unsigned lo, uint32_t value) {
+  const unsigned width = hi - lo + 1;
+  const uint32_t mask = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+  return (word & ~(mask << lo)) | ((value & mask) << lo);
+}
+
+/// Sign-extends the low `bits` bits of `value` to 32 bits.
+constexpr int32_t sign_extend(uint32_t value, unsigned bits) {
+  const uint32_t m = 1u << (bits - 1);
+  value &= (bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u));
+  return static_cast<int32_t>((value ^ m) - m);
+}
+
+/// True if `value` fits in a signed `bits`-bit immediate.
+constexpr bool fits_signed(int64_t value, unsigned bits) {
+  const int64_t lo = -(int64_t{1} << (bits - 1));
+  const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True if `value` fits in an unsigned `bits`-bit immediate.
+constexpr bool fits_unsigned(int64_t value, unsigned bits) {
+  return value >= 0 && value <= static_cast<int64_t>((uint64_t{1} << bits) - 1);
+}
+
+/// True if `x` is a power of two (and non-zero).
+constexpr bool is_pow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(uint64_t x) {
+  unsigned n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+} // namespace ksim

@@ -1,0 +1,52 @@
+#include "support/diag.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace ksim {
+
+std::string SrcLoc::to_string() const {
+  std::ostringstream os;
+  os << (file.empty() ? "<unknown>" : file);
+  if (line > 0) {
+    os << ':' << line;
+    if (column > 0) os << ':' << column;
+  }
+  return os.str();
+}
+
+std::string Diag::to_string() const {
+  const char* sev = severity == DiagSeverity::Error     ? "error"
+                    : severity == DiagSeverity::Warning ? "warning"
+                                                        : "note";
+  return loc.to_string() + ": " + sev + ": " + message;
+}
+
+void DiagEngine::error(SrcLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::Error, std::move(loc), std::move(message)});
+  ++error_count_;
+}
+
+void DiagEngine::warning(SrcLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::Warning, std::move(loc), std::move(message)});
+}
+
+void DiagEngine::note(SrcLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::Note, std::move(loc), std::move(message)});
+}
+
+std::string DiagEngine::to_string() const {
+  std::string out;
+  for (const Diag& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagEngine::throw_if_errors() const {
+  if (has_errors()) throw Error(to_string());
+}
+
+} // namespace ksim

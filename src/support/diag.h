@@ -1,0 +1,53 @@
+// Diagnostic collection for tools that process user input (assembler,
+// linker, MiniC compiler).  A DiagEngine accumulates located messages so a
+// whole translation unit can be checked in one pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ksim {
+
+/// A location in a user-supplied text input.
+struct SrcLoc {
+  std::string file; ///< file name (or pseudo name such as "<memory>")
+  int line = 0;     ///< 1-based line number; 0 = unknown
+  int column = 0;   ///< 1-based column; 0 = unknown
+
+  std::string to_string() const;
+};
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One diagnostic message with its source location.
+struct Diag {
+  DiagSeverity severity = DiagSeverity::Error;
+  SrcLoc loc;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Collects diagnostics for one tool invocation.
+class DiagEngine {
+public:
+  void error(SrcLoc loc, std::string message);
+  void warning(SrcLoc loc, std::string message);
+  void note(SrcLoc loc, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diag>& diags() const { return diags_; }
+
+  /// All diagnostics rendered one per line.
+  std::string to_string() const;
+
+  /// Throws ksim::Error carrying all diagnostics if any error was reported.
+  void throw_if_errors() const;
+
+private:
+  std::vector<Diag> diags_;
+  int error_count_ = 0;
+};
+
+} // namespace ksim

@@ -1,0 +1,25 @@
+// Error handling primitives shared by every ksim module.
+//
+// Fatal, programmer-facing failures (malformed ADL shipped with the library,
+// inconsistent internal state) throw ksim::Error.  User-facing failures in
+// user-supplied inputs (assembly files, MiniC sources) are collected in a
+// ksim::DiagEngine so that several problems can be reported at once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ksim {
+
+/// Exception type for unrecoverable errors inside the framework.
+class Error : public std::runtime_error {
+public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Throws ksim::Error with the given message if `condition` is false.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+} // namespace ksim

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generator (xorshift64*), used for
+// workload input generation and property tests.  Deterministic across
+// platforms, unlike std::rand or distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace ksim {
+
+class Prng {
+public:
+  explicit Prng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed ? seed : 1) {}
+
+  uint64_t next_u64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint32_t next_below(uint32_t bound) { return next_u32() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int32_t next_range(int32_t lo, int32_t hi) {
+    return lo + static_cast<int32_t>(next_below(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+private:
+  uint64_t state_;
+};
+
+} // namespace ksim

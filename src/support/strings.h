@@ -1,0 +1,33 @@
+// Small string utilities shared across the tools (no locale dependence,
+// deterministic behaviour).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksim {
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a decimal/hex (0x...) integer; returns false on malformed input.
+bool parse_int(std::string_view s, int64_t& out);
+
+/// Formats `value` as 0x%08x.
+std::string hex32(uint32_t value);
+
+/// printf-style formatting into a std::string (for tables and reports).
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace ksim

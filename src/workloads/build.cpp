@@ -1,0 +1,103 @@
+#include "workloads/build.h"
+
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "kcc/compiler.h"
+#include "support/error.h"
+
+namespace ksim::workloads {
+
+const std::string& simulated_libc_source() {
+  static const std::string kSource = R"(
+/* Simulated-ISA implementations of the memory/string library functions
+   (paper SV-E): unlike the native SIMOP stubs, these execute on the
+   simulated processor and their cycles are counted by the cycle models. */
+char *memcpy(char *dst, char *src, unsigned n) {
+  for (unsigned i = 0u; i < n; i++) dst[i] = src[i];
+  return dst;
+}
+char *memset(char *dst, int v, unsigned n) {
+  for (unsigned i = 0u; i < n; i++) dst[i] = (char)v;
+  return dst;
+}
+unsigned strlen(char *s) {
+  unsigned n = 0u;
+  while (s[n]) n++;
+  return n;
+}
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] && a[i] == b[i]) i++;
+  int ca = a[i] & 255;
+  int cb = b[i] & 255;
+  return ca < cb ? -1 : (ca > cb ? 1 : 0);
+}
+char *strcpy(char *dst, char *src) {
+  int i = 0;
+  while ((dst[i] = src[i]) != 0) i++;
+  return dst;
+}
+)";
+  return kSource;
+}
+
+const std::vector<std::string>& simulated_libc_functions() {
+  static const std::vector<std::string> kNames = {"memcpy", "memset", "strlen",
+                                                  "strcmp", "strcpy"};
+  return kNames;
+}
+
+elf::ElfFile build_executable(const std::string& minic_source,
+                              const std::string& isa_name,
+                              const std::string& file_name,
+                              const BuildOptions& options) {
+  const isa::IsaInfo* isa = isa::kisa().find_isa(isa_name);
+  check(isa != nullptr, "build_executable: unknown ISA " + isa_name);
+
+  std::string source = minic_source;
+  std::vector<std::string> replaced;
+  if (options.simulated_libc) {
+    source += simulated_libc_source();
+    replaced = simulated_libc_functions();
+  }
+
+  kcc::CompileOptions copt;
+  copt.file_name = file_name;
+  copt.codegen.default_isa = isa_name;
+  const std::string assembly = kcc::compile_or_throw(source, copt);
+
+  kasm::AsmOptions aopt;
+  aopt.file_name = file_name + ".s";
+  const elf::ElfFile user = kasm::assemble_or_throw(assembly, aopt);
+  const elf::ElfFile start = kasm::assemble_or_throw(kasm::start_stub_assembly(isa_name));
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly(replaced));
+
+  kasm::LinkOptions lopt;
+  lopt.entry_isa = isa->id;
+  return kasm::link_or_throw({start, user, libc}, lopt);
+}
+
+elf::ElfFile build_workload(const Workload& workload, const std::string& isa_name) {
+  return build_executable(workload.source, isa_name, workload.name + ".c");
+}
+
+RunOutcome run_executable(const elf::ElfFile& exe, cycle::CycleModel* model,
+                          const sim::SimOptions& options) {
+  sim::Simulator simulator(isa::kisa(), options);
+  simulator.load(exe);
+  if (model != nullptr) simulator.set_cycle_model(model);
+  RunOutcome outcome;
+  outcome.reason = simulator.run();
+  if (outcome.reason == sim::StopReason::Trap ||
+      outcome.reason == sim::StopReason::DecodeError)
+    throw Error("workload run failed:\n" + simulator.error_report());
+  outcome.exit_code = simulator.exit_code();
+  outcome.output = simulator.libc().output();
+  outcome.stats = simulator.stats();
+  if (model != nullptr) outcome.cycles = model->cycles();
+  return outcome;
+}
+
+} // namespace ksim::workloads

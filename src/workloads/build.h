@@ -1,0 +1,54 @@
+// Helpers to build and run workload executables: MiniC source → compiler →
+// assembler → linker (with start/libc stubs) → simulator.
+#pragma once
+
+#include <string>
+
+#include "cycle/cycle_model.h"
+#include "elf/elf.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace ksim::workloads {
+
+struct BuildOptions {
+  /// Link real MiniC implementations of the memory/string functions instead
+  /// of the native SIMOP stubs, so their cycles are counted (paper §V-E:
+  /// "we support to replace any native C library function with real
+  /// implementations on the simulated ISA").
+  bool simulated_libc = false;
+};
+
+/// Compiles MiniC source and links it with the start and libc stubs into an
+/// executable for `isa_name` (RISC/VLIW2/VLIW4/VLIW6/VLIW8).
+/// Throws ksim::Error on any compile/assemble/link diagnostic.
+elf::ElfFile build_executable(const std::string& minic_source,
+                              const std::string& isa_name,
+                              const std::string& file_name = "<minic>",
+                              const BuildOptions& options = {});
+
+/// MiniC source of the simulated-ISA library implementations (memcpy,
+/// memset, strlen, strcmp, strcpy).
+const std::string& simulated_libc_source();
+/// Names of the functions simulated_libc_source() defines.
+const std::vector<std::string>& simulated_libc_functions();
+
+/// build_executable for a named workload.
+elf::ElfFile build_workload(const Workload& workload, const std::string& isa_name);
+
+/// Outcome of one simulated run.
+struct RunOutcome {
+  sim::StopReason reason = sim::StopReason::Halted;
+  int exit_code = 0;
+  std::string output;
+  sim::SimStats stats;
+  uint64_t cycles = 0; ///< from the cycle model, if one was attached
+};
+
+/// Loads `exe` into a fresh simulator, optionally attaches `model`, runs to
+/// completion and returns the outcome.  Throws ksim::Error if the program
+/// traps or hits a decode error (including the simulator's error report).
+RunOutcome run_executable(const elf::ElfFile& exe, cycle::CycleModel* model = nullptr,
+                          const sim::SimOptions& options = {});
+
+} // namespace ksim::workloads

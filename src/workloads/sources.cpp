@@ -1,0 +1,651 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::workloads {
+namespace {
+
+/// Renders an int array initializer for embedding in MiniC source.
+std::string int_table(const std::string& name, const std::vector<int>& values) {
+  std::string out = "int " + name + "[" + std::to_string(values.size()) + "] = {";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i % 12 == 0) out += "\n  ";
+    out += std::to_string(values[i]) + ",";
+  }
+  out += "\n};\n";
+  return out;
+}
+
+/// Shared MiniC helper: FNV-1a style checksum step.
+constexpr const char* kFnvHelper = R"(
+unsigned fnv(unsigned h, int v) { return (h ^ (unsigned)v) * 16777619u; }
+)";
+
+// ---------------------------------------------------------------------------
+// dct: H.264 4x4 integer transform, fully unrolled (high ILP).
+// ---------------------------------------------------------------------------
+
+std::string dct_source() {
+  return std::string(R"(// 4x4 integer DCT approximation as used in H.264 (paper SVII).
+int blocks[1024];
+int coef[1024];
+int rec[1024];
+/* Dequantization scale: Ci*Cf^T = diag(4,5,4,5), so exact reconstruction
+   needs coefficients scaled by 2^18/(d_u*d_v) before the inverse pass; the
+   scale factors (16384, 13107, 10486) are folded into the inverse kernel. */
+)") + kFnvHelper + R"(
+void forward_all(int *xs, int *ys, int nblocks) {
+ for (int b = 0; b < nblocks; b++) {
+  int *x = xs + b * 16;
+  int *y = ys + b * 16;
+  /* Rows are loaded and transformed one at a time to keep register
+     pressure banded (at most one row of inputs live at once). */
+  int x0 = x[0];  int x1 = x[1];  int x2 = x[2];  int x3 = x[3];
+  int a0 = x0 + x3;  int a1 = x1 + x2;  int a2 = x1 - x2;  int a3 = x0 - x3;
+  int r0 = a0 + a1;  int r2 = a0 - a1;  int r1 = 2*a3 + a2; int r3 = a3 - 2*a2;
+  int x4 = x[4];  int x5 = x[5];  int x6 = x[6];  int x7 = x[7];
+  int b0 = x4 + x7;  int b1 = x5 + x6;  int b2 = x5 - x6;  int b3 = x4 - x7;
+  int r4 = b0 + b1;  int r6 = b0 - b1;  int r5 = 2*b3 + b2; int r7 = b3 - 2*b2;
+  int x8 = x[8];  int x9 = x[9];  int x10 = x[10]; int x11 = x[11];
+  int c0 = x8 + x11; int c1 = x9 + x10; int c2 = x9 - x10; int c3 = x8 - x11;
+  int r8 = c0 + c1;  int r10 = c0 - c1; int r9 = 2*c3 + c2; int r11 = c3 - 2*c2;
+  int x12 = x[12]; int x13 = x[13]; int x14 = x[14]; int x15 = x[15];
+  int d0 = x12 + x15; int d1 = x13 + x14; int d2 = x13 - x14; int d3 = x12 - x15;
+  int r12 = d0 + d1; int r14 = d0 - d1; int r13 = 2*d3 + d2; int r15 = d3 - 2*d2;
+
+  int e0 = r0 + r12; int e1 = r4 + r8;  int e2 = r4 - r8;  int e3 = r0 - r12;
+  y[0] = e0 + e1;    y[8] = e0 - e1;    y[4] = 2*e3 + e2;  y[12] = e3 - 2*e2;
+  int f0 = r1 + r13; int f1 = r5 + r9;  int f2 = r5 - r9;  int f3 = r1 - r13;
+  y[1] = f0 + f1;    y[9] = f0 - f1;    y[5] = 2*f3 + f2;  y[13] = f3 - 2*f2;
+  int g0 = r2 + r14; int g1 = r6 + r10; int g2 = r6 - r10; int g3 = r2 - r14;
+  y[2] = g0 + g1;    y[10] = g0 - g1;   y[6] = 2*g3 + g2;  y[14] = g3 - 2*g2;
+  int h0 = r3 + r15; int h1 = r7 + r11; int h2 = r7 - r11; int h3 = r3 - r15;
+  y[3] = h0 + h1;    y[11] = h0 - h1;   y[7] = 2*h3 + h2;  y[15] = h3 - 2*h2;
+ }
+}
+
+void inverse_all(int *ys, int *xs, int nblocks) {
+ for (int b = 0; b < nblocks; b++) {
+  int *y = ys + b * 16;
+  int *x = xs + b * 16;
+  int y0 = y[0] * 16384;   int y1 = y[1] * 13107;
+  int y2 = y[2] * 16384;   int y3 = y[3] * 13107;
+  int a0 = y0 + y2;  int a1 = y0 - y2;  int a2 = (y1 >> 1) - y3; int a3 = y1 + (y3 >> 1);
+  int r0 = a0 + a3;  int r3 = a0 - a3;  int r1 = a1 + a2;  int r2 = a1 - a2;
+  int y4 = y[4] * 13107;   int y5 = y[5] * 10486;
+  int y6 = y[6] * 13107;   int y7 = y[7] * 10486;
+  int b0 = y4 + y6;  int b1 = y4 - y6;  int b2 = (y5 >> 1) - y7; int b3 = y5 + (y7 >> 1);
+  int r4 = b0 + b3;  int r7 = b0 - b3;  int r5 = b1 + b2;  int r6 = b1 - b2;
+  int y8 = y[8] * 16384;   int y9 = y[9] * 13107;
+  int y10 = y[10] * 16384; int y11 = y[11] * 13107;
+  int c0 = y8 + y10; int c1 = y8 - y10; int c2 = (y9 >> 1) - y11; int c3 = y9 + (y11 >> 1);
+  int r8 = c0 + c3;  int r11 = c0 - c3; int r9 = c1 + c2;  int r10 = c1 - c2;
+  int y12 = y[12] * 13107; int y13 = y[13] * 10486;
+  int y14 = y[14] * 13107; int y15 = y[15] * 10486;
+  int d0 = y12 + y14; int d1 = y12 - y14; int d2 = (y13 >> 1) - y15; int d3 = y13 + (y15 >> 1);
+  int r12 = d0 + d3; int r15 = d0 - d3; int r13 = d1 + d2; int r14 = d1 - d2;
+
+  int e0 = r0 + r8;  int e1 = r0 - r8;  int e2 = (r4 >> 1) - r12; int e3 = r4 + (r12 >> 1);
+  x[0] = (e0 + e3 + 131072) >> 18;  x[12] = (e0 - e3 + 131072) >> 18;
+  x[4] = (e1 + e2 + 131072) >> 18;  x[8] = (e1 - e2 + 131072) >> 18;
+  int f0 = r1 + r9;  int f1 = r1 - r9;  int f2 = (r5 >> 1) - r13; int f3 = r5 + (r13 >> 1);
+  x[1] = (f0 + f3 + 131072) >> 18;  x[13] = (f0 - f3 + 131072) >> 18;
+  x[5] = (f1 + f2 + 131072) >> 18;  x[9] = (f1 - f2 + 131072) >> 18;
+  int g0 = r2 + r10; int g1 = r2 - r10; int g2 = (r6 >> 1) - r14; int g3 = r6 + (r14 >> 1);
+  x[2] = (g0 + g3 + 131072) >> 18;  x[14] = (g0 - g3 + 131072) >> 18;
+  x[6] = (g1 + g2 + 131072) >> 18;  x[10] = (g1 - g2 + 131072) >> 18;
+  int h0 = r3 + r11; int h1 = r3 - r11; int h2 = (r7 >> 1) - r15; int h3 = r7 + (r15 >> 1);
+  x[3] = (h0 + h3 + 131072) >> 18;  x[15] = (h0 - h3 + 131072) >> 18;
+  x[7] = (h1 + h2 + 131072) >> 18;  x[11] = (h1 - h2 + 131072) >> 18;
+ }
+}
+
+int main() {
+  unsigned seed = 12345u;
+  for (int i = 0; i < 1024; i++) {
+    seed = seed * 1103515245u + 12345u;
+    blocks[i] = (int)((seed >> 16) & 255u) - 128;
+  }
+  for (int rep = 0; rep < 16; rep++) {
+    forward_all(blocks, coef, 64);
+    inverse_all(coef, rec, 64);
+  }
+  int err = 0;
+  unsigned h = 2166136261u;
+  for (int i = 0; i < 1024; i++) {
+    int d = rec[i] - blocks[i];
+    if (d < 0) d = -d;
+    if (d > err) err = d;
+    h = (h ^ (unsigned)coef[i]) * 16777619u;
+  }
+  if (err > 1) { printf("dct FAIL err=%d\n", err); return 1; }
+  printf("dct OK err=%d checksum=%x\n", err, h);
+  return 0;
+}
+)";
+}
+
+// ---------------------------------------------------------------------------
+// aes: fully-unrolled AES-128 with runtime-generated T-tables (~4.3 KiB
+// working set, exceeding the 2 KiB L1 — the effect the paper discusses).
+// ---------------------------------------------------------------------------
+
+std::string aes_source() {
+  return std::string(R"(// Fully-unrolled AES-128 encryption with T-tables (paper SVII).
+unsigned char sbox[256];
+unsigned te0[256];
+unsigned te1[256];
+unsigned te2[256];
+unsigned te3[256];
+unsigned rk[44];
+)") + kFnvHelper + R"(
+int xtime_(int x) {
+  x = x << 1;
+  if (x & 256) x = x ^ 283;   /* 0x11B */
+  return x & 255;
+}
+
+void init_sbox(void) {
+  int p = 1;
+  int q = 1;
+  do {
+    p = (p ^ ((p << 1) & 255) ^ ((p & 128) ? 27 : 0)) & 255;
+    q = (q ^ (q << 1)) & 255;
+    q = (q ^ (q << 2)) & 255;
+    q = (q ^ (q << 4)) & 255;
+    if (q & 128) q = (q ^ 9) & 255;
+    int r1 = ((q << 1) | (q >> 7)) & 255;
+    int r2 = ((q << 2) | (q >> 6)) & 255;
+    int r3 = ((q << 3) | (q >> 5)) & 255;
+    int r4 = ((q << 4) | (q >> 4)) & 255;
+    sbox[p] = (char)((q ^ r1 ^ r2 ^ r3 ^ r4 ^ 99) & 255);
+  } while (p != 1);
+  sbox[0] = (char)99;
+}
+
+void init_tables(void) {
+  init_sbox();
+  for (int i = 0; i < 256; i++) {
+    int s = sbox[i];
+    int s2 = xtime_(s);
+    int s3 = s2 ^ s;
+    unsigned t = ((unsigned)s2 << 24) | ((unsigned)s << 16) | ((unsigned)s << 8)
+               | (unsigned)s3;
+    te0[i] = t;
+    te1[i] = (t >> 8) | (t << 24);
+    te2[i] = (t >> 16) | (t << 16);
+    te3[i] = (t >> 24) | (t << 8);
+  }
+}
+
+unsigned subword(unsigned w) {
+  return ((unsigned)sbox[(w >> 24) & 255u] << 24)
+       | ((unsigned)sbox[(w >> 16) & 255u] << 16)
+       | ((unsigned)sbox[(w >> 8) & 255u] << 8)
+       | (unsigned)sbox[w & 255u];
+}
+
+void expand_key(unsigned k0, unsigned k1, unsigned k2, unsigned k3) {
+  rk[0] = k0; rk[1] = k1; rk[2] = k2; rk[3] = k3;
+  int rc = 1;
+  for (int i = 4; i < 44; i++) {
+    unsigned t = rk[i - 1];
+    if ((i & 3) == 0) {
+      t = (t << 8) | (t >> 24);
+      t = subword(t);
+      t = t ^ ((unsigned)rc << 24);
+      rc = xtime_(rc);
+    }
+    rk[i] = rk[i - 4] ^ t;
+  }
+}
+
+void encrypt(unsigned *in, unsigned *out) {
+  unsigned s0 = in[0] ^ rk[0];
+  unsigned s1 = in[1] ^ rk[1];
+  unsigned s2 = in[2] ^ rk[2];
+  unsigned s3 = in[3] ^ rk[3];
+  unsigned t0; unsigned t1; unsigned t2; unsigned t3;
+
+  t0 = te0[s0 >> 24] ^ te1[(s1 >> 16) & 255u] ^ te2[(s2 >> 8) & 255u] ^ te3[s3 & 255u] ^ rk[4];
+  t1 = te0[s1 >> 24] ^ te1[(s2 >> 16) & 255u] ^ te2[(s3 >> 8) & 255u] ^ te3[s0 & 255u] ^ rk[5];
+  t2 = te0[s2 >> 24] ^ te1[(s3 >> 16) & 255u] ^ te2[(s0 >> 8) & 255u] ^ te3[s1 & 255u] ^ rk[6];
+  t3 = te0[s3 >> 24] ^ te1[(s0 >> 16) & 255u] ^ te2[(s1 >> 8) & 255u] ^ te3[s2 & 255u] ^ rk[7];
+  s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 255u] ^ te2[(t2 >> 8) & 255u] ^ te3[t3 & 255u] ^ rk[8];
+  s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 255u] ^ te2[(t3 >> 8) & 255u] ^ te3[t0 & 255u] ^ rk[9];
+  s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 255u] ^ te2[(t0 >> 8) & 255u] ^ te3[t1 & 255u] ^ rk[10];
+  s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 255u] ^ te2[(t1 >> 8) & 255u] ^ te3[t2 & 255u] ^ rk[11];
+  t0 = te0[s0 >> 24] ^ te1[(s1 >> 16) & 255u] ^ te2[(s2 >> 8) & 255u] ^ te3[s3 & 255u] ^ rk[12];
+  t1 = te0[s1 >> 24] ^ te1[(s2 >> 16) & 255u] ^ te2[(s3 >> 8) & 255u] ^ te3[s0 & 255u] ^ rk[13];
+  t2 = te0[s2 >> 24] ^ te1[(s3 >> 16) & 255u] ^ te2[(s0 >> 8) & 255u] ^ te3[s1 & 255u] ^ rk[14];
+  t3 = te0[s3 >> 24] ^ te1[(s0 >> 16) & 255u] ^ te2[(s1 >> 8) & 255u] ^ te3[s2 & 255u] ^ rk[15];
+  s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 255u] ^ te2[(t2 >> 8) & 255u] ^ te3[t3 & 255u] ^ rk[16];
+  s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 255u] ^ te2[(t3 >> 8) & 255u] ^ te3[t0 & 255u] ^ rk[17];
+  s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 255u] ^ te2[(t0 >> 8) & 255u] ^ te3[t1 & 255u] ^ rk[18];
+  s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 255u] ^ te2[(t1 >> 8) & 255u] ^ te3[t2 & 255u] ^ rk[19];
+  t0 = te0[s0 >> 24] ^ te1[(s1 >> 16) & 255u] ^ te2[(s2 >> 8) & 255u] ^ te3[s3 & 255u] ^ rk[20];
+  t1 = te0[s1 >> 24] ^ te1[(s2 >> 16) & 255u] ^ te2[(s3 >> 8) & 255u] ^ te3[s0 & 255u] ^ rk[21];
+  t2 = te0[s2 >> 24] ^ te1[(s3 >> 16) & 255u] ^ te2[(s0 >> 8) & 255u] ^ te3[s1 & 255u] ^ rk[22];
+  t3 = te0[s3 >> 24] ^ te1[(s0 >> 16) & 255u] ^ te2[(s1 >> 8) & 255u] ^ te3[s2 & 255u] ^ rk[23];
+  s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 255u] ^ te2[(t2 >> 8) & 255u] ^ te3[t3 & 255u] ^ rk[24];
+  s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 255u] ^ te2[(t3 >> 8) & 255u] ^ te3[t0 & 255u] ^ rk[25];
+  s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 255u] ^ te2[(t0 >> 8) & 255u] ^ te3[t1 & 255u] ^ rk[26];
+  s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 255u] ^ te2[(t1 >> 8) & 255u] ^ te3[t2 & 255u] ^ rk[27];
+  t0 = te0[s0 >> 24] ^ te1[(s1 >> 16) & 255u] ^ te2[(s2 >> 8) & 255u] ^ te3[s3 & 255u] ^ rk[28];
+  t1 = te0[s1 >> 24] ^ te1[(s2 >> 16) & 255u] ^ te2[(s3 >> 8) & 255u] ^ te3[s0 & 255u] ^ rk[29];
+  t2 = te0[s2 >> 24] ^ te1[(s3 >> 16) & 255u] ^ te2[(s0 >> 8) & 255u] ^ te3[s1 & 255u] ^ rk[30];
+  t3 = te0[s3 >> 24] ^ te1[(s0 >> 16) & 255u] ^ te2[(s1 >> 8) & 255u] ^ te3[s2 & 255u] ^ rk[31];
+  s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 255u] ^ te2[(t2 >> 8) & 255u] ^ te3[t3 & 255u] ^ rk[32];
+  s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 255u] ^ te2[(t3 >> 8) & 255u] ^ te3[t0 & 255u] ^ rk[33];
+  s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 255u] ^ te2[(t0 >> 8) & 255u] ^ te3[t1 & 255u] ^ rk[34];
+  s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 255u] ^ te2[(t1 >> 8) & 255u] ^ te3[t2 & 255u] ^ rk[35];
+  t0 = te0[s0 >> 24] ^ te1[(s1 >> 16) & 255u] ^ te2[(s2 >> 8) & 255u] ^ te3[s3 & 255u] ^ rk[36];
+  t1 = te0[s1 >> 24] ^ te1[(s2 >> 16) & 255u] ^ te2[(s3 >> 8) & 255u] ^ te3[s0 & 255u] ^ rk[37];
+  t2 = te0[s2 >> 24] ^ te1[(s3 >> 16) & 255u] ^ te2[(s0 >> 8) & 255u] ^ te3[s1 & 255u] ^ rk[38];
+  t3 = te0[s3 >> 24] ^ te1[(s0 >> 16) & 255u] ^ te2[(s1 >> 8) & 255u] ^ te3[s2 & 255u] ^ rk[39];
+
+  out[0] = (((unsigned)sbox[t0 >> 24] << 24) | ((unsigned)sbox[(t1 >> 16) & 255u] << 16)
+          | ((unsigned)sbox[(t2 >> 8) & 255u] << 8) | (unsigned)sbox[t3 & 255u]) ^ rk[40];
+  out[1] = (((unsigned)sbox[t1 >> 24] << 24) | ((unsigned)sbox[(t2 >> 16) & 255u] << 16)
+          | ((unsigned)sbox[(t3 >> 8) & 255u] << 8) | (unsigned)sbox[t0 & 255u]) ^ rk[41];
+  out[2] = (((unsigned)sbox[t2 >> 24] << 24) | ((unsigned)sbox[(t3 >> 16) & 255u] << 16)
+          | ((unsigned)sbox[(t0 >> 8) & 255u] << 8) | (unsigned)sbox[t1 & 255u]) ^ rk[42];
+  out[3] = (((unsigned)sbox[t3 >> 24] << 24) | ((unsigned)sbox[(t0 >> 16) & 255u] << 16)
+          | ((unsigned)sbox[(t1 >> 8) & 255u] << 8) | (unsigned)sbox[t2 & 255u]) ^ rk[43];
+}
+
+unsigned pt[4];
+unsigned ct[4];
+
+int main() {
+  init_tables();
+  expand_key(0x00010203u, 0x04050607u, 0x08090a0bu, 0x0c0d0e0fu);
+
+  /* FIPS-197 known-answer test. */
+  pt[0] = 0x00112233u; pt[1] = 0x44556677u; pt[2] = 0x8899aabbu; pt[3] = 0xccddeeffu;
+  encrypt(pt, ct);
+  if (ct[0] != 0x69c4e0d8u || ct[1] != 0x6a7b0430u ||
+      ct[2] != 0xd8cdb780u || ct[3] != 0x70b4c55au) {
+    printf("aes FAIL kat %x %x %x %x\n", ct[0], ct[1], ct[2], ct[3]);
+    return 1;
+  }
+
+  /* Counter-mode style bulk encryption for the workload. */
+  unsigned h = 2166136261u;
+  for (int i = 0; i < 96; i++) {
+    pt[0] = (unsigned)i; pt[1] = (unsigned)(i * 7 + 1);
+    pt[2] = (unsigned)(i * 13 + 2); pt[3] = (unsigned)(i * 29 + 3);
+    encrypt(pt, ct);
+    h = fnv(h, (int)ct[0]); h = fnv(h, (int)ct[1]);
+    h = fnv(h, (int)ct[2]); h = fnv(h, (int)ct[3]);
+  }
+  printf("aes OK checksum=%x\n", h);
+  return 0;
+}
+)";
+}
+
+// ---------------------------------------------------------------------------
+// fft: recursive fixed-point radix-2 FFT (the recursion limits ILP, as the
+// paper points out in SVII-B).
+// ---------------------------------------------------------------------------
+
+std::string fft_source() {
+  constexpr int kN = 256;
+  std::vector<int> twc(kN / 2);
+  std::vector<int> tws(kN / 2);
+  for (int k = 0; k < kN / 2; ++k) {
+    const double ang = 2.0 * M_PI * k / kN;
+    twc[static_cast<size_t>(k)] = static_cast<int>(std::lround(std::cos(ang) * 16384.0));
+    tws[static_cast<size_t>(k)] = static_cast<int>(std::lround(std::sin(ang) * 16384.0));
+  }
+  return "// Recursive fixed-point FFT, N=256, Q14 twiddles (paper SVII).\n" +
+         int_table("twc", twc) + int_table("tws", tws) + R"(
+int xr[256];
+int xi[256];
+int fr[256];
+int fi[256];
+int scr[256];
+int sci[256];
+)" + kFnvHelper + R"(
+void fft_rec(int *re, int *im, int n, int st, int *sre, int *sim, int inv) {
+  if (n < 2) return;
+  int h = n >> 1;
+  for (int i = 0; i < h; i++) {
+    sre[i] = re[2 * i];     sim[i] = im[2 * i];
+    sre[h + i] = re[2 * i + 1]; sim[h + i] = im[2 * i + 1];
+  }
+  for (int i = 0; i < n; i++) { re[i] = sre[i]; im[i] = sim[i]; }
+  fft_rec(re, im, h, st * 2, sre, sim, inv);
+  fft_rec(re + h, im + h, h, st * 2, sre + h, sim + h, inv);
+  for (int k = 0; k < h; k++) {
+    int c = twc[k * st];
+    int s = tws[k * st];
+    int orr = re[h + k];
+    int oii = im[h + k];
+    int tr; int ti;
+    if (inv) {
+      tr = (orr * c - oii * s) >> 14;
+      ti = (oii * c + orr * s) >> 14;
+    } else {
+      tr = (orr * c + oii * s) >> 14;
+      ti = (oii * c - orr * s) >> 14;
+    }
+    int ar = re[k];
+    int ai = im[k];
+    if (inv) {
+      re[k] = ar + tr;      im[k] = ai + ti;
+      re[h + k] = ar - tr;  im[h + k] = ai - ti;
+    } else {
+      re[k] = (ar + tr) >> 1;     im[k] = (ai + ti) >> 1;
+      re[h + k] = (ar - tr) >> 1; im[h + k] = (ai - ti) >> 1;
+    }
+  }
+}
+
+int main() {
+  for (int i = 0; i < 256; i++) {
+    /* Two tones plus a ramp, from the twiddle tables (no floats needed). */
+    xr[i] = (twc[(i * 3) & 127] >> 2) + (tws[(i * 7) & 127] >> 3) + (i & 15);
+    xi[i] = 0;
+    fr[i] = xr[i];
+    fi[i] = 0;
+  }
+  fft_rec(fr, fi, 256, 1, scr, sci, 0);
+  unsigned h = 2166136261u;
+  for (int i = 0; i < 256; i++) { h = fnv(h, fr[i]); h = fnv(h, fi[i]); }
+  fft_rec(fr, fi, 256, 1, scr, sci, 1);
+  int err = 0;
+  for (int i = 0; i < 256; i++) {
+    int d = fr[i] - xr[i];
+    if (d < 0) d = -d;
+    if (d > err) err = d;
+    d = fi[i];
+    if (d < 0) d = -d;
+    if (d > err) err = d;
+  }
+  if (err > 96) { printf("fft FAIL err=%d\n", err); return 1; }
+  printf("fft OK err=%d checksum=%x\n", err, h);
+  return 0;
+}
+)";
+}
+
+// ---------------------------------------------------------------------------
+// qsort: recursive quicksort.
+// ---------------------------------------------------------------------------
+
+std::string qsort_source() {
+  return std::string(R"(// Recursive quicksort (paper SVII).
+int data[2048];
+)") + kFnvHelper + R"(
+void qs(int *a, int lo, int hi) {
+  if (lo >= hi) return;
+  int p = a[(lo + hi) >> 1];
+  int i = lo;
+  int j = hi;
+  while (i <= j) {
+    while (a[i] < p) i++;
+    while (a[j] > p) j--;
+    if (i <= j) {
+      int t = a[i];
+      a[i] = a[j];
+      a[j] = t;
+      i++;
+      j--;
+    }
+  }
+  qs(a, lo, j);
+  qs(a, i, hi);
+}
+
+int main() {
+  unsigned seed = 99991u;
+  for (int i = 0; i < 2048; i++) {
+    seed = seed * 1103515245u + 12345u;
+    data[i] = (int)(seed >> 8) % 100000;
+  }
+  qs(data, 0, 2047);
+  unsigned h = 2166136261u;
+  for (int i = 0; i < 2048; i++) {
+    if (i > 0 && data[i - 1] > data[i]) {
+      printf("qsort FAIL at %d\n", i);
+      return 1;
+    }
+    h = fnv(h, data[i]);
+  }
+  printf("qsort OK checksum=%x\n", h);
+  return 0;
+}
+)";
+}
+
+// ---------------------------------------------------------------------------
+// cjpeg / djpeg: JPEG-like codec (8x8 integer DCT, quantization, zigzag,
+// run-length coding).  Shared core emitted into both programs.
+// ---------------------------------------------------------------------------
+
+std::string jpeg_tables() {
+  // Orthonormal 8x8 DCT-II matrix in Q13.
+  std::vector<int> dctm(64);
+  for (int u = 0; u < 8; ++u)
+    for (int x = 0; x < 8; ++x) {
+      const double cu = u == 0 ? std::sqrt(0.5) : 1.0;
+      const double v = 0.5 * cu * std::cos((2 * x + 1) * u * M_PI / 16.0);
+      dctm[static_cast<size_t>(u * 8 + x)] = static_cast<int>(std::lround(v * 8192.0));
+    }
+  // Standard JPEG luminance quantization table (quality 50).
+  const std::vector<int> qtab = {
+      16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+      14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+      18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+      49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+  const std::vector<int> zz = {
+      0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+      12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+      35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+      58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+  return int_table("dctm", dctm) + int_table("qtab", qtab) + int_table("zz", zz);
+}
+
+/// Core shared by cjpeg and djpeg: image generation, fdct, quantize, RLE.
+std::string jpeg_core() {
+  return std::string(R"(
+int img[1024];        /* 32x32 pixels, level shifted */
+int blk[64];
+int tmp8[64];
+int coef[64];
+int qc[1024];         /* quantized coefficients, 16 blocks x 64 */
+unsigned char stream[6144];
+int nbytes;
+)") + kFnvHelper + R"(
+void make_image(void) {
+  unsigned seed = 777u;
+  for (int y = 0; y < 32; y++) {
+    for (int x = 0; x < 32; x++) {
+      seed = seed * 1103515245u + 12345u;
+      int v = ((x * 3 + y * 5) & 127) + (int)((seed >> 20) & 15u);
+      img[y * 32 + x] = v - 64;
+    }
+  }
+}
+
+void fdct8(int *b, int *out) {
+  for (int u = 0; u < 8; u++) {
+    for (int x = 0; x < 8; x++) {
+      int acc = 0;
+      for (int k = 0; k < 8; k++) acc += dctm[u * 8 + k] * b[k * 8 + x];
+      tmp8[u * 8 + x] = (acc + 4096) >> 13;
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int v = 0; v < 8; v++) {
+      int acc = 0;
+      for (int k = 0; k < 8; k++) acc += tmp8[u * 8 + k] * dctm[v * 8 + k];
+      out[u * 8 + v] = (acc + 4096) >> 13;
+    }
+  }
+}
+
+int quant1(int c, int q) {
+  if (c >= 0) return (c + (q >> 1)) / q;
+  return -((-c + (q >> 1)) / q);
+}
+
+void emit_byte(int v) {
+  stream[nbytes] = (char)(v & 255);
+  nbytes++;
+}
+
+void encode_block(int *q, int blkidx) {
+  int run = 0;
+  for (int i = 0; i < 64; i++) {
+    int v = q[zz[i]];
+    qc[blkidx * 64 + i] = v;     /* zigzag order for the decoder test */
+    if (v == 0) {
+      run++;
+    } else {
+      while (run > 14) { emit_byte(254); run -= 15; } /* zero-run marker */
+      emit_byte(run << 4 | (v < 0 ? 1 : 0));
+      int a = v < 0 ? -v : v;
+      emit_byte(a & 255);
+      emit_byte((a >> 8) & 255);
+      run = 0;
+    }
+  }
+  emit_byte(255); /* end of block */
+}
+
+void encode_image(void) {
+  nbytes = 0;
+  for (int by = 0; by < 4; by++) {
+    for (int bx = 0; bx < 4; bx++) {
+      for (int r = 0; r < 8; r++)
+        for (int c = 0; c < 8; c++)
+          blk[r * 8 + c] = img[(by * 8 + r) * 32 + bx * 8 + c];
+      fdct8(blk, coef);
+      for (int i = 0; i < 64; i++) coef[i] = quant1(coef[i], qtab[i]);
+      encode_block(coef, by * 4 + bx);
+    }
+  }
+}
+)";
+}
+
+std::string cjpeg_source() {
+  return "// JPEG-like encoder (paper SVII, cjpeg stand-in).\n" + jpeg_tables() +
+         jpeg_core() + R"(
+int main() {
+  make_image();
+  for (int rep = 0; rep < 4; rep++) encode_image();
+  if (nbytes <= 0 || nbytes >= 2048) { printf("cjpeg FAIL bytes=%d\n", nbytes); return 1; }
+  unsigned h = 2166136261u;
+  for (int i = 0; i < nbytes; i++) h = fnv(h, stream[i]);
+  printf("cjpeg OK bytes=%d checksum=%x\n", nbytes, h);
+  return 0;
+}
+)";
+}
+
+std::string djpeg_source() {
+  return "// JPEG-like decoder (paper SVII, djpeg stand-in).\n" + jpeg_tables() +
+         jpeg_core() + R"(
+int dq[64];
+int rec[1024];
+int spos;
+
+int next_byte(void) {
+  int v = stream[spos];
+  spos++;
+  return v;
+}
+
+void decode_block(int *out) {
+  for (int i = 0; i < 64; i++) out[i] = 0;
+  int i = 0;
+  while (i < 64) {
+    int b = next_byte();
+    if (b == 255) return;
+    if (b == 254) { i += 15; continue; }
+    int run = b >> 4;
+    int neg = b & 1;
+    int lo = next_byte();
+    int hi = next_byte();
+    int a = (hi << 8) | lo;
+    i += run;
+    out[zz[i]] = neg ? -a : a;
+    i++;
+  }
+  next_byte(); /* consume end marker */
+}
+
+void idct8(int *in, int *out) {
+  for (int x = 0; x < 8; x++) {
+    for (int v = 0; v < 8; v++) {
+      int acc = 0;
+      for (int u = 0; u < 8; u++) acc += dctm[u * 8 + x] * in[u * 8 + v];
+      tmp8[x * 8 + v] = (acc + 4096) >> 13;
+    }
+  }
+  for (int x = 0; x < 8; x++) {
+    for (int y = 0; y < 8; y++) {
+      int acc = 0;
+      for (int v = 0; v < 8; v++) acc += tmp8[x * 8 + v] * dctm[v * 8 + y];
+      out[x * 8 + y] = (acc + 4096) >> 13;
+    }
+  }
+}
+
+int main() {
+  make_image();
+  encode_image();             /* produce the stream to decode */
+  spos = 0;
+  for (int by = 0; by < 4; by++) {
+    for (int bx = 0; bx < 4; bx++) {
+      decode_block(dq);
+      for (int i = 0; i < 64; i++) dq[i] = dq[i] * qtab[i];
+      idct8(dq, blk);
+      for (int r = 0; r < 8; r++)
+        for (int c = 0; c < 8; c++)
+          rec[(by * 8 + r) * 32 + bx * 8 + c] = blk[r * 8 + c];
+    }
+  }
+  int err = 0;
+  unsigned h = 2166136261u;
+  for (int i = 0; i < 1024; i++) {
+    int d = rec[i] - img[i];
+    if (d < 0) d = -d;
+    if (d > err) err = d;
+    h = fnv(h, rec[i]);
+  }
+  if (err > 120) { printf("djpeg FAIL err=%d\n", err); return 1; }
+  printf("djpeg OK err=%d checksum=%x\n", err, h);
+  return 0;
+}
+)";
+}
+
+} // namespace
+
+const std::vector<Workload>& all() {
+  static const std::vector<Workload> kWorkloads = {
+      {"cjpeg", "JPEG-like encoder (8x8 DCT + quantization + RLE)", cjpeg_source()},
+      {"djpeg", "JPEG-like decoder (RLE + dequantization + IDCT)", djpeg_source()},
+      {"fft", "recursive fixed-point radix-2 FFT, N=256", fft_source()},
+      {"qsort", "recursive quicksort of 2048 integers", qsort_source()},
+      {"aes", "fully-unrolled AES-128 with T-tables", aes_source()},
+      {"dct", "H.264 4x4 integer DCT, fully unrolled", dct_source()},
+  };
+  return kWorkloads;
+}
+
+const Workload& by_name(const std::string& name) {
+  for (const Workload& w : all())
+    if (w.name == name) return w;
+  throw Error("unknown workload '" + name + "'");
+}
+
+} // namespace ksim::workloads

@@ -1,0 +1,26 @@
+// The benchmark applications of the paper's evaluation (§VII), rewritten in
+// MiniC (see DESIGN.md §2): JPEG-like encoder/decoder, recursive fixed-point
+// FFT, recursive quicksort, fully-unrolled AES-128 with T-tables (working set
+// larger than the 2 KiB L1, as the paper highlights), and the H.264 4x4
+// integer DCT.  Every program is self-checking and prints "<name> OK ..." on
+// success, so functional correctness is validated on every ISA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ksim::workloads {
+
+struct Workload {
+  std::string name;        ///< "cjpeg", "djpeg", "fft", "qsort", "aes", "dct"
+  std::string description;
+  std::string source;      ///< MiniC source text
+};
+
+/// All workloads, in the paper's order.
+const std::vector<Workload>& all();
+
+/// Lookup by name; throws ksim::Error if unknown.
+const Workload& by_name(const std::string& name);
+
+} // namespace ksim::workloads

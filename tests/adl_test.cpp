@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "adl/parser.h"
+#include "isa/kisa_adl.h"
+
+namespace ksim::adl {
+namespace {
+
+constexpr const char* kTinyAdl = R"(
+adl tiny
+stopbit 31
+opcodefield 30:25
+isa RISC id=0 issue=1 default
+isa V2 id=1 issue=2
+regfile r count=4 zero=0
+reg IP
+format R fields=rd:24:20,ra:19:15,rb:14:10,funct:9:4
+format S fields=imm:14:0:u
+op ADD format=R match=opcode:0,funct:0 sem=add delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op HALT format=S match=opcode:32 sem=halt delay=1 serial syntax=
+)";
+
+TEST(AdlParser, ParsesTinyModel) {
+  AdlModel m = parse_adl_or_throw(kTinyAdl, "tiny.adl");
+  EXPECT_EQ(m.name, "tiny");
+  EXPECT_EQ(m.stop_bit, 31);
+  EXPECT_EQ(m.opcode_field.hi, 30);
+  EXPECT_EQ(m.opcode_field.lo, 25);
+  ASSERT_EQ(m.isas.size(), 2u);
+  EXPECT_EQ(m.default_isa().name, "RISC");
+  EXPECT_EQ(m.find_isa("V2")->issue_width, 2);
+  EXPECT_EQ(m.find_isa_by_id(1)->name, "V2");
+  EXPECT_EQ(m.general_register_count(), 4);
+  EXPECT_TRUE(m.find_register("r0")->is_zero);
+  EXPECT_TRUE(m.find_register("IP")->is_special);
+  ASSERT_NE(m.find_operation("ADD"), nullptr);
+  const OperationDef& add = *m.find_operation("ADD");
+  EXPECT_EQ(add.semantic, "add");
+  EXPECT_EQ(add.delay, 1);
+  ASSERT_EQ(add.match.size(), 2u);
+  EXPECT_EQ(add.match[1].field, "funct");
+  EXPECT_TRUE(m.find_operation("HALT")->serial_only);
+}
+
+TEST(AdlParser, FieldLookup) {
+  AdlModel m = parse_adl_or_throw(kTinyAdl);
+  const FormatDef* fmt = m.find_format("R");
+  ASSERT_NE(fmt, nullptr);
+  const FieldDef* rd = fmt->find_field("rd");
+  ASSERT_NE(rd, nullptr);
+  EXPECT_EQ(rd->hi, 24);
+  EXPECT_EQ(rd->lo, 20);
+  EXPECT_EQ(rd->width(), 5u);
+  EXPECT_EQ(fmt->find_field("nope"), nullptr);
+}
+
+TEST(AdlParser, SignedFieldFlag) {
+  AdlModel m = parse_adl_or_throw(R"(
+adl t
+stopbit 31
+opcodefield 30:25
+isa A id=0 issue=1 default
+regfile r count=2 zero=0
+format I fields=imm:14:0:s
+op X format=I match=opcode:1 sem=nop delay=1 syntax=imm
+)");
+  EXPECT_TRUE(m.formats[0].fields[0].is_signed);
+}
+
+struct BadAdlCase {
+  const char* name;
+  const char* text;
+  const char* expect; ///< substring of the diagnostic
+};
+
+class AdlParserErrors : public ::testing::TestWithParam<BadAdlCase> {};
+
+TEST_P(AdlParserErrors, Reports) {
+  DiagEngine diags;
+  parse_adl(GetParam().text, "bad.adl", diags);
+  ASSERT_TRUE(diags.has_errors()) << GetParam().name;
+  EXPECT_NE(diags.to_string().find(GetParam().expect), std::string::npos)
+      << diags.to_string();
+}
+
+const char* with_prologue(const char* tail) {
+  static std::string storage;
+  storage = std::string(R"(
+adl t
+stopbit 31
+opcodefield 30:25
+isa A id=0 issue=1 default
+regfile r count=4 zero=0
+format R fields=rd:24:20,ra:19:15,rb:14:10,funct:9:4
+)") + tail;
+  return storage.c_str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AdlParserErrors,
+    ::testing::Values(
+        BadAdlCase{"unknown_keyword", "frobnicate x\n", "unknown ADL keyword"},
+        BadAdlCase{"dup_isa_id",
+                   "adl t\nstopbit 31\nopcodefield 30:25\n"
+                   "isa A id=0 issue=1 default\nisa B id=0 issue=2\n",
+                   "duplicate ISA id"},
+        BadAdlCase{"two_defaults",
+                   "adl t\nstopbit 31\nopcodefield 30:25\n"
+                   "isa A id=0 issue=1 default\nisa B id=1 issue=2 default\n",
+                   "more than one default"},
+        BadAdlCase{"bad_range", "format X fields=f:2:5\n", "malformed field range"},
+        BadAdlCase{"overlap", "format X fields=a:10:5,b:7:2\n", "overlaps"},
+        BadAdlCase{"stopbit_overlap", "format X fields=a:31:28\n", "overlaps"}),
+    [](const ::testing::TestParamInfo<BadAdlCase>& info) { return info.param.name; });
+
+TEST(AdlParserErrors, OpValidation) {
+  { // unknown format
+    DiagEngine d;
+    parse_adl(with_prologue("op X format=Q match=opcode:1 sem=nop delay=1 syntax=\n"),
+              "t", d);
+    EXPECT_NE(d.to_string().find("unknown format"), std::string::npos);
+  }
+  { // missing opcode match
+    DiagEngine d;
+    parse_adl(with_prologue("op X format=R match=funct:1 sem=nop delay=1 syntax=\n"),
+              "t", d);
+    EXPECT_NE(d.to_string().find("missing opcode match"), std::string::npos);
+  }
+  { // bad read field
+    DiagEngine d;
+    parse_adl(with_prologue(
+                  "op X format=R match=opcode:1 sem=nop delay=1 reads=zz syntax=\n"),
+              "t", d);
+    EXPECT_NE(d.to_string().find("read field"), std::string::npos);
+  }
+  { // mem op must use delay=mem
+    DiagEngine d;
+    parse_adl(with_prologue(
+                  "op X format=R match=opcode:1 sem=nop delay=2 mem=load syntax=\n"),
+              "t", d);
+    EXPECT_NE(d.to_string().find("delay=mem"), std::string::npos);
+  }
+  { // unknown implicit register
+    DiagEngine d;
+    parse_adl(with_prologue(
+                  "op X format=R match=opcode:1 sem=nop delay=1 iwrites=IP syntax=\n"),
+              "t", d);
+    EXPECT_NE(d.to_string().find("unknown implicit register"), std::string::npos);
+  }
+}
+
+TEST(KisaAdl, ParsesCleanly) {
+  DiagEngine diags;
+  AdlModel m = parse_adl(isa::kisa_adl_text(), "kisa.adl", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  EXPECT_EQ(m.isas.size(), 5u);
+  EXPECT_EQ(m.general_register_count(), 32);
+  EXPECT_GE(m.operations.size(), 50u);
+  // The paper's headline features must be present.
+  EXPECT_NE(m.find_operation("SWITCHTARGET"), nullptr);
+  EXPECT_NE(m.find_operation("SIMOP"), nullptr);
+  EXPECT_EQ(m.find_isa("VLIW8")->issue_width, 8);
+  EXPECT_EQ(m.find_isa("VLIW6")->id, 3);
+}
+
+} // namespace
+} // namespace ksim::adl

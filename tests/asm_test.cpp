@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/disasm.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "support/error.h"
+
+namespace ksim::kasm {
+namespace {
+
+uint32_t text_word(const elf::ElfFile& obj, uint32_t index) {
+  const elf::Section* text = obj.find_section(".text");
+  EXPECT_NE(text, nullptr);
+  uint32_t w = 0;
+  for (int i = 3; i >= 0; --i)
+    w = (w << 8) | text->data.at(index * 4 + static_cast<uint32_t>(i));
+  return w;
+}
+
+TEST(Assembler, EncodesRType) {
+  const elf::ElfFile obj = assemble_or_throw("add r4, r5, r6\n");
+  const uint32_t w = text_word(obj, 0);
+  EXPECT_EQ(w >> 31, 1u);            // stop bit (RISC: every op ends its instruction)
+  EXPECT_EQ((w >> 25) & 0x3F, 0u);   // opcode 0 (R-type)
+  EXPECT_EQ((w >> 20) & 0x1F, 4u);   // rd
+  EXPECT_EQ((w >> 15) & 0x1F, 5u);   // ra
+  EXPECT_EQ((w >> 10) & 0x1F, 6u);   // rb
+  EXPECT_EQ((w >> 4) & 0x3F, 0u);    // funct ADD
+}
+
+TEST(Assembler, EncodesITypeWithNegativeImmediate) {
+  const elf::ElfFile obj = assemble_or_throw("addi r4, r5, -3\n");
+  const uint32_t w = text_word(obj, 0);
+  EXPECT_EQ((w >> 25) & 0x3F, 1u);
+  EXPECT_EQ(w & 0x7FFF, 0x7FFDu); // -3 in 15 bits
+}
+
+TEST(Assembler, EncodesMemoryOperand) {
+  const elf::ElfFile obj = assemble_or_throw("lw r4, 8(r2)\nsw r4, -4(sp)\n");
+  const uint32_t lw = text_word(obj, 0);
+  EXPECT_EQ((lw >> 25) & 0x3F, 16u);
+  EXPECT_EQ((lw >> 15) & 0x1F, 2u);
+  EXPECT_EQ(lw & 0x7FFF, 8u);
+  const uint32_t sw = text_word(obj, 1);
+  EXPECT_EQ(sw & 0x7FFF, 0x7FFCu); // -4
+}
+
+TEST(Assembler, RegisterAliases) {
+  const elf::ElfFile obj = assemble_or_throw("add zero, ra, sp\n");
+  const uint32_t w = text_word(obj, 0);
+  EXPECT_EQ((w >> 20) & 0x1F, 0u);
+  EXPECT_EQ((w >> 15) & 0x1F, 1u);
+  EXPECT_EQ((w >> 10) & 0x1F, 2u);
+}
+
+TEST(Assembler, LocalBranchResolvedWithoutReloc) {
+  const elf::ElfFile obj = assemble_or_throw(R"(
+loop:
+  addi r4, r4, 1
+  bne r4, r5, loop
+)");
+  // bne at word 1; target = loop (word 0); offset = (0 - 8)/4 = -2.
+  const uint32_t w = text_word(obj, 1);
+  EXPECT_EQ(static_cast<int32_t>((w & 0x7FFF) << 17) >> 17, -2);
+  EXPECT_TRUE(obj.relocations.empty());
+}
+
+TEST(Assembler, ForwardBranchResolved) {
+  const elf::ElfFile obj = assemble_or_throw(R"(
+  beq r1, r2, done
+  addi r4, r4, 1
+done:
+  halt
+)");
+  const uint32_t w = text_word(obj, 0);
+  EXPECT_EQ(static_cast<int32_t>((w & 0x7FFF) << 17) >> 17, 1); // skip one word
+}
+
+TEST(Assembler, UndefinedSymbolGetsReloc) {
+  const elf::ElfFile obj = assemble_or_throw("call external_fn\n");
+  ASSERT_EQ(obj.relocations.size(), 1u);
+  const auto& relocs = obj.relocations.front().second;
+  ASSERT_EQ(relocs.size(), 1u);
+  EXPECT_EQ(relocs[0].type, elf::R_KISA_ABS25);
+  EXPECT_EQ(obj.symbols[relocs[0].symbol].name, "external_fn");
+  EXPECT_EQ(obj.symbols[relocs[0].symbol].shndx, elf::SHN_UNDEF);
+}
+
+TEST(Assembler, LaEmitsHiLoRelocs) {
+  const elf::ElfFile obj = assemble_or_throw(".data\nbuf: .space 16\n.text\nla r4, buf\n");
+  ASSERT_EQ(obj.relocations.size(), 1u);
+  const auto& relocs = obj.relocations.front().second;
+  ASSERT_EQ(relocs.size(), 2u);
+  EXPECT_EQ(relocs[0].type, elf::R_KISA_HI16);
+  EXPECT_EQ(relocs[1].type, elf::R_KISA_LO16);
+}
+
+TEST(Assembler, LiSmallAndLarge) {
+  const elf::ElfFile small = assemble_or_throw("li r4, 100\n");
+  EXPECT_EQ(small.find_section(".text")->data.size(), 4u); // single ADDI
+  const elf::ElfFile large = assemble_or_throw("li r4, 0x12345678\n");
+  EXPECT_EQ(large.find_section(".text")->data.size(), 8u); // LUI + ORLO
+  const elf::ElfFile highonly = assemble_or_throw("li r4, 0x10000\n");
+  EXPECT_EQ(highonly.find_section(".text")->data.size(), 4u); // LUI only
+}
+
+TEST(Assembler, VliwGroupStopBits) {
+  AsmOptions opt;
+  opt.initial_isa = "VLIW4";
+  const elf::ElfFile obj =
+      assemble_or_throw("add r4, r5, r6 || sub r7, r8, r9 || and r10, r11, r12\n", opt);
+  EXPECT_EQ(text_word(obj, 0) >> 31, 0u);
+  EXPECT_EQ(text_word(obj, 1) >> 31, 0u);
+  EXPECT_EQ(text_word(obj, 2) >> 31, 1u); // last op carries the stop bit
+}
+
+TEST(Assembler, IsaDirectiveSwitchesIssueWidth) {
+  DiagEngine diags;
+  assemble("add r1, r2, r3 || add r4, r5, r6\n", {}, diags);
+  EXPECT_TRUE(diags.has_errors()); // RISC is 1-issue
+
+  const elf::ElfFile ok = assemble_or_throw(".isa VLIW2\nadd r1, r2, r3 || add r4, r5, r6\n");
+  EXPECT_EQ(ok.find_section(".text")->data.size(), 8u);
+}
+
+TEST(Assembler, GroupRestrictions) {
+  AsmOptions opt;
+  opt.initial_isa = "VLIW4";
+  { // serial-only op in a group
+    DiagEngine d;
+    assemble("simop 0 || add r1, r2, r3\n", opt, d);
+    EXPECT_TRUE(d.has_errors());
+  }
+  { // two branches in one group
+    DiagEngine d;
+    assemble("beq r1, r2, x || bne r3, r4, x\nx: halt\n", opt, d);
+    EXPECT_TRUE(d.has_errors());
+  }
+  { // multi-op pseudo in a group
+    DiagEngine d;
+    assemble("la r4, x || add r1, r2, r3\nx: halt\n", opt, d);
+    EXPECT_TRUE(d.has_errors());
+  }
+}
+
+TEST(Assembler, SwitchTargetAcceptsIsaName) {
+  const elf::ElfFile obj = assemble_or_throw("switchtarget VLIW4\nswt 2\n");
+  EXPECT_EQ(text_word(obj, 0) & 0x7FFF, 2u); // VLIW4 has id 2
+  EXPECT_EQ(text_word(obj, 1) & 0x7FFF, 2u);
+}
+
+TEST(Assembler, DataDirectives) {
+  const elf::ElfFile obj = assemble_or_throw(R"(
+.data
+vals: .word 1, -2, 0x30
+h: .half 7, 8
+b: .byte 255
+s: .asciz "hi\n"
+.align 4
+end: .word 0
+)");
+  const elf::Section* data = obj.find_section(".data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->data[0], 1u);
+  EXPECT_EQ(data->data[4], 0xFEu); // -2
+  EXPECT_EQ(data->data[8], 0x30u);
+  EXPECT_EQ(data->data[12], 7u);
+  EXPECT_EQ(data->data[16], 255u);
+  EXPECT_EQ(data->data[17], 'h');
+  EXPECT_EQ(data->data[19], '\n');
+  EXPECT_EQ(data->data[20], 0u); // NUL from .asciz
+  const elf::Symbol* end = obj.find_symbol("end");
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(end->value % 4, 0u);
+}
+
+TEST(Assembler, FuncSymbolsCarrySize) {
+  const elf::ElfFile obj = assemble_or_throw(R"(
+.global f
+.func f
+  addi r4, r4, 1
+  ret
+.endfunc
+)");
+  const elf::Symbol* f = obj.find_symbol("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(elf::st_type(f->info), elf::STT_FUNC);
+  EXPECT_EQ(f->size, 8u);
+}
+
+TEST(Assembler, ErrorsHaveLineNumbers) {
+  DiagEngine diags;
+  assemble("add r1, r2, r3\nbogus r1\n", {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.diags().front().loc.line, 2);
+}
+
+TEST(Assembler, RangeChecks) {
+  DiagEngine d1;
+  assemble("addi r4, r5, 20000\n", {}, d1); // > 2^14-1
+  EXPECT_TRUE(d1.has_errors());
+  DiagEngine d2;
+  assemble("lw r4, 999999(r2)\n", {}, d2);
+  EXPECT_TRUE(d2.has_errors());
+}
+
+TEST(Disasm, RoundTripsRepresentativeOps) {
+  const isa::IsaSet& set = isa::kisa();
+  const isa::IsaInfo& risc = *set.find_isa("RISC");
+  struct Case {
+    const char* source;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"add r4, r5, r6", "add r4, r5, r6"},
+      {"addi r4, r5, -3", "addi r4, r5, -3"},
+      {"lw r4, 8(r2)", "lw r4, 8(r2)"},
+      {"jr r1", "jr r1"},
+      {"halt", "halt"},
+      {"simop 3", "simop 3"},
+  };
+  for (const Case& c : cases) {
+    const elf::ElfFile obj = assemble_or_throw(std::string(c.source) + "\n");
+    uint32_t w = text_word(obj, 0);
+    EXPECT_EQ(disassemble_op(set, risc, w), c.expect);
+  }
+}
+
+// ---- linker -------------------------------------------------------------------
+
+TEST(Linker, ResolvesCrossObjectCalls) {
+  const elf::ElfFile a = assemble_or_throw(R"(
+.global _start
+.func _start
+  call helper
+  halt
+.endfunc
+)");
+  const elf::ElfFile b = assemble_or_throw(R"(
+.global helper
+.func helper
+  addi r4, r0, 42
+  ret
+.endfunc
+)");
+  const elf::ElfFile exe = link_or_throw({a, b});
+  EXPECT_EQ(exe.type, elf::ET_EXEC);
+  EXPECT_EQ(exe.entry, isa::kCodeBase);
+  const elf::Symbol* helper = exe.find_symbol("helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->value, isa::kCodeBase + 8); // after _start's two words
+  // The JAL at word 0 must now encode helper's word address.
+  const elf::Section* text = exe.find_section(".text");
+  uint32_t w = 0;
+  for (int i = 3; i >= 0; --i) w = (w << 8) | text->data[static_cast<size_t>(i)];
+  EXPECT_EQ(w & 0x1FFFFFF, (isa::kCodeBase + 8) / 4);
+}
+
+TEST(Linker, ReportsUndefinedSymbol) {
+  const elf::ElfFile a = assemble_or_throw(".global _start\n_start: call missing\n");
+  DiagEngine diags;
+  link({a}, {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("undefined symbol 'missing'"), std::string::npos);
+}
+
+TEST(Linker, ReportsDuplicateSymbol) {
+  const elf::ElfFile a = assemble_or_throw(".global f\nf: halt\n.global _start\n_start: halt\n");
+  const elf::ElfFile b = assemble_or_throw(".global f\nf: halt\n");
+  DiagEngine diags;
+  link({a, b}, {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("duplicate definition"), std::string::npos);
+}
+
+TEST(Linker, AppliesHiLoRelocsAcrossObjects) {
+  const elf::ElfFile a = assemble_or_throw(R"(
+.global _start
+_start:
+  la r4, shared_buf
+  halt
+)");
+  const elf::ElfFile b = assemble_or_throw(R"(
+.global shared_buf
+.data
+shared_buf: .word 1, 2, 3
+)");
+  const elf::ElfFile exe = link_or_throw({a, b});
+  const elf::Symbol* buf = exe.find_symbol("shared_buf");
+  ASSERT_NE(buf, nullptr);
+  const elf::Section* text = exe.find_section(".text");
+  auto word_at = [&](size_t i) {
+    uint32_t w = 0;
+    for (int k = 3; k >= 0; --k) w = (w << 8) | text->data[i * 4 + static_cast<size_t>(k)];
+    return w;
+  };
+  const uint32_t lui = word_at(0);
+  const uint32_t orlo = word_at(1);
+  const uint32_t assembled = ((lui & 0xFFFF) << 16) | (orlo & 0xFFFF);
+  EXPECT_EQ(assembled, buf->value);
+}
+
+TEST(Linker, MergesDebugLineMaps) {
+  AsmOptions oa;
+  oa.file_name = "a.s";
+  const elf::ElfFile a = assemble_or_throw(".global _start\n_start: halt\n", oa);
+  AsmOptions ob;
+  ob.file_name = "b.s";
+  const elf::ElfFile b = assemble_or_throw("f: addi r4, r4, 1\n", ob);
+  const elf::ElfFile exe = link_or_throw({a, b});
+  const elf::Section* dbg = exe.find_section(".kdbg.asm");
+  ASSERT_NE(dbg, nullptr);
+  const elf::LineMap map = elf::LineMap::parse(dbg->data);
+  ASSERT_EQ(map.entries.size(), 2u);
+  EXPECT_EQ(map.files[map.entries[0].file], "a.s");
+  EXPECT_EQ(map.files[map.entries[1].file], "b.s");
+  EXPECT_EQ(map.entries[1].addr, isa::kCodeBase + 4);
+}
+
+TEST(Stubs, LibcStubsAssembleAndExportEveryFunction) {
+  const elf::ElfFile obj = assemble_or_throw(libc_stub_assembly());
+  for (int i = 0; i < isa::kNumLibcOps; ++i) {
+    const std::string name(isa::libc_op_name(static_cast<isa::LibcOp>(i)));
+    const elf::Symbol* sym = obj.find_symbol(name);
+    ASSERT_NE(sym, nullptr) << name;
+    EXPECT_EQ(elf::st_type(sym->info), elf::STT_FUNC);
+    EXPECT_EQ(sym->size, 8u); // SIMOP + RET
+  }
+}
+
+TEST(Stubs, StartStubLinksAgainstMain) {
+  const elf::ElfFile start = assemble_or_throw(start_stub_assembly());
+  const elf::ElfFile main_obj = assemble_or_throw(R"(
+.global main
+.func main
+  addi r4, r0, 7
+  ret
+.endfunc
+)");
+  const elf::ElfFile exe = link_or_throw({start, main_obj});
+  EXPECT_NE(exe.find_symbol("_start"), nullptr);
+  EXPECT_EQ(exe.entry, exe.find_symbol("_start")->value);
+}
+
+} // namespace
+} // namespace ksim::kasm

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "cycle/branch_predict.h"
+#include "cycle/models.h"
+#include "support/error.h"
+#include "support/prng.h"
+#include "workloads/build.h"
+
+namespace ksim::cycle {
+namespace {
+
+TEST(Predictors, FactoryAndNames) {
+  EXPECT_EQ(make_predictor("not-taken")->name(), "static-not-taken");
+  EXPECT_EQ(make_predictor("taken")->name(), "static-taken");
+  EXPECT_EQ(make_predictor("1bit")->name(), "1-bit");
+  EXPECT_EQ(make_predictor("2bit")->name(), "2-bit");
+  EXPECT_EQ(make_predictor("gshare")->name(), "gshare");
+  EXPECT_THROW(make_predictor("oracle"), Error);
+}
+
+TEST(Predictors, StaticPredictorsNeverLearn) {
+  NotTakenPredictor nt;
+  TakenPredictor t;
+  for (int i = 0; i < 10; ++i) {
+    nt.observe(0x1000, true); // always wrong
+    t.observe(0x1000, true);  // always right
+  }
+  EXPECT_EQ(nt.stats().mispredictions, 10u);
+  EXPECT_EQ(t.stats().mispredictions, 0u);
+}
+
+TEST(Predictors, OneBitTracksLastOutcome) {
+  OneBitPredictor p(64);
+  // Alternating outcomes defeat a 1-bit predictor completely (after warmup).
+  for (int i = 0; i < 100; ++i) p.observe(0x2000, i % 2 == 0);
+  EXPECT_GE(p.stats().mispredictions, 98u);
+  p.reset();
+  EXPECT_EQ(p.stats().branches, 0u);
+  // A monomorphic branch is perfectly predicted after one miss.
+  for (int i = 0; i < 50; ++i) p.observe(0x2000, true);
+  EXPECT_EQ(p.stats().mispredictions, 1u);
+}
+
+TEST(Predictors, TwoBitToleratesLoopExits) {
+  // Loop pattern: taken 9 times, not-taken once, repeated.
+  OneBitPredictor one(64);
+  TwoBitPredictor two(64);
+  for (int rep = 0; rep < 50; ++rep)
+    for (int i = 0; i < 10; ++i) {
+      const bool taken = i != 9;
+      one.observe(0x3000, taken);
+      two.observe(0x3000, taken);
+    }
+  // 1-bit mispredicts twice per loop (exit + first re-entry); 2-bit once.
+  EXPECT_GT(one.stats().mispredictions, two.stats().mispredictions);
+  EXPECT_LE(two.stats().mispredictions, 51u);
+}
+
+TEST(Predictors, GshareLearnsAlternation) {
+  // Global history lets gshare predict a strict alternation perfectly.
+  GsharePredictor g(8);
+  TwoBitPredictor two(256);
+  for (int i = 0; i < 400; ++i) {
+    g.observe(0x4000, i % 2 == 0);
+    two.observe(0x4000, i % 2 == 0);
+  }
+  EXPECT_LT(g.stats().miss_rate(), 0.1);
+  EXPECT_GT(two.stats().miss_rate(), 0.4);
+}
+
+TEST(Predictors, DistinctBranchesDoNotAliasInLargeTables) {
+  TwoBitPredictor p(4096);
+  Prng prng(7);
+  // 16 branches with stable but different behaviour.
+  bool dir[16];
+  for (bool& d : dir) d = prng.next_below(2) != 0;
+  for (int round = 0; round < 64; ++round)
+    for (int b = 0; b < 16; ++b) p.observe(0x1000 + static_cast<uint32_t>(b) * 4, dir[b]);
+  // At most a couple of warmup misses per branch.
+  EXPECT_LE(p.stats().mispredictions, 32u);
+}
+
+// -- integration with the cycle models -------------------------------------------
+
+TEST(BranchModels, MispredictionPenaltyIncreasesDoeCycles) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("qsort"), "RISC");
+
+  MemoryHierarchy mem_perfect;
+  DoeModel perfect(&mem_perfect);
+  workloads::run_executable(exe, &perfect);
+
+  MemoryHierarchy mem_bp;
+  DoeModel with_bp(&mem_bp);
+  TwoBitPredictor predictor;
+  with_bp.set_branch_prediction(&predictor, 3);
+  workloads::run_executable(exe, &with_bp);
+
+  EXPECT_GT(predictor.stats().branches, 10000u);
+  EXPECT_GT(predictor.stats().mispredictions, 0u);
+  EXPECT_GT(with_bp.cycles(), perfect.cycles());
+  // The extra cycles are bounded by mispredicts * penalty.
+  EXPECT_LE(with_bp.cycles(),
+            perfect.cycles() + predictor.stats().mispredictions * 3 +
+                predictor.stats().mispredictions);
+}
+
+TEST(BranchModels, ZeroPenaltyMatchesPerfectPredictionInAie) {
+  const elf::ElfFile exe = workloads::build_workload(workloads::by_name("fft"), "RISC");
+  MemoryHierarchy mem_a;
+  AieModel perfect(&mem_a);
+  workloads::run_executable(exe, &perfect);
+
+  MemoryHierarchy mem_b;
+  AieModel with_bp(&mem_b);
+  NotTakenPredictor predictor;
+  with_bp.set_branch_prediction(&predictor, 0);
+  workloads::run_executable(exe, &with_bp);
+  EXPECT_EQ(with_bp.cycles(), perfect.cycles());
+}
+
+TEST(BranchModels, BetterPredictorNeverCostsMoreCycles) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("cjpeg"), "RISC");
+  uint64_t cycles_nt = 0;
+  uint64_t cycles_2bit = 0;
+  {
+    MemoryHierarchy mem;
+    DoeModel model(&mem);
+    NotTakenPredictor predictor;
+    model.set_branch_prediction(&predictor, 5);
+    workloads::run_executable(exe, &model);
+    cycles_nt = model.cycles();
+  }
+  {
+    MemoryHierarchy mem;
+    DoeModel model(&mem);
+    TwoBitPredictor predictor;
+    model.set_branch_prediction(&predictor, 5);
+    workloads::run_executable(exe, &model);
+    cycles_2bit = model.cycles();
+  }
+  EXPECT_LE(cycles_2bit, cycles_nt);
+}
+
+TEST(BranchModels, LoopyCodePredictsWell) {
+  // cjpeg is loop-heavy: a 2-bit predictor should be well under 10% misses.
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("cjpeg"), "RISC");
+  MemoryHierarchy mem;
+  DoeModel model(&mem);
+  TwoBitPredictor predictor;
+  model.set_branch_prediction(&predictor, 3);
+  workloads::run_executable(exe, &model);
+  EXPECT_LT(predictor.stats().miss_rate(), 0.10);
+}
+
+} // namespace
+} // namespace ksim::cycle

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "cycle/mem_hierarchy.h"
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "support/error.h"
+#include "support/prng.h"
+#include "support/strings.h"
+
+namespace ksim::cycle {
+namespace {
+
+// -- MainMemory ----------------------------------------------------------------
+
+TEST(MainMemory, FixedDelay) {
+  MainMemory mem(18);
+  EXPECT_EQ(mem.access(0x1000, AccessType::Read, 0, 100), 118u);
+  EXPECT_EQ(mem.access(0x2000, AccessType::Write, 3, 0), 18u);
+  EXPECT_EQ(mem.stats().accesses, 2u);
+  mem.reset();
+  EXPECT_EQ(mem.stats().accesses, 0u);
+}
+
+// -- CacheModule ----------------------------------------------------------------
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 256;
+  c.line_size = 32;
+  c.associativity = 2; // 4 sets
+  c.delay = 3;
+  c.name = "L1";
+  return c;
+}
+
+TEST(Cache, MissThenHit) {
+  MainMemory mem(18);
+  CacheModule cache(small_cache(), &mem);
+  // Miss: 3 (lookup) + 18 (memory) + 3 (fill) = 24.
+  EXPECT_EQ(cache.access(0x100, AccessType::Read, 0, 0), 24u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Hit afterwards: start + delay, but never before the line was filled.
+  EXPECT_EQ(cache.access(0x104, AccessType::Read, 0, 100), 103u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, HitWaitsForLineFill) {
+  // Out-of-order call support (§VI-D): a "later" access that executes first
+  // fills the line at cycle X; an earlier-cycle hit must not complete before X.
+  MainMemory mem(18);
+  CacheModule cache(small_cache(), &mem);
+  const uint64_t fill = cache.access(0x100, AccessType::Read, 0, 50); // 74
+  EXPECT_EQ(fill, 74u);
+  // A hit with start cycle 0 completes no earlier than the fill cycle.
+  EXPECT_EQ(cache.access(0x108, AccessType::Read, 0, 0), fill);
+}
+
+TEST(Cache, WriteBackOfDirtyVictim) {
+  MainMemory mem(18);
+  CacheModule cache(small_cache(), &mem);
+  // Write-allocate a line and dirty it (set 0: addr bits [6:5] choose set).
+  cache.access(0x000, AccessType::Write, 0, 0);
+  // Fill the second way of set 0.
+  cache.access(0x080, AccessType::Read, 0, 100);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+  // Third distinct line in set 0 evicts the dirty line → write-back.
+  const uint64_t t = cache.access(0x100, AccessType::Read, 0, 200);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  // 3 (lookup) + 18 (fetch) + 18 (write-back) + 3 (fill) = 242.
+  EXPECT_EQ(t, 242u);
+}
+
+TEST(Cache, LruReplacement) {
+  MainMemory mem(18);
+  CacheModule cache(small_cache(), &mem);
+  cache.access(0x000, AccessType::Read, 0, 0);   // way A
+  cache.access(0x080, AccessType::Read, 0, 50);  // way B
+  cache.access(0x000, AccessType::Read, 0, 100); // touch A → B is LRU
+  cache.access(0x100, AccessType::Read, 0, 150); // evicts B
+  EXPECT_EQ(cache.stats().misses, 3u);
+  // A must still hit.
+  const uint64_t before_hits = cache.stats().hits;
+  cache.access(0x000, AccessType::Read, 0, 200);
+  EXPECT_EQ(cache.stats().hits, before_hits + 1);
+  // B must miss again.
+  cache.access(0x080, AccessType::Read, 0, 250);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  MainMemory mem(18);
+  CacheConfig bad = small_cache();
+  bad.size_bytes = 100; // not a power of two
+  EXPECT_THROW(CacheModule(bad, &mem), Error);
+  CacheConfig bad2 = small_cache();
+  bad2.line_size = 24;
+  EXPECT_THROW(CacheModule(bad2, &mem), Error);
+}
+
+struct CacheSweepParam {
+  uint32_t size;
+  uint32_t line;
+  uint32_t assoc;
+};
+
+class CacheSweep : public ::testing::TestWithParam<CacheSweepParam> {};
+
+TEST_P(CacheSweep, SequentialSweepMissesOncePerLine) {
+  // Property: streaming over exactly the cache's capacity misses once per
+  // line on the first pass and hits everywhere on the second.
+  MainMemory mem(10);
+  CacheConfig cfg;
+  cfg.size_bytes = GetParam().size;
+  cfg.line_size = GetParam().line;
+  cfg.associativity = GetParam().assoc;
+  cfg.delay = 1;
+  CacheModule cache(cfg, &mem);
+  uint64_t now = 0;
+  for (uint32_t a = 0; a < cfg.size_bytes; a += 4)
+    now = cache.access(a, AccessType::Read, 0, now);
+  EXPECT_EQ(cache.stats().misses, cfg.size_bytes / cfg.line_size);
+  const uint64_t misses_after_pass1 = cache.stats().misses;
+  for (uint32_t a = 0; a < cfg.size_bytes; a += 4)
+    now = cache.access(a, AccessType::Read, 0, now);
+  EXPECT_EQ(cache.stats().misses, misses_after_pass1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(CacheSweepParam{2048, 32, 4}, CacheSweepParam{1024, 16, 2},
+                      CacheSweepParam{4096, 64, 8}, CacheSweepParam{512, 32, 1},
+                      CacheSweepParam{256 * 1024, 32, 4}),
+    [](const ::testing::TestParamInfo<CacheSweepParam>& info) {
+      return strf("s%u_l%u_a%u", info.param.size, info.param.line, info.param.assoc);
+    });
+
+TEST(Cache, ThrashingSetExceedsAssociativity) {
+  // 3 lines mapping to the same set of a 2-way cache never stop missing.
+  MainMemory mem(10);
+  CacheModule cache(small_cache(), &mem); // 4 sets → same set every 0x80
+  uint64_t now = 0;
+  for (int round = 0; round < 10; ++round)
+    for (uint32_t a : {0x000u, 0x080u, 0x100u})
+      now = cache.access(a, AccessType::Read, 0, now);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 30u);
+}
+
+// -- ConnectionLimit ---------------------------------------------------------------
+
+TEST(ConnectionLimit, SerializesOverlappingAccesses) {
+  MainMemory mem(5);
+  ConnectionLimit limit(1, &mem);
+  // Two accesses starting at the same cycle: the second must shift by 1.
+  const uint64_t c1 = limit.access(0x0, AccessType::Read, 0, 10);
+  const uint64_t c2 = limit.access(0x4, AccessType::Read, 1, 10);
+  EXPECT_EQ(c1, 15u);
+  // Start pushed to 11, completion 16 (and the completion port is free).
+  EXPECT_EQ(c2, 16u);
+  EXPECT_GT(limit.stats().port_stalls, 0u);
+}
+
+TEST(ConnectionLimit, MultiplePortsAllowParallelism) {
+  MainMemory mem(5);
+  ConnectionLimit limit(2, &mem);
+  const uint64_t c1 = limit.access(0x0, AccessType::Read, 0, 10);
+  const uint64_t c2 = limit.access(0x4, AccessType::Read, 1, 10);
+  EXPECT_EQ(c1, 15u);
+  // Same start cycle fits within 2 ports; both completions land on 15 and
+  // also fit within 2 ports.
+  EXPECT_EQ(c2, 15u);
+  EXPECT_EQ(limit.stats().port_stalls, 0u);
+}
+
+TEST(ConnectionLimit, CompletionCyclePortIsChecked) {
+  // The same mechanism applies to the completion cycle (paper §VI-D).
+  MainMemory mem(5);
+  ConnectionLimit limit(1, &mem);
+  limit.access(0x0, AccessType::Read, 0, 10);  // occupies start 10, completion 15
+  // An access starting at 15 must shift: cycle 15 is taken by the completion.
+  const uint64_t c = limit.access(0x4, AccessType::Read, 0, 15);
+  EXPECT_EQ(c, 21u); // start 16 → completion 21
+}
+
+TEST(ConnectionLimit, PropertyNeverMoreThanPortsPerCycle) {
+  // Property test: random accesses; reconstruct per-cycle port usage from
+  // completions and starts — but the module's invariant is internal, so we
+  // check the observable: with 1 port, all granted (start, completion) cycles
+  // are pairwise distinct.
+  MainMemory mem(0x7); // odd delay spreads completions
+  ConnectionLimit limit(1, &mem);
+  Prng prng(123);
+  std::vector<uint64_t> completions;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t start = prng.next_below(500);
+    completions.push_back(limit.access(prng.next_u32(), AccessType::Read, 0, start));
+  }
+  std::sort(completions.begin(), completions.end());
+  EXPECT_TRUE(std::adjacent_find(completions.begin(), completions.end()) ==
+              completions.end());
+}
+
+// -- MemoryHierarchy --------------------------------------------------------------
+
+TEST(MemoryHierarchy, PaperConfiguration) {
+  MemoryHierarchy h;
+  EXPECT_EQ(h.l1().config().size_bytes, 2048u);
+  EXPECT_EQ(h.l1().config().associativity, 4u);
+  EXPECT_EQ(h.l1().config().delay, 3u);
+  EXPECT_EQ(h.l2().config().size_bytes, 256u * 1024u);
+  EXPECT_EQ(h.l2().config().delay, 6u);
+
+  // Cold access goes through all three levels:
+  // L1: 3 + (L2: 6 + (mem: 18) + 6) + 3 = 36.
+  EXPECT_EQ(h.entry().access(0x4000, AccessType::Read, 0, 0), 36u);
+  // Warm access: 3 cycles.
+  const uint64_t t = h.entry().access(0x4000, AccessType::Read, 0, 1000);
+  EXPECT_EQ(t, 1003u);
+  h.reset();
+  EXPECT_EQ(h.l1().stats().accesses, 0u);
+}
+
+// -- cycle models -------------------------------------------------------------------
+
+/// Builds a synthetic decoded instruction from op names and register triples.
+struct SynthOp {
+  const char* name;
+  uint8_t rd, ra, rb;
+  int32_t imm = 0;
+};
+
+isa::DecodedInstr make_instr(std::initializer_list<SynthOp> ops) {
+  isa::DecodedInstr di;
+  di.num_ops = 0;
+  for (const SynthOp& s : ops) {
+    const isa::OpInfo* info = isa::kisa().find_op(s.name);
+    EXPECT_NE(info, nullptr) << s.name;
+    isa::DecodedOp& op = di.ops[di.num_ops++];
+    op.info = info;
+    op.fn = info->fn;
+    op.rd = s.rd;
+    op.ra = s.ra;
+    op.rb = s.rb;
+    op.imm = s.imm;
+  }
+  di.size_bytes = static_cast<uint8_t>(di.num_ops * 4);
+  return di;
+}
+
+isa::ExecCtx make_ctx() {
+  isa::ExecCtx ctx;
+  ctx.begin_instruction(0);
+  return ctx;
+}
+
+TEST(IlpModel, IndependentOpsOverlapDependentOnesDoNot) {
+  IlpModel model;
+  auto ctx = make_ctx();
+  // Three independent adds: all start at cycle 0, complete at 1.
+  model.on_instruction(make_instr({{"ADD", 5, 1, 2}}), ctx);
+  model.on_instruction(make_instr({{"ADD", 6, 1, 2}}), ctx);
+  model.on_instruction(make_instr({{"ADD", 7, 1, 2}}), ctx);
+  EXPECT_EQ(model.cycles(), 1u);
+  EXPECT_DOUBLE_EQ(model.ilp(), 3.0);
+  // A dependent chain serializes.
+  model.on_instruction(make_instr({{"ADD", 8, 5, 6}}), ctx);  // needs 5,6 → start 1
+  model.on_instruction(make_instr({{"ADD", 9, 8, 7}}), ctx);  // needs 8 → start 2
+  EXPECT_EQ(model.cycles(), 3u);
+}
+
+TEST(IlpModel, BranchFormsSchedulingBarrier) {
+  IlpModel model;
+  auto ctx = make_ctx();
+  model.on_instruction(make_instr({{"ADD", 5, 1, 2}}), ctx);   // completes 1
+  model.on_instruction(make_instr({{"BEQ", 0, 3, 4}}), ctx);   // completes 1
+  // Independent op after the branch cannot start before the branch completes.
+  model.on_instruction(make_instr({{"ADD", 6, 1, 2}}), ctx);
+  EXPECT_EQ(model.cycles(), 2u);
+}
+
+TEST(IlpModel, PessimisticStoreOrdering) {
+  IlpModel model;
+  auto ctx = make_ctx();
+  // A store whose address depends on a long chain.
+  model.on_instruction(make_instr({{"MUL", 5, 1, 2}}), ctx);   // completes 3
+  auto st = make_instr({{"SW", 6, 5, 0}});
+  ctx.mem[0] = {0x100, 4, true, true};
+  model.on_instruction(st, ctx);                                // starts 3
+  // An unrelated load still waits for the store's *start* cycle.
+  auto ld = make_instr({{"LW", 7, 1, 0}});
+  ctx.mem[0] = {0x200, 4, false, true};
+  model.on_instruction(ld, ctx);
+  // Load start = 3 (store start), completes 3 + 3 (ideal memory delay) = 6.
+  EXPECT_EQ(model.cycles(), 6u);
+}
+
+TEST(IlpModel, MemoryDelayIsConfigurable) {
+  IlpModel fast(1);
+  auto ctx = make_ctx();
+  auto ld = make_instr({{"LW", 7, 1, 0}});
+  ctx.mem[0] = {0x200, 4, false, true};
+  fast.on_instruction(ld, ctx);
+  EXPECT_EQ(fast.cycles(), 1u);
+}
+
+TEST(AieModel, InstructionsFullySerialize) {
+  MemoryHierarchy mem;
+  AieModel model(&mem);
+  auto ctx = make_ctx();
+  // Independent ALU ops still execute one instruction after the other.
+  model.on_instruction(make_instr({{"ADD", 5, 1, 2}}), ctx);
+  model.on_instruction(make_instr({{"ADD", 6, 1, 2}}), ctx);
+  EXPECT_EQ(model.cycles(), 2u);
+  // A VLIW group's delay is the max of its operations (MUL = 3).
+  model.on_instruction(make_instr({{"ADD", 7, 1, 2}, {"MUL", 8, 1, 2}}), ctx);
+  EXPECT_EQ(model.cycles(), 5u);
+  EXPECT_EQ(model.operations(), 4u);
+}
+
+TEST(DoeModel, SlotsDriftIndependently) {
+  MemoryHierarchy mem;
+  DoeModel model(&mem);
+  auto ctx = make_ctx();
+  // Slot 0 carries a dependence chain; slot 1 carries independent work.
+  // Slot 1 keeps issuing one op per cycle regardless of slot 0's stalls.
+  model.on_instruction(make_instr({{"MUL", 5, 1, 2}, {"ADD", 10, 1, 2}}), ctx);
+  model.on_instruction(make_instr({{"MUL", 6, 5, 2}, {"ADD", 11, 1, 2}}), ctx);
+  model.on_instruction(make_instr({{"MUL", 7, 6, 2}, {"ADD", 12, 1, 2}}), ctx);
+  // Slot 0: issues at 1, 4, 7 → completes 10. Slot 1: issues 1,2,3.
+  EXPECT_EQ(model.cycles(), 10u);
+}
+
+TEST(DoeModel, OneIssuePerSlotPerCycle) {
+  MemoryHierarchy mem;
+  DoeModel model(&mem);
+  auto ctx = make_ctx();
+  // Fully independent single-op instructions: the single slot still limits
+  // issue to one per cycle.
+  for (int i = 0; i < 10; ++i)
+    model.on_instruction(make_instr({{"ADD", static_cast<uint8_t>(5 + i), 1, 2}}), ctx);
+  EXPECT_EQ(model.cycles(), 11u); // issues at 1..10, each completes +1
+}
+
+TEST(DoeModel, MemoryGoesThroughTheHierarchy) {
+  MemoryHierarchy mem;
+  DoeModel model(&mem);
+  auto ctx = make_ctx();
+  auto ld = make_instr({{"LW", 7, 1, 0}});
+  ctx.mem[0] = {0x4000, 4, false, true};
+  model.on_instruction(ld, ctx);
+  EXPECT_EQ(mem.l1().stats().misses, 1u);
+  EXPECT_GT(model.cycles(), 30u); // cold miss through L1+L2+memory
+}
+
+TEST(Models, ResetClearsState) {
+  MemoryHierarchy mem;
+  DoeModel doe(&mem);
+  IlpModel ilp;
+  AieModel aie(&mem);
+  auto ctx = make_ctx();
+  for (CycleModel* m : std::initializer_list<CycleModel*>{&doe, &ilp, &aie}) {
+    m->on_instruction(make_instr({{"ADD", 5, 1, 2}}), ctx);
+    EXPECT_GT(m->cycles(), 0u) << m->name();
+    m->reset();
+    EXPECT_EQ(m->cycles(), 0u) << m->name();
+    EXPECT_EQ(m->operations(), 0u) << m->name();
+  }
+}
+
+} // namespace
+} // namespace ksim::cycle

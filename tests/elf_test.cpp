@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "elf/elf.h"
+#include "elf/loader.h"
+#include "support/error.h"
+
+namespace ksim::elf {
+namespace {
+
+ElfFile make_sample_object() {
+  ElfFile f;
+  f.type = ET_REL;
+  Section text;
+  text.name = ".text";
+  text.flags = SHF_ALLOC | SHF_EXECINSTR;
+  text.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  f.sections.push_back(text);
+  Section data;
+  data.name = ".data";
+  data.flags = SHF_ALLOC | SHF_WRITE;
+  data.data = {9, 10};
+  f.sections.push_back(data);
+  Section bss;
+  bss.name = ".bss";
+  bss.type = SHT_NOBITS;
+  bss.flags = SHF_ALLOC | SHF_WRITE;
+  bss.size = 64;
+  f.sections.push_back(bss);
+
+  Symbol local;
+  local.name = "loop";
+  local.value = 4;
+  local.info = st_info(STB_LOCAL, STT_NOTYPE);
+  local.shndx = 1;
+  f.symbols.push_back(local);
+  Symbol global;
+  global.name = "main";
+  global.value = 0;
+  global.size = 8;
+  global.info = st_info(STB_GLOBAL, STT_FUNC);
+  global.shndx = 1;
+  f.symbols.push_back(global);
+  Symbol undef;
+  undef.name = "puts";
+  undef.info = st_info(STB_GLOBAL, STT_NOTYPE);
+  undef.shndx = SHN_UNDEF;
+  f.symbols.push_back(undef);
+
+  f.relocations.push_back({1, {{0, R_KISA_ABS25, 2, 0}, {4, R_KISA_PCREL15, 0, -4}}});
+  return f;
+}
+
+TEST(Elf, SerializeParseRoundTrip) {
+  const ElfFile original = make_sample_object();
+  const std::vector<uint8_t> bytes = original.serialize();
+  ASSERT_GE(bytes.size(), 52u);
+  EXPECT_EQ(bytes[0], 0x7F);
+  EXPECT_EQ(bytes[1], 'E');
+
+  const ElfFile parsed = ElfFile::parse(bytes);
+  EXPECT_EQ(parsed.type, ET_REL);
+  // The writer synthesizes symtab/strtab/shstrtab/rela sections; the parser
+  // folds them back into the object model, leaving only the user sections.
+  ASSERT_EQ(parsed.sections.size(), 3u);
+  EXPECT_NE(parsed.find_section(".text"), nullptr);
+  EXPECT_EQ(parsed.find_section(".text")->data, original.find_section(".text")->data);
+  EXPECT_EQ(parsed.find_section(".bss")->size, 64u);
+  EXPECT_EQ(parsed.find_section(".bss")->type, SHT_NOBITS);
+
+  ASSERT_EQ(parsed.symbols.size(), 3u);
+  const Symbol* main_sym = parsed.find_symbol("main");
+  ASSERT_NE(main_sym, nullptr);
+  EXPECT_EQ(main_sym->size, 8u);
+  EXPECT_EQ(st_type(main_sym->info), STT_FUNC);
+  EXPECT_EQ(st_bind(main_sym->info), STB_GLOBAL);
+  const Symbol* undef = parsed.find_symbol("puts");
+  ASSERT_NE(undef, nullptr);
+  EXPECT_EQ(undef->shndx, SHN_UNDEF);
+
+  ASSERT_EQ(parsed.relocations.size(), 1u);
+  const auto& [target, relocs] = parsed.relocations.front();
+  EXPECT_EQ(parsed.sections[target - 1].name, ".text");
+  ASSERT_EQ(relocs.size(), 2u);
+  EXPECT_EQ(relocs[0].type, R_KISA_ABS25);
+  EXPECT_EQ(parsed.symbols[relocs[0].symbol].name, "puts");
+  EXPECT_EQ(relocs[1].type, R_KISA_PCREL15);
+  EXPECT_EQ(parsed.symbols[relocs[1].symbol].name, "loop");
+  EXPECT_EQ(relocs[1].addend, -4);
+}
+
+TEST(Elf, ExecutableRoundTripKeepsEntryAndFlags) {
+  ElfFile f = make_sample_object();
+  f.type = ET_EXEC;
+  f.entry = 0x1234;
+  f.flags = 3; // entry ISA id
+  f.sections[0].addr = 0x1000;
+  const ElfFile parsed = ElfFile::parse(f.serialize());
+  EXPECT_EQ(parsed.type, ET_EXEC);
+  EXPECT_EQ(parsed.entry, 0x1234u);
+  EXPECT_EQ(parsed.flags, 3u);
+  EXPECT_EQ(parsed.find_section(".text")->addr, 0x1000u);
+}
+
+TEST(Elf, ParseRejectsGarbage) {
+  std::vector<uint8_t> junk(100, 0xAB);
+  EXPECT_THROW(ElfFile::parse(junk), Error);
+  std::vector<uint8_t> tiny = {0x7F, 'E', 'L', 'F'};
+  EXPECT_THROW(ElfFile::parse(tiny), Error);
+}
+
+TEST(Elf, ParseRejectsWrongMachine) {
+  ElfFile f = make_sample_object();
+  std::vector<uint8_t> bytes = f.serialize();
+  bytes[18] = 0x03; // EM_386
+  bytes[19] = 0x00;
+  EXPECT_THROW(ElfFile::parse(bytes), Error);
+}
+
+TEST(LineMap, RoundTripAndLookup) {
+  LineMap map;
+  const uint32_t f0 = map.intern_file("a.s");
+  const uint32_t f1 = map.intern_file("b.c");
+  EXPECT_EQ(map.intern_file("a.s"), f0); // deduplicated
+  map.entries = {{0x1000, f0, 10}, {0x1008, f1, 20}, {0x1010, f0, 30}};
+
+  const LineMap parsed = LineMap::parse(map.serialize());
+  ASSERT_EQ(parsed.files.size(), 2u);
+  ASSERT_EQ(parsed.entries.size(), 3u);
+  EXPECT_EQ(parsed.files[1], "b.c");
+
+  EXPECT_EQ(parsed.lookup(0x0FFF), nullptr);
+  EXPECT_EQ(parsed.lookup(0x1000)->line, 10u);
+  EXPECT_EQ(parsed.lookup(0x1004)->line, 10u);
+  EXPECT_EQ(parsed.lookup(0x1008)->line, 20u);
+  EXPECT_EQ(parsed.lookup(0x5000)->line, 30u);
+}
+
+TEST(Loader, LoadsSectionsAndMetadata) {
+  ElfFile f = make_sample_object();
+  f.type = ET_EXEC;
+  f.entry = 0x1000;
+  f.flags = 0;
+  f.find_section(".text")->addr = 0x1000;
+  f.find_section(".data")->addr = 0x2000;
+  f.find_section(".bss")->addr = 0x2010;
+  // Executable symbol values are absolute (the linker produces them so).
+  for (Symbol& sym : f.symbols)
+    if (sym.shndx != SHN_UNDEF) sym.value += 0x1000;
+  // Pre-dirty the bss range to verify zeroing.
+  isa::ArchState st(64 * 1024);
+  st.store32(0x2010, 0xFFFFFFFF);
+
+  LineMap src;
+  src.intern_file("m.c");
+  src.entries = {{0x1000, 0, 5}};
+  Section dbg;
+  dbg.name = ".kdbg.src";
+  dbg.data = src.serialize();
+  f.sections.push_back(dbg);
+
+  const LoadedImage img = load_executable(f, st);
+  EXPECT_EQ(img.entry, 0x1000u);
+  EXPECT_EQ(st.load8(0x1000), 1u);
+  EXPECT_EQ(st.load8(0x2001), 10u);
+  EXPECT_EQ(st.load32(0x2010), 0u); // bss zeroed
+  EXPECT_EQ(img.image_end, 0x2010u + 64u);
+
+  ASSERT_EQ(img.functions.size(), 1u);
+  EXPECT_EQ(img.functions[0].name, "main");
+  EXPECT_EQ(img.find_function(0x1004)->name, "main");
+  EXPECT_EQ(img.find_function(0x1008), nullptr); // past main's 8 bytes
+  EXPECT_NE(img.describe(0x1000).find("main"), std::string::npos);
+  EXPECT_NE(img.describe(0x1000).find("m.c:5"), std::string::npos);
+}
+
+TEST(Loader, RejectsRelocatable) {
+  const ElfFile f = make_sample_object();
+  isa::ArchState st(4096);
+  EXPECT_THROW(load_executable(f, st), Error);
+}
+
+} // namespace
+} // namespace ksim::elf

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "isa/kisa.h"
+#include "sim/fabric.h"
+#include "support/error.h"
+#include "workloads/build.h"
+
+namespace ksim::sim {
+namespace {
+
+elf::ElfFile simple_program(const char* body, const std::string& isa = "RISC") {
+  return workloads::build_executable(body, isa, "fabric.c");
+}
+
+constexpr const char* kCountdown = R"(
+int main() {
+  int n = 0;
+  for (int i = 0; i < 500; i++) n += i;
+  put_int(n);
+  return n & 127;
+}
+)";
+
+TEST(Fabric, SpawnsUpToCapacity) {
+  Fabric fabric(isa::kisa(), {.total_edpes = 8});
+  const elf::ElfFile risc = simple_program(kCountdown, "RISC");
+  const elf::ElfFile v4 = simple_program(kCountdown, "VLIW4");
+
+  EXPECT_GE(fabric.spawn(risc, "a"), 0); // 1 EDPE
+  EXPECT_GE(fabric.spawn(v4, "b"), 0);   // 4 EDPEs
+  EXPECT_GE(fabric.spawn(v4, "c"), -1);  // would need 4, only 3 free
+  EXPECT_EQ(fabric.spawn(v4, "c"), -1);
+  EXPECT_GE(fabric.spawn(risc, "d"), 0); // 1 more fits
+  EXPECT_EQ(fabric.edpes_in_use(), 6);
+}
+
+TEST(Fabric, ThreadsRunInterleavedToCompletion) {
+  Fabric fabric(isa::kisa(), {.total_edpes = 8});
+  const int a = fabric.spawn(simple_program(kCountdown, "RISC"), "risc");
+  const int b = fabric.spawn(simple_program(kCountdown, "VLIW4"), "vliw4");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  fabric.run_to_completion();
+
+  for (int id : {a, b}) {
+    const ThreadStatus s = fabric.status(id);
+    EXPECT_EQ(s.state, ThreadState::Finished);
+    ASSERT_TRUE(s.stop.has_value());
+    EXPECT_EQ(*s.stop, StopReason::Exited);
+    EXPECT_EQ(s.exit_code, 124750 & 127);
+    EXPECT_EQ(fabric.output(id), "124750\n");
+  }
+  // A finished thread releases its EDPEs.
+  EXPECT_EQ(fabric.edpes_in_use(), 0);
+  // The VLIW4 instance needed fewer instructions for the same work.
+  EXPECT_LT(fabric.status(b).instructions, fabric.status(a).instructions);
+}
+
+TEST(Fabric, CapacityFreesWhenThreadsFinish) {
+  Fabric fabric(isa::kisa(), {.total_edpes = 4});
+  const int a = fabric.spawn(simple_program(kCountdown, "VLIW4"), "big");
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(fabric.spawn(simple_program(kCountdown, "RISC"), "late"), -1);
+  fabric.run_to_completion();
+  // Now the fabric is empty again: spawning works.
+  EXPECT_GE(fabric.spawn(simple_program(kCountdown, "RISC"), "late"), 0);
+  fabric.run_to_completion();
+}
+
+TEST(Fabric, UpSwitchWaitsForFreeEdpes) {
+  // Thread A occupies 6 of 8 EDPEs with a long RISC busy-loop prologue and
+  // exits; thread B starts as RISC and switches up to VLIW8, which cannot
+  // fit until A is gone.
+  const char* blocker = R"(
+int main() {
+  int n = 0;
+  for (int i = 0; i < 20000; i++) n += i;
+  return n & 7;
+}
+)";
+  const char* switcher = R"(
+isa("VLIW8") int wide(int x) { return x * 2 + 1; }
+int main() { return wide(20); }
+)";
+  Fabric fabric(isa::kisa(), {.total_edpes = 8});
+  const int a = fabric.spawn(simple_program(blocker, "VLIW6"), "blocker");
+  const int b = fabric.spawn(simple_program(switcher, "RISC"), "switcher");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  fabric.run_to_completion();
+
+  EXPECT_EQ(fabric.status(b).exit_code, 41);
+  // The switcher really had to wait for the blocker's EDPEs.
+  EXPECT_GT(fabric.status(b).waited_steps, 0u);
+  EXPECT_EQ(*fabric.status(a).stop, StopReason::Exited);
+}
+
+TEST(Fabric, DeadlockIsDetected) {
+  // Two VLIW2 threads on a 5-EDPE fabric (2+2 used, 1 free) that both want
+  // to reconfigure to VLIW4 (+2 each): neither up-switch can ever proceed.
+  const char* greedy = R"(
+isa("VLIW4") int wide(int x) { return x + 1; }
+int main() { return wide(1); }
+)";
+  Fabric fabric(isa::kisa(), {.total_edpes = 5});
+  ASSERT_GE(fabric.spawn(simple_program(greedy, "VLIW2"), "g1"), 0);
+  ASSERT_GE(fabric.spawn(simple_program(greedy, "VLIW2"), "g2"), 0);
+  EXPECT_THROW(fabric.run_to_completion(), Error);
+}
+
+TEST(Fabric, RejectsZeroEdpeFabric) {
+  EXPECT_THROW(Fabric(isa::kisa(), {.total_edpes = 0}), Error);
+}
+
+} // namespace
+} // namespace ksim::sim

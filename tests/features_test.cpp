@@ -1,0 +1,159 @@
+// Tests for the §V-E simulated-libc replacement and the per-operation
+// histogram.
+#include <gtest/gtest.h>
+
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "kcc/compiler.h"
+#include "sim/simulator.h"
+#include "workloads/build.h"
+
+namespace ksim {
+namespace {
+
+TEST(SimulatedLibc, StubExclusionOmitsReplacedFunctions) {
+  const elf::ElfFile full = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  const elf::ElfFile partial =
+      kasm::assemble_or_throw(kasm::libc_stub_assembly({"memcpy", "strlen"}));
+  EXPECT_NE(full.find_symbol("memcpy"), nullptr);
+  EXPECT_EQ(partial.find_symbol("memcpy"), nullptr);
+  EXPECT_EQ(partial.find_symbol("strlen"), nullptr);
+  EXPECT_NE(partial.find_symbol("puts"), nullptr);
+}
+
+constexpr const char* kMemProgram = R"(
+char src[4096];
+char dst[4096];
+int main() {
+  for (int i = 0; i < 4096; i++) src[i] = (char)(i * 7);
+  for (int rep = 0; rep < 8; rep++) memcpy(dst, src, 4096u);
+  int bad = 0;
+  for (int i = 0; i < 4096; i++)
+    if (dst[i] != src[i]) bad++;
+  return bad;
+}
+)";
+
+TEST(SimulatedLibc, NativeAndSimulatedAgreeFunctionally) {
+  const workloads::RunOutcome native = workloads::run_executable(
+      workloads::build_executable(kMemProgram, "RISC", "mem.c"));
+  workloads::BuildOptions opts;
+  opts.simulated_libc = true;
+  const workloads::RunOutcome simulated = workloads::run_executable(
+      workloads::build_executable(kMemProgram, "RISC", "mem.c", opts));
+  EXPECT_EQ(native.exit_code, 0);
+  EXPECT_EQ(simulated.exit_code, 0);
+  // The simulated implementation executes real instructions for each byte.
+  EXPECT_GT(simulated.stats.instructions, native.stats.instructions + 8 * 4096);
+}
+
+TEST(SimulatedLibc, CyclesAreCountedOnlyWhenSimulated) {
+  // The paper §V-E: native execution does not count library cycles; a real
+  // implementation on the simulated ISA does.
+  cycle::MemoryHierarchy mem_native;
+  cycle::DoeModel doe_native(&mem_native);
+  workloads::run_executable(
+      workloads::build_executable(kMemProgram, "RISC", "mem.c"), &doe_native);
+
+  workloads::BuildOptions opts;
+  opts.simulated_libc = true;
+  cycle::MemoryHierarchy mem_sim;
+  cycle::DoeModel doe_sim(&mem_sim);
+  workloads::run_executable(
+      workloads::build_executable(kMemProgram, "RISC", "mem.c", opts), &doe_sim);
+
+  // 8 x 4096 copied bytes at >= 2 memory ops each dominate the difference.
+  EXPECT_GT(doe_sim.cycles(), doe_native.cycles() + 8 * 4096);
+}
+
+TEST(SimulatedLibc, AllFiveFunctionsWork) {
+  const char* prog = R"(
+char a[64];
+char b[64];
+int main() {
+  memset(a, 'x', 10u);
+  a[10] = 0;
+  if (strlen(a) != 10u) return 1;
+  strcpy(b, a);
+  if (strcmp(a, b) != 0) return 2;
+  b[3] = 'y';              /* 'x' < 'y' -> a < b */
+  if (strcmp(a, b) >= 0) return 3;
+  if (strcmp(b, a) <= 0) return 4;
+  memcpy(b, a, 11u);
+  if (strcmp(a, b) != 0) return 5;
+  return 0;
+}
+)";
+  workloads::BuildOptions opts;
+  opts.simulated_libc = true;
+  for (const char* isa : {"RISC", "VLIW4"}) {
+    const workloads::RunOutcome r = workloads::run_executable(
+        workloads::build_executable(prog, isa, "five.c", opts));
+    EXPECT_EQ(r.exit_code, 0) << isa;
+  }
+}
+
+TEST(SimulatedLibc, UserOverrideOfBuiltinCompiles) {
+  // A user-provided strlen replaces the builtin declaration.
+  const char* prog = R"(
+unsigned strlen(char *s) {
+  unsigned n = 0u;
+  while (s[n]) n++;
+  return n + 100u;   /* deliberately different to prove it's ours */
+}
+int main() { return (int)strlen("abc"); }
+)";
+  kasm::AsmOptions unused;
+  (void)unused;
+  const elf::ElfFile exe = [&] {
+    // Exclude the builtin stub so the user definition links cleanly.
+    kcc::CompileOptions copt;
+    copt.file_name = "override.c";
+    const std::string assembly = kcc::compile_or_throw(prog, copt);
+    const elf::ElfFile user = kasm::assemble_or_throw(assembly);
+    const elf::ElfFile start = kasm::assemble_or_throw(kasm::start_stub_assembly());
+    const elf::ElfFile libc =
+        kasm::assemble_or_throw(kasm::libc_stub_assembly({"strlen"}));
+    return kasm::link_or_throw({start, user, libc});
+  }();
+  const workloads::RunOutcome r = workloads::run_executable(exe);
+  EXPECT_EQ(r.exit_code, 103);
+}
+
+TEST(OpHistogram, CountsMatchTotals) {
+  sim::SimOptions opts;
+  opts.collect_op_stats = true;
+  sim::Simulator simulator(isa::kisa(), opts);
+  simulator.load(workloads::build_workload(workloads::by_name("dct"), "RISC"));
+  ASSERT_EQ(simulator.run(), sim::StopReason::Exited);
+
+  const auto hist = simulator.op_histogram();
+  ASSERT_FALSE(hist.empty());
+  uint64_t total = 0;
+  for (const auto& [op, count] : hist) {
+    EXPECT_GT(count, 0u);
+    total += count;
+  }
+  EXPECT_EQ(total, simulator.stats().operations);
+  // Sorted descending.
+  for (size_t i = 1; i < hist.size(); ++i)
+    EXPECT_GE(hist[i - 1].second, hist[i].second);
+  // dct is multiply-heavy: MUL must appear.
+  const bool has_mul = std::any_of(hist.begin(), hist.end(), [](const auto& e) {
+    return e.first->name == "MUL";
+  });
+  EXPECT_TRUE(has_mul);
+}
+
+TEST(OpHistogram, DisabledByDefault) {
+  sim::Simulator simulator(isa::kisa());
+  simulator.load(workloads::build_workload(workloads::by_name("qsort"), "RISC"));
+  ASSERT_EQ(simulator.run(), sim::StopReason::Exited);
+  EXPECT_TRUE(simulator.op_histogram().empty());
+}
+
+} // namespace
+} // namespace ksim

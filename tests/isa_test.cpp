@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "isa/kisa.h"
+#include "isa/semantics.h"
+#include "isa/targetgen.h"
+#include "support/error.h"
+
+namespace ksim::isa {
+namespace {
+
+TEST(Kisa, BuildsOnce) {
+  const IsaSet& set = kisa();
+  EXPECT_EQ(&set, &kisa()); // singleton
+  EXPECT_EQ(set.isas().size(), 5u);
+  EXPECT_EQ(set.register_count(), 32);
+  EXPECT_EQ(set.zero_register(), 0);
+  EXPECT_EQ(set.stop_bit(), 31);
+  EXPECT_EQ(set.default_isa().name, "RISC");
+}
+
+TEST(Kisa, IsaLookup) {
+  const IsaSet& set = kisa();
+  EXPECT_EQ(set.find_isa(kIsaVliw4)->name, "VLIW4");
+  EXPECT_EQ(set.find_isa("VLIW2")->issue_width, 2);
+  EXPECT_EQ(set.find_isa(99), nullptr);
+  EXPECT_EQ(set.find_isa("nope"), nullptr);
+  EXPECT_EQ(set.max_isa_id(), 4);
+}
+
+TEST(Kisa, OperationMetadata) {
+  const IsaSet& set = kisa();
+  const OpInfo* add = set.find_op("ADD");
+  ASSERT_NE(add, nullptr);
+  EXPECT_TRUE(add->rd_is_dst);
+  EXPECT_TRUE(add->ra_is_src);
+  EXPECT_TRUE(add->rb_is_src);
+  EXPECT_FALSE(add->rd_is_src);
+  EXPECT_EQ(add->delay, 1);
+  EXPECT_FALSE(add->is_branch);
+
+  const OpInfo* sw = set.find_op("SW");
+  ASSERT_NE(sw, nullptr);
+  EXPECT_TRUE(sw->rd_is_src);  // store value
+  EXPECT_FALSE(sw->rd_is_dst);
+  EXPECT_TRUE(sw->is_store());
+  EXPECT_TRUE(sw->uses_memory_model());
+
+  const OpInfo* jal = set.find_op("JAL");
+  ASSERT_NE(jal, nullptr);
+  EXPECT_TRUE(jal->is_branch);
+  EXPECT_TRUE(jal->is_call);
+  // JAL implicitly writes IP (bit 32) and r1 (bit 1).
+  EXPECT_NE(jal->implicit_writes & (uint64_t{1} << kIpRegIndex), 0u);
+  EXPECT_NE(jal->implicit_writes & (uint64_t{1} << 1), 0u);
+
+  const OpInfo* simop = set.find_op("SIMOP");
+  ASSERT_NE(simop, nullptr);
+  EXPECT_TRUE(simop->serial_only);
+  EXPECT_NE(simop->implicit_reads & (uint64_t{1} << 4), 0u);
+
+  const OpInfo* mul = set.find_op("MUL");
+  ASSERT_NE(mul, nullptr);
+  EXPECT_EQ(mul->delay, 3);
+  const OpInfo* div = set.find_op("DIV");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->delay, 12);
+}
+
+TEST(Kisa, DetectionIsUnambiguous) {
+  // Every operation's canonical encoding (match bits + stop bit) must detect
+  // as exactly that operation, in every ISA containing it.
+  const IsaSet& set = kisa();
+  for (const IsaInfo& isa : set.isas()) {
+    for (const OpInfo* op : isa.ops) {
+      const uint32_t word = op->match_bits | (1u << set.stop_bit());
+      EXPECT_EQ(set.detect(isa, word), op) << op->name << " in " << isa.name;
+    }
+  }
+}
+
+TEST(Kisa, DetectRejectsGarbage) {
+  const IsaSet& set = kisa();
+  const IsaInfo& risc = *set.find_isa("RISC");
+  // Opcode 63 is unassigned.
+  EXPECT_EQ(set.detect(risc, 63u << 25), nullptr);
+}
+
+TEST(Kisa, AllIsasShareTheFullOpSet) {
+  // K-ISA declares no per-ISA restrictions, so every table has all ops.
+  const IsaSet& set = kisa();
+  for (const IsaInfo& isa : set.isas())
+    EXPECT_EQ(isa.ops.size(), set.all_ops().size()) << isa.name;
+}
+
+TEST(Semantics, RegistryLookups) {
+  EXPECT_NE(find_semantic("add"), nullptr);
+  EXPECT_NE(find_semantic("switchtarget"), nullptr);
+  EXPECT_NE(find_semantic("simop"), nullptr);
+  EXPECT_EQ(find_semantic("definitely-not-a-semantic"), nullptr);
+}
+
+TEST(TargetGen, RejectsUnknownSemantic) {
+  adl::AdlModel model;
+  model.stop_bit = 31;
+  model.opcode_field = {"opcode", 30, 25, false};
+  model.isas.push_back({"A", 0, 1, true});
+  for (int i = 0; i < 4; ++i)
+    model.registers.push_back({"r" + std::to_string(i), i, i == 0, false});
+  adl::FormatDef fmt;
+  fmt.name = "S";
+  fmt.fields.push_back({"imm", 14, 0, false});
+  model.formats.push_back(fmt);
+  adl::OperationDef op;
+  op.name = "X";
+  op.format = "S";
+  op.match.push_back({"opcode", 1});
+  op.semantic = "no-such-semantic";
+  model.operations.push_back(op);
+  EXPECT_THROW(TargetGen::build(std::move(model)), Error);
+}
+
+TEST(TargetGen, RejectsAmbiguousEncodings) {
+  adl::AdlModel model;
+  model.stop_bit = 31;
+  model.opcode_field = {"opcode", 30, 25, false};
+  model.isas.push_back({"A", 0, 1, true});
+  for (int i = 0; i < 4; ++i)
+    model.registers.push_back({"r" + std::to_string(i), i, i == 0, false});
+  adl::FormatDef fmt;
+  fmt.name = "S";
+  fmt.fields.push_back({"imm", 14, 0, false});
+  model.formats.push_back(fmt);
+  for (const char* name : {"X", "Y"}) {
+    adl::OperationDef op;
+    op.name = name;
+    op.format = "S";
+    op.match.push_back({"opcode", 7}); // same opcode, no distinguishing field
+    op.semantic = "nop";
+    model.operations.push_back(op);
+  }
+  EXPECT_THROW(TargetGen::build(std::move(model)), Error);
+}
+
+TEST(TargetGen, EmitCppMentionsEveryOperation) {
+  const IsaSet& set = kisa();
+  const std::string code = TargetGen::emit_cpp(set);
+  for (const OpInfo* op : set.all_ops())
+    EXPECT_NE(code.find("\"" + op->name + "\""), std::string::npos) << op->name;
+  for (const IsaInfo& isa : set.isas())
+    EXPECT_NE(code.find("kIsa" + isa.name + "Ops"), std::string::npos);
+}
+
+TEST(ArchState, RegisterZeroStaysZero) {
+  ArchState st(4096);
+  st.set_reg(0, 123);
+  EXPECT_EQ(st.reg(0), 0u);
+  st.set_reg(5, 42);
+  EXPECT_EQ(st.reg(5), 42u);
+}
+
+TEST(ArchState, MemoryRoundTripLittleEndian) {
+  ArchState st(4096);
+  st.store32(0x100, 0xA1B2C3D4);
+  EXPECT_EQ(st.load32(0x100), 0xA1B2C3D4u);
+  EXPECT_EQ(st.load8(0x100), 0xD4u);  // little endian
+  EXPECT_EQ(st.load8(0x103), 0xA1u);
+  EXPECT_EQ(st.load16(0x102), 0xA1B2u);
+  EXPECT_FALSE(st.trapped());
+}
+
+TEST(ArchState, TrapsOnOutOfRangeAndMisaligned) {
+  ArchState st(4096);
+  st.load32(5000);
+  EXPECT_TRUE(st.trapped());
+  st.clear_trap();
+  st.load32(0x101); // misaligned
+  EXPECT_TRUE(st.trapped());
+  st.clear_trap();
+  st.store16(0x101, 1); // misaligned
+  EXPECT_TRUE(st.trapped());
+  st.clear_trap();
+  uint32_t w = 0;
+  EXPECT_FALSE(st.fetch32(0x101, w));
+  EXPECT_FALSE(st.trapped()); // fetch does not trap, it reports
+}
+
+TEST(ArchState, ReadCString) {
+  ArchState st(4096);
+  const char* msg = "hello";
+  st.write_block(0x200, msg, 6);
+  EXPECT_EQ(st.read_cstring(0x200), "hello");
+}
+
+} // namespace
+} // namespace ksim::isa

@@ -1,0 +1,487 @@
+#include <gtest/gtest.h>
+
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "kcc/compiler.h"
+#include "sim/simulator.h"
+#include "support/strings.h"
+
+namespace ksim::kcc {
+namespace {
+
+struct RunResult {
+  sim::StopReason reason;
+  int exit_code;
+  std::string output;
+  sim::SimStats stats;
+};
+
+elf::ElfFile compile_and_link(const std::string& source,
+                              const std::string& default_isa = "RISC") {
+  CompileOptions copt;
+  copt.file_name = "test.c";
+  copt.codegen.default_isa = default_isa;
+  const std::string assembly = compile_or_throw(source, copt);
+
+  kasm::AsmOptions aopt;
+  aopt.file_name = "test.s";
+  const elf::ElfFile user = kasm::assemble_or_throw(assembly, aopt);
+  const elf::ElfFile start =
+      kasm::assemble_or_throw(kasm::start_stub_assembly(default_isa));
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  kasm::LinkOptions lopt;
+  lopt.entry_isa = isa::kisa().find_isa(default_isa)->id;
+  return kasm::link_or_throw({start, user, libc}, lopt);
+}
+
+RunResult run_c(const std::string& source, const std::string& default_isa = "RISC") {
+  sim::Simulator simulator(isa::kisa());
+  simulator.load(compile_and_link(source, default_isa));
+  const sim::StopReason reason = simulator.run();
+  EXPECT_NE(reason, sim::StopReason::Trap) << simulator.error_report();
+  EXPECT_NE(reason, sim::StopReason::DecodeError) << simulator.error_report();
+  return {reason, simulator.exit_code(), simulator.libc().output(), simulator.stats()};
+}
+
+TEST(Kcc, ReturnsConstant) {
+  EXPECT_EQ(run_c("int main(void) { return 42; }").exit_code, 42);
+}
+
+TEST(Kcc, Arithmetic) {
+  EXPECT_EQ(run_c("int main() { return (7*6 - 2) / 2 % 9 + (1 << 4); }").exit_code, 18);
+  EXPECT_EQ(run_c("int main() { int a = -15; return a / 4; }").exit_code, -3);
+  EXPECT_EQ(run_c("int main() { int a = -15; return a % 4; }").exit_code, -3);
+  EXPECT_EQ(run_c("int main() { unsigned a = 15; return a / 4; }").exit_code, 3);
+  EXPECT_EQ(run_c("int main() { return 10 - 3 - 2; }").exit_code, 5);
+}
+
+TEST(Kcc, UnsignedVsSignedShift) {
+  EXPECT_EQ(run_c("int main() { int a = -8; return a >> 1; }").exit_code, -4);
+  EXPECT_EQ(
+      run_c("int main() { unsigned a = 0x80000000u; return (int)(a >> 28); }").exit_code,
+      8);
+}
+
+TEST(Kcc, Comparisons) {
+  const char* src = R"(
+int main() {
+  int r = 0;
+  if (1 < 2) r += 1;
+  if (2 <= 2) r += 2;
+  if (3 > 2) r += 4;
+  if (3 >= 4) r += 8;      // false
+  if (5 == 5) r += 16;
+  if (5 != 5) r += 32;     // false
+  unsigned big = 0xFFFFFFF0u;
+  if (big > 100u) r += 64; // unsigned comparison
+  int neg = -1;
+  if (neg < 1) r += 128;   // signed comparison
+  return r;
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 1 + 2 + 4 + 16 + 64 + 128);
+}
+
+TEST(Kcc, ControlFlow) {
+  const char* src = R"(
+int main() {
+  int sum = 0;
+  for (int i = 1; i <= 10; i++) sum += i;       // 55
+  int j = 0;
+  while (j < 5) { sum += 2; j++; }              // +10
+  int k = 0;
+  do { sum++; k++; } while (k < 3);             // +3
+  for (;;) { break; }
+  for (int i = 0; i < 10; i++) {
+    if (i % 2 == 0) continue;
+    sum += 1;                                   // +5 (odd i)
+  }
+  return sum;
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 55 + 10 + 3 + 5);
+}
+
+TEST(Kcc, ShortCircuit) {
+  const char* src = R"(
+int hits = 0;
+int bump(int v) { hits++; return v; }
+int main() {
+  int r = 0;
+  if (bump(0) && bump(1)) r += 1;   // second not evaluated
+  if (bump(1) || bump(1)) r += 2;   // second not evaluated
+  if (bump(1) && bump(1)) r += 4;
+  r += (bump(0) || bump(0)) ? 8 : 16;
+  return r * 100 + hits;            // r = 2+4+16 = 22, hits = 1+1+2+2 = 6
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 2206);
+}
+
+TEST(Kcc, TernaryAndLogicalNot) {
+  EXPECT_EQ(run_c("int main() { int a = 5; return a > 3 ? 7 : 9; }").exit_code, 7);
+  EXPECT_EQ(run_c("int main() { return !0 * 10 + !7; }").exit_code, 10);
+}
+
+TEST(Kcc, FunctionsAndRecursion) {
+  const char* src = R"(
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main() { return fib(10); }
+)";
+  EXPECT_EQ(run_c(src).exit_code, 55);
+}
+
+TEST(Kcc, ManyArguments) {
+  const char* src = R"(
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+  return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+)";
+  EXPECT_EQ(run_c(src).exit_code, 1 + 4 + 9 + 16 + 25 + 36 + 49 + 64);
+}
+
+TEST(Kcc, GlobalsAndArrays) {
+  const char* src = R"(
+int table[4] = {10, 20, 30, 40};
+int counter;
+unsigned char bytes[3] = {250, 251, 252};
+int main() {
+  counter = 5;
+  int sum = 0;
+  for (int i = 0; i < 4; i++) sum += table[i];
+  table[2] = 7;
+  sum += table[2];
+  sum += bytes[0] + bytes[2];
+  return sum + counter;
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 100 + 7 + 250 + 252 + 5);
+}
+
+TEST(Kcc, LocalArraysAndPointers) {
+  const char* src = R"(
+int main() {
+  int a[5];
+  for (int i = 0; i < 5; i++) a[i] = i * i;
+  int *p = a;
+  int sum = 0;
+  for (int i = 0; i < 5; i++) sum += *(p + i);
+  p = &a[3];
+  sum += *p;          // 9
+  sum += p[1];        // 16
+  return sum;         // 0+1+4+9+16 + 9 + 16 = 55
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 55);
+}
+
+TEST(Kcc, PointerArithmeticAndDifference) {
+  const char* src = R"(
+int main() {
+  int a[8];
+  int *p = &a[1];
+  int *q = &a[6];
+  int diff = q - p;        // 5 elements
+  p[0] = 3; *(q - 1) = 4;  // a[1]=3, a[5]=4
+  return diff * 10 + a[1] + a[5];
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 57);
+}
+
+TEST(Kcc, AddressOfScalar) {
+  const char* src = R"(
+void set(int *p, int v) { *p = v; }
+int main() {
+  int x = 1;
+  set(&x, 33);
+  return x;
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 33);
+}
+
+TEST(Kcc, CharArraysAndStrings) {
+  const char* src = R"(
+char msg[] = "abc";
+int main() {
+  char buf[8];
+  buf[0] = msg[2];
+  buf[1] = 'z';
+  buf[2] = 0;
+  if (buf[0] != 'c') return 1;
+  if (strlen(buf) != 2u) return 2;
+  char neg = (char)200;   // signed char: -56
+  if (neg >= 0) return 3;
+  unsigned char uc = (unsigned char)200;
+  if (uc != 200) return 4;
+  return 0;
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 0);
+}
+
+TEST(Kcc, CompoundAssignAndIncDec) {
+  const char* src = R"(
+int main() {
+  int a = 10;
+  a += 5; a -= 2; a *= 3; a /= 2; a %= 12;  // ((13*3)/2)%12 = 19%12? -> a=((13)*3)=39/2=19%12=7
+  int b = 1;
+  b <<= 4; b |= 3; b ^= 1; b &= 30;         // 16|3=19 ^1=18 &30=18
+  int c = 0;
+  int arr[3]; arr[0] = arr[1] = arr[2] = 0;
+  arr[c++] = 5;   // arr[0]=5, c=1
+  arr[++c] = 7;   // c=2, arr[2]=7
+  int d = c--;    // d=2, c=1
+  return a * 1000 + b * 10 + arr[0] + arr[2] + d + c; // 7000+180+5+7+2+1
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 7195);
+}
+
+TEST(Kcc, PrintfOutput) {
+  const char* src = R"(
+int main() {
+  printf("hello %s, %d + %d = %d\n", "world", 2, 3, 2 + 3);
+  printf("hex=%x pad=%04d char=%c\n", 255, 7, 'Q');
+  return 0;
+}
+)";
+  EXPECT_EQ(run_c(src).output, "hello world, 2 + 3 = 5\nhex=ff pad=0007 char=Q\n");
+}
+
+TEST(Kcc, MallocAndMemset) {
+  const char* src = R"(
+int main() {
+  char *p = malloc(16u);
+  memset(p, 7, 16u);
+  int sum = 0;
+  for (int i = 0; i < 16; i++) sum += p[i];
+  free(p);
+  return sum;
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 112);
+}
+
+TEST(Kcc, GlobalConstTables) {
+  const char* src = R"(
+const int weights[8] = {1, -1, 2, -2, 3, -3, 4, -4};
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 8; i++) acc += weights[i] * (i + 1);
+  return acc; // 1-2+6-8+15-18+28-32 = -10
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, -10);
+}
+
+TEST(Kcc, NestedLoops2DIndexing) {
+  const char* src = R"(
+int m[16];
+int main() {
+  for (int r = 0; r < 4; r++)
+    for (int c = 0; c < 4; c++)
+      m[r * 4 + c] = r * c;
+  int trace = 0;
+  for (int i = 0; i < 4; i++) trace += m[i * 4 + i];
+  return trace; // 0+1+4+9
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 14);
+}
+
+TEST(Kcc, MulDivByPowerOfTwoStrengthReduction) {
+  const char* src = R"(
+int main() {
+  unsigned a = 100;
+  int b = 25;
+  return (int)(a / 8u) + (a % 8u) + b * 4; // 12 + 4 + 100
+}
+)";
+  EXPECT_EQ(run_c(src).exit_code, 116);
+}
+
+TEST(Kcc, HighRegisterPressureSpills) {
+  // 40 simultaneously live values force spilling; the sum checks all of them.
+  std::string src = "int main() {\n";
+  for (int i = 0; i < 40; ++i)
+    src += strf("  int v%d = %d * 3 + 1;\n", i, i);
+  src += "  int sum = 0;\n";
+  for (int i = 0; i < 40; ++i) src += strf("  sum += v%d;\n", i);
+  src += "  return sum;\n}\n";
+  int expect = 0;
+  for (int i = 0; i < 40; ++i) expect += i * 3 + 1;
+  EXPECT_EQ(run_c(src).exit_code, expect);
+}
+
+TEST(Kcc, DeepCallChainUsesCalleeSaved) {
+  const char* src = R"(
+int leaf(int x) { return x + 1; }
+int chain(int x) {
+  int a = leaf(x);
+  int b = leaf(a);
+  int c = leaf(b);
+  int d = leaf(c);
+  return a + b + c + d - 3 * x;
+}
+int main() { return chain(10); }
+)";
+  EXPECT_EQ(run_c(src).exit_code, 11 + 12 + 13 + 14 - 30);
+}
+
+// -- VLIW compilation -----------------------------------------------------------
+
+struct IsaCase {
+  const char* name;
+};
+
+class KccAllIsas : public ::testing::TestWithParam<IsaCase> {};
+
+TEST_P(KccAllIsas, DctLikeKernelRunsCorrectly) {
+  // A small 4x4 transform with plenty of ILP, compiled for every ISA width.
+  const char* src = R"(
+int in[16] = {1,2,3,4, 5,6,7,8, 9,10,11,12, 13,14,15,16};
+int out[16];
+int main() {
+  int a0 = in[0] + in[12]; int a1 = in[4] + in[8];
+  int a2 = in[0] - in[12]; int a3 = in[4] - in[8];
+  out[0] = a0 + a1; out[4] = a2 + a3;
+  out[8] = a0 - a1; out[12] = a2 - a3;
+  int b0 = in[1] + in[13]; int b1 = in[5] + in[9];
+  int b2 = in[1] - in[13]; int b3 = in[5] - in[9];
+  out[1] = b0 + b1; out[5] = b2 + b3;
+  out[9] = b0 - b1; out[13] = b2 - b3;
+  int s = 0;
+  for (int i = 0; i < 16; i++) s += out[i] * (i + 1);
+  return s;
+}
+)";
+  const RunResult r = run_c(src, GetParam().name);
+  // Reference computed with the same arithmetic on the host.
+  int in[16] = {1,2,3,4, 5,6,7,8, 9,10,11,12, 13,14,15,16};
+  int out[16] = {0};
+  int a0 = in[0]+in[12], a1 = in[4]+in[8], a2 = in[0]-in[12], a3 = in[4]-in[8];
+  out[0]=a0+a1; out[4]=a2+a3; out[8]=a0-a1; out[12]=a2-a3;
+  int b0 = in[1]+in[13], b1 = in[5]+in[9], b2 = in[1]-in[13], b3 = in[5]-in[9];
+  out[1]=b0+b1; out[5]=b2+b3; out[9]=b0-b1; out[13]=b2-b3;
+  int expect = 0;
+  for (int i = 0; i < 16; ++i) expect += out[i] * (i + 1);
+  EXPECT_EQ(r.exit_code, expect);
+}
+
+TEST_P(KccAllIsas, RecursionAndCallsWork) {
+  const char* src = R"(
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main() { return fact(6); }
+)";
+  EXPECT_EQ(run_c(src, GetParam().name).exit_code, 720);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KccAllIsas,
+                         ::testing::Values(IsaCase{"RISC"}, IsaCase{"VLIW2"},
+                                           IsaCase{"VLIW4"}, IsaCase{"VLIW6"},
+                                           IsaCase{"VLIW8"}),
+                         [](const ::testing::TestParamInfo<IsaCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Kcc, VliwCodeActuallyPacksGroups) {
+  const char* src = R"(
+int a[8] = {1,2,3,4,5,6,7,8};
+int main() {
+  int s0 = a[0] + a[1];
+  int s1 = a[2] + a[3];
+  int s2 = a[4] + a[5];
+  int s3 = a[6] + a[7];
+  return s0 + s1 + s2 + s3;
+}
+)";
+  CompileOptions copt;
+  copt.codegen.default_isa = "VLIW4";
+  const std::string assembly = compile_or_throw(src, copt);
+  EXPECT_NE(assembly.find("||"), std::string::npos) << assembly;
+}
+
+TEST(Kcc, MixedIsaAttributeInsertsSwitchTarget) {
+  const char* src = R"(
+isa("VLIW4") int kernel(int x) { return x * 2 + 1; }
+int main() { return kernel(20); }
+)";
+  CompileOptions copt;
+  copt.codegen.default_isa = "RISC";
+  const std::string assembly = compile_or_throw(src, copt);
+  EXPECT_NE(assembly.find("switchtarget"), std::string::npos) << assembly;
+
+  const RunResult r = run_c(src, "RISC");
+  EXPECT_EQ(r.exit_code, 41);
+  EXPECT_GE(r.stats.isa_switches, 2u);
+}
+
+TEST(Kcc, MixedIsaRoundTripThroughThreeIsas) {
+  const char* src = R"(
+isa("VLIW2") int twice(int x) { return x + x; }
+isa("VLIW8") int addmul(int x, int y) { return x * y + twice(x); }
+int main() { return addmul(3, 4) + twice(5); }
+)";
+  const RunResult r = run_c(src, "RISC");
+  EXPECT_EQ(r.exit_code, 12 + 6 + 10);
+  EXPECT_GE(r.stats.isa_switches, 4u);
+}
+
+// -- diagnostics ------------------------------------------------------------------
+
+TEST(KccErrors, UndeclaredVariable) {
+  DiagEngine diags;
+  compile("int main() { return nope; }", {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("undeclared identifier"), std::string::npos);
+}
+
+TEST(KccErrors, UndeclaredFunction) {
+  DiagEngine diags;
+  compile("int main() { return foo(1); }", {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("undeclared function"), std::string::npos);
+}
+
+TEST(KccErrors, WrongArgumentCount) {
+  DiagEngine diags;
+  compile("int f(int a, int b) { return a + b; } int main() { return f(1); }", {},
+          diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("wrong number of arguments"), std::string::npos);
+}
+
+TEST(KccErrors, BreakOutsideLoop) {
+  DiagEngine diags;
+  compile("int main() { break; return 0; }", {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+}
+
+TEST(KccErrors, AssignToArray) {
+  DiagEngine diags;
+  compile("int a[3]; int main() { a = 0; return 0; }", {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+}
+
+TEST(KccErrors, SyntaxErrorHasLocation) {
+  DiagEngine diags;
+  compile("int main() {\n  int x = ;\n}", {}, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.diags().front().loc.line, 2);
+}
+
+TEST(KccErrors, RedefinitionOfFunction) {
+  DiagEngine diags;
+  compile("int f() { return 1; } int f() { return 2; } int main() { return f(); }", {},
+          diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("redefinition"), std::string::npos);
+}
+
+} // namespace
+} // namespace ksim::kcc

@@ -1,0 +1,419 @@
+// Unit tests for the MiniC compiler internals: lexer, parser, IR generation,
+// block layout, register allocation and the VLIW scheduler.
+#include <gtest/gtest.h>
+
+#include "isa/kisa.h"
+#include "kcc/irgen.h"
+#include "kcc/lexer.h"
+#include "kcc/parser.h"
+#include "kcc/regalloc.h"
+#include "kcc/schedule.h"
+
+namespace ksim::kcc {
+namespace {
+
+// -- lexer ---------------------------------------------------------------------
+
+std::vector<Token> lex_ok(const std::string& src) {
+  DiagEngine diags;
+  auto tokens = lex(src, "t.c", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return tokens;
+}
+
+TEST(Lexer, TokenKindsAndValues) {
+  const auto t = lex_ok("int x = 0x1F + 42; // comment\nchar c = 'a';");
+  ASSERT_GE(t.size(), 12u);
+  EXPECT_EQ(t[0].kind, Tok::KwInt);
+  EXPECT_EQ(t[1].kind, Tok::Ident);
+  EXPECT_EQ(t[1].text, "x");
+  EXPECT_EQ(t[2].kind, Tok::Assign);
+  EXPECT_EQ(t[3].kind, Tok::IntLit);
+  EXPECT_EQ(t[3].value, 31);
+  EXPECT_EQ(t[4].kind, Tok::Plus);
+  EXPECT_EQ(t[5].value, 42);
+  EXPECT_EQ(t[7].kind, Tok::KwChar);
+  const auto lit = std::find_if(t.begin(), t.end(),
+                                [](const Token& x) { return x.kind == Tok::CharLit; });
+  ASSERT_NE(lit, t.end());
+  EXPECT_EQ(lit->value, 'a');
+}
+
+TEST(Lexer, MultiCharOperators) {
+  const auto t = lex_ok("a <<= 1; b >>= 2; c <= d; e >= f; g == h; i != j; "
+                        "k && l; m || n; o++; p--; q += r;");
+  auto count = [&](Tok k) {
+    return std::count_if(t.begin(), t.end(), [&](const Token& x) { return x.kind == k; });
+  };
+  EXPECT_EQ(count(Tok::ShlAssign), 1);
+  EXPECT_EQ(count(Tok::ShrAssign), 1);
+  EXPECT_EQ(count(Tok::Le), 1);
+  EXPECT_EQ(count(Tok::Ge), 1);
+  EXPECT_EQ(count(Tok::EqEq), 1);
+  EXPECT_EQ(count(Tok::NotEq), 1);
+  EXPECT_EQ(count(Tok::AndAnd), 1);
+  EXPECT_EQ(count(Tok::OrOr), 1);
+  EXPECT_EQ(count(Tok::Inc), 1);
+  EXPECT_EQ(count(Tok::Dec), 1);
+  EXPECT_EQ(count(Tok::PlusAssign), 1);
+}
+
+TEST(Lexer, StringEscapesAndComments) {
+  const auto t = lex_ok("/* block\ncomment */ \"a\\n\\t\\\"b\\\\\"");
+  ASSERT_EQ(t.size(), 2u); // string + eof
+  EXPECT_EQ(t[0].kind, Tok::StrLit);
+  EXPECT_EQ(t[0].text, "a\n\t\"b\\");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto t = lex_ok("int\n  foo;");
+  EXPECT_EQ(t[0].line, 1);
+  EXPECT_EQ(t[1].line, 2);
+  EXPECT_EQ(t[1].column, 3);
+}
+
+TEST(Lexer, ReportsBadTokens) {
+  DiagEngine diags;
+  lex("int a = `;", "t.c", diags);
+  EXPECT_TRUE(diags.has_errors());
+  DiagEngine diags2;
+  lex("\"unterminated", "t.c", diags2);
+  EXPECT_TRUE(diags2.has_errors());
+}
+
+// -- parser ----------------------------------------------------------------------
+
+TranslationUnit parse_ok(const std::string& src) {
+  DiagEngine diags;
+  TranslationUnit unit = parse(src, "t.c", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return unit;
+}
+
+TEST(Parser, PrecedenceShapesTheTree) {
+  const TranslationUnit u = parse_ok("int x = 1 + 2 * 3;");
+  ASSERT_EQ(u.globals.size(), 1u);
+  const Expr& e = *u.globals[0]->init;
+  ASSERT_EQ(e.kind, Expr::Kind::Binary);
+  EXPECT_EQ(e.op, Tok::Plus);
+  EXPECT_EQ(e.b->op, Tok::Star); // * binds tighter
+}
+
+TEST(Parser, UnaryAndPostfixChain) {
+  const TranslationUnit u = parse_ok("int f(int *p) { return -*p + p[1]++; }");
+  ASSERT_EQ(u.functions.size(), 1u);
+  EXPECT_EQ(u.functions[0]->params.size(), 1u);
+  EXPECT_EQ(u.functions[0]->params[0].type.ptr, 1);
+}
+
+TEST(Parser, IsaAttribute) {
+  const TranslationUnit u = parse_ok("isa(\"VLIW4\") int f() { return 0; }");
+  EXPECT_EQ(u.functions[0]->isa, "VLIW4");
+}
+
+TEST(Parser, ArraySizeFromInitializer) {
+  const TranslationUnit u = parse_ok("int a[] = {1, 2, 3};\nchar s[] = \"hi\";");
+  EXPECT_EQ(u.globals[0]->array_size, 3);
+  EXPECT_EQ(u.globals[1]->array_size, 3); // "hi" + NUL
+}
+
+TEST(Parser, ConstantExpressionArraySize) {
+  const TranslationUnit u = parse_ok("int a[4 * 8 + 2];");
+  EXPECT_EQ(u.globals[0]->array_size, 34);
+}
+
+TEST(Parser, ForLoopVariants) {
+  parse_ok("int f() { for (;;) break; for (int i = 0; i < 3; i++) {} "
+           "int j; for (j = 9; j; j--) continue; return 0; }");
+}
+
+TEST(Parser, RecoverAfterError) {
+  DiagEngine diags;
+  const TranslationUnit u = parse("int f() { int x = ; } int g() { return 1; }",
+                                  "t.c", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(u.functions.size(), 2u); // parser recovered and saw g()
+}
+
+// -- IR generation -------------------------------------------------------------------
+
+IrProgram ir_ok(const std::string& src) {
+  DiagEngine diags;
+  const TranslationUnit unit = parse(src, "t.c", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  IrProgram prog = generate_ir(unit, "t.c", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return prog;
+}
+
+TEST(IrGen, EveryBlockEndsWithTerminator) {
+  const IrProgram prog = ir_ok(R"(
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    if (i == 3) continue;
+    if (i == 7) break;
+    s += i;
+  }
+  while (s > 100) s /= 2;
+  return s;
+}
+int main() { return f(20); }
+)");
+  for (const IrFunction& fn : prog.functions)
+    for (const IrBlock& b : fn.blocks) {
+      ASSERT_FALSE(b.insts.empty()) << fn.name << " b" << b.id;
+      const IrOp op = b.insts.back().op;
+      EXPECT_TRUE(op == IrOp::Br || op == IrOp::CondBr || op == IrOp::Ret)
+          << fn.name << " b" << b.id;
+    }
+}
+
+TEST(IrGen, LayoutTargetsAreValid) {
+  const IrProgram prog = ir_ok(R"(
+int f(int n) {
+  int r = 1;
+  do { r = r * 2 + (n & 1); n >>= 1; } while (n);
+  return r;
+}
+int main() { return f(77); }
+)");
+  for (const IrFunction& fn : prog.functions) {
+    const int n = static_cast<int>(fn.blocks.size());
+    for (const IrBlock& b : fn.blocks) {
+      EXPECT_EQ(fn.blocks[static_cast<size_t>(b.id)].id, b.id);
+      const IrInst& t = b.insts.back();
+      if (t.op == IrOp::Br) EXPECT_LT(t.target, n);
+      if (t.op == IrOp::CondBr) {
+        EXPECT_LT(t.target, n);
+        EXPECT_LT(t.target2, n);
+      }
+    }
+  }
+}
+
+TEST(IrGen, ConstantFoldingCollapsesExpressions) {
+  const IrProgram prog = ir_ok("int main() { return (3 + 4) * (10 - 2) / 2; }");
+  // The whole expression folds into one constant: li 28; ret.
+  const IrFunction& fn = prog.functions.back();
+  int li_count = 0;
+  for (const IrBlock& b : fn.blocks)
+    for (const IrInst& i : b.insts)
+      if (i.op == IrOp::LiConst) {
+        EXPECT_EQ(i.imm, 28);
+        ++li_count;
+      }
+  EXPECT_EQ(li_count, 1);
+}
+
+TEST(IrGen, StringsAreInternedOnce) {
+  const IrProgram prog = ir_ok(R"(
+int main() {
+  puts("shared");
+  puts("shared");
+  puts("different");
+  return 0;
+}
+)");
+  int string_globals = 0;
+  for (const GlobalVar& g : prog.globals)
+    if (g.name.rfind(".Lstr", 0) == 0) ++string_globals;
+  EXPECT_EQ(string_globals, 2);
+}
+
+TEST(IrGen, DumpContainsFunctionStructure) {
+  const IrProgram prog = ir_ok("int main() { int x = 1; return x + 2; }");
+  const std::string text = dump(prog);
+  EXPECT_NE(text.find("function main"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+// -- register allocation -----------------------------------------------------------
+
+IrFunction first_fn(IrProgram& prog, const std::string& name) {
+  for (IrFunction& fn : prog.functions)
+    if (fn.name == name) return std::move(fn);
+  ADD_FAILURE() << "no function " << name;
+  return {};
+}
+
+TEST(RegAlloc, LeafFunctionUsesCallerSavedOnly) {
+  IrProgram prog = ir_ok("int leaf(int a, int b) { return a * b + a - b; }");
+  const IrFunction fn = first_fn(prog, "leaf");
+  const Allocation alloc = allocate_registers(fn);
+  EXPECT_EQ(alloc.num_spill_slots, 0);
+  for (int r = regs::kCalleeFirst; r <= regs::kCalleeLast; ++r)
+    EXPECT_FALSE(alloc.callee_used[static_cast<size_t>(r)]);
+}
+
+TEST(RegAlloc, ValuesLiveAcrossCallsGetCalleeSaved) {
+  IrProgram prog = ir_ok(R"(
+int g(int x);
+int f(int a) {
+  int keep = a * 3;
+  int r = g(a);
+  return keep + r;
+}
+int g(int x) { return x + 1; }
+)");
+  const IrFunction fn = first_fn(prog, "f");
+  const Allocation alloc = allocate_registers(fn);
+  bool any_callee = false;
+  for (int r = regs::kCalleeFirst; r <= regs::kCalleeLast; ++r)
+    any_callee |= alloc.callee_used[static_cast<size_t>(r)];
+  EXPECT_TRUE(any_callee);
+}
+
+TEST(RegAlloc, SpillsWhenPressureExceedsRegisters) {
+  std::string src = "int f() {\n";
+  for (int i = 0; i < 40; ++i)
+    src += "  int v" + std::to_string(i) + " = " + std::to_string(i) + " * 3;\n";
+  src += "  int s = 0;\n";
+  for (int i = 0; i < 40; ++i) src += "  s += v" + std::to_string(i) + ";\n";
+  src += "  return s;\n}\n";
+  IrProgram prog = ir_ok(src);
+  const IrFunction fn = first_fn(prog, "f");
+  const Allocation alloc = allocate_registers(fn);
+  EXPECT_GT(alloc.num_spill_slots, 0);
+}
+
+TEST(RegAlloc, EveryUsedVregGetsALocation) {
+  IrProgram prog = ir_ok(R"(
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) acc += i * i;
+  return acc;
+}
+)");
+  const IrFunction fn = first_fn(prog, "f");
+  const Allocation alloc = allocate_registers(fn);
+  std::vector<int> uses;
+  for (const IrBlock& b : fn.blocks)
+    for (const IrInst& inst : b.insts) {
+      uses.clear();
+      ir_uses(inst, uses);
+      for (int v : uses)
+        EXPECT_TRUE(alloc.reg[static_cast<size_t>(v)] >= 0 ||
+                    alloc.spill_slot[static_cast<size_t>(v)] >= 0)
+            << "v" << v;
+    }
+}
+
+// -- scheduler ----------------------------------------------------------------------
+
+MachineOp make_op(const char* name, int rd, int ra, int rb, int32_t imm = 0) {
+  MachineOp op;
+  op.info = isa::kisa().find_op(name);
+  EXPECT_NE(op.info, nullptr) << name;
+  op.rd = static_cast<uint8_t>(rd);
+  op.ra = static_cast<uint8_t>(ra);
+  op.rb = static_cast<uint8_t>(rb);
+  op.imm = imm;
+  return op;
+}
+
+TEST(Scheduler, IndependentOpsPackIntoOneGroup) {
+  std::vector<MachineOp> ops = {
+      make_op("ADD", 5, 1, 2), make_op("SUB", 6, 1, 2), make_op("XOR", 7, 1, 2),
+      make_op("AND", 8, 1, 2)};
+  const auto groups = schedule_block(ops, 4);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+}
+
+TEST(Scheduler, RawDependenceSplitsGroups) {
+  std::vector<MachineOp> ops = {make_op("ADD", 5, 1, 2), make_op("ADD", 6, 5, 2)};
+  const auto groups = schedule_block(ops, 8);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(Scheduler, WarMayShareAGroupButNeverReorders) {
+  // op0 reads r5, op1 writes r5: legal in one group (read-before-write).
+  std::vector<MachineOp> ops = {make_op("ADD", 6, 5, 2), make_op("ADD", 5, 1, 2)};
+  const auto groups = schedule_block(ops, 8);
+  ASSERT_EQ(groups.size(), 1u);
+  // The reader must come first in slot order.
+  EXPECT_EQ(groups[0][0].rd, 6);
+}
+
+TEST(Scheduler, WawNeverSharesAGroup) {
+  std::vector<MachineOp> ops = {make_op("ADD", 5, 1, 2), make_op("SUB", 5, 3, 4)};
+  const auto groups = schedule_block(ops, 8);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Scheduler, MemoryOrderingIsPessimistic) {
+  // load; store; load — the second load may not cross the store.
+  std::vector<MachineOp> ops = {
+      make_op("LW", 5, 2, 0, 0),
+      make_op("SW", 6, 2, 0, 4),
+      make_op("LW", 7, 2, 0, 8),
+  };
+  const auto groups = schedule_block(ops, 8);
+  ASSERT_GE(groups.size(), 2u);
+  // Find positions: the second LW must come after the SW's group.
+  int sw_group = -1;
+  int lw2_group = -1;
+  for (size_t g = 0; g < groups.size(); ++g)
+    for (const MachineOp& op : groups[g]) {
+      if (op.info->name == "SW") sw_group = static_cast<int>(g);
+      if (op.info->name == "LW" && op.rd == 7) lw2_group = static_cast<int>(g);
+    }
+  EXPECT_GT(lw2_group, sw_group);
+}
+
+TEST(Scheduler, TwoLoadsMayShareAGroup) {
+  std::vector<MachineOp> ops = {make_op("LW", 5, 2, 0, 0), make_op("LW", 6, 2, 0, 4)};
+  const auto groups = schedule_block(ops, 8);
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+TEST(Scheduler, BranchStaysLast) {
+  std::vector<MachineOp> ops = {make_op("ADD", 5, 1, 2), make_op("ADD", 6, 1, 2),
+                                make_op("ADD", 7, 1, 2)};
+  MachineOp br = make_op("BNE", 0, 5, 0);
+  br.has_sym = true;
+  br.sym = "somewhere";
+  ops.push_back(br);
+  const auto groups = schedule_block(ops, 8);
+  // The branch depends on r5 (RAW) → its group comes after r5's producer;
+  // and it must be in the final group.
+  EXPECT_TRUE(groups.back().back().info->is_branch ||
+              groups.back().front().info->is_branch);
+  for (size_t g = 0; g + 1 < groups.size(); ++g)
+    for (const MachineOp& op : groups[g]) EXPECT_FALSE(op.info->is_branch);
+}
+
+TEST(Scheduler, NoGroupOpsAreAlone) {
+  std::vector<MachineOp> ops = {make_op("ADD", 5, 1, 2)};
+  MachineOp call = make_op("JAL", 0, 0, 0);
+  call.has_sym = true;
+  call.sym = "f";
+  call.no_group = true;
+  ops.push_back(call);
+  ops.push_back(make_op("ADD", 6, 1, 2));
+  const auto groups = schedule_block(ops, 8);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(groups[1][0].info->name, "JAL");
+}
+
+TEST(Scheduler, Width1EmitsSequentially) {
+  std::vector<MachineOp> ops = {make_op("ADD", 5, 1, 2), make_op("SUB", 6, 1, 2)};
+  const auto groups = schedule_block(ops, 1);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0][0].info->name, "ADD");
+}
+
+TEST(Scheduler, RenderFormatsOperands) {
+  EXPECT_EQ(render(make_op("ADD", 4, 5, 6)), "add r4, r5, r6");
+  EXPECT_EQ(render(make_op("LW", 4, 2, 0, 8)), "lw r4, 8(r2)");
+  MachineOp la = make_op("LUI", 7, 0, 0);
+  la.has_sym = true;
+  la.sym = "table";
+  la.sym_add = 4;
+  EXPECT_EQ(render(la), "lui r7, table+4");
+}
+
+} // namespace
+} // namespace ksim::kcc

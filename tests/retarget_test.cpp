@@ -1,0 +1,135 @@
+// Retargetability test: the whole point of the ADL-based framework (paper
+// §IV) is that the simulator retargets to *any* architecture described in the
+// ADL.  Here a deliberately different toy architecture ("Tiny16": 16
+// registers, different opcodes, different field layout, a 3-issue VLIW) is
+// described in ADL text, built through the same TargetGen, assembled with the
+// same assembler and executed by the same simulator loop.
+#include <gtest/gtest.h>
+
+#include "adl/parser.h"
+#include "isa/targetgen.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "sim/simulator.h"
+
+namespace ksim {
+namespace {
+
+constexpr const char* kTiny16Adl = R"(
+adl tiny16
+stopbit 31
+opcodefield 30:26
+
+isa SCALAR id=0 issue=1 default
+isa WIDE   id=1 issue=3
+
+regfile g count=16 zero=0
+reg IP
+
+format R fields=rd:25:22,ra:21:18,rb:17:14,funct:13:8
+format I fields=rd:25:22,ra:21:18,imm:13:0:s
+format B fields=ra:25:22,rb:21:18,imm:13:0:s
+format S fields=imm:13:0:u
+
+op ADD  format=R match=opcode:1,funct:0 sem=add delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op SUB  format=R match=opcode:1,funct:1 sem=sub delay=1 reads=ra,rb writes=rd syntax=rd,ra,rb
+op MUL  format=R match=opcode:1,funct:2 sem=mul delay=4 reads=ra,rb writes=rd syntax=rd,ra,rb
+op ADDI format=I match=opcode:2 sem=addi delay=1 reads=ra writes=rd syntax=rd,ra,imm
+op LW   format=I match=opcode:3 sem=lw delay=mem mem=load reads=ra writes=rd syntax=rd,imm(ra)
+op SW   format=I match=opcode:4 sem=sw delay=mem mem=store reads=rd,ra syntax=rd,imm(ra)
+op BNE  format=B match=opcode:5 sem=bne delay=1 branch reads=ra,rb iwrites=IP syntax=ra,rb,imm reloc=pcrel
+op HALT format=S match=opcode:6 sem=halt delay=1 serial syntax=
+op NOP  format=S match=opcode:7 sem=nop delay=1 syntax=
+)";
+
+const isa::IsaSet& tiny16() {
+  static const isa::IsaSet set =
+      isa::TargetGen::build(adl::parse_adl_or_throw(kTiny16Adl, "tiny16.adl"));
+  return set;
+}
+
+TEST(Retarget, TinyArchitectureBuilds) {
+  const isa::IsaSet& set = tiny16();
+  EXPECT_EQ(set.register_count(), 16);
+  EXPECT_EQ(set.isas().size(), 2u);
+  EXPECT_EQ(set.find_isa("WIDE")->issue_width, 3);
+  ASSERT_NE(set.find_op("MUL"), nullptr);
+  EXPECT_EQ(set.find_op("MUL")->delay, 4);
+  // Detection works with the different field layout.
+  for (const isa::OpInfo* op : set.all_ops()) {
+    const uint32_t word = op->match_bits | (1u << set.stop_bit());
+    EXPECT_EQ(set.detect(*set.find_isa("SCALAR"), word), op) << op->name;
+  }
+}
+
+TEST(Retarget, AssembleAndRunOnTiny16) {
+  // 10 * (1+2+...+5) computed on the toy architecture.  Register names use
+  // the g prefix declared in the ADL... the assembler's register parser only
+  // knows r-names, so ADL register prefixes must be r for now — use raw
+  // indices through rN aliases.
+  kasm::AsmOptions opt;
+  opt.isa_set = &tiny16();
+  opt.initial_isa = "SCALAR";
+  const elf::ElfFile obj = kasm::assemble_or_throw(R"(
+.global _start
+_start:
+  addi r1, r0, 0      # sum
+  addi r2, r0, 5      # i
+loop:
+  add r1, r1, r2
+  addi r2, r2, -1
+  bne r2, r0, loop
+  addi r3, r0, 10
+  mul r1, r1, r3
+  sw r1, 256(r0)
+  halt
+)",
+                                                   opt);
+  kasm::LinkOptions lopt;
+  const elf::ElfFile exe = kasm::link_or_throw({obj}, lopt);
+
+  sim::Simulator simulator(tiny16());
+  simulator.load(exe);
+  EXPECT_EQ(simulator.run(), sim::StopReason::Halted);
+  EXPECT_EQ(simulator.state().load32(256), 150u);
+}
+
+TEST(Retarget, WideIsaPacksThreeOps) {
+  kasm::AsmOptions opt;
+  opt.isa_set = &tiny16();
+  opt.initial_isa = "WIDE";
+  const elf::ElfFile obj = kasm::assemble_or_throw(R"(
+.global _start
+_start:
+  addi r1, r0, 7 || addi r2, r0, 9 || addi r3, r0, 100
+  add r4, r1, r2 || sub r5, r3, r1
+  sw r4, 0(r3)
+  sw r5, 4(r3)
+  halt
+)",
+                                                   opt);
+  kasm::LinkOptions lopt;
+  lopt.entry_isa = tiny16().find_isa("WIDE")->id;
+  const elf::ElfFile exe = kasm::link_or_throw({obj}, lopt);
+  sim::Simulator simulator(tiny16());
+  simulator.load(exe);
+  EXPECT_EQ(simulator.run(), sim::StopReason::Halted);
+  EXPECT_EQ(simulator.state().load32(100), 16u);
+  EXPECT_EQ(simulator.state().load32(104), 93u);
+  EXPECT_EQ(simulator.stats().operations, 8u);
+  EXPECT_EQ(simulator.stats().instructions, 5u);
+}
+
+TEST(Retarget, FourIssueGroupRejectedOnThreeIssueIsa) {
+  kasm::AsmOptions opt;
+  opt.isa_set = &tiny16();
+  opt.initial_isa = "WIDE";
+  DiagEngine diags;
+  kasm::assemble(
+      "addi r1, r0, 1 || addi r2, r0, 2 || addi r3, r0, 3 || addi r4, r0, 4\n", opt,
+      diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+} // namespace
+} // namespace ksim

@@ -1,0 +1,244 @@
+// Edge-case tests of the interpreter: stepping, prediction across ISA
+// switches, decode-cache invalidation, indirect jumps through data tables.
+#include <gtest/gtest.h>
+
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "sim/simulator.h"
+
+namespace ksim::sim {
+namespace {
+
+elf::ElfFile build_asm(const std::string& body, const std::string& entry_isa = "RISC") {
+  kasm::LinkOptions lopt;
+  lopt.entry_isa = isa::kisa().find_isa(entry_isa)->id;
+  return kasm::link_or_throw(
+      {kasm::assemble_or_throw(kasm::start_stub_assembly(entry_isa)),
+       kasm::assemble_or_throw(body),
+       kasm::assemble_or_throw(kasm::libc_stub_assembly())},
+      lopt);
+}
+
+TEST(SimEdge, StepMatchesRun) {
+  const char* src = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 50
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  Simulator by_run(isa::kisa());
+  by_run.load(build_asm(src));
+  const StopReason r1 = by_run.run();
+
+  Simulator by_step(isa::kisa());
+  by_step.load(build_asm(src));
+  std::optional<StopReason> r2;
+  uint64_t steps = 0;
+  while (!(r2 = by_step.step()).has_value()) ++steps;
+  EXPECT_EQ(r1, *r2);
+  EXPECT_EQ(by_run.stats().instructions, steps + 1);
+  EXPECT_EQ(by_run.exit_code(), by_step.exit_code());
+}
+
+TEST(SimEdge, PredictionStaysCorrectAcrossRepeatedIsaSwitches) {
+  // A loop whose body switches ISA twice per iteration stresses the
+  // prediction/decode-cache interaction (links must never cross an ISA
+  // switch, and cache keys include the ISA id).
+  const char* src = R"(
+.global main
+main:
+  addi r20, r0, 0      # i
+  addi r21, r0, 200
+  addi r22, r0, 0      # acc
+loop:
+  switchtarget VLIW2
+.isa VLIW2
+  addi r22, r22, 3 || addi r23, r0, 1
+  switchtarget RISC
+.isa RISC
+  add r20, r20, r23
+  bne r20, r21, loop
+  mv r4, r22
+  ret
+)";
+  SimOptions opts; // cache + prediction on
+  Simulator sim(isa::kisa(), opts);
+  sim.load(build_asm(src));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 600);
+  EXPECT_EQ(sim.stats().isa_switches, 400u);
+  // The same addresses were decoded under both ISA ids at most once each.
+  EXPECT_LT(sim.stats().decodes, 40u);
+}
+
+TEST(SimEdge, SameAddressDecodesDifferentlyPerIsa) {
+  // Two RISC single-op words form one 2-op VLIW2 instruction when the first
+  // word's stop bit is clear.  Executing the same bytes under both ISAs must
+  // give per-ISA decodes (cache keyed by ISA id).
+  const char* src = R"(
+.global main
+main:
+  switchtarget VLIW2
+.isa VLIW2
+  addi r5, r0, 1 || addi r6, r0, 2
+  switchtarget RISC
+.isa RISC
+  add r4, r5, r6
+  ret
+)";
+  Simulator sim(isa::kisa());
+  sim.load(build_asm(src));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 3);
+}
+
+TEST(SimEdge, ClearDecodeCacheKeepsExecutionCorrect) {
+  const char* src = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 100
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  Simulator sim(isa::kisa());
+  sim.load(build_asm(src));
+  for (int i = 0; i < 50; ++i)
+    if (sim.step().has_value()) break;
+  sim.clear_decode_cache();
+  std::optional<StopReason> stop;
+  while (!(stop = sim.step()).has_value()) {
+  }
+  EXPECT_EQ(*stop, StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 100);
+}
+
+TEST(SimEdge, IndirectJumpThroughDataTable) {
+  // A jump table in .data holds code addresses (ABS32 relocations); the
+  // program dispatches through it with JR.
+  const char* src = R"(
+.data
+table: .word case0, case1, case2
+.global main
+.text
+main:
+  addi r5, r0, 1          # select case1
+  la r6, table
+  slli r7, r5, 2
+  add r6, r6, r7
+  lw r8, 0(r6)
+  jr r8
+case0:
+  addi r4, r0, 10
+  ret
+case1:
+  addi r4, r0, 20
+  ret
+case2:
+  addi r4, r0, 30
+  ret
+)";
+  Simulator sim(isa::kisa());
+  sim.load(build_asm(src));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 20);
+}
+
+TEST(SimEdge, SelfModifyingCodeNeedsCacheClear) {
+  // The decode cache intentionally does not snoop stores (real KAHRISMA
+  // would flush its instruction path); after patching code, stale decodes
+  // execute until the cache is cleared.
+  const char* src = R"(
+.global main
+main:
+  la r5, patchme
+  lw r6, 0(r5)        # read the ADDI r4, r0, 1 word
+  la r7, template
+  lw r8, 0(r7)        # ADDI r4, r0, 7 word
+  sw r8, 0(r5)        # patch
+patchme:
+  addi r4, r0, 1
+  ret
+template:
+  addi r4, r0, 7
+  ret
+)";
+  // Without clearing: the patch happens before patchme was ever decoded, so
+  // the fresh decode already sees the new word.
+  Simulator sim(isa::kisa());
+  sim.load(build_asm(src));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 7);
+}
+
+TEST(SimEdge, InstructionLimitResumable) {
+  const char* src = R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 100000
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)";
+  SimOptions opts;
+  opts.max_instructions = 1000;
+  Simulator sim(isa::kisa(), opts);
+  sim.load(build_asm(src));
+  EXPECT_EQ(sim.run(), StopReason::InstructionLimit);
+  EXPECT_EQ(sim.stats().instructions, 1000u);
+}
+
+TEST(SimEdge, ZeroRegisterIgnoresVliwWrites) {
+  const char* src = R"(
+.global main
+main:
+  switchtarget VLIW4
+.isa VLIW4
+  addi r0, r0, 99 || addi r5, r0, 4
+  add r4, r5, r0
+  ret
+)";
+  Simulator sim(isa::kisa());
+  sim.load(build_asm(src));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 4);
+}
+
+TEST(SimEdge, CycleModelSwitchMidRunViaFreshSimulator) {
+  // Attaching a model after load only accounts instructions from that point;
+  // verify a model attached from the start sees every instruction.
+  const char* src = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 10
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)";
+  cycle::IlpModel model;
+  Simulator sim(isa::kisa());
+  sim.load(build_asm(src));
+  sim.set_cycle_model(&model);
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(model.operations(), sim.stats().operations);
+}
+
+} // namespace
+} // namespace ksim::sim

@@ -1,0 +1,494 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "sim/simulator.h"
+
+namespace ksim::sim {
+namespace {
+
+/// Assembles `source` (which must define main), links it with the start and
+/// libc stubs, and returns the executable.
+elf::ElfFile build_exe(const std::string& source, const std::string& entry_isa = "RISC") {
+  kasm::AsmOptions opt;
+  opt.file_name = "test.s";
+  const elf::ElfFile user = kasm::assemble_or_throw(source, opt);
+  const elf::ElfFile start = kasm::assemble_or_throw(kasm::start_stub_assembly(entry_isa));
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  kasm::LinkOptions link_opt;
+  link_opt.entry_isa = isa::kisa().find_isa(entry_isa)->id;
+  return kasm::link_or_throw({start, user, libc}, link_opt);
+}
+
+struct RunResult {
+  StopReason reason;
+  int exit_code;
+  std::string output;
+  SimStats stats;
+};
+
+RunResult run_main(const std::string& source, SimOptions opts = {},
+                   const std::string& entry_isa = "RISC") {
+  Simulator sim(isa::kisa(), opts);
+  sim.load(build_exe(source, entry_isa));
+  const StopReason reason = sim.run();
+  return {reason, sim.exit_code(), sim.libc().output(), sim.stats()};
+}
+
+TEST(Sim, ReturnsExitCode) {
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r4, r0, 42
+  ret
+)");
+  EXPECT_EQ(r.reason, StopReason::Exited);
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST(Sim, ArithmeticSemantics) {
+  // Computes ((7*6-2)/2) % 9 + (1<<4) = ((40)/2)%9 + 16 = 2 + 16 = 18.
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r5, r0, 7
+  addi r6, r0, 6
+  mul r7, r5, r6      # 42
+  addi r7, r7, -2     # 40
+  addi r8, r0, 2
+  div r7, r7, r8      # 20
+  addi r9, r0, 9
+  rem r7, r7, r9      # 2
+  addi r10, r0, 1
+  slli r10, r10, 4    # 16
+  add r4, r7, r10
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 18);
+}
+
+TEST(Sim, SignedUnsignedComparisons) {
+  // slt(-1, 1) = 1 ; sltu(-1, 1) = 0 → exit 1*2 + 0 = 2.
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r5, r0, -1
+  addi r6, r0, 1
+  slt r7, r5, r6
+  sltu r8, r5, r6
+  slli r7, r7, 1
+  add r4, r7, r8
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Sim, LoadsStoresAllWidths) {
+  const RunResult r = run_main(R"(
+.data
+buf: .space 16
+.global main
+.text
+main:
+  la r5, buf
+  li r6, 0x12345678
+  sw r6, 0(r5)
+  lb r7, 0(r5)        # 0x78
+  lbu r8, 3(r5)       # 0x12
+  lh r9, 0(r5)        # 0x5678
+  lhu r10, 2(r5)      # 0x1234
+  sh r9, 8(r5)
+  lw r11, 8(r5)       # 0x5678
+  sb r7, 12(r5)
+  lbu r12, 12(r5)     # 0x78
+  add r4, r7, r8
+  add r4, r4, r9
+  add r4, r4, r10
+  add r4, r4, r11
+  add r4, r4, r12
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 0x78 + 0x12 + 0x5678 + 0x1234 + 0x5678 + 0x78);
+}
+
+TEST(Sim, SignExtendingLoads) {
+  const RunResult r = run_main(R"(
+.data
+vals: .byte 0x80
+.align 2
+h: .half 0x8000
+.global main
+.text
+main:
+  la r5, vals
+  lb r6, 0(r5)        # -128
+  la r7, h
+  lh r8, 0(r7)        # -32768
+  add r4, r6, r8
+  ret
+)");
+  EXPECT_EQ(r.exit_code, -128 - 32768);
+}
+
+TEST(Sim, LoopAndBranches) {
+  // Sum 1..10 = 55.
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r5, r0, 0      # sum
+  addi r6, r0, 1      # i
+  addi r7, r0, 10
+loop:
+  add r5, r5, r6
+  addi r6, r6, 1
+  ble_check:
+  bge r7, r6, loop
+  mv r4, r5
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 55);
+}
+
+TEST(Sim, FunctionCallsNested) {
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi sp, sp, -8
+  sw ra, 0(sp)
+  addi r4, r0, 5
+  call double_it
+  call double_it
+  lw ra, 0(sp)
+  addi sp, sp, 8
+  ret
+
+.func double_it
+  add r4, r4, r4
+  ret
+.endfunc
+)");
+  EXPECT_EQ(r.exit_code, 20);
+}
+
+TEST(Sim, VliwParallelReadBeforeWrite) {
+  // Classic swap: both ops read the old values before any write-back (§V-B).
+  const RunResult r = run_main(R"(
+.global main
+main:
+  switchtarget VLIW2
+.isa VLIW2
+  addi r5, r0, 3
+  addi r6, r0, 4
+  mv r5, r6 || mv r6, r5
+  slli r5, r5, 4
+  add r4, r5, r6      # expect (4<<4) + 3 = 67
+  switchtarget RISC
+.isa RISC
+  ret
+)", {}, "RISC");
+  EXPECT_EQ(r.exit_code, 67);
+  EXPECT_EQ(r.stats.isa_switches, 2u);
+}
+
+TEST(Sim, VliwStoreThenLoadInOneGroupSeesProgramOrder) {
+  const RunResult r = run_main(R"(
+.data
+cell: .word 0
+.global main
+.text
+main:
+  switchtarget VLIW4
+.isa VLIW4
+  la r5, cell
+  addi r6, r0, 9
+  sw r6, 0(r5) || lw r7, 0(r5)
+  mv r4, r7
+  switchtarget RISC
+.isa RISC
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 9); // slot order = program order for memory
+}
+
+TEST(Sim, MixedIsaSwitchingRoundTrip) {
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r5, r0, 1
+  switchtarget VLIW4
+.isa VLIW4
+  addi r5, r5, 10 || addi r6, r0, 100
+  add r5, r5, r6
+  switchtarget RISC
+.isa RISC
+  addi r4, r5, 3   # 1+10+100+3
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 114);
+  EXPECT_EQ(r.stats.isa_switches, 2u);
+}
+
+TEST(Sim, LibcPutsAndPrintf) {
+  const RunResult r = run_main(R"(
+.data
+msg: .asciz "hello"
+fmt: .asciz "n=%d h=%x s=%s c=%c%%\n"
+.global main
+.text
+main:
+  addi sp, sp, -8
+  sw ra, 0(sp)
+  la r4, msg
+  call puts
+  la r4, fmt
+  addi r5, r0, -7
+  addi r6, r0, 255
+  la r7, msg
+  addi r8, r0, 65
+  call printf
+  lw ra, 0(sp)
+  addi sp, sp, 8
+  addi r4, r0, 0
+  ret
+)");
+  EXPECT_EQ(r.reason, StopReason::Exited);
+  EXPECT_EQ(r.output, "hello\nn=-7 h=ff s=hello c=A%\n");
+}
+
+TEST(Sim, LibcMallocMemsetMemcpyStrlen) {
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi sp, sp, -8
+  sw ra, 0(sp)
+  addi r4, r0, 64
+  call malloc
+  mv r20, r4          # p
+  beqz r4, fail
+  mv r4, r20
+  addi r5, r0, 65     # 'A'
+  addi r6, r0, 8
+  call memset
+  addi r4, r20, 8
+  mv r5, r20
+  addi r6, r0, 8
+  call memcpy
+  sb r0, 16(r20)      # terminate
+  mv r4, r20
+  call strlen         # 16
+  lw ra, 0(sp)
+  addi sp, sp, 8
+  ret
+fail:
+  addi r4, r0, -1
+  lw ra, 0(sp)
+  addi sp, sp, 8
+  ret
+)");
+  EXPECT_EQ(r.exit_code, 16);
+}
+
+TEST(Sim, TrapOnDivisionByZero) {
+  Simulator sim(isa::kisa());
+  sim.load(build_exe(R"(
+.global main
+.func main
+  addi r5, r0, 3
+  div r4, r5, r0
+  ret
+.endfunc
+)"));
+  EXPECT_EQ(sim.run(), StopReason::Trap);
+  EXPECT_NE(sim.error_report().find("division by zero"), std::string::npos);
+  EXPECT_NE(sim.error_report().find("main"), std::string::npos);
+}
+
+TEST(Sim, TrapOnBadMemoryAccessWithHistory) {
+  Simulator sim(isa::kisa());
+  sim.load(build_exe(R"(
+.global main
+main:
+  li r5, 0x7FFFFFF0
+  lw r4, 0(r5)
+  ret
+)"));
+  EXPECT_EQ(sim.run(), StopReason::Trap);
+  const std::string report = sim.error_report();
+  EXPECT_NE(report.find("invalid 4-byte load"), std::string::npos);
+  EXPECT_NE(report.find("instruction pointer history"), std::string::npos);
+  EXPECT_FALSE(sim.ip_history().empty());
+}
+
+TEST(Sim, DecodeErrorOnGarbage) {
+  Simulator sim(isa::kisa());
+  sim.load(build_exe(R"(
+.global main
+main:
+  .word 0x7E000000   # opcode 63: unassigned, no stop bit
+  ret
+)"));
+  EXPECT_EQ(sim.run(), StopReason::DecodeError);
+  EXPECT_NE(sim.error_report().find("undecodable"), std::string::npos);
+}
+
+TEST(Sim, DecodeCacheAvoidsRedecodes) {
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 1000
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)");
+  EXPECT_GT(r.stats.instructions, 2000u);
+  EXPECT_LT(r.stats.decodes, 40u); // each address decoded once
+  EXPECT_GT(r.stats.decode_avoidance(), 0.98);
+  // Prediction removes almost all hash lookups in the loop.
+  EXPECT_GT(r.stats.lookup_avoidance(), 0.95);
+}
+
+TEST(Sim, NoCacheModeStillCorrect) {
+  SimOptions opts;
+  opts.use_decode_cache = false;
+  const RunResult r = run_main(R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 100
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)", opts);
+  EXPECT_EQ(r.exit_code, 100);
+  EXPECT_EQ(r.stats.decodes, r.stats.instructions); // every instruction decoded
+  EXPECT_EQ(r.stats.pred_hits, 0u);
+}
+
+TEST(Sim, InstructionLimitStops) {
+  SimOptions opts;
+  opts.max_instructions = 50;
+  const RunResult r = run_main(R"(
+.global main
+main:
+  j main
+)", opts);
+  EXPECT_EQ(r.reason, StopReason::InstructionLimit);
+  EXPECT_EQ(r.stats.instructions, 50u);
+}
+
+TEST(Sim, TraceRecordsOperations) {
+  Simulator sim(isa::kisa());
+  sim.load(build_exe(R"(
+.global main
+main:
+  addi r5, r0, 3
+  addi r4, r5, 4
+  ret
+)"));
+  std::ostringstream os;
+  TraceWriter trace(os);
+  sim.set_trace(&trace);
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  const std::string t = os.str();
+  EXPECT_GT(trace.records(), 5u);
+  EXPECT_NE(t.find("ADDI"), std::string::npos);
+  EXPECT_NE(t.find("imm=3"), std::string::npos);
+  EXPECT_NE(t.find("out r5=0x00000003"), std::string::npos);
+  EXPECT_NE(t.find("JR"), std::string::npos);
+}
+
+TEST(Sim, ProfilerAttributesToFunctions) {
+  Simulator sim(isa::kisa());
+  Profiler prof;
+  sim.set_profiler(&prof);
+  sim.load(build_exe(R"(
+.global main
+main:
+  addi sp, sp, -8
+  sw ra, 0(sp)
+  addi r20, r0, 0
+  addi r21, r0, 5
+mloop:
+  call work
+  addi r20, r20, 1
+  bne r20, r21, mloop
+  lw ra, 0(sp)
+  addi sp, sp, 8
+  mv r4, r0
+  ret
+
+.func work
+  addi r6, r0, 10
+wloop:
+  addi r6, r6, -1
+  bnez r6, wloop
+  ret
+.endfunc
+)"));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  const auto report = prof.report();
+  ASSERT_FALSE(report.empty());
+  const auto work = std::find_if(report.begin(), report.end(),
+                                 [](const FuncProfile& p) { return p.name == "work"; });
+  ASSERT_NE(work, report.end());
+  EXPECT_EQ(work->calls, 5u);
+  EXPECT_GT(work->instructions, 100u); // 5 * (2 + 10*2)
+}
+
+TEST(Sim, CycleModelsProduceSaneOrdering) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 200
+loop:
+  addi r5, r5, 1
+  mul r7, r5, r5
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)";
+  cycle::IlpModel ilp;
+  cycle::MemoryHierarchy mem_aie;
+  cycle::AieModel aie(&mem_aie);
+  cycle::MemoryHierarchy mem_doe;
+  cycle::DoeModel doe(&mem_doe);
+
+  uint64_t cycles[3];
+  cycle::CycleModel* models[3] = {&ilp, &aie, &doe};
+  for (int i = 0; i < 3; ++i) {
+    Simulator sim(isa::kisa());
+    sim.load(build_exe(source));
+    sim.set_cycle_model(models[i]);
+    EXPECT_EQ(sim.run(), StopReason::Exited);
+    cycles[i] = models[i]->cycles();
+    EXPECT_GT(cycles[i], 0u);
+  }
+  // ILP is an upper bound on parallelism → fewest cycles; AIE serializes whole
+  // instructions → at least as many cycles as DOE on a RISC stream.
+  EXPECT_LE(cycles[0], cycles[2]);
+  EXPECT_LE(cycles[2], cycles[1] + 1);
+}
+
+TEST(Sim, HaltWithoutExitReportsHalted) {
+  Simulator sim(isa::kisa());
+  sim.load(build_exe(R"(
+.global main
+main:
+  halt
+)"));
+  EXPECT_EQ(sim.run(), StopReason::Halted);
+}
+
+} // namespace
+} // namespace ksim::sim

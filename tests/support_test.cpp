@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/diag.h"
+#include "support/prng.h"
+#include "support/strings.h"
+
+namespace ksim {
+namespace {
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  const uint32_t word = 0xDEADBEEF;
+  EXPECT_EQ(extract_bits(word, 31, 0), word);
+  EXPECT_EQ(extract_bits(word, 7, 0), 0xEFu);
+  EXPECT_EQ(extract_bits(word, 31, 28), 0xDu);
+  EXPECT_EQ(insert_bits(0, 7, 4, 0xA), 0xA0u);
+  EXPECT_EQ(insert_bits(0xFFFFFFFF, 7, 4, 0), 0xFFFFFF0Fu);
+  // Insert then extract returns the inserted value for every field position.
+  for (unsigned lo = 0; lo < 28; lo += 3) {
+    const unsigned hi = lo + 4;
+    const uint32_t v = 0x15; // 5-bit pattern
+    EXPECT_EQ(extract_bits(insert_bits(0, hi, lo, v), hi, lo), v);
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 0x7FFF);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x1F, 5), -1);
+  EXPECT_EQ(sign_extend(0xF, 5), 15);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF, 32), -1);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(16383, 15));
+  EXPECT_FALSE(fits_signed(16384, 15));
+  EXPECT_TRUE(fits_signed(-16384, 15));
+  EXPECT_FALSE(fits_signed(-16385, 15));
+  EXPECT_TRUE(fits_unsigned(65535, 16));
+  EXPECT_FALSE(fits_unsigned(65536, 16));
+  EXPECT_FALSE(fits_unsigned(-1, 16));
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2048));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2048), 11u);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  const auto ws = split_ws("  one\ttwo   three ");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[1], "two");
+}
+
+TEST(Strings, ParseInt) {
+  int64_t v = 0;
+  EXPECT_TRUE(parse_int("123", v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(parse_int("-45", v));
+  EXPECT_EQ(v, -45);
+  EXPECT_TRUE(parse_int("0x1F", v));
+  EXPECT_EQ(v, 31);
+  EXPECT_TRUE(parse_int("  42 ", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("0x", v));
+  EXPECT_FALSE(parse_int("--3", v));
+}
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(hex32(0x1234), "0x00001234");
+}
+
+TEST(Diag, CollectsAndThrows) {
+  DiagEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({"f", 1, 0}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({"f", 2, 3}, "bad");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1);
+  EXPECT_NE(diags.to_string().find("f:2:3: error: bad"), std::string::npos);
+  EXPECT_THROW(diags.throw_if_errors(), Error);
+}
+
+TEST(Prng, DeterministicAndBounded) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Prng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = c.next_below(10);
+    EXPECT_LT(v, 10u);
+    const int32_t r = c.next_range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+} // namespace
+} // namespace ksim
