@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_branch.dir/bench_ablation_branch.cpp.o"
+  "CMakeFiles/bench_ablation_branch.dir/bench_ablation_branch.cpp.o.d"
+  "bench_ablation_branch"
+  "bench_ablation_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

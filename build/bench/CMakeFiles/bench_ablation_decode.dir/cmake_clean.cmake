@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decode.dir/bench_ablation_decode.cpp.o"
+  "CMakeFiles/bench_ablation_decode.dir/bench_ablation_decode.cpp.o.d"
+  "bench_ablation_decode"
+  "bench_ablation_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

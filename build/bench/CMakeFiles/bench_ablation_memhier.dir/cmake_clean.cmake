@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memhier.dir/bench_ablation_memhier.cpp.o"
+  "CMakeFiles/bench_ablation_memhier.dir/bench_ablation_memhier.cpp.o.d"
+  "bench_ablation_memhier"
+  "bench_ablation_memhier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

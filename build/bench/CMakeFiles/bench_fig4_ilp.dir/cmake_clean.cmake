@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ilp.dir/bench_fig4_ilp.cpp.o"
+  "CMakeFiles/bench_fig4_ilp.dir/bench_fig4_ilp.cpp.o.d"
+  "bench_fig4_ilp"
+  "bench_fig4_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

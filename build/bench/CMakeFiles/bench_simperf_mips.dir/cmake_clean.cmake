@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simperf_mips.dir/bench_simperf_mips.cpp.o"
+  "CMakeFiles/bench_simperf_mips.dir/bench_simperf_mips.cpp.o.d"
+  "bench_simperf_mips"
+  "bench_simperf_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simperf_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

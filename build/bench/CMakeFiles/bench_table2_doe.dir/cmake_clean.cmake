@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_doe.dir/bench_table2_doe.cpp.o"
+  "CMakeFiles/bench_table2_doe.dir/bench_table2_doe.cpp.o.d"
+  "bench_table2_doe"
+  "bench_table2_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

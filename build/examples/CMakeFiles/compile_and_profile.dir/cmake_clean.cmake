@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_profile.dir/compile_and_profile.cpp.o"
+  "CMakeFiles/compile_and_profile.dir/compile_and_profile.cpp.o.d"
+  "compile_and_profile"
+  "compile_and_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_threads.dir/fabric_threads.cpp.o"
+  "CMakeFiles/fabric_threads.dir/fabric_threads.cpp.o.d"
+  "fabric_threads"
+  "fabric_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_selection.dir/isa_selection.cpp.o"
+  "CMakeFiles/isa_selection.dir/isa_selection.cpp.o.d"
+  "isa_selection"
+  "isa_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_isa.dir/mixed_isa.cpp.o"
+  "CMakeFiles/mixed_isa.dir/mixed_isa.cpp.o.d"
+  "mixed_isa"
+  "mixed_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("adl")
+subdirs("isa")
+subdirs("elf")
+subdirs("kasm")
+subdirs("cycle")
+subdirs("sim")
+subdirs("kcc")
+subdirs("rtl")
+subdirs("workloads")
+subdirs("driver")

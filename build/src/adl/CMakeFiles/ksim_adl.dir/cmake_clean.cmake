@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_adl.dir/model.cpp.o"
+  "CMakeFiles/ksim_adl.dir/model.cpp.o.d"
+  "CMakeFiles/ksim_adl.dir/parser.cpp.o"
+  "CMakeFiles/ksim_adl.dir/parser.cpp.o.d"
+  "libksim_adl.a"
+  "libksim_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_cycle.dir/branch_predict.cpp.o"
+  "CMakeFiles/ksim_cycle.dir/branch_predict.cpp.o.d"
+  "CMakeFiles/ksim_cycle.dir/mem_hierarchy.cpp.o"
+  "CMakeFiles/ksim_cycle.dir/mem_hierarchy.cpp.o.d"
+  "CMakeFiles/ksim_cycle.dir/models.cpp.o"
+  "CMakeFiles/ksim_cycle.dir/models.cpp.o.d"
+  "libksim_cycle.a"
+  "libksim_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim.dir/ksim_main.cpp.o"
+  "CMakeFiles/ksim.dir/ksim_main.cpp.o.d"
+  "ksim"
+  "ksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ksim.
+# This may be replaced when dependencies are built.

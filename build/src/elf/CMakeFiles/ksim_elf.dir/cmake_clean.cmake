@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_elf.dir/elf.cpp.o"
+  "CMakeFiles/ksim_elf.dir/elf.cpp.o.d"
+  "CMakeFiles/ksim_elf.dir/loader.cpp.o"
+  "CMakeFiles/ksim_elf.dir/loader.cpp.o.d"
+  "libksim_elf.a"
+  "libksim_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arch_state.cpp" "src/isa/CMakeFiles/ksim_isa.dir/arch_state.cpp.o" "gcc" "src/isa/CMakeFiles/ksim_isa.dir/arch_state.cpp.o.d"
+  "/root/repo/src/isa/kisa.cpp" "src/isa/CMakeFiles/ksim_isa.dir/kisa.cpp.o" "gcc" "src/isa/CMakeFiles/ksim_isa.dir/kisa.cpp.o.d"
+  "/root/repo/src/isa/kisa_adl.cpp" "src/isa/CMakeFiles/ksim_isa.dir/kisa_adl.cpp.o" "gcc" "src/isa/CMakeFiles/ksim_isa.dir/kisa_adl.cpp.o.d"
+  "/root/repo/src/isa/optable.cpp" "src/isa/CMakeFiles/ksim_isa.dir/optable.cpp.o" "gcc" "src/isa/CMakeFiles/ksim_isa.dir/optable.cpp.o.d"
+  "/root/repo/src/isa/semantics.cpp" "src/isa/CMakeFiles/ksim_isa.dir/semantics.cpp.o" "gcc" "src/isa/CMakeFiles/ksim_isa.dir/semantics.cpp.o.d"
+  "/root/repo/src/isa/targetgen.cpp" "src/isa/CMakeFiles/ksim_isa.dir/targetgen.cpp.o" "gcc" "src/isa/CMakeFiles/ksim_isa.dir/targetgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adl/CMakeFiles/ksim_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

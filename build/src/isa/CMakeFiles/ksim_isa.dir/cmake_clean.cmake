@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_isa.dir/arch_state.cpp.o"
+  "CMakeFiles/ksim_isa.dir/arch_state.cpp.o.d"
+  "CMakeFiles/ksim_isa.dir/kisa.cpp.o"
+  "CMakeFiles/ksim_isa.dir/kisa.cpp.o.d"
+  "CMakeFiles/ksim_isa.dir/kisa_adl.cpp.o"
+  "CMakeFiles/ksim_isa.dir/kisa_adl.cpp.o.d"
+  "CMakeFiles/ksim_isa.dir/optable.cpp.o"
+  "CMakeFiles/ksim_isa.dir/optable.cpp.o.d"
+  "CMakeFiles/ksim_isa.dir/semantics.cpp.o"
+  "CMakeFiles/ksim_isa.dir/semantics.cpp.o.d"
+  "CMakeFiles/ksim_isa.dir/targetgen.cpp.o"
+  "CMakeFiles/ksim_isa.dir/targetgen.cpp.o.d"
+  "libksim_isa.a"
+  "libksim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_kasm.dir/assembler.cpp.o"
+  "CMakeFiles/ksim_kasm.dir/assembler.cpp.o.d"
+  "CMakeFiles/ksim_kasm.dir/disasm.cpp.o"
+  "CMakeFiles/ksim_kasm.dir/disasm.cpp.o.d"
+  "CMakeFiles/ksim_kasm.dir/linker.cpp.o"
+  "CMakeFiles/ksim_kasm.dir/linker.cpp.o.d"
+  "CMakeFiles/ksim_kasm.dir/stubs.cpp.o"
+  "CMakeFiles/ksim_kasm.dir/stubs.cpp.o.d"
+  "libksim_kasm.a"
+  "libksim_kasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_kasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kcc/codegen.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/codegen.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/codegen.cpp.o.d"
+  "/root/repo/src/kcc/compiler.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/compiler.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/compiler.cpp.o.d"
+  "/root/repo/src/kcc/ir.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/ir.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/ir.cpp.o.d"
+  "/root/repo/src/kcc/irgen.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/irgen.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/irgen.cpp.o.d"
+  "/root/repo/src/kcc/lexer.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/lexer.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/lexer.cpp.o.d"
+  "/root/repo/src/kcc/parser.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/parser.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/parser.cpp.o.d"
+  "/root/repo/src/kcc/regalloc.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/regalloc.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/regalloc.cpp.o.d"
+  "/root/repo/src/kcc/schedule.cpp" "src/kcc/CMakeFiles/ksim_kcc.dir/schedule.cpp.o" "gcc" "src/kcc/CMakeFiles/ksim_kcc.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ksim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/ksim_adl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_kcc.dir/codegen.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/codegen.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/compiler.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/compiler.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/ir.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/ir.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/irgen.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/irgen.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/lexer.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/lexer.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/parser.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/parser.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/regalloc.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/regalloc.cpp.o.d"
+  "CMakeFiles/ksim_kcc.dir/schedule.cpp.o"
+  "CMakeFiles/ksim_kcc.dir/schedule.cpp.o.d"
+  "libksim_kcc.a"
+  "libksim_kcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_kcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

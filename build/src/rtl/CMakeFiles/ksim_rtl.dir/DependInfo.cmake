@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/rtl_sim.cpp" "src/rtl/CMakeFiles/ksim_rtl.dir/rtl_sim.cpp.o" "gcc" "src/rtl/CMakeFiles/ksim_rtl.dir/rtl_sim.cpp.o.d"
+  "/root/repo/src/rtl/trace_recorder.cpp" "src/rtl/CMakeFiles/ksim_rtl.dir/trace_recorder.cpp.o" "gcc" "src/rtl/CMakeFiles/ksim_rtl.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cycle/CMakeFiles/ksim_cycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ksim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/ksim_adl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_rtl.dir/rtl_sim.cpp.o"
+  "CMakeFiles/ksim_rtl.dir/rtl_sim.cpp.o.d"
+  "CMakeFiles/ksim_rtl.dir/trace_recorder.cpp.o"
+  "CMakeFiles/ksim_rtl.dir/trace_recorder.cpp.o.d"
+  "libksim_rtl.a"
+  "libksim_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/decode_cache.cpp" "src/sim/CMakeFiles/ksim_sim.dir/decode_cache.cpp.o" "gcc" "src/sim/CMakeFiles/ksim_sim.dir/decode_cache.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/sim/CMakeFiles/ksim_sim.dir/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/ksim_sim.dir/fabric.cpp.o.d"
+  "/root/repo/src/sim/libc_emul.cpp" "src/sim/CMakeFiles/ksim_sim.dir/libc_emul.cpp.o" "gcc" "src/sim/CMakeFiles/ksim_sim.dir/libc_emul.cpp.o.d"
+  "/root/repo/src/sim/profiler.cpp" "src/sim/CMakeFiles/ksim_sim.dir/profiler.cpp.o" "gcc" "src/sim/CMakeFiles/ksim_sim.dir/profiler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ksim_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ksim_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ksim_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ksim_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cycle/CMakeFiles/ksim_cycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/ksim_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ksim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/ksim_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/ksim_adl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_sim.dir/decode_cache.cpp.o"
+  "CMakeFiles/ksim_sim.dir/decode_cache.cpp.o.d"
+  "CMakeFiles/ksim_sim.dir/fabric.cpp.o"
+  "CMakeFiles/ksim_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/ksim_sim.dir/libc_emul.cpp.o"
+  "CMakeFiles/ksim_sim.dir/libc_emul.cpp.o.d"
+  "CMakeFiles/ksim_sim.dir/profiler.cpp.o"
+  "CMakeFiles/ksim_sim.dir/profiler.cpp.o.d"
+  "CMakeFiles/ksim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ksim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ksim_sim.dir/trace.cpp.o"
+  "CMakeFiles/ksim_sim.dir/trace.cpp.o.d"
+  "libksim_sim.a"
+  "libksim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_support.dir/diag.cpp.o"
+  "CMakeFiles/ksim_support.dir/diag.cpp.o.d"
+  "CMakeFiles/ksim_support.dir/strings.cpp.o"
+  "CMakeFiles/ksim_support.dir/strings.cpp.o.d"
+  "libksim_support.a"
+  "libksim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

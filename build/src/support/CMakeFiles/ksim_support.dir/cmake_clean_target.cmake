@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libksim_support.a"
+)

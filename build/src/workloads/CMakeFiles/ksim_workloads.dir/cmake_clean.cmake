@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksim_workloads.dir/build.cpp.o"
+  "CMakeFiles/ksim_workloads.dir/build.cpp.o.d"
+  "CMakeFiles/ksim_workloads.dir/sources.cpp.o"
+  "CMakeFiles/ksim_workloads.dir/sources.cpp.o.d"
+  "libksim_workloads.a"
+  "libksim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adl.dir/adl_test.cpp.o"
+  "CMakeFiles/test_adl.dir/adl_test.cpp.o.d"
+  "test_adl"
+  "test_adl.pdb"
+  "test_adl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

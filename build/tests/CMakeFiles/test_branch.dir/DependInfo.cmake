@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/branch_test.cpp" "tests/CMakeFiles/test_branch.dir/branch_test.cpp.o" "gcc" "tests/CMakeFiles/test_branch.dir/branch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/ksim_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ksim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcc/CMakeFiles/ksim_kcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ksim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycle/CMakeFiles/ksim_cycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/ksim_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/ksim_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ksim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/ksim_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch.dir/branch_test.cpp.o"
+  "CMakeFiles/test_branch.dir/branch_test.cpp.o.d"
+  "test_branch"
+  "test_branch.pdb"
+  "test_branch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle.dir/cycle_test.cpp.o"
+  "CMakeFiles/test_cycle.dir/cycle_test.cpp.o.d"
+  "test_cycle"
+  "test_cycle.pdb"
+  "test_cycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elf.dir/elf_test.cpp.o"
+  "CMakeFiles/test_elf.dir/elf_test.cpp.o.d"
+  "test_elf"
+  "test_elf.pdb"
+  "test_elf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

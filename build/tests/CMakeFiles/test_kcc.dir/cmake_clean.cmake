@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcc.dir/kcc_test.cpp.o"
+  "CMakeFiles/test_kcc.dir/kcc_test.cpp.o.d"
+  "test_kcc"
+  "test_kcc.pdb"
+  "test_kcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

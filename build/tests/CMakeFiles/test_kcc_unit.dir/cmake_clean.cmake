@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcc_unit.dir/kcc_unit_test.cpp.o"
+  "CMakeFiles/test_kcc_unit.dir/kcc_unit_test.cpp.o.d"
+  "test_kcc_unit"
+  "test_kcc_unit.pdb"
+  "test_kcc_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcc_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

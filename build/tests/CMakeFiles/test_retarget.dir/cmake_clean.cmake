@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retarget.dir/retarget_test.cpp.o"
+  "CMakeFiles/test_retarget.dir/retarget_test.cpp.o.d"
+  "test_retarget"
+  "test_retarget.pdb"
+  "test_retarget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

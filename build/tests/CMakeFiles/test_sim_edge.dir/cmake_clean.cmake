@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_edge.dir/sim_edge_test.cpp.o"
+  "CMakeFiles/test_sim_edge.dir/sim_edge_test.cpp.o.d"
+  "test_sim_edge"
+  "test_sim_edge.pdb"
+  "test_sim_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

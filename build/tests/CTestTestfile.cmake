@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_adl[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_elf[1]_include.cmake")
+include("/root/repo/build/tests/test_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_kcc[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_cycle[1]_include.cmake")
+include("/root/repo/build/tests/test_branch[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_kcc_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_retarget[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
