@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Continuous-integration driver: regular build + tier-1 tests, then the same
+# suite under AddressSanitizer + UndefinedBehaviorSanitizer, then (when
+# clang-tidy is installed) the static C++ lint target.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "=== build (RelWithDebInfo) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "=== tier-1 tests ==="
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "=== lint built-in workloads (all ISA configurations) ==="
+./build/src/driver/ksim lint --workload all --isa all
+
+echo "=== build (ASan+UBSan) ==="
+cmake -B build-asan -S . -DKSIM_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$JOBS"
+
+echo "=== tier-1 tests (ASan+UBSan) ==="
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "=== clang-tidy ==="
+cmake --build build --target lint-cxx
+
+echo "ci.sh: all stages passed"

@@ -1,0 +1,169 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ksim::analysis {
+namespace {
+
+/// Instructions of `func`, in address order, skipping overlapping decodings
+/// (an instruction starting inside the previous one can only arise from a
+/// branch into the middle of a bundle; the checks report those separately).
+std::vector<const StaticInstr*> func_instrs(const Program& program,
+                                            const FuncRegion& func) {
+  std::vector<const StaticInstr*> out;
+  auto it = program.instrs.lower_bound(func.addr);
+  for (; it != program.instrs.end() && it->first < func.end(); ++it)
+    out.push_back(&it->second);
+  return out;
+}
+
+} // namespace
+
+const BasicBlock* Cfg::block_at(uint32_t addr) const {
+  for (const BasicBlock& b : blocks)
+    if (addr >= b.start && addr < b.end) return &b;
+  return nullptr;
+}
+
+bool Cfg::dominates(int a, int b) const {
+  while (b != -1) {
+    if (a == b) return true;
+    if (b == idom[static_cast<size_t>(b)]) break; // entry block self-loop
+    b = idom[static_cast<size_t>(b)];
+  }
+  return false;
+}
+
+Cfg build_cfg(const Program& program, const FuncRegion& func) {
+  Cfg cfg;
+  cfg.func = &func;
+  const std::vector<const StaticInstr*> instrs = func_instrs(program, func);
+  if (instrs.empty()) return cfg;
+
+  // Leaders: the function entry, every branch target inside the region, and
+  // every instruction following a control transfer.
+  std::map<uint32_t, int> leader; // address → future block id
+  auto mark = [&leader](uint32_t addr) { leader.emplace(addr, -1); };
+  mark(func.addr);
+  mark(instrs.front()->addr);
+  for (const StaticInstr* in : instrs) {
+    if (in->has_target && func.contains(in->target) && !in->is_call)
+      mark(in->target);
+    const bool ends_block = in->is_cond_branch || in->is_ret || in->is_halt ||
+                            in->has_indirect_target ||
+                            (in->has_target && !in->is_call) || !in->has_fallthrough;
+    if (ends_block) mark(in->end());
+  }
+
+  // Partition the instruction list into blocks.
+  for (const StaticInstr* in : instrs) {
+    const bool is_leader = leader.count(in->addr) != 0;
+    if (is_leader || cfg.blocks.empty()) {
+      BasicBlock b;
+      b.id = static_cast<int>(cfg.blocks.size());
+      b.start = in->addr;
+      b.is_entry = in->addr == instrs.front()->addr;
+      cfg.blocks.push_back(std::move(b));
+      if (is_leader) leader[in->addr] = cfg.blocks.back().id;
+    }
+    cfg.blocks.back().instrs.push_back(in);
+    cfg.blocks.back().end = in->end();
+  }
+
+  // Edges.
+  for (BasicBlock& b : cfg.blocks) {
+    const StaticInstr* last = b.instrs.back();
+    auto link = [&](uint32_t addr) {
+      auto it = leader.find(addr);
+      if (it != leader.end() && it->second >= 0) {
+        if (std::find(b.succs.begin(), b.succs.end(), it->second) == b.succs.end())
+          b.succs.push_back(it->second);
+        return true;
+      }
+      return false;
+    };
+    if (last->has_fallthrough) {
+      if (last->end() >= func.end() || !link(last->end()))
+        b.falls_off_end = last->end() >= func.end();
+    }
+    if (last->has_target && !last->is_call) {
+      if (func.contains(last->target)) {
+        link(last->target);
+      } else {
+        b.has_external_target = true; // tail jump into another function
+      }
+    }
+  }
+  for (const BasicBlock& b : cfg.blocks)
+    for (int s : b.succs)
+      cfg.blocks[static_cast<size_t>(s)].preds.push_back(b.id);
+
+  compute_dominators(cfg);
+  return cfg;
+}
+
+void compute_dominators(Cfg& cfg) {
+  const size_t n = cfg.blocks.size();
+  cfg.rpo.clear();
+  cfg.idom.assign(n, -1);
+  if (n == 0) return;
+
+  // Depth-first postorder from the entry block (id 0).
+  std::vector<int> state(n, 0); // 0 = unvisited, 1 = on stack, 2 = done
+  std::vector<int> post;
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const BasicBlock& b = cfg.blocks[static_cast<size_t>(id)];
+    if (next < b.succs.size()) {
+      const int s = b.succs[next++];
+      if (state[static_cast<size_t>(s)] == 0) {
+        state[static_cast<size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[static_cast<size_t>(id)] = 2;
+      post.push_back(id);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo.assign(post.rbegin(), post.rend());
+
+  std::vector<int> rpo_index(n, -1);
+  for (size_t i = 0; i < cfg.rpo.size(); ++i)
+    rpo_index[static_cast<size_t>(cfg.rpo[i])] = static_cast<int>(i);
+
+  // Cooper/Harvey/Kennedy: iterate "idom[b] = intersect of processed preds"
+  // to a fixed point over the reverse postorder.
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<size_t>(a)] > rpo_index[static_cast<size_t>(b)])
+        a = cfg.idom[static_cast<size_t>(a)];
+      while (rpo_index[static_cast<size_t>(b)] > rpo_index[static_cast<size_t>(a)])
+        b = cfg.idom[static_cast<size_t>(b)];
+    }
+    return a;
+  };
+  cfg.idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int id : cfg.rpo) {
+      if (id == 0) continue;
+      int new_idom = -1;
+      for (int p : cfg.blocks[static_cast<size_t>(id)].preds) {
+        if (cfg.idom[static_cast<size_t>(p)] == -1) continue;
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && cfg.idom[static_cast<size_t>(id)] != new_idom) {
+        cfg.idom[static_cast<size_t>(id)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+} // namespace ksim::analysis

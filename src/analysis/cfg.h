@@ -1,0 +1,47 @@
+// Per-function control-flow graphs over the statically decoded program:
+// basic blocks, predecessor/successor edges, reverse postorder and immediate
+// dominators (Cooper/Harvey/Kennedy iterative algorithm).  The dataflow
+// passes (dataflow.h) and checkers (checks.h) run on this representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/program.h"
+
+namespace ksim::analysis {
+
+struct BasicBlock {
+  int id = 0;
+  uint32_t start = 0; ///< address of the first instruction
+  uint32_t end = 0;   ///< first address past the last instruction
+  std::vector<const StaticInstr*> instrs; ///< in address order
+  std::vector<int> succs; ///< block ids, deduplicated
+  std::vector<int> preds;
+  bool is_entry = false;
+  /// Last instruction falls through past the end of the function region
+  /// (no return/jump/halt before the region boundary).
+  bool falls_off_end = false;
+  /// Ends in a branch/tail-jump whose target lies outside the function.
+  bool has_external_target = false;
+};
+
+/// The CFG of one function region.  blocks[0], when present, is the entry.
+struct Cfg {
+  const FuncRegion* func = nullptr;
+  std::vector<BasicBlock> blocks;
+  std::vector<int> rpo;  ///< block ids in reverse postorder from the entry
+  std::vector<int> idom; ///< immediate dominator per block id; -1 = unreachable
+
+  const BasicBlock* block_at(uint32_t addr) const;
+  bool dominates(int a, int b) const;
+};
+
+/// Builds the CFG of `func` from the instructions decoded inside its region.
+/// Instructions outside the region (shared tails etc.) are not included.
+Cfg build_cfg(const Program& program, const FuncRegion& func);
+
+/// Computes rpo and idom for `cfg` (no-op on an empty CFG).
+void compute_dominators(Cfg& cfg);
+
+} // namespace ksim::analysis

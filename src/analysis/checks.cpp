@@ -1,0 +1,208 @@
+#include "analysis/checks.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace ksim::analysis {
+namespace {
+
+std::string func_name(const Program& program, uint32_t addr) {
+  const FuncRegion* f = program.function_at(addr);
+  return f == nullptr ? std::string() : f->name;
+}
+
+void add(std::vector<Finding>& out, Severity severity, std::string check,
+         uint32_t addr, const Program& program, std::string message) {
+  Finding f;
+  f.severity = severity;
+  f.check = std::move(check);
+  f.addr = addr;
+  f.function = func_name(program, addr);
+  f.message = std::move(message);
+  out.push_back(std::move(f));
+}
+
+std::string reg_list(isa::RegMask mask) {
+  std::string out;
+  while (mask != 0) {
+    const unsigned r = static_cast<unsigned>(__builtin_ctz(mask));
+    mask &= mask - 1;
+    if (!out.empty()) out += ", ";
+    out += "r" + std::to_string(r);
+  }
+  return out;
+}
+
+} // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void check_decode_issues(const Program& program, std::vector<Finding>& out) {
+  for (const DecodeIssue& di : program.issues) {
+    // Failures on speculative paths (functions never statically reached,
+    // decoded under a guessed ISA) are informational only.
+    const Severity sev = di.speculative ? Severity::Note : Severity::Error;
+    std::string from =
+        di.from_addr == di.addr
+            ? std::string()
+            : strf(" (reached from %s)", hex32(di.from_addr).c_str());
+    // A decode failure just past a cross-function control transfer means
+    // the *transition* is broken — the target is encoded for another ISA
+    // and the inbound path lacks a SWITCHTARGET (paper §V-D).  The same
+    // failure inside one function is a genuine encoding defect.
+    const bool crosses_function =
+        program.function_at(di.addr) != program.function_at(di.from_addr);
+    switch (di.kind) {
+      case DecodeIssueKind::Undecodable:
+      case DecodeIssueKind::Oversubscribed:
+        if (crosses_function) {
+          add(out, sev, "isa-transition", di.addr, program,
+              di.detail + from + " — missing SWITCHTARGET on the inbound path?");
+          break;
+        }
+        add(out, sev,
+            di.kind == DecodeIssueKind::Undecodable ? "undecodable"
+                                                    : "oversubscription",
+            di.addr, program, di.detail + from);
+        break;
+      case DecodeIssueKind::IsaConflict:
+      case DecodeIssueKind::UnknownIsa:
+        add(out, sev, "isa-transition", di.addr, program, di.detail + from);
+        break;
+      case DecodeIssueKind::BadAddress:
+        add(out, sev, "bad-address", di.addr, program, di.detail + from);
+        break;
+    }
+  }
+}
+
+void check_bundle_hazards(const Program& program, std::vector<Finding>& out) {
+  for (const auto& [addr, instr] : program.instrs) {
+    if (instr.num_ops < 2) continue;
+    int branch_ops = 0;
+    for (int a = 0; a < instr.num_ops; ++a) {
+      const StaticOp& op_a = instr.ops[a];
+      const isa::OpInfo& info_a = *op_a.info;
+      if (info_a.serial_only)
+        add(out, Severity::Error, "bundle-serial", addr, program,
+            strf("%s must be the only operation of its instruction but "
+                 "shares a %d-slot bundle",
+                 info_a.name.c_str(), instr.num_ops));
+      if (info_a.is_branch) ++branch_ops;
+
+      const isa::RegMask dst_a = isa::op_dst_mask(info_a, op_a.rd);
+      for (int b = 0; b < instr.num_ops; ++b) {
+        if (a == b) continue;
+        const StaticOp& op_b = instr.ops[b];
+        if (b > a) {
+          const isa::RegMask waw =
+              dst_a & isa::op_dst_mask(*op_b.info, op_b.rd);
+          if (waw != 0)
+            add(out, Severity::Error, "bundle-waw", addr, program,
+                strf("slots %d and %d both write %s; the parallel result is "
+                     "undefined in hardware",
+                     a, b, reg_list(waw).c_str()));
+        }
+        if (b > a) {
+          // With the parallel-read semantics of §V-B the later slot reads
+          // the *pre-bundle* value; packing a dependent operation into the
+          // same bundle is almost always a scheduler bug.  (Slot b < a is
+          // the swap idiom — a plain parallel read — and stays silent.)
+          const isa::RegMask raw =
+              dst_a & isa::op_src_mask(*op_b.info, op_b.rd, op_b.ra, op_b.rb);
+          if (raw != 0)
+            add(out, Severity::Warning, "bundle-raw", addr, program,
+                strf("slot %d reads %s which slot %d writes in the same "
+                     "bundle; it sees the pre-bundle value",
+                     b, reg_list(raw).c_str(), a));
+        }
+      }
+    }
+    if (branch_ops > 1)
+      add(out, Severity::Error, "bundle-control", addr, program,
+          strf("%d control-transfer operations in one bundle; at most one "
+               "may decide the next instruction",
+               branch_ops));
+  }
+}
+
+void check_reachability(const Program& program, const Cfg& cfg,
+                        std::vector<Finding>& out) {
+  const FuncRegion& func = *cfg.func;
+  if (cfg.blocks.empty()) return;
+
+  // Fall-through past the end of the function region.
+  for (const BasicBlock& b : cfg.blocks)
+    if (b.falls_off_end)
+      add(out, func.speculative ? Severity::Note : Severity::Error,
+          "fallthrough", b.instrs.back()->addr, program,
+          strf("control falls through past the end of %s", func.name.c_str()));
+
+  // Unreachable bytes: region bytes not covered by any decoded instruction.
+  // A register-indirect jump makes static reachability incomplete (jump
+  // tables), so stay silent in that case.
+  if (func.has_indirect_jump) return;
+  std::vector<std::pair<uint32_t, uint32_t>> covered;
+  for (const BasicBlock& b : cfg.blocks)
+    for (const StaticInstr* in : b.instrs)
+      covered.emplace_back(in->addr, in->end());
+  std::sort(covered.begin(), covered.end());
+  uint32_t pos = func.addr;
+  auto report_gap = [&](uint32_t lo, uint32_t hi) {
+    if (lo >= hi) return;
+    add(out, func.speculative ? Severity::Note : Severity::Warning,
+        "unreachable", lo, program,
+        strf("%u bytes of %s are unreachable from the function entry",
+             hi - lo, func.name.c_str()));
+  };
+  for (const auto& [lo, hi] : covered) {
+    if (lo > pos) report_gap(pos, lo);
+    pos = std::max(pos, hi);
+  }
+  report_gap(pos, func.end());
+}
+
+void check_definite_assignment(const Program& program, const Cfg& cfg,
+                               std::vector<Finding>& out) {
+  const FuncRegion& func = *cfg.func;
+  if (cfg.blocks.empty()) return;
+  const bool is_program_entry = func.contains(program.entry);
+  const std::vector<DefinedState> defined =
+      compute_defined(cfg, abi_entry_defined(is_program_entry));
+
+  for (const BasicBlock& b : cfg.blocks) {
+    RegMask must = defined[static_cast<size_t>(b.id)].must_in;
+    RegMask may = defined[static_cast<size_t>(b.id)].may_in;
+    // Blocks the dataflow never reached from the entry (no predecessors,
+    // not the entry block) keep lattice top; nothing to report.
+    if (b.id != 0 && b.preds.empty()) continue;
+    for (const StaticInstr* instr : b.instrs) {
+      const InstrUseDef ud = instr_use_def(*instr);
+      const RegMask some_path = ud.explicit_use & ~must;
+      const RegMask every_path = ud.explicit_use & ~may;
+      if (every_path != 0)
+        add(out, func.speculative ? Severity::Note : Severity::Error,
+            "uninit-read", instr->addr, program,
+            strf("%s read but never written on any path from the entry of %s",
+                 reg_list(every_path).c_str(), func.name.c_str()));
+      else if (some_path != 0)
+        add(out, func.speculative ? Severity::Note : Severity::Warning,
+            "uninit-read", instr->addr, program,
+            strf("%s may be read uninitialized (unwritten on some path from "
+                 "the entry of %s)",
+                 reg_list(some_path).c_str(), func.name.c_str()));
+      must = (must & ~ud.clobber) | ud.def;
+      may = (may & ~ud.clobber) | ud.def;
+    }
+  }
+}
+
+} // namespace ksim::analysis

@@ -1,0 +1,46 @@
+// The klint checker pipeline: each pass inspects the statically decoded
+// program (program.h) and its per-function CFGs/dataflow (cfg.h,
+// dataflow.h) and appends findings.  Passes:
+//   * decode/transition — undecodable words, issue-slot over-subscription,
+//     ISA-dependent decodings and SWITCHTARGET targets (paper §V-D),
+//   * bundle hazards    — intra-bundle WAW/RAW, serial-only operations in
+//     multi-slot bundles, multiple control transfers per bundle (§V-B),
+//   * reachability      — unreachable code inside reached functions and
+//     fall-through past the end of a function,
+//   * definite assignment — registers read before any write on some (or
+//     every) path from the function entry, under the software ABI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/program.h"
+
+namespace ksim::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity severity);
+
+struct Finding {
+  Severity severity = Severity::Error;
+  std::string check;    ///< stable machine name, e.g. "uninit-read"
+  uint32_t addr = 0;
+  std::string function; ///< enclosing function, empty if unknown
+  std::string message;
+};
+
+/// Findings for the program-wide decode/transition and bundle passes.
+void check_decode_issues(const Program& program, std::vector<Finding>& out);
+void check_bundle_hazards(const Program& program, std::vector<Finding>& out);
+
+/// Findings for one function's CFG.
+void check_reachability(const Program& program, const Cfg& cfg,
+                        std::vector<Finding>& out);
+void check_definite_assignment(const Program& program, const Cfg& cfg,
+                               std::vector<Finding>& out);
+
+} // namespace ksim::analysis

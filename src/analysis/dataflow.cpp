@@ -1,0 +1,149 @@
+#include "analysis/dataflow.h"
+
+#include "isa/kisa.h"
+
+namespace ksim::analysis {
+namespace {
+
+constexpr RegMask bit(unsigned r) { return 1u << r; }
+
+constexpr RegMask range(unsigned lo, unsigned hi) { // inclusive
+  RegMask m = 0;
+  for (unsigned r = lo; r <= hi; ++r) m |= bit(r);
+  return m;
+}
+
+// ABI register classes (see isa::abi).
+constexpr RegMask kZeroMask = bit(isa::abi::kZero);
+constexpr RegMask kArgMask =
+    range(isa::abi::kArg0, isa::abi::kArg0 + isa::abi::kNumArgRegs - 1);
+constexpr RegMask kCalleeSavedMask =
+    range(isa::abi::kFirstCalleeSaved, isa::abi::kNumRegs - 1);
+/// Destroyed by a call: link register, scratch, argument registers except
+/// the return value, and the caller-saved temporaries.
+constexpr RegMask kCallClobberMask =
+    (bit(isa::abi::kRa) | bit(isa::abi::kTmp) |
+     range(isa::abi::kArg0, isa::abi::kFirstCalleeSaved - 1)) &
+    ~bit(isa::abi::kArg0);
+
+} // namespace
+
+InstrUseDef instr_use_def(const StaticInstr& instr) {
+  InstrUseDef ud;
+  for (int s = 0; s < instr.num_ops; ++s) {
+    const StaticOp& op = instr.ops[s];
+    const isa::OpInfo& info = *op.info;
+    ud.use |= isa::op_src_mask(info, op.rd, op.ra, op.rb);
+    if (info.ra_is_src) ud.explicit_use |= bit(op.ra & 31u);
+    if (info.rb_is_src) ud.explicit_use |= bit(op.rb & 31u);
+    if (info.rd_is_src) ud.explicit_use |= bit(op.rd & 31u);
+    ud.def |= isa::op_dst_mask(info, op.rd);
+  }
+  if (instr.is_call) {
+    // The callee returns a value in the first argument register and may
+    // destroy every caller-saved register.
+    ud.clobber = kCallClobberMask;
+    ud.def |= bit(isa::abi::kArg0);
+  }
+  ud.use &= ~kZeroMask;
+  ud.explicit_use &= ~kZeroMask;
+  return ud;
+}
+
+RegMask abi_entry_defined(bool is_program_entry) {
+  if (is_program_entry) return kZeroMask;
+  return kZeroMask | bit(isa::abi::kRa) | bit(isa::abi::kSp) | kArgMask |
+         kCalleeSavedMask;
+}
+
+RegMask abi_exit_live() {
+  return bit(isa::abi::kArg0) | bit(isa::abi::kSp) | kCalleeSavedMask;
+}
+
+std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined) {
+  const size_t n = cfg.blocks.size();
+  std::vector<DefinedState> st(n);
+  constexpr RegMask kAll = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    // Top of the respective lattices, so unprocessed predecessors (e.g. loop
+    // back edges on the first sweep) do not weaken the meet.
+    st[i].must_in = st[i].must_out = kAll;
+    st[i].may_in = st[i].may_out = 0;
+  }
+  if (n == 0) return st;
+  st[0].must_in = st[0].may_in = entry_defined;
+
+  auto transfer = [](const BasicBlock& b, RegMask in) {
+    for (const StaticInstr* instr : b.instrs) {
+      const InstrUseDef ud = instr_use_def(*instr);
+      in = (in & ~ud.clobber) | ud.def;
+    }
+    return in;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int id : cfg.rpo) {
+      BasicBlock const& b = cfg.blocks[static_cast<size_t>(id)];
+      DefinedState& s = st[static_cast<size_t>(id)];
+      if (id != 0) {
+        RegMask must = kAll, may = 0;
+        for (int p : b.preds) {
+          must &= st[static_cast<size_t>(p)].must_out;
+          may |= st[static_cast<size_t>(p)].may_out;
+        }
+        if (!b.preds.empty()) {
+          s.must_in = must;
+          s.may_in = may;
+        }
+      }
+      const RegMask must_out = transfer(b, s.must_in);
+      const RegMask may_out = transfer(b, s.may_in);
+      if (must_out != s.must_out || may_out != s.may_out) {
+        s.must_out = must_out;
+        s.may_out = may_out;
+        changed = true;
+      }
+    }
+  }
+  return st;
+}
+
+std::vector<LivenessState> compute_liveness(const Cfg& cfg, RegMask exit_live) {
+  const size_t n = cfg.blocks.size();
+  std::vector<LivenessState> st(n);
+  if (n == 0) return st;
+
+  // Block-level use (read before any write in the block) and def sets.
+  std::vector<RegMask> use(n, 0), def(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const StaticInstr* instr : cfg.blocks[i].instrs) {
+      const InstrUseDef ud = instr_use_def(*instr);
+      RegMask u = ud.use;
+      if (instr->is_call) u |= kArgMask | bit(isa::abi::kSp); // callee may read
+      use[i] |= u & ~def[i];
+      def[i] |= ud.def | ud.clobber; // a clobbered value does not survive
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+      const size_t id = static_cast<size_t>(*it);
+      const BasicBlock& b = cfg.blocks[id];
+      RegMask out = b.succs.empty() ? exit_live : 0;
+      for (int s : b.succs) out |= st[static_cast<size_t>(s)].live_in;
+      const RegMask in = use[id] | (out & ~def[id]);
+      if (in != st[id].live_in || out != st[id].live_out) {
+        st[id].live_in = in;
+        st[id].live_out = out;
+        changed = true;
+      }
+    }
+  }
+  return st;
+}
+
+} // namespace ksim::analysis

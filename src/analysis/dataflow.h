@@ -1,0 +1,65 @@
+// Register dataflow over the per-function CFG: instruction-level use/def
+// sets (with the paper's parallel-read bundle semantics, §V-B), an ABI-aware
+// call-clobber model, definite-assignment analysis (must/may-defined on
+// every/some path from the function entry) and classic backwards liveness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "isa/reg_use.h"
+
+namespace ksim::analysis {
+
+using isa::RegMask;
+
+/// Use/def sets of one instruction.  All slots of a bundle read their
+/// sources before any slot writes (§V-B), so `use` is the union of the
+/// slots' sources — including registers some other slot writes.
+struct InstrUseDef {
+  RegMask use = 0;
+  /// Subset of `use` named by explicit operand fields.  The definite-
+  /// assignment checker only reports these: implicit reads (e.g. SIMOP's
+  /// view of all six argument registers) over-approximate what the
+  /// operation actually consumes.
+  RegMask explicit_use = 0;
+  RegMask def = 0;
+  /// Registers whose value is destroyed without being defined: the
+  /// caller-saved registers at a call site (the callee may clobber them).
+  RegMask clobber = 0;
+};
+
+InstrUseDef instr_use_def(const StaticInstr& instr);
+
+/// Registers with a well-defined value at function entry under the software
+/// ABI: zero, return address, stack pointer, the argument registers and the
+/// callee-saved range.  The scratch register and the non-argument temporaries
+/// hold garbage.  For `_start` (program entry) only the zero register is set.
+RegMask abi_entry_defined(bool is_program_entry);
+
+/// Per-block definite-assignment state.
+struct DefinedState {
+  RegMask must_in = 0;  ///< defined on *every* path reaching the block
+  RegMask may_in = 0;   ///< defined on *some* path reaching the block
+  RegMask must_out = 0;
+  RegMask may_out = 0;
+};
+
+/// Forward definite-assignment analysis over `cfg`.
+/// Result is indexed by block id; unreachable blocks get the entry state.
+std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined);
+
+/// Per-block liveness state (backwards may-analysis).
+struct LivenessState {
+  RegMask live_in = 0;
+  RegMask live_out = 0;
+};
+
+/// Registers assumed live at every function exit (return value + the
+/// callee-saved range + stack pointer, under the software ABI).
+RegMask abi_exit_live();
+
+std::vector<LivenessState> compute_liveness(const Cfg& cfg, RegMask exit_live);
+
+} // namespace ksim::analysis

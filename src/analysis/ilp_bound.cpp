@@ -1,0 +1,87 @@
+#include "analysis/ilp_bound.h"
+
+#include <algorithm>
+#include <array>
+
+#include "isa/reg_use.h"
+
+namespace ksim::analysis {
+namespace {
+
+/// One block under the §VI-A scheduling rules (see cycle::IlpModel).
+BlockIlp schedule_block(const BasicBlock& block, unsigned memory_delay) {
+  BlockIlp out;
+  out.addr = block.start;
+  std::array<uint64_t, 32> reg_ready{};
+  uint64_t last_branch_completion = 0;
+  uint64_t last_store_start = 0;
+  uint64_t max_completion = 0;
+
+  for (const StaticInstr* instr : block.instrs) {
+    // Two-phase within a bundle: all slots read pre-bundle completion times.
+    uint64_t new_branch_completion = last_branch_completion;
+    uint64_t new_store_start = last_store_start;
+    struct Upd {
+      isa::RegMask dst;
+      uint64_t completion;
+    };
+    Upd updates[isa::kMaxSlots];
+    for (int s = 0; s < instr->num_ops; ++s) {
+      const StaticOp& op = instr->ops[s];
+      const isa::OpInfo& info = *op.info;
+
+      uint64_t start = last_branch_completion;
+      isa::RegMask srcs = isa::op_src_mask(info, op.rd, op.ra, op.rb);
+      while (srcs != 0) {
+        const unsigned r = static_cast<unsigned>(__builtin_ctz(srcs));
+        srcs &= srcs - 1;
+        start = std::max(start, reg_ready[r]);
+      }
+      if (info.mem != adl::MemKind::None)
+        start = std::max(start, last_store_start);
+
+      const unsigned delay = info.uses_memory_model()
+                                 ? memory_delay
+                                 : static_cast<unsigned>(info.delay);
+      const uint64_t completion = start + delay;
+      if (info.is_branch)
+        new_branch_completion = std::max(new_branch_completion, completion);
+      if (info.is_store()) new_store_start = std::max(new_store_start, start);
+
+      updates[s] = {isa::op_dst_mask(info, op.rd), completion};
+      max_completion = std::max(max_completion, completion);
+      ++out.ops;
+    }
+    for (int s = 0; s < instr->num_ops; ++s) {
+      isa::RegMask dst = updates[s].dst;
+      while (dst != 0) {
+        const unsigned r = static_cast<unsigned>(__builtin_ctz(dst));
+        dst &= dst - 1;
+        reg_ready[r] = updates[s].completion;
+      }
+    }
+    last_branch_completion = new_branch_completion;
+    last_store_start = new_store_start;
+  }
+  out.critical_path = static_cast<uint32_t>(max_completion);
+  return out;
+}
+
+} // namespace
+
+FuncIlp compute_static_ilp(const Cfg& cfg, unsigned memory_delay) {
+  FuncIlp out;
+  if (cfg.func != nullptr) out.function = cfg.func->name;
+  for (const BasicBlock& b : cfg.blocks) {
+    BlockIlp bi = schedule_block(b, memory_delay);
+    if (bi.ops == 0) continue;
+    ++out.blocks;
+    out.ops += bi.ops;
+    out.critical_path += bi.critical_path;
+    out.max_block_bound = std::max(out.max_block_bound, bi.bound());
+    out.block_bounds.push_back(bi);
+  }
+  return out;
+}
+
+} // namespace ksim::analysis

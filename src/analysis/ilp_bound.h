@@ -1,0 +1,47 @@
+// Static per-block ILP upper bound (klint's cross-check of the paper's
+// §VI-A model).  For every basic block the dependence rules of the dynamic
+// IlpModel — true register dependences, the branch boundary, the pessimistic
+// store ordering, a fixed ideal memory delay — are applied to the block's
+// operations with all register completion times zero at block entry.  The
+// resulting ops/critical-path ratio is the best ILP any execution of that
+// block can achieve under the §VI-A rules, so the dynamic measurement of a
+// program can never exceed the maximum block bound along its hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace ksim::analysis {
+
+struct BlockIlp {
+  uint32_t addr = 0;       ///< block start address
+  uint32_t ops = 0;        ///< operations in the block
+  uint32_t critical_path = 0; ///< cycles of the longest dependence chain
+  double bound() const {
+    return critical_path == 0 ? 0.0
+                              : static_cast<double>(ops) / critical_path;
+  }
+};
+
+struct FuncIlp {
+  std::string function;
+  uint32_t blocks = 0;
+  uint32_t ops = 0;
+  uint32_t critical_path = 0; ///< sum over blocks
+  double max_block_bound = 0.0;
+  /// Σops / Σcritical-path: the ILP if every block executed equally often.
+  double weighted_bound() const {
+    return critical_path == 0 ? 0.0
+                              : static_cast<double>(ops) / critical_path;
+  }
+  std::vector<BlockIlp> block_bounds;
+};
+
+/// Computes the static bound for every block of `cfg`.
+/// `memory_delay` mirrors IlpModel's ideal memory latency (3 = L1).
+FuncIlp compute_static_ilp(const Cfg& cfg, unsigned memory_delay = 3);
+
+} // namespace ksim::analysis

@@ -1,0 +1,140 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace ksim::analysis {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strf("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+LintResult run_lint(const elf::ElfFile& exe, const isa::IsaSet& set,
+                    const LintOptions& options) {
+  LintResult result;
+  const Program program = decode_program(exe, set);
+  result.instructions = static_cast<int>(program.instrs.size());
+
+  check_decode_issues(program, result.findings);
+  check_bundle_hazards(program, result.findings);
+  for (const FuncRegion& func : program.functions) {
+    ++result.functions;
+    const Cfg cfg = build_cfg(program, func);
+    check_reachability(program, cfg, result.findings);
+    check_definite_assignment(program, cfg, result.findings);
+    if (options.ilp) {
+      FuncIlp fi = compute_static_ilp(cfg, options.memory_delay);
+      if (fi.ops > 0) result.ilp.push_back(std::move(fi));
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.addr != b.addr) return a.addr < b.addr;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
+            });
+  result.findings.erase(
+      std::unique(result.findings.begin(), result.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.addr == b.addr && a.check == b.check &&
+                           a.message == b.message;
+                  }),
+      result.findings.end());
+
+  for (const Finding& f : result.findings) {
+    if (f.severity == Severity::Error) ++result.errors;
+    else if (f.severity == Severity::Warning) ++result.warnings;
+    else ++result.notes;
+  }
+  if (options.max_findings > 0 &&
+      static_cast<int>(result.findings.size()) > options.max_findings) {
+    result.suppressed =
+        static_cast<int>(result.findings.size()) - options.max_findings;
+    result.findings.resize(static_cast<size_t>(options.max_findings));
+  }
+  return result;
+}
+
+std::string render_text(const LintResult& result, const std::string& label,
+                        bool verbose) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    if (f.severity == Severity::Note && !verbose) continue;
+    out += strf("%s: %s: %s: [%s] %s\n", hex32(f.addr).c_str(),
+                f.function.empty() ? "<no function>" : f.function.c_str(),
+                to_string(f.severity), f.check.c_str(), f.message.c_str());
+  }
+  if (result.suppressed > 0)
+    out += strf("... %d further findings suppressed\n", result.suppressed);
+  if (!result.ilp.empty()) {
+    out += strf("%-20s %7s %7s %10s %10s %9s\n", "function", "blocks", "ops",
+                "critpath", "max-block", "weighted");
+    for (const FuncIlp& fi : result.ilp)
+      out += strf("%-20s %7u %7u %10u %10.3f %9.3f\n", fi.function.c_str(),
+                  fi.blocks, fi.ops, fi.critical_path, fi.max_block_bound,
+                  fi.weighted_bound());
+  }
+  out += strf("%s: %d functions, %d instructions: %d errors, %d warnings, "
+              "%d notes — %s\n",
+              label.c_str(), result.functions, result.instructions,
+              result.errors, result.warnings, result.notes,
+              result.clean() ? "clean" : "NOT clean");
+  return out;
+}
+
+std::string render_json(const LintResult& result, const std::string& label) {
+  std::string out = "{\n";
+  out += strf("  \"target\": \"%s\",\n", json_escape(label).c_str());
+  out += strf("  \"clean\": %s,\n", result.clean() ? "true" : "false");
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += strf("    {\"severity\": \"%s\", \"check\": \"%s\", "
+                "\"addr\": \"%s\", \"function\": \"%s\", \"message\": \"%s\"}",
+                to_string(f.severity), json_escape(f.check).c_str(),
+                hex32(f.addr).c_str(), json_escape(f.function).c_str(),
+                json_escape(f.message).c_str());
+  }
+  out += "\n  ],\n";
+  out += "  \"ilp\": [";
+  for (size_t i = 0; i < result.ilp.size(); ++i) {
+    const FuncIlp& fi = result.ilp[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += strf("    {\"function\": \"%s\", \"blocks\": %u, \"ops\": %u, "
+                "\"critical_path\": %u, \"max_block_bound\": %.4f, "
+                "\"weighted_bound\": %.4f}",
+                json_escape(fi.function).c_str(), fi.blocks, fi.ops,
+                fi.critical_path, fi.max_block_bound, fi.weighted_bound());
+  }
+  out += "\n  ],\n";
+  out += strf("  \"summary\": {\"functions\": %d, \"instructions\": %d, "
+              "\"errors\": %d, \"warnings\": %d, \"notes\": %d, "
+              "\"suppressed\": %d}\n",
+              result.functions, result.instructions, result.errors,
+              result.warnings, result.notes, result.suppressed);
+  out += "}\n";
+  return out;
+}
+
+} // namespace ksim::analysis

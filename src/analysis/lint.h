@@ -1,0 +1,51 @@
+// klint — static analysis of linked K-ISA executables (the `ksim lint`
+// subcommand).  Decodes the program statically (program.h), builds
+// per-function CFGs (cfg.h), runs the checker pipeline (checks.h) and the
+// static ILP bound (ilp_bound.h) and renders the results as human-readable
+// text or machine-readable JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/checks.h"
+#include "analysis/ilp_bound.h"
+#include "elf/elf.h"
+
+namespace ksim::analysis {
+
+struct LintOptions {
+  bool ilp = false;          ///< compute the static per-function ILP bounds
+  unsigned memory_delay = 3; ///< ideal memory latency for the ILP bound
+  int max_findings = 0;      ///< truncate the report after N findings; 0 = all
+};
+
+struct LintResult {
+  std::vector<Finding> findings; ///< sorted by address, then check name
+  std::vector<FuncIlp> ilp;      ///< one row per analyzed function (opt-in)
+  int functions = 0;             ///< function regions analyzed
+  int instructions = 0;          ///< statically decoded instructions
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  int suppressed = 0;            ///< findings dropped by max_findings
+
+  /// Errors and warnings make a program dirty; notes are informational.
+  bool clean() const { return errors == 0 && warnings == 0; }
+};
+
+/// Runs every pass over `exe`.  Throws ksim::Error if `exe` is not a linked
+/// executable for an ISA of `set`.
+LintResult run_lint(const elf::ElfFile& exe, const isa::IsaSet& set,
+                    const LintOptions& options = {});
+
+/// Human-readable report (one finding per line plus a summary).  Notes are
+/// only listed when `verbose`; `label` names the target (file or workload).
+std::string render_text(const LintResult& result, const std::string& label,
+                        bool verbose);
+
+/// Machine-readable JSON object: {"target", "clean", "findings": [...],
+/// "ilp": [...], "summary": {...}}.
+std::string render_json(const LintResult& result, const std::string& label);
+
+} // namespace ksim::analysis

@@ -1,0 +1,338 @@
+#include "analysis/program.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/reg_use.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::analysis {
+namespace {
+
+/// Semantic names with special static control-flow meaning.  Classification
+/// is otherwise fully table-driven (is_branch/is_call/is_ret, reloc kind);
+/// only behaviours the ADL cannot express are keyed on the semantics name.
+bool sem_is(const isa::OpInfo& info, std::string_view name) {
+  return info.def != nullptr && info.def->semantic == name;
+}
+
+/// Branch comparisons that are statically decided when both source operands
+/// name the same register (the assembler's `b` pseudo is BEQ r0, r0).
+enum class SameRegBranch { Unknown, AlwaysTaken, NeverTaken };
+
+SameRegBranch same_reg_branch(const isa::OpInfo& info) {
+  if (info.def == nullptr) return SameRegBranch::Unknown;
+  const std::string& s = info.def->semantic;
+  if (s == "beq" || s == "bge" || s == "bgeu") return SameRegBranch::AlwaysTaken;
+  if (s == "bne" || s == "blt" || s == "bltu") return SameRegBranch::NeverTaken;
+  return SameRegBranch::Unknown;
+}
+
+struct WorkItem {
+  uint32_t addr = 0;
+  int isa_id = 0;
+  uint32_t from_addr = 0;
+  bool speculative = false;
+};
+
+class Decoder {
+public:
+  Decoder(const elf::ElfFile& exe, const isa::IsaSet& set, Program& out)
+      : exe_(exe), set_(set), out_(out) {}
+
+  void run() {
+    const elf::Section* text = exe_.find_section(".text");
+    check(text != nullptr && (text->flags & elf::SHF_EXECINSTR) != 0,
+          "lint: executable has no .text section");
+    check(exe_.type == elf::ET_EXEC, "lint: input is not a linked executable");
+    text_ = text;
+    out_.set = &set_;
+    out_.entry = exe_.entry;
+    out_.entry_isa = static_cast<int>(exe_.flags);
+    out_.text_addr = text->addr;
+    out_.text_end = text->addr + static_cast<uint32_t>(text->data.size());
+    check(set_.find_isa(out_.entry_isa) != nullptr,
+          strf("lint: executable names unknown entry ISA %d", out_.entry_isa));
+
+    collect_functions();
+    traverse({out_.entry, out_.entry_isa, out_.entry, false});
+
+    // Seed functions the entry traversal never reached (e.g. unreferenced
+    // library stubs) so their bodies are analyzed too.  Without a caller the
+    // inbound ISA is unknown; the program's entry ISA is the best guess and
+    // findings from these paths are marked speculative.
+    for (FuncRegion& f : out_.functions) {
+      if (out_.instrs.count(f.addr) != 0) continue;
+      f.speculative = true;
+      traverse({f.addr, out_.entry_isa, f.addr, true});
+    }
+  }
+
+private:
+  void collect_functions() {
+    for (const elf::Symbol& sym : exe_.symbols) {
+      if (elf::st_type(sym.info) != elf::STT_FUNC || sym.size == 0) continue;
+      FuncRegion f;
+      f.name = sym.name;
+      f.addr = sym.value;
+      f.size = sym.size;
+      out_.functions.push_back(std::move(f));
+    }
+    std::sort(out_.functions.begin(), out_.functions.end(),
+              [](const FuncRegion& a, const FuncRegion& b) { return a.addr < b.addr; });
+  }
+
+  FuncRegion* region_at(uint32_t addr) {
+    auto it = std::upper_bound(
+        out_.functions.begin(), out_.functions.end(), addr,
+        [](uint32_t a, const FuncRegion& f) { return a < f.addr; });
+    if (it == out_.functions.begin()) return nullptr;
+    --it;
+    return it->contains(addr) ? &*it : nullptr;
+  }
+
+  bool fetch32(uint32_t addr, uint32_t& word) const {
+    if (addr < out_.text_addr || addr + 4 > out_.text_end || (addr & 3u) != 0)
+      return false;
+    const size_t off = addr - out_.text_addr;
+    word = 0;
+    for (int b = 3; b >= 0; --b)
+      word = (word << 8) | text_->data[off + static_cast<size_t>(b)];
+    return true;
+  }
+
+  void issue(DecodeIssueKind kind, const WorkItem& item, int other_isa,
+             std::string detail) {
+    DecodeIssue di;
+    di.kind = kind;
+    di.addr = item.addr;
+    di.from_addr = item.from_addr;
+    di.isa_id = item.isa_id;
+    di.other_isa_id = other_isa;
+    di.speculative = item.speculative;
+    di.detail = std::move(detail);
+    out_.issues.push_back(std::move(di));
+  }
+
+  /// Decodes the instruction at `item.addr` under `item.isa_id`.
+  /// Returns false (after recording an issue) when the path must stop.
+  bool decode_one(const WorkItem& item, const isa::IsaInfo& isa, StaticInstr& out) {
+    out = StaticInstr{};
+    out.addr = item.addr;
+    out.isa_id = static_cast<int16_t>(isa.id);
+    out.isa_after = isa.id;
+    for (int slot = 0; slot < isa.issue_width; ++slot) {
+      const uint32_t op_addr = item.addr + static_cast<uint32_t>(slot) * 4;
+      uint32_t word = 0;
+      if (!fetch32(op_addr, word)) {
+        issue(DecodeIssueKind::BadAddress, item, 0,
+              strf("operation fetch at %s leaves the text section",
+                   hex32(op_addr).c_str()));
+        return false;
+      }
+      const isa::OpInfo* info = set_.detect(isa, word);
+      if (info == nullptr) {
+        issue(DecodeIssueKind::Undecodable, item, 0,
+              strf("word %s at %s does not decode in ISA %s",
+                   hex32(word).c_str(), hex32(op_addr).c_str(), isa.name.c_str()));
+        return false;
+      }
+      StaticOp& op = out.ops[slot];
+      op.info = info;
+      op.word = word;
+      op.rd = info->f_rd.valid ? static_cast<uint8_t>(info->f_rd.extract(word)) : 0;
+      op.ra = info->f_ra.valid ? static_cast<uint8_t>(info->f_ra.extract(word)) : 0;
+      op.rb = info->f_rb.valid ? static_cast<uint8_t>(info->f_rb.extract(word)) : 0;
+      op.imm = info->f_imm.valid ? static_cast<int32_t>(info->f_imm.extract(word)) : 0;
+      ++out.num_ops;
+      if (set_.is_stop(word)) break;
+      if (slot + 1 == isa.issue_width) {
+        issue(DecodeIssueKind::Oversubscribed, item, 0,
+              strf("no stop bit within the %d-issue width of ISA %s",
+                   isa.issue_width, isa.name.c_str()));
+        return false;
+      }
+    }
+    out.size_bytes = static_cast<uint8_t>(out.num_ops * 4);
+    classify(out);
+    return true;
+  }
+
+  /// Derives the static control-flow facts from the decoded operations.
+  void classify(StaticInstr& instr) {
+    for (int s = 0; s < instr.num_ops; ++s) {
+      const StaticOp& op = instr.ops[s];
+      const isa::OpInfo& info = *op.info;
+      if (sem_is(info, "halt")) {
+        instr.is_halt = true;
+        instr.has_fallthrough = false;
+        continue;
+      }
+      if (sem_is(info, "switchtarget")) {
+        instr.isa_after = op.imm;
+        continue;
+      }
+      if (!info.is_branch) continue;
+      // First control-transfer operation classifies the instruction; a
+      // second one is a bundle hazard reported by the checks.
+      const bool first = !instr.has_target && !instr.has_indirect_target &&
+                         !instr.is_ret && !instr.is_cond_branch;
+      const auto target =
+          isa::static_branch_target(info, op.imm, instr.addr + instr.num_ops * 4u);
+      if (!first) continue;
+      if (info.is_call) {
+        instr.is_call = true;
+        if (target) {
+          instr.has_target = true;
+          instr.target = *target;
+        } else {
+          instr.has_indirect_target = true; // JALR
+        }
+        // falls through: control returns after the call
+      } else if (info.is_ret) {
+        // JR: a return when through the link register, otherwise an
+        // indirect jump (e.g. a computed goto / jump table).
+        instr.is_ret = op.ra == 1;
+        instr.has_indirect_target = op.ra != 1;
+        instr.has_fallthrough = false;
+      } else if (target) {
+        const SameRegBranch kind = same_reg_branch(info);
+        const bool same = info.f_ra.valid && info.f_rb.valid && op.ra == op.rb;
+        if (info.reloc == adl::RelocKind::PcRel &&
+            !(same && kind != SameRegBranch::Unknown)) {
+          instr.is_cond_branch = true;
+          instr.has_target = true;
+          instr.target = *target;
+        } else if (same && kind == SameRegBranch::NeverTaken) {
+          // statically never taken: pure fallthrough
+        } else {
+          // J, or a comparison of a register with itself that always holds
+          instr.has_target = true;
+          instr.has_fallthrough = false;
+          instr.target = *target;
+        }
+      } else {
+        instr.has_indirect_target = true;
+        instr.has_fallthrough = false;
+      }
+    }
+    // Instructions using the whole issue width with a stop bit on the last
+    // word still fall through normally — nothing to do.
+  }
+
+  void traverse(const WorkItem& seed) {
+    std::deque<WorkItem> work;
+    work.push_back(seed);
+    while (!work.empty()) {
+      const WorkItem item = work.front();
+      work.pop_front();
+      const isa::IsaInfo* isa = set_.find_isa(item.isa_id);
+      if (isa == nullptr) {
+        issue(DecodeIssueKind::UnknownIsa, item, 0,
+              strf("SWITCHTARGET selects undefined ISA id %d", item.isa_id));
+        continue;
+      }
+      if ((item.addr & 3u) != 0 || item.addr < out_.text_addr ||
+          item.addr >= out_.text_end) {
+        issue(DecodeIssueKind::BadAddress, item, 0,
+              strf("control transfer to %s leaves the text section",
+                   hex32(item.addr).c_str()));
+        continue;
+      }
+
+      auto it = out_.instrs.find(item.addr);
+      if (it != out_.instrs.end()) {
+        StaticInstr& existing = it->second;
+        const uint32_t bit = 1u << static_cast<unsigned>(item.isa_id & 31);
+        if ((existing.inbound_isas & bit) != 0) continue; // already explored
+        if (item.isa_id != existing.isa_id) {
+          // Reached again under a different ISA: the decodings must agree
+          // (ISA-invariant encodings, e.g. the single-operation library
+          // stubs); otherwise the transition is unsafe.
+          StaticInstr redecoded;
+          if (!decode_one(item, *isa, redecoded)) continue;
+          bool equal = redecoded.num_ops == existing.num_ops;
+          for (int s = 0; equal && s < existing.num_ops; ++s)
+            equal = redecoded.ops[s].info == existing.ops[s].info &&
+                    redecoded.ops[s].word == existing.ops[s].word;
+          if (!equal) {
+            issue(DecodeIssueKind::IsaConflict, item, existing.isa_id,
+                  strf("decodes differently under ISA %s than under ISA %s",
+                       isa->name.c_str(),
+                       set_.find_isa(existing.isa_id)->name.c_str()));
+            continue;
+          }
+        }
+        existing.inbound_isas |= bit;
+        push_successors(existing, item, work);
+        continue;
+      }
+
+      StaticInstr instr;
+      if (!decode_one(item, *isa, instr)) continue;
+      instr.inbound_isas = 1u << static_cast<unsigned>(item.isa_id & 31);
+      if (FuncRegion* f = region_at(item.addr)) {
+        if (!item.speculative) f->reached = true;
+        if (item.addr == f->addr) f->entry_isa_id = item.isa_id;
+        if (instr.has_indirect_target && !instr.is_call)
+          f->has_indirect_jump = true;
+      }
+      auto [pos, inserted] = out_.instrs.emplace(item.addr, instr);
+      (void)inserted;
+      push_successors(pos->second, item, work);
+    }
+  }
+
+  void push_successors(const StaticInstr& instr, const WorkItem& item,
+                       std::deque<WorkItem>& work) {
+    // SWITCHTARGET changes the ISA only for the fallthrough path; branch
+    // targets are decoded under the ISA active *at* the instruction (the
+    // switch is serial_only, so it cannot share a bundle with a branch).
+    if (instr.isa_after != item.isa_id &&
+        set_.find_isa(instr.isa_after) == nullptr) {
+      issue(DecodeIssueKind::UnknownIsa,
+            {instr.addr, instr.isa_after, item.addr, item.speculative}, 0,
+            strf("SWITCHTARGET selects undefined ISA id %d", instr.isa_after));
+    } else if (instr.has_fallthrough) {
+      work.push_back({instr.end(), instr.isa_after, instr.addr, item.speculative});
+    }
+    if (instr.has_target)
+      work.push_back({instr.target, item.isa_id, instr.addr, item.speculative});
+  }
+
+  const elf::ElfFile& exe_;
+  const isa::IsaSet& set_;
+  Program& out_;
+  const elf::Section* text_ = nullptr;
+};
+
+} // namespace
+
+const FuncRegion* Program::function_at(uint32_t addr) const {
+  auto it = std::upper_bound(
+      functions.begin(), functions.end(), addr,
+      [](uint32_t a, const FuncRegion& f) { return a < f.addr; });
+  if (it == functions.begin()) return nullptr;
+  --it;
+  return it->contains(addr) ? &*it : nullptr;
+}
+
+const FuncRegion* Program::function_named(std::string_view name) const {
+  for (const FuncRegion& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const StaticInstr* Program::instr_at(uint32_t addr) const {
+  auto it = instrs.find(addr);
+  return it == instrs.end() ? nullptr : &it->second;
+}
+
+Program decode_program(const elf::ElfFile& exe, const isa::IsaSet& set) {
+  Program out;
+  Decoder(exe, set, out).run();
+  return out;
+}
+
+} // namespace ksim::analysis

@@ -1,0 +1,116 @@
+// Static program decoding for klint (src/analysis/).
+//
+// The simulator decodes lazily along the executed path; the static analyzer
+// instead walks *every* statically visible control-flow path from the entry
+// point, tracking the active ISA across SWITCHTARGET operations exactly as
+// the reconfigurable hardware would (paper §V-D).  The result is a map from
+// text addresses to decoded instructions annotated with static control-flow
+// facts, plus the set of decode problems encountered on the way — the raw
+// material for the CFG/dataflow passes in cfg.h / dataflow.h / checks.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elf/elf.h"
+#include "isa/exec.h"
+#include "isa/optable.h"
+
+namespace ksim::analysis {
+
+/// One statically decoded operation (slot of an instruction).
+struct StaticOp {
+  const isa::OpInfo* info = nullptr;
+  uint32_t word = 0;
+  uint8_t rd = 0;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  int32_t imm = 0;
+};
+
+/// One statically decoded instruction (stop-bit delimited group).
+struct StaticInstr {
+  uint32_t addr = 0;
+  uint8_t num_ops = 0;
+  uint8_t size_bytes = 0;
+  int16_t isa_id = 0;        ///< ISA the instruction was first decoded under
+  uint32_t inbound_isas = 0; ///< bit i set: reached while ISA id i was active
+  StaticOp ops[isa::kMaxSlots];
+
+  // Static control flow (derived from the branch-classification metadata of
+  // the operation tables).
+  bool has_fallthrough = true;      ///< may continue at addr + size_bytes
+  bool is_cond_branch = false;
+  bool is_call = false;             ///< JAL/JALR: control returns to fallthrough
+  bool is_ret = false;              ///< JR via the link register
+  bool is_halt = false;
+  bool has_indirect_target = false; ///< register-indirect transfer, target unknown
+  bool has_target = false;
+  uint32_t target = 0;              ///< static branch/call target if has_target
+  int isa_after = 0;                ///< active ISA for the fallthrough successor
+
+  uint32_t end() const { return addr + size_bytes; }
+};
+
+/// Why the static decoder could not continue at an address.
+enum class DecodeIssueKind {
+  Undecodable,    ///< no operation of the inbound ISA matches the word
+  Oversubscribed, ///< no stop bit within the inbound ISA's issue width
+  IsaConflict,    ///< address decodes differently under two inbound ISAs
+  UnknownIsa,     ///< SWITCHTARGET to an id the architecture does not define
+  BadAddress,     ///< control leaves the text section
+};
+
+struct DecodeIssue {
+  DecodeIssueKind kind = DecodeIssueKind::Undecodable;
+  uint32_t addr = 0;      ///< where decoding failed
+  uint32_t from_addr = 0; ///< instruction that transferred control here
+  int isa_id = 0;         ///< ISA active on arrival
+  int other_isa_id = 0;   ///< IsaConflict: the ISA of the earlier decode
+  bool speculative = false; ///< found while decoding a statically unreached function
+  std::string detail;
+};
+
+/// A function region from the executable's symbol table, annotated with what
+/// the traversal learned about it.
+struct FuncRegion {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  bool reached = false;     ///< reached by the traversal from the entry point
+  bool speculative = false; ///< only decoded by seeding its entry (never called)
+  bool has_indirect_jump = false; ///< contains a non-return register-indirect jump
+  int entry_isa_id = 0;     ///< ISA active when its entry was first decoded
+
+  uint32_t end() const { return addr + size; }
+  bool contains(uint32_t a) const { return a >= addr && a < end(); }
+};
+
+/// The statically decoded program.
+struct Program {
+  const isa::IsaSet* set = nullptr;
+  uint32_t entry = 0;
+  int entry_isa = 0;
+  uint32_t text_addr = 0;
+  uint32_t text_end = 0;
+
+  /// Decoded instructions keyed by address.  Instructions reached under
+  /// several ISAs with identical decodings appear once (see inbound_isas).
+  std::map<uint32_t, StaticInstr> instrs;
+  std::vector<FuncRegion> functions; ///< sorted by address
+  std::vector<DecodeIssue> issues;
+
+  const FuncRegion* function_at(uint32_t addr) const;
+  const FuncRegion* function_named(std::string_view name) const;
+  const StaticInstr* instr_at(uint32_t addr) const;
+};
+
+/// Decodes `exe` (a linked executable) from its entry point, then seeds any
+/// function symbols the traversal never reached so library stubs and other
+/// unreferenced code are analyzed too.  Throws ksim::Error if `exe` is not
+/// an executable with a text section.
+Program decode_program(const elf::ElfFile& exe, const isa::IsaSet& set);
+
+} // namespace ksim::analysis

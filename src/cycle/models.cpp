@@ -2,37 +2,30 @@
 
 #include <algorithm>
 
+#include "isa/reg_use.h"
+
 namespace ksim::cycle {
 
 namespace detail {
 
 uint64_t RegCycles::max_of_sources(const isa::DecodedOp& op) const {
-  const isa::OpInfo& info = *op.info;
+  // One definition of "source register" shared with the static analyzer.
   uint64_t m = 0;
-  if (info.ra_is_src) m = std::max(m, cycles_[op.ra]);
-  if (info.rb_is_src) m = std::max(m, cycles_[op.rb]);
-  if (info.rd_is_src) m = std::max(m, cycles_[op.rd]);
-  if (info.implicit_reads != 0) {
-    uint64_t mask = info.implicit_reads & 0xFFFFFFFFull; // general regs only
-    while (mask != 0) {
-      const unsigned r = static_cast<unsigned>(__builtin_ctzll(mask));
-      mask &= mask - 1;
-      m = std::max(m, cycles_[r]);
-    }
+  isa::RegMask mask = isa::op_src_mask(op);
+  while (mask != 0) {
+    const unsigned r = static_cast<unsigned>(__builtin_ctz(mask));
+    mask &= mask - 1;
+    m = std::max(m, cycles_[r]);
   }
   return m;
 }
 
 void RegCycles::write_destinations(const isa::DecodedOp& op, uint64_t completion) {
-  const isa::OpInfo& info = *op.info;
-  if (info.rd_is_dst && op.rd != 0) cycles_[op.rd] = completion;
-  if (info.implicit_writes != 0) {
-    uint64_t mask = info.implicit_writes & 0xFFFFFFFFull; // skip the IP bit
-    while (mask != 0) {
-      const unsigned r = static_cast<unsigned>(__builtin_ctzll(mask));
-      mask &= mask - 1;
-      if (r != 0) cycles_[r] = completion;
-    }
+  isa::RegMask mask = isa::op_dst_mask(op);
+  while (mask != 0) {
+    const unsigned r = static_cast<unsigned>(__builtin_ctz(mask));
+    mask &= mask - 1;
+    cycles_[r] = completion;
   }
 }
 

@@ -5,7 +5,16 @@
 //   ksim build -o out.elf [options] <inputs...>   build an executable
 //   ksim cc <file.c>                              print generated assembly
 //   ksim disasm <file.elf>                        disassemble an executable
+//   ksim lint [options] <file.c|file.s|file.elf>  statically analyze a program
+//   ksim lint --workload <name>|all [--isa NAME|all]
 //   ksim workloads                                list built-in workloads
+//
+// lint options (klint, see src/analysis/):
+//   --format text|json  report format (default text)
+//   --ilp               include the static per-function ILP upper bounds
+//   --ilp-compare       also run the §VI-A ILP model and print both numbers
+//   --verbose           include notes (informational findings)
+//   --max-findings N    truncate the report after N findings
 //
 // run options:
 //   --isa NAME       target/entry ISA (RISC, VLIW2, VLIW4, VLIW6, VLIW8)
@@ -18,12 +27,14 @@
 //   --bp-penalty N   mispredict refill penalty in cycles (default 3)
 //   --opstats        print a per-operation execution histogram
 //   --max-instr N    stop after N instructions
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "cycle/branch_predict.h"
 #include "cycle/models.h"
 #include "isa/kisa.h"
@@ -42,13 +53,16 @@ namespace ksim {
 namespace {
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: ksim <run|build|cc|disasm|workloads> [options] [files]\n"
+  std::cerr << "usage: ksim <run|build|cc|disasm|lint|workloads> [options] [files]\n"
                "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
                "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
                "      [--no-decode-cache] [--no-prediction] [--max-instr N]\n"
                "  build -o <out.elf> [--isa NAME] <file.c|.s ...>\n"
                "  cc [--isa NAME] <file.c>\n"
-               "  disasm <file.elf>\n";
+               "  disasm <file.elf>\n"
+               "  lint --workload <name>|all | <file.c|.s|.elf>  [--isa NAME|all]\n"
+               "       [--format text|json] [--ilp] [--ilp-compare] [--verbose]\n"
+               "       [--max-findings N]\n";
   std::exit(2);
 }
 
@@ -73,6 +87,11 @@ struct Options {
   std::string workload;
   bool profile = false;
   bool opstats = false;
+  std::string format = "text";
+  bool lint_ilp = false;
+  bool lint_ilp_compare = false;
+  bool verbose = false;
+  int max_findings = 0;
   std::string bp_kind;
   int bp_penalty = 3;
   bool decode_cache = true;
@@ -109,6 +128,19 @@ Options parse_options(int argc, char** argv, int first) {
       int64_t v = 0;
       check(parse_int(next(), v) && v >= 0, "--bp-penalty expects a cycle count");
       opt.bp_penalty = static_cast<int>(v);
+    } else if (arg == "--format") {
+      opt.format = next();
+    } else if (arg == "--ilp") {
+      opt.lint_ilp = true;
+    } else if (arg == "--ilp-compare") {
+      opt.lint_ilp = true;
+      opt.lint_ilp_compare = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--max-findings") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--max-findings expects a count");
+      opt.max_findings = static_cast<int>(v);
     } else if (arg == "--no-decode-cache") {
       opt.decode_cache = false;
     } else if (arg == "--no-prediction") {
@@ -317,6 +349,86 @@ int cmd_disasm(const Options& opt) {
   return 0;
 }
 
+int cmd_lint(const Options& opt) {
+  check(opt.format == "text" || opt.format == "json",
+        "unknown --format " + opt.format);
+  const isa::IsaSet& set = isa::kisa();
+
+  std::vector<std::string> isas;
+  if (opt.isa == "all") {
+    for (const isa::IsaInfo& i : set.isas()) isas.push_back(i.name);
+  } else {
+    check(set.find_isa(opt.isa) != nullptr, "unknown ISA " + opt.isa);
+    isas.push_back(opt.isa);
+  }
+
+  analysis::LintOptions lopt;
+  lopt.ilp = opt.lint_ilp;
+  lopt.max_findings = opt.max_findings;
+
+  bool all_clean = true;
+  bool first = true;
+  const bool json = opt.format == "json";
+  if (json) std::cout << "[\n";
+  auto lint_one = [&](const elf::ElfFile& exe, const std::string& label) {
+    const analysis::LintResult result = analysis::run_lint(exe, set, lopt);
+    if (!result.clean()) all_clean = false;
+    if (json) {
+      if (!first) std::cout << ",\n";
+      std::cout << analysis::render_json(result, label);
+    } else {
+      if (!first) std::cout << "\n";
+      std::cout << analysis::render_text(result, label, opt.verbose);
+      if (opt.lint_ilp_compare) {
+        // Independent cross-check of Fig. 4: the dynamic §VI-A measurement
+        // can approach but not exceed the static per-block bounds.
+        cycle::IlpModel model;
+        const workloads::RunOutcome outcome = workloads::run_executable(exe, &model);
+        double max_bound = 0.0;
+        for (const analysis::FuncIlp& fi : result.ilp)
+          max_bound = std::max(max_bound, fi.max_block_bound);
+        std::cout << strf("%s: measured ILP %.3f (%llu ops / %llu cycles), "
+                          "static max-block bound %.3f\n",
+                          label.c_str(), model.ilp(),
+                          static_cast<unsigned long long>(model.operations()),
+                          static_cast<unsigned long long>(model.cycles()),
+                          max_bound);
+      }
+    }
+    first = false;
+  };
+
+  std::vector<const workloads::Workload*> wls;
+  if (opt.workload == "all") {
+    for (const workloads::Workload& w : workloads::all()) wls.push_back(&w);
+  } else if (!opt.workload.empty()) {
+    wls.push_back(&workloads::by_name(opt.workload));
+  }
+
+  if (!wls.empty()) {
+    for (const workloads::Workload* w : wls)
+      for (const std::string& isa_name : isas)
+        lint_one(workloads::build_workload(*w, isa_name), w->name + "@" + isa_name);
+  } else {
+    check(!opt.inputs.empty(), "no input file");
+    if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
+      // The entry ISA is baked into the executable; --isa is ignored.
+      const std::string bytes = read_file(opt.inputs[0]);
+      lint_one(elf::ElfFile::parse(std::span(
+                   reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())),
+               opt.inputs[0]);
+    } else {
+      for (const std::string& isa_name : isas) {
+        Options per_isa = opt;
+        per_isa.isa = isa_name;
+        lint_one(build_from_inputs(per_isa), opt.inputs[0] + "@" + isa_name);
+      }
+    }
+  }
+  if (json) std::cout << "]\n";
+  return all_clean ? 0 : 1;
+}
+
 int cmd_workloads() {
   for (const workloads::Workload& w : workloads::all())
     std::cout << strf("%-8s %s\n", w.name.c_str(), w.description.c_str());
@@ -331,6 +443,7 @@ int main_impl(int argc, char** argv) {
   if (cmd == "build") return cmd_build(opt);
   if (cmd == "cc") return cmd_cc(opt);
   if (cmd == "disasm") return cmd_disasm(opt);
+  if (cmd == "lint") return cmd_lint(opt);
   if (cmd == "workloads") return cmd_workloads();
   usage();
 }

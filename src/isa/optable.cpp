@@ -10,6 +10,20 @@ uint32_t OpField::extract(uint32_t word) const {
   return raw;
 }
 
+uint32_t IsaSet::encode_op(const OpInfo& op, const OpOperands& operands,
+                           bool stop) const {
+  uint32_t word = op.match_bits;
+  auto insert = [&word](const OpField& f, uint32_t value) {
+    if (f.valid) word = insert_bits(word, f.hi, f.lo, value);
+  };
+  insert(op.f_rd, operands.rd);
+  insert(op.f_ra, operands.ra);
+  insert(op.f_rb, operands.rb);
+  insert(op.f_imm, static_cast<uint32_t>(operands.imm));
+  if (stop) word |= 1u << stop_bit_;
+  return word;
+}
+
 const IsaInfo* IsaSet::find_isa(int id) const {
   for (const IsaInfo& i : isas_)
     if (i.id == id) return &i;

@@ -85,6 +85,14 @@ struct IsaInfo {
   std::vector<const OpInfo*> ops; ///< operations valid in this ISA
 };
 
+/// Operand values for encode_op.
+struct OpOperands {
+  unsigned rd = 0;
+  unsigned ra = 0;
+  unsigned rb = 0;
+  int32_t imm = 0;
+};
+
 /// All ISAs of an architecture plus shared metadata.
 class IsaSet {
 public:
@@ -114,6 +122,12 @@ public:
 
   /// True if `word` has the stop bit set (last operation of an instruction).
   bool is_stop(uint32_t word) const { return ((word >> stop_bit_) & 1u) != 0; }
+
+  /// Encodes one operation word: the operation's constant match fields plus
+  /// the given operand values; `stop` sets the stop bit (instruction end).
+  /// The inverse of detect + field extraction, used by consistency checks
+  /// and test fixtures; the assembler keeps its own richer encoder.
+  uint32_t encode_op(const OpInfo& op, const OpOperands& operands, bool stop) const;
 
 private:
   friend class TargetGen;

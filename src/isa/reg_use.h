@@ -1,0 +1,63 @@
+// Static register-use metadata derived from the operation tables: which
+// general registers an operation reads and writes, and where its statically
+// known branch target lies.  Shared by the cycle models (dynamic dependence
+// tracking, §VI) and the klint static-analysis passes (src/analysis/), so
+// both agree on one definition of "source" and "destination".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/exec.h"
+#include "isa/optable.h"
+
+namespace ksim::isa {
+
+/// Bit mask over the 32 general registers (bit i = register i).  Special
+/// registers (the IP, bit kIpRegIndex of the implicit masks) are excluded.
+using RegMask = uint32_t;
+
+/// Registers read by an operation, given its decoded operand fields.
+inline RegMask op_src_mask(const OpInfo& info, unsigned rd, unsigned ra, unsigned rb) {
+  RegMask m = static_cast<RegMask>(info.implicit_reads & 0xFFFFFFFFull);
+  if (info.ra_is_src) m |= 1u << (ra & 31u);
+  if (info.rb_is_src) m |= 1u << (rb & 31u);
+  if (info.rd_is_src) m |= 1u << (rd & 31u);
+  return m;
+}
+
+/// Registers written by an operation.  The hardwired zero register is never
+/// a meaningful destination and is excluded.
+inline RegMask op_dst_mask(const OpInfo& info, unsigned rd, int zero_reg = 0) {
+  RegMask m = static_cast<RegMask>(info.implicit_writes & 0xFFFFFFFFull);
+  if (info.rd_is_dst) m |= 1u << (rd & 31u);
+  if (zero_reg >= 0 && zero_reg < 32) m &= ~(1u << static_cast<unsigned>(zero_reg));
+  return m;
+}
+
+inline RegMask op_src_mask(const DecodedOp& op) {
+  return op_src_mask(*op.info, op.rd, op.ra, op.rb);
+}
+inline RegMask op_dst_mask(const DecodedOp& op, int zero_reg = 0) {
+  return op_dst_mask(*op.info, op.rd, zero_reg);
+}
+
+/// Statically known branch target of an operation, if it has one.
+/// `next_addr` is the address of the next sequential instruction (branch
+/// offsets are relative to it, in operation words; see sem_beq & friends).
+/// Indirect transfers (JR/JALR) have no static target.
+inline std::optional<uint32_t> static_branch_target(const OpInfo& info, int32_t imm,
+                                                    uint32_t next_addr) {
+  if (!info.is_branch) return std::nullopt;
+  switch (info.reloc) {
+    case adl::RelocKind::PcRel:
+      return next_addr + (static_cast<uint32_t>(imm) << 2);
+    case adl::RelocKind::Abs25:
+      return static_cast<uint32_t>(imm) << 2;
+    case adl::RelocKind::None:
+      return std::nullopt; // register-indirect (JR/JALR)
+  }
+  return std::nullopt;
+}
+
+} // namespace ksim::isa

@@ -1,0 +1,172 @@
+// Self-checks over the generated operation tables: the ADL → TargetGen
+// pipeline must produce tables whose detection patterns are unambiguous,
+// whose entries are fully populated, and whose encodings round-trip through
+// the assembler and disassembler.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/kisa.h"
+#include "isa/optable.h"
+#include "isa/reg_use.h"
+#include "kasm/assembler.h"
+#include "kasm/disasm.h"
+#include "support/strings.h"
+
+namespace ksim::isa {
+namespace {
+
+// Two detection patterns are ambiguous when some word satisfies both:
+// exactly when their constant bits agree on the overlap of their masks.
+bool patterns_overlap(const OpInfo& a, const OpInfo& b) {
+  const uint32_t common = a.match_mask & b.match_mask;
+  return (a.match_bits & common) == (b.match_bits & common);
+}
+
+TEST(OptableConsistency, MatchPatternsMutuallyExclusivePerIsa) {
+  const IsaSet& set = kisa();
+  for (const IsaInfo& isa : set.isas()) {
+    for (size_t i = 0; i < isa.ops.size(); ++i) {
+      for (size_t j = i + 1; j < isa.ops.size(); ++j) {
+        EXPECT_FALSE(patterns_overlap(*isa.ops[i], *isa.ops[j]))
+            << isa.name << ": " << isa.ops[i]->name << " and "
+            << isa.ops[j]->name << " can match the same word";
+      }
+    }
+  }
+}
+
+TEST(OptableConsistency, MatchMaskAgreesWithMatchFields) {
+  const IsaSet& set = kisa();
+  for (const OpInfo* op : set.all_ops()) {
+    uint32_t mask = 0, bits = 0;
+    for (const OpInfo::MatchField& mf : op->match_fields) {
+      uint32_t field_mask = 0;
+      for (unsigned b = mf.field.lo; b <= mf.field.hi; ++b)
+        field_mask |= 1u << b;
+      mask |= field_mask;
+      bits |= (mf.value << mf.field.lo) & field_mask;
+    }
+    EXPECT_EQ(mask, op->match_mask) << op->name;
+    EXPECT_EQ(bits, op->match_bits) << op->name;
+  }
+}
+
+TEST(OptableConsistency, EveryOperationFullyPopulated) {
+  const IsaSet& set = kisa();
+  ASSERT_FALSE(set.all_ops().empty());
+  for (const OpInfo* op : set.all_ops()) {
+    EXPECT_FALSE(op->name.empty());
+    EXPECT_NE(op->fn, nullptr) << op->name << " has no semantics function";
+    EXPECT_NE(op->def, nullptr) << op->name << " has no ADL definition";
+    EXPECT_FALSE(op->match_fields.empty())
+        << op->name << " has no detection pattern";
+    EXPECT_NE(op->match_mask, 0u) << op->name;
+    // A destination register requires an rd field, and vice versa for the
+    // explicit source flags.
+    if (op->rd_is_dst || op->rd_is_src) EXPECT_TRUE(op->f_rd.valid) << op->name;
+    if (op->ra_is_src) EXPECT_TRUE(op->f_ra.valid) << op->name;
+    if (op->rb_is_src) EXPECT_TRUE(op->f_rb.valid) << op->name;
+  }
+}
+
+TEST(OptableConsistency, EveryOperationReachableByDetect) {
+  // encode_op(op) must be detected as exactly `op` in every ISA that lists
+  // it — the encoder and the detection patterns describe the same format.
+  const IsaSet& set = kisa();
+  for (const IsaInfo& isa : set.isas()) {
+    for (const OpInfo* op : isa.ops) {
+      OpOperands operands;
+      operands.rd = 5;
+      operands.ra = 6;
+      operands.rb = 7;
+      operands.imm = 0;
+      const uint32_t word = set.encode_op(*op, operands, true);
+      EXPECT_EQ(set.detect(isa, word), op)
+          << isa.name << ": " << op->name << " encodes to " << hex32(word)
+          << " which detects as something else";
+    }
+  }
+}
+
+TEST(OptableConsistency, OperandFieldsRoundTripThroughEncode) {
+  const IsaSet& set = kisa();
+  for (const OpInfo* op : set.all_ops()) {
+    OpOperands operands;
+    operands.rd = 9;
+    operands.ra = 17;
+    operands.rb = 31;
+    operands.imm = op->f_imm.valid && op->f_imm.is_signed ? -3 : 3;
+    const uint32_t word = set.encode_op(*op, operands, false);
+    EXPECT_FALSE(set.is_stop(word));
+    if (op->f_rd.valid) EXPECT_EQ(op->f_rd.extract(word), operands.rd);
+    if (op->f_ra.valid) EXPECT_EQ(op->f_ra.extract(word), operands.ra);
+    if (op->f_rb.valid) EXPECT_EQ(op->f_rb.extract(word), operands.rb);
+    if (op->f_imm.valid)
+      EXPECT_EQ(static_cast<int32_t>(op->f_imm.extract(word)), operands.imm)
+          << op->name;
+  }
+}
+
+// encode_op → disassemble_op → assembler → same word.  Relocated operations
+// (branches, address materialisation) take labels in assembly and are
+// covered by the detect/extract round-trips above.
+TEST(OptableConsistency, AsmDisasmRoundTrip) {
+  const IsaSet& set = kisa();
+  const IsaInfo& risc = set.default_isa();
+  int covered = 0;
+  for (const OpInfo* op : risc.ops) {
+    if (op->reloc != adl::RelocKind::None) continue;
+    if (op->name == "SWITCHTARGET") continue; // imm is an ISA name in asm
+    // Only operands the assembly syntax mentions survive the text form, so
+    // leave everything else at zero.
+    OpOperands operands;
+    for (const std::string& pat : op->syntax) {
+      if (pat == "rd") operands.rd = 4;
+      if (pat == "ra" || pat == "imm(ra)") operands.ra = 10;
+      if (pat == "rb") operands.rb = 11;
+      if (pat == "imm" || pat == "imm(ra)")
+        operands.imm = op->f_imm.is_signed ? -8 : 8;
+    }
+    const uint32_t word = set.encode_op(*op, operands, true);
+    const std::string text = kasm::disassemble_op(set, risc, word);
+    ASSERT_EQ(text.find(".word"), std::string::npos)
+        << op->name << " did not disassemble: " << text;
+
+    const std::string source = strf(
+        ".isa RISC\n.global f\n.func f\n  %s\n  ret\n.endfunc\n", text.c_str());
+    elf::ElfFile obj;
+    ASSERT_NO_THROW(obj = kasm::assemble_or_throw(source))
+        << op->name << ": " << text;
+    const elf::Section* sec = obj.find_section(".text");
+    ASSERT_NE(sec, nullptr);
+    ASSERT_GE(sec->data.size(), 4u);
+    uint32_t reassembled = 0;
+    std::memcpy(&reassembled, sec->data.data(), 4);
+    EXPECT_EQ(reassembled, word) << op->name << ": \"" << text << "\"";
+    ++covered;
+  }
+  EXPECT_GT(covered, 10) << "round-trip covered suspiciously few operations";
+}
+
+TEST(OptableConsistency, RegUseMasksMatchOperandFlags) {
+  // op_src_mask/op_dst_mask (the analysis layer's view) must agree with the
+  // operand flags and implicit masks in the table.
+  const IsaSet& set = kisa();
+  for (const OpInfo* op : set.all_ops()) {
+    const RegMask src = op_src_mask(*op, 9, 17, 31);
+    const RegMask dst = op_dst_mask(*op, 9);
+    if (op->ra_is_src) EXPECT_NE(src & (1u << 17), 0u) << op->name;
+    if (op->rb_is_src) EXPECT_NE(src & (1u << 31), 0u) << op->name;
+    if (op->rd_is_src) EXPECT_NE(src & (1u << 9), 0u) << op->name;
+    if (op->rd_is_dst) EXPECT_NE(dst & (1u << 9), 0u) << op->name;
+    if (!op->rd_is_dst)
+      EXPECT_EQ(dst, static_cast<RegMask>(op->implicit_writes & 0xFFFFFFFFu))
+          << op->name;
+    // The zero register never counts as a destination.
+    EXPECT_EQ(op_dst_mask(*op, 0) & 1u, 0u) << op->name;
+  }
+}
+
+} // namespace
+} // namespace ksim::isa
