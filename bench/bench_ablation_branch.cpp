@@ -11,13 +11,17 @@
 using namespace ksim;
 using namespace ksim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("ablation_branch", args);
+
   header("Ablation: branch prediction models (RISC, DOE, 3-cycle refill)");
 
   std::printf("%-8s %10s | %9s %9s %9s %9s | %12s %12s\n", "app", "branches",
               "not-tkn", "1-bit", "2-bit", "gshare", "perfect cyc", "2-bit cyc");
 
   for (const workloads::Workload& w : workloads::all()) {
+    if (args.quick && w.name != "dct") continue;
     const elf::ElfFile exe = workloads::build_workload(w, "RISC");
 
     uint64_t perfect_cycles = 0;
@@ -47,9 +51,14 @@ int main() {
                 100 * miss[0], 100 * miss[1], 100 * miss[2], 100 * miss[3],
                 static_cast<unsigned long long>(perfect_cycles),
                 static_cast<unsigned long long>(cycles_2bit));
+    json.set(w.name + ".miss_rate.2bit", miss[2]);
+    json.set(w.name + ".miss_rate.gshare", miss[3]);
+    json.set(w.name + ".cycles.perfect", perfect_cycles);
+    json.set(w.name + ".cycles.2bit", cycles_2bit);
   }
   std::printf("\n(perfect prediction is the Table II configuration; the 2-bit"
               " column shows\n the estimate once the future-work mispredict"
               " model is enabled)\n");
+  json.write();
   return 0;
 }

@@ -6,7 +6,10 @@
 using namespace ksim;
 using namespace ksim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("ablation_decode", args);
+
   header("Ablation: decode cache & instruction prediction per workload (RISC)");
 
   std::printf("%-8s %14s %10s %14s %14s\n", "app", "instructions", "decodes",
@@ -19,21 +22,36 @@ int main() {
                 static_cast<unsigned long long>(r.stats.decodes),
                 100.0 * r.stats.decode_avoidance(),
                 100.0 * r.stats.lookup_avoidance());
+    json.set(w.name + ".decode_avoidance", r.stats.decode_avoidance());
+    json.set(w.name + ".lookup_avoidance", r.stats.lookup_avoidance());
+    json.set(w.name + ".block_chain_avoidance", r.stats.block_chain_avoidance());
   }
 
+  const int repeats = args.quick ? 1 : 2;
   std::printf("\nMIPS per configuration (all workloads, RISC):\n");
-  std::printf("%-8s %12s %12s %12s\n", "app", "no cache", "cache", "cache+pred");
+  std::printf("%-8s %12s %12s %12s %12s\n", "app", "no cache", "cache",
+              "cache+pred", "superblocks");
   for (const workloads::Workload& w : workloads::all()) {
     const elf::ElfFile exe = workloads::build_workload(w, "RISC");
     sim::SimOptions no_cache;
     no_cache.use_decode_cache = false;
     sim::SimOptions cache_only;
     cache_only.use_prediction = false;
+    cache_only.use_superblocks = false;
+    sim::SimOptions prediction;
+    prediction.use_superblocks = false;
     const TimedRun a = timed_run(exe, no_cache, {}, 1);
-    const TimedRun b = timed_run(exe, cache_only, {}, 2);
-    const TimedRun c = timed_run(exe, {}, {}, 2);
-    std::printf("%-8s %12.2f %12.1f %12.1f\n", w.name.c_str(), a.mips(), b.mips(),
-                c.mips());
+    const TimedRun b = timed_run(exe, cache_only, {}, repeats);
+    const TimedRun c = timed_run(exe, prediction, {}, repeats);
+    const TimedRun d = timed_run(exe, {}, {}, repeats);
+    std::printf("%-8s %12.2f %12.1f %12.1f %12.1f\n", w.name.c_str(), a.mips(),
+                b.mips(), c.mips(), d.mips());
+    json.set(w.name + ".mips.no_cache", a.mips());
+    json.set(w.name + ".mips.cache", b.mips());
+    json.set(w.name + ".mips.prediction", c.mips());
+    json.set(w.name + ".mips.superblocks", d.mips());
   }
+
+  json.write();
   return 0;
 }

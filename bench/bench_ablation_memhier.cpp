@@ -12,18 +12,24 @@ using namespace ksim::bench;
 namespace {
 
 void run_config(const elf::ElfFile& exe, const char* label,
-                const cycle::HierarchyConfig& cfg) {
+                const cycle::HierarchyConfig& cfg, BenchJson& json,
+                const std::string& key) {
   cycle::MemoryHierarchy memory(cfg);
   cycle::DoeModel doe(&memory);
   workloads::run_executable(exe, &doe);
   std::printf("%-26s %12llu %10.2f%% %10.2f%%\n", label,
               static_cast<unsigned long long>(doe.cycles()),
               100.0 * memory.l1().miss_rate(), 100.0 * memory.l2().miss_rate());
+  json.set(key + ".cycles", doe.cycles());
+  json.set(key + ".l1_miss_rate", memory.l1().miss_rate());
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("ablation_memhier", args);
+
   header("Ablation: memory hierarchy sweep on AES (RISC, DOE model)");
   const elf::ElfFile exe = workloads::build_workload(workloads::by_name("aes"), "RISC");
 
@@ -31,29 +37,36 @@ int main() {
               "L2 miss");
 
   for (const uint32_t size : {1024u, 2048u, 4096u, 8192u}) {
+    if (args.quick && size != 2048u) continue;
     cycle::HierarchyConfig cfg;
     cfg.l1.size_bytes = size;
-    run_config(exe, ksim::strf("L1 %u B (4-way, 1 port)", size).c_str(), cfg);
+    run_config(exe, ksim::strf("L1 %u B (4-way, 1 port)", size).c_str(), cfg,
+               json, ksim::strf("l1_size_%u", size));
   }
-  for (const uint32_t assoc : {1u, 2u, 8u}) {
-    cycle::HierarchyConfig cfg;
-    cfg.l1.associativity = assoc;
-    run_config(exe, ksim::strf("L1 2048 B (%u-way, 1 port)", assoc).c_str(), cfg);
+  if (!args.quick) {
+    for (const uint32_t assoc : {1u, 2u, 8u}) {
+      cycle::HierarchyConfig cfg;
+      cfg.l1.associativity = assoc;
+      run_config(exe, ksim::strf("L1 2048 B (%u-way, 1 port)", assoc).c_str(),
+                 cfg, json, ksim::strf("l1_assoc_%u", assoc));
+    }
+    for (const unsigned ports : {2u, 4u}) {
+      cycle::HierarchyConfig cfg;
+      cfg.l1_ports = ports;
+      run_config(exe, ksim::strf("L1 2048 B (4-way, %u ports)", ports).c_str(),
+                 cfg, json, ksim::strf("l1_ports_%u", ports));
+    }
+    {
+      cycle::HierarchyConfig cfg;
+      cfg.l2.delay = 12;
+      run_config(exe, "slow L2 (12-cycle latency)", cfg, json, "l2_slow");
+    }
+    {
+      cycle::HierarchyConfig cfg;
+      cfg.memory_delay = 60;
+      run_config(exe, "slow DRAM (60-cycle latency)", cfg, json, "dram_slow");
+    }
   }
-  for (const unsigned ports : {2u, 4u}) {
-    cycle::HierarchyConfig cfg;
-    cfg.l1_ports = ports;
-    run_config(exe, ksim::strf("L1 2048 B (4-way, %u ports)", ports).c_str(), cfg);
-  }
-  {
-    cycle::HierarchyConfig cfg;
-    cfg.l2.delay = 12;
-    run_config(exe, "slow L2 (12-cycle latency)", cfg);
-  }
-  {
-    cycle::HierarchyConfig cfg;
-    cfg.memory_delay = 60;
-    run_config(exe, "slow DRAM (60-cycle latency)", cfg);
-  }
+  json.write();
   return 0;
 }

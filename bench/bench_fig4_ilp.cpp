@@ -12,7 +12,10 @@
 using namespace ksim;
 using namespace ksim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("fig4_ilp", args);
+
   header("Figure 4: theoretical ILP vs achieved operations/cycle");
 
   std::printf("%-8s %6s | %8s %8s %8s %8s %8s | %8s\n", "app", "ILP", "RISC",
@@ -20,6 +23,7 @@ int main() {
 
   const char* widths[] = {"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"};
   for (const workloads::Workload& w : workloads::all()) {
+    if (args.quick && w.name != "dct") continue;
     // Theoretical ILP on the RISC stream.
     cycle::IlpModel ilp;
     workloads::run_executable(workloads::build_workload(w, "RISC"), &ilp);
@@ -36,9 +40,14 @@ int main() {
     std::printf("%-8s %6.2f | %8.3f %8.3f %8.3f %8.3f %8.3f | %7.1f%%\n",
                 w.name.c_str(), ilp.ilp(), opc[0], opc[1], opc[2], opc[3], opc[4],
                 100.0 * l1_miss_risc);
+    json.set(w.name + ".ilp", ilp.ilp());
+    for (int i = 0; i < 5; ++i)
+      json.set(w.name + ".opc." + widths[i], opc[i]);
+    json.set(w.name + ".l1_miss_risc", l1_miss_risc);
   }
   std::printf("\n(ILP: upper bound with unlimited resources and ideal 3-cycle"
               " memory;\n achieved: DOE model, L1 2KiB/4-way/3cy, L2 256KiB/6cy,"
               " memory 18cy, 1 L1 port)\n");
+  json.write();
   return 0;
 }

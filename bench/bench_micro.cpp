@@ -150,4 +150,27 @@ BENCHMARK(BM_CompileFib);
 } // namespace
 } // namespace ksim
 
-BENCHMARK_MAIN();
+// Same CLI contract as the other bench binaries: --json <path> emits
+// machine-readable results (mapped onto google-benchmark's --benchmark_out),
+// --quick caps each benchmark's run time.  Other flags pass through untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> argstrs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      argstrs.push_back(std::string("--benchmark_out=") + argv[++i]);
+      argstrs.push_back("--benchmark_out_format=json");
+    } else if (arg == "--quick") {
+      argstrs.push_back("--benchmark_min_time=0.05s");
+    } else {
+      argstrs.push_back(arg);
+    }
+  }
+  std::vector<char*> cargs;
+  for (std::string& s : argstrs) cargs.push_back(s.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

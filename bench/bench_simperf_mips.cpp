@@ -1,8 +1,12 @@
 // Reproduces §VII-A's simulator-performance narrative: simulation speed in
-// MIPS without the decode cache, with the decode cache, and with instruction
-// prediction, plus the decode/lookup avoidance rates (paper: 0.177 → 16.7 →
-// 29.5 MIPS; 99.991 % of decodes and 99.2 % of hash lookups avoided), and
-// the MIPS with each cycle-approximation model active.
+// MIPS without the decode cache, with the decode cache, with instruction
+// prediction, and with the superblock engine that generalizes prediction to
+// block chaining (paper: 0.177 → 16.7 → 29.5 MIPS; 99.991 % of decodes and
+// 99.2 % of hash lookups avoided), plus the MIPS with each
+// cycle-approximation model active.
+//
+//   --json <path>  emit machine-readable metrics (ci.sh → BENCH_simperf.json)
+//   --quick        single repeat, no cycle-model sweep (CI smoke check)
 #include <memory>
 
 #include "bench_util.h"
@@ -11,48 +15,88 @@
 using namespace ksim;
 using namespace ksim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("simperf_mips", args);
+  const int repeats = args.quick ? 1 : 3;
+
   header("SVII-A: simulator performance in MIPS (cjpeg, RISC instance)");
 
   const elf::ElfFile exe =
       workloads::build_workload(workloads::by_name("cjpeg"), "RISC");
+  json.set("workload", std::string("cjpeg"));
+  json.set("isa", std::string("RISC"));
 
   sim::SimOptions no_cache;
   no_cache.use_decode_cache = false;
   sim::SimOptions cache_only;
   cache_only.use_prediction = false;
-  sim::SimOptions full;
+  cache_only.use_superblocks = false;
+  sim::SimOptions prediction;
+  prediction.use_superblocks = false;
+  sim::SimOptions superblocks; // cache + prediction + superblocks (default)
 
-  const TimedRun a = timed_run(exe, no_cache);
-  const TimedRun b = timed_run(exe, cache_only);
-  const TimedRun c = timed_run(exe, full);
+  const TimedRun a = timed_run(exe, no_cache, {}, repeats);
+  const TimedRun b = timed_run(exe, cache_only, {}, repeats);
+  const TimedRun c = timed_run(exe, prediction, {}, repeats);
+  const TimedRun d = timed_run(exe, superblocks, {}, repeats);
 
-  std::printf("%-36s %10s %12s\n", "Configuration", "MIPS", "speedup");
-  std::printf("%-36s %10.3f %12s\n", "interpretation only (no decode cache)",
+  std::printf("%-38s %10s %12s\n", "Configuration", "MIPS", "speedup");
+  std::printf("%-38s %10.3f %12s\n", "interpretation only (no decode cache)",
               a.mips(), "1.0x");
-  std::printf("%-36s %10.1f %11.1fx\n", "+ decode cache", b.mips(),
+  std::printf("%-38s %10.1f %11.1fx\n", "+ decode cache", b.mips(),
               b.mips() / a.mips());
-  std::printf("%-36s %10.1f %11.1fx\n", "+ instruction prediction", c.mips(),
+  std::printf("%-38s %10.1f %11.1fx\n", "+ instruction prediction", c.mips(),
               c.mips() / a.mips());
-  std::printf("\ndetect & decode avoided by the cache: %.4f%% of instructions\n",
-              100.0 * c.stats.decode_avoidance());
-  std::printf("hash lookups avoided by prediction:    %.2f%% of lookups\n",
+  std::printf("%-38s %10.1f %11.1fx\n", "+ superblock chaining", d.mips(),
+              d.mips() / a.mips());
+  std::printf("\nsuperblocks vs. prediction-only: %.2fx\n", d.mips() / c.mips());
+  std::printf("detect & decode avoided by the cache:  %.4f%% of instructions\n",
+              100.0 * d.stats.decode_avoidance());
+  std::printf("hash lookups avoided (prediction):     %.2f%% of lookups\n",
               100.0 * c.stats.lookup_avoidance());
+  std::printf("hash lookups avoided (superblocks):    %.2f%% of lookups\n",
+              100.0 * d.stats.lookup_avoidance());
+  std::printf("block dispatches resolved by chaining: %.2f%% of %llu\n",
+              100.0 * d.stats.block_chain_avoidance(),
+              static_cast<unsigned long long>(d.stats.block_dispatches));
 
-  cycle::MemoryHierarchy memory;
-  std::unique_ptr<cycle::CycleModel> model;
-  auto with_model = [&](char kind) {
-    return timed_run(exe, full, [&, kind]() -> cycle::CycleModel* {
-      memory.reset();
-      if (kind == 'i') model = std::make_unique<cycle::IlpModel>();
-      else if (kind == 'a') model = std::make_unique<cycle::AieModel>(&memory);
-      else model = std::make_unique<cycle::DoeModel>(&memory);
-      return model.get();
-    });
-  };
-  std::printf("\n%-36s %10s\n", "Cycle approximation active", "MIPS");
-  std::printf("%-36s %10.1f\n", "ILP measurement", with_model('i').mips());
-  std::printf("%-36s %10.1f\n", "AIE (incl. memory model)", with_model('a').mips());
-  std::printf("%-36s %10.1f\n", "DOE (incl. memory model)", with_model('d').mips());
+  json_run(json, "no_cache", a);
+  json_run(json, "cache", b);
+  json_run(json, "prediction", c);
+  json_run(json, "superblocks", d);
+  json.set("superblocks.speedup_vs_prediction", d.mips() / c.mips());
+  json.set("prediction.lookup_avoidance", c.stats.lookup_avoidance());
+  json.set("superblocks.decode_avoidance", d.stats.decode_avoidance());
+  json.set("superblocks.lookup_avoidance", d.stats.lookup_avoidance());
+  json.set("superblocks.block_chain_avoidance", d.stats.block_chain_avoidance());
+  json.set("superblocks.blocks_formed", d.stats.blocks_formed);
+  json.set("superblocks.block_dispatches", d.stats.block_dispatches);
+
+  if (!args.quick) {
+    cycle::MemoryHierarchy memory;
+    std::unique_ptr<cycle::CycleModel> model;
+    auto with_model = [&](char kind) {
+      return timed_run(exe, superblocks, [&, kind]() -> cycle::CycleModel* {
+        memory.reset();
+        if (kind == 'i') model = std::make_unique<cycle::IlpModel>();
+        else if (kind == 'a') model = std::make_unique<cycle::AieModel>(&memory);
+        else model = std::make_unique<cycle::DoeModel>(&memory);
+        return model.get();
+      });
+    };
+    const TimedRun ilp = with_model('i');
+    const TimedRun aie = with_model('a');
+    const TimedRun doe = with_model('d');
+    std::printf("\n%-38s %10s\n", "Cycle approximation active", "MIPS");
+    std::printf("%-38s %10.1f\n", "ILP measurement", ilp.mips());
+    std::printf("%-38s %10.1f\n", "AIE (incl. memory model)", aie.mips());
+    std::printf("%-38s %10.1f\n", "DOE (incl. memory model)", doe.mips());
+    json_run(json, "ilp", ilp);
+    json_run(json, "aie", aie);
+    json_run(json, "doe", doe);
+  }
+
+  json.write();
   return 0;
 }

@@ -11,21 +11,27 @@
 using namespace ksim;
 using namespace ksim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("table1_components", args);
+  const int repeats = args.quick ? 1 : 3;
+
   header("Table I: simulator component costs (cjpeg, RISC instance)");
 
   const elf::ElfFile exe =
       workloads::build_workload(workloads::by_name("cjpeg"), "RISC");
 
-  sim::SimOptions base;                    // cache + prediction (production config)
+  sim::SimOptions base;                    // cache + prediction (paper's config)
+  base.use_superblocks = false;
   sim::SimOptions cache_only;
   cache_only.use_prediction = false;
+  cache_only.use_superblocks = false;
   sim::SimOptions no_cache;
   no_cache.use_decode_cache = false;
 
-  const TimedRun t_nocache = timed_run(exe, no_cache);
-  const TimedRun t_cache = timed_run(exe, cache_only);
-  const TimedRun t_pred = timed_run(exe, base);
+  const TimedRun t_nocache = timed_run(exe, no_cache, {}, repeats);
+  const TimedRun t_cache = timed_run(exe, cache_only, {}, repeats);
+  const TimedRun t_pred = timed_run(exe, base, {}, repeats);
 
   cycle::MemoryHierarchy memory;
   auto with_model = [&](char kind, bool with_mem) {
@@ -42,7 +48,7 @@ int main() {
           break;
       }
       return model.get();
-    });
+    }, repeats);
   };
   const TimedRun t_ilp = with_model('i', true);
   const TimedRun t_aie = with_model('a', true);
@@ -76,5 +82,14 @@ int main() {
               " prediction hit rate %.1f%%)\n",
               t_nocache.ns_per_instr(), t_cache.ns_per_instr(),
               t_pred.ns_per_instr(), 100.0 * p);
+
+  json.set("execute_ns", exec);
+  json.set("cache_access_ns", lookup);
+  json.set("detect_decode_ns", detect);
+  json.set("ilp_ns", t_ilp.ns_per_instr() - t_pred.ns_per_instr());
+  json.set("aie_ns", t_aie.ns_per_instr() - t_pred.ns_per_instr());
+  json.set("doe_ns", t_doe.ns_per_instr() - t_pred.ns_per_instr());
+  json.set("memory_model_ns", t_aie.ns_per_instr() - t_aie_nomem.ns_per_instr());
+  json.write();
   return 0;
 }

@@ -11,7 +11,10 @@
 using namespace ksim;
 using namespace ksim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("table2_doe", args);
+
   header("Table II: DOE approximation vs cycle-accurate reference (DCT)");
 
   std::printf("%-12s %12s %14s %8s\n", "Config", "Reference", "Approximation",
@@ -20,6 +23,7 @@ int main() {
   double total_speed_ratio = 0;
   int measured = 0;
   for (const char* isa : {"RISC", "VLIW2", "VLIW4", "VLIW8"}) {
+    if (args.quick && std::string(isa) != "RISC") continue;
     const elf::ElfFile exe =
         workloads::build_workload(workloads::by_name("dct"), isa);
 
@@ -44,6 +48,9 @@ int main() {
     std::printf("%-12s %12llu %14llu %7.1f%%\n", isa,
                 static_cast<unsigned long long>(rstats.cycles),
                 static_cast<unsigned long long>(doe.cycles()), err);
+    json.set(std::string(isa) + ".reference_cycles", rstats.cycles);
+    json.set(std::string(isa) + ".approx_cycles", doe.cycles());
+    json.set(std::string(isa) + ".error_pct", err);
 
     const double t_doe = std::chrono::duration<double>(a1 - a0).count();
     const double t_rtl = std::chrono::duration<double>(r1 - r0).count();
@@ -57,5 +64,7 @@ int main() {
               "simulator at 8 ms/instruction;\nour reference is itself a fast "
               "C++ cycle-level model — see EXPERIMENTS.md)\n",
               total_speed_ratio / measured);
+  json.set("speed_ratio_vs_reference", total_speed_ratio / measured);
+  json.write();
   return 0;
 }

@@ -3,8 +3,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cycle/cycle_model.h"
 #include "support/error.h"
@@ -13,6 +17,88 @@
 #include "workloads/build.h"
 
 namespace ksim::bench {
+
+/// Command-line arguments every bench binary understands:
+///   --json <path>  additionally emit machine-readable metrics to <path>
+///   --quick        reduced workload / repeats (CI smoke-check mode)
+struct BenchArgs {
+  std::string json_path;
+  bool quick = false;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--quick]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Flat key/value JSON emitter so the perf trajectory is trackable across
+/// PRs (ci.sh stores bench_simperf_mips output as BENCH_simperf.json).
+/// Keys use dotted paths ("superblocks.mips"); write() is a no-op unless
+/// --json was given.
+class BenchJson {
+public:
+  BenchJson(const std::string& bench_name, const BenchArgs& args)
+      : path_(args.json_path) {
+    set("bench", bench_name);
+    set("quick", args.quick);
+  }
+
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.8g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + escape(value) + "\"");
+  }
+
+  /// Writes `{"key": value, ...}`; throws on I/O failure so CI notices.
+  void write() const {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    check(out.good(), "cannot write " + path_);
+    out << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i)
+      out << "  \"" << escape(entries_[i].first) << "\": " << entries_[i].second
+          << (i + 1 < entries_.size() ? ",\n" : "\n");
+    out << "}\n";
+    check(out.good(), "error writing " + path_);
+    std::printf("\nwrote %s\n", path_.c_str());
+  }
+
+private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Wall-clock seconds of the fastest of `repeats` runs of `fn`.
 inline double time_best(const std::function<void()>& fn, int repeats = 3) {
@@ -69,6 +155,13 @@ inline TimedRun timed_run(const elf::ElfFile& exe, const sim::SimOptions& opts,
 
 inline void header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Records one timed configuration under `prefix.*` JSON keys.
+inline void json_run(BenchJson& json, const std::string& prefix, const TimedRun& run) {
+  json.set(prefix + ".mips", run.mips());
+  json.set(prefix + ".ns_per_instr", run.ns_per_instr());
+  json.set(prefix + ".instructions", run.instructions);
 }
 
 } // namespace ksim::bench

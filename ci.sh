@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Continuous-integration driver: regular build + tier-1 tests, then the same
-# suite under AddressSanitizer + UndefinedBehaviorSanitizer, then (when
-# clang-tidy is installed) the static C++ lint target.
+# Continuous-integration driver: regular build + tier-1 tests (with the
+# superblock engine on and off), the same suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer, the static C++ lint target (when clang-tidy is
+# installed), and a quick perf smoke that records BENCH_simperf.json.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,8 +12,11 @@ echo "=== build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 
-echo "=== tier-1 tests ==="
+echo "=== tier-1 tests (superblock engine, default) ==="
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "=== tier-1 tests (superblocks disabled fallback) ==="
+KSIM_NO_SUPERBLOCKS=1 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo "=== lint built-in workloads (all ISA configurations) ==="
 ./build/src/driver/ksim lint --workload all --isa all
@@ -27,5 +31,8 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
 
 echo "=== clang-tidy ==="
 cmake --build build --target lint-cxx
+
+echo "=== perf smoke (non-gating numbers, machine-readable) ==="
+./build/bench/bench_simperf_mips --quick --json BENCH_simperf.json
 
 echo "ci.sh: all stages passed"

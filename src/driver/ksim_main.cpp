@@ -22,6 +22,8 @@
 //   --trace FILE     write an operation trace (paper §V, goal 3)
 //   --profile        print a per-function profile (paper §IV, goal 2)
 //   --no-decode-cache / --no-prediction   disable §V-A optimizations
+//   --no-superblocks disable the superblock execution engine (fall back to
+//                    the §V-A per-instruction prediction path)
 //   --bp KIND        branch predictor for AIE/DOE (not-taken, taken, 1bit,
 //                    2bit, gshare); default: perfect prediction
 //   --bp-penalty N   mispredict refill penalty in cycles (default 3)
@@ -56,7 +58,8 @@ namespace {
   std::cerr << "usage: ksim <run|build|cc|disasm|lint|workloads> [options] [files]\n"
                "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
                "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
-               "      [--no-decode-cache] [--no-prediction] [--max-instr N]\n"
+               "      [--no-decode-cache] [--no-prediction] [--no-superblocks]\n"
+               "      [--max-instr N]\n"
                "  build -o <out.elf> [--isa NAME] <file.c|.s ...>\n"
                "  cc [--isa NAME] <file.c>\n"
                "  disasm <file.elf>\n"
@@ -96,6 +99,7 @@ struct Options {
   int bp_penalty = 3;
   bool decode_cache = true;
   bool prediction = true;
+  bool superblocks = true;
   uint64_t max_instr = 0;
   std::vector<std::string> inputs;
 };
@@ -145,6 +149,8 @@ Options parse_options(int argc, char** argv, int first) {
       opt.decode_cache = false;
     } else if (arg == "--no-prediction") {
       opt.prediction = false;
+    } else if (arg == "--no-superblocks") {
+      opt.superblocks = false;
     } else if (arg == "--max-instr") {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--max-instr expects a count");
@@ -205,6 +211,7 @@ int cmd_run(const Options& opt) {
   sim::SimOptions sopt;
   sopt.use_decode_cache = opt.decode_cache;
   sopt.use_prediction = opt.prediction;
+  sopt.use_superblocks = opt.superblocks;
   sopt.max_instructions = opt.max_instr;
   sopt.collect_op_stats = opt.opstats;
   sim::Simulator simulator(isa::kisa(), sopt);
@@ -261,6 +268,13 @@ int cmd_run(const Options& opt) {
                     sim::to_string(reason),
                     static_cast<unsigned long long>(stats.instructions),
                     static_cast<unsigned long long>(stats.operations));
+  if (simulator.options().use_superblocks)
+    std::cerr << strf("[ksim] superblocks: %llu formed, %llu dispatches"
+                      " (%.1f%% chained), %.2f%% lookups avoided\n",
+                      static_cast<unsigned long long>(stats.blocks_formed),
+                      static_cast<unsigned long long>(stats.block_dispatches),
+                      100.0 * stats.block_chain_avoidance(),
+                      100.0 * stats.lookup_avoidance());
   if (opt.model == "rtl") {
     rtl::RtlSimulator rtl_sim;
     const rtl::RtlStats rstats = rtl_sim.run(recorder.trace());

@@ -30,12 +30,20 @@ struct DecodedOp {
   int32_t imm = 0;
 };
 
+/// Decode-time facts about an instruction group that the execution engines
+/// test in their hot loops (cheaper than re-inspecting OpInfo per slot).
+enum DecodedInstrFlags : uint8_t {
+  kDiHasSimop = 1u << 0,  ///< some slot is a SIMOP (emulated C-library call)
+  kDiHasBranch = 1u << 1, ///< some slot is a branch/call/return
+};
+
 /// A decode structure (paper §V): one decoded instruction, i.e. all parallel
 /// operations plus the instruction-prediction link (§V-A).
 struct DecodedInstr {
   uint32_t addr = 0;
   uint8_t num_ops = 0;
   uint8_t size_bytes = 0;
+  uint8_t flags = 0; ///< DecodedInstrFlags
   int16_t isa_id = 0;
   DecodedOp ops[kMaxSlots];
 
@@ -91,12 +99,20 @@ struct ExecCtx {
 
   /// Resets the per-instruction state (cheap; called before every instruction).
   void begin_instruction(uint32_t next_ip) {
+    begin_instruction_fast(next_ip);
+    for (auto& m : mem) m.valid = false;
+  }
+
+  /// begin_instruction without clearing the per-slot memory-access records.
+  /// Only valid when nothing consumes `mem` afterwards (no cycle model and no
+  /// trace writer attached): simulation functions overwrite their own slot,
+  /// but slots of shorter subsequent instructions would read stale data.
+  void begin_instruction_fast(uint32_t next_ip) {
     seq_next_ip = next_ip;
     branch_taken = false;
     halt = false;
     isa_switch = false;
     wb_count = 0;
-    for (auto& m : mem) m.valid = false;
   }
 
   void write_reg(uint8_t reg, uint32_t value) {

@@ -1,0 +1,125 @@
+// Storage primitives shared by the decode cache and the superblock cache:
+// a chunked arena that hands out pointer-stable, (mostly) contiguous objects
+// with a pointer bump, and a small open-addressing hash table mapping
+// (address, ISA id) keys to arena pointers.  Together they replace the
+// seed's `std::unordered_map<uint64_t, std::unique_ptr<...>>`, whose
+// node-per-entry allocation scattered decode structures across the heap and
+// made every miss pay a malloc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ksim::sim {
+
+/// Bump allocator over fixed-size chunks.  Objects are value-constructed,
+/// never individually freed, and their addresses stay stable until clear()
+/// (callers cache raw pointers across lookups, e.g. prediction and block
+/// links).  Consecutive allocations land consecutively in memory, so a
+/// superblock formed from freshly decoded instructions walks a contiguous
+/// range.
+template <typename T, size_t ChunkSize = 256>
+class ChunkArena {
+public:
+  T* alloc() {
+    if (used_ == ChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+      used_ = 0;
+    }
+    return &chunks_.back()->items[used_++];
+  }
+
+  void clear() {
+    chunks_.clear();
+    used_ = ChunkSize;
+  }
+
+  size_t size() const {
+    return chunks_.empty() ? 0 : (chunks_.size() - 1) * ChunkSize + used_;
+  }
+
+private:
+  struct Chunk {
+    T items[ChunkSize]{};
+  };
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t used_ = ChunkSize;
+};
+
+/// Open-addressing (linear probing) hash table from a 64-bit key to a T*.
+/// No deletion — entries only accumulate until clear(), which matches the
+/// decode-cache lifecycle (invalidation is all-or-nothing).  Empty slots are
+/// marked by a null value pointer, so every key value is usable.
+template <typename T>
+class AddrIsaMap {
+public:
+  AddrIsaMap() { slots_.resize(kInitialCapacity); }
+
+  static uint64_t make_key(uint32_t addr, int isa_id) {
+    return static_cast<uint64_t>(addr) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(isa_id)) << 32);
+  }
+
+  T* find(uint64_t key) const {
+    size_t i = index(key);
+    while (slots_[i].value != nullptr) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return nullptr;
+  }
+
+  /// Maps `key` to `value`.  An existing mapping is replaced (the table holds
+  /// non-owning pointers, so replacing never frees anything).
+  void insert(uint64_t key, T* value) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) grow(); // keep load factor <= 75%
+    size_t i = index(key);
+    while (slots_[i].value != nullptr) {
+      if (slots_[i].key == key) {
+        slots_[i].value = value;
+        return;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = {key, value};
+    ++count_;
+  }
+
+  void clear() {
+    slots_.assign(kInitialCapacity, Slot{});
+    count_ = 0;
+  }
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+private:
+  static constexpr size_t kInitialCapacity = 1024; // power of two
+
+  struct Slot {
+    uint64_t key = 0;
+    T* value = nullptr;
+  };
+
+  size_t index(uint64_t key) const {
+    // Fibonacci hashing spreads the low-entropy (word-aligned address, tiny
+    // ISA id) keys across the table.
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 17) &
+           (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    count_ = 0;
+    for (const Slot& s : old)
+      if (s.value != nullptr) insert(s.key, s.value);
+  }
+
+  std::vector<Slot> slots_;
+  size_t count_ = 0;
+};
+
+} // namespace ksim::sim

@@ -1,44 +1,63 @@
 // Decode cache (paper §V-A): all detected and decoded instructions are
-// stored in a hash map tagged by the instruction address, so each executed
-// instruction is detected and decoded only once.  The map key additionally
-// includes the active ISA id because the same address decodes differently
-// after a SWITCHTARGET.
+// stored tagged by the instruction address, so each executed instruction is
+// detected and decoded only once.  The key additionally includes the active
+// ISA id because the same address decodes differently after a SWITCHTARGET.
+//
+// Storage is an arena plus an open-addressing hash table (see arena.h)
+// instead of the former `std::unordered_map<uint64_t, unique_ptr<...>>`:
+// decode structures live contiguously in memory (so superblock formation
+// walks neighbouring cache lines), a miss costs a pointer bump instead of a
+// malloc, and lookups probe a flat slot array.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 
 #include "isa/exec.h"
+#include "sim/arena.h"
 
 namespace ksim::sim {
 
 class DecodeCache {
 public:
   /// Returns the cached decode structure for (addr, isa) or nullptr.
-  isa::DecodedInstr* lookup(uint32_t addr, int isa_id) {
-    const auto it = map_.find(key(addr, isa_id));
-    return it == map_.end() ? nullptr : it->second.get();
+  isa::DecodedInstr* lookup(uint32_t addr, int isa_id) const {
+    return map_.find(AddrIsaMap<isa::DecodedInstr>::make_key(addr, isa_id));
   }
 
-  /// Inserts a decode structure; returns the owned pointer.
-  isa::DecodedInstr* insert(uint32_t addr, int isa_id,
-                            std::unique_ptr<isa::DecodedInstr> di) {
-    auto [it, inserted] = map_.emplace(key(addr, isa_id), std::move(di));
-    return it->second.get();
+  /// Copies `di` into arena-backed storage and indexes it under (addr, isa).
+  ///
+  /// Duplicate-key semantics (explicit, unlike the seed's `emplace`, which
+  /// silently dropped the fresh decode): inserting an existing key
+  /// *overwrites the entry in place* and returns the same pointer that the
+  /// first insert returned.  Pointer identity is preserved on purpose —
+  /// prediction links and superblocks cache raw `DecodedInstr*` and must
+  /// observe the refreshed decode rather than dangle.  Callers re-decoding
+  /// genuinely changed code (self-modifying programs) must still invalidate
+  /// derived state via Simulator::clear_decode_cache().
+  isa::DecodedInstr* insert(uint32_t addr, int isa_id, const isa::DecodedInstr& di) {
+    const uint64_t key = AddrIsaMap<isa::DecodedInstr>::make_key(addr, isa_id);
+    if (isa::DecodedInstr* existing = map_.find(key)) {
+      *existing = di;
+      return existing;
+    }
+    isa::DecodedInstr* fresh = arena_.alloc();
+    *fresh = di;
+    map_.insert(key, fresh);
+    return fresh;
   }
 
   /// Invalidates everything (e.g. after self-modifying code or a reload).
-  void clear() { map_.clear(); }
-
-  size_t size() const { return map_.size(); }
-
-private:
-  static uint64_t key(uint32_t addr, int isa_id) {
-    return static_cast<uint64_t>(addr) | (static_cast<uint64_t>(isa_id) << 32);
+  void clear() {
+    map_.clear();
+    arena_.clear();
   }
 
-  std::unordered_map<uint64_t, std::unique_ptr<isa::DecodedInstr>> map_;
+  size_t size() const { return map_.size(); }
+  size_t table_capacity() const { return map_.capacity(); }
+
+private:
+  AddrIsaMap<isa::DecodedInstr> map_;
+  ChunkArena<isa::DecodedInstr> arena_;
 };
 
 } // namespace ksim::sim

@@ -49,13 +49,24 @@ int Fabric::pending_demand(const Thread& t) const {
   // Peek the next instruction: if it is a SWITCHTARGET the thread is about
   // to change its EDPE footprint; make the scheduler aware so an up-switch
   // can wait for capacity instead of over-subscribing the array.
-  uint32_t word = 0;
-  if (!t.sim.state().fetch32(t.sim.state().ip(), word)) return t.width(set_);
   const isa::IsaInfo* cur = set_.find_isa(t.sim.state().isa_id());
   if (cur == nullptr) return t.width(set_);
-  const isa::OpInfo* op = set_.detect(*cur, word);
+  // In the steady state the thread's decode cache already holds the next
+  // instruction — peek the cached decode and only fall back to the linear
+  // operation-detection scan on a cold address.
+  const isa::OpInfo* op = nullptr;
+  int target_id = -1;
+  if (const isa::DecodedInstr* di = t.sim.cached_decode(t.sim.state().ip());
+      di != nullptr && di->num_ops > 0) {
+    op = di->ops[0].info;
+    target_id = di->ops[0].imm;
+  } else {
+    uint32_t word = 0;
+    if (!t.sim.state().fetch32(t.sim.state().ip(), word)) return t.width(set_);
+    op = set_.detect(*cur, word);
+    if (op != nullptr) target_id = static_cast<int>(op->f_imm.extract(word));
+  }
   if (op == nullptr || op->name != "SWITCHTARGET") return cur->issue_width;
-  const int target_id = static_cast<int>(op->f_imm.extract(word));
   const isa::IsaInfo* target = set_.find_isa(target_id);
   return target != nullptr ? target->issue_width : cur->issue_width;
 }

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <optional>
 
 #include "kasm/disasm.h"
@@ -22,9 +23,17 @@ const char* to_string(StopReason reason) {
 
 Simulator::Simulator(const isa::IsaSet& set, SimOptions options)
     : set_(set), options_(options) {
-  // Prediction caches pointers into the decode cache; it cannot work without it.
-  if (!options_.use_decode_cache) options_.use_prediction = false;
+  // Prediction and superblocks cache pointers into the decode cache; neither
+  // can work without it.
+  if (!options_.use_decode_cache) {
+    options_.use_prediction = false;
+    options_.use_superblocks = false;
+  }
+  // Escape hatch for running an unmodified test suite against the fallback
+  // engine (ci.sh exercises both).
+  if (std::getenv("KSIM_NO_SUPERBLOCKS") != nullptr) options_.use_superblocks = false;
   active_isa_ = &set_.default_isa();
+  simop_info_ = set_.find_op("SIMOP");
   ctx_.st = &state_;
   ctx_.simop = &libc_;
   if (options_.ip_history > 0) ip_ring_.resize(options_.ip_history, 0);
@@ -43,8 +52,7 @@ void Simulator::load(const elf::ElfFile& executable) {
   check(heap_start < heap_end, "executable leaves no room for the heap");
   libc_.set_heap(heap_start, heap_end);
   libc_.reset();
-  decode_cache_.clear();
-  prev_instr_ = nullptr;
+  clear_decode_cache();
   stats_ = {};
   ip_ring_pos_ = 0;
   ip_ring_full_ = false;
@@ -65,8 +73,10 @@ const isa::IsaInfo* Simulator::isa_by_id(int id) const { return set_.find_isa(id
 void Simulator::record_ip(uint32_t ip) {
   if (ip_ring_.empty()) return;
   ip_ring_[ip_ring_pos_] = ip;
-  ip_ring_pos_ = (ip_ring_pos_ + 1) % ip_ring_.size();
-  if (ip_ring_pos_ == 0) ip_ring_full_ = true;
+  if (++ip_ring_pos_ == ip_ring_.size()) {
+    ip_ring_pos_ = 0;
+    ip_ring_full_ = true;
+  }
 }
 
 std::vector<uint32_t> Simulator::ip_history() const {
@@ -83,6 +93,7 @@ bool Simulator::decode_at(uint32_t ip, isa::DecodedInstr& out, std::string& erro
   out.addr = ip;
   out.isa_id = static_cast<int16_t>(active_isa_->id);
   out.num_ops = 0;
+  out.flags = 0;
   out.pred_ip = 0xFFFFFFFFu;
   out.pred_next = nullptr;
 
@@ -110,6 +121,9 @@ bool Simulator::decode_at(uint32_t ip, isa::DecodedInstr& out, std::string& erro
     op.ra = info->f_ra.valid ? static_cast<uint8_t>(info->f_ra.extract(word)) : 0;
     op.rb = info->f_rb.valid ? static_cast<uint8_t>(info->f_rb.extract(word)) : 0;
     op.imm = info->f_imm.valid ? static_cast<int32_t>(info->f_imm.extract(word)) : 0;
+    if (info == simop_info_) out.flags |= isa::kDiHasSimop;
+    if (info->is_branch || info->is_call || info->is_ret)
+      out.flags |= isa::kDiHasBranch;
     ++out.num_ops;
     if (set_.is_stop(word)) break;
     if (slot + 1 == width) {
@@ -123,31 +137,24 @@ bool Simulator::decode_at(uint32_t ip, isa::DecodedInstr& out, std::string& erro
   return true;
 }
 
-std::optional<StopReason> Simulator::step() {
-  const uint32_t ip = state_.ip();
-  record_ip(ip);
-
-  // -- instruction prediction (§V-A) ----------------------------------------
-  isa::DecodedInstr* di = nullptr;
-  if (options_.use_prediction && prev_instr_ != nullptr && prev_instr_->pred_ip == ip) {
-    di = const_cast<isa::DecodedInstr*>(prev_instr_->pred_next);
-    ++stats_.pred_hits;
-  } else if (options_.use_decode_cache) {
-    ++stats_.cache_lookups;
-    di = decode_cache_.lookup(ip, active_isa_->id);
-    if (di == nullptr) {
-      auto fresh = std::make_unique<isa::DecodedInstr>();
-      if (!decode_at(ip, *fresh, decode_error_)) return StopReason::DecodeError;
-      di = decode_cache_.insert(ip, active_isa_->id, std::move(fresh));
-    }
-    if (options_.use_prediction && prev_instr_ != nullptr) {
-      prev_instr_->pred_ip = ip;
-      prev_instr_->pred_next = di;
-    }
-  } else {
-    if (!decode_at(ip, scratch_instr_, decode_error_)) return StopReason::DecodeError;
-    di = &scratch_instr_;
+std::optional<StopReason> Simulator::apply_isa_switch() {
+  const isa::IsaInfo* isa = isa_by_id(ctx_.new_isa);
+  if (isa == nullptr) {
+    state_.raise_trap(strf("SWITCHTARGET to unknown ISA id %d", ctx_.new_isa));
+    return StopReason::Trap;
   }
+  active_isa_ = isa;
+  state_.set_isa_id(isa->id);
+  ++stats_.isa_switches;
+  // Never link predictions across an ISA switch: the successor decodes
+  // under a different operation table.
+  prev_instr_ = nullptr;
+  return std::nullopt;
+}
+
+std::optional<StopReason> Simulator::exec_and_retire(isa::DecodedInstr* di,
+                                                     bool update_prev) {
+  const uint32_t ip = state_.ip();
 
   // -- execute (§V-B: read all sources before any write-back) -----------------
   ctx_.begin_instruction(ip + di->size_bytes);
@@ -180,7 +187,9 @@ std::optional<StopReason> Simulator::step() {
   if (options_.collect_op_stats)
     for (int slot = 0; slot < di->num_ops; ++slot)
       ++op_counts_[di->ops[slot].info->index];
-  if (libc_.calls() != stats_.libc_calls) stats_.libc_calls = libc_.calls();
+  // The libc-call counter only moves when a SIMOP executes; polling it on
+  // every instruction (as the seed did) is wasted work in the hot loop.
+  if ((di->flags & isa::kDiHasSimop) != 0) stats_.libc_calls = libc_.calls();
 
   // -- optional tasks (§V: cycle approximation, trace, profiling) -------------
   if (cycle_model_ != nullptr) cycle_model_->on_instruction(*di, ctx_);
@@ -192,21 +201,11 @@ std::optional<StopReason> Simulator::step() {
         profiler_->on_call(ctx_.branch_target);
   }
 
-  prev_instr_ = di;
+  if (update_prev) prev_instr_ = di;
 
   // -- ISA reconfiguration (§V-D) ---------------------------------------------
   if (ctx_.isa_switch) {
-    const isa::IsaInfo* isa = isa_by_id(ctx_.new_isa);
-    if (isa == nullptr) {
-      state_.raise_trap(strf("SWITCHTARGET to unknown ISA id %d", ctx_.new_isa));
-      return StopReason::Trap;
-    }
-    active_isa_ = isa;
-    state_.set_isa_id(isa->id);
-    ++stats_.isa_switches;
-    // Never link predictions across an ISA switch: the successor decodes
-    // under a different operation table.
-    prev_instr_ = nullptr;
+    if (const auto stop = apply_isa_switch(); stop.has_value()) return stop;
   }
 
   if (ctx_.halt)
@@ -216,11 +215,226 @@ std::optional<StopReason> Simulator::step() {
   return std::nullopt;
 }
 
+std::optional<StopReason> Simulator::step() {
+  const uint32_t ip = state_.ip();
+  record_ip(ip);
+
+  // -- instruction prediction (§V-A) ----------------------------------------
+  isa::DecodedInstr* di = nullptr;
+  if (options_.use_prediction && prev_instr_ != nullptr && prev_instr_->pred_ip == ip) {
+    di = const_cast<isa::DecodedInstr*>(prev_instr_->pred_next);
+    ++stats_.pred_hits;
+  } else if (options_.use_decode_cache) {
+    ++stats_.cache_lookups;
+    di = decode_cache_.lookup(ip, active_isa_->id);
+    if (di == nullptr) {
+      if (!decode_at(ip, scratch_instr_, decode_error_)) return StopReason::DecodeError;
+      di = decode_cache_.insert(ip, active_isa_->id, scratch_instr_);
+    }
+    if (options_.use_prediction && prev_instr_ != nullptr) {
+      prev_instr_->pred_ip = ip;
+      prev_instr_->pred_next = di;
+    }
+  } else {
+    if (!decode_at(ip, scratch_instr_, decode_error_)) return StopReason::DecodeError;
+    di = &scratch_instr_;
+  }
+
+  return exec_and_retire(di, /*update_prev=*/true);
+}
+
 StopReason Simulator::run() {
   check(loaded_, "Simulator::run without a loaded executable");
+  if (options_.use_superblocks) return run_superblocks();
   while (true) {
     if (const auto stop = step(); stop.has_value()) return *stop;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Superblock engine.
+//
+// Dispatch resolves the next block in three tiers: (1) the previous block's
+// cached successor edge for the exit kind (taken / fall-through) — the
+// generalization of §V-A instruction prediction to whole traces; (2) the
+// block table; (3) formation, which executes instructions through the decode
+// cache while recording them into a fresh block.  Statistics keep the §V-A
+// meaning: every executed instruction is accounted either as a hash lookup
+// (cache_lookups) or as a lookup avoided (pred_hits), so decode/lookup
+// avoidance rates stay comparable across all engine configurations.
+// ---------------------------------------------------------------------------
+
+StopReason Simulator::run_superblocks() {
+  // Prediction links and block chaining don't mix; drop any state a prior
+  // step() sequence left behind (the links themselves stay valid in cache).
+  prev_instr_ = nullptr;
+  if (options_.max_instructions != 0 &&
+      stats_.instructions >= options_.max_instructions)
+    return StopReason::InstructionLimit;
+
+  while (true) {
+    const uint32_t ip = state_.ip();
+    const int isa_id = active_isa_->id;
+
+    Superblock* sb = nullptr;
+    bool chained = false;
+    if (last_block_ != nullptr) {
+      Superblock* edge = last_block_->succ[last_exit_taken_];
+      if (edge != nullptr && edge->entry_addr == ip && edge->isa_id == isa_id) {
+        sb = edge;
+        chained = true;
+        ++stats_.block_chain_hits;
+      }
+    }
+    if (sb == nullptr) {
+      sb = block_cache_.lookup(ip, isa_id);
+      if (sb == nullptr) {
+        if (const auto stop = form_block(ip); stop.has_value()) return *stop;
+        continue;
+      }
+      ++stats_.cache_lookups;
+      if (last_block_ != nullptr) last_block_->succ[last_exit_taken_] = sb;
+    }
+
+    ++stats_.block_dispatches;
+    const uint64_t before = stats_.instructions;
+    const auto stop = exec_block(sb);
+    const uint64_t executed = stats_.instructions - before;
+    stats_.pred_hits += chained ? executed : (executed > 0 ? executed - 1 : 0);
+    if (stop.has_value()) {
+      last_block_ = nullptr;
+      return *stop;
+    }
+    if (ctx_.isa_switch) {
+      last_block_ = nullptr; // never chain across a reconfiguration
+    } else {
+      last_block_ = sb;
+      last_exit_taken_ = ctx_.branch_taken ? 1 : 0;
+    }
+  }
+}
+
+std::optional<StopReason> Simulator::form_block(uint32_t entry_ip) {
+  Superblock* sb = block_cache_.create(entry_ip, active_isa_->id);
+  ++stats_.blocks_formed;
+
+  std::optional<StopReason> stop;
+  while (true) {
+    const uint32_t ip = state_.ip();
+    record_ip(ip);
+    ++stats_.cache_lookups;
+    isa::DecodedInstr* di = decode_cache_.lookup(ip, active_isa_->id);
+    if (di == nullptr) {
+      if (!decode_at(ip, scratch_instr_, decode_error_)) {
+        stop = StopReason::DecodeError;
+        break;
+      }
+      di = decode_cache_.insert(ip, active_isa_->id, scratch_instr_);
+    }
+    sb->instrs[sb->num_instrs++] = di;
+    stop = exec_and_retire(di, /*update_prev=*/false);
+    if (stop.has_value()) break;
+    // Trace terminators: taken branch, ISA switch, emulated libc call, or
+    // the formation length cap.
+    if (ctx_.branch_taken || ctx_.isa_switch ||
+        (di->flags & isa::kDiHasSimop) != 0 || sb->num_instrs >= kMaxBlockInstrs)
+      break;
+  }
+
+  // Install the block (also when a stop cut formation short: the recorded
+  // prefix is a valid trace) and chain it from the edge that led here.
+  // Empty blocks (first decode failed) are never installed — an installed
+  // block must guarantee forward progress when dispatched.
+  if (sb->num_instrs > 0) {
+    block_cache_.insert(sb);
+    if (last_block_ != nullptr) last_block_->succ[last_exit_taken_] = sb;
+  }
+
+  if (stop.has_value()) {
+    last_block_ = nullptr;
+    return stop;
+  }
+  if (ctx_.isa_switch) {
+    last_block_ = nullptr;
+  } else {
+    last_block_ = sb;
+    last_exit_taken_ = ctx_.branch_taken ? 1 : 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<StopReason> Simulator::exec_block(Superblock* sb) {
+  // Any attached hook needs per-instruction bookkeeping (exact trace lines,
+  // cycle-model callbacks, profiling, op histograms); without hooks the
+  // tight loop skips all of it and batches the statistics.
+  if (trace_ == nullptr && cycle_model_ == nullptr && profiler_ == nullptr &&
+      !options_.collect_op_stats)
+    return exec_block_fast(sb);
+  return exec_block_slow(sb);
+}
+
+std::optional<StopReason> Simulator::exec_block_slow(Superblock* sb) {
+  const uint16_t n = sb->num_instrs;
+  for (uint16_t i = 0; i < n; ++i) {
+    isa::DecodedInstr* di = const_cast<isa::DecodedInstr*>(sb->instrs[i]);
+    record_ip(state_.ip());
+    if (const auto stop = exec_and_retire(di, /*update_prev=*/false);
+        stop.has_value())
+      return stop;
+    // A conditional branch not taken at formation time may be taken now:
+    // leave the block early; dispatch resolves the side exit.
+    if (ctx_.branch_taken || ctx_.isa_switch) break;
+  }
+  return std::nullopt;
+}
+
+std::optional<StopReason> Simulator::exec_block_fast(Superblock* sb) {
+  const uint64_t limit = options_.max_instructions;
+  // run_superblocks() never dispatches at the limit, so budget >= 1 here.
+  uint64_t budget = limit == 0 ? UINT64_MAX : limit - stats_.instructions;
+  uint64_t executed = 0;
+  uint64_t ops = 0;
+  std::optional<StopReason> stop;
+
+  const uint16_t n = sb->num_instrs;
+  for (uint16_t i = 0; i < n; ++i) {
+    const isa::DecodedInstr* di = sb->instrs[i];
+    record_ip(di->addr);
+    ctx_.begin_instruction_fast(di->addr + di->size_bytes);
+    const int num_ops = di->num_ops;
+    int slot = 0;
+    for (; slot < num_ops; ++slot) {
+      ctx_.op = &di->ops[slot];
+      ctx_.slot = slot;
+      di->ops[slot].fn(ctx_);
+      if (state_.trapped()) break;
+    }
+    if (slot < num_ops) { // trapped: the instruction does not retire
+      stop = StopReason::Trap;
+      break;
+    }
+    for (int k = 0; k < ctx_.wb_count; ++k)
+      state_.set_reg(ctx_.wb[k].reg, ctx_.wb[k].value);
+    state_.set_ip(ctx_.branch_taken ? ctx_.branch_target : ctx_.seq_next_ip);
+    ++executed;
+    ops += static_cast<unsigned>(num_ops);
+    if ((di->flags & isa::kDiHasSimop) != 0) stats_.libc_calls = libc_.calls();
+    if (ctx_.branch_taken || ctx_.halt || ctx_.isa_switch || executed == budget)
+      break;
+  }
+
+  stats_.instructions += executed;
+  stats_.operations += ops;
+  if (stop.has_value()) return stop;
+
+  if (ctx_.isa_switch) {
+    if (const auto s = apply_isa_switch(); s.has_value()) return s;
+  }
+  if (ctx_.halt)
+    return libc_.exited() ? StopReason::Exited : StopReason::Halted;
+  if (limit != 0 && stats_.instructions >= limit)
+    return StopReason::InstructionLimit;
+  return std::nullopt;
 }
 
 std::vector<std::pair<const isa::OpInfo*, uint64_t>> Simulator::op_histogram() const {

@@ -2,6 +2,12 @@
 // simulator (paper §V): detect → decode → execute loop with a decode cache
 // and instruction prediction, optional cycle approximation, trace generation,
 // profiling and debugging support.
+//
+// On top of the paper's §V-A optimizations, run() executes through a
+// superblock engine (see superblock.h and DESIGN.md): consecutively executed
+// instruction groups are linked into straight-line traces dispatched by a
+// tight inner loop, and block epilogues cache their successor blocks so
+// steady-state execution never touches a hash table.
 #pragma once
 
 #include <memory>
@@ -15,6 +21,7 @@
 #include "sim/decode_cache.h"
 #include "sim/libc_emul.h"
 #include "sim/profiler.h"
+#include "sim/superblock.h"
 #include "sim/trace.h"
 
 namespace ksim::sim {
@@ -22,6 +29,7 @@ namespace ksim::sim {
 struct SimOptions {
   bool use_decode_cache = true; ///< §V-A decode cache
   bool use_prediction = true;   ///< §V-A instruction prediction (needs the cache)
+  bool use_superblocks = true;  ///< superblock execution in run() (needs the cache)
   bool collect_op_stats = false;///< per-operation execution histogram
   uint64_t max_instructions = 0;///< safety limit; 0 = unlimited
   size_t ip_history = 64;       ///< instruction pointer history length (0 = off)
@@ -31,10 +39,15 @@ struct SimStats {
   uint64_t instructions = 0; ///< executed instructions (groups)
   uint64_t operations = 0;   ///< executed operations (slots)
   uint64_t decodes = 0;      ///< instructions actually detected & decoded
-  uint64_t cache_lookups = 0;///< decode-cache hash lookups performed
-  uint64_t pred_hits = 0;    ///< lookups avoided by instruction prediction
+  uint64_t cache_lookups = 0;///< decode/block-cache hash lookups performed
+  uint64_t pred_hits = 0;    ///< lookups avoided by prediction or block chaining
   uint64_t isa_switches = 0; ///< SWITCHTARGET executions
   uint64_t libc_calls = 0;   ///< emulated C library calls
+
+  // Superblock engine (only advance when SimOptions::use_superblocks).
+  uint64_t blocks_formed = 0;    ///< superblocks built from executed traces
+  uint64_t block_dispatches = 0; ///< block executions of already-formed blocks
+  uint64_t block_chain_hits = 0; ///< dispatches resolved via a cached successor edge
 
   /// Fraction of executed instructions whose detect & decode was avoided.
   double decode_avoidance() const {
@@ -42,10 +55,17 @@ struct SimStats {
                ? 0.0
                : 1.0 - static_cast<double>(decodes) / static_cast<double>(instructions);
   }
-  /// Fraction of potential hash lookups avoided by prediction.
+  /// Fraction of potential hash lookups avoided by prediction/block chaining.
   double lookup_avoidance() const {
     const uint64_t total = cache_lookups + pred_hits;
     return total == 0 ? 0.0 : static_cast<double>(pred_hits) / static_cast<double>(total);
+  }
+  /// Fraction of block dispatches that skipped the block table entirely.
+  double block_chain_avoidance() const {
+    return block_dispatches == 0
+               ? 0.0
+               : static_cast<double>(block_chain_hits) /
+                     static_cast<double>(block_dispatches);
   }
 };
 
@@ -76,15 +96,23 @@ public:
 
   /// Optional hooks (may be null).  The cycle model is consulted after every
   /// instruction; the profiler attributes instructions/cycles to functions;
-  /// the trace writer logs every operation.
+  /// the trace writer logs every operation.  All hooks stay exact under
+  /// superblock execution (blocks fall back to full per-instruction
+  /// bookkeeping while any hook is attached).
   void set_cycle_model(cycle::CycleModel* model) { cycle_model_ = model; }
   void set_trace(TraceWriter* trace) { trace_ = trace; }
   void set_profiler(Profiler* profiler);
+
+  /// Raises or lowers SimOptions::max_instructions mid-run (e.g. to resume
+  /// after StopReason::InstructionLimit).
+  void set_max_instructions(uint64_t limit) { options_.max_instructions = limit; }
 
   /// Runs until exit/halt/trap/limit.
   StopReason run();
 
   /// Executes exactly one instruction; returns nullopt while runnable.
+  /// Stepping uses the §V-A decode-cache + prediction path (superblocks only
+  /// accelerate run()); the two may be interleaved freely.
   std::optional<StopReason> step();
 
   int exit_code() const { return libc_.exit_code(); }
@@ -98,11 +126,20 @@ public:
   std::vector<uint32_t> ip_history() const;
 
   /// Clears the decode cache (e.g. after self-modifying code or to measure
-  /// cold-start behaviour).  Also drops the instruction-prediction link,
-  /// which points into the cache.
+  /// cold-start behaviour).  Also drops the instruction-prediction link and
+  /// all superblocks with their chain edges, which point into the cache.
   void clear_decode_cache() {
     decode_cache_.clear();
+    block_cache_.clear();
     prev_instr_ = nullptr;
+    last_block_ = nullptr;
+  }
+
+  /// Cached decode structure at `ip` under the current ISA, or nullptr.
+  /// Lets external schedulers (the fabric) peek upcoming instructions
+  /// without re-running operation detection.
+  const isa::DecodedInstr* cached_decode(uint32_t ip) const {
+    return decode_cache_.lookup(ip, state_.isa_id());
   }
 
   /// Per-operation execution counts (requires SimOptions::collect_op_stats),
@@ -115,6 +152,22 @@ private:
   const isa::IsaInfo* isa_by_id(int id) const;
   void record_ip(uint32_t ip);
 
+  /// Everything step() does after the decode structure is in hand: execute
+  /// all slots, trace, commit, statistics, hooks, ISA reconfiguration and
+  /// stop conditions.  `update_prev` maintains the §V-A prediction link
+  /// (true only on the step() path).
+  std::optional<StopReason> exec_and_retire(isa::DecodedInstr* di, bool update_prev);
+
+  /// ISA reconfiguration after an instruction with ctx_.isa_switch set.
+  std::optional<StopReason> apply_isa_switch();
+
+  // -- superblock engine (see DESIGN.md) ------------------------------------
+  StopReason run_superblocks();
+  std::optional<StopReason> form_block(uint32_t entry_ip);
+  std::optional<StopReason> exec_block(Superblock* sb);
+  std::optional<StopReason> exec_block_fast(Superblock* sb);
+  std::optional<StopReason> exec_block_slow(Superblock* sb);
+
   const isa::IsaSet& set_;
   SimOptions options_;
   isa::ArchState state_;
@@ -125,8 +178,13 @@ private:
   SimStats stats_;
 
   const isa::IsaInfo* active_isa_ = nullptr;
+  const isa::OpInfo* simop_info_ = nullptr; ///< for DecodedInstr flag tagging
   isa::DecodedInstr* prev_instr_ = nullptr; ///< for instruction prediction
-  isa::DecodedInstr scratch_instr_;         ///< used when the cache is off
+  isa::DecodedInstr scratch_instr_;         ///< decode target before caching
+
+  SuperblockCache block_cache_;
+  Superblock* last_block_ = nullptr; ///< block whose epilogue edge to chain next
+  int last_exit_taken_ = 0;          ///< which edge: 1 = taken branch, 0 = fall-through
 
   cycle::CycleModel* cycle_model_ = nullptr;
   TraceWriter* trace_ = nullptr;

@@ -1,0 +1,76 @@
+// Superblocks: straight-line traces of decoded instructions executed by a
+// tight inner loop (see DESIGN.md).  This generalizes the paper's §V-A
+// single-edge "instruction prediction" into many-edge block chaining: a
+// block records the dynamic instruction sequence up to the next taken
+// branch, ISA switch, emulated C-library call or trap, and its epilogue
+// caches the taken and fall-through successor *blocks*, so steady-state
+// execution dispatches block-to-block without touching any hash table.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/exec.h"
+#include "sim/arena.h"
+
+namespace ksim::sim {
+
+/// Formation stops after this many instruction groups even without a block
+/// terminator; long straight-line code is simply split across several blocks.
+inline constexpr int kMaxBlockInstrs = 32;
+
+struct Superblock {
+  uint32_t entry_addr = 0;
+  int16_t isa_id = 0;
+  uint16_t num_instrs = 0;
+
+  /// Cached successor blocks, updated like the paper's 1-bit instruction
+  /// prediction: succ[1] is consulted when the block exited on a taken
+  /// branch, succ[0] when it fell through (or a mid-block conditional was
+  /// not taken at formation but taken later — then succ[1] covers that side
+  /// exit).  A stale edge (e.g. an indirect jump changing targets) is
+  /// detected by re-checking entry_addr/isa_id and simply overwritten.
+  Superblock* succ[2] = {nullptr, nullptr};
+
+  /// Pointers into the decode-cache arena; valid until the cache is cleared.
+  const isa::DecodedInstr* instrs[kMaxBlockInstrs] = {};
+};
+
+/// Arena + open-addressing table of superblocks keyed by (entry address,
+/// ISA id).  Blocks are only ever invalidated wholesale (clear()), together
+/// with the decode cache whose storage they point into.
+class SuperblockCache {
+public:
+  Superblock* lookup(uint32_t entry_addr, int isa_id) {
+    return map_.find(AddrIsaMap<Superblock>::make_key(entry_addr, isa_id));
+  }
+
+  /// Arena-allocates an empty, unindexed block (formation fills it in).
+  Superblock* create(uint32_t entry_addr, int isa_id) {
+    Superblock* sb = arena_.alloc();
+    sb->entry_addr = entry_addr;
+    sb->isa_id = static_cast<int16_t>(isa_id);
+    sb->num_instrs = 0;
+    sb->succ[0] = sb->succ[1] = nullptr;
+    return sb;
+  }
+
+  /// Indexes a formed block under its entry key.  Duplicate keys overwrite
+  /// the mapping (the newest formation wins); the displaced block stays
+  /// alive in the arena because chained edges may still reference it.
+  void insert(Superblock* sb) {
+    map_.insert(AddrIsaMap<Superblock>::make_key(sb->entry_addr, sb->isa_id), sb);
+  }
+
+  void clear() {
+    map_.clear();
+    arena_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+
+private:
+  AddrIsaMap<Superblock> map_;
+  ChunkArena<Superblock, 64> arena_;
+};
+
+} // namespace ksim::sim

@@ -1,0 +1,161 @@
+// Unit tests for the decode-cache storage layer (arena + open-addressing
+// table, see arena.h) and the superblock cache built on top of it.  The
+// documented duplicate-key contract — insert overwrites in place and keeps
+// pointer identity — is what lets prediction links and superblocks hold raw
+// DecodedInstr pointers, so it is pinned here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/decode_cache.h"
+#include "sim/superblock.h"
+
+namespace ksim::sim {
+namespace {
+
+isa::DecodedInstr make_instr(uint32_t addr, uint8_t num_ops) {
+  isa::DecodedInstr di;
+  di.addr = addr;
+  di.num_ops = num_ops;
+  di.size_bytes = 4;
+  return di;
+}
+
+TEST(DecodeCache, InsertLookupRoundTrip) {
+  DecodeCache cache;
+  EXPECT_EQ(cache.lookup(0x1000, 0), nullptr);
+  isa::DecodedInstr* in = cache.insert(0x1000, 0, make_instr(0x1000, 1));
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(cache.lookup(0x1000, 0), in);
+  EXPECT_EQ(in->addr, 0x1000u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecodeCache, KeyIncludesIsaId) {
+  // The same address decodes differently after SWITCHTARGET (§V-D), so the
+  // ISA id is part of the key.
+  DecodeCache cache;
+  isa::DecodedInstr* risc = cache.insert(0x2000, 0, make_instr(0x2000, 1));
+  isa::DecodedInstr* vliw = cache.insert(0x2000, 3, make_instr(0x2000, 4));
+  EXPECT_NE(risc, vliw);
+  EXPECT_EQ(cache.lookup(0x2000, 0), risc);
+  EXPECT_EQ(cache.lookup(0x2000, 3), vliw);
+  EXPECT_EQ(cache.lookup(0x2000, 1), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecodeCache, DuplicateInsertOverwritesInPlace) {
+  DecodeCache cache;
+  isa::DecodedInstr* first = cache.insert(0x3000, 0, make_instr(0x3000, 1));
+
+  // Re-inserting the same key must refresh the contents but return the SAME
+  // pointer: prediction links and superblocks cache raw pointers and must
+  // observe the new decode rather than dangle (documented in decode_cache.h).
+  isa::DecodedInstr* second = cache.insert(0x3000, 0, make_instr(0x3000, 2));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->num_ops, 2);
+  EXPECT_EQ(cache.size(), 1u); // still one logical entry
+  EXPECT_EQ(cache.lookup(0x3000, 0), first);
+}
+
+TEST(DecodeCache, GrowsPastInitialCapacityAndChunkSize) {
+  DecodeCache cache;
+  const size_t initial_capacity = cache.table_capacity();
+  constexpr uint32_t kEntries = 10000; // > 1024-slot table, > 256-entry chunks
+  std::vector<isa::DecodedInstr*> ptrs;
+  for (uint32_t i = 0; i < kEntries; ++i)
+    ptrs.push_back(cache.insert(0x1000 + 4 * i, static_cast<int>(i % 5),
+                                make_instr(0x1000 + 4 * i, 1)));
+  EXPECT_EQ(cache.size(), kEntries);
+  EXPECT_GT(cache.table_capacity(), initial_capacity); // rehashed
+  // Pointer stability across growth: every earlier pointer still resolves.
+  for (uint32_t i = 0; i < kEntries; ++i) {
+    EXPECT_EQ(cache.lookup(0x1000 + 4 * i, static_cast<int>(i % 5)), ptrs[i]);
+    EXPECT_EQ(ptrs[i]->addr, 0x1000 + 4 * i);
+  }
+}
+
+TEST(DecodeCache, ClearInvalidatesEverything) {
+  DecodeCache cache;
+  cache.insert(0x1000, 0, make_instr(0x1000, 1));
+  cache.insert(0x1004, 0, make_instr(0x1004, 1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(0x1000, 0), nullptr);
+  EXPECT_EQ(cache.lookup(0x1004, 0), nullptr);
+  // Usable again after the flush.
+  isa::DecodedInstr* again = cache.insert(0x1000, 0, make_instr(0x1000, 2));
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->num_ops, 2);
+}
+
+TEST(AddrIsaMap, KeySeparatesAddressAndIsa) {
+  using Map = AddrIsaMap<int>;
+  EXPECT_NE(Map::make_key(0x1000, 0), Map::make_key(0x1000, 1));
+  EXPECT_NE(Map::make_key(0x1000, 0), Map::make_key(0x1004, 0));
+  EXPECT_EQ(Map::make_key(0x1000, 2), Map::make_key(0x1000, 2));
+  // A negative/unknown ISA id must not alias a valid (addr, isa) pair.
+  EXPECT_NE(Map::make_key(0x1000, -1), Map::make_key(0x1000, 0));
+}
+
+TEST(SuperblockCache, CreateInsertLookup) {
+  SuperblockCache cache;
+  EXPECT_EQ(cache.lookup(0x4000, 0), nullptr);
+  Superblock* sb = cache.create(0x4000, 0);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->entry_addr, 0x4000u);
+  EXPECT_EQ(sb->num_instrs, 0);
+  EXPECT_EQ(sb->succ[0], nullptr);
+  EXPECT_EQ(sb->succ[1], nullptr);
+  // create() does not index; formation installs the block explicitly.
+  EXPECT_EQ(cache.lookup(0x4000, 0), nullptr);
+  cache.insert(sb);
+  EXPECT_EQ(cache.lookup(0x4000, 0), sb);
+  EXPECT_EQ(cache.lookup(0x4000, 1), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SuperblockCache, ReformationDisplacesButKeepsOldBlockAlive) {
+  SuperblockCache cache;
+  Superblock* old_block = cache.create(0x4000, 0);
+  old_block->num_instrs = 3;
+  cache.insert(old_block);
+
+  Superblock* new_block = cache.create(0x4000, 0);
+  new_block->num_instrs = 7;
+  cache.insert(new_block);
+
+  // Newest formation wins the index, but the displaced block must stay
+  // readable: chained succ[] edges may still point at it.
+  EXPECT_EQ(cache.lookup(0x4000, 0), new_block);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(old_block->num_instrs, 3);
+}
+
+TEST(SuperblockCache, ClearDropsBlocks) {
+  SuperblockCache cache;
+  cache.insert(cache.create(0x4000, 0));
+  cache.insert(cache.create(0x4020, 2));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(0x4000, 0), nullptr);
+  EXPECT_EQ(cache.lookup(0x4020, 2), nullptr);
+}
+
+TEST(ChunkArena, PointerStableAcrossChunks) {
+  ChunkArena<int, 4> arena;
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 11; ++i) {
+    int* p = arena.alloc();
+    *p = i;
+    ptrs.push_back(p);
+  }
+  EXPECT_EQ(arena.size(), 11u);
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(*ptrs[i], i);
+  arena.clear();
+  EXPECT_EQ(arena.size(), 0u);
+}
+
+} // namespace
+} // namespace ksim::sim

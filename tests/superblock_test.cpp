@@ -1,0 +1,334 @@
+// The superblock engine is a pure performance optimization: with
+// use_superblocks on or off, every observable — exit code, output,
+// architectural state, statistics that describe the program (instructions,
+// operations, decodes, ISA switches, libc calls), cycle approximations and
+// traces — must be identical.  These tests pin that equivalence across
+// workloads, ISA instances, mixed-ISA programs, hooks and invalidation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "sim/simulator.h"
+#include "workloads/build.h"
+
+namespace ksim::sim {
+namespace {
+
+SimOptions with_superblocks(bool on) {
+  SimOptions opts;
+  opts.use_superblocks = on;
+  return opts;
+}
+
+/// The KSIM_NO_SUPERBLOCKS escape hatch overrides SimOptions, so assertions
+/// about block formation only hold when the engine is actually available.
+bool engine_forced_off() { return std::getenv("KSIM_NO_SUPERBLOCKS") != nullptr; }
+
+elf::ElfFile build_exe(const std::string& source, const std::string& entry_isa = "RISC") {
+  kasm::AsmOptions opt;
+  opt.file_name = "superblock_test.s";
+  const elf::ElfFile user = kasm::assemble_or_throw(source, opt);
+  const elf::ElfFile start = kasm::assemble_or_throw(kasm::start_stub_assembly(entry_isa));
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  kasm::LinkOptions link_opt;
+  link_opt.entry_isa = isa::kisa().find_isa(entry_isa)->id;
+  return kasm::link_or_throw({start, user, libc}, link_opt);
+}
+
+/// Asserts the observables of a finished run match between the block engine
+/// and the per-instruction fallback.
+void expect_equivalent(Simulator& fast, Simulator& slow) {
+  EXPECT_EQ(fast.exit_code(), slow.exit_code());
+  EXPECT_EQ(fast.libc().output(), slow.libc().output());
+  EXPECT_EQ(fast.state().ip(), slow.state().ip());
+  EXPECT_EQ(fast.state().isa_id(), slow.state().isa_id());
+  for (unsigned r = 0; r < 32; ++r)
+    EXPECT_EQ(fast.state().reg(r), slow.state().reg(r)) << "register r" << r;
+  EXPECT_EQ(fast.stats().instructions, slow.stats().instructions);
+  EXPECT_EQ(fast.stats().operations, slow.stats().operations);
+  EXPECT_EQ(fast.stats().decodes, slow.stats().decodes);
+  EXPECT_EQ(fast.stats().isa_switches, slow.stats().isa_switches);
+  EXPECT_EQ(fast.stats().libc_calls, slow.stats().libc_calls);
+}
+
+TEST(Superblock, WorkloadsBitIdenticalAcrossEngines) {
+  for (const workloads::Workload& w : workloads::all()) {
+    SCOPED_TRACE(w.name);
+    const elf::ElfFile exe = workloads::build_workload(w, "RISC");
+    const workloads::RunOutcome fast =
+        workloads::run_executable(exe, nullptr, with_superblocks(true));
+    const workloads::RunOutcome slow =
+        workloads::run_executable(exe, nullptr, with_superblocks(false));
+    EXPECT_EQ(fast.reason, sim::StopReason::Exited);
+    EXPECT_EQ(fast.exit_code, slow.exit_code);
+    EXPECT_EQ(fast.output, slow.output);
+    EXPECT_EQ(fast.stats.instructions, slow.stats.instructions);
+    EXPECT_EQ(fast.stats.operations, slow.stats.operations);
+    EXPECT_EQ(fast.stats.decodes, slow.stats.decodes);
+    EXPECT_EQ(fast.stats.isa_switches, slow.stats.isa_switches);
+    EXPECT_EQ(fast.stats.libc_calls, slow.stats.libc_calls);
+    if (!engine_forced_off()) EXPECT_GT(fast.stats.blocks_formed, 0u);
+    EXPECT_EQ(slow.stats.blocks_formed, 0u);
+  }
+}
+
+TEST(Superblock, VliwInstancesBitIdenticalAcrossEngines) {
+  const workloads::Workload& dct = workloads::by_name("dct");
+  for (const char* isa : {"VLIW2", "VLIW4", "VLIW8"}) {
+    SCOPED_TRACE(isa);
+    const elf::ElfFile exe = workloads::build_workload(dct, isa);
+    const workloads::RunOutcome fast =
+        workloads::run_executable(exe, nullptr, with_superblocks(true));
+    const workloads::RunOutcome slow =
+        workloads::run_executable(exe, nullptr, with_superblocks(false));
+    EXPECT_EQ(fast.exit_code, slow.exit_code);
+    EXPECT_EQ(fast.output, slow.output);
+    EXPECT_EQ(fast.stats.instructions, slow.stats.instructions);
+    EXPECT_EQ(fast.stats.operations, slow.stats.operations);
+  }
+}
+
+TEST(Superblock, CycleModelsExactUnderBlockExecution) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  for (const char kind : {'i', 'a', 'd'}) {
+    SCOPED_TRACE(kind);
+    uint64_t cycles[2];
+    for (const bool superblocks : {true, false}) {
+      cycle::MemoryHierarchy memory;
+      cycle::IlpModel ilp;
+      cycle::AieModel aie(&memory);
+      cycle::DoeModel doe(&memory);
+      cycle::CycleModel* model = kind == 'i' ? static_cast<cycle::CycleModel*>(&ilp)
+                                 : kind == 'a' ? static_cast<cycle::CycleModel*>(&aie)
+                                               : static_cast<cycle::CycleModel*>(&doe);
+      const workloads::RunOutcome r =
+          workloads::run_executable(exe, model, with_superblocks(superblocks));
+      EXPECT_EQ(r.reason, sim::StopReason::Exited);
+      cycles[superblocks ? 0 : 1] = r.cycles;
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+  }
+}
+
+TEST(Superblock, MixedIsaProgramBitIdentical) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 50
+outer:
+  switchtarget VLIW4
+.isa VLIW4
+  addi r5, r5, 1 || addi r7, r0, 2
+  mul r7, r7, r5
+  switchtarget RISC
+.isa RISC
+  bne r5, r6, outer
+  srli r7, r7, 2
+  add r4, r5, r7      # 50 + (2*50)/4 = 75
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator fast(isa::kisa(), with_superblocks(true));
+  Simulator slow(isa::kisa(), with_superblocks(false));
+  fast.load(exe);
+  slow.load(exe);
+  EXPECT_EQ(fast.run(), StopReason::Exited);
+  EXPECT_EQ(slow.run(), StopReason::Exited);
+  EXPECT_EQ(fast.exit_code(), 75);
+  expect_equivalent(fast, slow);
+  EXPECT_EQ(fast.stats().isa_switches, 100u);
+}
+
+TEST(Superblock, TraceOutputIdentical) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 5
+loop:
+  addi r5, r5, 1
+  mul r7, r5, r5
+  bne r5, r6, loop
+  mv r4, r7
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  std::string traces[2];
+  for (const bool superblocks : {true, false}) {
+    Simulator sim(isa::kisa(), with_superblocks(superblocks));
+    sim.load(exe);
+    std::ostringstream os;
+    TraceWriter trace(os);
+    sim.set_trace(&trace);
+    EXPECT_EQ(sim.run(), StopReason::Exited);
+    EXPECT_EQ(sim.exit_code(), 25);
+    traces[superblocks ? 0 : 1] = os.str();
+  }
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+TEST(Superblock, ProfilerAndOpStatsExactUnderBlockExecution) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("qsort"), "RISC");
+  uint64_t work_instrs[2];
+  for (const bool superblocks : {true, false}) {
+    SimOptions opts = with_superblocks(superblocks);
+    opts.collect_op_stats = true;
+    Simulator sim(isa::kisa(), opts);
+    Profiler prof;
+    sim.set_profiler(&prof);
+    sim.load(exe);
+    EXPECT_EQ(sim.run(), StopReason::Exited);
+    uint64_t total = 0;
+    for (const FuncProfile& p : prof.report()) total += p.instructions;
+    work_instrs[superblocks ? 0 : 1] = total;
+    // The histogram must account for every executed operation.
+    uint64_t ops = 0;
+    for (const auto& [op, count] : sim.op_histogram()) ops += count;
+    EXPECT_EQ(ops, sim.stats().operations);
+  }
+  EXPECT_EQ(work_instrs[0], work_instrs[1]);
+}
+
+TEST(Superblock, InstructionLimitExactAndResumable) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 10000
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+
+  Simulator interrupted(isa::kisa(), with_superblocks(true));
+  interrupted.load(exe);
+  interrupted.set_max_instructions(777);
+  EXPECT_EQ(interrupted.run(), StopReason::InstructionLimit);
+  EXPECT_EQ(interrupted.stats().instructions, 777u);
+
+  // Invalidation mid-run must not change results: drop every superblock and
+  // cached decode, then resume to completion.
+  interrupted.clear_decode_cache();
+  interrupted.set_max_instructions(0);
+  EXPECT_EQ(interrupted.run(), StopReason::Exited);
+
+  Simulator straight(isa::kisa(), with_superblocks(true));
+  straight.load(exe);
+  EXPECT_EQ(straight.run(), StopReason::Exited);
+
+  EXPECT_EQ(interrupted.exit_code(), straight.exit_code());
+  EXPECT_EQ(interrupted.stats().instructions, straight.stats().instructions);
+  EXPECT_EQ(interrupted.stats().operations, straight.stats().operations);
+  for (unsigned r = 0; r < 32; ++r)
+    EXPECT_EQ(interrupted.state().reg(r), straight.state().reg(r));
+  // The resumed run re-formed blocks after the flush.
+  if (!engine_forced_off())
+    EXPECT_GT(interrupted.stats().blocks_formed, straight.stats().blocks_formed);
+}
+
+TEST(Superblock, StepAndRunInterleave) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 100
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator sim(isa::kisa(), with_superblocks(true));
+  sim.load(exe);
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(sim.step(), std::nullopt);
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 100);
+}
+
+TEST(Superblock, TrapStateIdenticalAcrossEngines) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 64
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  li r7, 0x7FFFFFF0
+  lw r4, 0(r7)        # faults after the loop is hot
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator fast(isa::kisa(), with_superblocks(true));
+  Simulator slow(isa::kisa(), with_superblocks(false));
+  fast.load(exe);
+  slow.load(exe);
+  EXPECT_EQ(fast.run(), StopReason::Trap);
+  EXPECT_EQ(slow.run(), StopReason::Trap);
+  // The trapping instruction does not retire in either engine.
+  EXPECT_EQ(fast.stats().instructions, slow.stats().instructions);
+  EXPECT_EQ(fast.state().ip(), slow.state().ip());
+  EXPECT_EQ(fast.error_report(), slow.error_report());
+  EXPECT_FALSE(fast.ip_history().empty());
+  EXPECT_EQ(fast.ip_history(), slow.ip_history());
+}
+
+TEST(Superblock, ChainingStatsOnHotLoop) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 20000
+loop:
+  addi r5, r5, 1
+  addi r7, r5, 3
+  xor r8, r7, r5
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)";
+  if (engine_forced_off()) GTEST_SKIP() << "KSIM_NO_SUPERBLOCKS set";
+  Simulator sim(isa::kisa(), with_superblocks(true));
+  sim.load(build_exe(source));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  const SimStats& s = sim.stats();
+  EXPECT_GT(s.blocks_formed, 0u);
+  EXPECT_LT(s.blocks_formed, 40u);
+  EXPECT_GT(s.block_dispatches, 10000u);
+  // Steady state resolves successors through cached edges, not the table...
+  EXPECT_GT(s.block_chain_avoidance(), 0.99);
+  // ...so almost no hash lookups remain per instruction.
+  EXPECT_GT(s.lookup_avoidance(), 0.95);
+  EXPECT_GT(s.decode_avoidance(), 0.98);
+}
+
+TEST(Superblock, DisabledEngineFormsNoBlocks) {
+  Simulator sim(isa::kisa(), with_superblocks(false));
+  sim.load(build_exe(R"(
+.global main
+main:
+  addi r4, r0, 7
+  ret
+)"));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 7);
+  EXPECT_EQ(sim.stats().blocks_formed, 0u);
+  EXPECT_EQ(sim.stats().block_dispatches, 0u);
+}
+
+} // namespace
+} // namespace ksim::sim
