@@ -1,0 +1,110 @@
+// kckpt cost model: snapshot encode/restore latency, snapshot size, and the
+// end-to-end runtime overhead of periodic on-disk checkpointing at several
+// --checkpoint-every intervals.  The headline acceptance number is
+// overhead_pct.every_10M — periodic snapshots every 10M instructions must
+// stay well under 5% of straight-through runtime.
+#include <filesystem>
+
+#include "bench_util.h"
+#include "ckpt/checkpoint.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("ckpt", args);
+  header("kckpt: checkpoint save/restore latency, size and runtime overhead");
+
+  const workloads::Workload& w = workloads::by_name(args.quick ? "dct" : "cjpeg");
+  const elf::ElfFile exe = workloads::build_workload(w, "RISC");
+  const int repeats = args.quick ? 2 : 5;
+
+  const workloads::RunOutcome full = workloads::run_executable(exe);
+  const uint64_t total = full.stats.instructions;
+  std::printf("workload %s (RISC), %llu instructions\n\n", w.name.c_str(),
+              static_cast<unsigned long long>(total));
+  json.set("workload", w.name);
+  json.set("instructions", total);
+
+  ckpt::RunRecord run;
+  run.workload = w.name;
+  run.elf_bytes = exe.serialize();
+
+  // Snapshot encode latency + size at the midpoint of the run.
+  sim::Simulator mid(isa::kisa(), sim::SimOptions{});
+  mid.load(exe);
+  mid.set_checkpoint_hook(total / 2, [](sim::Simulator&) { return true; });
+  check(mid.run() == sim::StopReason::Checkpoint, "midpoint checkpoint not reached");
+  ckpt::Participants parts;
+  parts.sim = &mid;
+  std::vector<uint8_t> snap;
+  const double save_s =
+      time_best([&] { snap = ckpt::encode_checkpoint(run, parts); }, repeats * 2);
+  std::printf("save   %8.3f ms   snapshot %zu bytes (at %llu instructions)\n",
+              save_s * 1e3, snap.size(),
+              static_cast<unsigned long long>(mid.stats().instructions));
+  json.set("save_ms", save_s * 1e3);
+  json.set("snapshot_bytes", static_cast<uint64_t>(snap.size()));
+
+  // Restore latency: parse + full apply, including the decode-cache and
+  // superblock rebuild from the restored memory image.
+  const double restore_s = time_best(
+      [&] {
+        sim::Simulator fresh(isa::kisa(), sim::SimOptions{});
+        fresh.load(exe);
+        ckpt::Participants p;
+        p.sim = &fresh;
+        ckpt::apply_checkpoint(ckpt::parse_checkpoint(snap), p);
+      },
+      repeats * 2);
+  std::printf("restore %7.3f ms (parse + apply + decode-cache rebuild)\n\n",
+              restore_s * 1e3);
+  json.set("restore_ms", restore_s * 1e3);
+
+  // End-to-end overhead of periodic snapshots written (atomically) to disk.
+  const TimedRun straight = timed_run(exe, sim::SimOptions{}, {}, repeats);
+  std::printf("straight-through: %.3f s (%.1f MIPS)\n", straight.seconds,
+              straight.mips());
+  json.set("straight_s", straight.seconds);
+  json.set("straight_mips", straight.mips());
+
+  const std::string dir = (fs::temp_directory_path() / "bench_kckpt").string();
+  const struct {
+    uint64_t every;
+    const char* label;
+  } intervals[] = {{200000, "200k"}, {1000000, "1M"}, {10000000, "10M"}};
+  for (const auto& iv : intervals) {
+    double best = 1e30;
+    unsigned snapshots = 0;
+    for (int i = 0; i < repeats; ++i) {
+      fs::remove_all(dir);
+      sim::Simulator s(isa::kisa(), sim::SimOptions{});
+      s.load(exe);
+      ckpt::CheckpointSink sink(dir, 3);
+      ckpt::Participants p;
+      p.sim = &s;
+      s.set_checkpoint_hook(iv.every, [&](sim::Simulator&) {
+        sink.write(run, p);
+        return false;
+      });
+      const auto t0 = std::chrono::steady_clock::now();
+      check(s.run() == sim::StopReason::Exited, "bench run did not finish");
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+      snapshots = sink.written();
+    }
+    const double overhead = 100.0 * (best - straight.seconds) / straight.seconds;
+    std::printf("every %-5s %u snapshots, %.3f s, overhead %+.2f%%\n", iv.label,
+                snapshots, best, overhead);
+    json.set(std::string("snapshots.every_") + iv.label,
+             static_cast<uint64_t>(snapshots));
+    json.set(std::string("overhead_pct.every_") + iv.label, overhead);
+  }
+  fs::remove_all(dir);
+
+  json.write();
+  return 0;
+}

@@ -32,7 +32,42 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
 echo "=== clang-tidy ==="
 cmake --build build --target lint-cxx
 
+echo "=== checkpoint equivalence gate (interrupt + resume == straight run) ==="
+KSIM=./build/src/driver/ksim
+CKPT_TMP=$(mktemp -d)
+trap 'rm -rf "$CKPT_TMP"' EXIT
+# Straight-through reference run.
+$KSIM run --workload cjpeg --isa RISC --model doe \
+  >"$CKPT_TMP/straight.out" 2>"$CKPT_TMP/straight.err"
+# The same run interrupted mid-flight with periodic snapshots, then resumed.
+$KSIM run --workload cjpeg --isa RISC --model doe \
+  --checkpoint-every 200000 --ckpt-dir "$CKPT_TMP/ckpt" --max-instr 600000 \
+  >"$CKPT_TMP/part1.out" 2>/dev/null
+$KSIM resume "$CKPT_TMP/ckpt" \
+  >"$CKPT_TMP/resumed.out" 2>"$CKPT_TMP/resumed.err"
+# The resumed run must report the exact same final totals...
+for needle in "exited after" "DOE cycles" "superblocks:"; do
+  want=$(grep -F "$needle" "$CKPT_TMP/straight.err")
+  got=$(grep -F "$needle" "$CKPT_TMP/resumed.err")
+  if [ "$want" != "$got" ]; then
+    echo "ci.sh: checkpoint equivalence FAILED on '$needle':" >&2
+    echo "  straight: $want" >&2
+    echo "  resumed:  $got" >&2
+    exit 1
+  fi
+done
+# ...and the straight-through stdout must end with the resumed stdout.
+tail -c "$(wc -c <"$CKPT_TMP/resumed.out")" "$CKPT_TMP/straight.out" \
+  | cmp -s - "$CKPT_TMP/resumed.out" || {
+    echo "ci.sh: resumed stdout is not a suffix of the straight run" >&2
+    exit 1
+  }
+# Deterministic replay self-check on the surviving snapshot.
+$KSIM replay "$CKPT_TMP/ckpt"
+echo "checkpoint equivalence OK"
+
 echo "=== perf smoke (non-gating numbers, machine-readable) ==="
 ./build/bench/bench_simperf_mips --quick --json BENCH_simperf.json
+./build/bench/bench_ckpt --quick --json BENCH_ckpt.json
 
 echo "ci.sh: all stages passed"

@@ -1,0 +1,328 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "cycle/branch_predict.h"
+#include "cycle/cycle_model.h"
+#include "cycle/mem_hierarchy.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace ksim::ckpt {
+
+namespace {
+
+using support::ByteReader;
+using support::ByteWriter;
+
+constexpr char kMagic[8] = {'K', 'S', 'I', 'M', 'C', 'K', 'P', 'T'};
+
+constexpr uint32_t fourcc(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
+         static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24;
+}
+
+constexpr uint32_t kTagRun = fourcc('R', 'U', 'N', ' ');
+constexpr uint32_t kTagSim = fourcc('S', 'I', 'M', ' ');
+constexpr uint32_t kTagCyc = fourcc('C', 'Y', 'C', ' ');
+constexpr uint32_t kTagMem = fourcc('M', 'E', 'M', ' ');
+constexpr uint32_t kTagBprd = fourcc('B', 'P', 'R', 'D');
+
+std::string tag_name(uint32_t tag) {
+  std::string s;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    s += std::isprint(static_cast<unsigned char>(c)) ? c : '?';
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+} // namespace
+
+// -- RunRecord ---------------------------------------------------------------
+
+void RunRecord::save(ByteWriter& w) const {
+  w.str(workload);
+  w.u64(elf_bytes.size());
+  w.bytes(elf_bytes.data(), elf_bytes.size());
+  w.str(model);
+  w.str(bp_kind);
+  w.u32(bp_penalty);
+  w.u32(seed);
+  w.u8(use_decode_cache);
+  w.u8(use_prediction);
+  w.u8(use_superblocks);
+  w.u8(collect_op_stats);
+  w.u64(max_instructions);
+}
+
+void RunRecord::restore(ByteReader& r) {
+  workload = r.str();
+  const uint64_t elf_size = r.u64();
+  check(elf_size <= r.remaining(), "checkpoint RUN section: truncated data");
+  elf_bytes.resize(static_cast<size_t>(elf_size));
+  r.bytes(elf_bytes.data(), elf_bytes.size());
+  model = r.str();
+  bp_kind = r.str();
+  bp_penalty = r.u32();
+  seed = r.u32();
+  use_decode_cache = r.u8();
+  use_prediction = r.u8();
+  use_superblocks = r.u8();
+  collect_op_stats = r.u8();
+  max_instructions = r.u64();
+}
+
+// -- encode ------------------------------------------------------------------
+
+std::vector<uint8_t> encode_checkpoint(const RunRecord& run, const Participants& p) {
+  check(p.sim != nullptr, "encode_checkpoint: no simulator attached");
+
+  struct Section {
+    uint32_t tag;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<Section> sections;
+  {
+    ByteWriter w;
+    run.save(w);
+    sections.push_back({kTagRun, w.take()});
+  }
+  {
+    ByteWriter w;
+    p.sim->save_state(w);
+    sections.push_back({kTagSim, w.take()});
+  }
+  if (p.model != nullptr) {
+    ByteWriter w;
+    w.str(p.model->name());
+    p.model->save(w);
+    sections.push_back({kTagCyc, w.take()});
+  }
+  if (p.memory != nullptr) {
+    ByteWriter w;
+    p.memory->save(w);
+    sections.push_back({kTagMem, w.take()});
+  }
+  if (p.predictor != nullptr) {
+    ByteWriter w;
+    w.str(p.predictor->name());
+    p.predictor->save(w);
+    sections.push_back({kTagBprd, w.take()});
+  }
+
+  ByteWriter out;
+  out.bytes(kMagic, sizeof kMagic);
+  out.u32(kFormatVersion);
+  out.u64(p.sim->stats().instructions);
+  out.u32(static_cast<uint32_t>(sections.size()));
+  for (const Section& s : sections) {
+    out.u32(s.tag);
+    out.u64(s.payload.size());
+    out.u32(support::crc32(s.payload.data(), s.payload.size()));
+    out.bytes(s.payload.data(), s.payload.size());
+  }
+  return out.take();
+}
+
+// -- parse -------------------------------------------------------------------
+
+Checkpoint parse_checkpoint(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes, "checkpoint");
+  uint8_t magic[sizeof kMagic];
+  r.bytes(magic, sizeof magic);
+  check(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+        "not a ksim checkpoint (bad magic)");
+  const uint32_t version = r.u32();
+  check(version == kFormatVersion,
+        strf("unsupported checkpoint format version %u (this build reads version %u)",
+             version, kFormatVersion));
+
+  Checkpoint ck;
+  ck.instructions = r.u64();
+  const uint32_t num_sections = r.u32();
+
+  bool seen_run = false;
+  bool seen_sim = false;
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    const uint32_t tag = r.u32();
+    const uint64_t size = r.u64();
+    const uint32_t crc = r.u32();
+    check(size <= r.remaining(),
+          strf("checkpoint section '%s' is truncated", tag_name(tag).c_str()));
+    const std::span<const uint8_t> payload = r.view(static_cast<size_t>(size));
+    check(support::crc32(payload.data(), payload.size()) == crc,
+          strf("checkpoint section '%s' checksum mismatch (corrupt file)",
+               tag_name(tag).c_str()));
+
+    if (tag == kTagRun) {
+      ByteReader pr(payload, "checkpoint RUN section");
+      ck.run.restore(pr);
+      pr.expect_end();
+      seen_run = true;
+    } else if (tag == kTagSim) {
+      ck.sim_state.assign(payload.begin(), payload.end());
+      seen_sim = true;
+    } else if (tag == kTagCyc) {
+      ByteReader pr(payload, "checkpoint CYC section");
+      ck.model_name = pr.str();
+      const std::span<const uint8_t> rest = pr.view(pr.remaining());
+      ck.model_state.assign(rest.begin(), rest.end());
+      ck.has_model = true;
+    } else if (tag == kTagMem) {
+      ck.memory_state.assign(payload.begin(), payload.end());
+      ck.has_memory = true;
+    } else if (tag == kTagBprd) {
+      ByteReader pr(payload, "checkpoint BPRD section");
+      ck.predictor_name = pr.str();
+      const std::span<const uint8_t> rest = pr.view(pr.remaining());
+      ck.predictor_state.assign(rest.begin(), rest.end());
+      ck.has_predictor = true;
+    } else {
+      throw Error(strf("checkpoint contains unknown section '%s'",
+                       tag_name(tag).c_str()));
+    }
+  }
+  r.expect_end();
+  check(seen_run && seen_sim,
+        "checkpoint is missing a required section (RUN/SIM)");
+  return ck;
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(in.good(), strf("cannot open checkpoint '%s'", path.c_str()));
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  check(!in.bad(), strf("error reading checkpoint '%s'", path.c_str()));
+  try {
+    return parse_checkpoint(bytes);
+  } catch (const Error& e) {
+    throw Error(std::string(path) + ": " + e.what());
+  }
+}
+
+// -- apply -------------------------------------------------------------------
+
+void apply_checkpoint(const Checkpoint& ck, const Participants& p) {
+  check(p.sim != nullptr, "apply_checkpoint: no simulator attached");
+  check((p.model != nullptr) == ck.has_model,
+        ck.has_model
+            ? "checkpoint was taken with a cycle model, but none is attached"
+            : "checkpoint was taken without a cycle model, but one is attached");
+  if (p.model != nullptr)
+    check(p.model->name() == ck.model_name,
+          strf("checkpoint cycle model is '%s', attached model is '%s'",
+               ck.model_name.c_str(), p.model->name().c_str()));
+  check((p.memory != nullptr) == ck.has_memory,
+        "checkpoint memory-hierarchy presence does not match the session");
+  check((p.predictor != nullptr) == ck.has_predictor,
+        "checkpoint branch-predictor presence does not match the session");
+  if (p.predictor != nullptr)
+    check(p.predictor->name() == ck.predictor_name,
+          strf("checkpoint branch predictor is '%s', attached predictor is '%s'",
+               ck.predictor_name.c_str(), p.predictor->name().c_str()));
+
+  ByteReader sr(ck.sim_state, "checkpoint SIM section");
+  p.sim->restore_state(sr);
+  sr.expect_end();
+  if (p.model != nullptr) {
+    ByteReader mr(ck.model_state, "checkpoint CYC section");
+    p.model->restore(mr);
+    mr.expect_end();
+  }
+  if (p.memory != nullptr) {
+    ByteReader hr(ck.memory_state, "checkpoint MEM section");
+    p.memory->restore(hr);
+    hr.expect_end();
+  }
+  if (p.predictor != nullptr) {
+    ByteReader br(ck.predictor_state, "checkpoint BPRD section");
+    p.predictor->restore(br);
+    br.expect_end();
+  }
+}
+
+// -- files -------------------------------------------------------------------
+
+void write_checkpoint_atomic(const std::string& path, std::span<const uint8_t> bytes) {
+  const fs::path target(path);
+  fs::path tmp(target);
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    check(out.good(), strf("cannot create '%s'", tmp.string().c_str()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    check(out.good(), strf("error writing '%s'", tmp.string().c_str()));
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error(strf("cannot move checkpoint into place at '%s'", path.c_str()));
+  }
+}
+
+CheckpointSink::CheckpointSink(std::string dir, unsigned keep_last)
+    : dir_(std::move(dir)), keep_(keep_last == 0 ? 1 : keep_last) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  check(!ec, strf("cannot create checkpoint directory '%s'", dir_.c_str()));
+}
+
+std::string CheckpointSink::write(const RunRecord& run, const Participants& p) {
+  const std::vector<uint8_t> bytes = encode_checkpoint(run, p);
+  const std::string name =
+      strf("ckpt-%llu%s",
+           static_cast<unsigned long long>(p.sim->stats().instructions),
+           kFileSuffix);
+  const std::string path = (fs::path(dir_) / name).string();
+  write_checkpoint_atomic(path, bytes);
+  ++count_;
+  if (live_.empty() || live_.back() != path) live_.push_back(path);
+  while (live_.size() > keep_) {
+    std::error_code ec;
+    fs::remove(live_.front(), ec); // best effort; the new snapshot is safe
+    live_.erase(live_.begin());
+  }
+  return path;
+}
+
+std::string latest_checkpoint(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return "";
+  std::string best;
+  uint64_t best_n = 0;
+  for (const fs::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const std::string_view suffix(kFileSuffix);
+    if (name.size() <= 5 + suffix.size() || name.compare(0, 5, "ckpt-") != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string digits = name.substr(5, name.size() - 5 - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    const uint64_t n = std::stoull(digits);
+    if (best.empty() || n >= best_n) {
+      best = entry.path().string();
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+} // namespace ksim::ckpt

@@ -1,0 +1,143 @@
+// kckpt — checkpoint/restore and deterministic replay (DESIGN.md §5c).
+//
+// A checkpoint file captures everything needed to resume a simulation
+// bit-identically: the run configuration *including the executable bytes*
+// (the RUN section, so a snapshot is self-contained), the simulator's
+// complete execution state, and the state of every attached cycle-model
+// participant.  The format is sectioned, versioned and per-section
+// checksummed; readers validate the whole file before mutating any live
+// object, so a damaged or mismatched snapshot is rejected with a clear
+// diagnostic and no partial state change.
+//
+// Determinism: the simulator has no external nondeterministic inputs — the
+// emulated C library is pure (rand() is a seeded LCG, no real syscalls) —
+// so the RUN section's configuration record *is* the full replay log.
+// `ksim replay` re-runs the recorded program from the beginning up to the
+// snapshot's instruction count and byte-compares the re-encoded state
+// against the file; all serializers use canonical (sorted) encodings to
+// make that comparison meaningful.
+//
+// File layout (all little-endian):
+//   "KSIMCKPT"  8-byte magic
+//   u32         format version (kFormatVersion)
+//   u64         instruction count at the snapshot point
+//   u32         section count
+//   sections:   u32 tag (fourcc) | u64 payload size | u32 CRC-32 | payload
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/byte_stream.h"
+
+namespace ksim::sim {
+class Simulator;
+}
+namespace ksim::cycle {
+class CycleModel;
+class MemoryHierarchy;
+class BranchPredictor;
+}
+
+namespace ksim::ckpt {
+
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr char kFileSuffix[] = ".kckpt";
+
+/// The run configuration recorded into every checkpoint (RUN section): all
+/// inputs that determine the simulation, so `ksim resume` and `ksim replay`
+/// can rebuild an identical session without the original command line.
+struct RunRecord {
+  std::string workload;            ///< display name (file or workload id)
+  std::vector<uint8_t> elf_bytes;  ///< the executable, verbatim
+  std::string model;               ///< cycle model name ("" = none)
+  std::string bp_kind;             ///< branch predictor kind ("" = none)
+  uint32_t bp_penalty = 0;         ///< mispredict refill penalty (cycles)
+  uint32_t seed = 1;               ///< emulated-libc rand() seed (--seed)
+  uint8_t use_decode_cache = 1;
+  uint8_t use_prediction = 1;
+  uint8_t use_superblocks = 1;
+  uint8_t collect_op_stats = 0;
+  uint64_t max_instructions = 0;   ///< original --max-instr (0 = unlimited)
+
+  void save(support::ByteWriter& w) const;
+  void restore(support::ByteReader& r);
+};
+
+/// The live objects a checkpoint covers.  `sim` is mandatory; the rest are
+/// optional and must be attached consistently across save and restore (a
+/// checkpoint taken with a DOE model cannot restore into a bare run).
+struct Participants {
+  sim::Simulator* sim = nullptr;
+  cycle::CycleModel* model = nullptr;
+  cycle::MemoryHierarchy* memory = nullptr;
+  cycle::BranchPredictor* predictor = nullptr;
+};
+
+/// A parsed, validated checkpoint: header fields plus raw section payloads.
+/// Payloads are kept as bytes so validation (magic, version, checksums,
+/// section framing) is complete before apply_checkpoint() touches anything.
+struct Checkpoint {
+  uint64_t instructions = 0;
+  RunRecord run;
+  std::vector<uint8_t> sim_state;
+  bool has_model = false;
+  std::string model_name;
+  std::vector<uint8_t> model_state;
+  bool has_memory = false;
+  std::vector<uint8_t> memory_state;
+  bool has_predictor = false;
+  std::string predictor_name;
+  std::vector<uint8_t> predictor_state;
+};
+
+/// Serializes the participants' current state under `run` into checkpoint
+/// bytes.  Identical states encode to identical bytes (the replay check).
+std::vector<uint8_t> encode_checkpoint(const RunRecord& run, const Participants& p);
+
+/// Parses and fully validates checkpoint bytes.  Throws ksim::Error with a
+/// specific diagnostic (bad magic, version mismatch, truncation, checksum
+/// failure, unknown section) — never returns a partially valid result.
+Checkpoint parse_checkpoint(std::span<const uint8_t> bytes);
+
+/// Reads + parses a checkpoint file.  Throws ksim::Error on I/O or format
+/// problems, naming the file in the message.
+Checkpoint read_checkpoint(const std::string& path);
+
+/// Restores `ck` into live participants.  The simulator must already have
+/// load()ed the executable from ck.run.elf_bytes with matching options; the
+/// attached model/memory/predictor set must match the sections present.
+/// Throws ksim::Error on any mismatch.
+void apply_checkpoint(const Checkpoint& ck, const Participants& p);
+
+/// Writes `bytes` to `path` crash-safely: the data goes to a temporary file
+/// in the same directory first and is renamed over `path` only once fully
+/// written, so readers never observe a torn checkpoint.
+void write_checkpoint_atomic(const std::string& path, std::span<const uint8_t> bytes);
+
+/// Periodic snapshot writer for `ksim run --checkpoint-every`: emits
+/// `<dir>/ckpt-<instructions>.kckpt` atomically and keeps only the newest
+/// `keep_last` snapshots (older ones are unlinked after a successful write,
+/// so at least one complete checkpoint always exists once any was written).
+class CheckpointSink {
+public:
+  CheckpointSink(std::string dir, unsigned keep_last);
+
+  /// Snapshots the participants; returns the path written.
+  std::string write(const RunRecord& run, const Participants& p);
+
+  unsigned written() const { return count_; }
+
+private:
+  std::string dir_;
+  unsigned keep_;
+  unsigned count_ = 0;
+  std::vector<std::string> live_; ///< oldest first
+};
+
+/// Highest-instruction-count `ckpt-<n>.kckpt` in `dir`, or "" if none.
+std::string latest_checkpoint(const std::string& dir);
+
+} // namespace ksim::ckpt

@@ -5,6 +5,23 @@
 
 namespace ksim::cycle {
 
+namespace {
+
+void save_table(support::ByteWriter& w, const std::vector<uint8_t>& table) {
+  w.u64(table.size());
+  w.bytes(table.data(), table.size());
+}
+
+void restore_table(support::ByteReader& r, std::vector<uint8_t>& table,
+                   const char* who) {
+  const uint64_t size = r.u64();
+  check(size == table.size(),
+        std::string(who) + ": checkpoint predictor table size mismatch");
+  r.bytes(table.data(), table.size());
+}
+
+} // namespace
+
 OneBitPredictor::OneBitPredictor(size_t entries) : table_(entries, 0) {
   check(is_pow2(entries), "OneBitPredictor: table size must be a power of two");
 }
@@ -18,6 +35,12 @@ void OneBitPredictor::update(uint32_t pc, bool taken) {
 void OneBitPredictor::reset() {
   std::fill(table_.begin(), table_.end(), 0);
   reset_stats();
+}
+
+void OneBitPredictor::do_save(support::ByteWriter& w) const { save_table(w, table_); }
+
+void OneBitPredictor::do_restore(support::ByteReader& r) {
+  restore_table(r, table_, "1-bit");
 }
 
 TwoBitPredictor::TwoBitPredictor(size_t entries) : table_(entries, 1) {
@@ -35,6 +58,12 @@ void TwoBitPredictor::update(uint32_t pc, bool taken) {
 void TwoBitPredictor::reset() {
   std::fill(table_.begin(), table_.end(), 1);
   reset_stats();
+}
+
+void TwoBitPredictor::do_save(support::ByteWriter& w) const { save_table(w, table_); }
+
+void TwoBitPredictor::do_restore(support::ByteReader& r) {
+  restore_table(r, table_, "2-bit");
 }
 
 GsharePredictor::GsharePredictor(unsigned history_bits)
@@ -56,6 +85,16 @@ void GsharePredictor::reset() {
   std::fill(table_.begin(), table_.end(), 1);
   history_ = 0;
   reset_stats();
+}
+
+void GsharePredictor::do_save(support::ByteWriter& w) const {
+  save_table(w, table_);
+  w.u32(history_);
+}
+
+void GsharePredictor::do_restore(support::ByteReader& r) {
+  restore_table(r, table_, "gshare");
+  history_ = r.u32();
 }
 
 std::unique_ptr<BranchPredictor> make_predictor(const std::string& kind) {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "support/byte_stream.h"
+
 namespace ksim::cycle {
 
 struct PredictorStats {
@@ -50,8 +52,27 @@ public:
 
   const PredictorStats& stats() const { return stats_; }
 
+  /// Serializes / restores the predictor's dynamic state (statistics plus
+  /// whatever tables/history the concrete predictor keeps) for kckpt.
+  /// restore() targets an identically configured predictor and throws
+  /// ksim::Error on a table-shape mismatch.
+  void save(support::ByteWriter& w) const {
+    w.u64(stats_.branches);
+    w.u64(stats_.mispredictions);
+    do_save(w);
+  }
+  void restore(support::ByteReader& r) {
+    stats_.branches = r.u64();
+    stats_.mispredictions = r.u64();
+    do_restore(r);
+  }
+
 protected:
   void reset_stats() { stats_ = {}; }
+
+  /// Concrete predictor state; the static predictors keep none.
+  virtual void do_save(support::ByteWriter&) const {}
+  virtual void do_restore(support::ByteReader&) {}
 
 private:
   PredictorStats stats_;
@@ -86,6 +107,10 @@ public:
   std::string name() const override { return "1-bit"; }
   void reset() override;
 
+protected:
+  void do_save(support::ByteWriter& w) const override;
+  void do_restore(support::ByteReader& r) override;
+
 private:
   size_t index(uint32_t pc) const { return (pc >> 2) & (table_.size() - 1); }
   std::vector<uint8_t> table_;
@@ -100,6 +125,10 @@ public:
   std::string name() const override { return "2-bit"; }
   void reset() override;
 
+protected:
+  void do_save(support::ByteWriter& w) const override;
+  void do_restore(support::ByteReader& r) override;
+
 private:
   size_t index(uint32_t pc) const { return (pc >> 2) & (table_.size() - 1); }
   std::vector<uint8_t> table_; ///< 0..3, >=2 predicts taken
@@ -113,6 +142,10 @@ public:
   void update(uint32_t pc, bool taken) override;
   std::string name() const override { return "gshare"; }
   void reset() override;
+
+protected:
+  void do_save(support::ByteWriter& w) const override;
+  void do_restore(support::ByteReader& r) override;
 
 private:
   size_t index(uint32_t pc) const {

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "isa/exec.h"
+#include "support/byte_stream.h"
 
 namespace ksim::cycle {
 
@@ -26,6 +27,15 @@ public:
 
   virtual void reset() = 0;
   virtual std::string name() const = 0;
+
+  /// Serializes / restores the model's internal accounting so a checkpointed
+  /// run resumes with bit-identical cycle approximation (kckpt).  The memory
+  /// hierarchy and branch predictor are shared objects checkpointed
+  /// separately; models must only cover their own state here.  The default
+  /// suits stateless observers (e.g. the RTL trace recorder opts out and is
+  /// rejected by the driver when checkpointing is requested).
+  virtual void save(support::ByteWriter&) const {}
+  virtual void restore(support::ByteReader&) {}
 
   /// Operations per cycle (0 when nothing ran).
   double ops_per_cycle() const {

@@ -8,6 +8,26 @@
 
 namespace ksim::cycle {
 
+namespace {
+
+void save_stats(support::ByteWriter& w, const MemModuleStats& stats) {
+  w.u64(stats.accesses);
+  w.u64(stats.hits);
+  w.u64(stats.misses);
+  w.u64(stats.writebacks);
+  w.u64(stats.port_stalls);
+}
+
+void restore_stats(support::ByteReader& r, MemModuleStats& stats) {
+  stats.accesses = r.u64();
+  stats.hits = r.u64();
+  stats.misses = r.u64();
+  stats.writebacks = r.u64();
+  stats.port_stalls = r.u64();
+}
+
+} // namespace
+
 // -- MainMemory ----------------------------------------------------------------
 
 uint64_t MainMemory::access(uint32_t /*addr*/, AccessType /*type*/, int /*slot*/,
@@ -19,6 +39,10 @@ uint64_t MainMemory::access(uint32_t /*addr*/, AccessType /*type*/, int /*slot*/
 void MainMemory::reset() { stats_ = {}; }
 
 std::string MainMemory::describe() const { return strf("memory(delay=%u)", delay_); }
+
+void MainMemory::save(support::ByteWriter& w) const { save_stats(w, stats_); }
+
+void MainMemory::restore(support::ByteReader& r) { restore_stats(r, stats_); }
 
 // -- CacheModule ----------------------------------------------------------------
 
@@ -96,6 +120,36 @@ void CacheModule::reset() {
   stats_ = {};
 }
 
+void CacheModule::save(support::ByteWriter& w) const {
+  save_stats(w, stats_);
+  w.u64(lru_counter_);
+  w.u64(lines_.size());
+  for (const Line& line : lines_) {
+    w.u32(line.tag);
+    w.u8(static_cast<uint8_t>((line.valid ? 1u : 0u) | (line.dirty ? 2u : 0u)));
+    w.u64(line.write_cycle);
+    w.u64(line.lru);
+  }
+}
+
+void CacheModule::restore(support::ByteReader& r) {
+  restore_stats(r, stats_);
+  lru_counter_ = r.u64();
+  const uint64_t count = r.u64();
+  check(count == lines_.size(),
+        strf("checkpoint %s geometry mismatch (%llu lines vs %zu)",
+             config_.name.c_str(), static_cast<unsigned long long>(count),
+             lines_.size()));
+  for (Line& line : lines_) {
+    line.tag = r.u32();
+    const uint8_t flags = r.u8();
+    line.valid = (flags & 1u) != 0;
+    line.dirty = (flags & 2u) != 0;
+    line.write_cycle = r.u64();
+    line.lru = r.u64();
+  }
+}
+
 std::string CacheModule::describe() const {
   return strf("%s(%u B, %u-way, %u B lines, delay=%u)", config_.name.c_str(),
               config_.size_bytes, config_.associativity, config_.line_size, config_.delay);
@@ -147,6 +201,31 @@ std::string ConnectionLimit::describe() const {
   return strf("connection_limit(ports=%u)", ports_);
 }
 
+void ConnectionLimit::save(support::ByteWriter& w) const {
+  save_stats(w, stats_);
+  w.u64(max_cycle_seen_);
+  // Canonical (sorted) order so identical reservation state always encodes
+  // to identical bytes regardless of hash-map layout.
+  std::vector<std::pair<uint64_t, unsigned>> entries(used_.begin(), used_.end());
+  std::sort(entries.begin(), entries.end());
+  w.u64(entries.size());
+  for (const auto& [cycle, ports] : entries) {
+    w.u64(cycle);
+    w.u32(ports);
+  }
+}
+
+void ConnectionLimit::restore(support::ByteReader& r) {
+  restore_stats(r, stats_);
+  max_cycle_seen_ = r.u64();
+  used_.clear();
+  const uint64_t count = r.u64();
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t cycle = r.u64();
+    used_[cycle] = r.u32();
+  }
+}
+
 // -- MemoryHierarchy -----------------------------------------------------------------
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config) {
@@ -162,6 +241,20 @@ void MemoryHierarchy::reset() {
   l2_->reset();
   l1_->reset();
   limit_->reset();
+}
+
+void MemoryHierarchy::save(support::ByteWriter& w) const {
+  limit_->save(w);
+  l1_->save(w);
+  l2_->save(w);
+  memory_->save(w);
+}
+
+void MemoryHierarchy::restore(support::ByteReader& r) {
+  limit_->restore(r);
+  l1_->restore(r);
+  l2_->restore(r);
+  memory_->restore(r);
 }
 
 } // namespace ksim::cycle

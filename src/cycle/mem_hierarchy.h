@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/byte_stream.h"
+
 namespace ksim::cycle {
 
 enum class AccessType : uint8_t { Read, Write };
@@ -46,6 +48,13 @@ public:
 
   virtual const MemModuleStats& stats() const = 0;
   virtual std::string describe() const = 0;
+
+  /// Serializes / restores the module's dynamic state (line contents, port
+  /// reservations, statistics) for kckpt.  Configuration (geometry, delays)
+  /// is not serialized — restore() targets an identically configured module
+  /// and throws ksim::Error on a shape mismatch.  Default: stateless.
+  virtual void save(support::ByteWriter&) const {}
+  virtual void restore(support::ByteReader&) {}
 };
 
 /// Main memory: completion = start + delay.
@@ -57,6 +66,8 @@ public:
   void reset() override;
   const MemModuleStats& stats() const override { return stats_; }
   std::string describe() const override;
+  void save(support::ByteWriter& w) const override;
+  void restore(support::ByteReader& r) override;
 
 private:
   unsigned delay_;
@@ -80,6 +91,8 @@ public:
   void reset() override;
   const MemModuleStats& stats() const override { return stats_; }
   std::string describe() const override;
+  void save(support::ByteWriter& w) const override;
+  void restore(support::ByteReader& r) override;
 
   const CacheConfig& config() const { return config_; }
   double miss_rate() const {
@@ -118,6 +131,8 @@ public:
   void reset() override;
   const MemModuleStats& stats() const override { return stats_; }
   std::string describe() const override;
+  void save(support::ByteWriter& w) const override;
+  void restore(support::ByteReader& r) override;
 
 private:
   /// Claims a port at or after `cycle`; returns the cycle actually used.
@@ -148,6 +163,11 @@ public:
 
   MemModule& entry() { return *entry_; }
   void reset();
+
+  /// Serializes / restores every module of the composed hierarchy, in a
+  /// fixed order (limit, L1, L2, main memory).
+  void save(support::ByteWriter& w) const;
+  void restore(support::ByteReader& r);
 
   const CacheModule& l1() const { return *l1_; }
   const CacheModule& l2() const { return *l2_; }

@@ -81,6 +81,22 @@ void IlpModel::reset() {
   operations_ = 0;
 }
 
+void IlpModel::save(support::ByteWriter& w) const {
+  regs_.save(w);
+  w.u64(last_branch_completion_);
+  w.u64(last_store_start_);
+  w.u64(max_completion_);
+  w.u64(operations_);
+}
+
+void IlpModel::restore(support::ByteReader& r) {
+  regs_.restore(r);
+  last_branch_completion_ = r.u64();
+  last_store_start_ = r.u64();
+  max_completion_ = r.u64();
+  operations_ = r.u64();
+}
+
 // -- AieModel -------------------------------------------------------------------
 
 void AieModel::on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& ctx) {
@@ -110,6 +126,16 @@ void AieModel::on_instruction(const isa::DecodedInstr& di, const isa::ExecCtx& c
 void AieModel::reset() {
   completion_ = 0;
   operations_ = 0;
+}
+
+void AieModel::save(support::ByteWriter& w) const {
+  w.u64(completion_);
+  w.u64(operations_);
+}
+
+void AieModel::restore(support::ByteReader& r) {
+  completion_ = r.u64();
+  operations_ = r.u64();
 }
 
 // -- DoeModel -------------------------------------------------------------------
@@ -160,6 +186,22 @@ void DoeModel::reset() {
   max_completion_ = 0;
   operations_ = 0;
   if (predictor_ != nullptr) predictor_->reset();
+}
+
+void DoeModel::save(support::ByteWriter& w) const {
+  regs_.save(w);
+  for (const uint64_t issue : slot_last_issue_) w.u64(issue);
+  w.u64(fetch_ready_);
+  w.u64(max_completion_);
+  w.u64(operations_);
+}
+
+void DoeModel::restore(support::ByteReader& r) {
+  regs_.restore(r);
+  for (uint64_t& issue : slot_last_issue_) issue = r.u64();
+  fetch_ready_ = r.u64();
+  max_completion_ = r.u64();
+  operations_ = r.u64();
 }
 
 } // namespace ksim::cycle

@@ -27,6 +27,13 @@ public:
   void write_destinations(const isa::DecodedOp& op, uint64_t completion);
   void reset() { cycles_.fill(0); }
 
+  void save(support::ByteWriter& w) const {
+    for (const uint64_t c : cycles_) w.u64(c);
+  }
+  void restore(support::ByteReader& r) {
+    for (uint64_t& c : cycles_) c = r.u64();
+  }
+
 private:
   std::array<uint64_t, 32> cycles_{};
 };
@@ -45,6 +52,8 @@ public:
   uint64_t operations() const override { return operations_; }
   void reset() override;
   std::string name() const override { return "ILP"; }
+  void save(support::ByteWriter& w) const override;
+  void restore(support::ByteReader& r) override;
 
   /// The theoretical ILP value: operations / cycles.
   double ilp() const { return ops_per_cycle(); }
@@ -77,6 +86,8 @@ public:
   uint64_t operations() const override { return operations_; }
   void reset() override;
   std::string name() const override { return "AIE"; }
+  void save(support::ByteWriter& w) const override;
+  void restore(support::ByteReader& r) override;
 
 private:
   MemoryHierarchy* memory_;
@@ -106,6 +117,8 @@ public:
   uint64_t operations() const override { return operations_; }
   void reset() override;
   std::string name() const override { return "DOE"; }
+  void save(support::ByteWriter& w) const override;
+  void restore(support::ByteReader& r) override;
 
 private:
   MemoryHierarchy* memory_;

@@ -8,6 +8,8 @@
 //   ksim lint [options] <file.c|file.s|file.elf>  statically analyze a program
 //   ksim lint --workload <name>|all [--isa NAME|all]
 //   ksim workloads                                list built-in workloads
+//   ksim resume <ckpt|dir> [options]              resume a checkpointed run
+//   ksim replay <ckpt|dir>                        deterministic replay self-check
 //
 // lint options (klint, see src/analysis/):
 //   --format text|json  report format (default text)
@@ -29,14 +31,31 @@
 //   --bp-penalty N   mispredict refill penalty in cycles (default 3)
 //   --opstats        print a per-operation execution histogram
 //   --max-instr N    stop after N instructions
+//   --seed N         emulated-libc rand() seed (default 1; recorded in
+//                    checkpoints so resumed runs keep the same stream)
+//   --checkpoint-every N   snapshot simulator state every N instructions
+//                    (kckpt, DESIGN.md §5c); requires --ckpt-dir
+//   --ckpt-dir DIR   directory for ckpt-<n>.kckpt snapshots
+//   --ckpt-keep K    how many snapshots to keep (default 3)
+//
+// resume options: the run configuration (model, predictor, seed, engine
+// flags) is restored from the checkpoint; --trace/--profile/--opstats apply
+// to the resumed portion, and --checkpoint-every/--ckpt-dir continue
+// periodic snapshotting.  The recorded --max-instr is NOT reapplied (it is
+// what interrupted the original run); pass --max-instr to bound the resumed
+// run again.
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <vector>
 
 #include "analysis/lint.h"
+#include "ckpt/checkpoint.h"
 #include "cycle/branch_predict.h"
 #include "cycle/models.h"
 #include "isa/kisa.h"
@@ -55,17 +74,22 @@ namespace ksim {
 namespace {
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: ksim <run|build|cc|disasm|lint|workloads> [options] [files]\n"
+  std::cerr << "usage: ksim <run|build|cc|disasm|lint|workloads|resume|replay>"
+               " [options] [files]\n"
                "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
                "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
                "      [--no-decode-cache] [--no-prediction] [--no-superblocks]\n"
-               "      [--max-instr N]\n"
+               "      [--max-instr N] [--seed N]\n"
+               "      [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
                "  build -o <out.elf> [--isa NAME] <file.c|.s ...>\n"
                "  cc [--isa NAME] <file.c>\n"
                "  disasm <file.elf>\n"
                "  lint --workload <name>|all | <file.c|.s|.elf>  [--isa NAME|all]\n"
                "       [--format text|json] [--ilp] [--ilp-compare] [--verbose]\n"
-               "       [--max-findings N]\n";
+               "       [--max-findings N]\n"
+               "  resume <file.kckpt|dir>  [--trace FILE] [--profile] [--max-instr N]\n"
+               "         [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
+               "  replay <file.kckpt|dir>  re-run from scratch, compare bit-for-bit\n";
   std::exit(2);
 }
 
@@ -101,6 +125,10 @@ struct Options {
   bool prediction = true;
   bool superblocks = true;
   uint64_t max_instr = 0;
+  uint32_t seed = 1;
+  uint64_t ckpt_every = 0;
+  std::string ckpt_dir;
+  unsigned ckpt_keep = 3;
   std::vector<std::string> inputs;
 };
 
@@ -155,6 +183,22 @@ Options parse_options(int argc, char** argv, int first) {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--max-instr expects a count");
       opt.max_instr = static_cast<uint64_t>(v);
+    } else if (arg == "--seed") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v >= 0 && v <= INT64_C(0xFFFFFFFF),
+            "--seed expects a 32-bit value");
+      opt.seed = static_cast<uint32_t>(v);
+    } else if (arg == "--checkpoint-every") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0,
+            "--checkpoint-every expects an instruction count");
+      opt.ckpt_every = static_cast<uint64_t>(v);
+    } else if (arg == "--ckpt-dir") {
+      opt.ckpt_dir = next();
+    } else if (arg == "--ckpt-keep") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--ckpt-keep expects a count");
+      opt.ckpt_keep = static_cast<unsigned>(v);
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
@@ -193,71 +237,117 @@ elf::ElfFile build_from_inputs(const Options& opt) {
   return kasm::link_or_throw(objects, lopt);
 }
 
-elf::ElfFile load_or_build(const Options& opt) {
+/// One resolved run/lint/resume input: the executable plus a display label
+/// ("<workload>@<ISA>", "<file>@<ISA>" or the .elf path) used in reports and
+/// recorded into checkpoints.  Shared by cmd_run, cmd_lint and (through the
+/// checkpoint RUN section) cmd_resume.
+struct ResolvedInput {
+  elf::ElfFile exe;
+  std::string label;
+};
+
+ResolvedInput resolve_input(const Options& opt) {
   if (!opt.workload.empty())
-    return workloads::build_workload(workloads::by_name(opt.workload), opt.isa);
+    return {workloads::build_workload(workloads::by_name(opt.workload), opt.isa),
+            opt.workload + "@" + opt.isa};
   check(!opt.inputs.empty(), "no input file");
   if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
+    // The entry ISA is baked into the executable; --isa is ignored.
     const std::string bytes = read_file(opt.inputs[0]);
-    return elf::ElfFile::parse(
-        std::span(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+    return {elf::ElfFile::parse(std::span(
+                reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())),
+            opt.inputs[0]};
   }
-  return build_from_inputs(opt);
+  return {build_from_inputs(opt), opt.inputs[0] + "@" + opt.isa};
 }
 
-int cmd_run(const Options& opt) {
-  const elf::ElfFile exe = load_or_build(opt);
-
-  sim::SimOptions sopt;
-  sopt.use_decode_cache = opt.decode_cache;
-  sopt.use_prediction = opt.prediction;
-  sopt.use_superblocks = opt.superblocks;
-  sopt.max_instructions = opt.max_instr;
-  sopt.collect_op_stats = opt.opstats;
-  sim::Simulator simulator(isa::kisa(), sopt);
-  simulator.load(exe);
-  simulator.libc().set_echo(true);
-
-  cycle::MemoryHierarchy memory;
+/// A fully wired simulation session (simulator + cycle model + memory +
+/// predictor), built from a checkpoint RunRecord so `run`, `resume` and
+/// `replay` construct bit-identical setups from the same description.
+struct Session {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<cycle::MemoryHierarchy> memory;
   std::unique_ptr<cycle::CycleModel> model;
-  if (opt.model == "ilp")
-    model = std::make_unique<cycle::IlpModel>();
-  else if (opt.model == "aie")
-    model = std::make_unique<cycle::AieModel>(&memory);
-  else if (opt.model == "doe" || opt.model == "rtl")
-    model = std::make_unique<cycle::DoeModel>(&memory);
-  else
-    check(opt.model == "none", "unknown cycle model " + opt.model);
-
   std::unique_ptr<cycle::BranchPredictor> predictor;
-  if (!opt.bp_kind.empty()) {
-    predictor = cycle::make_predictor(opt.bp_kind);
-    if (auto* doe = dynamic_cast<cycle::DoeModel*>(model.get()); doe != nullptr)
-      doe->set_branch_prediction(predictor.get(),
-                                 static_cast<unsigned>(opt.bp_penalty));
-    else if (auto* aie = dynamic_cast<cycle::AieModel*>(model.get()); aie != nullptr)
-      aie->set_branch_prediction(predictor.get(),
-                                 static_cast<unsigned>(opt.bp_penalty));
+  std::unique_ptr<rtl::TraceRecorder> recorder; ///< --model rtl only
+  int bp_penalty = 0;
+
+  ckpt::Participants participants() {
+    ckpt::Participants p;
+    p.sim = sim.get();
+    p.model = model.get();
+    p.memory = model != nullptr && memory != nullptr ? memory.get() : nullptr;
+    p.predictor = predictor.get();
+    return p;
+  }
+};
+
+ckpt::RunRecord make_run_record(const Options& opt, const elf::ElfFile& exe,
+                                const std::string& label) {
+  ckpt::RunRecord run;
+  run.workload = label;
+  run.elf_bytes = exe.serialize();
+  run.model = opt.model == "none" ? "" : opt.model;
+  run.bp_kind = opt.bp_kind;
+  run.bp_penalty = static_cast<uint32_t>(opt.bp_penalty);
+  run.seed = opt.seed;
+  run.use_decode_cache = opt.decode_cache ? 1 : 0;
+  run.use_prediction = opt.prediction ? 1 : 0;
+  run.use_superblocks = opt.superblocks ? 1 : 0;
+  run.collect_op_stats = opt.opstats ? 1 : 0;
+  run.max_instructions = opt.max_instr;
+  return run;
+}
+
+Session make_session(const ckpt::RunRecord& run, const elf::ElfFile& exe) {
+  Session s;
+  sim::SimOptions sopt;
+  sopt.use_decode_cache = run.use_decode_cache != 0;
+  sopt.use_prediction = run.use_prediction != 0;
+  sopt.use_superblocks = run.use_superblocks != 0;
+  sopt.collect_op_stats = run.collect_op_stats != 0;
+  sopt.max_instructions = run.max_instructions;
+  sopt.libc_seed = run.seed;
+  s.sim = std::make_unique<sim::Simulator>(isa::kisa(), sopt);
+  s.sim->load(exe);
+  s.sim->libc().set_echo(true);
+  s.bp_penalty = static_cast<int>(run.bp_penalty);
+
+  if (run.model == "ilp") {
+    s.model = std::make_unique<cycle::IlpModel>();
+  } else if (run.model == "aie") {
+    s.memory = std::make_unique<cycle::MemoryHierarchy>();
+    s.model = std::make_unique<cycle::AieModel>(s.memory.get());
+  } else if (run.model == "doe" || run.model == "rtl") {
+    s.memory = std::make_unique<cycle::MemoryHierarchy>();
+    s.model = std::make_unique<cycle::DoeModel>(s.memory.get());
+  } else {
+    check(run.model.empty(), "unknown cycle model " + run.model);
+  }
+
+  if (!run.bp_kind.empty()) {
+    s.predictor = cycle::make_predictor(run.bp_kind);
+    if (auto* doe = dynamic_cast<cycle::DoeModel*>(s.model.get()); doe != nullptr)
+      doe->set_branch_prediction(s.predictor.get(), run.bp_penalty);
+    else if (auto* aie = dynamic_cast<cycle::AieModel*>(s.model.get()); aie != nullptr)
+      aie->set_branch_prediction(s.predictor.get(), run.bp_penalty);
     else
       check(false, "--bp requires --model aie or --model doe");
   }
 
-  rtl::TraceRecorder recorder; // for --model rtl
-  if (opt.model == "rtl") simulator.set_cycle_model(&recorder);
-  else if (model != nullptr) simulator.set_cycle_model(model.get());
-
-  std::ofstream trace_stream;
-  std::unique_ptr<sim::TraceWriter> trace;
-  if (!opt.trace_file.empty()) {
-    trace_stream.open(opt.trace_file);
-    check(trace_stream.good(), "cannot write " + opt.trace_file);
-    trace = std::make_unique<sim::TraceWriter>(trace_stream);
-    simulator.set_trace(trace.get());
+  if (run.model == "rtl") {
+    s.recorder = std::make_unique<rtl::TraceRecorder>();
+    s.sim->set_cycle_model(s.recorder.get());
+  } else if (s.model != nullptr) {
+    s.sim->set_cycle_model(s.model.get());
   }
-  sim::Profiler profiler;
-  if (opt.profile) simulator.set_profiler(&profiler);
+  return s;
+}
 
-  const sim::StopReason reason = simulator.run();
+/// Stop handling + statistics reporting shared by cmd_run and cmd_resume.
+int report_outcome(Session& s, const Options& opt, sim::StopReason reason,
+                   const sim::Profiler* profiler) {
+  sim::Simulator& simulator = *s.sim;
   if (reason == sim::StopReason::Trap || reason == sim::StopReason::DecodeError) {
     std::cerr << simulator.error_report();
     return 1;
@@ -275,24 +365,24 @@ int cmd_run(const Options& opt) {
                       static_cast<unsigned long long>(stats.block_dispatches),
                       100.0 * stats.block_chain_avoidance(),
                       100.0 * stats.lookup_avoidance());
-  if (opt.model == "rtl") {
+  if (s.recorder != nullptr) {
     rtl::RtlSimulator rtl_sim;
-    const rtl::RtlStats rstats = rtl_sim.run(recorder.trace());
+    const rtl::RtlStats rstats = rtl_sim.run(s.recorder->trace());
     std::cerr << strf("[ksim] RTL reference: %llu cycles\n",
                       static_cast<unsigned long long>(rstats.cycles));
-  } else if (model != nullptr) {
+  } else if (s.model != nullptr) {
     std::cerr << strf("[ksim] %s cycles: %llu (%.3f ops/cycle)\n",
-                      model->name().c_str(),
-                      static_cast<unsigned long long>(model->cycles()),
-                      model->ops_per_cycle());
+                      s.model->name().c_str(),
+                      static_cast<unsigned long long>(s.model->cycles()),
+                      s.model->ops_per_cycle());
   }
-  if (predictor != nullptr) {
+  if (s.predictor != nullptr) {
     std::cerr << strf("[ksim] branch predictor %s: %llu branches, %llu mispredicts"
                       " (%.2f%%), penalty %d\n",
-                      predictor->name().c_str(),
-                      static_cast<unsigned long long>(predictor->stats().branches),
-                      static_cast<unsigned long long>(predictor->stats().mispredictions),
-                      100.0 * predictor->stats().miss_rate(), opt.bp_penalty);
+                      s.predictor->name().c_str(),
+                      static_cast<unsigned long long>(s.predictor->stats().branches),
+                      static_cast<unsigned long long>(s.predictor->stats().mispredictions),
+                      100.0 * s.predictor->stats().miss_rate(), s.bp_penalty);
   }
   if (opt.opstats) {
     std::cerr << "[ksim] operation histogram:\n";
@@ -303,15 +393,158 @@ int cmd_run(const Options& opt) {
                         100.0 * static_cast<double>(hist[i].second) /
                             static_cast<double>(simulator.stats().operations));
   }
-  if (opt.profile) {
+  if (profiler != nullptr) {
     std::cerr << "[ksim] profile (cycles instructions calls function):\n";
-    for (const sim::FuncProfile& p : profiler.report())
+    for (const sim::FuncProfile& p : profiler->report())
       std::cerr << strf("  %10llu %10llu %8llu  %s\n",
                         static_cast<unsigned long long>(p.cycles),
                         static_cast<unsigned long long>(p.instructions),
                         static_cast<unsigned long long>(p.calls), p.name.c_str());
   }
   return simulator.exit_code();
+}
+
+/// Validates the --checkpoint-every/--ckpt-dir combination; true if this
+/// invocation should write periodic snapshots.
+bool checkpointing_requested(const Options& opt) {
+  if (opt.ckpt_every == 0 && opt.ckpt_dir.empty()) return false;
+  check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
+        "--checkpoint-every and --ckpt-dir must be used together");
+  check(opt.model != "rtl",
+        "--model rtl records a full operation trace and cannot be checkpointed");
+  return true;
+}
+
+int cmd_run(const Options& opt) {
+  const bool checkpointing = checkpointing_requested(opt);
+  ResolvedInput in = resolve_input(opt);
+  const ckpt::RunRecord run = make_run_record(opt, in.exe, in.label);
+  Session s = make_session(run, in.exe);
+
+  std::optional<ckpt::CheckpointSink> sink;
+  if (checkpointing) {
+    sink.emplace(opt.ckpt_dir, opt.ckpt_keep);
+    s.sim->set_checkpoint_hook(opt.ckpt_every, [&](sim::Simulator&) {
+      sink->write(run, s.participants());
+      return false; // keep running; snapshots are passive
+    });
+  }
+
+  std::ofstream trace_stream;
+  std::unique_ptr<sim::TraceWriter> trace;
+  if (!opt.trace_file.empty()) {
+    trace_stream.open(opt.trace_file);
+    check(trace_stream.good(), "cannot write " + opt.trace_file);
+    trace = std::make_unique<sim::TraceWriter>(trace_stream);
+    s.sim->set_trace(trace.get());
+  }
+  sim::Profiler profiler;
+  if (opt.profile) s.sim->set_profiler(&profiler);
+
+  const sim::StopReason reason = s.sim->run();
+  return report_outcome(s, opt, reason, opt.profile ? &profiler : nullptr);
+}
+
+/// Resolves a `resume`/`replay` positional argument: either a checkpoint
+/// file or a directory holding ckpt-<n>.kckpt snapshots (newest wins).
+std::string resolve_checkpoint_path(const Options& opt, const char* verb) {
+  check(opt.inputs.size() == 1,
+        std::string(verb) + " expects one checkpoint file or directory");
+  std::string path = opt.inputs[0];
+  if (std::filesystem::is_directory(path)) {
+    path = ckpt::latest_checkpoint(path);
+    check(!path.empty(), "no checkpoints found in " + opt.inputs[0]);
+  }
+  return path;
+}
+
+int cmd_resume(const Options& opt) {
+  const std::string path = resolve_checkpoint_path(opt, "resume");
+  ckpt::Checkpoint ck = ckpt::read_checkpoint(path);
+  // The recorded limit is whatever interrupted the original run; reapplying
+  // it would stop the resumed run on the spot.  Resume runs to completion
+  // unless the user bounds it again.
+  ck.run.max_instructions = opt.max_instr;
+
+  const elf::ElfFile exe = elf::ElfFile::parse(ck.run.elf_bytes);
+  Session s = make_session(ck.run, exe);
+  ckpt::apply_checkpoint(ck, s.participants());
+  std::cerr << strf("[ksim] resumed %s from %s at %llu instructions\n",
+                    ck.run.workload.c_str(), path.c_str(),
+                    static_cast<unsigned long long>(ck.instructions));
+
+  std::optional<ckpt::CheckpointSink> sink;
+  if (opt.ckpt_every != 0 || !opt.ckpt_dir.empty()) {
+    check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
+          "--checkpoint-every and --ckpt-dir must be used together");
+    sink.emplace(opt.ckpt_dir, opt.ckpt_keep);
+    s.sim->set_checkpoint_hook(opt.ckpt_every, [&](sim::Simulator&) {
+      sink->write(ck.run, s.participants());
+      return false;
+    });
+  }
+
+  std::ofstream trace_stream;
+  std::unique_ptr<sim::TraceWriter> trace;
+  if (!opt.trace_file.empty()) {
+    trace_stream.open(opt.trace_file);
+    check(trace_stream.good(), "cannot write " + opt.trace_file);
+    trace = std::make_unique<sim::TraceWriter>(trace_stream);
+    s.sim->set_trace(trace.get());
+  }
+  sim::Profiler profiler; // profiles the resumed portion only
+  if (opt.profile) s.sim->set_profiler(&profiler);
+
+  const sim::StopReason reason = s.sim->run();
+  return report_outcome(s, opt, reason, opt.profile ? &profiler : nullptr);
+}
+
+int cmd_replay(const Options& opt) {
+  const std::string path = resolve_checkpoint_path(opt, "replay");
+  const std::string original = read_file(path);
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(std::span(
+      reinterpret_cast<const uint8_t*>(original.data()), original.size()));
+  check(ck.instructions > 0, "checkpoint records no executed instructions");
+
+  // Re-run the recorded program from the beginning and stop at the exact
+  // block/step boundary the snapshot was taken at.  The boundary sequence is
+  // deterministic, so the first boundary at or past ck.instructions is the
+  // snapshot point itself; anything else is a determinism violation.
+  const elf::ElfFile exe = elf::ElfFile::parse(ck.run.elf_bytes);
+  Session s = make_session(ck.run, exe);
+  s.sim->libc().set_echo(false); // the original run already printed this
+  bool exact = false;
+  s.sim->set_checkpoint_hook(ck.instructions, [&](sim::Simulator& simulator) {
+    exact = simulator.stats().instructions == ck.instructions;
+    return true;
+  });
+  const sim::StopReason reason = s.sim->run();
+  if (reason != sim::StopReason::Checkpoint || !exact) {
+    std::cerr << strf("[ksim] replay MISMATCH: re-run stopped at %llu"
+                      " instructions (%s), checkpoint was taken at %llu\n",
+                      static_cast<unsigned long long>(s.sim->stats().instructions),
+                      sim::to_string(reason),
+                      static_cast<unsigned long long>(ck.instructions));
+    return 1;
+  }
+
+  const std::vector<uint8_t> replayed =
+      ckpt::encode_checkpoint(ck.run, s.participants());
+  const bool identical =
+      replayed.size() == original.size() &&
+      std::memcmp(replayed.data(), original.data(), replayed.size()) == 0;
+  if (!identical) {
+    std::cerr << strf("[ksim] replay MISMATCH: re-encoded state differs from"
+                      " %s (%zu vs %zu bytes)\n",
+                      path.c_str(), replayed.size(), original.size());
+    return 1;
+  }
+  std::cerr << strf("[ksim] replay OK: %s reproduced bit-identically at %llu"
+                    " instructions (%zu bytes)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(ck.instructions),
+                    replayed.size());
+  return 0;
 }
 
 int cmd_build(const Options& opt) {
@@ -423,20 +656,15 @@ int cmd_lint(const Options& opt) {
     for (const workloads::Workload* w : wls)
       for (const std::string& isa_name : isas)
         lint_one(workloads::build_workload(*w, isa_name), w->name + "@" + isa_name);
+  } else if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
+    const ResolvedInput in = resolve_input(opt);
+    lint_one(in.exe, in.label);
   } else {
-    check(!opt.inputs.empty(), "no input file");
-    if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
-      // The entry ISA is baked into the executable; --isa is ignored.
-      const std::string bytes = read_file(opt.inputs[0]);
-      lint_one(elf::ElfFile::parse(std::span(
-                   reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())),
-               opt.inputs[0]);
-    } else {
-      for (const std::string& isa_name : isas) {
-        Options per_isa = opt;
-        per_isa.isa = isa_name;
-        lint_one(build_from_inputs(per_isa), opt.inputs[0] + "@" + isa_name);
-      }
+    for (const std::string& isa_name : isas) {
+      Options per_isa = opt;
+      per_isa.isa = isa_name;
+      const ResolvedInput in = resolve_input(per_isa);
+      lint_one(in.exe, in.label);
     }
   }
   if (json) std::cout << "]\n";
@@ -459,6 +687,8 @@ int main_impl(int argc, char** argv) {
   if (cmd == "disasm") return cmd_disasm(opt);
   if (cmd == "lint") return cmd_lint(opt);
   if (cmd == "workloads") return cmd_workloads();
+  if (cmd == "resume") return cmd_resume(opt);
+  if (cmd == "replay") return cmd_replay(opt);
   usage();
 }
 

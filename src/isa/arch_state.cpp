@@ -1,5 +1,10 @@
 #include "isa/arch_state.h"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <vector>
+
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -31,6 +36,69 @@ void ArchState::reset_cpu(uint32_t entry_ip, int isa_id) {
   isa_id_ = isa_id;
   trapped_ = false;
   trap_message_.clear();
+}
+
+namespace {
+
+/// RAM snapshot granularity.  Pages that are entirely zero are skipped, so a
+/// snapshot costs roughly the program's working set, not the full RAM size.
+constexpr uint32_t kPageSize = 4096;
+
+bool page_is_zero(const uint8_t* page, uint32_t size) {
+  // memcmp against a fixed zero page vectorizes; a byte loop with an early
+  // return does not, and this scan covers the whole 16 MiB RAM per snapshot.
+  static const std::array<uint8_t, kPageSize> zeros{};
+  return std::memcmp(page, zeros.data(), std::min(size, kPageSize)) == 0;
+}
+
+} // namespace
+
+void ArchState::save(support::ByteWriter& w) const {
+  for (const uint32_t reg : regs_) w.u32(reg);
+  w.u32(ip_);
+  w.i32(isa_id_);
+  w.u8(trapped_ ? 1 : 0);
+  w.str(trap_message_);
+
+  w.u32(static_cast<uint32_t>(ram_.size()));
+  const uint32_t num_pages =
+      (static_cast<uint32_t>(ram_.size()) + kPageSize - 1) / kPageSize;
+  std::vector<uint32_t> used;
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    const uint32_t offset = p * kPageSize;
+    const uint32_t size = std::min<uint32_t>(kPageSize, ram_size() - offset);
+    if (!page_is_zero(&ram_[offset], size)) used.push_back(p);
+  }
+  w.u32(static_cast<uint32_t>(used.size()));
+  for (const uint32_t p : used) {
+    const uint32_t offset = p * kPageSize;
+    w.u32(p);
+    w.bytes(&ram_[offset], std::min<uint32_t>(kPageSize, ram_size() - offset));
+  }
+}
+
+void ArchState::restore(support::ByteReader& r) {
+  for (uint32_t& reg : regs_) reg = r.u32();
+  regs_[0] = 0;
+  ip_ = r.u32();
+  isa_id_ = r.i32();
+  trapped_ = r.u8() != 0;
+  trap_message_ = r.str();
+
+  const uint32_t ram_bytes = r.u32();
+  check(ram_bytes == ram_.size(),
+        strf("checkpoint RAM size %u does not match simulator RAM size %zu",
+             ram_bytes, ram_.size()));
+  std::fill(ram_.begin(), ram_.end(), 0);
+  const uint32_t num_pages = (ram_bytes + kPageSize - 1) / kPageSize;
+  const uint32_t used = r.u32();
+  for (uint32_t i = 0; i < used; ++i) {
+    const uint32_t p = r.u32();
+    check(p < num_pages, strf("checkpoint RAM page %u out of range", p));
+    const uint32_t offset = p * kPageSize;
+    const uint32_t size = std::min<uint32_t>(kPageSize, ram_bytes - offset);
+    r.bytes(&ram_[offset], size);
+  }
 }
 
 uint32_t ArchState::fault_load(uint32_t addr, unsigned size) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "support/byte_stream.h"
+
 namespace ksim::isa {
 
 /// Default simulated RAM size (16 MiB).
@@ -122,6 +124,16 @@ public:
 
   /// Resets registers, IP, ISA and trap state (memory is preserved).
   void reset_cpu(uint32_t entry_ip, int isa_id);
+
+  /// Serializes the complete architectural state (registers, IP, ISA, trap
+  /// state and a sparse page image of RAM) for kckpt.  The encoding is
+  /// deterministic: identical state produces identical bytes.
+  void save(support::ByteWriter& w) const;
+
+  /// Inverse of save().  Throws ksim::Error if the snapshot's RAM size does
+  /// not match this instance.  Untouched pages are zeroed, so restoring over
+  /// a used ArchState yields exactly the saved image.
+  void restore(support::ByteReader& r);
 
 private:
   uint32_t fault_load(uint32_t addr, unsigned size);

@@ -95,6 +95,15 @@ public:
   size_t size() const { return count_; }
   size_t capacity() const { return slots_.size(); }
 
+  /// Visits every (key, value) mapping.  Iteration order is table order and
+  /// thus layout-dependent; callers needing a canonical order (checkpoint
+  /// serialization) must sort by key themselves.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.value != nullptr) fn(s.key, s.value);
+  }
+
 private:
   static constexpr size_t kInitialCapacity = 1024; // power of two
 

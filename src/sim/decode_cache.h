@@ -55,6 +55,13 @@ public:
   size_t size() const { return map_.size(); }
   size_t table_capacity() const { return map_.capacity(); }
 
+  /// Visits every (key, entry) mapping in layout order (not canonical; see
+  /// AddrIsaMap::for_each).  Used by checkpoint serialization.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each(std::forward<Fn>(fn));
+  }
+
 private:
   AddrIsaMap<isa::DecodedInstr> map_;
   ChunkArena<isa::DecodedInstr> arena_;

@@ -207,7 +207,31 @@ void LibcEmulator::reset() {
   exit_code_ = 0;
   calls_ = 0;
   heap_ptr_ = heap_start_;
-  rand_state_ = 1;
+  rand_state_ = seed_;
+}
+
+void LibcEmulator::save(support::ByteWriter& w) const {
+  w.str(output_);
+  w.u8(exited_ ? 1 : 0);
+  w.i32(exit_code_);
+  w.u64(calls_);
+  w.u32(heap_start_);
+  w.u32(heap_ptr_);
+  w.u32(heap_end_);
+  w.u32(seed_);
+  w.u32(rand_state_);
+}
+
+void LibcEmulator::restore(support::ByteReader& r) {
+  output_ = r.str();
+  exited_ = r.u8() != 0;
+  exit_code_ = r.i32();
+  calls_ = r.u64();
+  heap_start_ = r.u32();
+  heap_ptr_ = r.u32();
+  heap_end_ = r.u32();
+  seed_ = r.u32();
+  rand_state_ = r.u32();
 }
 
 } // namespace ksim::sim

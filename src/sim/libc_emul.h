@@ -9,6 +9,7 @@
 
 #include "isa/exec.h"
 #include "isa/kisa.h"
+#include "support/byte_stream.h"
 
 namespace ksim::sim {
 
@@ -38,8 +39,20 @@ public:
 
   void handle(int op_number, isa::ExecCtx& ctx) override;
 
-  /// Resets dynamic state (heap pointer, rand seed, exit flag, output).
+  /// Initial rand() state applied by reset() (SimOptions::libc_seed; the
+  /// simulated program can still override it via srand()).  Recorded in
+  /// checkpoints so replayed runs are self-describing.
+  void set_seed(uint32_t seed) { seed_ = seed; }
+  uint32_t seed() const { return seed_; }
+
+  /// Resets dynamic state (heap pointer, rand state, exit flag, output).
   void reset();
+
+  /// Serializes / restores all emulation state a simulated program can
+  /// observe (heap break, rand state, exit status, accumulated output) for
+  /// kckpt.  Host-side configuration (echo) is not part of a snapshot.
+  void save(support::ByteWriter& w) const;
+  void restore(support::ByteReader& r);
 
 private:
   uint32_t arg(const isa::ExecCtx& ctx, unsigned index) const;
@@ -54,6 +67,7 @@ private:
   uint32_t heap_start_ = 0;
   uint32_t heap_ptr_ = 0;
   uint32_t heap_end_ = 0;
+  uint32_t seed_ = 1;
   uint32_t rand_state_ = 1;
 };
 

@@ -17,6 +17,7 @@ const char* to_string(StopReason reason) {
     case StopReason::Trap: return "trap";
     case StopReason::DecodeError: return "decode error";
     case StopReason::InstructionLimit: return "instruction limit";
+    case StopReason::Checkpoint: return "checkpoint";
   }
   return "?";
 }
@@ -51,9 +52,11 @@ void Simulator::load(const elf::ElfFile& executable) {
   const uint32_t heap_end = isa::kStackTop - (1u << 20); // 1 MiB stack guard
   check(heap_start < heap_end, "executable leaves no room for the heap");
   libc_.set_heap(heap_start, heap_end);
+  libc_.set_seed(options_.libc_seed);
   libc_.reset();
   clear_decode_cache();
   stats_ = {};
+  if (ckpt_every_ != 0) ckpt_next_ = ckpt_every_;
   ip_ring_pos_ = 0;
   ip_ring_full_ = false;
   if (profiler_ != nullptr) {
@@ -247,8 +250,16 @@ StopReason Simulator::run() {
   check(loaded_, "Simulator::run without a loaded executable");
   if (options_.use_superblocks) return run_superblocks();
   while (true) {
+    if (checkpoint_due() && fire_checkpoint()) return StopReason::Checkpoint;
     if (const auto stop = step(); stop.has_value()) return *stop;
   }
+}
+
+bool Simulator::fire_checkpoint() {
+  // Advance past the boundary first so a hook that saves state (and a later
+  // resume) sees the next due point, not the one being serviced.
+  ckpt_next_ = (stats_.instructions / ckpt_every_ + 1) * ckpt_every_;
+  return ckpt_fn_ && ckpt_fn_(*this);
 }
 
 // ---------------------------------------------------------------------------
@@ -273,6 +284,10 @@ StopReason Simulator::run_superblocks() {
     return StopReason::InstructionLimit;
 
   while (true) {
+    // Checkpoint boundary: no block is mid-flight here, so serialized state
+    // (including last_block_'s pending chain edge) resumes bit-identically.
+    if (checkpoint_due() && fire_checkpoint()) return StopReason::Checkpoint;
+
     const uint32_t ip = state_.ip();
     const int isa_id = active_isa_->id;
 
@@ -435,6 +450,245 @@ std::optional<StopReason> Simulator::exec_block_fast(Superblock* sb) {
   if (limit != 0 && stats_.instructions >= limit)
     return StopReason::InstructionLimit;
   return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization (kckpt).
+//
+// save_state() captures everything the execution engine derives from the
+// program *plus* the links among those structures, because the §V-A / block
+// statistics depend on which prediction links and chain edges exist, not
+// just on the architectural state.  Cache contents themselves are not
+// written byte-for-byte: restore_state() re-decodes every cached (addr, isa)
+// from the restored memory image, which both validates that the checkpoint
+// matches the loaded program and keeps the format free of in-memory pointer
+// layouts.  All orders are canonical (sorted by key), so two simulators in
+// identical states serialize to identical bytes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t instr_key(const isa::DecodedInstr* di) {
+  return AddrIsaMap<isa::DecodedInstr>::make_key(di->addr, di->isa_id);
+}
+
+uint64_t block_key(const Superblock* sb) {
+  return AddrIsaMap<Superblock>::make_key(sb->entry_addr, sb->isa_id);
+}
+
+constexpr uint64_t kNoLink = UINT64_MAX;
+
+} // namespace
+
+void Simulator::save_state(support::ByteWriter& w) const {
+  check(loaded_, "Simulator::save_state without a loaded executable");
+  state_.save(w);
+  libc_.save(w);
+
+  w.u64(ip_ring_.size());
+  for (const uint32_t ip : ip_ring_) w.u32(ip);
+  w.u64(ip_ring_pos_);
+  w.u8(ip_ring_full_ ? 1 : 0);
+
+  // Decode cache: keys plus prediction links (targets identified by key).
+  std::vector<std::pair<uint64_t, const isa::DecodedInstr*>> instrs;
+  instrs.reserve(decode_cache_.size());
+  decode_cache_.for_each([&](uint64_t key, const isa::DecodedInstr* di) {
+    instrs.emplace_back(key, di);
+  });
+  std::sort(instrs.begin(), instrs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(instrs.size());
+  for (const auto& [key, di] : instrs) {
+    w.u64(key);
+    w.u32(di->pred_ip);
+    w.u64(di->pred_next != nullptr ? instr_key(di->pred_next) : kNoLink);
+  }
+
+  // Superblocks: instruction sequences and chain edges, all by key.  Every
+  // installed block's instructions live in the decode cache, and every chain
+  // edge targets an installed block (form_block never links empty blocks),
+  // so keys are sufficient to rebuild the whole graph.
+  std::vector<std::pair<uint64_t, const Superblock*>> blocks;
+  blocks.reserve(block_cache_.size());
+  block_cache_.for_each([&](uint64_t key, const Superblock* sb) {
+    blocks.emplace_back(key, sb);
+  });
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(blocks.size());
+  for (const auto& [key, sb] : blocks) {
+    w.u64(key);
+    w.u16(sb->num_instrs);
+    for (uint16_t i = 0; i < sb->num_instrs; ++i) w.u64(instr_key(sb->instrs[i]));
+    for (const Superblock* succ : sb->succ)
+      w.u64(succ != nullptr ? block_key(succ) : kNoLink);
+  }
+
+  // Engine cursors.  A prev_instr_ pointing at scratch_instr_ (cache-less
+  // stepping) is not re-creatable by key; prediction is off in that
+  // configuration, so dropping the link is exact.
+  const isa::DecodedInstr* prev = prev_instr_;
+  if (prev != nullptr && decode_cache_.lookup(prev->addr, prev->isa_id) != prev)
+    prev = nullptr;
+  w.u64(prev != nullptr ? instr_key(prev) : kNoLink);
+  w.u64(last_block_ != nullptr ? block_key(last_block_) : kNoLink);
+  w.u8(static_cast<uint8_t>(last_exit_taken_));
+
+  w.u64(op_counts_.size());
+  for (const uint64_t count : op_counts_) w.u64(count);
+
+  // Statistics go last so restore_state() can overwrite whatever the cache
+  // rebuild accumulated.
+  w.u64(stats_.instructions);
+  w.u64(stats_.operations);
+  w.u64(stats_.decodes);
+  w.u64(stats_.cache_lookups);
+  w.u64(stats_.pred_hits);
+  w.u64(stats_.isa_switches);
+  w.u64(stats_.libc_calls);
+  w.u64(stats_.blocks_formed);
+  w.u64(stats_.block_dispatches);
+  w.u64(stats_.block_chain_hits);
+}
+
+void Simulator::restore_state(support::ByteReader& r) {
+  check(loaded_, "Simulator::restore_state without a loaded executable");
+  state_.restore(r);
+  libc_.restore(r);
+
+  const uint64_t ring = r.u64();
+  check(ring == ip_ring_.size(), "checkpoint ip-history length mismatch");
+  for (uint32_t& ip : ip_ring_) ip = r.u32();
+  ip_ring_pos_ = static_cast<size_t>(r.u64());
+  ip_ring_full_ = r.u8() != 0;
+  check(ip_ring_.empty() ? ip_ring_pos_ == 0 : ip_ring_pos_ < ip_ring_.size(),
+        "checkpoint ip-history cursor out of range");
+
+  clear_decode_cache();
+  decode_error_.clear();
+
+  // Rebuild the decode cache by re-decoding from the restored memory image.
+  const uint64_t num_instrs = r.u64();
+  struct PredLink {
+    uint64_t key;
+    uint32_t pred_ip;
+    uint64_t pred_key;
+  };
+  std::vector<PredLink> links;
+  links.reserve(static_cast<size_t>(num_instrs));
+  for (uint64_t i = 0; i < num_instrs; ++i) {
+    const uint64_t key = r.u64();
+    const uint32_t pred_ip = r.u32();
+    const uint64_t pred_key = r.u64();
+    const uint32_t addr = static_cast<uint32_t>(key);
+    const int isa_id = static_cast<int>(static_cast<uint32_t>(key >> 32));
+    const isa::IsaInfo* isa = isa_by_id(isa_id);
+    check(isa != nullptr, strf("checkpoint references unknown ISA id %d", isa_id));
+    active_isa_ = isa;
+    std::string error;
+    if (!decode_at(addr, scratch_instr_, error))
+      throw Error("checkpoint does not match the loaded program: " + error);
+    decode_cache_.insert(addr, isa_id, scratch_instr_);
+    if (pred_key != kNoLink) links.push_back({key, pred_ip, pred_key});
+  }
+  for (const PredLink& link : links) {
+    isa::DecodedInstr* from = decode_cache_.lookup(
+        static_cast<uint32_t>(link.key),
+        static_cast<int>(static_cast<uint32_t>(link.key >> 32)));
+    isa::DecodedInstr* to = decode_cache_.lookup(
+        static_cast<uint32_t>(link.pred_key),
+        static_cast<int>(static_cast<uint32_t>(link.pred_key >> 32)));
+    check(from != nullptr && to != nullptr, "checkpoint prediction link dangles");
+    from->pred_ip = link.pred_ip;
+    from->pred_next = to;
+  }
+
+  // Rebuild superblocks over the rebuilt decode cache, then the chain edges.
+  const uint64_t num_blocks = r.u64();
+  struct ChainEdge {
+    uint64_t key;
+    uint64_t succ[2];
+  };
+  std::vector<ChainEdge> edges;
+  edges.reserve(static_cast<size_t>(num_blocks));
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    const uint64_t key = r.u64();
+    const uint16_t count = r.u16();
+    check(count > 0 && count <= kMaxBlockInstrs,
+          "checkpoint superblock has an impossible length");
+    Superblock* sb = block_cache_.create(
+        static_cast<uint32_t>(key),
+        static_cast<int>(static_cast<uint32_t>(key >> 32)));
+    for (uint16_t k = 0; k < count; ++k) {
+      const uint64_t ikey = r.u64();
+      const isa::DecodedInstr* di = decode_cache_.lookup(
+          static_cast<uint32_t>(ikey),
+          static_cast<int>(static_cast<uint32_t>(ikey >> 32)));
+      check(di != nullptr, "checkpoint superblock references an uncached instruction");
+      sb->instrs[sb->num_instrs++] = di;
+    }
+    block_cache_.insert(sb);
+    ChainEdge edge{key, {r.u64(), r.u64()}};
+    if (edge.succ[0] != kNoLink || edge.succ[1] != kNoLink) edges.push_back(edge);
+  }
+  for (const ChainEdge& edge : edges) {
+    Superblock* sb = block_cache_.lookup(
+        static_cast<uint32_t>(edge.key),
+        static_cast<int>(static_cast<uint32_t>(edge.key >> 32)));
+    check(sb != nullptr, "checkpoint superblock edge dangles");
+    for (int e = 0; e < 2; ++e) {
+      if (edge.succ[e] == kNoLink) continue;
+      Superblock* succ = block_cache_.lookup(
+          static_cast<uint32_t>(edge.succ[e]),
+          static_cast<int>(static_cast<uint32_t>(edge.succ[e] >> 32)));
+      check(succ != nullptr, "checkpoint superblock edge dangles");
+      sb->succ[e] = succ;
+    }
+  }
+
+  const uint64_t prev_key = r.u64();
+  if (prev_key != kNoLink) {
+    prev_instr_ = decode_cache_.lookup(
+        static_cast<uint32_t>(prev_key),
+        static_cast<int>(static_cast<uint32_t>(prev_key >> 32)));
+    check(prev_instr_ != nullptr, "checkpoint prediction cursor dangles");
+  }
+  const uint64_t last_key = r.u64();
+  if (last_key != kNoLink) {
+    last_block_ = block_cache_.lookup(
+        static_cast<uint32_t>(last_key),
+        static_cast<int>(static_cast<uint32_t>(last_key >> 32)));
+    check(last_block_ != nullptr, "checkpoint block cursor dangles");
+  }
+  last_exit_taken_ = r.u8() != 0 ? 1 : 0;
+
+  const uint64_t num_counts = r.u64();
+  check(num_counts == op_counts_.size(),
+        "checkpoint operation-histogram size mismatch");
+  for (uint64_t& count : op_counts_) count = r.u64();
+
+  // The active ISA follows the architectural state, not whatever the cache
+  // rebuild left behind.
+  const isa::IsaInfo* isa = isa_by_id(state_.isa_id());
+  check(isa != nullptr,
+        strf("checkpoint restores unknown active ISA id %d", state_.isa_id()));
+  active_isa_ = isa;
+
+  stats_.instructions = r.u64();
+  stats_.operations = r.u64();
+  stats_.decodes = r.u64();
+  stats_.cache_lookups = r.u64();
+  stats_.pred_hits = r.u64();
+  stats_.isa_switches = r.u64();
+  stats_.libc_calls = r.u64();
+  stats_.blocks_formed = r.u64();
+  stats_.block_dispatches = r.u64();
+  stats_.block_chain_hits = r.u64();
+
+  if (ckpt_every_ != 0)
+    ckpt_next_ = (stats_.instructions / ckpt_every_ + 1) * ckpt_every_;
+  if (profiler_ != nullptr) profiler_->reset();
 }
 
 std::vector<std::pair<const isa::OpInfo*, uint64_t>> Simulator::op_histogram() const {

@@ -10,6 +10,7 @@
 // steady-state execution never touches a hash table.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@ struct SimOptions {
   bool collect_op_stats = false;///< per-operation execution histogram
   uint64_t max_instructions = 0;///< safety limit; 0 = unlimited
   size_t ip_history = 64;       ///< instruction pointer history length (0 = off)
+  uint32_t libc_seed = 1;       ///< initial rand() state (ksim run --seed)
 };
 
 struct SimStats {
@@ -75,6 +77,7 @@ enum class StopReason {
   Trap,             ///< runtime error (bad memory access, div by zero, ...)
   DecodeError,      ///< undecodable instruction or bad instruction address
   InstructionLimit, ///< SimOptions::max_instructions reached
+  Checkpoint,       ///< a checkpoint hook requested the run to stop (kckpt replay)
 };
 
 const char* to_string(StopReason reason);
@@ -106,6 +109,34 @@ public:
   /// Raises or lowers SimOptions::max_instructions mid-run (e.g. to resume
   /// after StopReason::InstructionLimit).
   void set_max_instructions(uint64_t limit) { options_.max_instructions = limit; }
+
+  /// Checkpoint hook (kckpt): every `every_instrs` executed instructions the
+  /// hook fires at the next block/step boundary — a point where no superblock
+  /// is mid-flight, so saved state resumes bit-identically.  Returning true
+  /// stops the run with StopReason::Checkpoint (replay); returning false
+  /// continues (periodic snapshots).  every_instrs == 0 detaches the hook.
+  void set_checkpoint_hook(uint64_t every_instrs,
+                           std::function<bool(Simulator&)> fn) {
+    ckpt_every_ = every_instrs;
+    ckpt_fn_ = std::move(fn);
+    ckpt_next_ = every_instrs == 0 ? UINT64_MAX
+                                   : (stats_.instructions / every_instrs + 1) *
+                                         every_instrs;
+  }
+
+  /// Serializes the complete execution state: architectural state, libc
+  /// emulation, IP history, decode cache, prediction link, superblocks with
+  /// their chain edges, and statistics.  The encoding is canonical (sorted
+  /// cache orders), so identical simulator states produce identical bytes.
+  void save_state(support::ByteWriter& w) const;
+
+  /// Restores state saved by save_state() into a simulator that has load()ed
+  /// the same executable with the same options.  Decode cache and superblocks
+  /// are rebuilt by re-decoding from the restored memory image, then
+  /// re-linked; statistics are restored last so the rebuild does not perturb
+  /// them.  Throws ksim::Error (leaving the simulator in need of a fresh
+  /// load()) if the checkpoint does not match the loaded program.
+  void restore_state(support::ByteReader& r);
 
   /// Runs until exit/halt/trap/limit.
   StopReason run();
@@ -161,6 +192,10 @@ private:
   /// ISA reconfiguration after an instruction with ctx_.isa_switch set.
   std::optional<StopReason> apply_isa_switch();
 
+  // -- checkpoint hook (see set_checkpoint_hook) ----------------------------
+  bool checkpoint_due() const { return stats_.instructions >= ckpt_next_; }
+  bool fire_checkpoint();
+
   // -- superblock engine (see DESIGN.md) ------------------------------------
   StopReason run_superblocks();
   std::optional<StopReason> form_block(uint32_t entry_ip);
@@ -194,6 +229,10 @@ private:
   std::vector<uint32_t> ip_ring_;
   size_t ip_ring_pos_ = 0;
   bool ip_ring_full_ = false;
+
+  uint64_t ckpt_every_ = 0;
+  uint64_t ckpt_next_ = UINT64_MAX;
+  std::function<bool(Simulator&)> ckpt_fn_;
 
   std::string decode_error_;
   bool loaded_ = false;

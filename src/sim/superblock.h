@@ -68,6 +68,13 @@ public:
 
   size_t size() const { return map_.size(); }
 
+  /// Visits every (key, block) mapping in layout order (not canonical; see
+  /// AddrIsaMap::for_each).  Used by checkpoint serialization.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each(std::forward<Fn>(fn));
+  }
+
 private:
   AddrIsaMap<Superblock> map_;
   ChunkArena<Superblock, 64> arena_;

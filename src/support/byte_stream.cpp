@@ -1,0 +1,60 @@
+#include "support/byte_stream.h"
+
+#include <array>
+
+#include "support/error.h"
+
+namespace ksim::support {
+
+std::string ByteReader::str() {
+  const uint32_t size = u32();
+  need(size);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), size);
+  pos_ += size;
+  return out;
+}
+
+void ByteReader::bytes(void* out, size_t size) {
+  need(size);
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+}
+
+std::span<const uint8_t> ByteReader::view(size_t size) {
+  need(size);
+  std::span<const uint8_t> out = data_.subspan(pos_, size);
+  pos_ += size;
+  return out;
+}
+
+void ByteReader::expect_end() const {
+  check(at_end(), context_ + ": trailing bytes after the last field");
+}
+
+void ByteReader::need(size_t n) const {
+  check(n <= data_.size() - pos_, context_ + ": truncated data");
+}
+
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+} // namespace
+
+uint32_t crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace ksim::support

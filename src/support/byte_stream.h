@@ -1,0 +1,99 @@
+// Checksummed binary stream I/O for the kckpt checkpoint/restore subsystem
+// (see DESIGN.md §5c).  ByteWriter serializes into a growable buffer with
+// fixed little-endian encodings (deterministic across platforms, so
+// checkpoint bytes can be compared bit-for-bit by the replay self-check);
+// ByteReader is the bounds-checked inverse that throws ksim::Error on any
+// underrun instead of silently reading garbage from a truncated snapshot.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksim::support {
+
+class ByteWriter {
+public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { raw(&v, sizeof v); }
+  void u32(uint32_t v) { raw(&v, sizeof v); }
+  void u64(uint64_t v) { raw(&v, sizeof v); }
+  void i32(int32_t v) { raw(&v, sizeof v); }
+
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(std::string_view s) {
+    u32(static_cast<uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// Raw bytes, no length prefix (callers encode their own framing).
+  void bytes(const void* data, size_t size) { raw(data, size); }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+private:
+  void raw(const void* data, size_t size) {
+    const size_t old = buf_.size();
+    buf_.resize(old + size);
+    std::memcpy(buf_.data() + old, data, size);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads the encodings ByteWriter produces.  Every accessor validates the
+/// remaining size first and throws ksim::Error("<context>: truncated data")
+/// on underrun, so damaged checkpoints fail loudly and without partial
+/// effects (callers parse fully before mutating any live object).
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const uint8_t> data, std::string context = "stream")
+      : data_(data), context_(std::move(context)) {}
+
+  uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  uint16_t u16() { return fixed<uint16_t>(); }
+  uint32_t u32() { return fixed<uint32_t>(); }
+  uint64_t u64() { return fixed<uint64_t>(); }
+  int32_t i32() { return static_cast<int32_t>(fixed<uint32_t>()); }
+
+  std::string str();
+  void bytes(void* out, size_t size);
+
+  /// Borrow `size` bytes in place (valid while the underlying span lives).
+  std::span<const uint8_t> view(size_t size);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  /// Throws unless the stream was consumed exactly (catches format drift).
+  void expect_end() const;
+
+private:
+  template <typename T>
+  T fixed() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(size_t n) const;
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`; the
+/// per-section integrity check of the kckpt file format.
+uint32_t crc32(const void* data, size_t size);
+
+} // namespace ksim::support

@@ -1,0 +1,623 @@
+// kckpt checkpoint/restore and deterministic replay (DESIGN.md §5c).
+//
+// The contract under test: saving simulator + cycle-model state at an
+// arbitrary block/step boundary and restoring it into a freshly constructed
+// session must continue the run *bit-identically* — same architectural
+// state, output, statistics, trace lines and cycle approximation as a run
+// that was never interrupted — and the serialized form must be canonical
+// (identical states encode to identical bytes).  Damaged snapshots must be
+// rejected loudly before any live object is touched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "cycle/branch_predict.h"
+#include "cycle/mem_hierarchy.h"
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "support/byte_stream.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "workloads/build.h"
+
+namespace ksim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- harness -----------------------------------------------------------------
+
+struct SessionConfig {
+  std::string model; ///< "", "ilp", "aie", "doe"
+  std::string bp;    ///< "", "1bit", "2bit", "gshare", ...
+  unsigned bp_penalty = 3;
+  sim::SimOptions sopt;
+};
+
+struct TestSession {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<cycle::MemoryHierarchy> memory;
+  std::unique_ptr<cycle::CycleModel> model;
+  std::unique_ptr<cycle::BranchPredictor> predictor;
+
+  ckpt::Participants parts() {
+    ckpt::Participants p;
+    p.sim = sim.get();
+    p.model = model.get();
+    p.memory = memory.get();
+    p.predictor = predictor.get();
+    return p;
+  }
+};
+
+TestSession make_session(const elf::ElfFile& exe, const SessionConfig& cfg) {
+  TestSession s;
+  s.sim = std::make_unique<sim::Simulator>(isa::kisa(), cfg.sopt);
+  s.sim->load(exe);
+  if (cfg.model == "ilp") {
+    s.model = std::make_unique<cycle::IlpModel>();
+  } else if (!cfg.model.empty()) {
+    s.memory = std::make_unique<cycle::MemoryHierarchy>();
+    if (cfg.model == "aie")
+      s.model = std::make_unique<cycle::AieModel>(s.memory.get());
+    else
+      s.model = std::make_unique<cycle::DoeModel>(s.memory.get());
+  }
+  if (!cfg.bp.empty()) {
+    s.predictor = cycle::make_predictor(cfg.bp);
+    if (auto* doe = dynamic_cast<cycle::DoeModel*>(s.model.get()); doe != nullptr)
+      doe->set_branch_prediction(s.predictor.get(), cfg.bp_penalty);
+    else if (auto* aie = dynamic_cast<cycle::AieModel*>(s.model.get()); aie != nullptr)
+      aie->set_branch_prediction(s.predictor.get(), cfg.bp_penalty);
+  }
+  if (s.model != nullptr) s.sim->set_cycle_model(s.model.get());
+  return s;
+}
+
+ckpt::RunRecord record_for(const elf::ElfFile& exe, const SessionConfig& cfg) {
+  ckpt::RunRecord run;
+  run.workload = "test";
+  run.elf_bytes = exe.serialize();
+  run.model = cfg.model;
+  run.bp_kind = cfg.bp;
+  run.bp_penalty = cfg.bp_penalty;
+  run.seed = cfg.sopt.libc_seed;
+  run.use_decode_cache = cfg.sopt.use_decode_cache ? 1 : 0;
+  run.use_prediction = cfg.sopt.use_prediction ? 1 : 0;
+  run.use_superblocks = cfg.sopt.use_superblocks ? 1 : 0;
+  run.collect_op_stats = cfg.sopt.collect_op_stats ? 1 : 0;
+  run.max_instructions = cfg.sopt.max_instructions;
+  return run;
+}
+
+elf::ElfFile build_exe(const std::string& source,
+                       const std::string& entry_isa = "RISC") {
+  kasm::AsmOptions opt;
+  opt.file_name = "ckpt_test.s";
+  const elf::ElfFile user = kasm::assemble_or_throw(source, opt);
+  const elf::ElfFile start =
+      kasm::assemble_or_throw(kasm::start_stub_assembly(entry_isa));
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  kasm::LinkOptions link_opt;
+  link_opt.entry_isa = isa::kisa().find_isa(entry_isa)->id;
+  return kasm::link_or_throw({start, user, libc}, link_opt);
+}
+
+void expect_same_stats(const sim::SimStats& x, const sim::SimStats& y) {
+  EXPECT_EQ(x.instructions, y.instructions);
+  EXPECT_EQ(x.operations, y.operations);
+  EXPECT_EQ(x.decodes, y.decodes);
+  EXPECT_EQ(x.cache_lookups, y.cache_lookups);
+  EXPECT_EQ(x.pred_hits, y.pred_hits);
+  EXPECT_EQ(x.isa_switches, y.isa_switches);
+  EXPECT_EQ(x.libc_calls, y.libc_calls);
+  EXPECT_EQ(x.blocks_formed, y.blocks_formed);
+  EXPECT_EQ(x.block_dispatches, y.block_dispatches);
+  EXPECT_EQ(x.block_chain_hits, y.block_chain_hits);
+}
+
+/// The core property: snapshot at `ckpt_at` instructions, restore into a
+/// fresh session, and both the resumed session and the uninterrupted one
+/// must finish in bit-identical state (down to the serialized bytes).
+void expect_bit_identical_continuation(const elf::ElfFile& exe,
+                                       const SessionConfig& cfg,
+                                       uint64_t ckpt_at) {
+  const ckpt::RunRecord run = record_for(exe, cfg);
+
+  TestSession ref = make_session(exe, cfg); // never interrupted
+  ASSERT_EQ(ref.sim->run(), sim::StopReason::Exited);
+
+  TestSession a = make_session(exe, cfg); // snapshots, then continues
+  std::vector<uint8_t> snapshot;
+  a.sim->set_checkpoint_hook(ckpt_at, [&](sim::Simulator&) {
+    snapshot = ckpt::encode_checkpoint(run, a.parts());
+    return true;
+  });
+  ASSERT_EQ(a.sim->run(), sim::StopReason::Checkpoint);
+  ASSERT_FALSE(snapshot.empty());
+  ASSERT_GE(a.sim->stats().instructions, ckpt_at);
+  a.sim->set_checkpoint_hook(0, nullptr);
+  ASSERT_EQ(a.sim->run(), sim::StopReason::Exited);
+
+  TestSession b = make_session(exe, cfg); // restored mid-run
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(snapshot);
+  ckpt::apply_checkpoint(ck, b.parts());
+  ASSERT_EQ(b.sim->stats().instructions, ck.instructions);
+  ASSERT_EQ(b.sim->run(), sim::StopReason::Exited);
+
+  for (sim::Simulator* other : {a.sim.get(), b.sim.get()}) {
+    EXPECT_EQ(other->exit_code(), ref.sim->exit_code());
+    EXPECT_EQ(other->libc().output(), ref.sim->libc().output());
+    EXPECT_EQ(other->state().ip(), ref.sim->state().ip());
+    EXPECT_EQ(other->state().isa_id(), ref.sim->state().isa_id());
+    for (unsigned r = 0; r < 32; ++r)
+      EXPECT_EQ(other->state().reg(r), ref.sim->state().reg(r)) << "r" << r;
+    expect_same_stats(other->stats(), ref.sim->stats());
+  }
+  if (ref.model != nullptr) {
+    EXPECT_EQ(a.model->cycles(), ref.model->cycles());
+    EXPECT_EQ(b.model->cycles(), ref.model->cycles());
+    EXPECT_EQ(b.model->operations(), ref.model->operations());
+  }
+  if (ref.predictor != nullptr) {
+    EXPECT_EQ(b.predictor->stats().branches, ref.predictor->stats().branches);
+    EXPECT_EQ(b.predictor->stats().mispredictions,
+              ref.predictor->stats().mispredictions);
+  }
+
+  // Strongest form: the complete serialized end states are byte-identical.
+  const std::vector<uint8_t> end_ref = ckpt::encode_checkpoint(run, ref.parts());
+  EXPECT_EQ(ckpt::encode_checkpoint(run, a.parts()), end_ref);
+  EXPECT_EQ(ckpt::encode_checkpoint(run, b.parts()), end_ref);
+}
+
+// -- byte stream -------------------------------------------------------------
+
+TEST(ByteStream, RoundTripsAllEncodings) {
+  support::ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.str("kahrisma");
+  const uint8_t raw[3] = {1, 2, 3};
+  w.bytes(raw, sizeof raw);
+
+  support::ByteReader r(w.buffer(), "test");
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.str(), "kahrisma");
+  uint8_t out[3] = {};
+  r.bytes(out, sizeof out);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_TRUE(r.at_end());
+  r.expect_end();
+}
+
+TEST(ByteStream, ThrowsOnUnderrunAndTrailingBytes) {
+  support::ByteWriter w;
+  w.u16(7);
+  support::ByteReader r(w.buffer(), "unit");
+  EXPECT_THROW(r.u32(), Error);          // 2 bytes left, 4 wanted
+  support::ByteReader r2(w.buffer(), "unit");
+  EXPECT_EQ(r2.u8(), 7);
+  EXPECT_THROW(r2.expect_end(), Error);  // 1 byte unconsumed
+}
+
+TEST(ByteStream, Crc32MatchesReferenceVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(support::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(support::crc32("", 0), 0u);
+}
+
+// -- component round trips ---------------------------------------------------
+
+TEST(CkptComponents, ArchStateSerializesCanonically) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  cfg.sopt.max_instructions = 5000;
+  TestSession a = make_session(exe, cfg);
+  ASSERT_EQ(a.sim->run(), sim::StopReason::InstructionLimit);
+
+  support::ByteWriter w1;
+  a.sim->state().save(w1);
+
+  TestSession b = make_session(exe, cfg);
+  support::ByteReader r(w1.buffer(), "arch");
+  b.sim->state().restore(r);
+  r.expect_end();
+
+  support::ByteWriter w2;
+  b.sim->state().save(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+  EXPECT_EQ(b.sim->state().ip(), a.sim->state().ip());
+  for (unsigned i = 0; i < 32; ++i)
+    EXPECT_EQ(b.sim->state().reg(i), a.sim->state().reg(i));
+}
+
+TEST(CkptComponents, MemoryHierarchyRoundTripsAndStaysDeterministic) {
+  uint32_t lcg = 12345;
+  auto next = [&]() { return lcg = lcg * 1103515245u + 12345u; };
+
+  cycle::MemoryHierarchy h1;
+  uint64_t cycle_cursor = 0;
+  for (int i = 0; i < 4000; ++i)
+    cycle_cursor = h1.entry().access(next() & 0xFFFFF,
+                                     (next() & 1) != 0 ? cycle::AccessType::Write
+                                                       : cycle::AccessType::Read,
+                                     0, cycle_cursor);
+
+  support::ByteWriter w1;
+  h1.save(w1);
+  cycle::MemoryHierarchy h2;
+  support::ByteReader r(w1.buffer(), "mem");
+  h2.restore(r);
+  r.expect_end();
+  support::ByteWriter w2;
+  h2.save(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+  EXPECT_EQ(h2.l1().stats().misses, h1.l1().stats().misses);
+
+  // Identical futures: the same access sequence completes at the same cycles.
+  uint32_t lcg2 = lcg;
+  uint64_t c1 = cycle_cursor, c2 = cycle_cursor;
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t addr = lcg = lcg * 1103515245u + 12345u;
+    const auto type = (lcg & 2) != 0 ? cycle::AccessType::Write
+                                     : cycle::AccessType::Read;
+    c1 = h1.entry().access(addr & 0xFFFFF, type, 0, c1);
+    lcg2 = lcg2 * 1103515245u + 12345u;
+    c2 = h2.entry().access(addr & 0xFFFFF, type, 0, c2);
+    ASSERT_EQ(c1, c2) << "diverged at access " << i;
+  }
+}
+
+TEST(CkptComponents, BranchPredictorsRoundTrip) {
+  for (const char* kind : {"1bit", "2bit", "gshare"}) {
+    SCOPED_TRACE(kind);
+    auto p1 = cycle::make_predictor(kind);
+    uint32_t lcg = 99;
+    for (int i = 0; i < 3000; ++i) {
+      lcg = lcg * 1664525u + 1013904223u;
+      p1->observe((lcg & 0x3FF) << 2, (lcg & 0x30000) != 0);
+    }
+    support::ByteWriter w1;
+    p1->save(w1);
+
+    auto p2 = cycle::make_predictor(kind);
+    support::ByteReader r(w1.buffer(), "bp");
+    p2->restore(r);
+    r.expect_end();
+    support::ByteWriter w2;
+    p2->save(w2);
+    EXPECT_EQ(w1.buffer(), w2.buffer());
+    EXPECT_EQ(p2->stats().branches, p1->stats().branches);
+    EXPECT_EQ(p2->stats().mispredictions, p1->stats().mispredictions);
+    for (uint32_t pc = 0; pc < 64; ++pc)
+      EXPECT_EQ(p2->predict(pc << 2), p1->predict(pc << 2)) << pc;
+  }
+}
+
+TEST(CkptComponents, PredictorTableShapeMismatchRejected) {
+  cycle::OneBitPredictor small(256), big(1024);
+  support::ByteWriter w;
+  small.save(w);
+  support::ByteReader r(w.buffer(), "bp");
+  EXPECT_THROW(big.restore(r), Error);
+}
+
+// -- mid-run save/restore property tests -------------------------------------
+
+TEST(CkptResume, DctRiscPlainEngine) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  for (const uint64_t at : {1u, 777u, 5000u})
+    expect_bit_identical_continuation(exe, cfg, at);
+}
+
+TEST(CkptResume, DctVliw4IlpModel) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "VLIW4");
+  SessionConfig cfg;
+  cfg.model = "ilp";
+  expect_bit_identical_continuation(exe, cfg, 2500);
+}
+
+TEST(CkptResume, QsortVliw4DoeGshare) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("qsort"), "VLIW4");
+  SessionConfig cfg;
+  cfg.model = "doe";
+  cfg.bp = "gshare";
+  cfg.bp_penalty = 4;
+  expect_bit_identical_continuation(exe, cfg, 60000);
+}
+
+TEST(CkptResume, FftVliw2AieModel) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("fft"), "VLIW2");
+  SessionConfig cfg;
+  cfg.model = "aie";
+  cfg.bp = "2bit";
+  expect_bit_identical_continuation(exe, cfg, 10000);
+}
+
+TEST(CkptResume, MixedIsaProgramAcrossSwitches) {
+  const elf::ElfFile exe = build_exe(R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 500
+outer:
+  switchtarget VLIW4
+.isa VLIW4
+  addi r5, r5, 1 || addi r7, r0, 2
+  mul r7, r7, r5
+  switchtarget RISC
+.isa RISC
+  bne r5, r6, outer
+  srli r7, r7, 2
+  add r4, r5, r7
+  ret
+)");
+  SessionConfig cfg;
+  // Checkpoint points land between (and on) ISA reconfigurations.
+  for (const uint64_t at : {50u, 1203u, 2000u})
+    expect_bit_identical_continuation(exe, cfg, at);
+  SessionConfig doe = cfg;
+  doe.model = "doe";
+  expect_bit_identical_continuation(exe, doe, 1203);
+}
+
+TEST(CkptResume, StepPathWithoutSuperblocks) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  cfg.sopt.use_superblocks = false;
+  expect_bit_identical_continuation(exe, cfg, 3000);
+  SessionConfig bare = cfg;
+  bare.sopt.use_decode_cache = false; // also disables prediction
+  expect_bit_identical_continuation(exe, bare, 1000);
+}
+
+TEST(CkptResume, OpHistogramSurvivesRestore) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  cfg.sopt.collect_op_stats = true;
+  expect_bit_identical_continuation(exe, cfg, 4000);
+}
+
+TEST(CkptResume, TraceContinuationMatchesStraightRun) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  const ckpt::RunRecord run = record_for(exe, cfg);
+
+  std::ostringstream full_stream;
+  sim::TraceWriter full_trace(full_stream);
+  TestSession ref = make_session(exe, cfg);
+  ref.sim->set_trace(&full_trace);
+  std::vector<uint8_t> snapshot;
+  ref.sim->set_checkpoint_hook(2000, [&](sim::Simulator&) {
+    snapshot = ckpt::encode_checkpoint(run, ref.parts());
+    return false; // snapshot in passing; the reference run never stops
+  });
+  ASSERT_EQ(ref.sim->run(), sim::StopReason::Exited);
+  ASSERT_FALSE(snapshot.empty());
+
+  std::ostringstream tail_stream;
+  sim::TraceWriter tail_trace(tail_stream);
+  TestSession b = make_session(exe, cfg);
+  ckpt::apply_checkpoint(ckpt::parse_checkpoint(snapshot), b.parts());
+  b.sim->set_trace(&tail_trace);
+  ASSERT_EQ(b.sim->run(), sim::StopReason::Exited);
+
+  const std::string full = full_stream.str();
+  const std::string tail = tail_stream.str();
+  ASSERT_FALSE(tail.empty());
+  ASSERT_GE(full.size(), tail.size());
+  EXPECT_EQ(full.substr(full.size() - tail.size()), tail)
+      << "resumed trace is not a suffix of the straight-through trace";
+}
+
+TEST(CkptResume, SeedIsPlumbedIntoLibcEmulation) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  cfg.sopt.libc_seed = 20260806;
+  TestSession s = make_session(exe, cfg);
+  EXPECT_EQ(s.sim->libc().seed(), 20260806u);
+
+  // The seed travels through the checkpoint record.
+  const ckpt::RunRecord run = record_for(exe, cfg);
+  support::ByteWriter w;
+  run.save(w);
+  ckpt::RunRecord back;
+  support::ByteReader r(w.buffer(), "run");
+  back.restore(r);
+  r.expect_end();
+  EXPECT_EQ(back.seed, 20260806u);
+  EXPECT_EQ(back.elf_bytes, run.elf_bytes);
+}
+
+// -- robustness --------------------------------------------------------------
+
+class CkptRobustness : public ::testing::Test {
+protected:
+  void SetUp() override {
+    exe_ = workloads::build_workload(workloads::by_name("dct"), "RISC");
+    cfg_.model = "doe";
+    session_ = make_session(exe_, cfg_);
+    std::vector<uint8_t>& snap = snapshot_;
+    session_.sim->set_checkpoint_hook(1500, [this, &snap](sim::Simulator&) {
+      snap = ckpt::encode_checkpoint(record_for(exe_, cfg_), session_.parts());
+      return true;
+    });
+    ASSERT_EQ(session_.sim->run(), sim::StopReason::Checkpoint);
+    ASSERT_FALSE(snapshot_.empty());
+  }
+
+  elf::ElfFile exe_;
+  SessionConfig cfg_;
+  TestSession session_;
+  std::vector<uint8_t> snapshot_;
+};
+
+TEST_F(CkptRobustness, ParsesItsOwnOutput) {
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(snapshot_);
+  EXPECT_EQ(ck.instructions, session_.sim->stats().instructions);
+  EXPECT_TRUE(ck.has_model);
+  EXPECT_TRUE(ck.has_memory);
+  EXPECT_FALSE(ck.has_predictor);
+  EXPECT_EQ(ck.run.model, "doe");
+}
+
+TEST_F(CkptRobustness, RejectsBadMagic) {
+  std::vector<uint8_t> bad = snapshot_;
+  bad[0] ^= 0xFF;
+  try {
+    ckpt::parse_checkpoint(bad);
+    FAIL() << "bad magic accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST_F(CkptRobustness, RejectsVersionMismatch) {
+  std::vector<uint8_t> bad = snapshot_;
+  bad[8] = 0x7F; // the u32 version field follows the 8-byte magic
+  try {
+    ckpt::parse_checkpoint(bad);
+    FAIL() << "future version accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(CkptRobustness, RejectsCorruptPayload) {
+  std::vector<uint8_t> bad = snapshot_;
+  bad[bad.size() / 2] ^= 0x40; // damage a section body
+  try {
+    ckpt::parse_checkpoint(bad);
+    FAIL() << "corrupt payload accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos);
+  }
+}
+
+TEST_F(CkptRobustness, RejectsTruncation) {
+  for (const size_t keep : {4u, 64u}) {
+    std::vector<uint8_t> bad(snapshot_.begin(),
+                             snapshot_.begin() + static_cast<long>(keep));
+    EXPECT_THROW(ckpt::parse_checkpoint(bad), Error) << "kept " << keep;
+  }
+  std::vector<uint8_t> bad = snapshot_;
+  bad.resize(bad.size() - 9);
+  EXPECT_THROW(ckpt::parse_checkpoint(bad), Error);
+}
+
+TEST_F(CkptRobustness, MismatchedSessionRejectedBeforeMutation) {
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(snapshot_);
+  SessionConfig plain; // no cycle model attached
+  TestSession b = make_session(exe_, plain);
+  EXPECT_THROW(ckpt::apply_checkpoint(ck, b.parts()), Error);
+  // The presence check fires before any restore: the session is untouched
+  // and still runs from instruction zero.
+  EXPECT_EQ(b.sim->stats().instructions, 0u);
+  EXPECT_EQ(b.sim->run(), sim::StopReason::Exited);
+}
+
+TEST_F(CkptRobustness, SnapshotIsSelfContained) {
+  // A checkpoint carries the complete memory image (RAM pages absent from
+  // the file are zero-filled on restore), so it continues correctly even
+  // in a session that had a *different* program loaded beforehand.
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(snapshot_);
+  const elf::ElfFile other =
+      workloads::build_workload(workloads::by_name("qsort"), "RISC");
+  TestSession b = make_session(other, cfg_);
+  ckpt::apply_checkpoint(ck, b.parts());
+  ASSERT_EQ(b.sim->run(), sim::StopReason::Exited);
+
+  session_.sim->set_checkpoint_hook(0, nullptr); // finish the dct original
+  ASSERT_EQ(session_.sim->run(), sim::StopReason::Exited);
+  EXPECT_EQ(b.sim->libc().output(), session_.sim->libc().output());
+  EXPECT_EQ(b.sim->exit_code(), session_.sim->exit_code());
+  expect_same_stats(b.sim->stats(), session_.sim->stats());
+}
+
+// -- files: atomicity, rotation, discovery -----------------------------------
+
+TEST(CkptFiles, AtomicWriteRotationAndLatest) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "kckpt_rotate").string();
+  fs::remove_all(dir);
+
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig cfg;
+  TestSession s = make_session(exe, cfg);
+  const ckpt::RunRecord run = record_for(exe, cfg);
+
+  ckpt::CheckpointSink sink(dir, 2);
+  s.sim->set_checkpoint_hook(1000, [&](sim::Simulator&) {
+    sink.write(run, s.parts());
+    return false;
+  });
+  ASSERT_EQ(s.sim->run(), sim::StopReason::Exited);
+  ASSERT_GE(sink.written(), 3u) << "dct must run long enough for rotation";
+
+  size_t files = 0;
+  uint64_t newest = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos)
+        << "torn temp file left behind: " << name;
+    ++files;
+    const uint64_t n = std::stoull(name.substr(5));
+    newest = std::max(newest, n);
+  }
+  EXPECT_EQ(files, 2u); // keep-last-K honored
+  const std::string latest = ckpt::latest_checkpoint(dir);
+  ASSERT_FALSE(latest.empty());
+  EXPECT_NE(latest.find(strf("ckpt-%llu", static_cast<unsigned long long>(newest))),
+            std::string::npos);
+
+  // Every surviving snapshot is complete and valid.
+  const ckpt::Checkpoint ck = ckpt::read_checkpoint(latest);
+  EXPECT_EQ(ck.run.workload, "test");
+}
+
+TEST(CkptFiles, LatestCheckpointIgnoresForeignFiles) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "kckpt_latest").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir + "/notes.txt") << "x";
+  std::ofstream(dir + "/ckpt-abc.kckpt") << "x";
+  EXPECT_EQ(ckpt::latest_checkpoint(dir), "");
+  std::ofstream(dir + "/ckpt-7.kckpt") << "x";
+  std::ofstream(dir + "/ckpt-1200.kckpt") << "x";
+  EXPECT_NE(ckpt::latest_checkpoint(dir).find("ckpt-1200"), std::string::npos);
+  EXPECT_EQ(ckpt::latest_checkpoint(dir + "/does-not-exist"), "");
+}
+
+} // namespace
+} // namespace ksim

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "support/strings.h"
@@ -154,6 +155,141 @@ int main() {
 TEST(Driver, UsageOnBadArguments) {
   EXPECT_EQ(run_cmd("frobnicate").exit_code, 2);
   EXPECT_EQ(run_cmd("").exit_code, 2);
+}
+
+// -- checkpoint/resume/replay (kckpt) ----------------------------------------
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test checkpoint directory under the gtest temp dir.
+std::string ckpt_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// The first full line of `text` containing `needle` ("" if absent).
+std::string line_with(const std::string& text, const std::string& needle) {
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t begin = text.rfind('\n', pos) + 1; // npos+1 == 0
+  const size_t end = text.find('\n', pos);
+  return text.substr(begin, end - begin);
+}
+
+TEST(Driver, CheckpointResumeMatchesStraightRun) {
+  const CmdResult straight = run_cmd("run --workload dct --isa RISC --model doe");
+  ASSERT_EQ(straight.exit_code, 0);
+
+  const std::string dir = ckpt_dir("ckpt_resume");
+  const CmdResult part1 =
+      run_cmd("run --workload dct --isa RISC --model doe"
+              " --checkpoint-every 2000 --ckpt-dir " + dir + " --max-instr 6000");
+  EXPECT_NE(part1.output.find("instruction limit"), std::string::npos)
+      << part1.output;
+  ASSERT_FALSE(fs::is_empty(dir)) << "no checkpoint written";
+
+  const CmdResult part2 = run_cmd("resume " + dir);
+  EXPECT_EQ(part2.exit_code, 0) << part2.output;
+  EXPECT_NE(part2.output.find("[ksim] resumed"), std::string::npos) << part2.output;
+  EXPECT_NE(part2.output.find("dct OK"), std::string::npos) << part2.output;
+  // The resumed run must report the same totals as the uninterrupted one.
+  // (The superblock line disappears entirely under KSIM_NO_SUPERBLOCKS=1;
+  // equality of empty strings is the right assertion there too.)
+  for (const char* needle : {"exited after", "DOE cycles"}) {
+    const std::string expect = line_with(straight.output, needle);
+    ASSERT_FALSE(expect.empty()) << needle;
+    EXPECT_EQ(line_with(part2.output, needle), expect) << part2.output;
+  }
+  EXPECT_EQ(line_with(part2.output, "superblocks:"),
+            line_with(straight.output, "superblocks:"));
+}
+
+TEST(Driver, ReplayVerifiesCheckpoint) {
+  const std::string dir = ckpt_dir("ckpt_replay");
+  const CmdResult r =
+      run_cmd("run --workload dct --isa RISC --model aie --bp 2bit"
+              " --checkpoint-every 3000 --ckpt-dir " + dir + " --max-instr 8000");
+  ASSERT_FALSE(fs::is_empty(dir)) << r.output;
+  const CmdResult replay = run_cmd("replay " + dir);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("replay OK"), std::string::npos) << replay.output;
+  EXPECT_NE(replay.output.find("bit-identically"), std::string::npos);
+}
+
+TEST(Driver, CorruptCheckpointRejected) {
+  const std::string dir = ckpt_dir("ckpt_corrupt");
+  run_cmd("run --workload dct --isa RISC --checkpoint-every 2000 --ckpt-dir " +
+          dir + " --max-instr 4000 --ckpt-keep 1");
+  std::string path;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    path = e.path().string();
+  ASSERT_FALSE(path.empty());
+
+  // Flip one byte in the middle of the file: resume must refuse with a
+  // checksum diagnostic and a nonzero exit code.
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x20);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&b, 1);
+  }
+  const CmdResult corrupt = run_cmd("resume " + path);
+  EXPECT_EQ(corrupt.exit_code, 1) << corrupt.output;
+  EXPECT_NE(corrupt.output.find("checksum mismatch"), std::string::npos)
+      << corrupt.output;
+
+  // A truncated file (a simulated torn write) is also refused cleanly.
+  fs::resize_file(path, size / 3);
+  const CmdResult torn = run_cmd("resume " + path);
+  EXPECT_EQ(torn.exit_code, 1) << torn.output;
+  EXPECT_NE(torn.output.find("truncated"), std::string::npos) << torn.output;
+}
+
+TEST(Driver, ResumeWithoutCheckpointFails) {
+  const std::string dir = ckpt_dir("ckpt_none");
+  fs::create_directories(dir);
+  const CmdResult r = run_cmd("resume " + dir);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("no checkpoint"), std::string::npos) << r.output;
+}
+
+TEST(Driver, SeedChangesRandStream) {
+  const std::string path = write_temp("seed.c", R"(
+int main() {
+  printf("draw %d %d %d\n", rand(), rand(), rand());
+  return 0;
+}
+)");
+  const CmdResult a1 = run_cmd("run --seed 1 " + path);
+  const CmdResult a2 = run_cmd("run --seed 1 " + path);
+  const CmdResult b = run_cmd("run --seed 20260806 " + path);
+  ASSERT_EQ(a1.exit_code, 0) << a1.output;
+  const std::string draw1 = line_with(a1.output, "draw");
+  const std::string draw2 = line_with(b.output, "draw");
+  ASSERT_FALSE(draw1.empty());
+  ASSERT_FALSE(draw2.empty());
+  EXPECT_EQ(line_with(a2.output, "draw"), draw1); // same seed, same stream
+  EXPECT_NE(draw2, draw1);                        // different seed, different
+}
+
+TEST(Driver, CheckpointOptionValidation) {
+  // --checkpoint-every needs --ckpt-dir (and vice versa), and the RTL
+  // trace recorder opts out of checkpointing.
+  const CmdResult no_dir = run_cmd("run --workload dct --checkpoint-every 1000");
+  EXPECT_EQ(no_dir.exit_code, 1);
+  EXPECT_NE(no_dir.output.find("must be used together"), std::string::npos)
+      << no_dir.output;
+  const std::string dir = ckpt_dir("ckpt_opts");
+  EXPECT_EQ(run_cmd("run --workload dct --ckpt-dir " + dir).exit_code, 1);
+  const CmdResult rtl = run_cmd("run --workload dct --model rtl"
+                                " --checkpoint-every 1000 --ckpt-dir " + dir);
+  EXPECT_NE(rtl.exit_code, 0);
+  EXPECT_NE(rtl.output.find("rtl"), std::string::npos) << rtl.output;
 }
 
 } // namespace
