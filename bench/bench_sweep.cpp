@@ -1,0 +1,68 @@
+// ksweep throughput: points/second of the parallel sweep engine at 1, 2 and
+// 8 worker threads over a Figure-4-style grid, plus the thread-scaling
+// speedup relative to the single-threaded run.
+//
+// The speedup numbers are only meaningful on multi-core hosts; hw_threads
+// records std::thread::hardware_concurrency() so consumers (ci.sh) can gate
+// the scaling acceptance threshold on it honestly instead of failing on
+// single-core CI boxes where >1x is physically impossible.
+#include <thread>
+
+#include "api/sweep.h"
+#include "bench_util.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("sweep", args);
+  header("ksweep: parallel sweep throughput and thread scaling");
+
+  api::SweepSpec spec;
+  spec.workloads = args.quick ? std::vector<std::string>{"dct"}
+                              : std::vector<std::string>{"cjpeg", "dct"};
+  spec.isas = args.quick
+                  ? std::vector<std::string>{"RISC", "VLIW2", "VLIW4"}
+                  : std::vector<std::string>{"RISC", "VLIW2", "VLIW4", "VLIW6",
+                                             "VLIW8"};
+  spec.models = {"ilp", "aie", "doe"};
+  spec.base.echo_output = false;
+  spec.validate();
+
+  const size_t total = spec.workloads.size() * spec.isas.size() * spec.models.size();
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("grid: %zu workloads x %zu ISAs x %zu models = %zu points, "
+              "%u hardware threads\n\n",
+              spec.workloads.size(), spec.isas.size(), spec.models.size(),
+              total, hw);
+  json.set("points", static_cast<uint64_t>(total));
+  json.set("hw_threads", static_cast<int>(hw));
+
+  const int repeats = args.quick ? 2 : 3;
+  double serial_s = 0.0;
+  for (const int threads : {1, 2, 8}) {
+    spec.threads = threads;
+    double best = 1e30;
+    size_t failed = 0;
+    for (int r = 0; r < repeats; ++r) {
+      const api::SweepResult result = api::run_sweep(spec);
+      check(result.points.size() == total, "sweep dropped points");
+      failed = result.failed;
+      best = std::min(best, result.wall_seconds);
+    }
+    check(failed == 0, "sweep points failed under bench");
+    if (threads == 1) serial_s = best;
+    const double pps = static_cast<double>(total) / best;
+    const double speedup = serial_s / best;
+    std::printf("%d thread%s: %7.3f s  %7.2f points/s  speedup %.2fx\n",
+                threads, threads == 1 ? " " : "s", best, pps, speedup);
+    const std::string prefix = "threads." + std::to_string(threads);
+    json.set(prefix + ".wall_s", best);
+    json.set(prefix + ".points_per_s", pps);
+    json.set(prefix + ".speedup", speedup);
+  }
+
+  json.write();
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include "cycle/cycle_model.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "isa/kisa.h"
 #include "sim/simulator.h"
 #include "workloads/build.h"
@@ -45,11 +46,14 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
 /// Flat key/value JSON emitter so the perf trajectory is trackable across
 /// PRs (ci.sh stores bench_simperf_mips output as BENCH_simperf.json).
 /// Keys use dotted paths ("superblocks.mips"); write() is a no-op unless
-/// --json was given.
+/// --json was given.  Like every ksim JSON document, the output opens with
+/// the versioned "schema"/"schema_version" header keys (DESIGN.md §7).
 class BenchJson {
 public:
   BenchJson(const std::string& bench_name, const BenchArgs& args)
       : path_(args.json_path) {
+    set("schema", std::string("ksim.bench"));
+    set("schema_version", support::kJsonSchemaVersion);
     set("bench", bench_name);
     set("quick", args.quick);
   }
@@ -69,7 +73,10 @@ public:
     entries_.emplace_back(key, value ? "true" : "false");
   }
   void set(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + escape(value) + "\"");
+    std::string quoted = "\"";
+    quoted += escape(value);
+    quoted += '"';
+    entries_.emplace_back(key, std::move(quoted));
   }
 
   /// Writes `{"key": value, ...}`; throws on I/O failure so CI notices.

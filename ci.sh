@@ -29,6 +29,20 @@ echo "=== tier-1 tests (ASan+UBSan) ==="
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
+echo "=== build (TSan: sweep + api tests) ==="
+cmake -B build-tsan -S . -DKSIM_TSAN=ON >/dev/null
+cmake --build build-tsan -j"$JOBS" --target test_sweep test_api
+
+echo "=== sweep engine under ThreadSanitizer ==="
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_sweep
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_api
+
+echo "=== sweep smoke (CLI, parallel, machine-readable report) ==="
+./build/src/driver/ksim sweep --workloads dct --isas RISC,VLIW4 \
+  --models ilp,doe --threads 4 --json build/sweep_smoke.json
+grep -q '"schema": "ksim.sweep"' build/sweep_smoke.json
+grep -q '"ok": true' build/sweep_smoke.json
+
 echo "=== clang-tidy ==="
 cmake --build build --target lint-cxx
 
@@ -69,5 +83,23 @@ echo "checkpoint equivalence OK"
 echo "=== perf smoke (non-gating numbers, machine-readable) ==="
 ./build/bench/bench_simperf_mips --quick --json BENCH_simperf.json
 ./build/bench/bench_ckpt --quick --json BENCH_ckpt.json
+./build/bench/bench_sweep --quick --json BENCH_sweep.json
+
+# Thread-scaling gate: the 8-worker sweep must be >= 3x the single-threaded
+# throughput — but only where that is physically possible.  hw_threads is
+# recorded honestly in BENCH_sweep.json; on 1-2 core CI boxes the sweep can
+# only verify determinism, not scaling.
+HW_THREADS=$(sed -n 's/.*"hw_threads": \([0-9]*\).*/\1/p' BENCH_sweep.json)
+SPEEDUP8=$(sed -n 's/.*"threads\.8\.speedup": \([0-9.]*\).*/\1/p' BENCH_sweep.json)
+if [ "${HW_THREADS:-0}" -ge 4 ]; then
+  awk -v s="$SPEEDUP8" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "ci.sh: sweep thread scaling FAILED: ${SPEEDUP8}x at 8 threads" \
+         "on ${HW_THREADS} hardware threads (need >= 3x)" >&2
+    exit 1
+  }
+  echo "sweep thread scaling OK (${SPEEDUP8}x at 8 threads)"
+else
+  echo "sweep thread scaling not gated (${HW_THREADS} hardware thread(s))"
+fi
 
 echo "ci.sh: all stages passed"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/json.h"
 #include "support/strings.h"
 
 namespace ksim::analysis {
@@ -104,6 +105,9 @@ std::string render_text(const LintResult& result, const std::string& label,
 
 std::string render_json(const LintResult& result, const std::string& label) {
   std::string out = "{\n";
+  // Versioned header keys shared by every ksim JSON document (DESIGN.md §7).
+  out += "  \"schema\": \"ksim.lint\",\n";
+  out += strf("  \"schema_version\": %d,\n", support::kJsonSchemaVersion);
   out += strf("  \"target\": \"%s\",\n", json_escape(label).c_str());
   out += strf("  \"clean\": %s,\n", result.clean() ? "true" : "false");
   out += "  \"findings\": [";

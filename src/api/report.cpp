@@ -1,0 +1,78 @@
+#include "api/report.h"
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace ksim::api {
+
+std::string render_report_json(const Report& r) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "ksim.run");
+  w.field("schema_version", kSchemaVersion);
+  w.field("target", r.target);
+  w.field("model", r.model);
+  w.field("stop_reason", r.stop_reason);
+  w.field("exit_code", r.exit_code);
+  w.field("instructions", r.stats.instructions);
+  w.field("operations", r.stats.operations);
+  w.field("decodes", r.stats.decodes);
+  w.field("cache_lookups", r.stats.cache_lookups);
+  w.field("pred_hits", r.stats.pred_hits);
+  w.field("isa_switches", r.stats.isa_switches);
+  w.field("libc_calls", r.stats.libc_calls);
+  w.field("blocks_formed", r.stats.blocks_formed);
+  w.field("block_dispatches", r.stats.block_dispatches);
+  w.field("block_chain_hits", r.stats.block_chain_hits);
+  w.field("output_bytes", r.output_bytes);
+  if (r.has_cycles) {
+    w.field("cycles", r.cycles);
+    w.field("ops_per_cycle", r.ops_per_cycle);
+  }
+  if (r.has_predictor) {
+    w.begin_object("branch_predictor");
+    w.field("kind", r.bp_kind);
+    w.field("branches", r.bp_branches);
+    w.field("mispredictions", r.bp_mispredictions);
+    w.field("penalty", r.bp_penalty);
+    w.end();
+  }
+  w.end();
+  return w.str();
+}
+
+std::string render_report_text(const Report& r) {
+  std::string out;
+  out += strf("[ksim] %s after %llu instructions (%llu operations)\n",
+              r.stop_reason.c_str(),
+              static_cast<unsigned long long>(r.stats.instructions),
+              static_cast<unsigned long long>(r.stats.operations));
+  if (r.superblocks)
+    out += strf("[ksim] superblocks: %llu formed, %llu dispatches"
+                " (%.1f%% chained), %.2f%% lookups avoided\n",
+                static_cast<unsigned long long>(r.stats.blocks_formed),
+                static_cast<unsigned long long>(r.stats.block_dispatches),
+                100.0 * r.stats.block_chain_avoidance(),
+                100.0 * r.stats.lookup_avoidance());
+  if (r.rtl_reference)
+    out += strf("[ksim] RTL reference: %llu cycles\n",
+                static_cast<unsigned long long>(r.cycles));
+  else if (r.has_cycles)
+    out += strf("[ksim] %s cycles: %llu (%.3f ops/cycle)\n",
+                r.model_display.c_str(),
+                static_cast<unsigned long long>(r.cycles), r.ops_per_cycle);
+  if (r.has_predictor)
+    out += strf("[ksim] branch predictor %s: %llu branches, %llu mispredicts"
+                " (%.2f%%), penalty %d\n",
+                r.bp_kind.c_str(),
+                static_cast<unsigned long long>(r.bp_branches),
+                static_cast<unsigned long long>(r.bp_mispredictions),
+                r.bp_branches == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(r.bp_mispredictions) /
+                          static_cast<double>(r.bp_branches),
+                r.bp_penalty);
+  return out;
+}
+
+} // namespace ksim::api

@@ -1,0 +1,64 @@
+// libksim — the versioned machine-readable run report (DESIGN.md §7).
+//
+// Every JSON document the toolchain emits carries the same two header keys,
+// always first and in this order:
+//   "schema":         the document kind ("ksim.run", "ksim.sweep",
+//                     "ksim.lint", "ksim.bench")
+//   "schema_version": an integer bumped on any incompatible change
+// and all keys appear in a fixed, documented order (the writers are
+// insertion-ordered), so reports diff cleanly and can be parsed by streaming
+// consumers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+#include "support/json.h"
+
+namespace ksim::api {
+
+/// Version of all ksim.* JSON schemas (bumped together; per-document kinds
+/// are distinguished by the "schema" key).
+inline constexpr int kSchemaVersion = support::kJsonSchemaVersion;
+
+/// Everything `ksim run`/`resume` report about one finished simulation —
+/// the value behind both the human-readable stderr summary and the
+/// "ksim.run" JSON document.
+struct Report {
+  std::string target;      ///< "<workload>@<ISA>" or file label
+  std::string model;       ///< configured model name ("none" if bare)
+  std::string model_display; ///< CycleModel::name() for the text report ("DOE")
+  std::string stop_reason; ///< sim::to_string(StopReason)
+  int exit_code = 0;
+
+  sim::SimStats stats;     ///< simulator counters at stop time
+  bool superblocks = true; ///< engine enabled (the text line is printed even
+                           ///< when its counters are zero)
+
+  bool has_cycles = false; ///< a cycle model (or the RTL reference) ran
+  bool rtl_reference = false; ///< cycles come from the replayed RTL trace
+  uint64_t cycles = 0;
+  double ops_per_cycle = 0.0;
+
+  bool has_predictor = false;
+  std::string bp_kind;
+  uint64_t bp_branches = 0;
+  uint64_t bp_mispredictions = 0;
+  int bp_penalty = 0;
+
+  uint64_t output_bytes = 0; ///< simulated-stdout size
+};
+
+/// The "ksim.run" JSON document (schema_version kSchemaVersion).  Key order:
+/// schema, schema_version, target, model, stop_reason, exit_code,
+/// instructions, operations, decodes, cache_lookups, pred_hits, isa_switches,
+/// libc_calls, blocks_formed, block_dispatches, block_chain_hits,
+/// output_bytes, then the optional "cycles"/"ops_per_cycle" pair (cycle
+/// model attached) and the optional "branch_predictor" object.
+std::string render_report_json(const Report& r);
+
+/// The classic `[ksim] ...` stderr summary lines for the same report.
+std::string render_report_text(const Report& r);
+
+} // namespace ksim::api

@@ -1,0 +1,118 @@
+#include "api/run_config.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cycle/branch_predict.h"
+#include "isa/kisa.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::api {
+
+namespace {
+
+bool known_model(const std::string& model) {
+  return model == "none" || model == "ilp" || model == "aie" ||
+         model == "doe" || model == "rtl";
+}
+
+} // namespace
+
+void RunConfig::validate() const {
+  check(isa::kisa().find_isa(isa) != nullptr, "unknown ISA " + isa);
+  check(known_model(model), "unknown cycle model " + model);
+  if (!bp_kind.empty()) {
+    check(model == "aie" || model == "doe",
+          "--bp requires --model aie or --model doe");
+    // make_predictor throws on unknown kinds; probe it now so configuration
+    // errors surface before any compilation work.
+    (void)cycle::make_predictor(bp_kind);
+  }
+  check(bp_penalty >= 0, "--bp-penalty expects a cycle count");
+  if (ckpt_every != 0 || !ckpt_dir.empty()) {
+    check(ckpt_every != 0 && !ckpt_dir.empty(),
+          "--checkpoint-every and --ckpt-dir must be used together");
+    check(model != "rtl",
+          "--model rtl records a full operation trace and cannot be checkpointed");
+  }
+  // No cache/prediction/superblock combination check here: the simulator
+  // core normalizes impossible combinations itself (prediction and
+  // superblocks silently degrade when the decode cache is off), matching
+  // the historical `--no-decode-cache` CLI behaviour.
+}
+
+sim::SimOptions RunConfig::sim_options() const {
+  sim::SimOptions sopt;
+  sopt.use_decode_cache = use_decode_cache;
+  sopt.use_prediction = use_prediction;
+  sopt.use_superblocks = use_superblocks;
+  sopt.collect_op_stats = collect_op_stats;
+  sopt.max_instructions = max_instructions;
+  sopt.libc_seed = seed;
+  return sopt;
+}
+
+ckpt::RunRecord RunConfig::run_record(const elf::ElfFile& exe,
+                                      const std::string& label) const {
+  ckpt::RunRecord run = run_record(label);
+  run.elf_bytes = exe.serialize();
+  return run;
+}
+
+ckpt::RunRecord RunConfig::run_record(const std::string& label) const {
+  ckpt::RunRecord run;
+  run.workload = label;
+  run.model = model == "none" ? "" : model;
+  run.bp_kind = bp_kind;
+  run.bp_penalty = static_cast<uint32_t>(bp_penalty);
+  run.seed = seed;
+  run.use_decode_cache = use_decode_cache ? 1 : 0;
+  run.use_prediction = use_prediction ? 1 : 0;
+  run.use_superblocks = use_superblocks ? 1 : 0;
+  run.collect_op_stats = collect_op_stats ? 1 : 0;
+  run.max_instructions = max_instructions;
+  return run;
+}
+
+RunConfig RunConfig::from_run_record(const ckpt::RunRecord& run) {
+  RunConfig cfg;
+  cfg.model = run.model.empty() ? "none" : run.model;
+  cfg.bp_kind = run.bp_kind;
+  cfg.bp_penalty = static_cast<int>(run.bp_penalty);
+  cfg.seed = run.seed;
+  cfg.use_decode_cache = run.use_decode_cache != 0;
+  cfg.use_prediction = run.use_prediction != 0;
+  cfg.use_superblocks = run.use_superblocks != 0;
+  cfg.collect_op_stats = run.collect_op_stats != 0;
+  cfg.max_instructions = run.max_instructions;
+  return cfg;
+}
+
+std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg) {
+  std::vector<EnvOverride> applied;
+  const auto flag = [&](const char* var, bool& field, const char* replacement) {
+    if (std::getenv(var) == nullptr) return;
+    field = false;
+    applied.push_back({var, replacement});
+  };
+  flag("KSIM_NO_SUPERBLOCKS", cfg.use_superblocks, "--no-superblocks");
+  flag("KSIM_NO_DECODE_CACHE", cfg.use_decode_cache, "--no-decode-cache");
+  flag("KSIM_NO_PREDICTION", cfg.use_prediction, "--no-prediction");
+  if (const char* seed = std::getenv("KSIM_SEED"); seed != nullptr) {
+    int64_t v = 0;
+    check(parse_int(seed, v) && v >= 0 && v <= INT64_C(0xFFFFFFFF),
+          "KSIM_SEED expects a 32-bit value");
+    cfg.seed = static_cast<uint32_t>(v);
+    applied.push_back({"KSIM_SEED", "--seed"});
+  }
+  return applied;
+}
+
+void warn_env_overrides(const std::vector<EnvOverride>& overrides) {
+  for (const EnvOverride& o : overrides)
+    std::cerr << strf("[ksim] warning: %s is deprecated; use %s instead\n",
+                      o.var.c_str(), o.replacement.c_str());
+}
+
+} // namespace ksim::api

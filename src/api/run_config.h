@@ -1,0 +1,97 @@
+// libksim — the embeddable public surface of the simulator (DESIGN.md §7).
+//
+// RunConfig is the single source of truth for everything that determines a
+// simulation: program selection, target ISA, cycle model, branch prediction,
+// the §V-A engine switches, run bounds, the emulated-libc seed, host-side I/O
+// behaviour and checkpointing.  The CLI flags of `ksim run`, the checkpoint
+// RUN section and the sweep engine all map onto this one value type, so a
+// configuration can be round-tripped between them without loss.
+//
+// Environment knobs (KSIM_NO_SUPERBLOCKS, ...) are DEPRECATED in favour of
+// RunConfig fields and their CLI flags; apply_env_overrides() keeps them
+// working and tells the caller which ones were used so it can print a
+// one-line deprecation warning per knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "elf/elf.h"
+#include "sim/simulator.h"
+
+namespace ksim::api {
+
+struct RunConfig {
+  // -- program selection (exactly one of workload / inputs) -----------------
+  std::string workload;            ///< built-in workload name ("" = use inputs)
+  std::vector<std::string> inputs; ///< .c/.s files to build, or one .elf
+  std::string isa = "RISC";        ///< entry ISA (ignored for .elf inputs)
+
+  // -- cycle approximation ---------------------------------------------------
+  std::string model = "none";      ///< none | ilp | aie | doe | rtl
+  std::string bp_kind;             ///< predictor for AIE/DOE ("" = perfect)
+  int bp_penalty = 3;              ///< mispredict refill penalty (cycles)
+
+  // -- engine switches (paper §V-A + superblock engine) ---------------------
+  bool use_decode_cache = true;
+  bool use_prediction = true;
+  bool use_superblocks = true;
+  bool collect_op_stats = false;
+
+  // -- run bounds & determinism ---------------------------------------------
+  uint64_t max_instructions = 0;   ///< 0 = unlimited
+  uint32_t seed = 1;               ///< emulated-libc rand() seed
+
+  // -- host-side behaviour (not part of simulated state) --------------------
+  bool echo_output = true;         ///< echo simulated stdout to host stdout
+  bool profile = false;            ///< attach the function-level profiler
+  std::string trace_file;          ///< operation trace destination ("" = off)
+
+  // -- checkpointing (kckpt, DESIGN.md §5c) ---------------------------------
+  uint64_t ckpt_every = 0;         ///< snapshot period in instructions (0 = off)
+  std::string ckpt_dir;            ///< ckpt-<n>.kckpt directory
+  unsigned ckpt_keep = 3;          ///< snapshots retained
+
+  /// Checks internal consistency (known ISA/model/predictor names, flag
+  /// combinations such as --bp without aie/doe, checkpointing vs rtl).
+  /// Throws ksim::Error with a user-facing message; program selection is
+  /// NOT checked here (resolve_input reports missing inputs).
+  void validate() const;
+
+  /// The simulator-core subset of this configuration.
+  sim::SimOptions sim_options() const;
+
+  /// The checkpoint RUN section for this configuration (elf_bytes left
+  /// empty; sessions fill it only when they actually snapshot).
+  ckpt::RunRecord run_record(const std::string& label) const;
+
+  /// The checkpoint RUN section for this configuration + resolved program.
+  ckpt::RunRecord run_record(const elf::ElfFile& exe,
+                             const std::string& label) const;
+
+  /// Rebuilds the configuration a checkpoint was taken under (host-side
+  /// fields take their defaults; `workload`/`inputs` stay empty because the
+  /// executable bytes live in the record itself).
+  static RunConfig from_run_record(const ckpt::RunRecord& run);
+};
+
+/// One deprecated environment knob that was found set and applied.
+struct EnvOverride {
+  std::string var;         ///< e.g. "KSIM_NO_SUPERBLOCKS"
+  std::string replacement; ///< the flag/field superseding it
+};
+
+/// Applies the deprecated KSIM_* environment knobs to `cfg` and returns the
+/// ones that were set, so CLI entry points can warn:
+///   KSIM_NO_SUPERBLOCKS  -> use_superblocks = false  (--no-superblocks)
+///   KSIM_NO_DECODE_CACHE -> use_decode_cache = false (--no-decode-cache)
+///   KSIM_NO_PREDICTION   -> use_prediction = false   (--no-prediction)
+///   KSIM_SEED=<n>        -> seed = n                 (--seed)
+std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg);
+
+/// Writes the standard one-line deprecation warning per override to stderr.
+void warn_env_overrides(const std::vector<EnvOverride>& overrides);
+
+} // namespace ksim::api

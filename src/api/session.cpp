@@ -1,0 +1,213 @@
+#include "api/session.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "isa/kisa.h"
+#include "kasm/assembler.h"
+#include "rtl/rtl_sim.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "kcc/compiler.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "workloads/build.h"
+
+namespace ksim::api {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+elf::ElfFile build_from_inputs(const RunConfig& cfg) {
+  std::vector<elf::ElfFile> objects;
+  objects.push_back(kasm::assemble_or_throw(kasm::start_stub_assembly(cfg.isa)));
+  for (const std::string& path : cfg.inputs) {
+    if (ends_with(path, ".elf")) {
+      // Already-linked executables cannot be re-linked.
+      throw Error("cannot link an executable: " + path);
+    }
+    std::string assembly;
+    if (ends_with(path, ".c")) {
+      kcc::CompileOptions copt;
+      copt.file_name = path;
+      copt.codegen.default_isa = cfg.isa;
+      assembly = kcc::compile_or_throw(read_file(path), copt);
+    } else {
+      assembly = read_file(path);
+    }
+    kasm::AsmOptions aopt;
+    aopt.file_name = path;
+    objects.push_back(kasm::assemble_or_throw(assembly, aopt));
+  }
+  objects.push_back(kasm::assemble_or_throw(kasm::libc_stub_assembly()));
+  kasm::LinkOptions lopt;
+  const isa::IsaInfo* isa = isa::kisa().find_isa(cfg.isa);
+  check(isa != nullptr, "unknown ISA " + cfg.isa);
+  lopt.entry_isa = isa->id;
+  return kasm::link_or_throw(objects, lopt);
+}
+
+} // namespace
+
+ProgramImage resolve_input(const RunConfig& cfg) {
+  if (!cfg.workload.empty())
+    return {workloads::build_workload(workloads::by_name(cfg.workload), cfg.isa),
+            cfg.workload + "@" + cfg.isa};
+  check(!cfg.inputs.empty(), "no input file");
+  if (cfg.inputs.size() == 1 && ends_with(cfg.inputs[0], ".elf")) {
+    // The entry ISA is baked into the executable; cfg.isa is ignored.
+    const std::string bytes = read_file(cfg.inputs[0]);
+    return {elf::ElfFile::parse(std::span(
+                reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())),
+            cfg.inputs[0]};
+  }
+  return {build_from_inputs(cfg), cfg.inputs[0] + "@" + cfg.isa};
+}
+
+Session::Session(const RunConfig& cfg, const ProgramImage& image) : cfg_(cfg) {
+  cfg_.validate();
+  // Build the RUN record up front; the executable bytes are only serialized
+  // into it when this session will write snapshots.
+  run_ = cfg_.ckpt_every != 0 ? cfg_.run_record(image.exe, image.label)
+                              : cfg_.run_record(image.label);
+  wire(image.exe);
+}
+
+Session::Session(const RunConfig& cfg, const ckpt::RunRecord& run,
+                 const elf::ElfFile& exe)
+    : cfg_(cfg), run_(run) {
+  cfg_.validate();
+  run_.max_instructions = cfg_.max_instructions;
+  wire(exe);
+}
+
+void Session::wire(const elf::ElfFile& exe) {
+  sim_ = std::make_unique<sim::Simulator>(isa::kisa(), cfg_.sim_options());
+  sim_->load(exe);
+  sim_->libc().set_echo(cfg_.echo_output);
+
+  if (cfg_.model == "ilp") {
+    model_ = std::make_unique<cycle::IlpModel>();
+  } else if (cfg_.model == "aie") {
+    memory_ = std::make_unique<cycle::MemoryHierarchy>();
+    model_ = std::make_unique<cycle::AieModel>(memory_.get());
+  } else if (cfg_.model == "doe" || cfg_.model == "rtl") {
+    memory_ = std::make_unique<cycle::MemoryHierarchy>();
+    model_ = std::make_unique<cycle::DoeModel>(memory_.get());
+  } else {
+    check(cfg_.model == "none", "unknown cycle model " + cfg_.model);
+  }
+
+  if (!cfg_.bp_kind.empty()) {
+    predictor_ = cycle::make_predictor(cfg_.bp_kind);
+    if (auto* doe = dynamic_cast<cycle::DoeModel*>(model_.get()); doe != nullptr)
+      doe->set_branch_prediction(predictor_.get(), cfg_.bp_penalty);
+    else if (auto* aie = dynamic_cast<cycle::AieModel*>(model_.get()); aie != nullptr)
+      aie->set_branch_prediction(predictor_.get(), cfg_.bp_penalty);
+    else
+      check(false, "--bp requires --model aie or --model doe");
+  }
+
+  if (cfg_.model == "rtl") {
+    recorder_ = std::make_unique<rtl::TraceRecorder>();
+    sim_->set_cycle_model(recorder_.get());
+  } else if (model_ != nullptr) {
+    sim_->set_cycle_model(model_.get());
+  }
+}
+
+ckpt::Participants Session::participants() {
+  ckpt::Participants p;
+  p.sim = sim_.get();
+  p.model = model_.get();
+  p.memory = model_ != nullptr && memory_ != nullptr ? memory_.get() : nullptr;
+  p.predictor = predictor_.get();
+  return p;
+}
+
+sim::StopReason Session::run() {
+  if (!cfg_.trace_file.empty() && trace_ == nullptr) {
+    trace_stream_.emplace(cfg_.trace_file);
+    check(trace_stream_->good(), "cannot write " + cfg_.trace_file);
+    trace_ = std::make_unique<sim::TraceWriter>(*trace_stream_);
+    sim_->set_trace(trace_.get());
+  }
+  if (cfg_.profile) sim_->set_profiler(&profiler_);
+  if (cfg_.ckpt_every != 0 && !sink_.has_value()) {
+    check(!run_.elf_bytes.empty(),
+          "internal: checkpointing session lacks executable bytes");
+    sink_.emplace(cfg_.ckpt_dir, cfg_.ckpt_keep);
+    sim_->set_checkpoint_hook(cfg_.ckpt_every, [this](sim::Simulator&) {
+      sink_->write(run_, participants());
+      return false; // keep running; snapshots are passive
+    });
+  }
+  return sim_->run();
+}
+
+Report Session::report(sim::StopReason reason) const {
+  Report r;
+  r.target = run_.workload;
+  r.model = cfg_.model;
+  r.stop_reason = sim::to_string(reason);
+  r.exit_code = sim_->exit_code();
+  r.stats = sim_->stats();
+  r.superblocks = sim_->options().use_superblocks;
+  r.output_bytes = sim_->libc().output().size();
+  if (recorder_ != nullptr) {
+    // The DOE pipeline recorded a full operation trace; replay it through
+    // the cycle-exact RTL reference for the Table II comparison.
+    rtl::RtlSimulator rtl_sim;
+    r.rtl_reference = true;
+    r.has_cycles = true;
+    r.cycles = rtl_sim.run(recorder_->trace()).cycles;
+  } else if (model_ != nullptr) {
+    r.model_display = model_->name();
+    r.has_cycles = true;
+    r.cycles = model_->cycles();
+    r.ops_per_cycle = model_->ops_per_cycle();
+  }
+  if (predictor_ != nullptr) {
+    r.has_predictor = true;
+    r.bp_kind = predictor_->name();
+    r.bp_branches = predictor_->stats().branches;
+    r.bp_mispredictions = predictor_->stats().mispredictions;
+    r.bp_penalty = cfg_.bp_penalty;
+  }
+  return r;
+}
+
+std::string render_op_histogram(const sim::Simulator& simulator) {
+  std::string out = "[ksim] operation histogram:\n";
+  const auto hist = simulator.op_histogram();
+  for (size_t i = 0; i < hist.size() && i < 16; ++i)
+    out += strf("  %-14s %12llu (%.1f%%)\n", hist[i].first->name.c_str(),
+                static_cast<unsigned long long>(hist[i].second),
+                100.0 * static_cast<double>(hist[i].second) /
+                    static_cast<double>(simulator.stats().operations));
+  return out;
+}
+
+std::string render_profile(const sim::Profiler& profiler) {
+  std::string out = "[ksim] profile (cycles instructions calls function):\n";
+  for (const sim::FuncProfile& p : profiler.report())
+    out += strf("  %10llu %10llu %8llu  %s\n",
+                static_cast<unsigned long long>(p.cycles),
+                static_cast<unsigned long long>(p.instructions),
+                static_cast<unsigned long long>(p.calls), p.name.c_str());
+  return out;
+}
+
+} // namespace ksim::api

@@ -1,0 +1,117 @@
+// libksim — the embeddable simulation session facade (DESIGN.md §7).
+//
+// A Session owns one fully wired simulation: simulator core, optional cycle
+// model with its memory hierarchy, optional branch predictor, optional RTL
+// trace recorder, profiler and trace writer, all constructed from a single
+// RunConfig.  `ksim run`, `ksim resume`, `ksim replay`, `ksim sweep` and the
+// benches are thin clients of this type; embedders link ksim_api and drive
+// it directly.
+//
+// Concurrency: Sessions are fully isolated — every piece of mutable state
+// (architectural state, emulated libc heap/rand/output, decode-cache arenas,
+// superblock graph, statistics, cycle-model state) lives inside the Session.
+// Any number of Sessions may run on different threads at once, sharing only
+// immutable inputs: the process-wide ISA set (isa::kisa(), built once and
+// read-only afterwards) and, in sweeps, pre-built ProgramImages.  One Session
+// must not be used from two threads simultaneously.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/report.h"
+#include "api/run_config.h"
+#include "ckpt/checkpoint.h"
+#include "cycle/branch_predict.h"
+#include "cycle/models.h"
+#include "rtl/trace_recorder.h"
+#include "sim/simulator.h"
+
+namespace ksim::api {
+
+/// One resolved program: the linked executable plus a display label
+/// ("<workload>@<ISA>", "<file>@<ISA>" or the .elf path) used in reports and
+/// recorded into checkpoints.  Immutable once built; concurrent Sessions may
+/// load the same image.
+struct ProgramImage {
+  elf::ElfFile exe;
+  std::string label;
+};
+
+/// Builds the executable `cfg` selects: a built-in workload, a pre-linked
+/// .elf, or MiniC/assembly inputs compiled and linked for cfg.isa.  Pure
+/// (no global state is touched beyond the lazily built ISA set), but NOT
+/// meant to run concurrently with itself — sweep builds images up front.
+ProgramImage resolve_input(const RunConfig& cfg);
+
+class Session {
+public:
+  /// Resolves cfg's program and wires the full session.
+  explicit Session(const RunConfig& cfg) : Session(cfg, resolve_input(cfg)) {}
+
+  /// Wires a session around a pre-resolved (possibly shared) image.
+  Session(const RunConfig& cfg, const ProgramImage& image);
+
+  /// Rebuilds the session a checkpoint was taken under: `cfg` must agree
+  /// with `run` on all simulation-relevant fields (start from
+  /// RunConfig::from_run_record and overlay host-side fields only); `run`
+  /// keeps the original label + executable bytes for future snapshots.
+  Session(const RunConfig& cfg, const ckpt::RunRecord& run,
+          const elf::ElfFile& exe);
+
+  Session(Session&&) = delete; // hooks capture `this`; sessions stay put
+
+  /// Runs to completion (or the configured bound), honouring the config's
+  /// trace/profiler/periodic-checkpoint settings.  May be called again to
+  /// continue after StopReason::InstructionLimit or ::Checkpoint.
+  sim::StopReason run();
+
+  /// The machine-readable summary of the session's state after run().
+  Report report(sim::StopReason reason) const;
+
+  /// Trap/decode-error diagnostics (simulator error report pass-through).
+  std::string error_report() const { return sim_->error_report(); }
+  int exit_code() const { return sim_->exit_code(); }
+
+  const RunConfig& config() const { return cfg_; }
+  const std::string& label() const { return run_.workload; }
+  /// The checkpoint RUN section for this session.  elf_bytes is only
+  /// populated when the session snapshots (periodic checkpointing or the
+  /// RunRecord constructor); other fields are always valid.
+  const ckpt::RunRecord& run_record() const { return run_; }
+
+  sim::Simulator& simulator() { return *sim_; }
+  const sim::Simulator& simulator() const { return *sim_; }
+  cycle::CycleModel* model() { return model_.get(); }
+  const sim::Profiler* profiler() const {
+    return cfg_.profile ? &profiler_ : nullptr;
+  }
+
+  /// The checkpointable objects of this session (kckpt).
+  ckpt::Participants participants();
+
+private:
+  void wire(const elf::ElfFile& exe);
+
+  RunConfig cfg_;
+  ckpt::RunRecord run_; ///< label + config (+ elf bytes when checkpointing)
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cycle::MemoryHierarchy> memory_;
+  std::unique_ptr<cycle::CycleModel> model_;
+  std::unique_ptr<cycle::BranchPredictor> predictor_;
+  std::unique_ptr<rtl::TraceRecorder> recorder_; ///< model == "rtl" only
+
+  sim::Profiler profiler_;
+  std::optional<std::ofstream> trace_stream_;
+  std::unique_ptr<sim::TraceWriter> trace_;
+  std::optional<ckpt::CheckpointSink> sink_;
+};
+
+/// Text renderings of the per-run extras the CLI prints on demand.
+std::string render_op_histogram(const sim::Simulator& simulator);
+std::string render_profile(const sim::Profiler& profiler);
+
+} // namespace ksim::api

@@ -1,0 +1,261 @@
+#include "api/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "api/session.h"
+#include "isa/kisa.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/strings.h"
+#include "workloads/build.h"
+
+namespace ksim::api {
+
+namespace {
+
+bool sweepable_model(const std::string& model) {
+  return model == "none" || model == "ilp" || model == "aie" || model == "doe";
+}
+
+} // namespace
+
+void SweepSpec::validate() const {
+  check(!workloads.empty(), "sweep: no workloads given");
+  check(!isas.empty(), "sweep: no ISA configurations given");
+  check(!models.empty(), "sweep: no cycle models given");
+  check(threads >= 1, "sweep: --threads expects a positive count");
+  for (const std::string& w : workloads)
+    (void)workloads::by_name(w); // throws with the unknown name
+  for (const std::string& i : isas)
+    check(isa::kisa().find_isa(i) != nullptr, "sweep: unknown ISA " + i);
+  for (const std::string& m : models)
+    check(sweepable_model(m),
+          "sweep: unknown or unsupported cycle model " + m +
+              " (rtl records full traces and is excluded from sweeps)");
+  check(base.ckpt_every == 0 && base.ckpt_dir.empty(),
+        "sweep: checkpointing is per-run; use ksim run --checkpoint-every");
+  check(base.trace_file.empty(), "sweep: --trace is per-run; use ksim run");
+}
+
+SweepSpec SweepSpec::from_manifest(const std::string& json_text,
+                                   const std::string& origin) {
+  const support::JsonValue doc = support::parse_json(json_text, origin);
+  check(doc.is_object(), origin + ": manifest must be a JSON object");
+  SweepSpec spec;
+  const auto strings = [&](const char* key) {
+    std::vector<std::string> out;
+    const support::JsonValue& v = doc.at(key);
+    check(v.is_array(), origin + ": \"" + key + "\" must be an array");
+    for (const support::JsonValue& e : v.array)
+      out.push_back(e.as_string(std::string(key) + " entry"));
+    return out;
+  };
+  spec.workloads = strings("workloads");
+  spec.isas = strings("isas");
+  spec.models = strings("models");
+  if (const support::JsonValue* v = doc.find("threads"); v != nullptr)
+    spec.threads = static_cast<int>(v->as_int("threads"));
+  if (const support::JsonValue* v = doc.find("seed"); v != nullptr)
+    spec.base.seed = static_cast<uint32_t>(v->as_int("seed"));
+  if (const support::JsonValue* v = doc.find("max_instructions"); v != nullptr)
+    spec.base.max_instructions = static_cast<uint64_t>(v->as_int("max_instructions"));
+  return spec;
+}
+
+std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
+  std::vector<SweepPoint> points;
+  points.reserve(spec.workloads.size() * spec.isas.size() * spec.models.size());
+  for (const std::string& w : spec.workloads)
+    for (const std::string& i : spec.isas)
+      for (const std::string& m : spec.models) {
+        SweepPoint p;
+        p.workload = w;
+        p.isa = i;
+        p.model = m;
+        points.push_back(std::move(p));
+      }
+  return points;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress) {
+  spec.validate();
+  // Touch every lazily initialized immutable singleton (ISA set, workload
+  // table) before any worker starts, so the parallel phase is read-only.
+  (void)isa::kisa();
+  (void)workloads::all();
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.points = expand_points(spec);
+  const size_t total = result.points.size();
+
+  // Phase 1 (serial): build one immutable image per (workload, ISA) pair.
+  // The compiler/assembler/linker are not exercised concurrently; every
+  // session of the parallel phase only reads these.
+  std::vector<ProgramImage> images;
+  images.reserve(spec.workloads.size() * spec.isas.size());
+  for (const std::string& w : spec.workloads)
+    for (const std::string& i : spec.isas) {
+      RunConfig cfg = spec.base;
+      cfg.workload = w;
+      cfg.isa = i;
+      images.push_back(resolve_input(cfg));
+    }
+  const auto image_of = [&](size_t point_index) -> const ProgramImage& {
+    // Points are model-minor: consecutive runs of models.size() points share
+    // one image.
+    return images[point_index / spec.models.size()];
+  };
+
+  // Phase 2 (parallel): independent sessions over shared immutable images.
+  // The queue is a single atomic cursor: each idle worker claims ("steals")
+  // the next pending point, so imbalance between cheap and expensive points
+  // only ever idles workers at the very end of the sweep.
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex progress_mutex;
+  const auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      SweepPoint& p = result.points[i];
+      const auto p0 = std::chrono::steady_clock::now();
+      try {
+        RunConfig cfg = spec.base;
+        cfg.workload = p.workload;
+        cfg.isa = p.isa;
+        cfg.model = p.model;
+        cfg.echo_output = false; // simulated stdout stays in the session
+        cfg.profile = false;
+        Session session(cfg, image_of(i));
+        const sim::StopReason reason = session.run();
+        p.report = session.report(reason);
+        if (reason == sim::StopReason::Trap ||
+            reason == sim::StopReason::DecodeError) {
+          p.error = std::string(sim::to_string(reason)) + ":\n" +
+                    session.error_report();
+        } else {
+          p.ok = true;
+        }
+      } catch (const Error& e) {
+        p.error = e.what();
+      }
+      p.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+              .count();
+      const size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(p, finished, total);
+      }
+    }
+  };
+
+  const int workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(spec.threads), total));
+  result.threads = workers < 1 ? 1 : workers;
+  if (result.threads == 1) {
+    worker(); // run on the calling thread; no pool, no locks
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(result.threads));
+    for (int t = 0; t < result.threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const SweepPoint& p : result.points)
+    if (!p.ok) ++result.failed;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "ksim.sweep");
+  w.field("schema_version", kSchemaVersion);
+  w.field("threads", result.threads);
+  w.field("points_total", static_cast<uint64_t>(result.points.size()));
+  w.field("points_failed", static_cast<uint64_t>(result.failed));
+  w.field("wall_seconds", result.wall_seconds);
+  w.field("points_per_second", result.points_per_second());
+  w.begin_array("workloads");
+  for (const std::string& s : spec.workloads) w.element(s);
+  w.end();
+  w.begin_array("isas");
+  for (const std::string& s : spec.isas) w.element(s);
+  w.end();
+  w.begin_array("models");
+  for (const std::string& s : spec.models) w.element(s);
+  w.end();
+  w.begin_array("points");
+  for (const SweepPoint& p : result.points) {
+    w.begin_object();
+    w.field("workload", p.workload);
+    w.field("isa", p.isa);
+    w.field("model", p.model);
+    w.field("ok", p.ok);
+    if (p.ok) {
+      w.field("stop_reason", p.report.stop_reason);
+      w.field("exit_code", p.report.exit_code);
+      w.field("instructions", p.report.stats.instructions);
+      w.field("operations", p.report.stats.operations);
+      if (p.report.has_cycles) {
+        w.field("cycles", p.report.cycles);
+        w.field("ops_per_cycle", p.report.ops_per_cycle);
+      }
+      w.field("output_bytes", p.report.output_bytes);
+    } else {
+      w.field("error", p.error);
+    }
+    w.field("wall_seconds", p.wall_seconds);
+    w.end();
+  }
+  w.end();
+  w.end();
+  return w.str();
+}
+
+std::string render_sweep_table(const SweepSpec& spec, const SweepResult& result) {
+  // Index points back into the grid: spec order is workload-major,
+  // model-minor.
+  const size_t n_isas = spec.isas.size();
+  const size_t n_models = spec.models.size();
+  const auto point_at = [&](size_t w, size_t i, size_t m) -> const SweepPoint& {
+    return result.points[(w * n_isas + i) * n_models + m];
+  };
+  std::string out;
+  for (size_t m = 0; m < n_models; ++m) {
+    const bool cycles_only = spec.models[m] == "none";
+    out += strf("%s (%s)\n", spec.models[m].c_str(),
+                cycles_only ? "instructions" : "ops/cycle");
+    out += strf("%-10s", "workload");
+    for (const std::string& isa_name : spec.isas)
+      out += strf(" %10s", isa_name.c_str());
+    out += "\n";
+    for (size_t wl = 0; wl < spec.workloads.size(); ++wl) {
+      out += strf("%-10s", spec.workloads[wl].c_str());
+      for (size_t i = 0; i < n_isas; ++i) {
+        const SweepPoint& p = point_at(wl, i, m);
+        if (!p.ok)
+          out += strf(" %10s", "FAIL");
+        else if (cycles_only)
+          out += strf(" %10llu",
+                      static_cast<unsigned long long>(p.report.stats.instructions));
+        else
+          out += strf(" %10.3f", p.report.ops_per_cycle);
+      }
+      out += "\n";
+    }
+    if (m + 1 < n_models) out += "\n";
+  }
+  return out;
+}
+
+} // namespace ksim::api

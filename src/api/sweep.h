@@ -1,0 +1,96 @@
+// ksweep — the parallel multi-configuration sweep engine (DESIGN.md §7).
+//
+// The paper's headline results are sweeps: Figure 4 runs the benchmark
+// applications across five ISA configurations against the §VI-A ILP model,
+// Table II compares DOE against RTL across configurations.  A SweepSpec
+// expands (workloads × ISA configs × cycle models) into independent
+// Sessions; run_sweep() builds every program image once up front (immutable,
+// shared by all points of the same workload/ISA pair), then executes the
+// points on a pool of worker threads pulling from a shared work queue —
+// every idle worker steals the next pending point, so long points (DOE on
+// aes) never serialize behind short ones.
+//
+// Determinism: a sweep point is the exact Session a serial `ksim run` would
+// construct for the same configuration; the simulator has no global mutable
+// state (see session.h), so per-point statistics and cycle counts are
+// bit-identical to serial runs regardless of thread count or completion
+// order.  Results are reported in spec order, never completion order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/report.h"
+#include "api/run_config.h"
+
+namespace ksim::api {
+
+/// The sweep grid: every workload × ISA × model combination becomes one
+/// point.  `base` supplies everything else (engine switches, seed, bounds);
+/// its program-selection and model fields are ignored.
+struct SweepSpec {
+  std::vector<std::string> workloads; ///< built-in workload names
+  std::vector<std::string> isas;      ///< "RISC", "VLIW2", ...
+  std::vector<std::string> models;    ///< "none", "ilp", "aie", "doe" (no rtl)
+  RunConfig base;
+  int threads = 1;
+
+  /// Throws ksim::Error on empty dimensions, unknown names, rtl, threads < 1.
+  void validate() const;
+
+  /// Parses a JSON manifest:
+  ///   {"workloads": ["cjpeg", ...], "isas": ["RISC", ...],
+  ///    "models": ["ilp", ...], "threads": 8, "seed": 1,
+  ///    "max_instructions": 0}
+  /// threads/seed/max_instructions are optional.  `origin` names the file
+  /// in diagnostics.
+  static SweepSpec from_manifest(const std::string& json_text,
+                                 const std::string& origin);
+};
+
+/// One expanded grid point and (after run_sweep) its outcome.
+struct SweepPoint {
+  std::string workload;
+  std::string isa;
+  std::string model;
+  bool ok = false;
+  std::string error;   ///< failure diagnostic when !ok
+  Report report;       ///< valid when ok
+  double wall_seconds = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points; ///< spec order (workload-major)
+  int threads = 1;                ///< workers actually used
+  double wall_seconds = 0.0;      ///< whole sweep, image building included
+  size_t failed = 0;
+
+  double points_per_second() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(points.size()) / wall_seconds;
+  }
+};
+
+/// Progress callback: invoked once per finished point (under a lock, from
+/// worker threads) with the completed point and the done/total counts.
+using SweepProgress = std::function<void(const SweepPoint&, size_t, size_t)>;
+
+/// Expands the spec in deterministic workload-major order (workload, then
+/// ISA, then model) — the order points and reports are emitted in.
+std::vector<SweepPoint> expand_points(const SweepSpec& spec);
+
+/// Runs the whole sweep.  A point that traps or errors is recorded as
+/// !ok with its diagnostic; the sweep always completes.  Throws only on
+/// spec/setup errors (validate, image building).
+SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress = {});
+
+/// The "ksim.sweep" JSON document (schema_version kSchemaVersion): header,
+/// grid dimensions, throughput, then one entry per point in spec order.
+std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result);
+
+/// Figure-4-style text matrix: one table per model, workloads down,
+/// ISA configurations across, ops/cycle in the cells (cycles for "none").
+std::string render_sweep_table(const SweepSpec& spec, const SweepResult& result);
+
+} // namespace ksim::api

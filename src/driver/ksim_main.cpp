@@ -1,7 +1,12 @@
 // ksim — command line driver for the KAHRISMA toolchain and simulator.
 //
+// The driver is a thin client of libksim (src/api/): every subcommand maps
+// its flags onto an api::RunConfig / api::SweepSpec and delegates session
+// construction, execution and reporting to the library.
+//
 //   ksim run [options] <file.c|file.s|file.elf>   compile/assemble, link, run
 //   ksim run --workload <name> [options]          run a built-in workload
+//   ksim sweep [options]                          parallel configuration sweep
 //   ksim build -o out.elf [options] <inputs...>   build an executable
 //   ksim cc <file.c>                              print generated assembly
 //   ksim disasm <file.elf>                        disassemble an executable
@@ -33,10 +38,21 @@
 //   --max-instr N    stop after N instructions
 //   --seed N         emulated-libc rand() seed (default 1; recorded in
 //                    checkpoints so resumed runs keep the same stream)
+//   --json FILE      also write the versioned ksim.run report (DESIGN.md §7)
+//                    to FILE ("-" = stdout)
 //   --checkpoint-every N   snapshot simulator state every N instructions
 //                    (kckpt, DESIGN.md §5c); requires --ckpt-dir
 //   --ckpt-dir DIR   directory for ckpt-<n>.kckpt snapshots
 //   --ckpt-keep K    how many snapshots to keep (default 3)
+//
+// sweep options (ksweep, see src/api/sweep.h):
+//   --workloads A,B  comma-separated built-in workloads (default: all)
+//   --isas A,B       ISA configurations (default: RISC,VLIW2,VLIW4,VLIW6,VLIW8)
+//   --models A,B     cycle models: none,ilp,aie,doe (default: ilp)
+//   --threads N      worker threads (default 1)
+//   --manifest FILE  read the grid from a JSON manifest instead of flags
+//   --json FILE      write the aggregate ksim.sweep report ("-" = stdout)
+//   engine switches, --seed and --max-instr apply to every point
 //
 // resume options: the run configuration (model, predictor, seed, engine
 // flags) is restored from the checkpoint; --trace/--profile/--opstats apply
@@ -44,6 +60,10 @@
 // periodic snapshotting.  The recorded --max-instr is NOT reapplied (it is
 // what interrupted the original run); pass --max-instr to bound the resumed
 // run again.
+//
+// Deprecated environment knobs: KSIM_NO_SUPERBLOCKS, KSIM_NO_DECODE_CACHE,
+// KSIM_NO_PREDICTION and KSIM_SEED still work for run/sweep but print a
+// one-line warning; use the corresponding flags.
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -55,8 +75,11 @@
 #include <vector>
 
 #include "analysis/lint.h"
+#include "api/report.h"
+#include "api/run_config.h"
+#include "api/session.h"
+#include "api/sweep.h"
 #include "ckpt/checkpoint.h"
-#include "cycle/branch_predict.h"
 #include "cycle/models.h"
 #include "isa/kisa.h"
 #include "kasm/assembler.h"
@@ -64,7 +87,6 @@
 #include "kasm/linker.h"
 #include "kasm/stubs.h"
 #include "kcc/compiler.h"
-#include "rtl/rtl_sim.h"
 #include "sim/simulator.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -74,13 +96,15 @@ namespace ksim {
 namespace {
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: ksim <run|build|cc|disasm|lint|workloads|resume|replay>"
+  std::cerr << "usage: ksim <run|sweep|build|cc|disasm|lint|workloads|resume|replay>"
                " [options] [files]\n"
                "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
                "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
                "      [--no-decode-cache] [--no-prediction] [--no-superblocks]\n"
-               "      [--max-instr N] [--seed N]\n"
+               "      [--max-instr N] [--seed N] [--json FILE]\n"
                "      [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
+               "  sweep [--workloads A,B] [--isas A,B] [--models A,B]\n"
+               "        [--threads N] [--manifest FILE] [--json FILE]\n"
                "  build -o <out.elf> [--isa NAME] <file.c|.s ...>\n"
                "  cc [--isa NAME] <file.c>\n"
                "  disasm <file.elf>\n"
@@ -106,6 +130,13 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  for (std::string_view field : split(s, ','))
+    if (!field.empty()) out.emplace_back(field);
+  return out;
+}
+
 struct Options {
   std::string isa = "RISC";
   std::string model = "none";
@@ -129,6 +160,12 @@ struct Options {
   uint64_t ckpt_every = 0;
   std::string ckpt_dir;
   unsigned ckpt_keep = 3;
+  std::string json_path;       ///< run/resume/sweep report destination
+  std::string manifest;        ///< sweep JSON manifest
+  std::vector<std::string> sweep_workloads;
+  std::vector<std::string> sweep_isas;
+  std::vector<std::string> sweep_models;
+  int threads = 1;
   std::vector<std::string> inputs;
 };
 
@@ -199,6 +236,20 @@ Options parse_options(int argc, char** argv, int first) {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--ckpt-keep expects a count");
       opt.ckpt_keep = static_cast<unsigned>(v);
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--manifest") {
+      opt.manifest = next();
+    } else if (arg == "--workloads") {
+      opt.sweep_workloads = split_list(next());
+    } else if (arg == "--isas") {
+      opt.sweep_isas = split_list(next());
+    } else if (arg == "--models") {
+      opt.sweep_models = split_list(next());
+    } else if (arg == "--threads") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--threads expects a positive count");
+      opt.threads = static_cast<int>(v);
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
@@ -208,241 +259,122 @@ Options parse_options(int argc, char** argv, int first) {
   return opt;
 }
 
-elf::ElfFile build_from_inputs(const Options& opt) {
-  std::vector<elf::ElfFile> objects;
-  objects.push_back(kasm::assemble_or_throw(kasm::start_stub_assembly(opt.isa)));
-  for (const std::string& path : opt.inputs) {
-    if (ends_with(path, ".elf")) {
-      // Already-linked executables cannot be re-linked.
-      throw Error("cannot link an executable: " + path);
-    }
-    std::string assembly;
-    if (ends_with(path, ".c")) {
-      kcc::CompileOptions copt;
-      copt.file_name = path;
-      copt.codegen.default_isa = opt.isa;
-      assembly = kcc::compile_or_throw(read_file(path), copt);
-    } else {
-      assembly = read_file(path);
-    }
-    kasm::AsmOptions aopt;
-    aopt.file_name = path;
-    objects.push_back(kasm::assemble_or_throw(assembly, aopt));
-  }
-  objects.push_back(kasm::assemble_or_throw(kasm::libc_stub_assembly()));
-  kasm::LinkOptions lopt;
-  const isa::IsaInfo* isa = isa::kisa().find_isa(opt.isa);
-  check(isa != nullptr, "unknown ISA " + opt.isa);
-  lopt.entry_isa = isa->id;
-  return kasm::link_or_throw(objects, lopt);
+/// The RunConfig equivalent of this invocation's flags.
+api::RunConfig to_run_config(const Options& opt) {
+  api::RunConfig cfg;
+  cfg.workload = opt.workload;
+  cfg.inputs = opt.inputs;
+  cfg.isa = opt.isa;
+  cfg.model = opt.model;
+  cfg.bp_kind = opt.bp_kind;
+  cfg.bp_penalty = opt.bp_penalty;
+  cfg.use_decode_cache = opt.decode_cache;
+  cfg.use_prediction = opt.prediction;
+  cfg.use_superblocks = opt.superblocks;
+  cfg.collect_op_stats = opt.opstats;
+  cfg.max_instructions = opt.max_instr;
+  cfg.seed = opt.seed;
+  cfg.profile = opt.profile;
+  cfg.trace_file = opt.trace_file;
+  cfg.ckpt_every = opt.ckpt_every;
+  cfg.ckpt_dir = opt.ckpt_dir;
+  cfg.ckpt_keep = opt.ckpt_keep;
+  return cfg;
 }
 
-/// One resolved run/lint/resume input: the executable plus a display label
-/// ("<workload>@<ISA>", "<file>@<ISA>" or the .elf path) used in reports and
-/// recorded into checkpoints.  Shared by cmd_run, cmd_lint and (through the
-/// checkpoint RUN section) cmd_resume.
-struct ResolvedInput {
-  elf::ElfFile exe;
-  std::string label;
-};
-
-ResolvedInput resolve_input(const Options& opt) {
-  if (!opt.workload.empty())
-    return {workloads::build_workload(workloads::by_name(opt.workload), opt.isa),
-            opt.workload + "@" + opt.isa};
-  check(!opt.inputs.empty(), "no input file");
-  if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
-    // The entry ISA is baked into the executable; --isa is ignored.
-    const std::string bytes = read_file(opt.inputs[0]);
-    return {elf::ElfFile::parse(std::span(
-                reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())),
-            opt.inputs[0]};
+void write_text_or_stdout(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return;
   }
-  return {build_from_inputs(opt), opt.inputs[0] + "@" + opt.isa};
-}
-
-/// A fully wired simulation session (simulator + cycle model + memory +
-/// predictor), built from a checkpoint RunRecord so `run`, `resume` and
-/// `replay` construct bit-identical setups from the same description.
-struct Session {
-  std::unique_ptr<sim::Simulator> sim;
-  std::unique_ptr<cycle::MemoryHierarchy> memory;
-  std::unique_ptr<cycle::CycleModel> model;
-  std::unique_ptr<cycle::BranchPredictor> predictor;
-  std::unique_ptr<rtl::TraceRecorder> recorder; ///< --model rtl only
-  int bp_penalty = 0;
-
-  ckpt::Participants participants() {
-    ckpt::Participants p;
-    p.sim = sim.get();
-    p.model = model.get();
-    p.memory = model != nullptr && memory != nullptr ? memory.get() : nullptr;
-    p.predictor = predictor.get();
-    return p;
-  }
-};
-
-ckpt::RunRecord make_run_record(const Options& opt, const elf::ElfFile& exe,
-                                const std::string& label) {
-  ckpt::RunRecord run;
-  run.workload = label;
-  run.elf_bytes = exe.serialize();
-  run.model = opt.model == "none" ? "" : opt.model;
-  run.bp_kind = opt.bp_kind;
-  run.bp_penalty = static_cast<uint32_t>(opt.bp_penalty);
-  run.seed = opt.seed;
-  run.use_decode_cache = opt.decode_cache ? 1 : 0;
-  run.use_prediction = opt.prediction ? 1 : 0;
-  run.use_superblocks = opt.superblocks ? 1 : 0;
-  run.collect_op_stats = opt.opstats ? 1 : 0;
-  run.max_instructions = opt.max_instr;
-  return run;
-}
-
-Session make_session(const ckpt::RunRecord& run, const elf::ElfFile& exe) {
-  Session s;
-  sim::SimOptions sopt;
-  sopt.use_decode_cache = run.use_decode_cache != 0;
-  sopt.use_prediction = run.use_prediction != 0;
-  sopt.use_superblocks = run.use_superblocks != 0;
-  sopt.collect_op_stats = run.collect_op_stats != 0;
-  sopt.max_instructions = run.max_instructions;
-  sopt.libc_seed = run.seed;
-  s.sim = std::make_unique<sim::Simulator>(isa::kisa(), sopt);
-  s.sim->load(exe);
-  s.sim->libc().set_echo(true);
-  s.bp_penalty = static_cast<int>(run.bp_penalty);
-
-  if (run.model == "ilp") {
-    s.model = std::make_unique<cycle::IlpModel>();
-  } else if (run.model == "aie") {
-    s.memory = std::make_unique<cycle::MemoryHierarchy>();
-    s.model = std::make_unique<cycle::AieModel>(s.memory.get());
-  } else if (run.model == "doe" || run.model == "rtl") {
-    s.memory = std::make_unique<cycle::MemoryHierarchy>();
-    s.model = std::make_unique<cycle::DoeModel>(s.memory.get());
-  } else {
-    check(run.model.empty(), "unknown cycle model " + run.model);
-  }
-
-  if (!run.bp_kind.empty()) {
-    s.predictor = cycle::make_predictor(run.bp_kind);
-    if (auto* doe = dynamic_cast<cycle::DoeModel*>(s.model.get()); doe != nullptr)
-      doe->set_branch_prediction(s.predictor.get(), run.bp_penalty);
-    else if (auto* aie = dynamic_cast<cycle::AieModel*>(s.model.get()); aie != nullptr)
-      aie->set_branch_prediction(s.predictor.get(), run.bp_penalty);
-    else
-      check(false, "--bp requires --model aie or --model doe");
-  }
-
-  if (run.model == "rtl") {
-    s.recorder = std::make_unique<rtl::TraceRecorder>();
-    s.sim->set_cycle_model(s.recorder.get());
-  } else if (s.model != nullptr) {
-    s.sim->set_cycle_model(s.model.get());
-  }
-  return s;
+  std::ofstream out(path);
+  check(out.good(), "cannot write " + path);
+  out << text;
+  check(out.good(), "error writing " + path);
 }
 
 /// Stop handling + statistics reporting shared by cmd_run and cmd_resume.
-int report_outcome(Session& s, const Options& opt, sim::StopReason reason,
-                   const sim::Profiler* profiler) {
-  sim::Simulator& simulator = *s.sim;
+int report_outcome(api::Session& s, const Options& opt, sim::StopReason reason) {
   if (reason == sim::StopReason::Trap || reason == sim::StopReason::DecodeError) {
-    std::cerr << simulator.error_report();
+    std::cerr << s.error_report();
     return 1;
   }
-
-  const sim::SimStats& stats = simulator.stats();
-  std::cerr << strf("[ksim] %s after %llu instructions (%llu operations)\n",
-                    sim::to_string(reason),
-                    static_cast<unsigned long long>(stats.instructions),
-                    static_cast<unsigned long long>(stats.operations));
-  if (simulator.options().use_superblocks)
-    std::cerr << strf("[ksim] superblocks: %llu formed, %llu dispatches"
-                      " (%.1f%% chained), %.2f%% lookups avoided\n",
-                      static_cast<unsigned long long>(stats.blocks_formed),
-                      static_cast<unsigned long long>(stats.block_dispatches),
-                      100.0 * stats.block_chain_avoidance(),
-                      100.0 * stats.lookup_avoidance());
-  if (s.recorder != nullptr) {
-    rtl::RtlSimulator rtl_sim;
-    const rtl::RtlStats rstats = rtl_sim.run(s.recorder->trace());
-    std::cerr << strf("[ksim] RTL reference: %llu cycles\n",
-                      static_cast<unsigned long long>(rstats.cycles));
-  } else if (s.model != nullptr) {
-    std::cerr << strf("[ksim] %s cycles: %llu (%.3f ops/cycle)\n",
-                      s.model->name().c_str(),
-                      static_cast<unsigned long long>(s.model->cycles()),
-                      s.model->ops_per_cycle());
-  }
-  if (s.predictor != nullptr) {
-    std::cerr << strf("[ksim] branch predictor %s: %llu branches, %llu mispredicts"
-                      " (%.2f%%), penalty %d\n",
-                      s.predictor->name().c_str(),
-                      static_cast<unsigned long long>(s.predictor->stats().branches),
-                      static_cast<unsigned long long>(s.predictor->stats().mispredictions),
-                      100.0 * s.predictor->stats().miss_rate(), s.bp_penalty);
-  }
-  if (opt.opstats) {
-    std::cerr << "[ksim] operation histogram:\n";
-    const auto hist = simulator.op_histogram();
-    for (size_t i = 0; i < hist.size() && i < 16; ++i)
-      std::cerr << strf("  %-14s %12llu (%.1f%%)\n", hist[i].first->name.c_str(),
-                        static_cast<unsigned long long>(hist[i].second),
-                        100.0 * static_cast<double>(hist[i].second) /
-                            static_cast<double>(simulator.stats().operations));
-  }
-  if (profiler != nullptr) {
-    std::cerr << "[ksim] profile (cycles instructions calls function):\n";
-    for (const sim::FuncProfile& p : profiler->report())
-      std::cerr << strf("  %10llu %10llu %8llu  %s\n",
-                        static_cast<unsigned long long>(p.cycles),
-                        static_cast<unsigned long long>(p.instructions),
-                        static_cast<unsigned long long>(p.calls), p.name.c_str());
-  }
-  return simulator.exit_code();
-}
-
-/// Validates the --checkpoint-every/--ckpt-dir combination; true if this
-/// invocation should write periodic snapshots.
-bool checkpointing_requested(const Options& opt) {
-  if (opt.ckpt_every == 0 && opt.ckpt_dir.empty()) return false;
-  check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
-        "--checkpoint-every and --ckpt-dir must be used together");
-  check(opt.model != "rtl",
-        "--model rtl records a full operation trace and cannot be checkpointed");
-  return true;
+  const api::Report report = s.report(reason);
+  std::cerr << api::render_report_text(report);
+  if (opt.opstats) std::cerr << api::render_op_histogram(s.simulator());
+  if (const sim::Profiler* profiler = s.profiler(); profiler != nullptr)
+    std::cerr << api::render_profile(*profiler);
+  if (!opt.json_path.empty())
+    write_text_or_stdout(opt.json_path, api::render_report_json(report));
+  return s.exit_code();
 }
 
 int cmd_run(const Options& opt) {
-  const bool checkpointing = checkpointing_requested(opt);
-  ResolvedInput in = resolve_input(opt);
-  const ckpt::RunRecord run = make_run_record(opt, in.exe, in.label);
-  Session s = make_session(run, in.exe);
+  api::RunConfig cfg = to_run_config(opt);
+  api::warn_env_overrides(api::apply_env_overrides(cfg));
+  cfg.validate();
+  api::Session s(cfg);
+  const sim::StopReason reason = s.run();
+  return report_outcome(s, opt, reason);
+}
 
-  std::optional<ckpt::CheckpointSink> sink;
-  if (checkpointing) {
-    sink.emplace(opt.ckpt_dir, opt.ckpt_keep);
-    s.sim->set_checkpoint_hook(opt.ckpt_every, [&](sim::Simulator&) {
-      sink->write(run, s.participants());
-      return false; // keep running; snapshots are passive
-    });
+int cmd_sweep(const Options& opt) {
+  api::SweepSpec spec;
+  if (!opt.manifest.empty()) {
+    spec = api::SweepSpec::from_manifest(read_file(opt.manifest), opt.manifest);
+  } else {
+    spec.workloads = opt.sweep_workloads;
+    spec.isas = opt.sweep_isas;
+    spec.models = opt.sweep_models;
+    spec.threads = opt.threads;
   }
+  if (spec.workloads.empty())
+    for (const workloads::Workload& w : workloads::all())
+      spec.workloads.push_back(w.name);
+  if (spec.isas.empty())
+    spec.isas = {"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"};
+  if (spec.models.empty()) spec.models = {"ilp"};
 
-  std::ofstream trace_stream;
-  std::unique_ptr<sim::TraceWriter> trace;
-  if (!opt.trace_file.empty()) {
-    trace_stream.open(opt.trace_file);
-    check(trace_stream.good(), "cannot write " + opt.trace_file);
-    trace = std::make_unique<sim::TraceWriter>(trace_stream);
-    s.sim->set_trace(trace.get());
+  api::RunConfig base = to_run_config(opt);
+  base.workload.clear();
+  base.inputs.clear();
+  base.model = "none";
+  // Manifest-provided seed/bounds win over flag defaults.
+  if (!opt.manifest.empty()) {
+    base.seed = spec.base.seed;
+    base.max_instructions = spec.base.max_instructions;
   }
-  sim::Profiler profiler;
-  if (opt.profile) s.sim->set_profiler(&profiler);
+  spec.base = base;
+  api::warn_env_overrides(api::apply_env_overrides(spec.base));
+  spec.validate();
 
-  const sim::StopReason reason = s.sim->run();
-  return report_outcome(s, opt, reason, opt.profile ? &profiler : nullptr);
+  const api::SweepResult result = api::run_sweep(
+      spec, [](const api::SweepPoint& p, size_t done, size_t total) {
+        if (p.ok)
+          std::cerr << strf(
+              "[sweep] (%zu/%zu) %s@%s %s: %llu instructions%s in %.2fs\n",
+              done, total, p.workload.c_str(), p.isa.c_str(), p.model.c_str(),
+              static_cast<unsigned long long>(p.report.stats.instructions),
+              p.report.has_cycles
+                  ? strf(", %llu cycles",
+                         static_cast<unsigned long long>(p.report.cycles))
+                        .c_str()
+                  : "",
+              p.wall_seconds);
+        else
+          std::cerr << strf("[sweep] (%zu/%zu) %s@%s %s: FAILED (%s)\n", done,
+                            total, p.workload.c_str(), p.isa.c_str(),
+                            p.model.c_str(), p.error.c_str());
+      });
+
+  std::cerr << strf("[sweep] %zu points on %d threads in %.2fs (%.2f points/s)"
+                    ", %zu failed\n",
+                    result.points.size(), result.threads, result.wall_seconds,
+                    result.points_per_second(), result.failed);
+  std::cout << api::render_sweep_table(spec, result);
+  if (!opt.json_path.empty())
+    write_text_or_stdout(opt.json_path, api::render_sweep_json(spec, result));
+  return result.failed == 0 ? 0 : 1;
 }
 
 /// Resolves a `resume`/`replay` positional argument: either a checkpoint
@@ -466,37 +398,26 @@ int cmd_resume(const Options& opt) {
   // unless the user bounds it again.
   ck.run.max_instructions = opt.max_instr;
 
+  api::RunConfig cfg = api::RunConfig::from_run_record(ck.run);
+  cfg.profile = opt.profile;
+  cfg.trace_file = opt.trace_file;
+  if (opt.ckpt_every != 0 || !opt.ckpt_dir.empty()) {
+    check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
+          "--checkpoint-every and --ckpt-dir must be used together");
+    cfg.ckpt_every = opt.ckpt_every;
+    cfg.ckpt_dir = opt.ckpt_dir;
+    cfg.ckpt_keep = opt.ckpt_keep;
+  }
+
   const elf::ElfFile exe = elf::ElfFile::parse(ck.run.elf_bytes);
-  Session s = make_session(ck.run, exe);
+  api::Session s(cfg, ck.run, exe);
   ckpt::apply_checkpoint(ck, s.participants());
   std::cerr << strf("[ksim] resumed %s from %s at %llu instructions\n",
                     ck.run.workload.c_str(), path.c_str(),
                     static_cast<unsigned long long>(ck.instructions));
 
-  std::optional<ckpt::CheckpointSink> sink;
-  if (opt.ckpt_every != 0 || !opt.ckpt_dir.empty()) {
-    check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
-          "--checkpoint-every and --ckpt-dir must be used together");
-    sink.emplace(opt.ckpt_dir, opt.ckpt_keep);
-    s.sim->set_checkpoint_hook(opt.ckpt_every, [&](sim::Simulator&) {
-      sink->write(ck.run, s.participants());
-      return false;
-    });
-  }
-
-  std::ofstream trace_stream;
-  std::unique_ptr<sim::TraceWriter> trace;
-  if (!opt.trace_file.empty()) {
-    trace_stream.open(opt.trace_file);
-    check(trace_stream.good(), "cannot write " + opt.trace_file);
-    trace = std::make_unique<sim::TraceWriter>(trace_stream);
-    s.sim->set_trace(trace.get());
-  }
-  sim::Profiler profiler; // profiles the resumed portion only
-  if (opt.profile) s.sim->set_profiler(&profiler);
-
-  const sim::StopReason reason = s.sim->run();
-  return report_outcome(s, opt, reason, opt.profile ? &profiler : nullptr);
+  const sim::StopReason reason = s.run();
+  return report_outcome(s, opt, reason);
 }
 
 int cmd_replay(const Options& opt) {
@@ -510,19 +431,22 @@ int cmd_replay(const Options& opt) {
   // block/step boundary the snapshot was taken at.  The boundary sequence is
   // deterministic, so the first boundary at or past ck.instructions is the
   // snapshot point itself; anything else is a determinism violation.
+  api::RunConfig cfg = api::RunConfig::from_run_record(ck.run);
+  cfg.echo_output = false; // the original run already printed this
   const elf::ElfFile exe = elf::ElfFile::parse(ck.run.elf_bytes);
-  Session s = make_session(ck.run, exe);
-  s.sim->libc().set_echo(false); // the original run already printed this
+  api::Session s(cfg, ck.run, exe);
   bool exact = false;
-  s.sim->set_checkpoint_hook(ck.instructions, [&](sim::Simulator& simulator) {
-    exact = simulator.stats().instructions == ck.instructions;
-    return true;
-  });
-  const sim::StopReason reason = s.sim->run();
+  s.simulator().set_checkpoint_hook(
+      ck.instructions, [&](sim::Simulator& simulator) {
+        exact = simulator.stats().instructions == ck.instructions;
+        return true;
+      });
+  const sim::StopReason reason = s.run();
   if (reason != sim::StopReason::Checkpoint || !exact) {
     std::cerr << strf("[ksim] replay MISMATCH: re-run stopped at %llu"
                       " instructions (%s), checkpoint was taken at %llu\n",
-                      static_cast<unsigned long long>(s.sim->stats().instructions),
+                      static_cast<unsigned long long>(
+                          s.simulator().stats().instructions),
                       sim::to_string(reason),
                       static_cast<unsigned long long>(ck.instructions));
     return 1;
@@ -549,7 +473,11 @@ int cmd_replay(const Options& opt) {
 
 int cmd_build(const Options& opt) {
   check(!opt.output.empty(), "build requires -o <out.elf>");
-  const elf::ElfFile exe = build_from_inputs(opt);
+  api::RunConfig cfg = to_run_config(opt);
+  check(!cfg.inputs.empty(), "no input file");
+  check(!(cfg.inputs.size() == 1 && ends_with(cfg.inputs[0], ".elf")),
+        "cannot link an executable: " + (cfg.inputs.empty() ? "" : cfg.inputs[0]));
+  const elf::ElfFile exe = api::resolve_input(cfg).exe;
   const std::vector<uint8_t> bytes = exe.serialize();
   std::ofstream out(opt.output, std::ios::binary);
   check(out.good(), "cannot write " + opt.output);
@@ -657,13 +585,13 @@ int cmd_lint(const Options& opt) {
       for (const std::string& isa_name : isas)
         lint_one(workloads::build_workload(*w, isa_name), w->name + "@" + isa_name);
   } else if (opt.inputs.size() == 1 && ends_with(opt.inputs[0], ".elf")) {
-    const ResolvedInput in = resolve_input(opt);
+    const api::ProgramImage in = api::resolve_input(to_run_config(opt));
     lint_one(in.exe, in.label);
   } else {
     for (const std::string& isa_name : isas) {
       Options per_isa = opt;
       per_isa.isa = isa_name;
-      const ResolvedInput in = resolve_input(per_isa);
+      const api::ProgramImage in = api::resolve_input(to_run_config(per_isa));
       lint_one(in.exe, in.label);
     }
   }
@@ -682,6 +610,7 @@ int main_impl(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Options opt = parse_options(argc, argv, 2);
   if (cmd == "run") return cmd_run(opt);
+  if (cmd == "sweep") return cmd_sweep(opt);
   if (cmd == "build") return cmd_build(opt);
   if (cmd == "cc") return cmd_cc(opt);
   if (cmd == "disasm") return cmd_disasm(opt);

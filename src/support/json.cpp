@@ -1,0 +1,351 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace ksim::support {
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : entries)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  check(v != nullptr, "json: missing required key \"" + std::string(key) + "\"");
+  return *v;
+}
+
+const std::string& JsonValue::as_string(std::string_view what) const {
+  check(kind == Kind::String, "json: " + std::string(what) + " must be a string");
+  return string;
+}
+
+double JsonValue::as_number(std::string_view what) const {
+  check(kind == Kind::Number, "json: " + std::string(what) + " must be a number");
+  return number;
+}
+
+int64_t JsonValue::as_int(std::string_view what) const {
+  const double d = as_number(what);
+  check(std::nearbyint(d) == d, "json: " + std::string(what) + " must be an integer");
+  return static_cast<int64_t>(d);
+}
+
+bool JsonValue::as_bool(std::string_view what) const {
+  check(kind == Kind::Bool, "json: " + std::string(what) + " must be a boolean");
+  return boolean;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view text, std::string_view origin)
+      : text_(text), origin_(origin) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    check(pos_ == text_.size(), where() + ": trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error(where() + ": " + what);
+  }
+
+  std::string where() const {
+    int line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return std::string(origin_) + ":" + std::to_string(line) + ":" +
+           std::to_string(col);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view kw) {
+    if (text_.substr(pos_).substr(0, kw.size()) != kw) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_keyword("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_keyword("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (consume_keyword("null")) return v;
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      expect(':');
+      v.entries.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair handling; our documents are ASCII).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* endp = nullptr;
+    const double d = std::strtod(token.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') fail("malformed number " + token);
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::string_view origin_;
+  size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue parse_json(std::string_view text, std::string_view origin) {
+  return Parser(text, origin).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        else
+          out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prefix(std::string_view key) {
+  if (!stack_.empty()) {
+    if (has_items_.back()) out_ += ",";
+    has_items_.back() = true;
+    out_ += "\n";
+    out_.append(stack_.size() * 2, ' ');
+  }
+  if (!key.empty()) {
+    check(stack_.empty() || stack_.back() == '{',
+          "json: keyed field outside an object");
+    out_ += '"';
+    out_ += json_escape(key);
+    out_ += "\": ";
+  } else if (!stack_.empty()) {
+    check(stack_.back() == '[', "json: keyless element outside an array");
+  }
+}
+
+void JsonWriter::open(char bracket, std::string_view key) {
+  prefix(key);
+  out_ += bracket;
+  stack_.push_back(bracket == '{' ? '{' : '[');
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end() {
+  check(!stack_.empty(), "json: end() with no open scope");
+  const char open_bracket = stack_.back();
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    out_ += "\n";
+    out_.append(stack_.size() * 2, ' ');
+  }
+  out_ += open_bracket == '{' ? '}' : ']';
+}
+
+void JsonWriter::raw(std::string_view key, std::string_view rendered) {
+  prefix(key);
+  out_ += rendered;
+}
+
+void JsonWriter::field(std::string_view key, std::string_view value) {
+  std::string rendered;
+  rendered += '"';
+  rendered += json_escape(value);
+  rendered += '"';
+  raw(key, rendered);
+}
+
+void JsonWriter::field(std::string_view key, double value) {
+  raw(key, strf("%.8g", value));
+}
+
+void JsonWriter::field(std::string_view key, uint64_t value) {
+  raw(key, std::to_string(value));
+}
+
+void JsonWriter::field(std::string_view key, int64_t value) {
+  raw(key, std::to_string(value));
+}
+
+void JsonWriter::field(std::string_view key, bool value) {
+  raw(key, value ? "true" : "false");
+}
+
+void JsonWriter::element(std::string_view value) { field({}, value); }
+void JsonWriter::element(double value) { field({}, value); }
+void JsonWriter::element(uint64_t value) { field({}, value); }
+
+std::string JsonWriter::str() const {
+  check(stack_.empty(), "json: str() with unclosed scopes");
+  return out_ + "\n";
+}
+
+} // namespace ksim::support

@@ -1,0 +1,115 @@
+// Minimal JSON support shared by every machine-readable surface of the
+// toolchain: a recursive-descent parser (sweep manifests, tooling that reads
+// our own reports back) and an insertion-ordered writer (the versioned report
+// schema, DESIGN.md §7).
+//
+// The writer is deliberately order-preserving: all ksim JSON outputs promise
+// *stable key ordering* — keys appear in the documented schema order on every
+// run, so reports diff cleanly and downstream parsers may stream.  Numbers
+// are emitted with %.8g (doubles) or exactly (integers); strings are escaped
+// per RFC 8259 (the subset we generate: `"`, `\`, control characters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksim::support {
+
+/// Version of every ksim.* JSON document schema ("schema_version" header
+/// key; DESIGN.md §7).  All document kinds version together — bump on any
+/// incompatible change to any of them.
+inline constexpr int kJsonSchemaVersion = 1;
+
+/// A parsed JSON value.  Objects preserve the order keys appeared in the
+/// input (`entries`), with an index for by-name lookup.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> entries; ///< object, in order
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_number() const { return kind == Kind::Number; }
+
+  /// Object member by key, or nullptr (also when this is not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors that throw ksim::Error when the shape is wrong — used
+  /// by the manifest reader so malformed input produces a clear diagnostic.
+  const JsonValue& at(std::string_view key) const;
+  const std::string& as_string(std::string_view what) const;
+  double as_number(std::string_view what) const;
+  int64_t as_int(std::string_view what) const;
+  bool as_bool(std::string_view what) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws ksim::Error with line/column context on malformed input.
+JsonValue parse_json(std::string_view text, std::string_view origin = "<json>");
+
+/// Escapes a string for inclusion in a JSON document (without the quotes).
+std::string json_escape(std::string_view s);
+
+/// Insertion-ordered JSON document builder.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("schema_version", 1);
+///   w.begin_array("points"); ... w.end();
+///   w.end();
+///   std::string doc = w.str();
+/// The writer indents two spaces per level and never reorders keys, so the
+/// emitted document is byte-stable for identical field sequences.
+class JsonWriter {
+public:
+  void begin_object() { open('{'); }
+  void begin_object(std::string_view key) { open('{', key); }
+  void begin_array(std::string_view key) { open('[', key); }
+  void begin_array() { open('['); }
+  void end();
+
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value) {
+    field(key, std::string_view(value));
+  }
+  void field(std::string_view key, double value);
+  void field(std::string_view key, uint64_t value);
+  void field(std::string_view key, int64_t value);
+  void field(std::string_view key, int value) {
+    field(key, static_cast<int64_t>(value));
+  }
+  void field(std::string_view key, unsigned value) {
+    field(key, static_cast<uint64_t>(value));
+  }
+  void field(std::string_view key, bool value);
+
+  /// Array element (no key).
+  void element(std::string_view value);
+  void element(double value);
+  void element(uint64_t value);
+
+  /// The finished document (all scopes must be closed), ending in '\n'.
+  std::string str() const;
+
+private:
+  void open(char bracket, std::string_view key = {});
+  void prefix(std::string_view key);
+  void raw(std::string_view key, std::string_view rendered);
+
+  std::string out_;
+  std::vector<char> stack_;      ///< open scopes: '{' or '['
+  std::vector<bool> has_items_;  ///< parallel: did the scope emit anything yet
+};
+
+} // namespace ksim::support

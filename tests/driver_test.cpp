@@ -20,8 +20,9 @@ struct CmdResult {
   std::string output; // stdout + stderr
 };
 
-CmdResult run_cmd(const std::string& args) {
-  const std::string cmd = std::string(KSIM_BIN) + " " + args + " 2>&1";
+CmdResult run_cmd(const std::string& args, const std::string& env_prefix = "") {
+  const std::string cmd =
+      env_prefix + std::string(KSIM_BIN) + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   CmdResult result;
@@ -275,6 +276,83 @@ int main() {
   ASSERT_FALSE(draw2.empty());
   EXPECT_EQ(line_with(a2.output, "draw"), draw1); // same seed, same stream
   EXPECT_NE(draw2, draw1);                        // different seed, different
+}
+
+TEST(Driver, RunEmitsVersionedJsonReport) {
+  const std::string json_path = std::string(::testing::TempDir()) + "run.json";
+  const CmdResult r =
+      run_cmd("run --workload dct --model ilp --json " + json_path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(json_path);
+  const std::string doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  // Header keys first, then the documented report fields.
+  EXPECT_LT(doc.find("\"schema\": \"ksim.run\""), doc.find("\"schema_version\""))
+      << doc;
+  EXPECT_NE(doc.find("\"target\": \"dct@RISC\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"model\": \"ilp\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"stop_reason\": \"exited\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"cycles\""), std::string::npos) << doc;
+
+  // "-" streams the same document to stdout.
+  const CmdResult piped = run_cmd("run --workload dct --model ilp --json -");
+  EXPECT_EQ(piped.exit_code, 0);
+  EXPECT_NE(piped.output.find("\"schema\": \"ksim.run\""), std::string::npos)
+      << piped.output;
+}
+
+TEST(Driver, DeprecatedEnvKnobWarnsOnce) {
+  const CmdResult r = run_cmd("run --workload dct", "KSIM_NO_DECODE_CACHE=1 ");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find("warning: KSIM_NO_DECODE_CACHE is deprecated; "
+                    "use --no-decode-cache instead"),
+      std::string::npos)
+      << r.output;
+  // The knob must still take effect: no decode cache, no cache lookups.
+  const CmdResult clean = run_cmd("run --workload dct");
+  EXPECT_EQ(clean.output.find("warning: KSIM_NO_DECODE_CACHE"),
+            std::string::npos)
+      << clean.output;
+}
+
+TEST(Driver, SweepFromFlags) {
+  const CmdResult r = run_cmd(
+      "sweep --workloads dct --isas RISC,VLIW2 --models ilp --threads 2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Per-point progress lines, the summary, and the Figure-4-style table.
+  EXPECT_NE(r.output.find("[sweep] (1/2)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[sweep] (2/2)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("2 points"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("dct"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("VLIW2"), std::string::npos) << r.output;
+}
+
+TEST(Driver, SweepFromManifestWithJsonReport) {
+  const std::string manifest = write_temp("sweep.json", R"({
+    "workloads": ["dct"],
+    "isas": ["RISC"],
+    "models": ["ilp", "doe"],
+    "threads": 2
+  })");
+  const std::string out_path = std::string(::testing::TempDir()) + "sweep_out.json";
+  const CmdResult r =
+      run_cmd("sweep --manifest " + manifest + " --json " + out_path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(out_path);
+  const std::string doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_LT(doc.find("\"schema\": \"ksim.sweep\""),
+            doc.find("\"schema_version\""))
+      << doc;
+  EXPECT_NE(doc.find("\"model\": \"doe\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"ok\": true"), std::string::npos) << doc;
+}
+
+TEST(Driver, SweepRejectsBadGrid) {
+  const CmdResult r = run_cmd("sweep --workloads dct --models rtl");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("rtl"), std::string::npos) << r.output;
 }
 
 TEST(Driver, CheckpointOptionValidation) {

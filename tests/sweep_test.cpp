@@ -1,0 +1,190 @@
+// Tests for the parallel sweep engine (src/api/sweep.*): spec validation,
+// manifest parsing, deterministic expansion order, and the headline
+// guarantee — per-point results are bit-identical to serial runs at any
+// thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/report.h"
+#include "api/session.h"
+#include "api/sweep.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace ksim {
+namespace {
+
+api::SweepSpec small_spec() {
+  api::SweepSpec spec;
+  spec.workloads = {"cjpeg", "dct"};
+  spec.isas = {"RISC", "VLIW2", "VLIW4"};
+  spec.models = {"ilp", "aie", "doe"};
+  return spec;
+}
+
+TEST(SweepSpec, ValidateAcceptsAndRejects) {
+  api::SweepSpec spec = small_spec();
+  EXPECT_NO_THROW(spec.validate());
+
+  api::SweepSpec bad = spec;
+  bad.workloads.clear();
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = spec;
+  bad.workloads.push_back("no-such-workload");
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = spec;
+  bad.isas = {"VLIW3"};
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = spec;
+  bad.models = {"rtl"}; // trace replay is per-run, not sweepable
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = spec;
+  bad.threads = 0;
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = spec;
+  bad.base.ckpt_every = 100;
+  bad.base.ckpt_dir = "/tmp/x";
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(SweepSpec, FromManifest) {
+  const api::SweepSpec spec = api::SweepSpec::from_manifest(R"({
+    "workloads": ["dct", "aes"],
+    "isas": ["RISC", "VLIW4"],
+    "models": ["ilp", "doe"],
+    "threads": 4,
+    "seed": 7,
+    "max_instructions": 5000
+  })", "test-manifest");
+  EXPECT_EQ(spec.workloads, (std::vector<std::string>{"dct", "aes"}));
+  EXPECT_EQ(spec.isas, (std::vector<std::string>{"RISC", "VLIW4"}));
+  EXPECT_EQ(spec.models, (std::vector<std::string>{"ilp", "doe"}));
+  EXPECT_EQ(spec.threads, 4);
+  EXPECT_EQ(spec.base.seed, 7u);
+  EXPECT_EQ(spec.base.max_instructions, 5000u);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SweepSpec, FromManifestErrors) {
+  EXPECT_THROW(api::SweepSpec::from_manifest("[]", "m"), Error);
+  EXPECT_THROW(api::SweepSpec::from_manifest("{", "m"), Error);
+  EXPECT_THROW(
+      api::SweepSpec::from_manifest(R"({"workloads": ["dct"]})", "m"), Error);
+  EXPECT_THROW(api::SweepSpec::from_manifest(
+                   R"({"workloads": "dct", "isas": ["RISC"],
+                       "models": ["ilp"]})", "m"),
+               Error);
+}
+
+TEST(Sweep, ExpandOrderIsWorkloadMajor) {
+  const std::vector<api::SweepPoint> points = expand_points(small_spec());
+  ASSERT_EQ(points.size(), 18u);
+  // Workload-major, then ISA, then model.
+  EXPECT_EQ(points[0].workload, "cjpeg");
+  EXPECT_EQ(points[0].isa, "RISC");
+  EXPECT_EQ(points[0].model, "ilp");
+  EXPECT_EQ(points[1].model, "aie");
+  EXPECT_EQ(points[2].model, "doe");
+  EXPECT_EQ(points[3].isa, "VLIW2");
+  EXPECT_EQ(points[3].model, "ilp");
+  EXPECT_EQ(points[9].workload, "dct");
+  EXPECT_EQ(points[9].isa, "RISC");
+  EXPECT_EQ(points[17].workload, "dct");
+  EXPECT_EQ(points[17].isa, "VLIW4");
+  EXPECT_EQ(points[17].model, "doe");
+}
+
+/// Renders the comparable identity of a finished point: the full versioned
+/// report (every counter, cycle count and predictor stat) — "bit-identical"
+/// means these documents match byte for byte.
+std::string point_identity(const api::SweepPoint& p) {
+  std::string id = p.workload + "@" + p.isa + "/" + p.model + ":";
+  id += p.ok ? render_report_json(p.report) : "FAIL " + p.error;
+  return id;
+}
+
+TEST(Sweep, ParallelRunsAreBitIdenticalToSerial) {
+  api::SweepSpec spec = small_spec();
+  spec.base.echo_output = false;
+
+  // Serial reference: each point run as its own standalone Session, exactly
+  // as `ksim run --workload W --isa I --model M` would.
+  std::vector<std::string> reference;
+  for (const api::SweepPoint& p : expand_points(spec)) {
+    api::RunConfig cfg = spec.base;
+    cfg.workload = p.workload;
+    cfg.isa = p.isa;
+    cfg.model = p.model;
+    api::Session session(cfg);
+    const sim::StopReason reason = session.run();
+    api::SweepPoint done = p;
+    done.ok = true;
+    done.report = session.report(reason);
+    reference.push_back(point_identity(done));
+    ASSERT_EQ(reason, sim::StopReason::Exited) << point_identity(done);
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    spec.threads = threads;
+    size_t progress_calls = 0;
+    const api::SweepResult result = api::run_sweep(
+        spec, [&](const api::SweepPoint&, size_t, size_t) { ++progress_calls; });
+    ASSERT_EQ(result.points.size(), reference.size()) << threads << " threads";
+    EXPECT_EQ(result.failed, 0u) << threads << " threads";
+    EXPECT_EQ(progress_calls, reference.size()) << threads << " threads";
+    for (size_t i = 0; i < reference.size(); ++i)
+      EXPECT_EQ(point_identity(result.points[i]), reference[i])
+          << threads << " threads, point " << i;
+  }
+}
+
+TEST(Sweep, JsonReportIsVersionedAndInSpecOrder) {
+  api::SweepSpec spec;
+  spec.workloads = {"dct"};
+  spec.isas = {"RISC", "VLIW2"};
+  spec.models = {"ilp"};
+  spec.base.echo_output = false;
+  const api::SweepResult result = api::run_sweep(spec);
+
+  const std::string doc = api::render_sweep_json(spec, result);
+  const support::JsonValue v = support::parse_json(doc);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.entries[0].first, "schema");
+  EXPECT_EQ(v.entries[0].second.as_string("schema"), "ksim.sweep");
+  EXPECT_EQ(v.entries[1].first, "schema_version");
+  EXPECT_EQ(v.entries[1].second.as_int("v"), api::kSchemaVersion);
+  const support::JsonValue& points = v.at("points");
+  ASSERT_EQ(points.array.size(), 2u);
+  EXPECT_EQ(points.array[0].at("isa").as_string("isa"), "RISC");
+  EXPECT_EQ(points.array[1].at("isa").as_string("isa"), "VLIW2");
+  EXPECT_TRUE(points.array[0].at("ok").as_bool("ok"));
+  EXPECT_GT(points.array[0].at("cycles").as_int("cycles"), 0);
+
+  const std::string table = api::render_sweep_table(spec, result);
+  EXPECT_NE(table.find("dct"), std::string::npos) << table;
+  EXPECT_NE(table.find("RISC"), std::string::npos) << table;
+}
+
+TEST(Sweep, FailedPointIsRecordedNotFatal) {
+  api::SweepSpec spec;
+  spec.workloads = {"dct"};
+  spec.isas = {"RISC"};
+  spec.models = {"ilp"};
+  spec.base.echo_output = false;
+  spec.base.max_instructions = 10; // stops long before exit
+  const api::SweepResult result = api::run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  // An instruction-limit stop is not an error: the point reports its reason.
+  EXPECT_TRUE(result.points[0].ok);
+  EXPECT_EQ(result.points[0].report.stop_reason, "instruction limit");
+}
+
+} // namespace
+} // namespace ksim
