@@ -21,6 +21,25 @@ KSIM_NO_SUPERBLOCKS=1 ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "=== lint built-in workloads (all ISA configurations) ==="
 ./build/src/driver/ksim lint --workload all --isa all
 
+echo "=== lint fixture binaries vs golden JSON reports ==="
+# Every fixture is linted in --format json and byte-diffed against its
+# checked-in golden: any drift in the finding set, the schema, or the key
+# order fails CI.  tests/goldens/regen.sh refreshes the files after an
+# intentional change.  Exit 1 (findings) is expected for the known-positive
+# fixtures; exit 2 (usage/input error) is always a failure.
+while read -r name isa; do
+  rc=0
+  ./build/src/driver/ksim lint "tests/fixtures/$name.s" --isa "$isa" \
+    --format json > "build/lint_$name.json" || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "lint golden: $name@$isa: ksim lint failed (exit $rc)"; exit 1
+  fi
+  diff -u "tests/goldens/$name@$isa.json" "build/lint_$name.json" || {
+    echo "lint golden: $name@$isa drifted (regen: tests/goldens/regen.sh)"
+    exit 1
+  }
+done < tests/goldens/manifest.txt
+
 echo "=== build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DKSIM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS"
@@ -43,7 +62,7 @@ echo "=== sweep smoke (CLI, parallel, machine-readable report) ==="
 grep -q '"schema": "ksim.sweep"' build/sweep_smoke.json
 grep -q '"ok": true' build/sweep_smoke.json
 
-echo "=== clang-tidy ==="
+echo "=== clang-tidy (gating: WarningsAsErrors '*') ==="
 cmake --build build --target lint-cxx
 
 echo "=== checkpoint equivalence gate (interrupt + resume == straight run) ==="

@@ -1,0 +1,338 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "isa/reg_use.h"
+
+namespace ksim::analysis {
+namespace {
+
+/// Jump tables larger than this are treated as unresolved: reading hundreds
+/// of speculative targets from a loosely bounded index helps nobody.
+constexpr int64_t kMaxTableSpan = 1024;
+
+bool sem_is(const isa::OpInfo& info, std::string_view name) {
+  return info.def != nullptr && info.def->semantic == name;
+}
+
+/// The register-indirect branch operation of `instr`, or nullptr.
+const StaticOp* indirect_branch_op(const StaticInstr& instr) {
+  for (int s = instr.num_ops - 1; s >= 0; --s) {
+    const StaticOp& op = instr.ops[s];
+    if (op.info->is_branch && op.info->reloc == adl::RelocKind::None)
+      return &op;
+  }
+  return nullptr;
+}
+
+/// Reads the little-endian word at `addr` from an allocatable section with
+/// initialized bytes.  Returns false for unmapped / NOBITS addresses.
+bool read_image_word(const elf::ElfFile& exe, uint32_t addr, uint32_t& word,
+                     bool& writable) {
+  for (const elf::Section& s : exe.sections) {
+    if ((s.flags & elf::SHF_ALLOC) == 0 || s.type == elf::SHT_NOBITS) continue;
+    if (addr < s.addr || addr + 4 > s.addr + s.data.size()) continue;
+    const size_t off = addr - s.addr;
+    word = static_cast<uint32_t>(s.data[off]) |
+           (static_cast<uint32_t>(s.data[off + 1]) << 8) |
+           (static_cast<uint32_t>(s.data[off + 2]) << 16) |
+           (static_cast<uint32_t>(s.data[off + 3]) << 24);
+    writable = (s.flags & elf::SHF_WRITE) != 0;
+    return true;
+  }
+  return false;
+}
+
+/// The last instruction before `instr` in its block that writes `reg` with
+/// an explicit destination, or nullptr (including: written by implicit side
+/// effects, defined in another block).
+const StaticInstr* block_local_def(const FuncAnalysis& fa,
+                                   const StaticInstr& instr, unsigned reg,
+                                   const StaticOp*& def_op) {
+  const BasicBlock* b = fa.cfg.block_at(instr.addr);
+  if (b == nullptr) return nullptr;
+  const StaticInstr* found = nullptr;
+  for (const StaticInstr* in : b->instrs) {
+    if (in->addr == instr.addr) break;
+    for (int s = 0; s < in->num_ops; ++s) {
+      const StaticOp& op = in->ops[s];
+      if (op.info->rd_is_dst && (op.rd & 31u) == reg) {
+        found = in;
+        def_op = &op;
+      } else if ((isa::op_dst_mask(*op.info, op.rd) & (1u << reg)) != 0) {
+        found = nullptr; // implicitly clobbered: pattern does not apply
+        def_op = nullptr;
+      }
+    }
+  }
+  return found;
+}
+
+} // namespace
+
+FuncAnalyses analyze_functions(const Program& program) {
+  FuncAnalyses fa;
+  for (const FuncRegion& func : program.functions) {
+    FuncAnalysis a;
+    a.cfg = build_cfg(program, func);
+    a.values = analyze_values(program, a.cfg);
+    a.values.cfg = nullptr; // repointed below: a.cfg is about to move
+    auto [it, inserted] = fa.emplace(func.addr, std::move(a));
+    if (inserted) it->second.values.cfg = &it->second.cfg;
+  }
+  return fa;
+}
+
+IndirectResolution resolve_indirect(const elf::ElfFile& exe,
+                                    const Program& program,
+                                    const FuncAnalysis& fa,
+                                    const StaticInstr& instr) {
+  IndirectResolution res;
+  const StaticOp* br = indirect_branch_op(instr);
+  if (br == nullptr) return res;
+  const unsigned reg = br->ra & 31u;
+
+  const ValueRange v = value_before(program, fa.values, instr, reg);
+  if (v.is_constant()) {
+    res.resolved = true;
+    res.targets.push_back(static_cast<uint32_t>(v.lo));
+    return res;
+  }
+
+  // Jump-table idiom: the target register is a word load whose effective
+  // address is a bounded range inside the static image — every word the
+  // range can address is a candidate target.
+  const StaticOp* def_op = nullptr;
+  const StaticInstr* def = block_local_def(fa, instr, reg, def_op);
+  if (def == nullptr || def_op == nullptr || !sem_is(*def_op->info, "lw"))
+    return res;
+  const ValueRange ea = effective_address(program, fa.values, *def, *def_op);
+  if (!ea.is_plain_range() || ea.hi - ea.lo > kMaxTableSpan) return res;
+
+  uint32_t first = static_cast<uint32_t>(ea.lo);
+  if (first % 4 != 0) first += 4 - first % 4; // loads are word-aligned
+  for (uint32_t a = first; a <= static_cast<uint32_t>(ea.hi); a += 4) {
+    uint32_t word = 0;
+    bool writable = false;
+    if (!read_image_word(exe, a, word, writable)) {
+      res.targets.clear();
+      return res; // part of the range is unmapped: not a static table
+    }
+    res.table_writable = res.table_writable || writable;
+    res.targets.push_back(word);
+  }
+  if (res.targets.empty()) return res;
+  res.resolved = true;
+  res.via_table = true;
+  return res;
+}
+
+int CallGraph::node_at(const Program& program, uint32_t addr) const {
+  const FuncRegion* f = program.function_at(addr);
+  if (f == nullptr) return -1;
+  return static_cast<int>(f - program.functions.data());
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over the call graph.  Emission order is reverse
+/// topological on the condensation: every SCC pops only after all SCCs it
+/// reaches — exactly the bottom-up order the summary pass wants.
+void compute_sccs(CallGraph& cg) {
+  const int n = static_cast<int>(cg.nodes.size());
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_scc = 0;
+
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+  std::vector<Frame> work;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    work.push_back({root, 0});
+    while (!work.empty()) {
+      Frame& f = work.back();
+      const size_t un = static_cast<size_t>(f.node);
+      if (f.edge == 0) {
+        index[un] = low[un] = next_index++;
+        stack.push_back(f.node);
+        on_stack[un] = true;
+      }
+      bool descended = false;
+      while (f.edge < cg.nodes[un].calls.size()) {
+        const CallEdge& e = cg.edges[static_cast<size_t>(
+            cg.nodes[un].calls[f.edge])];
+        ++f.edge;
+        if (e.callee < 0) continue;
+        const size_t uc = static_cast<size_t>(e.callee);
+        if (index[uc] == -1) {
+          work.push_back({e.callee, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[uc]) low[un] = std::min(low[un], index[uc]);
+      }
+      if (descended) continue;
+      if (low[un] == index[un]) {
+        std::vector<int> members;
+        int m = -1;
+        do {
+          m = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(m)] = false;
+          cg.nodes[static_cast<size_t>(m)].scc = next_scc;
+          members.push_back(m);
+        } while (m != f.node);
+        ++next_scc;
+        // Members of one cycle stay adjacent in the bottom-up order.
+        for (auto it = members.rbegin(); it != members.rend(); ++it)
+          cg.bottom_up.push_back(*it);
+        if (members.size() > 1)
+          for (int mem : members)
+            cg.nodes[static_cast<size_t>(mem)].recursive = true;
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        const size_t up = static_cast<size_t>(work.back().node);
+        low[up] = std::min(low[up], low[un]);
+      }
+    }
+  }
+}
+
+void mark_address_taken(const elf::ElfFile& exe, const Program& program,
+                        const FuncAnalyses& fa, CallGraph& cg) {
+  auto mark = [&](uint32_t addr) {
+    const int node = cg.node_at(program, addr);
+    if (node >= 0 && cg.nodes[static_cast<size_t>(node)].func->addr == addr)
+      cg.nodes[static_cast<size_t>(node)].address_taken = true;
+  };
+  // Function entry addresses stored as words in allocatable data.
+  for (const elf::Section& s : exe.sections) {
+    if ((s.flags & elf::SHF_ALLOC) == 0 || s.type == elf::SHT_NOBITS) continue;
+    if ((s.flags & elf::SHF_EXECINSTR) != 0) continue;
+    for (size_t off = 0; off + 4 <= s.data.size(); off += 4) {
+      const uint32_t w = static_cast<uint32_t>(s.data[off]) |
+                         (static_cast<uint32_t>(s.data[off + 1]) << 8) |
+                         (static_cast<uint32_t>(s.data[off + 2]) << 16) |
+                         (static_cast<uint32_t>(s.data[off + 3]) << 24);
+      mark(w);
+    }
+  }
+  // Function entry addresses held in a register or tracked stack slot at any
+  // block boundary (an LA-materialized pointer that escapes its block).
+  for (const auto& [addr, a] : fa) {
+    (void)addr;
+    for (const AbsState& st : a.values.block_in) {
+      if (!st.reachable) continue;
+      for (const ValueRange& v : st.regs)
+        if (v.is_constant() && v.lo >= program.text_addr && v.lo < program.text_end)
+          mark(static_cast<uint32_t>(v.lo));
+      for (const auto& [off, v] : st.slots) {
+        (void)off;
+        if (v.is_constant() && v.lo >= program.text_addr && v.lo < program.text_end)
+          mark(static_cast<uint32_t>(v.lo));
+      }
+    }
+  }
+}
+
+} // namespace
+
+CallGraph build_callgraph(const elf::ElfFile& exe, const Program& program,
+                          const FuncAnalyses& fa) {
+  CallGraph cg;
+  cg.nodes.resize(program.functions.size());
+  for (size_t i = 0; i < program.functions.size(); ++i)
+    cg.nodes[i].func = &program.functions[i];
+  cg.entry = cg.node_at(program, program.entry);
+
+  auto add_edge = [&](int caller, uint32_t site, uint32_t target,
+                      CallKind kind, bool tail) {
+    CallEdge e;
+    e.site = site;
+    e.caller = caller;
+    e.callee = cg.node_at(program, target);
+    e.target = target;
+    e.kind = kind;
+    e.tail = tail;
+    const int id = static_cast<int>(cg.edges.size());
+    cg.edges.push_back(e);
+    cg.nodes[static_cast<size_t>(caller)].calls.push_back(id);
+    if (e.callee >= 0)
+      cg.nodes[static_cast<size_t>(e.callee)].callers.push_back(id);
+  };
+
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    const FuncRegion& func = program.functions[i];
+    const auto it = fa.find(func.addr);
+    if (it == fa.end()) continue;
+    const FuncAnalysis& a = it->second;
+    const int caller = static_cast<int>(i);
+
+    for (const BasicBlock& b : a.cfg.blocks) {
+      for (const StaticInstr* instr : b.instrs) {
+        if (instr->is_ret) continue;
+        const bool is_jump = !instr->is_call && instr->has_indirect_target;
+        if (instr->is_call && instr->has_target) {
+          add_edge(caller, instr->addr, instr->target, CallKind::Direct,
+                   /*tail=*/false);
+        } else if (instr->has_target && !instr->is_call &&
+                   !func.contains(instr->target)) {
+          // Direct branch leaving the function region: a tail transfer.
+          add_edge(caller, instr->addr, instr->target, CallKind::Direct,
+                   /*tail=*/true);
+        } else if ((instr->is_call && instr->has_indirect_target) || is_jump) {
+          const IndirectResolution r =
+              resolve_indirect(exe, program, a, *instr);
+          if (!r.resolved) {
+            cg.nodes[static_cast<size_t>(caller)].has_unresolved_call = true;
+            cg.unresolved_sites.push_back(instr->addr);
+            continue;
+          }
+          for (uint32_t t : r.targets) {
+            if (is_jump && func.contains(t))
+              continue; // computed intra-function goto, not a call
+            add_edge(caller, instr->addr, t,
+                     r.via_table ? CallKind::Table : CallKind::Indirect,
+                     /*tail=*/is_jump);
+          }
+        }
+      }
+    }
+  }
+
+  // Reachability from the entry function along resolved edges.
+  if (cg.entry >= 0) {
+    std::vector<int> work{cg.entry};
+    cg.nodes[static_cast<size_t>(cg.entry)].reachable = true;
+    while (!work.empty()) {
+      const int n = work.back();
+      work.pop_back();
+      for (int eid : cg.nodes[static_cast<size_t>(n)].calls) {
+        const CallEdge& e = cg.edges[static_cast<size_t>(eid)];
+        if (e.callee < 0) continue;
+        CgNode& callee = cg.nodes[static_cast<size_t>(e.callee)];
+        if (callee.reachable) continue;
+        callee.reachable = true;
+        work.push_back(e.callee);
+      }
+    }
+  }
+
+  compute_sccs(cg);
+  for (const CallEdge& e : cg.edges) // direct self-recursion: a 1-node cycle
+    if (e.callee >= 0 && e.callee == e.caller)
+      cg.nodes[static_cast<size_t>(e.caller)].recursive = true;
+  mark_address_taken(exe, program, fa, cg);
+  return cg;
+}
+
+} // namespace ksim::analysis

@@ -1,0 +1,101 @@
+// Whole-program call graph over the statically decoded mixed-ISA image.
+// Direct call/jump edges come straight from the decoder; register-indirect
+// transfers (JR/JALR) are resolved with the value-range results — a constant
+// target register yields a single edge, and the jump-table idiom (a bounded
+// LW from a static table followed by the indirect jump) yields one edge per
+// table entry.  The graph carries the SCC condensation (recursion cycles)
+// and a bottom-up traversal order for the interprocedural summary pass
+// (summaries.h) and the stack-depth / dead-function checkers (checks.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/value_range.h"
+#include "elf/elf.h"
+
+namespace ksim::analysis {
+
+/// Per-function CFG plus its value-range fixed point, the unit every
+/// whole-program pass consumes.  Keyed by function address.
+struct FuncAnalysis {
+  Cfg cfg;
+  ValueAnalysis values;
+};
+using FuncAnalyses = std::map<uint32_t, FuncAnalysis>;
+
+/// Builds the CFG and runs the value-range analysis for every decoded
+/// function region of `program` (empty regions get an empty CFG).
+FuncAnalyses analyze_functions(const Program& program);
+
+/// How a call edge's target became known.
+enum class CallKind : uint8_t {
+  Direct,       ///< JAL / J with a static target
+  Indirect,     ///< JALR/JR through a register proven constant
+  Table,        ///< JALR/JR through a bounded jump-table load
+};
+
+struct CallEdge {
+  uint32_t site = 0;   ///< address of the transferring instruction
+  int caller = -1;     ///< node index (== index into Program::functions)
+  int callee = -1;     ///< node index
+  uint32_t target = 0; ///< resolved target address
+  CallKind kind = CallKind::Direct;
+  bool tail = false;   ///< a jump, not a call: no return to the site
+};
+
+struct CgNode {
+  const FuncRegion* func = nullptr;
+  std::vector<int> calls;   ///< outgoing edge indices
+  std::vector<int> callers; ///< incoming edge indices
+  /// Reachable from the entry function along resolved call edges.
+  bool reachable = false;
+  int scc = -1;             ///< condensation component id
+  bool recursive = false;   ///< on a call cycle (including direct self-calls)
+  /// Contains an indirect call/jump site whose target set is unknown: the
+  /// node's outgoing edges under-approximate and dependent results degrade.
+  bool has_unresolved_call = false;
+  /// The function's entry address appears as data (jump-table word in an
+  /// allocatable section, or a constant register value somewhere in the
+  /// program), so unresolved indirect sites may reach it.
+  bool address_taken = false;
+};
+
+struct CallGraph {
+  std::vector<CgNode> nodes; ///< parallel to Program::functions
+  std::vector<CallEdge> edges;
+  int entry = -1;            ///< node containing the program entry point
+  /// Node indices with every resolved callee preceding its callers
+  /// (reverse-topological over the SCC condensation; members of one cycle
+  /// are adjacent).  The summary pass iterates this order.
+  std::vector<int> bottom_up;
+  std::vector<uint32_t> unresolved_sites; ///< indirect sites left target-less
+
+  /// Node index of the function containing `addr`; -1 if none.
+  int node_at(const Program& program, uint32_t addr) const;
+};
+
+CallGraph build_callgraph(const elf::ElfFile& exe, const Program& program,
+                          const FuncAnalyses& fa);
+
+/// Result of resolving one register-indirect transfer.
+struct IndirectResolution {
+  bool resolved = false;  ///< targets is the *complete* target set
+  bool via_table = false; ///< targets read from an in-image jump table
+  /// The table bytes live in a writable section, so the resolved set is
+  /// only valid while the program does not rewrite the table.
+  bool table_writable = false;
+  std::vector<uint32_t> targets;
+};
+
+/// Resolves the JR/JALR ending `instr` using `fa`'s value-range results;
+/// reads jump-table words from `exe`'s sections when the target register is
+/// a bounded load from a static table.  Shared by the call-graph builder and
+/// the translatability classifier (translatability.h).
+IndirectResolution resolve_indirect(const elf::ElfFile& exe,
+                                    const Program& program,
+                                    const FuncAnalysis& fa,
+                                    const StaticInstr& instr);
+
+} // namespace ksim::analysis

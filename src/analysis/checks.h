@@ -18,6 +18,7 @@
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
 #include "analysis/program.h"
+#include "analysis/summaries.h"
 
 namespace ksim::analysis {
 
@@ -42,5 +43,39 @@ void check_reachability(const Program& program, const Cfg& cfg,
                         std::vector<Finding>& out);
 void check_definite_assignment(const Program& program, const Cfg& cfg,
                                std::vector<Finding>& out);
+
+/// Everything the whole-program checkers need, bundled (checks_global.cpp).
+struct WholeProgram {
+  const elf::ElfFile* exe = nullptr;
+  const Program* program = nullptr;
+  const FuncAnalyses* fa = nullptr;
+  const CallGraph* cg = nullptr;
+  const FuncSummaries* summaries = nullptr;
+  uint32_t ram_size = 0;     ///< simulated address-space size in bytes
+  uint32_t stack_budget = 0; ///< bytes between the stack top and the heap end
+};
+
+/// Loads/stores whose value-range-bounded effective address may leave the
+/// simulated RAM ("oob-access": Error when certain, Warning when possible)
+/// or may store into the text section ("self-modifying-store": Warning).
+void check_memory_bounds(const WholeProgram& wp, std::vector<Finding>& out);
+
+/// Statically bounded worst-case stack depth from the program entry against
+/// the stack budget ("stack-overflow": Error).  Recursion and unresolved
+/// call sites make the bound unknowable ("stack-depth-unknown": Note).
+void check_stack_depth(const WholeProgram& wp, std::vector<Finding>& out);
+
+/// Functions unreachable from the entry along resolved call edges
+/// ("dead-function": Note).  Address-taken functions are exempt while any
+/// indirect site stays unresolved.
+void check_dead_functions(const WholeProgram& wp, std::vector<Finding>& out);
+
+/// Call cycles in the call graph ("recursion-cycle": Note, one per cycle).
+void check_recursion_cycles(const WholeProgram& wp, std::vector<Finding>& out);
+
+/// Cross-call ISA-transition validation on the *return* side: the ISA
+/// active at a callee's return sites must include the ISA the decoder
+/// assumed for the code after each call ("isa-return": Error).
+void check_isa_returns(const WholeProgram& wp, std::vector<Finding>& out);
 
 } // namespace ksim::analysis

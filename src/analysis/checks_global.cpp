@@ -1,0 +1,229 @@
+// Whole-program checkers: consume the call graph, the value-range results
+// and the interprocedural summaries (built by run_lint) and report findings
+// no per-function pass can see.
+#include <algorithm>
+#include <string_view>
+
+#include "analysis/checks.h"
+#include "support/strings.h"
+
+namespace ksim::analysis {
+namespace {
+
+std::string func_name(const Program& program, uint32_t addr) {
+  const FuncRegion* f = program.function_at(addr);
+  return f == nullptr ? std::string() : f->name;
+}
+
+void add(std::vector<Finding>& out, Severity severity, std::string check,
+         uint32_t addr, const Program& program, std::string message) {
+  Finding f;
+  f.severity = severity;
+  f.check = std::move(check);
+  f.addr = addr;
+  f.function = func_name(program, addr);
+  f.message = std::move(message);
+  out.push_back(std::move(f));
+}
+
+bool sem_is(const isa::OpInfo& info, std::string_view name) {
+  return info.def != nullptr && info.def->semantic == name;
+}
+
+unsigned access_bytes(const isa::OpInfo& info) {
+  if (sem_is(info, "lw") || sem_is(info, "sw")) return 4;
+  if (sem_is(info, "lh") || sem_is(info, "lhu") || sem_is(info, "sh")) return 2;
+  return 1;
+}
+
+/// Findings on never-statically-reached functions are informational: the
+/// decode of those regions is a guess (same convention as check_decode_issues).
+Severity cap_speculative(const FuncRegion& func, Severity severity) {
+  if (func.speculative && severity == Severity::Error) return Severity::Note;
+  if (func.speculative && severity == Severity::Warning) return Severity::Note;
+  return severity;
+}
+
+} // namespace
+
+void check_memory_bounds(const WholeProgram& wp, std::vector<Finding>& out) {
+  const Program& program = *wp.program;
+  for (const FuncRegion& func : program.functions) {
+    const auto it = wp.fa->find(func.addr);
+    if (it == wp.fa->end()) continue;
+    const FuncAnalysis& a = it->second;
+    for (const BasicBlock& b : a.cfg.blocks) {
+      if (!a.values.block_in[static_cast<size_t>(b.id)].reachable) continue;
+      for (const StaticInstr* instr : b.instrs) {
+        for (int s = 0; s < instr->num_ops; ++s) {
+          const StaticOp& op = instr->ops[s];
+          const isa::OpInfo& info = *op.info;
+          if (!info.is_load() && !info.is_store()) continue;
+          const ValueRange ea = effective_address(program, a.values, *instr, op);
+          if (!ea.is_plain_range()) continue; // unbounded: nothing provable
+          const unsigned bytes = access_bytes(info);
+          const char* what = info.is_store() ? "store" : "load";
+          if (ea.lo >= wp.ram_size || ea.hi < 0) {
+            add(out, cap_speculative(func, Severity::Error), "oob-access",
+                instr->addr, program,
+                strf("%s at %s is outside the %u-byte address space", what,
+                     ea.str().c_str(), wp.ram_size));
+          } else if (ea.lo < 0 ||
+                     ea.hi + static_cast<int64_t>(bytes) > wp.ram_size) {
+            add(out, cap_speculative(func, Severity::Warning), "oob-access",
+                instr->addr, program,
+                strf("%s at %s may leave the %u-byte address space", what,
+                     ea.str().c_str(), wp.ram_size));
+          }
+          if (info.is_store() &&
+              ea.hi + static_cast<int64_t>(bytes) > program.text_addr &&
+              ea.lo < program.text_end) {
+            add(out, cap_speculative(func, Severity::Warning),
+                "self-modifying-store", instr->addr, program,
+                strf("store at %s may overwrite the text section "
+                     "[%s, %s)",
+                     ea.str().c_str(), hex32(program.text_addr).c_str(),
+                     hex32(program.text_end).c_str()));
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_stack_depth(const WholeProgram& wp, std::vector<Finding>& out) {
+  const Program& program = *wp.program;
+  const CallGraph& cg = *wp.cg;
+  if (cg.entry < 0) return;
+  const CgNode& entry = cg.nodes[static_cast<size_t>(cg.entry)];
+
+  // The entry function installs the stack pointer itself, so its "frame" is
+  // the budgeted region; the chain of interest starts at its callees.
+  bool known = !entry.recursive && !entry.has_unresolved_call;
+  int64_t deepest = 0;
+  for (int eid : entry.calls) {
+    const CallEdge& e = cg.edges[static_cast<size_t>(eid)];
+    if (e.callee < 0) {
+      known = false;
+      continue;
+    }
+    const CgNode& callee = cg.nodes[static_cast<size_t>(e.callee)];
+    if (callee.scc == entry.scc) {
+      known = false;
+      continue;
+    }
+    const auto it = wp.summaries->find(callee.func->addr);
+    if (it == wp.summaries->end() || !it->second.depth_known) {
+      known = false;
+      continue;
+    }
+    deepest = std::max(deepest, it->second.max_depth);
+  }
+
+  if (known) {
+    if (deepest > wp.stack_budget) {
+      add(out, Severity::Error, "stack-overflow", program.entry, program,
+          strf("worst-case stack depth %lld bytes exceeds the %u-byte "
+               "stack region",
+               static_cast<long long>(deepest), wp.stack_budget));
+    }
+    return;
+  }
+  // Name one reason the bound is open, preferring recursion (the common and
+  // most actionable cause).
+  for (const CgNode& node : cg.nodes) {
+    if (node.recursive && node.reachable) {
+      add(out, Severity::Note, "stack-depth-unknown", node.func->addr, program,
+          strf("stack depth not statically bounded: '%s' is recursive",
+               node.func->name.c_str()));
+      return;
+    }
+  }
+  if (!cg.unresolved_sites.empty()) {
+    add(out, Severity::Note, "stack-depth-unknown", cg.unresolved_sites[0],
+        program,
+        "stack depth not statically bounded: unresolved indirect call");
+  }
+}
+
+void check_dead_functions(const WholeProgram& wp, std::vector<Finding>& out) {
+  const Program& program = *wp.program;
+  const CallGraph& cg = *wp.cg;
+  if (cg.entry < 0) return;
+  const bool have_unresolved = !cg.unresolved_sites.empty();
+  for (const CgNode& node : cg.nodes) {
+    if (node.reachable) continue;
+    // While any indirect site is unresolved, an address-taken function may
+    // still be called through it.
+    if (have_unresolved && node.address_taken) continue;
+    add(out, Severity::Note, "dead-function", node.func->addr, program,
+        strf("'%s' is never called from the entry point",
+             node.func->name.c_str()));
+  }
+}
+
+void check_recursion_cycles(const WholeProgram& wp, std::vector<Finding>& out) {
+  const Program& program = *wp.program;
+  const CallGraph& cg = *wp.cg;
+  // One finding per cycle, anchored at its lowest-address member.
+  std::map<int, std::vector<const CgNode*>> cycles;
+  for (const CgNode& node : cg.nodes)
+    if (node.recursive) cycles[node.scc].push_back(&node);
+  for (auto& [scc, members] : cycles) {
+    (void)scc;
+    std::sort(members.begin(), members.end(),
+              [](const CgNode* a, const CgNode* b) {
+                return a->func->addr < b->func->addr;
+              });
+    std::string names;
+    for (const CgNode* m : members) {
+      if (!names.empty()) names += " -> ";
+      names += m->func->name;
+    }
+    if (members.size() > 1) names += " -> " + members.front()->func->name;
+    add(out, Severity::Note, "recursion-cycle", members.front()->func->addr,
+        program,
+        members.size() == 1 ? strf("'%s' calls itself", names.c_str())
+                            : strf("call cycle: %s", names.c_str()));
+  }
+}
+
+void check_isa_returns(const WholeProgram& wp, std::vector<Finding>& out) {
+  const Program& program = *wp.program;
+  const CallGraph& cg = *wp.cg;
+  for (const CallEdge& e : cg.edges) {
+    if (e.tail || e.callee < 0) continue;
+    const auto sit = wp.summaries->find(
+        cg.nodes[static_cast<size_t>(e.callee)].func->addr);
+    if (sit == wp.summaries->end()) continue;
+    const FuncSummary& callee = sit->second;
+    if (!callee.returns || callee.exit_isa_mask == 0) continue;
+    const StaticInstr* call = program.instr_at(e.site);
+    if (call == nullptr) continue;
+    // The decoder assumed this ISA for the code after the call; if no return
+    // path of the callee can be in it, the continuation will mis-decode.
+    const uint32_t expected = 1u << static_cast<unsigned>(call->isa_after);
+    if ((callee.exit_isa_mask & expected) != 0) continue;
+    const FuncRegion* caller_func = program.function_at(e.site);
+    const Severity sev =
+        caller_func != nullptr && caller_func->speculative ? Severity::Note
+                                                           : Severity::Error;
+    const isa::IsaInfo* want = program.set->find_isa(call->isa_after);
+    std::string exit_names;
+    for (int id = 0; id <= program.set->max_isa_id(); ++id) {
+      if ((callee.exit_isa_mask & (1u << static_cast<unsigned>(id))) == 0)
+        continue;
+      const isa::IsaInfo* info = program.set->find_isa(id);
+      if (!exit_names.empty()) exit_names += ", ";
+      exit_names += info != nullptr ? info->name : std::to_string(id);
+    }
+    add(out, sev, "isa-return", e.site, program,
+        strf("'%s' returns with ISA %s active but the code after the call "
+             "was decoded as %s",
+             cg.nodes[static_cast<size_t>(e.callee)].func->name.c_str(),
+             exit_names.c_str(),
+             want != nullptr ? want->name.c_str() : "?"));
+  }
+}
+
+} // namespace ksim::analysis

@@ -29,6 +29,11 @@ constexpr RegMask kCallClobberMask =
 } // namespace
 
 InstrUseDef instr_use_def(const StaticInstr& instr) {
+  return instr_use_def(instr, CallEffectsFn{});
+}
+
+InstrUseDef instr_use_def(const StaticInstr& instr,
+                          const CallEffectsFn& effects) {
   InstrUseDef ud;
   for (int s = 0; s < instr.num_ops; ++s) {
     const StaticOp& op = instr.ops[s];
@@ -40,10 +45,19 @@ InstrUseDef instr_use_def(const StaticInstr& instr) {
     ud.def |= isa::op_dst_mask(info, op.rd);
   }
   if (instr.is_call) {
-    // The callee returns a value in the first argument register and may
-    // destroy every caller-saved register.
-    ud.clobber = kCallClobberMask;
-    ud.def |= bit(isa::abi::kArg0);
+    const CallEffects* ce = effects ? effects(instr) : nullptr;
+    if (ce != nullptr) {
+      ud.use |= ce->use;
+      ud.def |= ce->def;
+      ud.clobber = ce->clobber & ~ud.def;
+    } else {
+      // ABI fallback: the callee may read its arguments and the stack
+      // pointer, returns a value in the first argument register and may
+      // destroy every caller-saved register.
+      ud.use |= kArgMask | bit(isa::abi::kSp);
+      ud.clobber = kCallClobberMask;
+      ud.def |= bit(isa::abi::kArg0);
+    }
   }
   ud.use &= ~kZeroMask;
   ud.explicit_use &= ~kZeroMask;
@@ -60,7 +74,16 @@ RegMask abi_exit_live() {
   return bit(isa::abi::kArg0) | bit(isa::abi::kSp) | kCalleeSavedMask;
 }
 
+RegMask abi_call_clobber() { return kCallClobberMask; }
+
+RegMask abi_arg_mask() { return kArgMask; }
+
 std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined) {
+  return compute_defined(cfg, entry_defined, CallEffectsFn{});
+}
+
+std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined,
+                                          const CallEffectsFn& effects) {
   const size_t n = cfg.blocks.size();
   std::vector<DefinedState> st(n);
   constexpr RegMask kAll = 0xFFFFFFFFu;
@@ -73,9 +96,9 @@ std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined)
   if (n == 0) return st;
   st[0].must_in = st[0].may_in = entry_defined;
 
-  auto transfer = [](const BasicBlock& b, RegMask in) {
+  auto transfer = [&effects](const BasicBlock& b, RegMask in) {
     for (const StaticInstr* instr : b.instrs) {
-      const InstrUseDef ud = instr_use_def(*instr);
+      const InstrUseDef ud = instr_use_def(*instr, effects);
       in = (in & ~ud.clobber) | ud.def;
     }
     return in;
@@ -111,18 +134,23 @@ std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined)
 }
 
 std::vector<LivenessState> compute_liveness(const Cfg& cfg, RegMask exit_live) {
+  return compute_liveness(cfg, exit_live, CallEffectsFn{});
+}
+
+std::vector<LivenessState> compute_liveness(const Cfg& cfg, RegMask exit_live,
+                                            const CallEffectsFn& effects) {
   const size_t n = cfg.blocks.size();
   std::vector<LivenessState> st(n);
   if (n == 0) return st;
 
   // Block-level use (read before any write in the block) and def sets.
+  // Call-site reads (the callee's live-in under `effects`, the argument
+  // registers + sp under the ABI fallback) are part of instr_use_def.
   std::vector<RegMask> use(n, 0), def(n, 0);
   for (size_t i = 0; i < n; ++i) {
     for (const StaticInstr* instr : cfg.blocks[i].instrs) {
-      const InstrUseDef ud = instr_use_def(*instr);
-      RegMask u = ud.use;
-      if (instr->is_call) u |= kArgMask | bit(isa::abi::kSp); // callee may read
-      use[i] |= u & ~def[i];
+      const InstrUseDef ud = instr_use_def(*instr, effects);
+      use[i] |= ud.use & ~def[i];
       def[i] |= ud.def | ud.clobber; // a clobbered value does not survive
     }
   }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analysis/cfg.h"
@@ -32,6 +33,26 @@ struct InstrUseDef {
 
 InstrUseDef instr_use_def(const StaticInstr& instr);
 
+/// Interprocedural refinement of one call site's register effect, derived
+/// from the callee's summary (summaries.h): what the callee may read before
+/// writing, what it writes on every return path, and what it may destroy
+/// beyond that.
+struct CallEffects {
+  RegMask use = 0;
+  RegMask def = 0;
+  RegMask clobber = 0;
+};
+
+/// Returns the refined effect for a call instruction, or nullptr to fall
+/// back to the ABI clobber model.  Only consulted for call sites.
+using CallEffectsFn = std::function<const CallEffects*(const StaticInstr&)>;
+
+/// Summary-aware variant: call sites with refined effects use them in place
+/// of the ABI model.  Passing an empty function reproduces the plain
+/// intraprocedural analyses.
+InstrUseDef instr_use_def(const StaticInstr& instr,
+                          const CallEffectsFn& effects);
+
 /// Registers with a well-defined value at function entry under the software
 /// ABI: zero, return address, stack pointer, the argument registers and the
 /// callee-saved range.  The scratch register and the non-argument temporaries
@@ -49,6 +70,8 @@ struct DefinedState {
 /// Forward definite-assignment analysis over `cfg`.
 /// Result is indexed by block id; unreachable blocks get the entry state.
 std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined);
+std::vector<DefinedState> compute_defined(const Cfg& cfg, RegMask entry_defined,
+                                          const CallEffectsFn& effects);
 
 /// Per-block liveness state (backwards may-analysis).
 struct LivenessState {
@@ -60,6 +83,16 @@ struct LivenessState {
 /// callee-saved range + stack pointer, under the software ABI).
 RegMask abi_exit_live();
 
+/// Registers a call destroys under the software ABI when nothing is known
+/// about the callee (link register, scratch and the caller-saved range,
+/// excluding the return-value register which the call *defines*).
+RegMask abi_call_clobber();
+
+/// The argument registers (r4..r9 under the software ABI).
+RegMask abi_arg_mask();
+
 std::vector<LivenessState> compute_liveness(const Cfg& cfg, RegMask exit_live);
+std::vector<LivenessState> compute_liveness(const Cfg& cfg, RegMask exit_live,
+                                            const CallEffectsFn& effects);
 
 } // namespace ksim::analysis

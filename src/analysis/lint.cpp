@@ -2,30 +2,16 @@
 
 #include <algorithm>
 
+#include "isa/arch_state.h"
 #include "support/json.h"
 #include "support/strings.h"
 
 namespace ksim::analysis {
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          out += strf("\\u%04x", c);
-        else
-          out += c;
-    }
-  }
-  return out;
-}
+/// Bytes reserved for the simulated stack between kStackTop and the heap
+/// end (mirrors the 1 MiB guard Simulator::load establishes).
+constexpr uint32_t kStackBudget = 1u << 20;
 
 } // namespace
 
@@ -37,15 +23,69 @@ LintResult run_lint(const elf::ElfFile& exe, const isa::IsaSet& set,
 
   check_decode_issues(program, result.findings);
   check_bundle_hazards(program, result.findings);
+
+  const FuncAnalyses fa = analyze_functions(program);
   for (const FuncRegion& func : program.functions) {
     ++result.functions;
-    const Cfg cfg = build_cfg(program, func);
+    const auto it = fa.find(func.addr);
+    if (it == fa.end()) continue;
+    const Cfg& cfg = it->second.cfg;
     check_reachability(program, cfg, result.findings);
     check_definite_assignment(program, cfg, result.findings);
     if (options.ilp) {
       FuncIlp fi = compute_static_ilp(cfg, options.memory_delay);
       if (fi.ops > 0) result.ilp.push_back(std::move(fi));
     }
+  }
+
+  // Whole-program passes: call graph, interprocedural summaries, the global
+  // checkers and the JIT-readiness classification.
+  const CallGraph cg = build_callgraph(exe, program, fa);
+  const FuncSummaries summaries = compute_summaries(program, cg, fa);
+
+  WholeProgram wp;
+  wp.exe = &exe;
+  wp.program = &program;
+  wp.fa = &fa;
+  wp.cg = &cg;
+  wp.summaries = &summaries;
+  wp.ram_size = isa::kDefaultRamSize;
+  wp.stack_budget = kStackBudget;
+  check_memory_bounds(wp, result.findings);
+  check_stack_depth(wp, result.findings);
+  check_dead_functions(wp, result.findings);
+  check_recursion_cycles(wp, result.findings);
+  check_isa_returns(wp, result.findings);
+
+  result.translatability =
+      classify_translatability(exe, program, fa, isa::kDefaultRamSize);
+
+  result.callgraph.nodes = static_cast<int>(cg.nodes.size());
+  result.callgraph.edges = static_cast<int>(cg.edges.size());
+  result.callgraph.unresolved_sites =
+      static_cast<int>(cg.unresolved_sites.size());
+  for (const CgNode& node : cg.nodes) {
+    if (node.recursive) ++result.callgraph.recursive_functions;
+    if (!node.reachable) ++result.callgraph.dead_functions;
+  }
+  if (cg.entry >= 0) {
+    const CgNode& entry = cg.nodes[static_cast<size_t>(cg.entry)];
+    bool known = !entry.recursive && !entry.has_unresolved_call;
+    int64_t deepest = 0;
+    for (int eid : entry.calls) {
+      const CallEdge& e = cg.edges[static_cast<size_t>(eid)];
+      const auto sit = e.callee >= 0
+                           ? summaries.find(
+                                 cg.nodes[static_cast<size_t>(e.callee)]
+                                     .func->addr)
+                           : summaries.end();
+      if (sit == summaries.end() || !sit->second.depth_known) {
+        known = false;
+        break;
+      }
+      deepest = std::max(deepest, sit->second.max_depth);
+    }
+    if (known) result.callgraph.max_stack_depth = deepest;
   }
 
   std::sort(result.findings.begin(), result.findings.end(),
@@ -95,6 +135,19 @@ std::string render_text(const LintResult& result, const std::string& label,
                   fi.blocks, fi.ops, fi.critical_path, fi.max_block_bound,
                   fi.weighted_bound());
   }
+  out += strf("callgraph: %d functions, %d call edges, %d unresolved indirect "
+              "sites, %d recursive, %d dead",
+              result.callgraph.nodes, result.callgraph.edges,
+              result.callgraph.unresolved_sites,
+              result.callgraph.recursive_functions,
+              result.callgraph.dead_functions);
+  if (result.callgraph.max_stack_depth >= 0)
+    out += strf("; max stack depth %lld bytes",
+                static_cast<long long>(result.callgraph.max_stack_depth));
+  out += "\n";
+  out += strf("translatability: %d/%d functions JIT-safe\n",
+              result.translatability.safe_functions,
+              result.translatability.total_functions);
   out += strf("%s: %d functions, %d instructions: %d errors, %d warnings, "
               "%d notes — %s\n",
               label.c_str(), result.functions, result.instructions,
@@ -104,41 +157,92 @@ std::string render_text(const LintResult& result, const std::string& label,
 }
 
 std::string render_json(const LintResult& result, const std::string& label) {
-  std::string out = "{\n";
+  support::JsonWriter w;
+  w.begin_object();
   // Versioned header keys shared by every ksim JSON document (DESIGN.md §7).
-  out += "  \"schema\": \"ksim.lint\",\n";
-  out += strf("  \"schema_version\": %d,\n", support::kJsonSchemaVersion);
-  out += strf("  \"target\": \"%s\",\n", json_escape(label).c_str());
-  out += strf("  \"clean\": %s,\n", result.clean() ? "true" : "false");
-  out += "  \"findings\": [";
-  for (size_t i = 0; i < result.findings.size(); ++i) {
-    const Finding& f = result.findings[i];
-    out += i == 0 ? "\n" : ",\n";
-    out += strf("    {\"severity\": \"%s\", \"check\": \"%s\", "
-                "\"addr\": \"%s\", \"function\": \"%s\", \"message\": \"%s\"}",
-                to_string(f.severity), json_escape(f.check).c_str(),
-                hex32(f.addr).c_str(), json_escape(f.function).c_str(),
-                json_escape(f.message).c_str());
+  w.field("schema", "ksim.lint");
+  w.field("schema_version", support::kJsonSchemaVersion);
+  w.field("target", label);
+  w.field("clean", result.clean());
+
+  w.begin_array("findings");
+  for (const Finding& f : result.findings) {
+    w.begin_object();
+    w.field("severity", to_string(f.severity));
+    w.field("check", f.check);
+    w.field("addr", hex32(f.addr));
+    w.field("function", f.function);
+    w.field("message", f.message);
+    w.end();
   }
-  out += "\n  ],\n";
-  out += "  \"ilp\": [";
-  for (size_t i = 0; i < result.ilp.size(); ++i) {
-    const FuncIlp& fi = result.ilp[i];
-    out += i == 0 ? "\n" : ",\n";
-    out += strf("    {\"function\": \"%s\", \"blocks\": %u, \"ops\": %u, "
-                "\"critical_path\": %u, \"max_block_bound\": %.4f, "
-                "\"weighted_bound\": %.4f}",
-                json_escape(fi.function).c_str(), fi.blocks, fi.ops,
-                fi.critical_path, fi.max_block_bound, fi.weighted_bound());
+  w.end();
+
+  w.begin_array("ilp");
+  for (const FuncIlp& fi : result.ilp) {
+    w.begin_object();
+    w.field("function", fi.function);
+    w.field("blocks", fi.blocks);
+    w.field("ops", fi.ops);
+    w.field("critical_path", fi.critical_path);
+    w.field("max_block_bound", fi.max_block_bound);
+    w.field("weighted_bound", fi.weighted_bound());
+    w.end();
   }
-  out += "\n  ],\n";
-  out += strf("  \"summary\": {\"functions\": %d, \"instructions\": %d, "
-              "\"errors\": %d, \"warnings\": %d, \"notes\": %d, "
-              "\"suppressed\": %d}\n",
-              result.functions, result.instructions, result.errors,
-              result.warnings, result.notes, result.suppressed);
-  out += "}\n";
-  return out;
+  w.end();
+
+  w.begin_object("callgraph");
+  w.field("functions", result.callgraph.nodes);
+  w.field("call_edges", result.callgraph.edges);
+  w.field("unresolved_indirect_sites", result.callgraph.unresolved_sites);
+  w.field("recursive_functions", result.callgraph.recursive_functions);
+  w.field("dead_functions", result.callgraph.dead_functions);
+  w.field("max_stack_depth", result.callgraph.max_stack_depth);
+  w.end();
+
+  w.begin_object("translatability");
+  w.field("safe_functions", result.translatability.safe_functions);
+  w.field("total_functions", result.translatability.total_functions);
+  w.begin_array("functions");
+  for (const FuncTranslatability& ft : result.translatability.functions) {
+    w.begin_object();
+    w.field("function", ft.name);
+    w.field("addr", hex32(ft.addr));
+    w.field("entry_isa", ft.entry_isa);
+    w.field("jit_safe", ft.jit_safe());
+    w.begin_array("reasons");
+    for (const std::string& r : reason_names(ft.reasons)) w.element(r);
+    w.end();
+    w.field("safe_blocks", ft.safe_blocks);
+    w.field("total_blocks", ft.total_blocks);
+    // Only the unsafe blocks are listed; the rest of the function's blocks
+    // are JIT-safe by complement.
+    w.begin_array("unsafe_blocks");
+    for (const BlockTranslatability& bt : ft.blocks) {
+      if (bt.jit_safe()) continue;
+      w.begin_object();
+      w.field("start", hex32(bt.start));
+      w.field("end", hex32(bt.end));
+      w.begin_array("reasons");
+      for (const std::string& r : reason_names(bt.reasons)) w.element(r);
+      w.end();
+      w.end();
+    }
+    w.end();
+    w.end();
+  }
+  w.end();
+  w.end();
+
+  w.begin_object("summary");
+  w.field("functions", result.functions);
+  w.field("instructions", result.instructions);
+  w.field("errors", result.errors);
+  w.field("warnings", result.warnings);
+  w.field("notes", result.notes);
+  w.field("suppressed", result.suppressed);
+  w.end();
+  w.end();
+  return w.str();
 }
 
 } // namespace ksim::analysis

@@ -1,8 +1,11 @@
 // klint — static analysis of linked K-ISA executables (the `ksim lint`
-// subcommand).  Decodes the program statically (program.h), builds
-// per-function CFGs (cfg.h), runs the checker pipeline (checks.h) and the
-// static ILP bound (ilp_bound.h) and renders the results as human-readable
-// text or machine-readable JSON.
+// subcommand and api::Session::lint()).  Decodes the program statically
+// (program.h), builds per-function CFGs and value-range results (cfg.h,
+// value_range.h), constructs the whole-program call graph and function
+// summaries (callgraph.h, summaries.h), runs the per-function and
+// whole-program checker pipeline (checks.h), classifies JIT readiness
+// (translatability.h) and the static ILP bound (ilp_bound.h), and renders
+// the results as human-readable text or schema-versioned JSON.
 #pragma once
 
 #include <string>
@@ -10,6 +13,7 @@
 
 #include "analysis/checks.h"
 #include "analysis/ilp_bound.h"
+#include "analysis/translatability.h"
 #include "elf/elf.h"
 
 namespace ksim::analysis {
@@ -20,9 +24,23 @@ struct LintOptions {
   int max_findings = 0;      ///< truncate the report after N findings; 0 = all
 };
 
+/// Whole-program call-graph statistics for the report.
+struct CallGraphStats {
+  int nodes = 0;               ///< function regions
+  int edges = 0;               ///< resolved call/tail-transfer edges
+  int unresolved_sites = 0;    ///< indirect sites with unknown target sets
+  int recursive_functions = 0; ///< functions on a call cycle
+  int dead_functions = 0;      ///< unreachable along resolved call edges
+  /// Worst-case stack depth in bytes from the program entry; -1 when not
+  /// statically bounded (recursion, unresolved calls, unknown frames).
+  int64_t max_stack_depth = -1;
+};
+
 struct LintResult {
   std::vector<Finding> findings; ///< sorted by address, then check name
   std::vector<FuncIlp> ilp;      ///< one row per analyzed function (opt-in)
+  CallGraphStats callgraph;
+  TranslatabilityReport translatability;
   int functions = 0;             ///< function regions analyzed
   int instructions = 0;          ///< statically decoded instructions
   int errors = 0;

@@ -1,0 +1,197 @@
+#include "analysis/summaries.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "isa/kisa.h"
+
+namespace ksim::analysis {
+namespace {
+
+constexpr RegMask kAllRegs = 0xFFFFFFFFu;
+
+bool sem_is(const isa::OpInfo& info, std::string_view name) {
+  return info.def != nullptr && info.def->semantic == name;
+}
+
+/// Folds the summaries of one call site's resolved callees into a combined
+/// effect.  Returns false when any target must use the ABI fallback
+/// (unresolved site, intra-cycle edge, callee without a summary).
+bool fold_site_effects(const CallGraph& cg, const FuncSummaries& summaries,
+                       int node, uint32_t site, CallEffects& out) {
+  const CgNode& caller = cg.nodes[static_cast<size_t>(node)];
+  bool any = false;
+  RegMask must = kAllRegs;
+  RegMask may = 0;
+  for (int eid : caller.calls) {
+    const CallEdge& e = cg.edges[static_cast<size_t>(eid)];
+    if (e.site != site || e.tail) continue;
+    if (e.callee < 0) return false;
+    if (cg.nodes[static_cast<size_t>(e.callee)].scc == caller.scc)
+      return false; // recursion cycle: summary not finished, use the ABI model
+    const auto it =
+        summaries.find(cg.nodes[static_cast<size_t>(e.callee)].func->addr);
+    if (it == summaries.end()) return false;
+    const FuncSummary& cs = it->second;
+    any = true;
+    out.use |= cs.live_in;
+    // A non-returning callee makes everything after the call dead; leaving
+    // `must` untouched treats every register as defined there, which keeps
+    // downstream checks quiet on the unreachable tail.
+    if (cs.returns) {
+      must &= cs.must_def;
+      may |= cs.may_def;
+    }
+  }
+  if (!any) return false;
+  // The return-value register stays modeled as defined even for callees
+  // that never write it, matching the ABI model (void callees would
+  // otherwise surface uninit-read noise at benign sites).
+  out.def = must | (1u << isa::abi::kArg0);
+  out.clobber = may & ~out.def;
+  return true;
+}
+
+} // namespace
+
+CallEffects call_effects_at(const CallGraph& cg, const FuncSummaries& summaries,
+                            int node, uint32_t site) {
+  CallEffects ce;
+  if (fold_site_effects(cg, summaries, node, site, ce)) return ce;
+  ce.use = abi_arg_mask() | (1u << isa::abi::kSp);
+  ce.def = 1u << isa::abi::kArg0;
+  ce.clobber = abi_call_clobber() & ~ce.def;
+  return ce;
+}
+
+FuncSummaries compute_summaries(const Program& program, const CallGraph& cg,
+                                const FuncAnalyses& fa) {
+  FuncSummaries summaries;
+
+  for (int ni : cg.bottom_up) {
+    const CgNode& node = cg.nodes[static_cast<size_t>(ni)];
+    const FuncRegion& func = *node.func;
+    const auto fit = fa.find(func.addr);
+    if (fit == fa.end()) continue;
+    const FuncAnalysis& a = fit->second;
+
+    FuncSummary s;
+    s.addr = func.addr;
+    s.entry_isa = func.entry_isa_id;
+
+    // Per-site effect cache for the summary-aware dataflow.
+    std::map<uint32_t, CallEffects> site_effects;
+    const CallEffectsFn effects = [&](const StaticInstr& instr)
+        -> const CallEffects* {
+      auto [it, inserted] = site_effects.try_emplace(instr.addr);
+      if (inserted)
+        it->second = call_effects_at(cg, summaries, ni, instr.addr);
+      return &it->second;
+    };
+
+    // Interprocedural must-defined: what the function itself guarantees to
+    // write on every path to a return (entry state empty).
+    const std::vector<DefinedState> defined =
+        compute_defined(a.cfg, 0, effects);
+    // Interprocedural liveness with nothing live at exit: the live-in of the
+    // entry block is exactly "may read before write".
+    const std::vector<LivenessState> live = compute_liveness(a.cfg, 0, effects);
+    if (!a.cfg.blocks.empty()) s.live_in = live[0].live_in;
+    // The call itself writes the link register before the callee reads it.
+    s.live_in &= ~(1u << isa::abi::kRa);
+
+    RegMask must_at_rets = kAllRegs;
+    bool is_program_entry = func.contains(program.entry);
+    bool frame_known = true;
+    int64_t min_sp = 0;
+
+    for (int id : a.cfg.rpo) {
+      const BasicBlock& b = a.cfg.blocks[static_cast<size_t>(id)];
+      // Blocks whose value-range entry state is infeasible (dead branch arm)
+      // still contribute register effects, but not to the frame scan: their
+      // abstract values are all ⊤.
+      const bool live_state =
+          a.values.block_in[static_cast<size_t>(id)].reachable;
+      for (const StaticInstr* instr : b.instrs) {
+        const InstrUseDef ud = instr_use_def(*instr, effects);
+        s.may_def |= ud.def | ud.clobber;
+
+        for (int sl = 0; sl < instr->num_ops; ++sl) {
+          const StaticOp& op = instr->ops[sl];
+          if (sem_is(*op.info, "simop")) s.has_simop = true;
+          if (live_state && op.info->is_store()) {
+            const ValueRange ea =
+                effective_address(program, a.values, *instr, op);
+            if (ea.is_range() && ea.sp_rel) min_sp = std::min(min_sp, ea.lo);
+          }
+        }
+        if (live_state) {
+          const ValueRange sp =
+              value_before(program, a.values, *instr, isa::abi::kSp);
+          if (sp.is_range() && sp.sp_rel) {
+            min_sp = std::min(min_sp, sp.lo);
+          } else if (!is_program_entry) {
+            frame_known = false; // lost track of the stack pointer
+          }
+        }
+
+        if (instr->is_ret) {
+          s.returns = true;
+          s.exit_isa_mask |= instr->inbound_isas;
+          must_at_rets &= defined[static_cast<size_t>(id)].must_out;
+        }
+      }
+    }
+    s.must_def = s.returns ? (must_at_rets & s.may_def) : 0;
+    s.frame_bytes = -min_sp;
+    s.frame_known = frame_known && !is_program_entry;
+
+    // Fold in transitive callee facts (resolved, out-of-cycle edges only).
+    bool depth_known = s.frame_known && !node.recursive &&
+                       !node.has_unresolved_call;
+    int64_t deepest = 0;
+    for (int eid : node.calls) {
+      const CallEdge& e = cg.edges[static_cast<size_t>(eid)];
+      if (e.callee < 0) {
+        depth_known = false;
+        continue;
+      }
+      const CgNode& callee = cg.nodes[static_cast<size_t>(e.callee)];
+      if (callee.scc == node.scc) continue; // cycle: handled below
+      const auto cit = summaries.find(callee.func->addr);
+      if (cit == summaries.end()) {
+        depth_known = false;
+        continue;
+      }
+      if (cit->second.has_simop) s.has_simop = true;
+      if (cit->second.depth_known)
+        deepest = std::max(deepest, cit->second.max_depth);
+      else
+        depth_known = false;
+    }
+    s.max_depth = s.frame_bytes + deepest;
+    s.depth_known = depth_known;
+
+    summaries.emplace(func.addr, s);
+  }
+
+  // Second pass over recursion cycles: SIMOP use is a property of the whole
+  // cycle, and members share it.
+  std::map<int, bool> scc_simop;
+  for (const auto& [addr, s] : summaries) {
+    (void)addr;
+    const int ni = cg.node_at(program, s.addr);
+    if (ni >= 0 && cg.nodes[static_cast<size_t>(ni)].recursive)
+      scc_simop[cg.nodes[static_cast<size_t>(ni)].scc] |= s.has_simop;
+  }
+  for (auto& [addr, s] : summaries) {
+    (void)addr;
+    const int ni = cg.node_at(program, s.addr);
+    if (ni < 0) continue;
+    const CgNode& node = cg.nodes[static_cast<size_t>(ni)];
+    if (node.recursive && scc_simop[node.scc]) s.has_simop = true;
+  }
+  return summaries;
+}
+
+} // namespace ksim::analysis

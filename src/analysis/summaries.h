@@ -1,0 +1,60 @@
+// Interprocedural function summaries, computed bottom-up over the call-graph
+// SCC condensation (callgraph.h).  A summary captures the caller-visible
+// effect of one function — registers read/written across the call, stack
+// frame size and worst-case chain depth, SIMOP use and the ISA(s) active at
+// its return sites — and is cached per (address, entry ISA).  Call edges
+// inside a recursion cycle fall back to the plain ABI clobber model, keeping
+// the propagation context-insensitive and single-pass.
+#pragma once
+
+#include <map>
+
+#include "analysis/callgraph.h"
+#include "analysis/dataflow.h"
+
+namespace ksim::analysis {
+
+struct FuncSummary {
+  uint32_t addr = 0;
+  int entry_isa = 0;
+
+  // Register effects, transitively including resolved callees.
+  RegMask may_def = 0;  ///< possibly written between entry and return
+  RegMask must_def = 0; ///< written on *every* path from entry to a return
+  RegMask live_in = 0;  ///< possibly read before being written
+
+  bool returns = false;   ///< at least one statically reached return path
+  bool has_simop = false; ///< may execute SIMOP (self or transitive callee)
+
+  /// Own stack-frame size in bytes (maximum sp decrement observed, including
+  /// sp-relative stores below the adjusted sp).  Valid when frame_known.
+  int64_t frame_bytes = 0;
+  bool frame_known = false;
+
+  /// Worst-case total stack depth from this function's entry (own frame plus
+  /// the deepest resolved callee chain).  Valid when depth_known; unknowable
+  /// for recursive functions, unresolved call sites and unknown frames.
+  int64_t max_depth = 0;
+  bool depth_known = false;
+
+  /// Bit i set: ISA id i can be active when the function returns.  Empty for
+  /// functions with no reached return.
+  uint32_t exit_isa_mask = 0;
+};
+
+using FuncSummaries = std::map<uint32_t, FuncSummary>;
+
+/// Computes summaries for every node of `cg`, visiting callees before
+/// callers so each call site folds in its callee's finished summary.
+FuncSummaries compute_summaries(const Program& program, const CallGraph& cg,
+                                const FuncAnalyses& fa);
+
+/// Interprocedural call effects for `instr` (a call site inside the function
+/// owning `node`): the union/intersection over the site's resolved callees'
+/// summaries, or the ABI fallback when any target is unresolved or inside
+/// the caller's own recursion cycle.  Used by the summary-aware dataflow
+/// overloads (dataflow.h).
+CallEffects call_effects_at(const CallGraph& cg, const FuncSummaries& summaries,
+                            int node, uint32_t site);
+
+} // namespace ksim::analysis

@@ -1,0 +1,103 @@
+#include "analysis/translatability.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace ksim::analysis {
+namespace {
+
+bool sem_is(const isa::OpInfo& info, std::string_view name) {
+  return info.def != nullptr && info.def->semantic == name;
+}
+
+/// True when the bounded effective-address range may touch memory outside
+/// the simulated RAM.  ⊤ and sp-relative ranges are not judged here.
+bool may_trap(const ValueRange& ea, unsigned access_bytes, uint32_t ram_size) {
+  if (!ea.is_plain_range()) return false;
+  return ea.lo < 0 || ea.hi + access_bytes > ram_size;
+}
+
+unsigned access_size(const isa::OpInfo& info) {
+  if (sem_is(info, "lw") || sem_is(info, "sw")) return 4;
+  if (sem_is(info, "lh") || sem_is(info, "lhu") || sem_is(info, "sh")) return 2;
+  return 1;
+}
+
+} // namespace
+
+std::vector<std::string> reason_names(unsigned reasons) {
+  std::vector<std::string> names;
+  if ((reasons & kJitSimop) != 0) names.emplace_back("simop");
+  if ((reasons & kJitTrapRisk) != 0) names.emplace_back("trap-risk");
+  if ((reasons & kJitSelfModifying) != 0) names.emplace_back("self-modifying");
+  if ((reasons & kJitUnresolvedIndirect) != 0)
+    names.emplace_back("unresolved-indirect");
+  return names;
+}
+
+TranslatabilityReport classify_translatability(const elf::ElfFile& exe,
+                                               const Program& program,
+                                               const FuncAnalyses& fa,
+                                               uint32_t ram_size) {
+  TranslatabilityReport report;
+  for (const FuncRegion& func : program.functions) {
+    const auto it = fa.find(func.addr);
+    if (it == fa.end()) continue;
+    const FuncAnalysis& a = it->second;
+
+    FuncTranslatability ft;
+    ft.addr = func.addr;
+    ft.name = func.name;
+    ft.entry_isa = func.entry_isa_id;
+    ft.total_blocks = static_cast<int>(a.cfg.blocks.size());
+
+    for (const BasicBlock& b : a.cfg.blocks) {
+      BlockTranslatability bt;
+      bt.start = b.start;
+      bt.end = b.end;
+
+      for (const StaticInstr* instr : b.instrs) {
+        for (int s = 0; s < instr->num_ops; ++s) {
+          const StaticOp& op = instr->ops[s];
+          const isa::OpInfo& info = *op.info;
+          if (sem_is(info, "simop")) bt.reasons |= kJitSimop;
+          if (info.is_load() || info.is_store()) {
+            const ValueRange ea =
+                effective_address(program, a.values, *instr, op);
+            if (may_trap(ea, access_size(info), ram_size))
+              bt.reasons |= kJitTrapRisk;
+            // A store whose bounded range intersects the text section can
+            // rewrite code a translation already captured.
+            if (info.is_store() && ea.is_plain_range() &&
+                ea.hi + access_size(info) > program.text_addr &&
+                ea.lo < program.text_end)
+              bt.reasons |= kJitSelfModifying;
+          }
+        }
+        if (instr->has_indirect_target && !instr->is_ret) {
+          const IndirectResolution r =
+              resolve_indirect(exe, program, a, *instr);
+          if (!r.resolved || r.table_writable)
+            bt.reasons |= kJitUnresolvedIndirect;
+        }
+      }
+      ft.reasons |= bt.reasons;
+      if (bt.jit_safe()) ++ft.safe_blocks;
+      ft.blocks.push_back(bt);
+    }
+    std::sort(ft.blocks.begin(), ft.blocks.end(),
+              [](const BlockTranslatability& x, const BlockTranslatability& y) {
+                return x.start < y.start;
+              });
+    if (ft.jit_safe()) ++report.safe_functions;
+    ++report.total_functions;
+    report.functions.push_back(std::move(ft));
+  }
+  std::sort(report.functions.begin(), report.functions.end(),
+            [](const FuncTranslatability& x, const FuncTranslatability& y) {
+              return x.addr < y.addr;
+            });
+  return report;
+}
+
+} // namespace ksim::analysis

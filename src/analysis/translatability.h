@@ -1,0 +1,66 @@
+// JIT-readiness classification: decides, per basic block and per function,
+// whether a superblock-eligible region could be translated to host code
+// ahead of time.  A block is JIT-unsafe when it (a) executes SIMOP (the
+// emulated C library runs host-side and serializes the pipeline), (b) may
+// trap on a statically out-of-range memory access, (c) may store into the
+// text section (self-modifying code invalidates a translation), or (d) ends
+// in an indirect transfer whose target set could not be resolved (or lives
+// in a writable jump table).  The ROADMAP's superblock JIT consumes this
+// report to pick translation candidates; `ksim lint --json` and
+// api::Session::lint() export it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+
+namespace ksim::analysis {
+
+/// Why a block cannot be translated (bitmask; 0 = JIT-safe).
+enum TranslatabilityReason : unsigned {
+  kJitSimop = 1u << 0,             ///< executes SIMOP
+  kJitTrapRisk = 1u << 1,          ///< possibly out-of-range load/store
+  kJitSelfModifying = 1u << 2,     ///< may store into the text section
+  kJitUnresolvedIndirect = 1u << 3,///< indirect target set unknown / mutable
+};
+
+/// Stable machine names of the reason bits, in bit order.
+std::vector<std::string> reason_names(unsigned reasons);
+
+struct BlockTranslatability {
+  uint32_t start = 0;
+  uint32_t end = 0; ///< first address past the block
+  unsigned reasons = 0;
+  bool jit_safe() const { return reasons == 0; }
+};
+
+struct FuncTranslatability {
+  uint32_t addr = 0;
+  std::string name;
+  int entry_isa = 0;
+  unsigned reasons = 0; ///< union over the function's blocks
+  int safe_blocks = 0;
+  int total_blocks = 0;
+  std::vector<BlockTranslatability> blocks; ///< in address order
+  bool jit_safe() const { return reasons == 0; }
+};
+
+struct TranslatabilityReport {
+  std::vector<FuncTranslatability> functions; ///< in address order
+  int safe_functions = 0;
+  int total_functions = 0;
+};
+
+/// Classifies every analyzed function of `program`.  Memory accesses are
+/// judged against `ram_size` (the simulated address space); effective
+/// addresses the value analysis cannot bound are treated as safe — the
+/// report flags *statically certain* obstacles, the JIT still needs runtime
+/// guards for the rest.
+TranslatabilityReport classify_translatability(const elf::ElfFile& exe,
+                                               const Program& program,
+                                               const FuncAnalyses& fa,
+                                               uint32_t ram_size);
+
+} // namespace ksim::analysis

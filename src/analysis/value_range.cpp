@@ -1,0 +1,437 @@
+#include "analysis/value_range.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "analysis/dataflow.h"
+#include "isa/kisa.h"
+#include "support/strings.h"
+
+namespace ksim::analysis {
+namespace {
+
+/// Bounds beyond which a plain interval carries no information (the unsigned
+/// 32-bit domain plus head-room so intermediate sums do not oscillate).
+constexpr int64_t kLoLimit = -(int64_t(1) << 33);
+constexpr int64_t kHiLimit = int64_t(1) << 33;
+constexpr int64_t kU32Max = 0xFFFFFFFF;
+
+/// Joins that still change a block's entry state after this many visits are
+/// widened so the fixed point terminates on any loop structure.
+constexpr int kWidenThreshold = 4;
+
+bool sem_is(const isa::OpInfo& info, std::string_view name) {
+  return info.def != nullptr && info.def->semantic == name;
+}
+
+ValueRange clamp(ValueRange v) {
+  if (!v.is_range()) return v;
+  if (v.lo > v.hi) return ValueRange::top(); // internal error guard
+  if (v.lo <= kLoLimit || v.hi >= kHiLimit) return ValueRange::top();
+  // Plain values are unsigned 32-bit: a range that cannot name a machine
+  // value carries no information.
+  if (!v.sp_rel && (v.hi < 0 || v.lo > kU32Max)) return ValueRange::top();
+  return v;
+}
+
+} // namespace
+
+ValueRange ValueRange::interval(int64_t lo, int64_t hi) {
+  return clamp({Kind::Range, false, lo, hi});
+}
+
+ValueRange ValueRange::join(const ValueRange& o) const {
+  if (is_bottom()) return o;
+  if (o.is_bottom()) return *this;
+  if (is_top() || o.is_top() || sp_rel != o.sp_rel) return top();
+  return clamp({Kind::Range, sp_rel, std::min(lo, o.lo), std::max(hi, o.hi)});
+}
+
+ValueRange ValueRange::widen(const ValueRange& o) const {
+  if (is_bottom()) return o;
+  if (o.is_bottom()) return *this;
+  if (is_top() || o.is_top() || sp_rel != o.sp_rel) return top();
+  ValueRange w = *this;
+  if (o.lo < lo) w.lo = kLoLimit;
+  if (o.hi > hi) w.hi = kHiLimit;
+  return clamp(w);
+}
+
+std::string ValueRange::str() const {
+  switch (kind) {
+    case Kind::Bottom: return "bottom";
+    case Kind::Top: return "top";
+    case Kind::Range: break;
+  }
+  const char* base = sp_rel ? "sp" : "";
+  if (lo == hi) return strf("%s%+lld", base, static_cast<long long>(lo));
+  return strf("%s[%+lld, %+lld]", base, static_cast<long long>(lo),
+              static_cast<long long>(hi));
+}
+
+ValueRange vr_add(const ValueRange& a, const ValueRange& b) {
+  if (a.is_bottom() || b.is_bottom()) return ValueRange::bottom();
+  if (a.is_top() || b.is_top()) return ValueRange::top();
+  if (a.sp_rel && b.sp_rel) return ValueRange::top(); // sp + sp: meaningless
+  return clamp({ValueRange::Kind::Range, a.sp_rel || b.sp_rel, a.lo + b.lo,
+                a.hi + b.hi});
+}
+
+ValueRange vr_sub(const ValueRange& a, const ValueRange& b) {
+  if (a.is_bottom() || b.is_bottom()) return ValueRange::bottom();
+  if (a.is_top() || b.is_top()) return ValueRange::top();
+  // sp − sp cancels the symbolic base; sp − plain stays sp-relative;
+  // plain − sp has no representation.
+  if (!a.sp_rel && b.sp_rel) return ValueRange::top();
+  return clamp({ValueRange::Kind::Range, a.sp_rel && !b.sp_rel, a.lo - b.hi,
+                a.hi - b.lo});
+}
+
+ValueRange vr_add_const(const ValueRange& a, int64_t c) {
+  return vr_add(a, ValueRange::constant(c));
+}
+
+// ---------------------------------------------------------------------------
+// Transfer function
+
+namespace {
+
+struct Transfer {
+  /// Per-function escape tracking: once a frame address leaks into memory,
+  /// unknown stores and calls must drop the slot map (see value_range.h).
+  bool frame_escaped = false;
+
+  ValueRange op_result(const AbsState& st, const StaticOp& op) const {
+    const isa::OpInfo& info = *op.info;
+    const ValueRange a = st.regs[op.ra & 31u];
+    const ValueRange b = st.regs[op.rb & 31u];
+    const ValueRange d = st.regs[op.rd & 31u];
+    const int64_t imm = op.imm;
+
+    if (sem_is(info, "add")) return vr_add(a, b);
+    if (sem_is(info, "sub")) return vr_sub(a, b);
+    if (sem_is(info, "addi")) return vr_add_const(a, imm);
+    if (sem_is(info, "lui"))
+      return ValueRange::constant((static_cast<uint32_t>(imm) << 16) & kU32Max);
+    if (sem_is(info, "orlo")) {
+      if (d.is_constant() && (d.lo & 0xFFFF) == 0)
+        return ValueRange::constant(d.lo | (imm & 0xFFFF));
+      return ValueRange::top();
+    }
+    if (sem_is(info, "andi")) {
+      if (imm >= 0) {
+        int64_t hi = imm;
+        if (a.is_plain_range() && a.lo >= 0) hi = std::min(hi, a.hi);
+        return ValueRange::interval(0, hi);
+      }
+      return ValueRange::top();
+    }
+    if (sem_is(info, "ori")) {
+      if (a.is_constant()) {
+        const uint32_t v = static_cast<uint32_t>(a.lo);
+        return ValueRange::constant(v | static_cast<uint32_t>(imm));
+      }
+      return ValueRange::top();
+    }
+    if (sem_is(info, "xori")) {
+      if (a.is_constant()) {
+        const uint32_t v = static_cast<uint32_t>(a.lo);
+        return ValueRange::constant(v ^ static_cast<uint32_t>(imm));
+      }
+      return ValueRange::top();
+    }
+    if (sem_is(info, "slli")) {
+      const unsigned s = static_cast<unsigned>(imm) & 31u;
+      if (a.is_plain_range() && a.lo >= 0 && a.hi <= (kHiLimit >> s))
+        return ValueRange::interval(a.lo << s, a.hi << s);
+      return ValueRange::top();
+    }
+    if (sem_is(info, "srli")) {
+      const unsigned s = static_cast<unsigned>(imm) & 31u;
+      if (a.is_plain_range() && a.lo >= 0)
+        return ValueRange::interval(a.lo >> s, a.hi >> s);
+      return ValueRange::top();
+    }
+    if (sem_is(info, "mul")) {
+      if (a.is_constant() && b.is_constant())
+        return ValueRange::constant(
+            static_cast<int64_t>(static_cast<uint32_t>(
+                static_cast<uint32_t>(a.lo) * static_cast<uint32_t>(b.lo))));
+      return ValueRange::top();
+    }
+    // Comparison results are 0/1 regardless of the inputs.
+    if (sem_is(info, "slt") || sem_is(info, "sltu") || sem_is(info, "seq") ||
+        sem_is(info, "sne") || sem_is(info, "sle") || sem_is(info, "sleu") ||
+        sem_is(info, "slti") || sem_is(info, "sltiu"))
+      return ValueRange::interval(0, 1);
+    // Narrow zero-extending loads are bounded by their width even when the
+    // address is unknown.
+    if (sem_is(info, "lbu")) return ValueRange::interval(0, 0xFF);
+    if (sem_is(info, "lhu")) return ValueRange::interval(0, 0xFFFF);
+    return ValueRange::top();
+  }
+
+  /// Applies one whole instruction (bundle): all slots read the pre-state
+  /// (§V-B parallel-read semantics), then the writes commit.
+  void apply(AbsState& st, const StaticInstr& instr) {
+    // Evaluate results and load/store addresses against the pre-state.
+    std::array<ValueRange, isa::kMaxSlots> results;
+    for (int s = 0; s < instr.num_ops; ++s)
+      results[static_cast<size_t>(s)] = op_result(st, instr.ops[s]);
+
+    bool clear_slots = false;
+    for (int s = 0; s < instr.num_ops; ++s) {
+      const StaticOp& op = instr.ops[s];
+      const isa::OpInfo& info = *op.info;
+      if (info.is_store()) {
+        const ValueRange ea = vr_add_const(st.regs[op.ra & 31u], op.imm);
+        const ValueRange value = st.regs[op.rd & 31u];
+        if (value.sp_rel) frame_escaped = true; // frame address leaks to memory
+        if (ea.is_sp_constant()) {
+          if (sem_is(info, "sw")) {
+            st.slots[ea.lo] = value;
+          } else {
+            // Sub-word store: invalidate any covering word slot.
+            for (int64_t k = ea.lo - 3; k <= ea.lo; ++k) st.slots.erase(k);
+          }
+        } else if (ea.sp_rel || (frame_escaped && !ea.is_plain_range())) {
+          clear_slots = true; // unknown frame offset (or escaped frame)
+        }
+      } else if (info.is_load() && sem_is(info, "lw")) {
+        const ValueRange ea = vr_add_const(st.regs[op.ra & 31u], op.imm);
+        if (ea.is_sp_constant()) {
+          auto it = st.slots.find(ea.lo);
+          if (it != st.slots.end()) results[static_cast<size_t>(s)] = it->second;
+        }
+      }
+    }
+    if (clear_slots) st.slots.clear();
+
+    // Commit register writes (later slots win on intra-bundle WAW; the
+    // hazard checker reports those separately).
+    for (int s = 0; s < instr.num_ops; ++s) {
+      const StaticOp& op = instr.ops[s];
+      isa::RegMask dst = isa::op_dst_mask(*op.info, op.rd);
+      // Modelled result goes to the explicit destination; any other
+      // implicitly written register becomes unknown.
+      if (op.info->rd_is_dst) {
+        st.regs[op.rd & 31u] = results[static_cast<size_t>(s)];
+        dst &= ~(1u << (op.rd & 31u));
+      }
+      while (dst != 0) {
+        const unsigned r = static_cast<unsigned>(__builtin_ctz(dst));
+        dst &= dst - 1;
+        st.regs[r] = ValueRange::top();
+      }
+    }
+    st.regs[0] = ValueRange::constant(0);
+
+    if (instr.is_call) {
+      // If a frame address is passed to the callee it may write the frame.
+      bool arg_escapes = false;
+      for (unsigned r = isa::abi::kArg0;
+           r < isa::abi::kArg0 + isa::abi::kNumArgRegs; ++r)
+        if (st.regs[r].sp_rel && st.regs[r].is_range()) arg_escapes = true;
+      if (arg_escapes || frame_escaped) st.slots.clear();
+      // Register *values* across a call are unknown even with precise
+      // clobber summaries; only preservation (callee-saved + sp) survives.
+      isa::RegMask clobber = abi_call_clobber() |
+                             (1u << isa::abi::kArg0) | (1u << isa::abi::kRa);
+      while (clobber != 0) {
+        const unsigned r = static_cast<unsigned>(__builtin_ctz(clobber));
+        clobber &= clobber - 1;
+        st.regs[r] = ValueRange::top();
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Conditional-branch refinement on CFG edges
+
+/// Interprets a plain range as signed 32-bit if it does not straddle the
+/// sign boundary; returns false when refinement must be skipped.
+bool signed_view(const ValueRange& v, int64_t& lo, int64_t& hi) {
+  if (!v.is_plain_range()) return false;
+  if (v.hi < (int64_t(1) << 31)) {
+    lo = v.lo;
+    hi = v.hi;
+    return true;
+  }
+  if (v.lo >= (int64_t(1) << 31)) {
+    lo = v.lo - (int64_t(1) << 32);
+    hi = v.hi - (int64_t(1) << 32);
+    return true;
+  }
+  return false;
+}
+
+void set_bounds(ValueRange& v, int64_t lo, int64_t hi, bool& infeasible) {
+  if (lo > hi) {
+    infeasible = true;
+    return;
+  }
+  if (lo < 0) lo += int64_t(1) << 32; // back to the unsigned view
+  if (hi < 0) hi += int64_t(1) << 32;
+  if (lo > hi) return; // mixed wrap: give up rather than mis-state
+  v = ValueRange::interval(lo, hi);
+}
+
+/// Refines `st` along the taken (or fallthrough) edge of the conditional
+/// branch ending `instr`.  Marks the state unreachable when the edge is
+/// statically infeasible.
+void refine_edge(AbsState& st, const StaticInstr& instr, bool taken) {
+  const StaticOp* br = nullptr;
+  for (int s = 0; s < instr.num_ops; ++s)
+    if (instr.ops[s].info->is_branch) br = &instr.ops[s];
+  if (br == nullptr || br->info->def == nullptr) return;
+  const std::string& sem = br->info->def->semantic;
+
+  ValueRange& a = st.regs[br->ra & 31u];
+  ValueRange& b = st.regs[br->rb & 31u];
+  bool infeasible = false;
+
+  if (sem == "beq" || sem == "bne") {
+    const bool equal = (sem == "beq") == taken;
+    if (equal && a.is_plain_range() && b.is_plain_range()) {
+      const int64_t lo = std::max(a.lo, b.lo), hi = std::min(a.hi, b.hi);
+      if (lo > hi) {
+        st.reachable = false;
+        return;
+      }
+      a = b = ValueRange::interval(lo, hi);
+    } else if (!equal && a.is_constant() && b.is_constant() && a.lo == b.lo) {
+      st.reachable = false;
+    }
+    return;
+  }
+
+  const bool is_unsigned = sem == "bltu" || sem == "bgeu";
+  const bool is_signed = sem == "blt" || sem == "bge";
+  if (!is_unsigned && !is_signed) return;
+  // Normalize to "a < b holds" on this edge.
+  const bool less = (sem == "bltu" || sem == "blt") == taken;
+
+  int64_t alo = 0, ahi = 0, blo = 0, bhi = 0;
+  if (is_unsigned) {
+    if (!a.is_plain_range() || !b.is_plain_range()) return;
+    alo = a.lo, ahi = a.hi, blo = b.lo, bhi = b.hi;
+  } else if (!signed_view(a, alo, ahi) || !signed_view(b, blo, bhi)) {
+    return;
+  }
+  if (less) {
+    set_bounds(a, alo, std::min(ahi, bhi - 1), infeasible);
+    set_bounds(b, std::max(blo, alo + 1), bhi, infeasible);
+  } else { // a >= b
+    set_bounds(a, std::max(alo, blo), ahi, infeasible);
+    set_bounds(b, blo, std::min(bhi, ahi), infeasible);
+  }
+  if (infeasible) st.reachable = false;
+}
+
+AbsState join_states(const AbsState& a, const AbsState& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  AbsState out;
+  out.reachable = true;
+  for (size_t r = 0; r < out.regs.size(); ++r)
+    out.regs[r] = a.regs[r].join(b.regs[r]);
+  for (const auto& [off, v] : a.slots) {
+    auto it = b.slots.find(off);
+    if (it == b.slots.end()) continue;
+    const ValueRange j = v.join(it->second);
+    if (!j.is_top()) out.slots.emplace(off, j);
+  }
+  return out;
+}
+
+AbsState entry_state(const Program& program, const FuncRegion& func) {
+  AbsState st;
+  st.reachable = true;
+  for (ValueRange& v : st.regs) v = ValueRange::top();
+  st.regs[0] = ValueRange::constant(0);
+  if (!func.contains(program.entry))
+    st.regs[isa::abi::kSp] = ValueRange::sp_offset(0, 0);
+  return st;
+}
+
+} // namespace
+
+ValueAnalysis analyze_values(const Program& program, const Cfg& cfg) {
+  ValueAnalysis va;
+  va.cfg = &cfg;
+  const size_t n = cfg.blocks.size();
+  va.block_in.assign(n, AbsState{});
+  if (n == 0) return va;
+  va.block_in[0] = entry_state(program, *cfg.func);
+
+  Transfer transfer;
+  std::vector<int> visits(n, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int id : cfg.rpo) {
+      const BasicBlock& b = cfg.blocks[static_cast<size_t>(id)];
+      AbsState in;
+      if (id == 0) in = va.block_in[0];
+      for (int p : b.preds) {
+        const BasicBlock& pred = cfg.blocks[static_cast<size_t>(p)];
+        AbsState out = va.block_in[static_cast<size_t>(p)];
+        if (!out.reachable || pred.instrs.empty()) continue;
+        for (const StaticInstr* instr : pred.instrs) transfer.apply(out, *instr);
+        const StaticInstr* last = pred.instrs.back();
+        if (last->is_cond_branch && last->has_target &&
+            last->target != last->end()) {
+          const bool is_taken_edge = b.start == last->target;
+          const bool is_fall_edge = b.start == last->end();
+          if (is_taken_edge != is_fall_edge)
+            refine_edge(out, *last, is_taken_edge);
+        }
+        in = join_states(in, out);
+      }
+      if (!in.reachable && id != 0) continue;
+      AbsState& cur = va.block_in[static_cast<size_t>(id)];
+      if (in == cur) continue;
+      if (++visits[static_cast<size_t>(id)] > kWidenThreshold) {
+        AbsState widened = cur;
+        widened.reachable = in.reachable;
+        for (size_t r = 0; r < in.regs.size(); ++r)
+          widened.regs[r] = cur.regs[r].widen(in.regs[r]);
+        std::erase_if(widened.slots, [&](const auto& kv) {
+          return in.slots.find(kv.first) == in.slots.end();
+        });
+        for (auto& [off, v] : widened.slots)
+          v = v.widen(in.slots.at(off));
+        if (widened == cur) continue; // widening converged
+        cur = std::move(widened);
+      } else {
+        cur = std::move(in);
+      }
+      changed = true;
+    }
+  }
+  return va;
+}
+
+ValueRange value_before(const Program& program, const ValueAnalysis& va,
+                        const StaticInstr& instr, unsigned reg) {
+  (void)program;
+  if (va.cfg == nullptr) return ValueRange::top();
+  const BasicBlock* b = va.cfg->block_at(instr.addr);
+  if (b == nullptr) return ValueRange::top();
+  AbsState st = va.block_in[static_cast<size_t>(b->id)];
+  if (!st.reachable) return ValueRange::top();
+  Transfer transfer;
+  for (const StaticInstr* in : b->instrs) {
+    if (in->addr == instr.addr) return st.regs[reg & 31u];
+    transfer.apply(st, *in);
+  }
+  return ValueRange::top();
+}
+
+ValueRange effective_address(const Program& program, const ValueAnalysis& va,
+                             const StaticInstr& instr, const StaticOp& op) {
+  return vr_add_const(value_before(program, va, instr, op.ra & 31u), op.imm);
+}
+
+} // namespace ksim::analysis

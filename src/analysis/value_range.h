@@ -1,0 +1,117 @@
+// Value-range abstract interpretation over the per-function CFG: every
+// general register (and every statically addressed stack slot) is tracked as
+// a constant / interval / top lattice value, optionally relative to the
+// function-entry stack pointer.  The whole-program passes consume the result
+// to resolve indirect control transfers (jump tables, computed calls), to
+// bound load/store effective addresses against the image + heap layout, and
+// to derive per-function stack-frame sizes for the interprocedural
+// stack-depth analysis (callgraph.h, summaries.h, checks.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace ksim::analysis {
+
+/// One abstract value: ⊥, an interval [lo, hi] (possibly relative to the
+/// stack pointer at function entry), or ⊤.  Constants are singleton
+/// intervals.  Plain intervals hold the *unsigned* 32-bit value; sp-relative
+/// offsets are signed (frames grow downwards).
+struct ValueRange {
+  enum class Kind : uint8_t { Bottom, Range, Top };
+
+  Kind kind = Kind::Bottom;
+  bool sp_rel = false; ///< value = (entry sp) + [lo, hi]
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  static ValueRange bottom() { return {}; }
+  static ValueRange top() { return {Kind::Top, false, 0, 0}; }
+  static ValueRange constant(int64_t v) { return {Kind::Range, false, v, v}; }
+  static ValueRange interval(int64_t lo, int64_t hi);
+  static ValueRange sp_offset(int64_t lo, int64_t hi) {
+    return {Kind::Range, true, lo, hi};
+  }
+
+  bool is_bottom() const { return kind == Kind::Bottom; }
+  bool is_top() const { return kind == Kind::Top; }
+  bool is_range() const { return kind == Kind::Range; }
+  /// A plain (non-sp-relative) interval — the only form with known bounds.
+  bool is_plain_range() const { return kind == Kind::Range && !sp_rel; }
+  bool is_constant() const {
+    return kind == Kind::Range && !sp_rel && lo == hi;
+  }
+  bool is_sp_constant() const {
+    return kind == Kind::Range && sp_rel && lo == hi;
+  }
+
+  bool operator==(const ValueRange& o) const {
+    if (kind != o.kind) return false;
+    if (kind != Kind::Range) return true;
+    return sp_rel == o.sp_rel && lo == o.lo && hi == o.hi;
+  }
+
+  /// Least upper bound.  Joining sp-relative with plain values yields ⊤.
+  ValueRange join(const ValueRange& o) const;
+  /// Classic interval widening of `this` (old state) against `o` (new):
+  /// any growing bound jumps straight to the respective infinity (⊤ when
+  /// both grow).  Guarantees termination of the fixed-point iteration.
+  ValueRange widen(const ValueRange& o) const;
+
+  std::string str() const; ///< diagnostic rendering ("42", "sp-8..sp-4", ...)
+};
+
+// Arithmetic on abstract values (wrap-free: any result that leaves the
+// unsigned 32-bit domain degrades to ⊤ rather than modelling wraparound).
+ValueRange vr_add(const ValueRange& a, const ValueRange& b);
+ValueRange vr_sub(const ValueRange& a, const ValueRange& b);
+ValueRange vr_add_const(const ValueRange& a, int64_t c);
+
+/// Abstract machine state at one program point.
+struct AbsState {
+  std::array<ValueRange, 32> regs;
+  /// Statically addressed stack slots, keyed by the signed byte offset from
+  /// the entry sp of their *word-aligned* base.  Only 4-byte slots are
+  /// tracked; sub-word stores invalidate the covering slot.  The analysis
+  /// assumes stack slots are not aliased by computed pointers (the software
+  /// ABI owns the frame); a store through an unknown sp-relative address
+  /// drops the whole map.
+  std::map<int64_t, ValueRange> slots;
+  bool reachable = false;
+
+  bool operator==(const AbsState& o) const {
+    return reachable == o.reachable && regs == o.regs && slots == o.slots;
+  }
+};
+
+/// The fixed-point result for one function: the abstract state at entry to
+/// every basic block.  States inside a block are recovered by replaying the
+/// (small) block with the same transfer function.
+struct ValueAnalysis {
+  const Cfg* cfg = nullptr;
+  std::vector<AbsState> block_in; ///< indexed by block id
+};
+
+/// Runs the abstract interpretation over `cfg`.  Calls clobber registers per
+/// the software ABI (value_range has no call-graph knowledge; the summary
+/// layer refines nothing here — register *values* across calls are unknown
+/// either way).
+ValueAnalysis analyze_values(const Program& program, const Cfg& cfg);
+
+/// Abstract value of register `reg` immediately before `instr` executes
+/// (replays the enclosing block from its entry state).  ⊤ when `instr` is
+/// not part of the analyzed CFG.
+ValueRange value_before(const Program& program, const ValueAnalysis& va,
+                        const StaticInstr& instr, unsigned reg);
+
+/// Effective-address range of the load/store operation `op` of `instr`
+/// (base register + immediate displacement).
+ValueRange effective_address(const Program& program, const ValueAnalysis& va,
+                             const StaticInstr& instr, const StaticOp& op);
+
+} // namespace ksim::analysis

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <set>
 
 #include "cycle/branch_predict.h"
 #include "isa/kisa.h"
@@ -110,9 +112,17 @@ std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg) {
 }
 
 void warn_env_overrides(const std::vector<EnvOverride>& overrides) {
-  for (const EnvOverride& o : overrides)
+  // Each variable warns at most once per process: sweeps and embedders
+  // construct many Sessions, and repeating the same deprecation line for
+  // every one of them is pure noise.
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const EnvOverride& o : overrides) {
+    if (!warned.insert(o.var).second) continue;
     std::cerr << strf("[ksim] warning: %s is deprecated; use %s instead\n",
                       o.var.c_str(), o.replacement.c_str());
+  }
 }
 
 } // namespace ksim::api

@@ -94,6 +94,7 @@ Session::Session(const RunConfig& cfg, const ckpt::RunRecord& run,
 }
 
 void Session::wire(const elf::ElfFile& exe) {
+  exe_ = exe;
   sim_ = std::make_unique<sim::Simulator>(isa::kisa(), cfg_.sim_options());
   sim_->load(exe);
   sim_->libc().set_echo(cfg_.echo_output);
@@ -126,6 +127,10 @@ void Session::wire(const elf::ElfFile& exe) {
   } else if (model_ != nullptr) {
     sim_->set_cycle_model(model_.get());
   }
+}
+
+analysis::LintResult Session::lint(const analysis::LintOptions& options) const {
+  return analysis::run_lint(exe_, isa::kisa(), options);
 }
 
 ckpt::Participants Session::participants() {

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/lint.h"
 #include "api/report.h"
 #include "api/run_config.h"
 #include "ckpt/checkpoint.h"
@@ -71,6 +72,14 @@ public:
   /// The machine-readable summary of the session's state after run().
   Report report(sim::StopReason reason) const;
 
+  /// Runs the klint whole-program static analysis over this session's
+  /// executable — the same pipeline as `ksim lint`, including the
+  /// TranslatabilityReport the superblock JIT will consume.  Independent of
+  /// run(): may be called before, after, or instead of simulating.  Sweep
+  /// manifests use it to gate points on lint cleanliness
+  /// (SweepSpec::require_lint_clean).
+  analysis::LintResult lint(const analysis::LintOptions& options = {}) const;
+
   /// Trap/decode-error diagnostics (simulator error report pass-through).
   std::string error_report() const { return sim_->error_report(); }
   int exit_code() const { return sim_->exit_code(); }
@@ -97,6 +106,7 @@ private:
 
   RunConfig cfg_;
   ckpt::RunRecord run_; ///< label + config (+ elf bytes when checkpointing)
+  elf::ElfFile exe_;    ///< the loaded executable, retained for lint()
 
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<cycle::MemoryHierarchy> memory_;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/lint.h"
 #include "api/session.h"
 #include "isa/kisa.h"
 #include "support/error.h"
@@ -63,6 +64,8 @@ SweepSpec SweepSpec::from_manifest(const std::string& json_text,
     spec.base.seed = static_cast<uint32_t>(v->as_int("seed"));
   if (const support::JsonValue* v = doc.find("max_instructions"); v != nullptr)
     spec.base.max_instructions = static_cast<uint64_t>(v->as_int("max_instructions"));
+  if (const support::JsonValue* v = doc.find("require_lint_clean"); v != nullptr)
+    spec.require_lint_clean = v->as_bool("require_lint_clean");
   return spec;
 }
 
@@ -112,6 +115,23 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress) {
     return images[point_index / spec.models.size()];
   };
 
+  // Optional lint gate, still serial: unclean images disqualify their points
+  // up front (one lint per image, not per point).  The diagnostic carries the
+  // finding tally so sweep JSON/table consumers can see why the point is out.
+  std::vector<std::string> lint_errors(images.size());
+  if (spec.require_lint_clean) {
+    for (size_t i = 0; i < images.size(); ++i) {
+      const analysis::LintResult lint =
+          analysis::run_lint(images[i].exe, isa::kisa(), {});
+      if (!lint.clean())
+        lint_errors[i] = strf("lint: %s is not lint-clean (%d error%s, "
+                              "%d warning%s); point gated by require_lint_clean",
+                              images[i].label.c_str(), lint.errors,
+                              lint.errors == 1 ? "" : "s", lint.warnings,
+                              lint.warnings == 1 ? "" : "s");
+    }
+  }
+
   // Phase 2 (parallel): independent sessions over shared immutable images.
   // The queue is a single atomic cursor: each idle worker claims ("steals")
   // the next pending point, so imbalance between cheap and expensive points
@@ -125,6 +145,16 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress) {
       if (i >= total) return;
       SweepPoint& p = result.points[i];
       const auto p0 = std::chrono::steady_clock::now();
+      if (const std::string& gate = lint_errors[i / spec.models.size()];
+          !gate.empty()) {
+        p.error = gate;
+        const size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          progress(p, finished, total);
+        }
+        continue;
+      }
       try {
         RunConfig cfg = spec.base;
         cfg.workload = p.workload;

@@ -35,6 +35,11 @@ struct SweepSpec {
   std::vector<std::string> models;    ///< "none", "ilp", "aie", "doe" (no rtl)
   RunConfig base;
   int threads = 1;
+  /// When set, every (workload, ISA) image is linted (analysis::run_lint)
+  /// during the serial build phase; points whose image has lint findings
+  /// fail with a "lint:" diagnostic instead of simulating.  Notes do not
+  /// affect cleanliness, matching `ksim lint` exit semantics.
+  bool require_lint_clean = false;
 
   /// Throws ksim::Error on empty dimensions, unknown names, rtl, threads < 1.
   void validate() const;
@@ -42,9 +47,9 @@ struct SweepSpec {
   /// Parses a JSON manifest:
   ///   {"workloads": ["cjpeg", ...], "isas": ["RISC", ...],
   ///    "models": ["ilp", ...], "threads": 8, "seed": 1,
-  ///    "max_instructions": 0}
-  /// threads/seed/max_instructions are optional.  `origin` names the file
-  /// in diagnostics.
+  ///    "max_instructions": 0, "require_lint_clean": true}
+  /// threads/seed/max_instructions/require_lint_clean are optional.
+  /// `origin` names the file in diagnostics.
   static SweepSpec from_manifest(const std::string& json_text,
                                  const std::string& origin);
 };

@@ -608,13 +608,23 @@ int cmd_workloads() {
 int main_impl(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (cmd == "lint") {
+    // lint has a three-way exit contract (0 clean / 1 findings / 2 usage or
+    // input error) so CI gates can tell "dirty program" from "broken
+    // invocation"; the generic catch below would fold errors into 1.
+    try {
+      return cmd_lint(parse_options(argc, argv, 2));
+    } catch (const Error& e) {
+      std::cerr << "ksim: error: " << e.what() << "\n";
+      return 2;
+    }
+  }
   const Options opt = parse_options(argc, argv, 2);
   if (cmd == "run") return cmd_run(opt);
   if (cmd == "sweep") return cmd_sweep(opt);
   if (cmd == "build") return cmd_build(opt);
   if (cmd == "cc") return cmd_cc(opt);
   if (cmd == "disasm") return cmd_disasm(opt);
-  if (cmd == "lint") return cmd_lint(opt);
   if (cmd == "workloads") return cmd_workloads();
   if (cmd == "resume") return cmd_resume(opt);
   if (cmd == "replay") return cmd_replay(opt);

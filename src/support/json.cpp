@@ -110,8 +110,15 @@ private:
   JsonValue parse_value() {
     const char c = peek();
     JsonValue v;
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      // Containers recurse; a malicious "[[[[..." input would otherwise
+      // overflow the host stack long before exhausting memory.
+      if (depth_ >= kMaxNestingDepth) fail("nesting depth limit exceeded");
+      ++depth_;
+      v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
     if (c == '"') {
       v.kind = JsonValue::Kind::String;
       v.string = parse_string();
@@ -241,6 +248,7 @@ private:
   std::string_view text_;
   std::string_view origin_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 } // namespace

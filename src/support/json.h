@@ -22,7 +22,13 @@ namespace ksim::support {
 /// Version of every ksim.* JSON document schema ("schema_version" header
 /// key; DESIGN.md §7).  All document kinds version together — bump on any
 /// incompatible change to any of them.
-inline constexpr int kJsonSchemaVersion = 1;
+inline constexpr int kJsonSchemaVersion = 2;
+
+/// Maximum container nesting the parser accepts.  The recursive-descent
+/// parser uses one host stack frame per level; deeper input is rejected with
+/// a diagnostic instead of overflowing the stack.  Our own documents nest
+/// about six levels deep.
+inline constexpr int kMaxNestingDepth = 64;
 
 /// A parsed JSON value.  Objects preserve the order keys appeared in the
 /// input (`entries`), with an index for by-name lookup.

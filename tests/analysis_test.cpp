@@ -7,11 +7,14 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/callgraph.h"
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
 #include "analysis/ilp_bound.h"
 #include "analysis/lint.h"
 #include "analysis/program.h"
+#include "analysis/summaries.h"
+#include "analysis/value_range.h"
 #include "isa/kisa.h"
 #include "kasm/assembler.h"
 #include "kasm/linker.h"
@@ -323,6 +326,546 @@ TEST(Render, JsonContainsFindingsAndSummary) {
   EXPECT_NE(json.find("\"check\": \"uninit-read\""), std::string::npos);
   const std::string text = render_text(r, "fixture", false);
   EXPECT_NE(text.find("NOT clean"), std::string::npos);
+}
+
+// --- value-range abstract interpretation -------------------------------------
+
+TEST(ValueRange, LatticeJoinAndWiden) {
+  const ValueRange a = ValueRange::constant(4);
+  const ValueRange b = ValueRange::constant(12);
+  const ValueRange j = a.join(b);
+  EXPECT_TRUE(j.is_plain_range());
+  EXPECT_EQ(j.lo, 4);
+  EXPECT_EQ(j.hi, 12);
+  EXPECT_TRUE(a.join(ValueRange::top()).is_top());
+  EXPECT_EQ(a.join(ValueRange::bottom()), a);
+  // sp-relative and absolute values have no common finite bound.
+  EXPECT_TRUE(a.join(ValueRange::sp_offset(-8, -8)).is_top());
+  // A growing bound widens to infinity, which clamps to ⊤.
+  EXPECT_TRUE(j.widen(ValueRange::interval(4, 20)).is_top());
+  // A stable fixed point does not widen.
+  EXPECT_EQ(j.widen(j), j);
+}
+
+TEST(ValueRange, ArithmeticAndSpTracking) {
+  const ValueRange sp0 = ValueRange::sp_offset(0, 0);
+  const ValueRange down = vr_add_const(sp0, -16);
+  EXPECT_TRUE(down.is_sp_constant());
+  EXPECT_EQ(down.lo, -16);
+  const ValueRange sum = vr_add(ValueRange::constant(8), ValueRange::interval(0, 4));
+  EXPECT_TRUE(sum.is_plain_range());
+  EXPECT_EQ(sum.lo, 8);
+  EXPECT_EQ(sum.hi, 12);
+  // sp - sp cancels to a plain difference (the unsigned plain domain keeps
+  // non-negative results; a negative difference clamps to ⊤); sp + sp is
+  // meaningless.
+  EXPECT_TRUE(vr_sub(sp0, down).is_plain_range());
+  EXPECT_EQ(vr_sub(sp0, down).lo, 16);
+  EXPECT_TRUE(vr_sub(down, sp0).is_top());
+  EXPECT_TRUE(vr_add(sp0, sp0).is_top());
+  // Leaving the unsigned 32-bit domain degrades to ⊤, never wraps.
+  EXPECT_TRUE(vr_add(ValueRange::constant(0xFFFFFFFF), ValueRange::constant(8))
+                  .is_top());
+}
+
+TEST(ValueRange, ConstantsFlowThroughStackSlots) {
+  const elf::ElfFile exe = link_fixture(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -16
+  li r5, 0x100
+  addi r6, r5, 32
+  sw r6, 4(sp)
+  lw r7, 4(sp)
+  add r4, r7, r0
+  addi sp, sp, 16
+  ret
+.endfunc
+)");
+  const Program program = decode_program(exe, isa::kisa());
+  const FuncRegion* main_fn = program.function_named("main");
+  ASSERT_NE(main_fn, nullptr);
+  const Cfg cfg = build_cfg(program, *main_fn);
+  const ValueAnalysis va = analyze_values(program, cfg);
+  // Before the add, r7 holds the constant that travelled through the slot.
+  const StaticInstr* add = program.instr_at(main_fn->addr + 5 * 4);
+  ASSERT_NE(add, nullptr);
+  const ValueRange r7 = value_before(program, va, *add, 7);
+  EXPECT_TRUE(r7.is_constant());
+  EXPECT_EQ(r7.lo, 0x120);
+  // And sp is a known entry-relative constant.
+  const ValueRange sp = value_before(program, va, *add, 2);
+  EXPECT_TRUE(sp.is_sp_constant());
+  EXPECT_EQ(sp.lo, -16);
+}
+
+// --- whole-program call graph ------------------------------------------------
+
+/// Builds program + analyses + call graph for a fixture in one shot.
+struct WholeProgramFixture {
+  elf::ElfFile exe;
+  Program program;
+  FuncAnalyses fa;
+  CallGraph cg;
+
+  explicit WholeProgramFixture(const std::string& source,
+                               const std::string& entry_isa = "RISC")
+      : exe(link_fixture(source, entry_isa)),
+        program(decode_program(exe, isa::kisa())),
+        fa(analyze_functions(program)),
+        cg(build_callgraph(exe, program, fa)) {}
+
+  int node_of(std::string_view name) const {
+    for (size_t i = 0; i < program.functions.size(); ++i)
+      if (program.functions[i].name == name) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+TEST(Callgraph, DirectEdgesReachabilityAndDeadness) {
+  const WholeProgramFixture f(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  call helper
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+.global helper
+.func helper
+  addi r4, r0, 1
+  ret
+.endfunc
+.global orphan
+.func orphan
+  addi r4, r0, 2
+  ret
+.endfunc
+)");
+  const int main_n = f.node_of("main");
+  const int helper_n = f.node_of("helper");
+  const int orphan_n = f.node_of("orphan");
+  ASSERT_GE(main_n, 0);
+  ASSERT_GE(helper_n, 0);
+  ASSERT_GE(orphan_n, 0);
+  EXPECT_TRUE(f.cg.nodes[static_cast<size_t>(main_n)].reachable);
+  EXPECT_TRUE(f.cg.nodes[static_cast<size_t>(helper_n)].reachable);
+  EXPECT_FALSE(f.cg.nodes[static_cast<size_t>(orphan_n)].reachable);
+  // main → helper is a resolved direct non-tail edge.
+  bool found = false;
+  for (const int e : f.cg.nodes[static_cast<size_t>(main_n)].calls) {
+    const CallEdge& edge = f.cg.edges[static_cast<size_t>(e)];
+    if (edge.callee == helper_n) {
+      found = true;
+      EXPECT_EQ(edge.kind, CallKind::Direct);
+      EXPECT_FALSE(edge.tail);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(f.cg.unresolved_sites.empty());
+  // node_at maps interior addresses back to their function.
+  const FuncRegion& helper_fn = f.program.functions[static_cast<size_t>(helper_n)];
+  EXPECT_EQ(f.cg.node_at(f.program, helper_fn.addr + 4), helper_n);
+}
+
+TEST(Callgraph, JumpTableCallResolvesEveryTarget) {
+  const WholeProgramFixture f(R"(.isa RISC
+.data
+handlers: .word inc, dec
+cell: .word 0
+.text
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  la r6, cell
+  lw r5, 0(r6)
+  andi r5, r5, 1
+  slli r5, r5, 2
+  la r6, handlers
+  add r6, r6, r5
+  lw r8, 0(r6)
+  jalr r1, r8
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+.global inc
+.func inc
+  addi r4, r0, 1
+  ret
+.endfunc
+.global dec
+.func dec
+  addi r4, r0, -1
+  ret
+.endfunc
+)");
+  const int main_n = f.node_of("main");
+  const int inc_n = f.node_of("inc");
+  const int dec_n = f.node_of("dec");
+  ASSERT_GE(main_n, 0);
+  EXPECT_TRUE(f.cg.unresolved_sites.empty());
+  EXPECT_FALSE(f.cg.nodes[static_cast<size_t>(main_n)].has_unresolved_call);
+  int table_edges = 0;
+  for (const int e : f.cg.nodes[static_cast<size_t>(main_n)].calls) {
+    const CallEdge& edge = f.cg.edges[static_cast<size_t>(e)];
+    if (edge.kind != CallKind::Table) continue;
+    ++table_edges;
+    EXPECT_TRUE(edge.callee == inc_n || edge.callee == dec_n);
+  }
+  EXPECT_EQ(table_edges, 2);
+  // Both handler entry addresses appear as table words: address-taken.
+  EXPECT_TRUE(f.cg.nodes[static_cast<size_t>(inc_n)].address_taken);
+  EXPECT_TRUE(f.cg.nodes[static_cast<size_t>(dec_n)].address_taken);
+}
+
+TEST(Callgraph, MutualRecursionSharesAnScc) {
+  const WholeProgramFixture f(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  addi r5, r0, 4
+  call ping
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+.global ping
+.func ping
+  beq r5, r0, out
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  addi r5, r5, -1
+  call pong
+  lw ra, 4(sp)
+  addi sp, sp, 8
+out:
+  ret
+.endfunc
+.global pong
+.func pong
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  call ping
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+)");
+  const int ping_n = f.node_of("ping");
+  const int pong_n = f.node_of("pong");
+  const int main_n = f.node_of("main");
+  EXPECT_TRUE(f.cg.nodes[static_cast<size_t>(ping_n)].recursive);
+  EXPECT_TRUE(f.cg.nodes[static_cast<size_t>(pong_n)].recursive);
+  EXPECT_FALSE(f.cg.nodes[static_cast<size_t>(main_n)].recursive);
+  EXPECT_EQ(f.cg.nodes[static_cast<size_t>(ping_n)].scc,
+            f.cg.nodes[static_cast<size_t>(pong_n)].scc);
+  EXPECT_NE(f.cg.nodes[static_cast<size_t>(main_n)].scc,
+            f.cg.nodes[static_cast<size_t>(ping_n)].scc);
+  // bottom_up visits callees before callers for out-of-cycle edges.
+  int pos_main = -1, pos_ping = -1;
+  for (size_t i = 0; i < f.cg.bottom_up.size(); ++i) {
+    if (f.cg.bottom_up[i] == main_n) pos_main = static_cast<int>(i);
+    if (f.cg.bottom_up[i] == ping_n) pos_ping = static_cast<int>(i);
+  }
+  EXPECT_LT(pos_ping, pos_main);
+}
+
+// --- interprocedural summaries -----------------------------------------------
+
+TEST(Summaries, LeafFrameDepthAndCallerFold) {
+  const WholeProgramFixture f(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  call helper
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+.global helper
+.func helper
+  addi sp, sp, -16
+  sw r0, 0(sp)
+  addi r4, r0, 1
+  addi sp, sp, 16
+  ret
+.endfunc
+)");
+  const FuncSummaries summaries = compute_summaries(f.program, f.cg, f.fa);
+  const FuncRegion* helper_fn = f.program.function_named("helper");
+  const FuncRegion* main_fn = f.program.function_named("main");
+  ASSERT_NE(helper_fn, nullptr);
+  ASSERT_NE(main_fn, nullptr);
+
+  const auto helper_it = summaries.find(helper_fn->addr);
+  ASSERT_NE(helper_it, summaries.end());
+  const FuncSummary& helper_sum = helper_it->second;
+  EXPECT_TRUE(helper_sum.returns);
+  EXPECT_FALSE(helper_sum.has_simop);
+  EXPECT_TRUE(helper_sum.frame_known);
+  EXPECT_EQ(helper_sum.frame_bytes, 16);
+  EXPECT_TRUE(helper_sum.depth_known);
+  EXPECT_EQ(helper_sum.max_depth, 16);
+  EXPECT_NE(helper_sum.must_def & (1u << 4), 0u); // writes the return value
+  const int risc_id = isa::kisa().find_isa("RISC")->id;
+  EXPECT_NE(helper_sum.exit_isa_mask & (1u << risc_id), 0u);
+
+  // The caller's worst-case depth folds its own frame over the callee's.
+  const auto main_it = summaries.find(main_fn->addr);
+  ASSERT_NE(main_it, summaries.end());
+  EXPECT_TRUE(main_it->second.depth_known);
+  EXPECT_EQ(main_it->second.max_depth, 8 + 16);
+}
+
+// --- whole-program checkers --------------------------------------------------
+
+TEST(Checks, OobStoreConstantIsError) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  li r5, 0x2000000
+  addi r6, r0, 7
+  sw r6, 0(r5)
+  addi r4, r0, 0
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "oob-access", Severity::Error), 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Checks, OobStoreStraddlingRangeIsWarning) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.data
+cell: .word 0
+.text
+.global main
+.func main
+  la r9, cell
+  lw r9, 0(r9)
+  li r7, 0xFFFFF8
+  beq r9, r0, store
+  li r7, 0x1000008
+store:
+  sw r0, 0(r7)
+  addi r4, r0, 0
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "oob-access", Severity::Warning), 1);
+  EXPECT_EQ(count(r, "oob-access", Severity::Error), 0);
+}
+
+TEST(Checks, InBoundsStackTrafficStaysClean) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -16
+  sw r0, 0(sp)
+  lw r4, 0(sp)
+  addi sp, sp, 16
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "oob-access", Severity::Error), 0);
+  EXPECT_EQ(count(r, "oob-access", Severity::Warning), 0);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Checks, StackOverflowOnOversizedFrame) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  li r5, 0x200000
+  sub sp, sp, r5
+  sw r0, 0(sp)
+  add sp, sp, r5
+  addi r4, r0, 0
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "stack-overflow", Severity::Error), 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Checks, RecursionDemotesStackDepthToNote) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  addi r5, r0, 5
+  call down
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+.global down
+.func down
+  beq r5, r0, out
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  addi r5, r5, -1
+  call down
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+out:
+  addi r4, r0, 0
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "recursion-cycle", Severity::Note), 1);
+  EXPECT_EQ(count(r, "stack-depth-unknown", Severity::Note), 1);
+  EXPECT_EQ(count(r, "stack-overflow", Severity::Error), 0);
+  EXPECT_TRUE(r.clean()); // notes never dirty a program
+}
+
+TEST(Checks, DeadFunctionNoteNamesTheOrphan) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  addi r4, r0, 0
+  ret
+.endfunc
+.global orphan
+.func orphan
+  addi r4, r0, 2
+  ret
+.endfunc
+)");
+  bool orphan_noted = false;
+  for (const Finding& f : r.findings)
+    if (f.check == "dead-function" && f.function == "orphan") orphan_noted = true;
+  EXPECT_TRUE(orphan_noted);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Checks, IsaReturnMismatchIsError) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  switchtarget VLIW4
+  call vfunc
+  switchtarget RISC
+  ret
+.endfunc
+.isa VLIW4
+.global vfunc
+.func vfunc
+  switchtarget RISC
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "isa-return", Severity::Error), 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Checks, MatchingIsaReturnStaysClean) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  switchtarget VLIW4
+  call vfunc
+  switchtarget RISC
+  ret
+.endfunc
+.isa VLIW4
+.global vfunc
+.func vfunc
+  add r4, r5, r6 || add r7, r8, r9
+  ret
+.endfunc
+)");
+  EXPECT_EQ(count(r, "isa-return", Severity::Error), 0);
+  EXPECT_TRUE(r.clean());
+}
+
+// --- JIT-readiness classification --------------------------------------------
+
+TEST(Translatability, LeafSafeSimopAndWritableTableUnsafe) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.data
+table: .word case0, case1
+.text
+.global main
+.func main
+  la r6, table
+  lw r8, 0(r6)
+  jr r8
+case0:
+  addi r4, r0, 1
+  ret
+case1:
+  addi r4, r0, 2
+  ret
+.endfunc
+.global leaf
+.func leaf
+  addi r4, r0, 3
+  ret
+.endfunc
+)");
+  const auto func_report = [&](std::string_view name) -> const FuncTranslatability* {
+    for (const FuncTranslatability& f : r.translatability.functions)
+      if (f.name == name) return &f;
+    return nullptr;
+  };
+  // A pure-compute leaf is fully JIT-safe.
+  const FuncTranslatability* leaf = func_report("leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_TRUE(leaf->jit_safe());
+  EXPECT_EQ(leaf->safe_blocks, leaf->total_blocks);
+  // The dispatch through a writable table is not (a store may retarget it).
+  const FuncTranslatability* main_fn = func_report("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_FALSE(main_fn->jit_safe());
+  EXPECT_NE(main_fn->reasons & kJitUnresolvedIndirect, 0u);
+  // The libc exit stub traps into the simulator: SIMOP-unsafe.
+  const FuncTranslatability* exit_fn = func_report("exit");
+  ASSERT_NE(exit_fn, nullptr);
+  EXPECT_NE(exit_fn->reasons & kJitSimop, 0u);
+  EXPECT_GT(r.translatability.total_functions, r.translatability.safe_functions);
+}
+
+// --- report plumbing ---------------------------------------------------------
+
+TEST(Render, CallgraphStatsAndTranslatabilityInJson) {
+  const LintResult r = lint_fixture(R"(.isa RISC
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  call helper
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+.global helper
+.func helper
+  addi r4, r0, 1
+  ret
+.endfunc
+)");
+  EXPECT_GT(r.callgraph.nodes, 0);
+  EXPECT_GT(r.callgraph.edges, 0);
+  EXPECT_EQ(r.callgraph.unresolved_sites, 0);
+  EXPECT_EQ(r.callgraph.max_stack_depth, 8);
+  const std::string json = render_json(r, "fixture");
+  EXPECT_NE(json.find("\"schema\": \"ksim.lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"callgraph\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"max_stack_depth\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"translatability\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"jit_safe\""), std::string::npos);
+  // Byte-stable: rendering the same result twice is identical.
+  EXPECT_EQ(json, render_json(r, "fixture"));
 }
 
 // --- the real programs -------------------------------------------------------

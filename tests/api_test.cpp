@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <iostream>
+#include <sstream>
 
+#include "analysis/lint.h"
 #include "api/report.h"
 #include "api/run_config.h"
 #include "api/session.h"
@@ -350,6 +353,44 @@ TEST(Session, InterleavedSessionsMatchSerialRuns) {
             serial_a.simulator().stats().instructions);
   EXPECT_EQ(inter_b.simulator().stats().instructions,
             serial_b.simulator().stats().instructions);
+}
+
+TEST(Session, LintReachableThroughApi) {
+  api::Session session(quiet_workload_config("dct", "RISC", "none"));
+  // lint() is independent of run(): usable before simulating.
+  const analysis::LintResult before = session.lint();
+  EXPECT_TRUE(before.clean());
+  EXPECT_GT(before.functions, 0);
+  EXPECT_GT(before.callgraph.nodes, 0);
+  EXPECT_GT(before.callgraph.edges, 0);
+  EXPECT_FALSE(before.translatability.functions.empty());
+  EXPECT_GT(before.translatability.total_functions,
+            before.translatability.safe_functions);
+
+  // ... and after, with identical results (the image is immutable).
+  EXPECT_EQ(session.run(), sim::StopReason::Exited);
+  const analysis::LintResult after = session.lint();
+  EXPECT_EQ(analysis::render_json(after, "t"),
+            analysis::render_json(before, "t"));
+}
+
+TEST(RunConfig, EnvWarningsDeduplicatePerProcess) {
+  // Sweeps and embedders construct many Sessions; each deprecated variable
+  // must warn at most once per process no matter how often it is reported.
+  const std::vector<api::EnvOverride> overrides = {
+      {"KSIM_TEST_DEDUP_VAR", "--test-dedup"}};
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  api::warn_env_overrides(overrides);
+  api::warn_env_overrides(overrides);
+  api::warn_env_overrides(overrides);
+  std::cerr.rdbuf(old);
+  size_t hits = 0;
+  for (size_t pos = captured.str().find("KSIM_TEST_DEDUP_VAR");
+       pos != std::string::npos;
+       pos = captured.str().find("KSIM_TEST_DEDUP_VAR", pos + 1))
+    ++hits;
+  EXPECT_EQ(hits, 1u);
 }
 
 } // namespace

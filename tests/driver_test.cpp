@@ -158,6 +158,43 @@ TEST(Driver, UsageOnBadArguments) {
   EXPECT_EQ(run_cmd("").exit_code, 2);
 }
 
+TEST(Driver, LintExitCodeContract) {
+  // 0: clean program, both output formats.
+  EXPECT_EQ(run_cmd("lint --workload dct --isa RISC").exit_code, 0);
+  EXPECT_EQ(run_cmd("lint --workload dct --isa RISC --format json").exit_code, 0);
+
+  // 1: findings — identically in text and json mode.
+  const std::string dirty = write_temp("dirty.s", R"(.isa RISC
+.global main
+.func main
+  add r4, r10, r11
+  ret
+.endfunc
+)");
+  const CmdResult text = run_cmd("lint " + dirty + " --isa RISC");
+  EXPECT_EQ(text.exit_code, 1);
+  EXPECT_NE(text.output.find("uninit-read"), std::string::npos) << text.output;
+  const CmdResult json = run_cmd("lint " + dirty + " --isa RISC --format json");
+  EXPECT_EQ(json.exit_code, 1);
+  EXPECT_NE(json.output.find("\"clean\": false"), std::string::npos) << json.output;
+  EXPECT_NE(json.output.find("\"schema\": \"ksim.lint\""), std::string::npos);
+
+  // 2: usage or input errors, never conflated with findings.
+  EXPECT_EQ(run_cmd("lint --workload dct --isa NOPE").exit_code, 2);
+  EXPECT_EQ(run_cmd("lint --workload nosuch --isa RISC").exit_code, 2);
+  EXPECT_EQ(run_cmd("lint /nonexistent/missing.s --isa RISC").exit_code, 2);
+  EXPECT_EQ(run_cmd("lint --workload dct --format yaml").exit_code, 2);
+}
+
+TEST(Driver, LintTextReportsCallgraphAndTranslatability) {
+  const CmdResult r = run_cmd("lint --workload qsort --isa RISC");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("callgraph:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("recursive"), std::string::npos);
+  EXPECT_NE(r.output.find("translatability:"), std::string::npos);
+  EXPECT_NE(r.output.find("JIT-safe"), std::string::npos);
+}
+
 // -- checkpoint/resume/replay (kckpt) ----------------------------------------
 
 namespace fs = std::filesystem;

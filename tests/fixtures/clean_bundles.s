@@ -1,0 +1,11 @@
+# Known-negative fixture (VLIW4): hazard-free bundles with the §V-B
+# parallel-read swap idiom.  Must lint clean at entry ISA VLIW4.
+.isa VLIW4
+.global main
+.func main
+  addi r5, r0, 3 || addi r6, r0, 4 || addi r7, r0, 5
+  add r8, r5, r6 || add r9, r6, r7
+  add r10, r6, r0 || add r6, r5, r0
+  add r4, r8, r9
+  ret
+.endfunc

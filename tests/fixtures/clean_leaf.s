@@ -1,0 +1,24 @@
+# Known-negative fixture (RISC): a leaf function with a small stack frame,
+# in-bounds loads and stores, and a statically bounded call chain.  Must lint
+# completely clean (exit 0) and be fully JIT-safe outside the libc stubs.
+.isa RISC
+.global main
+.func main
+  addi sp, sp, -16
+  sw ra, 12(sp)
+  addi r5, r0, 21
+  sw r5, 0(sp)
+  call double_it
+  lw r6, 0(sp)
+  add r4, r4, r6
+  lw ra, 12(sp)
+  addi sp, sp, 16
+  ret
+.endfunc
+
+.global double_it
+.func double_it
+  lw r5, 0(sp)
+  add r4, r5, r5
+  ret
+.endfunc

@@ -1,0 +1,20 @@
+# Known-negative fixture (mixed-ISA): a RISC caller reconfiguring to a
+# VLIW4 callee and back with explicit SWITCHTARGETs (§V-D).  Exercises the
+# cross-call ISA-transition and isa-return checkers on their happy path.
+.isa RISC
+.global main
+.func main
+  switchtarget VLIW4
+  call wide_sum
+  switchtarget RISC
+  ret
+.endfunc
+
+.isa VLIW4
+.global wide_sum
+.func wide_sum
+  addi r5, r0, 1 || addi r6, r0, 2 || addi r7, r0, 3
+  add r4, r5, r6 || add r8, r7, r0
+  add r4, r4, r8
+  ret
+.endfunc

@@ -1,0 +1,13 @@
+# Known-positive fixture (RISC) for the stack-depth checker: main carves a
+# 2 MiB frame, twice the simulator's 1 MiB stack budget, so the statically
+# bounded worst-case depth from the entry point overflows (error).
+.isa RISC
+.global main
+.func main
+  li r5, 0x200000
+  sub sp, sp, r5
+  sw r0, 0(sp)
+  add sp, sp, r5
+  addi r4, r0, 0
+  ret
+.endfunc

@@ -1,0 +1,23 @@
+# Known-positive fixture (RISC) for the out-of-bounds access checker: the
+# first store's address is constant and entirely outside the 16 MiB simulated
+# RAM (error); the second one's interval straddles the RAM boundary after a
+# branch join (warning).
+.isa RISC
+.data
+cell: .word 0
+.text
+.global main
+.func main
+  li r5, 0x2000000
+  addi r6, r0, 7
+  sw r6, 0(r5)
+  la r9, cell
+  lw r9, 0(r9)
+  li r7, 0xFFFFF8
+  beq r9, r0, high
+  li r7, 0x1000008
+high:
+  sw r6, 0(r7)
+  addi r4, r0, 0
+  ret
+.endfunc

@@ -1,0 +1,29 @@
+# Fixture (RISC) for the recursion-cycle and stack-depth-unknown notes: a
+# counting-down self-recursive function.  Notes do not dirty the program, so
+# this still exits 0 — the JSON golden pins the notes themselves.
+.isa RISC
+.global main
+.func main
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  addi r5, r0, 5
+  call countdown
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+.endfunc
+
+.global countdown
+.func countdown
+  beq r5, r0, done
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  addi r5, r5, -1
+  call countdown
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  ret
+done:
+  addi r4, r0, 0
+  ret
+.endfunc

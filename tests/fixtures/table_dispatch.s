@@ -1,0 +1,28 @@
+# Known-negative fixture (RISC) for jump-table target resolution: a computed
+# goto through a word table.  The value-range analysis bounds the table
+# address, the words resolve to in-function labels (no unresolved indirect
+# sites, no dead dispatch arms), but the table lives in writable .data, so
+# the dispatch block is conservatively classified JIT-unsafe — a runtime
+# store could retarget it.
+.isa RISC
+.data
+table: .word case0, case1, case2
+.text
+.global main
+.func main
+  addi r5, r0, 1
+  la r6, table
+  slli r7, r5, 2
+  add r6, r6, r7
+  lw r8, 0(r6)
+  jr r8
+case0:
+  addi r4, r0, 10
+  ret
+case1:
+  addi r4, r0, 20
+  ret
+case2:
+  addi r4, r0, 30
+  ret
+.endfunc

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates the lint JSON golden files from the current build.  Run from
+# the repository root after an intentional change to the lint schema or the
+# checker set, then review the diff — CI fails on any unreviewed drift.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+KSIM=${KSIM:-./build/src/driver/ksim}
+while read -r name isa; do
+  "$KSIM" lint "tests/fixtures/$name.s" --isa "$isa" --format json \
+    > "tests/goldens/$name@$isa.json" || true
+done < tests/goldens/manifest.txt

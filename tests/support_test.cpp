@@ -2,6 +2,8 @@
 
 #include "support/bits.h"
 #include "support/diag.h"
+#include "support/error.h"
+#include "support/json.h"
 #include "support/prng.h"
 #include "support/strings.h"
 
@@ -112,6 +114,111 @@ TEST(Prng, DeterministicAndBounded) {
     EXPECT_GE(r, -5);
     EXPECT_LE(r, 5);
   }
+}
+
+TEST(Json, StringEscapes) {
+  using support::parse_json;
+  const support::JsonValue v =
+      parse_json(R"({"s": "a\"b\\c\/d\b\f\n\r\te", "u": "Aé€"})");
+  EXPECT_EQ(v.at("s").as_string("s"), "a\"b\\c/d\b\f\n\r\te");
+  // A = 'A' (1 byte), é = é (2 bytes), € = € (3 bytes).
+  EXPECT_EQ(v.at("u").as_string("u"), "A\xC3\xA9\xE2\x82\xAC");
+  EXPECT_THROW(parse_json(R"("\q")"), Error);        // unknown escape
+  EXPECT_THROW(parse_json(R"("\u12")"), Error);      // truncated \u
+  EXPECT_THROW(parse_json(R"("\u12zz")"), Error);    // bad hex digit
+  EXPECT_THROW(parse_json("\"a\nb\""), Error);       // raw control character
+  EXPECT_THROW(parse_json(R"("open)"), Error);       // unterminated string
+}
+
+TEST(Json, EscapeWriteParseRoundTrip) {
+  // Every byte the writer escapes must come back identical through the
+  // parser, including embedded control characters.
+  const std::string original = "line1\nline2\ttab \"quoted\" back\\slash \x01";
+  const std::string doc = "{\"k\": \"" + support::json_escape(original) + "\"}";
+  EXPECT_EQ(support::parse_json(doc).at("k").as_string("k"), original);
+}
+
+TEST(Json, NestingDepthLimit) {
+  const auto nested = [](int depth) {
+    std::string s(static_cast<size_t>(depth), '[');
+    s += "1";
+    s.append(static_cast<size_t>(depth), ']');
+    return s;
+  };
+  EXPECT_NO_THROW(support::parse_json(nested(support::kMaxNestingDepth)));
+  EXPECT_THROW(support::parse_json(nested(support::kMaxNestingDepth + 1)), Error);
+  // Mixed object/array nesting counts the same levels.
+  std::string mixed;
+  for (int i = 0; i < support::kMaxNestingDepth; ++i) mixed += R"({"k":)";
+  mixed += "0";
+  mixed.append(static_cast<size_t>(support::kMaxNestingDepth), '}');
+  EXPECT_THROW(support::parse_json("[" + mixed + "]"), Error);
+}
+
+TEST(Json, MalformedInputRejection) {
+  using support::parse_json;
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1, 2"), Error);
+  EXPECT_THROW(parse_json("[1 2]"), Error);            // missing comma
+  EXPECT_THROW(parse_json(R"({"a" 1})"), Error);       // missing colon
+  EXPECT_THROW(parse_json(R"({a: 1})"), Error);        // unquoted key
+  EXPECT_THROW(parse_json("1 2"), Error);              // trailing document
+  EXPECT_THROW(parse_json("truth"), Error);            // not a keyword
+  EXPECT_THROW(parse_json("1.2.3"), Error);            // malformed number
+  EXPECT_THROW(parse_json("-"), Error);
+  // The diagnostic carries origin:line:column context.
+  try {
+    parse_json("{\n  \"a\": }", "grid.json");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("grid.json:2"), std::string::npos);
+  }
+}
+
+TEST(Json, RoundTripKeyOrderStability) {
+  // The writer promises byte-stable output with keys in insertion order;
+  // the parser preserves that order in `entries`, so write → parse →
+  // re-write reproduces the document exactly.
+  support::JsonWriter w;
+  w.begin_object();
+  w.field("zeta", 1);
+  w.field("alpha", "two");
+  w.begin_object("nested");
+  w.field("b", true);
+  w.field("a", 3.5);
+  w.end();
+  w.begin_array("list");
+  w.element(uint64_t{7});
+  w.element("x");
+  w.end();
+  w.end();
+  const std::string doc = w.str();
+
+  const support::JsonValue v = support::parse_json(doc);
+  ASSERT_EQ(v.entries.size(), 4u);
+  EXPECT_EQ(v.entries[0].first, "zeta");
+  EXPECT_EQ(v.entries[1].first, "alpha");
+  EXPECT_EQ(v.entries[2].first, "nested");
+  EXPECT_EQ(v.entries[3].first, "list");
+  ASSERT_EQ(v.at("nested").entries.size(), 2u);
+  EXPECT_EQ(v.at("nested").entries[0].first, "b");
+  EXPECT_EQ(v.at("nested").entries[1].first, "a");
+
+  support::JsonWriter w2;
+  w2.begin_object();
+  w2.field("zeta", v.at("zeta").as_int("zeta"));
+  w2.field("alpha", v.at("alpha").as_string("alpha"));
+  w2.begin_object("nested");
+  w2.field("b", v.at("nested").at("b").as_bool("b"));
+  w2.field("a", v.at("nested").at("a").as_number("a"));
+  w2.end();
+  w2.begin_array("list");
+  w2.element(static_cast<uint64_t>(v.at("list").array[0].as_int("0")));
+  w2.element(v.at("list").array[1].as_string("1"));
+  w2.end();
+  w2.end();
+  EXPECT_EQ(w2.str(), doc);
 }
 
 } // namespace

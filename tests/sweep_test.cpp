@@ -69,7 +69,33 @@ TEST(SweepSpec, FromManifest) {
   EXPECT_EQ(spec.threads, 4);
   EXPECT_EQ(spec.base.seed, 7u);
   EXPECT_EQ(spec.base.max_instructions, 5000u);
+  EXPECT_FALSE(spec.require_lint_clean); // off unless the manifest asks
   EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SweepSpec, FromManifestParsesLintGate) {
+  const api::SweepSpec spec = api::SweepSpec::from_manifest(R"({
+    "workloads": ["dct"], "isas": ["RISC"], "models": ["none"],
+    "require_lint_clean": true
+  })", "m");
+  EXPECT_TRUE(spec.require_lint_clean);
+  EXPECT_THROW(api::SweepSpec::from_manifest(
+                   R"({"workloads": ["dct"], "isas": ["RISC"],
+                       "models": ["none"], "require_lint_clean": 3})", "m"),
+               Error);
+}
+
+TEST(Sweep, LintGatePassesCleanImages) {
+  // Every built-in workload is lint-clean, so gating must not cost points.
+  api::SweepSpec spec;
+  spec.workloads = {"dct"};
+  spec.isas = {"RISC", "VLIW4"};
+  spec.models = {"none"};
+  spec.base.echo_output = false;
+  spec.require_lint_clean = true;
+  const api::SweepResult result = api::run_sweep(spec);
+  EXPECT_EQ(result.failed, 0u);
+  for (const api::SweepPoint& p : result.points) EXPECT_TRUE(p.ok) << p.error;
 }
 
 TEST(SweepSpec, FromManifestErrors) {
