@@ -1,0 +1,74 @@
+// kjit performance gate: hot superblocks translated to host x86-64 must run
+// the cjpeg RISC workload at >= 3x the MIPS of the superblock interpreter
+// (ci.sh enforces the ratio from the JSON on x86-64 hosts).  Also reports
+// the translation-activity counters and a second workload (dct) as a
+// sanity point for the speedup's generality.
+//
+//   --json <path>  emit machine-readable metrics (ci.sh → BENCH_jit.json)
+//   --quick        fewer repeats (CI smoke check)
+#include "bench_util.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+namespace {
+
+void bench_workload(BenchJson& json, const char* workload, int repeats) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name(workload), "RISC");
+  sim::SimOptions interp; // superblock engine, no translation
+  interp.use_jit = false;
+  const sim::SimOptions jit; // everything on (default)
+
+  const TimedRun a = timed_run(exe, interp, {}, repeats);
+  const TimedRun b = timed_run(exe, jit, {}, repeats);
+  const double speedup = b.mips() / a.mips();
+
+  std::printf("%-10s %24s %10.1f MIPS\n", workload, "superblock interpreter",
+              a.mips());
+  std::printf("%-10s %24s %10.1f MIPS  (%.2fx)\n", workload, "jit translation",
+              b.mips(), speedup);
+  std::printf("%-10s %24s %llu translated, %llu/%llu dispatches jitted,"
+              " %llu side exits, %llu bailouts\n\n",
+              workload, "",
+              static_cast<unsigned long long>(b.stats.jit_blocks_translated),
+              static_cast<unsigned long long>(b.stats.jit_dispatches),
+              static_cast<unsigned long long>(b.stats.block_dispatches),
+              static_cast<unsigned long long>(b.stats.jit_side_exits),
+              static_cast<unsigned long long>(b.stats.jit_bailouts));
+
+  const std::string prefix = workload;
+  json_run(json, prefix + ".superblocks", a);
+  json_run(json, prefix + ".jit", b);
+  json.set(prefix + ".speedup", speedup);
+  json.set(prefix + ".blocks_translated", b.stats.jit_blocks_translated);
+  json.set(prefix + ".jit_dispatches", b.stats.jit_dispatches);
+  json.set(prefix + ".block_dispatches", b.stats.block_dispatches);
+  json.set(prefix + ".side_exits", b.stats.jit_side_exits);
+  json.set(prefix + ".bailouts", b.stats.jit_bailouts);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("jit", args);
+  const int repeats = args.quick ? 2 : 3;
+
+  header("kjit: host translation vs. superblock interpreter (RISC instance)");
+
+  // KSIM_NO_JIT / a non-x86-64 host / a stub build leave the engine off; the
+  // gate in ci.sh keys off this flag so such configurations pass trivially.
+  const bool available =
+      sim::Simulator(isa::kisa(), sim::SimOptions{}).options().use_jit;
+  json.set("jit_available", available);
+  if (!available)
+    std::printf("jit engine unavailable on this host/config;"
+                " timings compare interpreter to itself\n\n");
+
+  bench_workload(json, "cjpeg", repeats); // the gated workload
+  bench_workload(json, "dct", repeats);
+
+  json.write();
+  return 0;
+}

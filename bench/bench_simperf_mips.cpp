@@ -1,8 +1,9 @@
 // Reproduces §VII-A's simulator-performance narrative: simulation speed in
 // MIPS without the decode cache, with the decode cache, with instruction
-// prediction, and with the superblock engine that generalizes prediction to
+// prediction, with the superblock engine that generalizes prediction to
 // block chaining (paper: 0.177 → 16.7 → 29.5 MIPS; 99.991 % of decodes and
-// 99.2 % of hash lookups avoided), plus the MIPS with each
+// 99.2 % of hash lookups avoided), and with the kjit translation of hot
+// superblocks to host code on top, plus the MIPS with each
 // cycle-approximation model active.
 //
 //   --json <path>  emit machine-readable metrics (ci.sh → BENCH_simperf.json)
@@ -27,19 +28,28 @@ int main(int argc, char** argv) {
   json.set("workload", std::string("cjpeg"));
   json.set("isa", std::string("RISC"));
 
+  // The first four tiers isolate the interpreter ablation ladder, so the
+  // JIT is pinned off; the fifth tier is the all-defaults engine with kjit
+  // translating hot superblocks to host code.
   sim::SimOptions no_cache;
   no_cache.use_decode_cache = false;
+  no_cache.use_jit = false;
   sim::SimOptions cache_only;
   cache_only.use_prediction = false;
   cache_only.use_superblocks = false;
+  cache_only.use_jit = false;
   sim::SimOptions prediction;
   prediction.use_superblocks = false;
-  sim::SimOptions superblocks; // cache + prediction + superblocks (default)
+  prediction.use_jit = false;
+  sim::SimOptions superblocks; // cache + prediction + superblocks
+  superblocks.use_jit = false;
+  sim::SimOptions jit; // everything on (default)
 
   const TimedRun a = timed_run(exe, no_cache, {}, repeats);
   const TimedRun b = timed_run(exe, cache_only, {}, repeats);
   const TimedRun c = timed_run(exe, prediction, {}, repeats);
   const TimedRun d = timed_run(exe, superblocks, {}, repeats);
+  const TimedRun e = timed_run(exe, jit, {}, repeats);
 
   std::printf("%-38s %10s %12s\n", "Configuration", "MIPS", "speedup");
   std::printf("%-38s %10.3f %12s\n", "interpretation only (no decode cache)",
@@ -50,7 +60,10 @@ int main(int argc, char** argv) {
               c.mips() / a.mips());
   std::printf("%-38s %10.1f %11.1fx\n", "+ superblock chaining", d.mips(),
               d.mips() / a.mips());
+  std::printf("%-38s %10.1f %11.1fx\n", "+ jit translation (kjit)", e.mips(),
+              e.mips() / a.mips());
   std::printf("\nsuperblocks vs. prediction-only: %.2fx\n", d.mips() / c.mips());
+  std::printf("jit vs. superblock interpreter:  %.2fx\n", e.mips() / d.mips());
   std::printf("detect & decode avoided by the cache:  %.4f%% of instructions\n",
               100.0 * d.stats.decode_avoidance());
   std::printf("hash lookups avoided (prediction):     %.2f%% of lookups\n",
@@ -65,7 +78,13 @@ int main(int argc, char** argv) {
   json_run(json, "cache", b);
   json_run(json, "prediction", c);
   json_run(json, "superblocks", d);
+  json_run(json, "jit", e);
   json.set("superblocks.speedup_vs_prediction", d.mips() / c.mips());
+  json.set("jit.speedup_vs_superblocks", e.mips() / d.mips());
+  json.set("jit.blocks_translated", e.stats.jit_blocks_translated);
+  json.set("jit.dispatches", e.stats.jit_dispatches);
+  json.set("jit.side_exits", e.stats.jit_side_exits);
+  json.set("jit.bailouts", e.stats.jit_bailouts);
   json.set("prediction.lookup_avoidance", c.stats.lookup_avoidance());
   json.set("superblocks.decode_avoidance", d.stats.decode_avoidance());
   json.set("superblocks.lookup_avoidance", d.stats.lookup_avoidance());

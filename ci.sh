@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Continuous-integration driver: regular build + tier-1 tests (with the
-# superblock engine on and off), the same suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer, the static C++ lint target (when clang-tidy is
-# installed), and a quick perf smoke that records BENCH_simperf.json.
+# superblock engine and the kjit translator on and off), the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer, the static C++ lint target
+# (when clang-tidy is installed), a checkpoint/replay equivalence gate with
+# and without the JIT, and a perf smoke that refreshes the checked-in
+# BENCH_simperf.json / BENCH_jit.json trajectories and gates the kjit
+# speedup on capable hosts.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,7 +18,12 @@ cmake --build build -j"$JOBS"
 echo "=== tier-1 tests (superblock engine, default) ==="
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "=== tier-1 tests (jit disabled fallback) ==="
+KSIM_NO_JIT=1 ctest --test-dir build --output-on-failure -j"$JOBS"
+
 echo "=== tier-1 tests (superblocks disabled fallback) ==="
+# Disabling superblocks also disables the JIT (its translations are
+# superblock traces), so this leg covers the fully interpreted engine.
 KSIM_NO_SUPERBLOCKS=1 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo "=== lint built-in workloads (all ISA configurations) ==="
@@ -41,6 +49,10 @@ while read -r name isa; do
 done < tests/goldens/manifest.txt
 
 echo "=== build (ASan+UBSan) ==="
+# Sanitizers and generated host code are mutually exclusive: the KSIM_SANITIZE
+# / KSIM_TSAN builds compile the JIT stub (no KSIM_JIT_HOST), so these suites
+# run the interpreter-only engine by construction — same as any non-x86-64
+# host, where the CMake arch check stubs the translator out.
 cmake -B build-asan -S . -DKSIM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS"
 
@@ -69,40 +81,79 @@ echo "=== checkpoint equivalence gate (interrupt + resume == straight run) ==="
 KSIM=./build/src/driver/ksim
 CKPT_TMP=$(mktemp -d)
 trap 'rm -rf "$CKPT_TMP"' EXIT
-# Straight-through reference run.
-$KSIM run --workload cjpeg --isa RISC --model doe \
-  >"$CKPT_TMP/straight.out" 2>"$CKPT_TMP/straight.err"
-# The same run interrupted mid-flight with periodic snapshots, then resumed.
-$KSIM run --workload cjpeg --isa RISC --model doe \
-  --checkpoint-every 200000 --ckpt-dir "$CKPT_TMP/ckpt" --max-instr 600000 \
-  >"$CKPT_TMP/part1.out" 2>/dev/null
-$KSIM resume "$CKPT_TMP/ckpt" \
-  >"$CKPT_TMP/resumed.out" 2>"$CKPT_TMP/resumed.err"
-# The resumed run must report the exact same final totals...
-for needle in "exited after" "DOE cycles" "superblocks:"; do
-  want=$(grep -F "$needle" "$CKPT_TMP/straight.err")
-  got=$(grep -F "$needle" "$CKPT_TMP/resumed.err")
-  if [ "$want" != "$got" ]; then
-    echo "ci.sh: checkpoint equivalence FAILED on '$needle':" >&2
-    echo "  straight: $want" >&2
-    echo "  resumed:  $got" >&2
-    exit 1
-  fi
-done
-# ...and the straight-through stdout must end with the resumed stdout.
-tail -c "$(wc -c <"$CKPT_TMP/resumed.out")" "$CKPT_TMP/straight.out" \
-  | cmp -s - "$CKPT_TMP/resumed.out" || {
-    echo "ci.sh: resumed stdout is not a suffix of the straight run" >&2
-    exit 1
-  }
-# Deterministic replay self-check on the surviving snapshot.
-$KSIM replay "$CKPT_TMP/ckpt"
-echo "checkpoint equivalence OK"
+# Two legs: under a DOE cycle model (per-operation hooks; the JIT never
+# dispatches) and bare model-none (the JIT's fast path; snapshots land inside
+# translated regions).  The jit stats line is deliberately NOT compared —
+# a restored session re-earns hotness, so its translation counters are
+# process-local by design (DESIGN.md §9); everything the program defines
+# must still match to the byte.
+ckpt_equivalence_leg() { # <leg-name> <needles...> -- <extra run flags...>
+  local leg="$1"; shift
+  local needles=()
+  while [ "$1" != "--" ]; do needles+=("$1"); shift; done
+  shift
+  local dir="$CKPT_TMP/$leg"
+  mkdir -p "$dir"
+  # Straight-through reference run.
+  $KSIM run --workload cjpeg --isa RISC "$@" \
+    >"$dir/straight.out" 2>"$dir/straight.err"
+  # The same run interrupted mid-flight with periodic snapshots, then resumed.
+  $KSIM run --workload cjpeg --isa RISC "$@" \
+    --checkpoint-every 200000 --ckpt-dir "$dir/ckpt" --max-instr 600000 \
+    >"$dir/part1.out" 2>/dev/null
+  $KSIM resume "$dir/ckpt" \
+    >"$dir/resumed.out" 2>"$dir/resumed.err"
+  # The resumed run must report the exact same final totals...
+  local needle want got
+  for needle in "${needles[@]}"; do
+    want=$(grep -F "$needle" "$dir/straight.err")
+    got=$(grep -F "$needle" "$dir/resumed.err")
+    if [ "$want" != "$got" ]; then
+      echo "ci.sh: checkpoint equivalence ($leg) FAILED on '$needle':" >&2
+      echo "  straight: $want" >&2
+      echo "  resumed:  $got" >&2
+      exit 1
+    fi
+  done
+  # ...and the straight-through stdout must end with the resumed stdout.
+  tail -c "$(wc -c <"$dir/resumed.out")" "$dir/straight.out" \
+    | cmp -s - "$dir/resumed.out" || {
+      echo "ci.sh: resumed stdout ($leg) is not a suffix of the straight run" >&2
+      exit 1
+    }
+  # Deterministic replay self-check on the surviving snapshot.
+  $KSIM replay "$dir/ckpt"
+  echo "checkpoint equivalence OK ($leg)"
+}
+ckpt_equivalence_leg doe "exited after" "DOE cycles" "superblocks:" \
+  -- --model doe
+ckpt_equivalence_leg jit "exited after" "superblocks:" --
 
-echo "=== perf smoke (non-gating numbers, machine-readable) ==="
+echo "=== perf smoke (machine-readable; simperf/jit trajectories checked in) ==="
+# BENCH_simperf.json and BENCH_jit.json are tracked in git (the perf
+# trajectory across PRs); commit the refreshed files with the change that
+# moved them.  BENCH_ckpt/BENCH_sweep stay local-only.
 ./build/bench/bench_simperf_mips --quick --json BENCH_simperf.json
+./build/bench/bench_jit --quick --json BENCH_jit.json
 ./build/bench/bench_ckpt --quick --json BENCH_ckpt.json
 ./build/bench/bench_sweep --quick --json BENCH_sweep.json
+
+# kjit speedup gate: translated superblocks must beat the superblock
+# interpreter by >= 3x on cjpeg RISC — gated only where the translator can
+# engage (x86-64, no sanitizers, KSIM_NO_JIT unset); the bench records the
+# engine's availability honestly.
+JIT_AVAILABLE=$(sed -n 's/.*"jit_available": \(true\|false\).*/\1/p' BENCH_jit.json)
+JIT_SPEEDUP=$(sed -n 's/.*"cjpeg\.speedup": \([0-9.]*\).*/\1/p' BENCH_jit.json)
+if [ "$JIT_AVAILABLE" = "true" ]; then
+  awk -v s="$JIT_SPEEDUP" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "ci.sh: kjit speedup gate FAILED: ${JIT_SPEEDUP}x on cjpeg RISC" \
+         "(need >= 3x over the superblock interpreter)" >&2
+    exit 1
+  }
+  echo "kjit speedup gate OK (${JIT_SPEEDUP}x on cjpeg RISC)"
+else
+  echo "kjit speedup not gated (translator unavailable on this host/config)"
+fi
 
 # Thread-scaling gate: the 8-worker sweep must be >= 3x the single-threaded
 # throughput — but only where that is physically possible.  hw_threads is

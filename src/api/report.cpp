@@ -24,6 +24,10 @@ std::string render_report_json(const Report& r) {
   w.field("blocks_formed", r.stats.blocks_formed);
   w.field("block_dispatches", r.stats.block_dispatches);
   w.field("block_chain_hits", r.stats.block_chain_hits);
+  w.field("jit_blocks_translated", r.stats.jit_blocks_translated);
+  w.field("jit_dispatches", r.stats.jit_dispatches);
+  w.field("jit_side_exits", r.stats.jit_side_exits);
+  w.field("jit_bailouts", r.stats.jit_bailouts);
   w.field("output_bytes", r.output_bytes);
   if (r.has_cycles) {
     w.field("cycles", r.cycles);
@@ -54,6 +58,13 @@ std::string render_report_text(const Report& r) {
                 static_cast<unsigned long long>(r.stats.block_dispatches),
                 100.0 * r.stats.block_chain_avoidance(),
                 100.0 * r.stats.lookup_avoidance());
+  if (r.jit)
+    out += strf("[ksim] jit: %llu blocks translated, %llu dispatches"
+                " (%llu side exits, %llu bailouts)\n",
+                static_cast<unsigned long long>(r.stats.jit_blocks_translated),
+                static_cast<unsigned long long>(r.stats.jit_dispatches),
+                static_cast<unsigned long long>(r.stats.jit_side_exits),
+                static_cast<unsigned long long>(r.stats.jit_bailouts));
   if (r.rtl_reference)
     out += strf("[ksim] RTL reference: %llu cycles\n",
                 static_cast<unsigned long long>(r.cycles));

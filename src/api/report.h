@@ -35,6 +35,8 @@ struct Report {
   sim::SimStats stats;     ///< simulator counters at stop time
   bool superblocks = true; ///< engine enabled (the text line is printed even
                            ///< when its counters are zero)
+  bool jit = true;         ///< kjit enabled (normalized: reflects host
+                           ///< support and KSIM_NO_JIT, like the counters)
 
   bool has_cycles = false; ///< a cycle model (or the RTL reference) ran
   bool rtl_reference = false; ///< cycles come from the replayed RTL trace
@@ -54,8 +56,11 @@ struct Report {
 /// schema, schema_version, target, model, stop_reason, exit_code,
 /// instructions, operations, decodes, cache_lookups, pred_hits, isa_switches,
 /// libc_calls, blocks_formed, block_dispatches, block_chain_hits,
+/// jit_blocks_translated, jit_dispatches, jit_side_exits, jit_bailouts,
 /// output_bytes, then the optional "cycles"/"ops_per_cycle" pair (cycle
-/// model attached) and the optional "branch_predictor" object.
+/// model attached) and the optional "branch_predictor" object.  The jit_*
+/// keys were appended in an order-preserving, additive change (same
+/// schema_version); they count this process's translation activity only.
 std::string render_report_json(const Report& r);
 
 /// The classic `[ksim] ...` stderr summary lines for the same report.

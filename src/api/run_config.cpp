@@ -49,6 +49,7 @@ sim::SimOptions RunConfig::sim_options() const {
   sopt.use_decode_cache = use_decode_cache;
   sopt.use_prediction = use_prediction;
   sopt.use_superblocks = use_superblocks;
+  sopt.use_jit = use_jit;
   sopt.collect_op_stats = collect_op_stats;
   sopt.max_instructions = max_instructions;
   sopt.libc_seed = seed;
@@ -72,6 +73,7 @@ ckpt::RunRecord RunConfig::run_record(const std::string& label) const {
   run.use_decode_cache = use_decode_cache ? 1 : 0;
   run.use_prediction = use_prediction ? 1 : 0;
   run.use_superblocks = use_superblocks ? 1 : 0;
+  run.use_jit = use_jit ? 1 : 0;
   run.collect_op_stats = collect_op_stats ? 1 : 0;
   run.max_instructions = max_instructions;
   return run;
@@ -86,6 +88,7 @@ RunConfig RunConfig::from_run_record(const ckpt::RunRecord& run) {
   cfg.use_decode_cache = run.use_decode_cache != 0;
   cfg.use_prediction = run.use_prediction != 0;
   cfg.use_superblocks = run.use_superblocks != 0;
+  cfg.use_jit = run.use_jit != 0;
   cfg.collect_op_stats = run.collect_op_stats != 0;
   cfg.max_instructions = run.max_instructions;
   return cfg;
@@ -101,6 +104,7 @@ std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg) {
   flag("KSIM_NO_SUPERBLOCKS", cfg.use_superblocks, "--no-superblocks");
   flag("KSIM_NO_DECODE_CACHE", cfg.use_decode_cache, "--no-decode-cache");
   flag("KSIM_NO_PREDICTION", cfg.use_prediction, "--no-prediction");
+  flag("KSIM_NO_JIT", cfg.use_jit, "--no-jit");
   if (const char* seed = std::getenv("KSIM_SEED"); seed != nullptr) {
     int64_t v = 0;
     check(parse_int(seed, v) && v >= 0 && v <= INT64_C(0xFFFFFFFF),

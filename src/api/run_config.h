@@ -34,10 +34,12 @@ struct RunConfig {
   std::string bp_kind;             ///< predictor for AIE/DOE ("" = perfect)
   int bp_penalty = 3;              ///< mispredict refill penalty (cycles)
 
-  // -- engine switches (paper §V-A + superblock engine) ---------------------
+  // -- engine switches (paper §V-A + superblock engine + kjit) --------------
   bool use_decode_cache = true;
   bool use_prediction = true;
   bool use_superblocks = true;
+  bool use_jit = true;             ///< kjit binary translation (needs
+                                   ///< superblocks; inert off x86-64)
   bool collect_op_stats = false;
 
   // -- run bounds & determinism ---------------------------------------------
@@ -88,6 +90,7 @@ struct EnvOverride {
 ///   KSIM_NO_SUPERBLOCKS  -> use_superblocks = false  (--no-superblocks)
 ///   KSIM_NO_DECODE_CACHE -> use_decode_cache = false (--no-decode-cache)
 ///   KSIM_NO_PREDICTION   -> use_prediction = false   (--no-prediction)
+///   KSIM_NO_JIT          -> use_jit = false          (--no-jit)
 ///   KSIM_SEED=<n>        -> seed = n                 (--seed)
 std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg);
 

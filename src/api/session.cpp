@@ -99,6 +99,29 @@ void Session::wire(const elf::ElfFile& exe) {
   sim_->load(exe);
   sim_->libc().set_echo(cfg_.echo_output);
 
+  // Static JIT policy (the PR 6 translatability pass): address ranges with a
+  // hard obstacle — SIMOP, a statically certain out-of-range access, or a
+  // store that may hit the text section — are never handed to the
+  // translator.  Computed only when the JIT can actually fire: querying the
+  // simulator's normalized options folds in KSIM_NO_JIT and host support,
+  // and hook-attached runs (cycle model, trace, profile, op histogram)
+  // dispatch no host code at all.
+  if (sim_->options().use_jit && cfg_.model == "none" && !cfg_.profile &&
+      cfg_.trace_file.empty() && !cfg_.collect_op_stats) {
+    const analysis::Program program = analysis::decode_program(exe, isa::kisa());
+    const analysis::FuncAnalyses fa = analysis::analyze_functions(program);
+    const analysis::TranslatabilityReport report = analysis::classify_translatability(
+        exe, program, fa, sim_->state().ram_size());
+    constexpr unsigned kVetoMask =
+        analysis::kJitSimop | analysis::kJitTrapRisk | analysis::kJitSelfModifying;
+    std::vector<jit::VetoRange> vetoes;
+    for (const analysis::FuncTranslatability& func : report.functions)
+      for (const analysis::BlockTranslatability& block : func.blocks)
+        if ((block.reasons & kVetoMask) != 0)
+          vetoes.push_back({block.start, block.end});
+    sim_->set_jit_policy(std::move(vetoes));
+  }
+
   if (cfg_.model == "ilp") {
     model_ = std::make_unique<cycle::IlpModel>();
   } else if (cfg_.model == "aie") {
@@ -170,6 +193,7 @@ Report Session::report(sim::StopReason reason) const {
   r.exit_code = sim_->exit_code();
   r.stats = sim_->stats();
   r.superblocks = sim_->options().use_superblocks;
+  r.jit = sim_->options().use_jit;
   r.output_bytes = sim_->libc().output().size();
   if (recorder_ != nullptr) {
     // The DOE pipeline recorded a full operation trace; replay it through

@@ -62,6 +62,7 @@ void RunRecord::save(ByteWriter& w) const {
   w.u8(use_decode_cache);
   w.u8(use_prediction);
   w.u8(use_superblocks);
+  w.u8(use_jit);
   w.u8(collect_op_stats);
   w.u64(max_instructions);
 }
@@ -79,6 +80,7 @@ void RunRecord::restore(ByteReader& r) {
   use_decode_cache = r.u8();
   use_prediction = r.u8();
   use_superblocks = r.u8();
+  use_jit = r.u8();
   collect_op_stats = r.u8();
   max_instructions = r.u64();
 }

@@ -43,7 +43,10 @@ class BranchPredictor;
 
 namespace ksim::ckpt {
 
-inline constexpr uint32_t kFormatVersion = 1;
+// Version history: 1 = initial format; 2 = RUN section gained use_jit (the
+// kjit engine switch — configuration only, checkpoints never carry host code
+// or translation state).
+inline constexpr uint32_t kFormatVersion = 2;
 inline constexpr char kFileSuffix[] = ".kckpt";
 
 /// The run configuration recorded into every checkpoint (RUN section): all
@@ -59,6 +62,7 @@ struct RunRecord {
   uint8_t use_decode_cache = 1;
   uint8_t use_prediction = 1;
   uint8_t use_superblocks = 1;
+  uint8_t use_jit = 1;
   uint8_t collect_op_stats = 0;
   uint64_t max_instructions = 0;   ///< original --max-instr (0 = unlimited)
 

@@ -31,6 +31,8 @@
 //   --no-decode-cache / --no-prediction   disable §V-A optimizations
 //   --no-superblocks disable the superblock execution engine (fall back to
 //                    the §V-A per-instruction prediction path)
+//   --no-jit         disable kjit binary translation (interpret superblocks;
+//                    automatic off x86-64 hosts and under sanitizers)
 //   --bp KIND        branch predictor for AIE/DOE (not-taken, taken, 1bit,
 //                    2bit, gshare); default: perfect prediction
 //   --bp-penalty N   mispredict refill penalty in cycles (default 3)
@@ -101,6 +103,7 @@ namespace {
                "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
                "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
                "      [--no-decode-cache] [--no-prediction] [--no-superblocks]\n"
+               "      [--no-jit]\n"
                "      [--max-instr N] [--seed N] [--json FILE]\n"
                "      [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
                "  sweep [--workloads A,B] [--isas A,B] [--models A,B]\n"
@@ -155,6 +158,7 @@ struct Options {
   bool decode_cache = true;
   bool prediction = true;
   bool superblocks = true;
+  bool jit = true;
   uint64_t max_instr = 0;
   uint32_t seed = 1;
   uint64_t ckpt_every = 0;
@@ -216,6 +220,8 @@ Options parse_options(int argc, char** argv, int first) {
       opt.prediction = false;
     } else if (arg == "--no-superblocks") {
       opt.superblocks = false;
+    } else if (arg == "--no-jit") {
+      opt.jit = false;
     } else if (arg == "--max-instr") {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--max-instr expects a count");
@@ -271,6 +277,7 @@ api::RunConfig to_run_config(const Options& opt) {
   cfg.use_decode_cache = opt.decode_cache;
   cfg.use_prediction = opt.prediction;
   cfg.use_superblocks = opt.superblocks;
+  cfg.use_jit = opt.jit;
   cfg.collect_op_stats = opt.opstats;
   cfg.max_instructions = opt.max_instr;
   cfg.seed = opt.seed;

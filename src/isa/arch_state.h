@@ -117,6 +117,11 @@ public:
   uint8_t* ram_data() { return ram_.data(); }
   const uint8_t* ram_data() const { return ram_.data(); }
 
+  /// Direct access to the register file for JIT-generated code.  Writers
+  /// must preserve the r0-hardwired-to-zero invariant themselves (the JIT
+  /// skips every store to r0 at translation time).
+  uint32_t* regs_data() { return regs_.data(); }
+
   /// True if [addr, addr+size) lies inside RAM.
   bool in_ram(uint32_t addr, uint32_t size) const {
     return addr < ram_.size() && size <= ram_.size() - addr;

@@ -1,0 +1,87 @@
+#include "jit/jit.h"
+
+#include <cstring>
+
+#ifdef KSIM_JIT_HOST
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace ksim::jit {
+
+namespace {
+
+/// Arena chunk size.  Translations are a few hundred bytes each; one chunk
+/// holds thousands of blocks, and a workload that overflows the total budget
+/// simply stops translating (interpretation stays correct).
+constexpr size_t kChunkSize = 1u << 20;
+constexpr size_t kMaxChunks = 64; // 64 MiB hard budget
+
+} // namespace
+
+#ifdef KSIM_JIT_HOST
+
+CodeCache::~CodeCache() {
+  for (Chunk& c : chunks_)
+    if (c.base != nullptr) ::munmap(c.base, c.size);
+}
+
+CodeCache::Chunk* CodeCache::writable_chunk(size_t need) {
+  if (!chunks_.empty()) {
+    Chunk& back = chunks_.back();
+    if (back.size - back.used >= need) {
+      if (!back.writable) {
+        if (::mprotect(back.base, back.size, PROT_READ | PROT_WRITE) != 0)
+          return nullptr;
+        back.writable = true;
+      }
+      return &back;
+    }
+  }
+  if (chunks_.size() >= kMaxChunks || need > kChunkSize) return nullptr;
+  void* mem = ::mmap(nullptr, kChunkSize, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return nullptr;
+  chunks_.push_back({static_cast<uint8_t*>(mem), kChunkSize, 0, true});
+  return &chunks_.back();
+}
+
+BlockFn CodeCache::install(const std::vector<uint8_t>& code) {
+  if (code.empty()) return nullptr;
+  // Entry points stay 16-byte aligned (call-target friendly).
+  const size_t need = (code.size() + 15u) & ~size_t{15};
+  Chunk* c = writable_chunk(need);
+  if (c == nullptr) return nullptr;
+  uint8_t* dst = c->base + c->used;
+  std::memcpy(dst, code.data(), code.size());
+  c->used += need;
+  // W^X: no page is ever writable and executable at once.  Flipping the
+  // whole chunk is safe — no guest code is running during translation.
+  if (::mprotect(c->base, c->size, PROT_READ | PROT_EXEC) != 0) {
+    c->used -= need;
+    return nullptr;
+  }
+  c->writable = false;
+  ++blocks_;
+  used_total_ += need;
+  return reinterpret_cast<BlockFn>(dst);
+}
+
+void CodeCache::clear() {
+  // Keep the mappings (they are recycled RW-first by the next install);
+  // just reset the cursors so stale entry points are never handed out again.
+  for (Chunk& c : chunks_) c.used = 0;
+  blocks_ = 0;
+  used_total_ = 0;
+}
+
+#else // !KSIM_JIT_HOST — stub build (non-x86-64 hosts, sanitizer builds)
+
+CodeCache::~CodeCache() = default;
+CodeCache::Chunk* CodeCache::writable_chunk(size_t) { return nullptr; }
+BlockFn CodeCache::install(const std::vector<uint8_t>&) { return nullptr; }
+void CodeCache::clear() {}
+
+#endif
+
+} // namespace ksim::jit

@@ -1,0 +1,142 @@
+// kjit — dynamic binary translation of hot superblocks to host x86-64
+// (DESIGN.md §9).  The translator is a template emitter: each DecodedInstr of
+// a JIT-safe superblock is specialized into a short host-code sequence
+// against pinned guest-state offsets; the result runs as one native function
+// per block, dispatched from the superblock run loop.
+//
+// Contract with the interpreter (the correctness anchor):
+//   * Translated blocks are *observation-transparent*: registers, memory,
+//     the instruction pointer, the IP-history ring and every serialized
+//     SimStats counter advance exactly as the superblock interpreter would.
+//     Anything the generated code cannot reproduce exactly (possible traps,
+//     SIMOPs, ISA switches, VLIW write-back semantics) is either declined at
+//     translation time or handed back to the interpreter via a side exit
+//     before any state of the offending instruction is committed.
+//   * Translations bake the decode-cache contents of their block, so they
+//     are exactly as stale as the interpreter's decode cache — and they are
+//     invalidated by exactly the same call (Simulator::clear_decode_cache).
+//   * Checkpoints never serialize host code or hotness: after a restore the
+//     code cache is empty and blocks re-earn translation lazily, mirroring
+//     the superblock-graph rebuild.
+//
+// Host requirements: x86-64 SysV. On other hosts (or under sanitizers, which
+// cannot instrument generated code) the CMake arch check compiles the stub
+// translator and the engine reports host_supported() == false, so the whole
+// subsystem degrades to the plain superblock interpreter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/exec.h"
+
+namespace ksim::jit {
+
+/// True when this build carries the real x86-64 emitter (CMake sets
+/// KSIM_JIT_HOST on x86-64 non-sanitizer builds; see src/jit/CMakeLists.txt).
+constexpr bool host_supported() {
+#ifdef KSIM_JIT_HOST
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Dispatches of a cold block before translation is attempted.  Low enough
+/// that benchmarks spend almost all instructions in translated code, high
+/// enough that one-shot startup code is never compiled.
+inline constexpr uint32_t kHotThreshold = 16;
+
+/// Guest state handed to generated code in a fixed register (rdi).  The
+/// layout is ABI: the emitter hardcodes these offsets, so the struct is
+/// pinned by static_asserts in translator_x86.cpp.
+struct JitContext {
+  uint32_t* regs = nullptr;  ///< +0  guest register file (32 x u32)
+  uint8_t* ram = nullptr;    ///< +8  simulated RAM base
+  uint32_t* ring = nullptr;  ///< +16 IP-history ring base (null = disabled)
+  uint64_t executed = 0;     ///< +24 instructions retired by the last call
+  uint64_t ops = 0;          ///< +32 operations retired by the last call
+  uint32_t ip = 0;           ///< +40 guest IP at exit
+  uint32_t ring_pos = 0;     ///< +44 IP-history cursor (live across calls)
+  uint32_t ring_full = 0;    ///< +48 IP-history wrapped flag
+  uint32_t reserved = 0;     ///< +52 padding, keeps the struct 8-aligned
+};
+
+/// Exit protocol: generated code returns kind | (instr_index << 8) in eax.
+enum ExitKind : uint32_t {
+  kExitFallthrough = 0, ///< ran off the end; ip = next sequential address
+  kExitTaken = 1,       ///< a branch fired at instr_index; ip = its target
+  kExitBail = 2,        ///< guard failed at instr_index *before* it retired;
+                        ///< the interpreter finishes the block from there
+};
+inline uint32_t exit_kind(uint64_t code) { return static_cast<uint32_t>(code) & 0xFFu; }
+inline uint32_t exit_index(uint64_t code) { return static_cast<uint32_t>(code) >> 8; }
+
+/// Signature of a translated block: SysV x86-64, context in rdi, exit code
+/// in rax.  Generated code uses caller-saved registers only (no stack frame).
+using BlockFn = uint64_t (*)(JitContext*);
+
+/// Translation-time facts about the simulated machine that get baked into
+/// the generated code as immediates.
+struct TranslateEnv {
+  uint32_t ram_size = 0;  ///< guest RAM size (memory-guard bound)
+  uint32_t ring_size = 0; ///< IP-history length (0 = history disabled)
+};
+
+/// An address range the static translatability analysis vetoed
+/// (analysis::classify_translatability reason mask != 0).
+struct VetoRange {
+  uint32_t start = 0;
+  uint32_t end = 0; ///< first address past the range
+};
+
+/// Translates one superblock trace (instrs[0..n)) to host code bytes.
+/// Returns an empty vector to decline: unsupported operation, VLIW group
+/// (num_ops > 1), SIMOP/HALT/SWITCHTARGET, or a stub build.  Declining is
+/// always observation-safe — the caller keeps interpreting the block.
+std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
+                                     uint16_t num_instrs,
+                                     const TranslateEnv& env);
+
+/// Executable-arena code cache (W^X): chunks are mmap'd read-write for
+/// emission and flipped to read-execute before use; install() copies a
+/// translation in and returns the executable entry point.  Entries are
+/// per-block — the owning Superblock (keyed by (addr, isa) like the decode
+/// cache) holds the pointer — and are only ever invalidated wholesale by
+/// clear(), together with the superblocks that reference them.
+class CodeCache {
+public:
+  CodeCache() = default;
+  ~CodeCache();
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  /// Copies `code` into executable memory.  Returns null when the arena
+  /// budget is exhausted or the host cannot map executable pages (the
+  /// caller marks the block declined and keeps interpreting).
+  BlockFn install(const std::vector<uint8_t>& code);
+
+  /// Drops every translation and recycles the arena (W^X flip back to RW
+  /// happens lazily on the next install).  Callers must simultaneously null
+  /// all Superblock::jit_entry pointers — clear_decode_cache() does.
+  void clear();
+
+  uint64_t blocks() const { return blocks_; }
+  uint64_t code_bytes() const { return used_total_; }
+
+private:
+  struct Chunk {
+    uint8_t* base = nullptr;
+    size_t size = 0;
+    size_t used = 0;
+    bool writable = false;
+  };
+  Chunk* writable_chunk(size_t need);
+
+  std::vector<Chunk> chunks_;
+  uint64_t blocks_ = 0;
+  uint64_t used_total_ = 0;
+};
+
+} // namespace ksim::jit

@@ -1,0 +1,582 @@
+// Template translator: specializes each DecodedInstr of a superblock trace
+// into a hand-assembled x86-64 sequence (DESIGN.md §9).  No assembler
+// library is used; every encoding below is written out byte by byte.
+//
+// Guest-state ABI (all caller-saved; generated code needs no stack frame):
+//   rdi  = JitContext* (argument, never clobbered)
+//   rsi  = guest register file base (regs[0..31], u32 each -> disp8 reaches all)
+//   r8   = simulated RAM base
+//   r10  = IP-history ring base        (only when the ring is enabled)
+//   r11d = IP-history ring cursor      (only when the ring is enabled)
+//   eax, ecx, edx = scratch
+//
+// Per-instruction template shape:
+//   [guards -> bail stub]   traps must be re-raised by the interpreter, so
+//                           any possibly-faulting access is guarded by the
+//                           exact interpreter fault condition and bails
+//                           *before* the instruction writes any state;
+//   [compute + commit]      register results store straight into the guest
+//                           register file (single-op instructions have no
+//                           cross-slot read-before-write hazard);
+//   [branch -> taken stub]  conditional exits jump to a per-instruction stub;
+//   [ring write]            the retiring instruction is appended to the
+//                           IP-history ring, matching record_ip() exactly.
+//
+// Exit stubs write the retired instruction/operation counts, the final IP
+// and the ring cursor into the JitContext and return kind|(index<<8) (see
+// jit.h).  Bail stubs report the *not yet retired* instruction, so the
+// interpreter re-executes it from pristine state and raises the exact trap.
+#include "jit/jit.h"
+
+#include <string_view>
+
+namespace ksim::jit {
+
+#ifdef KSIM_JIT_HOST
+
+static_assert(offsetof(JitContext, regs) == 0);
+static_assert(offsetof(JitContext, ram) == 8);
+static_assert(offsetof(JitContext, ring) == 16);
+static_assert(offsetof(JitContext, executed) == 24);
+static_assert(offsetof(JitContext, ops) == 32);
+static_assert(offsetof(JitContext, ip) == 40);
+static_assert(offsetof(JitContext, ring_pos) == 44);
+static_assert(offsetof(JitContext, ring_full) == 48);
+
+namespace {
+
+// -- tiny emitter -----------------------------------------------------------
+
+struct Emitter {
+  std::vector<uint8_t> out;
+
+  void b(uint8_t v) { out.push_back(v); }
+  void bs(std::initializer_list<uint8_t> v) { out.insert(out.end(), v); }
+  void imm32(uint32_t v) {
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+  }
+  size_t pos() const { return out.size(); }
+  void patch32(size_t at, uint32_t v) {
+    out[at] = static_cast<uint8_t>(v);
+    out[at + 1] = static_cast<uint8_t>(v >> 8);
+    out[at + 2] = static_cast<uint8_t>(v >> 16);
+    out[at + 3] = static_cast<uint8_t>(v >> 24);
+  }
+};
+
+/// Forward-reference label: jumps emit a rel32 placeholder, bind() patches.
+struct Label {
+  int32_t bound = -1;
+  std::vector<size_t> fixups;
+
+  void jump_here_from(Emitter& e) {
+    if (bound >= 0) {
+      e.imm32(static_cast<uint32_t>(bound - static_cast<int32_t>(e.pos()) - 4));
+    } else {
+      fixups.push_back(e.pos());
+      e.imm32(0);
+    }
+  }
+  void bind(Emitter& e) {
+    bound = static_cast<int32_t>(e.pos());
+    for (const size_t at : fixups)
+      e.patch32(at, static_cast<uint32_t>(bound - static_cast<int32_t>(at) - 4));
+    fixups.clear();
+  }
+};
+
+// x86 condition codes (for 0F 8x jcc / 0F 9x setcc).
+enum Cc : uint8_t {
+  kCcB = 0x2,  // unsigned <
+  kCcAe = 0x3, // unsigned >=
+  kCcE = 0x4,
+  kCcNe = 0x5,
+  kCcBe = 0x6, // unsigned <=
+  kCcA = 0x7,  // unsigned >
+  kCcL = 0xC,  // signed <
+  kCcGe = 0xD,
+  kCcLe = 0xE,
+};
+
+void jcc(Emitter& e, uint8_t cc, Label& l) {
+  e.b(0x0F);
+  e.b(static_cast<uint8_t>(0x80 | cc));
+  l.jump_here_from(e);
+}
+void jmp(Emitter& e, Label& l) {
+  e.b(0xE9);
+  l.jump_here_from(e);
+}
+
+// Scratch register numbers (host).
+constexpr uint8_t kEax = 0, kEcx = 1, kEdx = 2;
+
+uint8_t modrm_regfile(uint8_t host_reg, uint8_t guest_reg) {
+  (void)guest_reg;
+  return static_cast<uint8_t>(0x40 | (host_reg << 3) | 0x6); // [rsi+disp8]
+}
+
+/// mov host32, [rsi + guest*4]
+void load_guest(Emitter& e, uint8_t host, uint8_t g) {
+  e.b(0x8B);
+  e.b(modrm_regfile(host, g));
+  e.b(static_cast<uint8_t>(g * 4));
+}
+/// mov [rsi + guest*4], host32
+void store_guest(Emitter& e, uint8_t g, uint8_t host) {
+  e.b(0x89);
+  e.b(modrm_regfile(host, g));
+  e.b(static_cast<uint8_t>(g * 4));
+}
+/// mov dword [rsi + guest*4], imm32
+void store_guest_imm(Emitter& e, uint8_t g, uint32_t imm) {
+  e.b(0xC7);
+  e.b(modrm_regfile(0, g));
+  e.b(static_cast<uint8_t>(g * 4));
+  e.imm32(imm);
+}
+/// <alu> eax, [rsi + guest*4]  (opcode: 03 add, 2B sub, 23 and, 0B or,
+/// 33 xor, 3B cmp)
+void alu_eax_guest(Emitter& e, uint8_t opcode, uint8_t g) {
+  e.b(opcode);
+  e.b(modrm_regfile(kEax, g));
+  e.b(static_cast<uint8_t>(g * 4));
+}
+/// <alu> eax, imm32 via 81 /ext (ext: 0 add, 1 or, 4 and, 5 sub, 6 xor, 7 cmp)
+void alu_eax_imm(Emitter& e, uint8_t ext, uint32_t imm) {
+  e.b(0x81);
+  e.b(static_cast<uint8_t>(0xC0 | (ext << 3)));
+  e.imm32(imm);
+}
+/// <alu> dword [rsi + guest*4], imm32 via 81 /ext (rd == ra fused form)
+void alu_guest_imm(Emitter& e, uint8_t ext, uint8_t g, uint32_t imm) {
+  e.b(0x81);
+  e.b(static_cast<uint8_t>(0x40 | (ext << 3) | 0x6));
+  e.b(static_cast<uint8_t>(g * 4));
+  e.imm32(imm);
+}
+/// setcc al; movzx eax, al
+void set_bool_eax(Emitter& e, uint8_t cc) {
+  e.bs({0x0F, static_cast<uint8_t>(0x90 | cc), 0xC0, 0x0F, 0xB6, 0xC0});
+}
+
+} // namespace
+
+std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
+                                     uint16_t num_instrs,
+                                     const TranslateEnv& env) {
+  using std::string_view;
+
+  enum class K {
+    AluRR,   // add..sleu, mul (two-operand host forms)
+    Mulh, Mulhu, Div, Divu, Rem, Remu,
+    AluRI,   // addi/andi/ori/xori (81 /ext forms)
+    ShiftR, ShiftI, SetRR, SetRI,
+    Lui, Orlo,
+    Load, Store,
+    CondBr, J, Jal, Jr, Jalr, Nop,
+    No,      // untranslatable
+  };
+  struct OpPlan {
+    K k = K::No;
+    uint8_t x = 0; ///< ALU opcode / 81-ext / shift-ext / cc / access size
+    bool sign = false;
+  };
+
+  const auto classify = [](string_view n) -> OpPlan {
+    if (n == "ADD") return {K::AluRR, 0x03, false};
+    if (n == "SUB") return {K::AluRR, 0x2B, false};
+    if (n == "AND") return {K::AluRR, 0x23, false};
+    if (n == "OR") return {K::AluRR, 0x0B, false};
+    if (n == "XOR") return {K::AluRR, 0x33, false};
+    if (n == "NOR") return {K::AluRR, 0x0B, true}; // or + not
+    if (n == "MUL") return {K::AluRR, 0xAF, true}; // 0F AF imul (two-byte)
+    if (n == "MULH") return {K::Mulh, 0, false};
+    if (n == "MULHU") return {K::Mulhu, 0, false};
+    if (n == "DIV") return {K::Div, 0, false};
+    if (n == "DIVU") return {K::Divu, 0, false};
+    if (n == "REM") return {K::Rem, 0, false};
+    if (n == "REMU") return {K::Remu, 0, false};
+    if (n == "SLL") return {K::ShiftR, 4, false};
+    if (n == "SRL") return {K::ShiftR, 5, false};
+    if (n == "SRA") return {K::ShiftR, 7, false};
+    if (n == "SLLI") return {K::ShiftI, 4, false};
+    if (n == "SRLI") return {K::ShiftI, 5, false};
+    if (n == "SRAI") return {K::ShiftI, 7, false};
+    if (n == "SLT") return {K::SetRR, kCcL, false};
+    if (n == "SLTU") return {K::SetRR, kCcB, false};
+    if (n == "SEQ") return {K::SetRR, kCcE, false};
+    if (n == "SNE") return {K::SetRR, kCcNe, false};
+    if (n == "SLE") return {K::SetRR, kCcLe, false};
+    if (n == "SLEU") return {K::SetRR, kCcBe, false};
+    if (n == "SLTI") return {K::SetRI, kCcL, false};
+    if (n == "SLTIU") return {K::SetRI, kCcB, false};
+    if (n == "ADDI") return {K::AluRI, 0, false};
+    if (n == "ANDI") return {K::AluRI, 4, false};
+    if (n == "ORI") return {K::AluRI, 1, false};
+    if (n == "XORI") return {K::AluRI, 6, false};
+    if (n == "LUI") return {K::Lui, 0, false};
+    if (n == "ORLO") return {K::Orlo, 0, false};
+    if (n == "LB") return {K::Load, 1, true};
+    if (n == "LBU") return {K::Load, 1, false};
+    if (n == "LH") return {K::Load, 2, true};
+    if (n == "LHU") return {K::Load, 2, false};
+    if (n == "LW") return {K::Load, 4, false};
+    if (n == "SB") return {K::Store, 1, false};
+    if (n == "SH") return {K::Store, 2, false};
+    if (n == "SW") return {K::Store, 4, false};
+    if (n == "BEQ") return {K::CondBr, kCcE, false};
+    if (n == "BNE") return {K::CondBr, kCcNe, false};
+    if (n == "BLT") return {K::CondBr, kCcL, false};
+    if (n == "BGE") return {K::CondBr, kCcGe, false};
+    if (n == "BLTU") return {K::CondBr, kCcB, false};
+    if (n == "BGEU") return {K::CondBr, kCcAe, false};
+    if (n == "J") return {K::J, 0, false};
+    if (n == "JAL") return {K::Jal, 0, false};
+    if (n == "JR") return {K::Jr, 0, false};
+    if (n == "JALR") return {K::Jalr, 0, false};
+    if (n == "NOP") return {K::Nop, 0, false};
+    return {K::No, 0, false}; // SIMOP, HALT, SWITCHTARGET, anything unknown
+  };
+
+  // -- decline pass ---------------------------------------------------------
+  // v1 scope: single-operation instructions only.  VLIW groups (num_ops > 1)
+  // need the §V-B read-before-write buffer across slots; they stay on the
+  // interpreter (DESIGN.md §9 lists this as the next extension).
+  if (num_instrs == 0) return {};
+  std::vector<OpPlan> plans(num_instrs);
+  for (uint16_t i = 0; i < num_instrs; ++i) {
+    const isa::DecodedInstr* di = instrs[i];
+    if (di->num_ops != 1) return {};
+    const isa::DecodedOp& op = di->ops[0];
+    if (op.rd > 31 || op.ra > 31 || op.rb > 31) return {};
+    plans[i] = classify(op.info->name);
+    if (plans[i].k == K::No) return {};
+  }
+
+  const bool ring = env.ring_size > 0;
+  Emitter e;
+
+  // -- prologue -------------------------------------------------------------
+  e.bs({0x48, 0x8B, 0x37});             // mov rsi, [rdi]       (guest regs)
+  e.bs({0x4C, 0x8B, 0x47, 0x08});       // mov r8,  [rdi+8]     (ram)
+  if (ring) {
+    e.bs({0x4C, 0x8B, 0x57, 0x10});     // mov r10, [rdi+16]    (ring base)
+    e.bs({0x44, 0x8B, 0x5F, 0x2C});     // mov r11d,[rdi+44]    (ring cursor)
+  }
+
+  // Appends the retiring instruction to the IP-history ring (record_ip()).
+  const auto ring_write = [&](uint32_t addr) {
+    if (!ring) return;
+    e.bs({0x43, 0xC7, 0x04, 0x9A});     // mov dword [r10+r11*4], addr
+    e.imm32(addr);
+    e.bs({0x41, 0xFF, 0xC3});           // inc r11d
+    e.bs({0x41, 0x81, 0xFB});           // cmp r11d, ring_size
+    e.imm32(env.ring_size);
+    e.bs({0x75, 0x0A});                 // jne +10 (skip wrap)
+    e.bs({0x45, 0x31, 0xDB});           // xor r11d, r11d
+    e.bs({0xC7, 0x47, 0x30});           // mov dword [rdi+48], 1 (ring_full)
+    e.imm32(1);
+  };
+
+  // Exit epilogue: retire counts, final IP (constant or from ecx), ring
+  // cursor, exit code.  `executed`/`ops` are per-call absolutes (the stubs
+  // overwrite, they never accumulate), so the dispatcher reads clean deltas.
+  const auto emit_exit = [&](uint64_t executed, uint64_t ops, bool ip_in_ecx,
+                             uint32_t ip_const, uint32_t code) {
+    e.bs({0x48, 0xC7, 0x47, 0x18});     // mov qword [rdi+24], executed
+    e.imm32(static_cast<uint32_t>(executed));
+    e.bs({0x48, 0xC7, 0x47, 0x20});     // mov qword [rdi+32], ops
+    e.imm32(static_cast<uint32_t>(ops));
+    if (ip_in_ecx) {
+      e.bs({0x89, 0x4F, 0x28});         // mov [rdi+40], ecx
+    } else {
+      e.bs({0xC7, 0x47, 0x28});         // mov dword [rdi+40], ip
+      e.imm32(ip_const);
+    }
+    if (ring) e.bs({0x44, 0x89, 0x5F, 0x2C}); // mov [rdi+44], r11d
+    e.b(0xB8);                          // mov eax, code
+    e.imm32(code);
+    e.b(0xC3);                          // ret
+  };
+
+  struct PendingStub {
+    Label label;
+    uint64_t executed = 0;
+    uint64_t ops = 0;
+    uint32_t ip = 0;
+    uint32_t code = 0;
+    uint32_t ring_addr = 0;
+    bool write_ring = false; ///< taken exits retire the instr in the stub
+    bool used = false;
+  };
+  std::vector<PendingStub> bails(num_instrs);
+  std::vector<PendingStub> takens(num_instrs);
+
+  // Guard-failure bail for instr i: nothing of instr i has committed and its
+  // ring entry is not yet written; the interpreter re-runs it from scratch.
+  const auto bail_to = [&](uint8_t cc, uint16_t i, uint64_t ops_before) {
+    PendingStub& s = bails[i];
+    s.executed = i;
+    s.ops = ops_before;
+    s.ip = instrs[i]->addr;
+    s.code = kExitBail | (static_cast<uint32_t>(i) << 8);
+    s.used = true;
+    jcc(e, cc, s.label);
+  };
+
+  uint64_t ops_before = 0; // operation count of instrs [0, i)
+  bool falls_off_end = true;
+  for (uint16_t i = 0; i < num_instrs; ++i) {
+    const isa::DecodedInstr* di = instrs[i];
+    const isa::DecodedOp& op = di->ops[0];
+    const OpPlan plan = plans[i];
+    const uint32_t seq_next = di->addr + di->size_bytes;
+    const uint32_t imm = static_cast<uint32_t>(op.imm);
+    const uint64_t retired = i + 1u;
+    const uint64_t retired_ops = ops_before + di->num_ops;
+    falls_off_end = true;
+
+    switch (plan.k) {
+      case K::AluRR: { // add sub and or xor nor mul
+        if (op.rd == 0) break;
+        load_guest(e, kEax, op.ra);
+        if (plan.x == 0xAF) {
+          e.b(0x0F); // imul eax, [rsi + rb*4]
+          alu_eax_guest(e, 0xAF, op.rb);
+        } else {
+          alu_eax_guest(e, plan.x, op.rb);
+          if (plan.sign) e.bs({0xF7, 0xD0}); // NOR: not eax
+        }
+        store_guest(e, op.rd, kEax);
+        break;
+      }
+      case K::Mulh:
+      case K::Mulhu: {
+        if (op.rd == 0) break;
+        load_guest(e, kEax, op.ra);
+        // one-operand (i)mul dword [rsi + rb*4] -> edx:eax
+        e.b(0xF7);
+        e.b(static_cast<uint8_t>(0x40 | ((plan.k == K::Mulh ? 5 : 4) << 3) | 0x6));
+        e.b(static_cast<uint8_t>(op.rb * 4));
+        store_guest(e, op.rd, kEdx);
+        break;
+      }
+      case K::Divu:
+      case K::Remu: {
+        load_guest(e, kEcx, op.rb);
+        e.bs({0x85, 0xC9});                    // test ecx, ecx
+        bail_to(kCcE, i, ops_before);          // d == 0: interpreter traps
+        load_guest(e, kEax, op.ra);
+        e.bs({0x31, 0xD2});                    // xor edx, edx
+        e.bs({0xF7, 0xF1});                    // div ecx
+        if (op.rd != 0)
+          store_guest(e, op.rd, plan.k == K::Divu ? kEax : kEdx);
+        break;
+      }
+      case K::Div:
+      case K::Rem: {
+        load_guest(e, kEcx, op.rb);
+        e.bs({0x85, 0xC9});                    // test ecx, ecx
+        bail_to(kCcE, i, ops_before);          // d == 0: interpreter traps
+        load_guest(e, kEax, op.ra);
+        Label general, done;
+        e.bs({0x83, 0xF9, 0xFF});              // cmp ecx, -1
+        jcc(e, kCcNe, general);
+        e.b(0x3D);                             // cmp eax, INT32_MIN
+        e.imm32(0x80000000u);
+        jcc(e, kCcNe, general);
+        e.bs({0x31, 0xD2});                    // INT32_MIN / -1: quot = eax
+        jmp(e, done);                          //   (already MIN), rem = 0
+        general.bind(e);
+        e.b(0x99);                             // cdq
+        e.bs({0xF7, 0xF9});                    // idiv ecx
+        done.bind(e);
+        if (op.rd != 0)
+          store_guest(e, op.rd, plan.k == K::Div ? kEax : kEdx);
+        break;
+      }
+      case K::ShiftR: {
+        if (op.rd == 0) break;
+        load_guest(e, kEcx, op.rb);            // hardware masks cl by 31,
+        load_guest(e, kEax, op.ra);            // exactly like the semantics
+        e.bs({0xD3, static_cast<uint8_t>(0xC0 | (plan.x << 3))});
+        store_guest(e, op.rd, kEax);
+        break;
+      }
+      case K::ShiftI: {
+        if (op.rd == 0) break;
+        load_guest(e, kEax, op.ra);
+        e.bs({0xC1, static_cast<uint8_t>(0xC0 | (plan.x << 3)),
+              static_cast<uint8_t>(imm & 31u)});
+        store_guest(e, op.rd, kEax);
+        break;
+      }
+      case K::SetRR: {
+        if (op.rd == 0) break;
+        load_guest(e, kEax, op.ra);
+        alu_eax_guest(e, 0x3B, op.rb);         // cmp eax, [rb]
+        set_bool_eax(e, plan.x);
+        store_guest(e, op.rd, kEax);
+        break;
+      }
+      case K::SetRI: {
+        if (op.rd == 0) break;
+        load_guest(e, kEax, op.ra);
+        alu_eax_imm(e, 7, imm);                // cmp eax, imm
+        set_bool_eax(e, plan.x);
+        store_guest(e, op.rd, kEax);
+        break;
+      }
+      case K::AluRI: { // addi andi ori xori
+        if (op.rd == 0) break;
+        if (plan.x == 0 && op.ra == 0) {       // addi rd, r0, imm -> mov
+          store_guest_imm(e, op.rd, imm);
+        } else if (op.rd == op.ra) {           // fused read-modify-write
+          alu_guest_imm(e, plan.x, op.rd, imm);
+        } else {
+          load_guest(e, kEax, op.ra);
+          alu_eax_imm(e, plan.x, imm);
+          store_guest(e, op.rd, kEax);
+        }
+        break;
+      }
+      case K::Lui:
+        if (op.rd != 0) store_guest_imm(e, op.rd, imm << 16);
+        break;
+      case K::Orlo:
+        if (op.rd != 0) alu_guest_imm(e, 1, op.rd, imm & 0xFFFFu);
+        break;
+      case K::Load: {
+        load_guest(e, kEax, op.ra);
+        if (imm != 0) alu_eax_imm(e, 0, imm);  // eax = ra + imm (zero-extends)
+        if (plan.x == 4) {
+          e.bs({0xA8, 0x03});                  // test al, 3 (alignment)
+          bail_to(kCcNe, i, ops_before);
+          alu_eax_imm(e, 7, env.ram_size - 4); // addr+3 >= size <=> > size-4
+          bail_to(kCcA, i, ops_before);
+          e.bs({0x41, 0x8B, 0x0C, 0x00});      // mov ecx, [r8+rax]
+        } else if (plan.x == 2) {
+          e.bs({0xA8, 0x01});
+          bail_to(kCcNe, i, ops_before);
+          alu_eax_imm(e, 7, env.ram_size - 2);
+          bail_to(kCcA, i, ops_before);
+          e.bs({0x41, 0x0F, plan.sign ? uint8_t{0xBF} : uint8_t{0xB7}, 0x0C,
+                0x00});                        // movsx/movzx ecx, word [r8+rax]
+        } else {
+          alu_eax_imm(e, 7, env.ram_size);     // addr >= size
+          bail_to(kCcAe, i, ops_before);
+          e.bs({0x41, 0x0F, plan.sign ? uint8_t{0xBE} : uint8_t{0xB6}, 0x0C,
+                0x00});                        // movsx/movzx ecx, byte [r8+rax]
+        }
+        if (op.rd != 0) store_guest(e, op.rd, kEcx);
+        break;
+      }
+      case K::Store: {
+        load_guest(e, kEcx, op.rd);            // store value = rd_in
+        load_guest(e, kEax, op.ra);
+        if (imm != 0) alu_eax_imm(e, 0, imm);
+        if (plan.x == 4) {
+          e.bs({0xA8, 0x03});
+          bail_to(kCcNe, i, ops_before);
+          alu_eax_imm(e, 7, env.ram_size - 4);
+          bail_to(kCcA, i, ops_before);
+          e.bs({0x41, 0x89, 0x0C, 0x00});      // mov [r8+rax], ecx
+        } else if (plan.x == 2) {
+          e.bs({0xA8, 0x01});
+          bail_to(kCcNe, i, ops_before);
+          alu_eax_imm(e, 7, env.ram_size - 2);
+          bail_to(kCcA, i, ops_before);
+          e.bs({0x66, 0x41, 0x89, 0x0C, 0x00});// mov [r8+rax], cx
+        } else {
+          alu_eax_imm(e, 7, env.ram_size);
+          bail_to(kCcAe, i, ops_before);
+          e.bs({0x41, 0x88, 0x0C, 0x00});      // mov [r8+rax], cl
+        }
+        break;
+      }
+      case K::CondBr: {
+        load_guest(e, kEax, op.ra);
+        alu_eax_guest(e, 0x3B, op.rb);         // cmp eax, [rb]
+        PendingStub& s = takens[i];
+        s.executed = retired;
+        s.ops = retired_ops;
+        s.ip = seq_next + (imm << 2);
+        s.code = kExitTaken | (static_cast<uint32_t>(i) << 8);
+        s.ring_addr = di->addr;
+        s.write_ring = true;
+        s.used = true;
+        jcc(e, plan.x, s.label);
+        break;                                 // not taken: fall through
+      }
+      case K::J:
+      case K::Jal: {
+        if (plan.k == K::Jal)
+          store_guest_imm(e, 1, seq_next);     // link register r1
+        ring_write(di->addr);
+        emit_exit(retired, retired_ops, false, imm << 2,
+                  kExitTaken | (static_cast<uint32_t>(i) << 8));
+        falls_off_end = false;
+        break;
+      }
+      case K::Jr:
+      case K::Jalr: {
+        load_guest(e, kEcx, op.ra);            // target: ra *before* the link
+        if (plan.k == K::Jalr && op.rd != 0)   // write (rd == ra is legal)
+          store_guest_imm(e, op.rd, seq_next);
+        ring_write(di->addr);
+        emit_exit(retired, retired_ops, true, 0,
+                  kExitTaken | (static_cast<uint32_t>(i) << 8));
+        falls_off_end = false;
+        break;
+      }
+      case K::Nop:
+        break;
+      case K::No:
+        return {}; // unreachable (decline pass), keep the compiler happy
+    }
+
+    if (falls_off_end) ring_write(di->addr);
+    ops_before = retired_ops;
+  }
+
+  // Fall-through exit: the trace ran to its end without a taken branch.
+  if (falls_off_end) {
+    const isa::DecodedInstr* last = instrs[num_instrs - 1];
+    emit_exit(num_instrs, ops_before, false, last->addr + last->size_bytes,
+              kExitFallthrough);
+  }
+
+  // Out-of-line stubs (taken exits first: they are hot, bails are cold).
+  for (uint16_t i = 0; i < num_instrs; ++i) {
+    if (takens[i].used) {
+      PendingStub& s = takens[i];
+      s.label.bind(e);
+      if (s.write_ring) ring_write(s.ring_addr);
+      emit_exit(s.executed, s.ops, false, s.ip, s.code);
+    }
+  }
+  for (uint16_t i = 0; i < num_instrs; ++i) {
+    if (bails[i].used) {
+      PendingStub& s = bails[i];
+      s.label.bind(e);
+      emit_exit(s.executed, s.ops, false, s.ip, s.code);
+    }
+  }
+
+  return std::move(e.out);
+}
+
+#else // !KSIM_JIT_HOST
+
+std::vector<uint8_t> translate_block(const isa::DecodedInstr* const*, uint16_t,
+                                     const TranslateEnv&) {
+  return {};
+}
+
+#endif
+
+} // namespace ksim::jit

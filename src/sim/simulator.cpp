@@ -33,6 +33,10 @@ Simulator::Simulator(const isa::IsaSet& set, SimOptions options)
   // Escape hatch for running an unmodified test suite against the fallback
   // engine (ci.sh exercises both).
   if (std::getenv("KSIM_NO_SUPERBLOCKS") != nullptr) options_.use_superblocks = false;
+  if (std::getenv("KSIM_NO_JIT") != nullptr) options_.use_jit = false;
+  // The JIT dispatches from the superblock loop and its translations are
+  // superblock traces; without blocks (or a capable host) it is inert.
+  if (!options_.use_superblocks || !jit::host_supported()) options_.use_jit = false;
   active_isa_ = &set_.default_isa();
   simop_info_ = set_.find_op("SIMOP");
   ctx_.st = &state_;
@@ -63,6 +67,13 @@ void Simulator::load(const elf::ElfFile& executable) {
     profiler_->reset();
     profiler_->attach(&image_);
   }
+  // Guest-state pointers baked into the JIT ABI.  All three allocations are
+  // fixed for the simulator's lifetime (RAM and the ring are sized once and
+  // never reallocated), so translated code can cache them across calls.
+  jit_ctx_ = {};
+  jit_ctx_.regs = state_.regs_data();
+  jit_ctx_.ram = state_.ram_data();
+  jit_ctx_.ring = ip_ring_.empty() ? nullptr : ip_ring_.data();
   loaded_ = true;
 }
 
@@ -311,6 +322,24 @@ StopReason Simulator::run_superblocks() {
       if (last_block_ != nullptr) last_block_->succ[last_exit_taken_] = sb;
     }
 
+    // -- kjit: hot blocks execute as host code (DESIGN.md §9) ---------------
+    // Only on the hook-free fast path (hooks need per-instruction
+    // bookkeeping), and only with enough instruction budget to retire the
+    // whole block: translated code cannot stop mid-block at a limit the way
+    // exec_block_fast can, so short-budget dispatches stay interpreted.
+    if (options_.use_jit && trace_ == nullptr && cycle_model_ == nullptr &&
+        profiler_ == nullptr && !options_.collect_op_stats) {
+      if (sb->jit_state == 0 && ++sb->exec_count >= jit::kHotThreshold)
+        try_translate(sb);
+      if (sb->jit_entry != nullptr &&
+          (options_.max_instructions == 0 ||
+           options_.max_instructions - stats_.instructions >= sb->num_instrs)) {
+        if (const auto stop = run_jit_loop(sb, chained); stop.has_value())
+          return *stop;
+        continue; // run_jit_loop did all post-block bookkeeping
+      }
+    }
+
     ++stats_.block_dispatches;
     const uint64_t before = stats_.instructions;
     const auto stop = exec_block(sb);
@@ -403,16 +432,20 @@ std::optional<StopReason> Simulator::exec_block_slow(Superblock* sb) {
   return std::nullopt;
 }
 
-std::optional<StopReason> Simulator::exec_block_fast(Superblock* sb) {
+std::optional<StopReason> Simulator::exec_block_fast(Superblock* sb,
+                                                     uint16_t start_index) {
   const uint64_t limit = options_.max_instructions;
   // run_superblocks() never dispatches at the limit, so budget >= 1 here.
+  // (On a JIT bail-resume the caller folded the translated prefix into the
+  // statistics first, and the JIT entry guard reserved budget for the whole
+  // block, so the invariant holds for start_index > 0 too.)
   uint64_t budget = limit == 0 ? UINT64_MAX : limit - stats_.instructions;
   uint64_t executed = 0;
   uint64_t ops = 0;
   std::optional<StopReason> stop;
 
   const uint16_t n = sb->num_instrs;
-  for (uint16_t i = 0; i < n; ++i) {
+  for (uint16_t i = start_index; i < n; ++i) {
     const isa::DecodedInstr* di = sb->instrs[i];
     record_ip(di->addr);
     ctx_.begin_instruction_fast(di->addr + di->size_bytes);
@@ -449,6 +482,158 @@ std::optional<StopReason> Simulator::exec_block_fast(Superblock* sb) {
     return libc_.exited() ? StopReason::Exited : StopReason::Halted;
   if (limit != 0 && stats_.instructions >= limit)
     return StopReason::InstructionLimit;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// kjit: dynamic binary translation of hot superblocks (DESIGN.md §9).
+//
+// Translation is purely an execution-engine substitution: a translated block
+// retires exactly the instructions the interpreter would, writes the same
+// registers/memory/IP/ring, and advances the same statistics.  Anything it
+// cannot reproduce bit-for-bit bails out to exec_block_fast *before* the
+// offending instruction commits any state.  Nothing here is ever serialized
+// (hotness only accrues on the hook-free path, and checkpoint resumes run
+// without the original hooks), so checkpoints stay byte-identical whether
+// the JIT ran or not.
+// ---------------------------------------------------------------------------
+
+void Simulator::try_translate(Superblock* sb) {
+  sb->jit_state = 2; // declined unless every step below succeeds
+  if (!jit::host_supported()) return;
+  // Static policy (PR 6): blocks overlapping a range the translatability
+  // analysis vetoed (SIMOPs, trap-risky or self-modifying code) are never
+  // compiled.  Superblock traces are contiguous, so an interval test is
+  // exact.
+  const isa::DecodedInstr* last = sb->instrs[sb->num_instrs - 1];
+  const uint32_t start = sb->entry_addr;
+  const uint32_t end = last->addr + last->size_bytes;
+  for (const jit::VetoRange& v : jit_vetoes_)
+    if (start < v.end && v.start < end) return;
+  jit::TranslateEnv env;
+  env.ram_size = state_.ram_size();
+  env.ring_size = static_cast<uint32_t>(ip_ring_.size());
+  const std::vector<uint8_t> code =
+      jit::translate_block(sb->instrs, sb->num_instrs, env);
+  if (code.empty()) return; // translator declined (VLIW group, SIMOP, ...)
+  const jit::BlockFn fn = jit_cache_.install(code);
+  if (fn == nullptr) return; // arena exhausted: keep interpreting
+  sb->jit_entry = reinterpret_cast<const void*>(fn);
+  sb->jit_state = 1;
+  ++stats_.jit_blocks_translated;
+}
+
+std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) {
+  // Executes `sb` as host code and keeps chaining translated successor
+  // blocks without returning to the outer dispatcher, with all statistics in
+  // locals — per-dispatch overhead is what separates a 2x from a 4x JIT.
+  // The accounting replicates run_superblocks()/exec_block_fast() exactly:
+  // per block one dispatch, a chain hit when the successor edge resolved it,
+  // and pred_hits for every instruction whose hash lookup was avoided.
+  const uint64_t limit = options_.max_instructions;
+  jit::JitContext& jc = jit_ctx_;
+  jc.ring_pos = static_cast<uint32_t>(ip_ring_pos_);
+  jc.ring_full = ip_ring_full_ ? 1u : 0u;
+
+  uint64_t instructions = stats_.instructions;
+  uint64_t operations = stats_.operations;
+  uint64_t dispatches = 0;
+  uint64_t chain_hits = 0;
+  uint64_t pred_hits = 0;
+  uint64_t jit_dispatches = 0;
+  uint64_t side_exits = 0;
+
+  Superblock* cur = sb;
+  uint32_t kind = jit::kExitFallthrough;
+  std::optional<StopReason> result;
+  bool bailed = false;
+
+  for (;;) {
+    ++dispatches;
+    ++jit_dispatches;
+    const uint64_t code = reinterpret_cast<jit::BlockFn>(
+        const_cast<void*>(cur->jit_entry))(&jc);
+    kind = jit::exit_kind(code);
+    const uint32_t index = jit::exit_index(code);
+
+    if (kind == jit::kExitBail) {
+      // A guard failed before instruction `index` retired.  Fold everything
+      // accumulated so far back into the simulator (exec_block_fast derives
+      // its budget from stats_), sync IP and ring, and let the interpreter
+      // finish the block from the un-retired instruction — it re-records and
+      // re-executes it from pristine state, so the trap (or the slow path)
+      // is bit-identical to a JIT-off run.
+      stats_.instructions = instructions + jc.executed;
+      stats_.operations = operations + jc.ops;
+      stats_.block_dispatches += dispatches;
+      stats_.block_chain_hits += chain_hits;
+      stats_.pred_hits += pred_hits;
+      stats_.jit_dispatches += jit_dispatches;
+      stats_.jit_side_exits += side_exits;
+      ++stats_.jit_bailouts;
+      ip_ring_pos_ = jc.ring_pos;
+      ip_ring_full_ = jc.ring_full != 0;
+      state_.set_ip(jc.ip);
+      const uint64_t block_start = stats_.instructions - jc.executed;
+      result = exec_block_fast(cur, static_cast<uint16_t>(index));
+      const uint64_t executed = stats_.instructions - block_start;
+      stats_.pred_hits += chained ? executed : (executed > 0 ? executed - 1 : 0);
+      bailed = true;
+      break;
+    }
+
+    // Fallthrough/taken exits retire at least one instruction, so the
+    // un-chained first dispatch pays exactly one hash lookup (`executed - 1`
+    // avoided), as in the interpreter path.
+    instructions += jc.executed;
+    operations += jc.ops;
+    pred_hits += chained ? jc.executed : jc.executed - 1;
+    if (kind == jit::kExitTaken && index + 1u < cur->num_instrs) ++side_exits;
+
+    // Chain: same checks as the outer dispatcher (checkpoint boundary,
+    // matching successor edge, instruction budget), plus "is translated" —
+    // anything else returns to the outer loop, which re-resolves this very
+    // edge and interprets or forms as needed.
+    if (instructions >= ckpt_next_) break;
+    Superblock* next = cur->succ[kind == jit::kExitTaken ? 1 : 0];
+    if (next == nullptr || next->entry_addr != jc.ip ||
+        next->isa_id != cur->isa_id || next->jit_entry == nullptr)
+      break;
+    if (limit != 0 && limit - instructions < next->num_instrs) break;
+    ++chain_hits;
+    chained = true;
+    cur = next;
+  }
+
+  if (!bailed) {
+    stats_.instructions = instructions;
+    stats_.operations = operations;
+    stats_.block_dispatches += dispatches;
+    stats_.block_chain_hits += chain_hits;
+    stats_.pred_hits += pred_hits;
+    stats_.jit_dispatches += jit_dispatches;
+    stats_.jit_side_exits += side_exits;
+    ip_ring_pos_ = jc.ring_pos;
+    ip_ring_full_ = jc.ring_full != 0;
+    state_.set_ip(jc.ip);
+    if (limit != 0 && stats_.instructions >= limit)
+      result = StopReason::InstructionLimit;
+  }
+
+  if (result.has_value()) {
+    last_block_ = nullptr;
+    return result;
+  }
+  // Translated blocks never contain SWITCHTARGET, but a bail-resume runs the
+  // tail through the interpreter, which can (in principle) leave any exit
+  // condition behind — mirror the outer loop's bookkeeping exactly.
+  if (bailed && ctx_.isa_switch) {
+    last_block_ = nullptr;
+  } else {
+    last_block_ = cur;
+    last_exit_taken_ = bailed ? (ctx_.branch_taken ? 1 : 0)
+                              : (kind == jit::kExitTaken ? 1 : 0);
+  }
   return std::nullopt;
 }
 
@@ -685,6 +870,13 @@ void Simulator::restore_state(support::ByteReader& r) {
   stats_.blocks_formed = r.u64();
   stats_.block_dispatches = r.u64();
   stats_.block_chain_hits = r.u64();
+  // kjit counters are volatile by contract (never serialized): they describe
+  // the current process, which restarts from an empty code cache after every
+  // restore (clear_decode_cache above also dropped all translations).
+  stats_.jit_blocks_translated = 0;
+  stats_.jit_dispatches = 0;
+  stats_.jit_side_exits = 0;
+  stats_.jit_bailouts = 0;
 
   if (ckpt_every_ != 0)
     ckpt_next_ = (stats_.instructions / ckpt_every_ + 1) * ckpt_every_;

@@ -19,6 +19,7 @@
 #include "elf/loader.h"
 #include "isa/arch_state.h"
 #include "isa/exec.h"
+#include "jit/jit.h"
 #include "sim/decode_cache.h"
 #include "sim/libc_emul.h"
 #include "sim/profiler.h"
@@ -31,6 +32,8 @@ struct SimOptions {
   bool use_decode_cache = true; ///< §V-A decode cache
   bool use_prediction = true;   ///< §V-A instruction prediction (needs the cache)
   bool use_superblocks = true;  ///< superblock execution in run() (needs the cache)
+  bool use_jit = true;          ///< kjit binary translation (needs superblocks;
+                                ///< inert off x86-64 and under sanitizers)
   bool collect_op_stats = false;///< per-operation execution histogram
   uint64_t max_instructions = 0;///< safety limit; 0 = unlimited
   size_t ip_history = 64;       ///< instruction pointer history length (0 = off)
@@ -50,6 +53,15 @@ struct SimStats {
   uint64_t blocks_formed = 0;    ///< superblocks built from executed traces
   uint64_t block_dispatches = 0; ///< block executions of already-formed blocks
   uint64_t block_chain_hits = 0; ///< dispatches resolved via a cached successor edge
+
+  // kjit (see jit/jit.h).  These four counters describe the *current
+  // process's* translation activity; they are volatile by contract — reset
+  // by load() and restore_state() and never serialized — because hotness is
+  // hook-dependent and checkpoints carry no host code (DESIGN.md §9).
+  uint64_t jit_blocks_translated = 0; ///< superblocks compiled to host code
+  uint64_t jit_dispatches = 0;        ///< executions entered through host code
+  uint64_t jit_side_exits = 0;        ///< mid-block taken-branch exits
+  uint64_t jit_bailouts = 0;          ///< guard failures handed to the interpreter
 
   /// Fraction of executed instructions whose detect & decode was avoided.
   double decode_avoidance() const {
@@ -110,6 +122,13 @@ public:
   /// after StopReason::InstructionLimit).
   void set_max_instructions(uint64_t limit) { options_.max_instructions = limit; }
 
+  /// Address ranges the static translatability analysis vetoed for the JIT
+  /// (analysis::classify_translatability reason masks).  Blocks intersecting
+  /// any range are never translated; everything else is eligible once hot.
+  void set_jit_policy(std::vector<jit::VetoRange> vetoes) {
+    jit_vetoes_ = std::move(vetoes);
+  }
+
   /// Checkpoint hook (kckpt): every `every_instrs` executed instructions the
   /// hook fires at the next block/step boundary — a point where no superblock
   /// is mid-flight, so saved state resumes bit-identically.  Returning true
@@ -158,10 +177,14 @@ public:
 
   /// Clears the decode cache (e.g. after self-modifying code or to measure
   /// cold-start behaviour).  Also drops the instruction-prediction link and
-  /// all superblocks with their chain edges, which point into the cache.
+  /// all superblocks with their chain edges, which point into the cache —
+  /// and every JIT translation, which bakes the cache contents into host
+  /// code (the staleness contract in jit/jit.h: translations are exactly as
+  /// stale as the decode cache, never staler).
   void clear_decode_cache() {
     decode_cache_.clear();
-    block_cache_.clear();
+    block_cache_.clear(); // also drops all Superblock::jit_entry pointers
+    jit_cache_.clear();
     prev_instr_ = nullptr;
     last_block_ = nullptr;
   }
@@ -200,8 +223,12 @@ private:
   StopReason run_superblocks();
   std::optional<StopReason> form_block(uint32_t entry_ip);
   std::optional<StopReason> exec_block(Superblock* sb);
-  std::optional<StopReason> exec_block_fast(Superblock* sb);
+  std::optional<StopReason> exec_block_fast(Superblock* sb, uint16_t start_index = 0);
   std::optional<StopReason> exec_block_slow(Superblock* sb);
+
+  // -- kjit (see jit/jit.h and DESIGN.md §9) --------------------------------
+  void try_translate(Superblock* sb);
+  std::optional<StopReason> run_jit_loop(Superblock* sb, bool chained);
 
   const isa::IsaSet& set_;
   SimOptions options_;
@@ -220,6 +247,10 @@ private:
   SuperblockCache block_cache_;
   Superblock* last_block_ = nullptr; ///< block whose epilogue edge to chain next
   int last_exit_taken_ = 0;          ///< which edge: 1 = taken branch, 0 = fall-through
+
+  jit::CodeCache jit_cache_;
+  jit::JitContext jit_ctx_;
+  std::vector<jit::VetoRange> jit_vetoes_;
 
   cycle::CycleModel* cycle_model_ = nullptr;
   TraceWriter* trace_ = nullptr;

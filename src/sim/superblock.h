@@ -33,6 +33,15 @@ struct Superblock {
 
   /// Pointers into the decode-cache arena; valid until the cache is cleared.
   const isa::DecodedInstr* instrs[kMaxBlockInstrs] = {};
+
+  // -- kjit (see jit/jit.h) -------------------------------------------------
+  // All three fields are process-local and never serialized: checkpoints
+  // carry no host code and no hotness, so a restored run re-earns
+  // translation lazily (the counters are also hook-dependent — they only
+  // advance on the hook-free fast path).
+  uint32_t exec_count = 0;         ///< fast-path dispatches (hotness)
+  uint8_t jit_state = 0;           ///< 0 cold, 1 translated, 2 declined
+  const void* jit_entry = nullptr; ///< jit::BlockFn when jit_state == 1
 };
 
 /// Arena + open-addressing table of superblocks keyed by (entry address,
@@ -51,6 +60,9 @@ public:
     sb->isa_id = static_cast<int16_t>(isa_id);
     sb->num_instrs = 0;
     sb->succ[0] = sb->succ[1] = nullptr;
+    sb->exec_count = 0;
+    sb->jit_state = 0;
+    sb->jit_entry = nullptr;
     return sb;
   }
 

@@ -189,8 +189,10 @@ TEST(RunConfig, RunRecordRoundTrip) {
 }
 
 TEST(RunConfig, EnvOverridesApplyAndReport) {
-  // KSIM_NO_SUPERBLOCKS may be set by the fallback CI pass — tolerate it.
+  // KSIM_NO_SUPERBLOCKS / KSIM_NO_JIT may be set by the fallback CI
+  // passes — tolerate them.
   const char* engine_env = std::getenv("KSIM_NO_SUPERBLOCKS");
+  const char* jit_env = std::getenv("KSIM_NO_JIT");
   ::setenv("KSIM_NO_DECODE_CACHE", "1", 1);
   ::setenv("KSIM_SEED", "99", 1);
   api::RunConfig cfg;
@@ -200,8 +202,9 @@ TEST(RunConfig, EnvOverridesApplyAndReport) {
   EXPECT_FALSE(cfg.use_decode_cache);
   EXPECT_EQ(cfg.seed, 99u);
   EXPECT_EQ(cfg.use_superblocks, engine_env == nullptr);
+  EXPECT_EQ(cfg.use_jit, jit_env == nullptr);
   std::erase_if(applied, [](const api::EnvOverride& o) {
-    return o.var == "KSIM_NO_SUPERBLOCKS";
+    return o.var == "KSIM_NO_SUPERBLOCKS" || o.var == "KSIM_NO_JIT";
   });
   ASSERT_EQ(applied.size(), 2u);
   EXPECT_EQ(applied[0].var, "KSIM_NO_DECODE_CACHE");
@@ -210,15 +213,17 @@ TEST(RunConfig, EnvOverridesApplyAndReport) {
 }
 
 TEST(RunConfig, NoEnvNoOverrides) {
-  // KSIM_NO_SUPERBLOCKS may legitimately be set by the fallback CI pass; the
-  // others must not leak into this test environment.
+  // KSIM_NO_SUPERBLOCKS / KSIM_NO_JIT may legitimately be set by the
+  // fallback CI passes; the others must not leak into this environment.
   ::unsetenv("KSIM_NO_DECODE_CACHE");
   ::unsetenv("KSIM_NO_PREDICTION");
   ::unsetenv("KSIM_SEED");
-  const bool engine_env = std::getenv("KSIM_NO_SUPERBLOCKS") != nullptr;
+  const size_t engine_envs =
+      (std::getenv("KSIM_NO_SUPERBLOCKS") != nullptr ? 1u : 0u) +
+      (std::getenv("KSIM_NO_JIT") != nullptr ? 1u : 0u);
   api::RunConfig cfg;
   const std::vector<api::EnvOverride> applied = api::apply_env_overrides(cfg);
-  EXPECT_EQ(applied.size(), engine_env ? 1u : 0u);
+  EXPECT_EQ(applied.size(), engine_envs);
   EXPECT_TRUE(cfg.use_decode_cache);
 }
 

@@ -96,6 +96,7 @@ ckpt::RunRecord record_for(const elf::ElfFile& exe, const SessionConfig& cfg) {
   run.use_decode_cache = cfg.sopt.use_decode_cache ? 1 : 0;
   run.use_prediction = cfg.sopt.use_prediction ? 1 : 0;
   run.use_superblocks = cfg.sopt.use_superblocks ? 1 : 0;
+  run.use_jit = cfg.sopt.use_jit ? 1 : 0;
   run.collect_op_stats = cfg.sopt.collect_op_stats ? 1 : 0;
   run.max_instructions = cfg.sopt.max_instructions;
   return run;
@@ -395,6 +396,104 @@ TEST(CkptResume, StepPathWithoutSuperblocks) {
   SessionConfig bare = cfg;
   bare.sopt.use_decode_cache = false; // also disables prediction
   expect_bit_identical_continuation(exe, bare, 1000);
+}
+
+TEST(CkptResume, JitSaveInsideTranslatedRegion) {
+  // The snapshot lands deep inside a hot loop that the JIT has long since
+  // translated (the hotness threshold is crossed within the first hundred
+  // instructions).  A checkpoint must carry no trace of the host code: the
+  // restored session starts cold, re-earns hotness, rebuilds its code cache
+  // lazily — and still finishes bit-identically.
+  const elf::ElfFile exe = build_exe(R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 20000
+loop:
+  addi r5, r5, 1
+  addi r7, r5, 3
+  xor r8, r7, r5
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)");
+  SessionConfig cfg; // jit on by default
+  for (const uint64_t at : {5000u, 40011u})
+    expect_bit_identical_continuation(exe, cfg, at);
+}
+
+TEST(CkptResume, JitWorkloadsAcrossIsasAndModels) {
+  // The full matrix the kjit PR promises: plain and cycle-model sessions,
+  // RISC and VLIW instances.  Under a cycle model the JIT never dispatches
+  // (hooks need per-instruction bookkeeping), so these legs pin that the
+  // exclusion itself is checkpoint-transparent too.
+  struct Leg {
+    const char* workload;
+    const char* isa;
+    const char* model;
+    uint64_t at;
+  };
+  for (const Leg& leg : {Leg{"dct", "RISC", "", 20000},
+                         Leg{"dct", "VLIW2", "ilp", 2500},
+                         Leg{"fft", "VLIW4", "aie", 10000},
+                         Leg{"qsort", "RISC", "doe", 60000}}) {
+    SCOPED_TRACE(std::string(leg.workload) + "@" + leg.isa + "/" +
+                 (*leg.model != '\0' ? leg.model : "none"));
+    const elf::ElfFile exe =
+        workloads::build_workload(workloads::by_name(leg.workload), leg.isa);
+    SessionConfig cfg;
+    cfg.model = leg.model;
+    expect_bit_identical_continuation(exe, cfg, leg.at);
+  }
+}
+
+TEST(CkptResume, JitStateNeverLeaksIntoSnapshots) {
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  SessionConfig jit_cfg;                 // jit on (default)
+  SessionConfig off_cfg;
+  off_cfg.sopt.use_jit = false;
+
+  // Take a snapshot from a session that has translated blocks.
+  TestSession hot = make_session(exe, jit_cfg);
+  const ckpt::RunRecord run = record_for(exe, jit_cfg);
+  std::vector<uint8_t> snapshot;
+  hot.sim->set_checkpoint_hook(20000, [&](sim::Simulator&) {
+    snapshot = ckpt::encode_checkpoint(run, hot.parts());
+    return true;
+  });
+  ASSERT_EQ(hot.sim->run(), sim::StopReason::Checkpoint);
+  ASSERT_FALSE(snapshot.empty());
+
+  // An identically-placed snapshot from a jit-off session is byte-identical:
+  // translation leaves zero checkpoint footprint.
+  TestSession cold = make_session(exe, off_cfg);
+  std::vector<uint8_t> off_snapshot;
+  cold.sim->set_checkpoint_hook(20000, [&](sim::Simulator&) {
+    off_snapshot = ckpt::encode_checkpoint(run, cold.parts());
+    return true;
+  });
+  ASSERT_EQ(cold.sim->run(), sim::StopReason::Checkpoint);
+  EXPECT_EQ(off_snapshot, snapshot);
+
+  // The volatile jit counters restart from zero on restore, and the restored
+  // run finishes identically whether the restoring session enables the JIT
+  // or not.
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(snapshot);
+  TestSession with_jit = make_session(exe, jit_cfg);
+  TestSession without_jit = make_session(exe, off_cfg);
+  ckpt::apply_checkpoint(ck, with_jit.parts());
+  ckpt::apply_checkpoint(ck, without_jit.parts());
+  EXPECT_EQ(with_jit.sim->stats().jit_blocks_translated, 0u);
+  EXPECT_EQ(with_jit.sim->stats().jit_dispatches, 0u);
+  ASSERT_EQ(with_jit.sim->run(), sim::StopReason::Exited);
+  ASSERT_EQ(without_jit.sim->run(), sim::StopReason::Exited);
+  EXPECT_EQ(with_jit.sim->libc().output(), without_jit.sim->libc().output());
+  EXPECT_EQ(with_jit.sim->exit_code(), without_jit.sim->exit_code());
+  expect_same_stats(with_jit.sim->stats(), without_jit.sim->stats());
+  const std::vector<uint8_t> end_a = ckpt::encode_checkpoint(run, with_jit.parts());
+  const std::vector<uint8_t> end_b = ckpt::encode_checkpoint(run, without_jit.parts());
+  EXPECT_EQ(end_a, end_b);
 }
 
 TEST(CkptResume, OpHistogramSurvivesRestore) {

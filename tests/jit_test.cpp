@@ -1,0 +1,413 @@
+// kjit — the dynamic binary translator (DESIGN.md §9) is, like the
+// superblock engine it rides on, a pure performance optimization: with
+// use_jit on or off every observable — exit code, output, architectural
+// state, traps, traces, cycle approximations and the program-describing
+// statistics — must be identical.  These tests pin that equivalence across
+// workloads, ISA instances and mixed-ISA programs, and exercise the
+// machinery itself: hotness promotion, guard bailouts (faults, division by
+// zero), invalidation, and the hook exclusions that keep translated code
+// off any instrumented path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "cycle/models.h"
+#include "isa/kisa.h"
+#include "jit/jit.h"
+#include "kasm/assembler.h"
+#include "kasm/linker.h"
+#include "kasm/stubs.h"
+#include "sim/simulator.h"
+#include "support/byte_stream.h"
+#include "workloads/build.h"
+
+namespace ksim::sim {
+namespace {
+
+SimOptions with_jit(bool on) {
+  SimOptions opts;
+  opts.use_jit = on;
+  return opts;
+}
+
+/// The constructor normalizes use_jit against the KSIM_NO_JIT /
+/// KSIM_NO_SUPERBLOCKS escape hatches and host support, so assertions about
+/// translation activity only hold when the engine actually engages.
+bool engine_available() {
+  return Simulator(isa::kisa(), with_jit(true)).options().use_jit;
+}
+
+elf::ElfFile build_exe(const std::string& source,
+                       const std::string& entry_isa = "RISC") {
+  kasm::AsmOptions opt;
+  opt.file_name = "jit_test.s";
+  const elf::ElfFile user = kasm::assemble_or_throw(source, opt);
+  const elf::ElfFile start =
+      kasm::assemble_or_throw(kasm::start_stub_assembly(entry_isa));
+  const elf::ElfFile libc = kasm::assemble_or_throw(kasm::libc_stub_assembly());
+  kasm::LinkOptions link_opt;
+  link_opt.entry_isa = isa::kisa().find_isa(entry_isa)->id;
+  return kasm::link_or_throw({start, user, libc}, link_opt);
+}
+
+/// Asserts the observables of a finished run match between the translated
+/// and the purely interpreted engine, down to the serialized ArchState.
+void expect_equivalent(Simulator& jit, Simulator& interp) {
+  EXPECT_EQ(jit.exit_code(), interp.exit_code());
+  EXPECT_EQ(jit.libc().output(), interp.libc().output());
+  EXPECT_EQ(jit.state().ip(), interp.state().ip());
+  EXPECT_EQ(jit.state().isa_id(), interp.state().isa_id());
+  for (unsigned r = 0; r < 32; ++r)
+    EXPECT_EQ(jit.state().reg(r), interp.state().reg(r)) << "register r" << r;
+  EXPECT_EQ(jit.stats().instructions, interp.stats().instructions);
+  EXPECT_EQ(jit.stats().operations, interp.stats().operations);
+  EXPECT_EQ(jit.stats().decodes, interp.stats().decodes);
+  EXPECT_EQ(jit.stats().isa_switches, interp.stats().isa_switches);
+  EXPECT_EQ(jit.stats().libc_calls, interp.stats().libc_calls);
+  // Even the engine-internal accounting is replicated exactly: the jit
+  // micro-loop mirrors dispatch, chain and prediction counting.
+  EXPECT_EQ(jit.stats().blocks_formed, interp.stats().blocks_formed);
+  EXPECT_EQ(jit.stats().block_dispatches, interp.stats().block_dispatches);
+  EXPECT_EQ(jit.stats().block_chain_hits, interp.stats().block_chain_hits);
+  EXPECT_EQ(jit.stats().pred_hits, interp.stats().pred_hits);
+  // Strongest form: complete architectural states serialize identically
+  // (registers, every RAM byte, IP ring, pending trap).
+  support::ByteWriter wj, wi;
+  jit.state().save(wj);
+  interp.state().save(wi);
+  EXPECT_EQ(wj.buffer(), wi.buffer());
+}
+
+TEST(Jit, WorkloadsBitIdenticalWithAndWithoutJit) {
+  for (const workloads::Workload& w : workloads::all()) {
+    SCOPED_TRACE(w.name);
+    const elf::ElfFile exe = workloads::build_workload(w, "RISC");
+    Simulator jit(isa::kisa(), with_jit(true));
+    Simulator interp(isa::kisa(), with_jit(false));
+    jit.load(exe);
+    interp.load(exe);
+    EXPECT_EQ(jit.run(), StopReason::Exited);
+    EXPECT_EQ(interp.run(), StopReason::Exited);
+    expect_equivalent(jit, interp);
+    EXPECT_EQ(interp.stats().jit_blocks_translated, 0u);
+    EXPECT_EQ(interp.stats().jit_dispatches, 0u);
+  }
+}
+
+TEST(Jit, HotRiscWorkloadActuallyTranslates) {
+  if (!engine_available()) GTEST_SKIP() << "jit engine unavailable";
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  Simulator sim(isa::kisa(), with_jit(true));
+  sim.load(exe);
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_GT(sim.stats().jit_blocks_translated, 0u);
+  EXPECT_GT(sim.stats().jit_dispatches, 0u);
+  // The steady state runs translated: most dispatches go through host code.
+  EXPECT_GT(sim.stats().jit_dispatches, sim.stats().block_dispatches / 2);
+}
+
+TEST(Jit, VliwInstancesBitIdentical) {
+  // The v1 translator declines VLIW issue groups; correctness must be
+  // preserved by falling back, not by translating wrong code.
+  const workloads::Workload& dct = workloads::by_name("dct");
+  for (const char* isa : {"VLIW2", "VLIW4"}) {
+    SCOPED_TRACE(isa);
+    const elf::ElfFile exe = workloads::build_workload(dct, isa);
+    Simulator jit(isa::kisa(), with_jit(true));
+    Simulator interp(isa::kisa(), with_jit(false));
+    jit.load(exe);
+    interp.load(exe);
+    EXPECT_EQ(jit.run(), StopReason::Exited);
+    EXPECT_EQ(interp.run(), StopReason::Exited);
+    expect_equivalent(jit, interp);
+  }
+}
+
+TEST(Jit, MixedIsaProgramBitIdentical) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 500
+outer:
+  switchtarget VLIW4
+.isa VLIW4
+  addi r5, r5, 1 || addi r7, r0, 2
+  mul r7, r7, r5
+  switchtarget RISC
+.isa RISC
+  bne r5, r6, outer
+  srli r7, r7, 2
+  add r4, r5, r7
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator jit(isa::kisa(), with_jit(true));
+  Simulator interp(isa::kisa(), with_jit(false));
+  jit.load(exe);
+  interp.load(exe);
+  EXPECT_EQ(jit.run(), StopReason::Exited);
+  EXPECT_EQ(interp.run(), StopReason::Exited);
+  EXPECT_EQ(jit.exit_code(), 750);
+  expect_equivalent(jit, interp);
+  EXPECT_EQ(jit.stats().isa_switches, 1000u);
+}
+
+TEST(Jit, CycleModelsIdenticalAndExcludedFromTranslation) {
+  // A cycle model needs per-operation callbacks, so translated code must
+  // never dispatch under one — and cycles must match the jit-off run.
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  for (const char kind : {'i', 'a', 'd'}) {
+    SCOPED_TRACE(kind);
+    uint64_t cycles[2];
+    for (const bool jit_on : {true, false}) {
+      cycle::MemoryHierarchy memory;
+      cycle::IlpModel ilp;
+      cycle::AieModel aie(&memory);
+      cycle::DoeModel doe(&memory);
+      cycle::CycleModel* model = kind == 'i' ? static_cast<cycle::CycleModel*>(&ilp)
+                                 : kind == 'a' ? static_cast<cycle::CycleModel*>(&aie)
+                                               : static_cast<cycle::CycleModel*>(&doe);
+      Simulator sim(isa::kisa(), with_jit(jit_on));
+      sim.load(exe);
+      sim.set_cycle_model(model);
+      EXPECT_EQ(sim.run(), StopReason::Exited);
+      EXPECT_EQ(sim.stats().jit_dispatches, 0u);
+      cycles[jit_on ? 0 : 1] = model->cycles();
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+  }
+}
+
+TEST(Jit, TraceHookSuppressesTranslationAndOutputIdentical) {
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 2000
+loop:
+  addi r5, r5, 1
+  mul r7, r5, r5
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  std::string traces[2];
+  for (const bool jit_on : {true, false}) {
+    Simulator sim(isa::kisa(), with_jit(jit_on));
+    sim.load(exe);
+    std::ostringstream os;
+    TraceWriter trace(os);
+    sim.set_trace(&trace);
+    EXPECT_EQ(sim.run(), StopReason::Exited);
+    EXPECT_EQ(sim.stats().jit_dispatches, 0u); // tracing is per-instruction
+    traces[jit_on ? 0 : 1] = os.str();
+  }
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+TEST(Jit, ColdBlocksStayInterpreted) {
+  // Eight iterations never reach the hotness threshold: nothing translates,
+  // but the run still completes through the interpreter.
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  addi r6, r0, 8
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  Simulator sim(isa::kisa(), with_jit(true));
+  sim.load(build_exe(source));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 8);
+  EXPECT_EQ(sim.stats().jit_blocks_translated, 0u);
+  EXPECT_EQ(sim.stats().jit_dispatches, 0u);
+}
+
+TEST(Jit, HotLoopPromotesAtThreshold) {
+  if (!engine_available()) GTEST_SKIP() << "jit engine unavailable";
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 5000
+loop:
+  addi r5, r5, 1
+  addi r7, r5, 3
+  xor r8, r7, r5
+  bne r5, r6, loop
+  mv r4, r0
+  ret
+)";
+  Simulator sim(isa::kisa(), with_jit(true));
+  sim.load(build_exe(source));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  const SimStats& s = sim.stats();
+  EXPECT_GT(s.jit_blocks_translated, 0u);
+  // Dispatches before the threshold stay interpreted; everything after the
+  // promotion runs as host code.
+  EXPECT_GT(s.jit_dispatches, s.block_dispatches - 2 * jit::kHotThreshold -
+                                  2 * s.jit_blocks_translated);
+  EXPECT_EQ(s.jit_bailouts, 0u);
+}
+
+TEST(Jit, GuardBailoutOnLoadFaultMatchesInterpreter) {
+  // The load address marches out of RAM while the loop is hot: the
+  // translated block's range guard fails, the bailout hands the partially
+  // executed block to the interpreter, and the interpreter raises the same
+  // trap at the same instruction count as a jit-off run.
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 100000
+  li r8, 0
+  li r10, 65536
+loop:
+  lw r9, 0(r8)
+  add r8, r8, r10
+  addi r5, r5, 1
+  bne r5, r6, loop
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator jit(isa::kisa(), with_jit(true));
+  Simulator interp(isa::kisa(), with_jit(false));
+  jit.load(exe);
+  interp.load(exe);
+  EXPECT_EQ(jit.run(), StopReason::Trap);
+  EXPECT_EQ(interp.run(), StopReason::Trap);
+  EXPECT_EQ(jit.stats().instructions, interp.stats().instructions);
+  EXPECT_EQ(jit.state().ip(), interp.state().ip());
+  EXPECT_EQ(jit.error_report(), interp.error_report());
+  EXPECT_EQ(jit.ip_history(), interp.ip_history());
+  if (engine_available()) {
+    EXPECT_GT(jit.stats().jit_dispatches, 0u);
+    EXPECT_GT(jit.stats().jit_bailouts, 0u);
+  }
+}
+
+TEST(Jit, DivisionByZeroBailsToInterpreterTrap)  {
+  // The divisor reaches zero only after the block is hot; the zero-divisor
+  // guard bails and the interpreter's trap semantics apply unchanged.
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 200
+loop:
+  addi r5, r5, -1
+  div r7, r5, r5      # 1 while r5 != 0; 0/0 traps on the last iteration
+  bne r5, r0, loop
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator jit(isa::kisa(), with_jit(true));
+  Simulator interp(isa::kisa(), with_jit(false));
+  jit.load(exe);
+  interp.load(exe);
+  EXPECT_EQ(jit.run(), StopReason::Trap);
+  EXPECT_EQ(interp.run(), StopReason::Trap);
+  EXPECT_EQ(jit.stats().instructions, interp.stats().instructions);
+  EXPECT_EQ(jit.state().ip(), interp.state().ip());
+  EXPECT_EQ(jit.error_report(), interp.error_report());
+  if (engine_available()) EXPECT_GT(jit.stats().jit_bailouts, 0u);
+}
+
+TEST(Jit, InvalidationDropsTranslationsAndRetranslates) {
+  if (!engine_available()) GTEST_SKIP() << "jit engine unavailable";
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 10000
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  const elf::ElfFile exe = build_exe(source);
+  Simulator interrupted(isa::kisa(), with_jit(true));
+  interrupted.load(exe);
+  interrupted.set_max_instructions(5000);
+  EXPECT_EQ(interrupted.run(), StopReason::InstructionLimit);
+  const uint64_t translated_before = interrupted.stats().jit_blocks_translated;
+  EXPECT_GT(translated_before, 0u);
+
+  // Invalidation drops every superblock, cached decode and translation; the
+  // resumed run re-forms and re-translates, and results are unchanged.
+  interrupted.clear_decode_cache();
+  interrupted.set_max_instructions(0);
+  EXPECT_EQ(interrupted.run(), StopReason::Exited);
+  EXPECT_GT(interrupted.stats().jit_blocks_translated, translated_before);
+
+  Simulator straight(isa::kisa(), with_jit(true));
+  straight.load(exe);
+  EXPECT_EQ(straight.run(), StopReason::Exited);
+  EXPECT_EQ(interrupted.exit_code(), straight.exit_code());
+  EXPECT_EQ(interrupted.stats().instructions, straight.stats().instructions);
+  for (unsigned r = 0; r < 32; ++r)
+    EXPECT_EQ(interrupted.state().reg(r), straight.state().reg(r));
+}
+
+TEST(Jit, InstructionLimitExactUnderTranslation) {
+  // The limit falls mid-hot-loop: translated blocks refuse dispatch without
+  // full budget, so the count is hit exactly, never overshot.
+  const std::string source = R"(
+.global main
+main:
+  addi r5, r0, 0
+  li r6, 100000
+loop:
+  addi r5, r5, 1
+  bne r5, r6, loop
+  mv r4, r5
+  ret
+)";
+  Simulator sim(isa::kisa(), with_jit(true));
+  sim.load(build_exe(source));
+  sim.set_max_instructions(7777);
+  EXPECT_EQ(sim.run(), StopReason::InstructionLimit);
+  EXPECT_EQ(sim.stats().instructions, 7777u);
+}
+
+TEST(Jit, OpStatsHookSuppressesTranslation) {
+  SimOptions opts = with_jit(true);
+  opts.collect_op_stats = true;
+  const elf::ElfFile exe =
+      workloads::build_workload(workloads::by_name("dct"), "RISC");
+  Simulator sim(isa::kisa(), opts);
+  sim.load(exe);
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.stats().jit_dispatches, 0u);
+  uint64_t ops = 0;
+  for (const auto& [op, count] : sim.op_histogram()) ops += count;
+  EXPECT_EQ(ops, sim.stats().operations);
+}
+
+TEST(Jit, DisabledEngineTranslatesNothing) {
+  Simulator sim(isa::kisa(), with_jit(false));
+  sim.load(build_exe(R"(
+.global main
+main:
+  addi r4, r0, 7
+  ret
+)"));
+  EXPECT_EQ(sim.run(), StopReason::Exited);
+  EXPECT_EQ(sim.exit_code(), 7);
+  EXPECT_EQ(sim.stats().jit_blocks_translated, 0u);
+  EXPECT_EQ(sim.stats().jit_dispatches, 0u);
+  EXPECT_EQ(sim.stats().jit_bailouts, 0u);
+}
+
+} // namespace
+} // namespace ksim::sim
