@@ -87,18 +87,18 @@ trap 'rm -rf "$CKPT_TMP"' EXIT
 # a restored session re-earns hotness, so its translation counters are
 # process-local by design (DESIGN.md §9); everything the program defines
 # must still match to the byte.
-ckpt_equivalence_leg() { # <leg-name> <needles...> -- <extra run flags...>
-  local leg="$1"; shift
+ckpt_equivalence_leg() { # <leg-name> <isa> <needles...> -- <extra run flags...>
+  local leg="$1" leg_isa="$2"; shift 2
   local needles=()
   while [ "$1" != "--" ]; do needles+=("$1"); shift; done
   shift
   local dir="$CKPT_TMP/$leg"
   mkdir -p "$dir"
   # Straight-through reference run.
-  $KSIM run --workload cjpeg --isa RISC "$@" \
+  $KSIM run --workload cjpeg --isa "$leg_isa" "$@" \
     >"$dir/straight.out" 2>"$dir/straight.err"
   # The same run interrupted mid-flight with periodic snapshots, then resumed.
-  $KSIM run --workload cjpeg --isa RISC "$@" \
+  $KSIM run --workload cjpeg --isa "$leg_isa" "$@" \
     --checkpoint-every 200000 --ckpt-dir "$dir/ckpt" --max-instr 600000 \
     >"$dir/part1.out" 2>/dev/null
   $KSIM resume "$dir/ckpt" \
@@ -125,9 +125,12 @@ ckpt_equivalence_leg() { # <leg-name> <needles...> -- <extra run flags...>
   $KSIM replay "$dir/ckpt"
   echo "checkpoint equivalence OK ($leg)"
 }
-ckpt_equivalence_leg doe "exited after" "DOE cycles" "superblocks:" \
+ckpt_equivalence_leg doe RISC "exited after" "DOE cycles" "superblocks:" \
   -- --model doe
-ckpt_equivalence_leg jit "exited after" "superblocks:" --
+ckpt_equivalence_leg jit RISC "exited after" "superblocks:" --
+# VLIW leg: snapshots land while translated issue-group bundles and inline
+# block chains are in full swing; the resumed totals must still match.
+ckpt_equivalence_leg jit-vliw VLIW4 "exited after" "superblocks:" --
 
 echo "=== perf smoke (machine-readable; simperf/jit trajectories checked in) ==="
 # BENCH_simperf.json and BENCH_jit.json are tracked in git (the perf
@@ -138,19 +141,26 @@ echo "=== perf smoke (machine-readable; simperf/jit trajectories checked in) ===
 ./build/bench/bench_ckpt --quick --json BENCH_ckpt.json
 ./build/bench/bench_sweep --quick --json BENCH_sweep.json
 
-# kjit speedup gate: translated superblocks must beat the superblock
-# interpreter by >= 3x on cjpeg RISC — gated only where the translator can
-# engage (x86-64, no sanitizers, KSIM_NO_JIT unset); the bench records the
-# engine's availability honestly.
+# kjit speedup gates: translated superblocks must beat the superblock
+# interpreter by >= 3x on cjpeg RISC and >= 2.5x on the VLIW instances
+# (issue-group translation) — gated only where the translator can engage
+# (x86-64, no sanitizers, KSIM_NO_JIT unset); the bench records the engine's
+# availability honestly.
 JIT_AVAILABLE=$(sed -n 's/.*"jit_available": \(true\|false\).*/\1/p' BENCH_jit.json)
-JIT_SPEEDUP=$(sed -n 's/.*"cjpeg\.speedup": \([0-9.]*\).*/\1/p' BENCH_jit.json)
-if [ "$JIT_AVAILABLE" = "true" ]; then
-  awk -v s="$JIT_SPEEDUP" 'BEGIN { exit !(s >= 3.0) }' || {
-    echo "ci.sh: kjit speedup gate FAILED: ${JIT_SPEEDUP}x on cjpeg RISC" \
-         "(need >= 3x over the superblock interpreter)" >&2
+jit_speedup_gate() { # <json key> <minimum> <description>
+  local key="$1" min="$2" what="$3" speedup
+  speedup=$(sed -n "s/.*\"$key\": \([0-9.]*\).*/\1/p" BENCH_jit.json)
+  awk -v s="$speedup" -v m="$min" 'BEGIN { exit !(s >= m) }' || {
+    echo "ci.sh: kjit speedup gate FAILED: ${speedup}x on $what" \
+         "(need >= ${min}x over the superblock interpreter)" >&2
     exit 1
   }
-  echo "kjit speedup gate OK (${JIT_SPEEDUP}x on cjpeg RISC)"
+  echo "kjit speedup gate OK (${speedup}x on $what)"
+}
+if [ "$JIT_AVAILABLE" = "true" ]; then
+  jit_speedup_gate "cjpeg.speedup" 3.0 "cjpeg RISC"
+  jit_speedup_gate "cjpeg.vliw2.speedup" 2.5 "cjpeg VLIW2"
+  jit_speedup_gate "cjpeg.vliw4.speedup" 2.5 "cjpeg VLIW4"
 else
   echo "kjit speedup not gated (translator unavailable on this host/config)"
 fi

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string_view>
 
+#include "jit/jit.h"
+
 namespace ksim::analysis {
 namespace {
 
@@ -60,7 +62,12 @@ TranslatabilityReport classify_translatability(const elf::ElfFile& exe,
         for (int s = 0; s < instr->num_ops; ++s) {
           const StaticOp& op = instr->ops[s];
           const isa::OpInfo& info = *op.info;
-          if (sem_is(info, "simop")) bt.reasons |= kJitSimop;
+          // Fast-path SIMOPs (malloc/free/rand/srand) are translated inline
+          // (jit::simop_fast_path); only calls the JIT cannot reproduce —
+          // I/O, exit, host-buffer string ops — still veto the block.
+          if (sem_is(info, "simop") &&
+              !jit::simop_fast_path(static_cast<int>(op.imm)))
+            bt.reasons |= kJitSimop;
           if (info.is_load() || info.is_store()) {
             const ValueRange ea =
                 effective_address(program, a.values, *instr, op);

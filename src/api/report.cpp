@@ -28,6 +28,7 @@ std::string render_report_json(const Report& r) {
   w.field("jit_dispatches", r.stats.jit_dispatches);
   w.field("jit_side_exits", r.stats.jit_side_exits);
   w.field("jit_bailouts", r.stats.jit_bailouts);
+  w.field("jit_cache_flushes", r.stats.jit_cache_flushes);
   w.field("output_bytes", r.output_bytes);
   if (r.has_cycles) {
     w.field("cycles", r.cycles);
@@ -60,11 +61,12 @@ std::string render_report_text(const Report& r) {
                 100.0 * r.stats.lookup_avoidance());
   if (r.jit)
     out += strf("[ksim] jit: %llu blocks translated, %llu dispatches"
-                " (%llu side exits, %llu bailouts)\n",
+                " (%llu side exits, %llu bailouts, %llu cache flushes)\n",
                 static_cast<unsigned long long>(r.stats.jit_blocks_translated),
                 static_cast<unsigned long long>(r.stats.jit_dispatches),
                 static_cast<unsigned long long>(r.stats.jit_side_exits),
-                static_cast<unsigned long long>(r.stats.jit_bailouts));
+                static_cast<unsigned long long>(r.stats.jit_bailouts),
+                static_cast<unsigned long long>(r.stats.jit_cache_flushes));
   if (r.rtl_reference)
     out += strf("[ksim] RTL reference: %llu cycles\n",
                 static_cast<unsigned long long>(r.cycles));

@@ -57,10 +57,11 @@ struct Report {
 /// instructions, operations, decodes, cache_lookups, pred_hits, isa_switches,
 /// libc_calls, blocks_formed, block_dispatches, block_chain_hits,
 /// jit_blocks_translated, jit_dispatches, jit_side_exits, jit_bailouts,
-/// output_bytes, then the optional "cycles"/"ops_per_cycle" pair (cycle
-/// model attached) and the optional "branch_predictor" object.  The jit_*
-/// keys were appended in an order-preserving, additive change (same
-/// schema_version); they count this process's translation activity only.
+/// jit_cache_flushes, output_bytes, then the optional
+/// "cycles"/"ops_per_cycle" pair (cycle model attached) and the optional
+/// "branch_predictor" object.  The jit_* keys were appended in
+/// order-preserving, additive changes (same schema_version); they count this
+/// process's translation activity only.
 std::string render_report_json(const Report& r);
 
 /// The classic `[ksim] ...` stderr summary lines for the same report.

@@ -50,6 +50,7 @@ struct RunConfig {
   bool echo_output = true;         ///< echo simulated stdout to host stdout
   bool profile = false;            ///< attach the function-level profiler
   std::string trace_file;          ///< operation trace destination ("" = off)
+  std::string jit_dump_asm;        ///< kjit host-code dump destination ("" = off)
 
   // -- checkpointing (kckpt, DESIGN.md §5c) ---------------------------------
   uint64_t ckpt_every = 0;         ///< snapshot period in instructions (0 = off)

@@ -172,6 +172,11 @@ sim::StopReason Session::run() {
     trace_ = std::make_unique<sim::TraceWriter>(*trace_stream_);
     sim_->set_trace(trace_.get());
   }
+  if (!cfg_.jit_dump_asm.empty() && !jit_dump_stream_.has_value()) {
+    jit_dump_stream_.emplace(cfg_.jit_dump_asm);
+    check(jit_dump_stream_->good(), "cannot write " + cfg_.jit_dump_asm);
+    sim_->set_jit_dump(&*jit_dump_stream_);
+  }
   if (cfg_.profile) sim_->set_profiler(&profiler_);
   if (cfg_.ckpt_every != 0 && !sink_.has_value()) {
     check(!run_.elf_bytes.empty(),

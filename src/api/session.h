@@ -116,6 +116,7 @@ private:
 
   sim::Profiler profiler_;
   std::optional<std::ofstream> trace_stream_;
+  std::optional<std::ofstream> jit_dump_stream_;
   std::unique_ptr<sim::TraceWriter> trace_;
   std::optional<ckpt::CheckpointSink> sink_;
 };

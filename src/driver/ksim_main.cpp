@@ -103,7 +103,7 @@ namespace {
                "  run --workload <name> | <file.c|.s|.elf>  [--isa NAME]\n"
                "      [--model none|ilp|aie|doe|rtl] [--trace FILE] [--profile]\n"
                "      [--no-decode-cache] [--no-prediction] [--no-superblocks]\n"
-               "      [--no-jit]\n"
+               "      [--no-jit] [--jit-dump-asm FILE]\n"
                "      [--max-instr N] [--seed N] [--json FILE]\n"
                "      [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
                "  sweep [--workloads A,B] [--isas A,B] [--models A,B]\n"
@@ -144,6 +144,7 @@ struct Options {
   std::string isa = "RISC";
   std::string model = "none";
   std::string trace_file;
+  std::string jit_dump_asm;
   std::string output;
   std::string workload;
   bool profile = false;
@@ -222,6 +223,11 @@ Options parse_options(int argc, char** argv, int first) {
       opt.superblocks = false;
     } else if (arg == "--no-jit") {
       opt.jit = false;
+    } else if (arg == "--jit-dump-asm") {
+      opt.jit_dump_asm = next();
+    } else if (arg.rfind("--jit-dump-asm=", 0) == 0) {
+      opt.jit_dump_asm = arg.substr(sizeof("--jit-dump-asm=") - 1);
+      check(!opt.jit_dump_asm.empty(), "--jit-dump-asm expects a file name");
     } else if (arg == "--max-instr") {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--max-instr expects a count");
@@ -283,6 +289,7 @@ api::RunConfig to_run_config(const Options& opt) {
   cfg.seed = opt.seed;
   cfg.profile = opt.profile;
   cfg.trace_file = opt.trace_file;
+  cfg.jit_dump_asm = opt.jit_dump_asm;
   cfg.ckpt_every = opt.ckpt_every;
   cfg.ckpt_dir = opt.ckpt_dir;
   cfg.ckpt_keep = opt.ckpt_keep;
@@ -408,6 +415,7 @@ int cmd_resume(const Options& opt) {
   api::RunConfig cfg = api::RunConfig::from_run_record(ck.run);
   cfg.profile = opt.profile;
   cfg.trace_file = opt.trace_file;
+  cfg.jit_dump_asm = opt.jit_dump_asm;
   if (opt.ckpt_every != 0 || !opt.ckpt_dir.empty()) {
     check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
           "--checkpoint-every and --ckpt-dir must be used together");

@@ -11,66 +11,142 @@ namespace ksim::jit {
 
 namespace {
 
-/// Arena chunk size.  Translations are a few hundred bytes each; one chunk
-/// holds thousands of blocks, and a workload that overflows the total budget
-/// simply stops translating (interpretation stays correct).
-constexpr size_t kChunkSize = 1u << 20;
-constexpr size_t kMaxChunks = 64; // 64 MiB hard budget
+/// Default arena geometry.  Translations are a few hundred bytes each; one
+/// chunk holds thousands of blocks.  The whole budget is reserved as one
+/// PROT_NONE mapping so chain jmps between any two translations always fit
+/// in a rel32; address space is free, only committed chunks cost memory.
+constexpr size_t kDefaultChunk = 1u << 20;
+constexpr size_t kDefaultTotal = kDefaultChunk * 64; // 64 MiB hard budget
+
+void patch_u32(uint8_t* at, uint32_t v) { std::memcpy(at, &v, sizeof v); }
+void patch_u64(uint8_t* at, uint64_t v) { std::memcpy(at, &v, sizeof v); }
 
 } // namespace
+
+void CodeCache::set_budget(size_t total_bytes, size_t chunk_bytes) {
+  if (reservation_ != nullptr) return; // too late, arena already live
+  total_budget_ = total_bytes;
+  chunk_bytes_ = chunk_bytes;
+}
 
 #ifdef KSIM_JIT_HOST
 
 CodeCache::~CodeCache() {
+  if (reservation_ != nullptr) ::munmap(reservation_, reserved_);
+}
+
+bool CodeCache::make_writable(Chunk& c) {
+  if (c.writable) return true;
+  if (::mprotect(c.base, c.size, PROT_READ | PROT_WRITE) != 0) return false;
+  c.writable = true;
+  return true;
+}
+
+bool CodeCache::make_executable(Chunk& c) {
+  // W^X: no page is ever writable and executable at once.  Flipping the
+  // whole chunk is safe — no guest code is running during translation.
+  if (!c.writable) return true;
+  if (::mprotect(c.base, c.size, PROT_READ | PROT_EXEC) != 0) return false;
+  c.writable = false;
+  return true;
+}
+
+CodeCache::Chunk* CodeCache::chunk_of(const uint8_t* p) {
   for (Chunk& c : chunks_)
-    if (c.base != nullptr) ::munmap(c.base, c.size);
+    if (p >= c.base && p < c.base + c.size) return &c;
+  return nullptr;
 }
 
 CodeCache::Chunk* CodeCache::writable_chunk(size_t need) {
   if (!chunks_.empty()) {
     Chunk& back = chunks_.back();
     if (back.size - back.used >= need) {
-      if (!back.writable) {
-        if (::mprotect(back.base, back.size, PROT_READ | PROT_WRITE) != 0)
-          return nullptr;
-        back.writable = true;
-      }
+      if (!make_writable(back)) return nullptr;
       return &back;
     }
   }
-  if (chunks_.size() >= kMaxChunks || need > kChunkSize) return nullptr;
-  void* mem = ::mmap(nullptr, kChunkSize, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (mem == MAP_FAILED) return nullptr;
-  chunks_.push_back({static_cast<uint8_t*>(mem), kChunkSize, 0, true});
+  if (total_budget_ == 0) total_budget_ = kDefaultTotal;
+  if (chunk_bytes_ == 0) chunk_bytes_ = kDefaultChunk;
+  if (reservation_ == nullptr) {
+    void* mem = ::mmap(nullptr, total_budget_, PROT_NONE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) return nullptr;
+    reservation_ = static_cast<uint8_t*>(mem);
+    reserved_ = total_budget_;
+  }
+  const size_t committed = chunks_.size() * chunk_bytes_;
+  if (committed >= total_budget_ || need > chunk_bytes_) return nullptr;
+  uint8_t* base = reservation_ + committed;
+  const size_t size =
+      chunk_bytes_ < total_budget_ - committed ? chunk_bytes_
+                                               : total_budget_ - committed;
+  if (::mprotect(base, size, PROT_READ | PROT_WRITE) != 0) return nullptr;
+  chunks_.push_back({base, size, 0, true});
   return &chunks_.back();
 }
 
-BlockFn CodeCache::install(const std::vector<uint8_t>& code) {
-  if (code.empty()) return nullptr;
+BlockFn CodeCache::install(const Translation& tr) {
+  if (tr.code.empty()) return nullptr;
   // Entry points stay 16-byte aligned (call-target friendly).
-  const size_t need = (code.size() + 15u) & ~size_t{15};
+  const size_t need = (tr.code.size() + 15u) & ~size_t{15};
   Chunk* c = writable_chunk(need);
   if (c == nullptr) return nullptr;
   uint8_t* dst = c->base + c->used;
-  std::memcpy(dst, code.data(), code.size());
+  std::memcpy(dst, tr.code.data(), tr.code.size());
   c->used += need;
-  // W^X: no page is ever writable and executable at once.  Flipping the
-  // whole chunk is safe — no guest code is running during translation.
-  if (::mprotect(c->base, c->size, PROT_READ | PROT_EXEC) != 0) {
+  if (!make_executable(*c)) {
     c->used -= need;
     return nullptr;
   }
-  c->writable = false;
   ++blocks_;
   used_total_ += need;
-  return reinterpret_cast<BlockFn>(dst);
+  BlockFn fn = reinterpret_cast<BlockFn>(dst);
+  if (!tr.sites.empty()) {
+    std::vector<Site>& sites = sites_[reinterpret_cast<const void*>(fn)];
+    sites.reserve(tr.sites.size());
+    for (const ChainSite& s : tr.sites)
+      sites.push_back({s.kind, s.index, dst + s.jmp_rel, dst + s.expected_imm,
+                       dst + s.next_n_imm, dst + s.target_rel, nullptr});
+  }
+  return fn;
+}
+
+bool CodeCache::patch_chain(BlockFn entry, uint32_t kind, uint32_t index,
+                            const void* succ_block, BlockFn succ_entry,
+                            uint32_t succ_num_instrs) {
+  auto it = sites_.find(reinterpret_cast<const void*>(entry));
+  if (it == sites_.end()) return false;
+  for (Site& s : it->second) {
+    if (s.kind != kind || s.index != index) continue;
+    if (s.patched_to == succ_block) return true; // already linked
+    Chunk* c = chunk_of(s.jmp_rel);
+    if (c == nullptr || !make_writable(*c)) return false;
+    patch_u64(s.expected_imm, reinterpret_cast<uint64_t>(succ_block));
+    patch_u32(s.next_n_imm, succ_num_instrs);
+    uint8_t* succ = reinterpret_cast<uint8_t*>(succ_entry);
+    patch_u32(s.target_rel,
+              static_cast<uint32_t>(succ - (s.target_rel + 4)));
+    // Enabling the stub last: a zero displacement makes the bypass jmp fall
+    // straight into the (now fully initialized) chain stub.
+    patch_u32(s.jmp_rel, 0);
+    // The chain target can live in another chunk that is currently RW from
+    // its own install; flip every writable chunk back before executing.
+    bool ok = true;
+    for (Chunk& ch : chunks_) ok = make_executable(ch) && ok;
+    if (!ok) return false;
+    s.patched_to = succ_block;
+    ++patches_;
+    return true;
+  }
+  return false;
 }
 
 void CodeCache::clear() {
   // Keep the mappings (they are recycled RW-first by the next install);
   // just reset the cursors so stale entry points are never handed out again.
+  // Chain patches die with the code they pointed into.
   for (Chunk& c : chunks_) c.used = 0;
+  sites_.clear();
   blocks_ = 0;
   used_total_ = 0;
 }
@@ -78,8 +154,15 @@ void CodeCache::clear() {
 #else // !KSIM_JIT_HOST — stub build (non-x86-64 hosts, sanitizer builds)
 
 CodeCache::~CodeCache() = default;
+bool CodeCache::make_writable(Chunk&) { return false; }
+bool CodeCache::make_executable(Chunk&) { return false; }
+CodeCache::Chunk* CodeCache::chunk_of(const uint8_t*) { return nullptr; }
 CodeCache::Chunk* CodeCache::writable_chunk(size_t) { return nullptr; }
-BlockFn CodeCache::install(const std::vector<uint8_t>&) { return nullptr; }
+BlockFn CodeCache::install(const Translation&) { return nullptr; }
+bool CodeCache::patch_chain(BlockFn, uint32_t, uint32_t, const void*, BlockFn,
+                            uint32_t) {
+  return false;
+}
 void CodeCache::clear() {}
 
 #endif

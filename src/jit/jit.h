@@ -9,12 +9,24 @@
 //     the instruction pointer, the IP-history ring and every serialized
 //     SimStats counter advance exactly as the superblock interpreter would.
 //     Anything the generated code cannot reproduce exactly (possible traps,
-//     SIMOPs, ISA switches, VLIW write-back semantics) is either declined at
-//     translation time or handed back to the interpreter via a side exit
-//     before any state of the offending instruction is committed.
+//     unsafe SIMOPs, ISA switches) is either declined at translation time or
+//     handed back to the interpreter via a side exit before any state of the
+//     offending instruction is committed.  VLIW issue groups are translated
+//     with the interpreter's two-phase bundle semantics: every source
+//     register is read (and every guard checked) before any destination is
+//     written, results staged in JitContext::wbuf and committed in slot
+//     order.
+//   * Translated blocks chain to each other inline: when a successor edge is
+//     itself translated, the block's exit is patched into a direct jmp that
+//     re-checks, in emitted code, exactly the conditions the dispatch loop
+//     checks in C++ (checkpoint boundary, successor identity, instruction
+//     budget) and accumulates the same counters (JitContext::chain_hits /
+//     side_exits), so the accounting stays bit-identical to the interpreter.
 //   * Translations bake the decode-cache contents of their block, so they
 //     are exactly as stale as the interpreter's decode cache — and they are
 //     invalidated by exactly the same call (Simulator::clear_decode_cache).
+//     Chain patches only ever point inside one CodeCache generation; clear()
+//     drops code and patch table together, so no stale jmp can survive.
 //   * Checkpoints never serialize host code or hotness: after a restore the
 //     code cache is empty and blocks re-earn translation lazily, mirroring
 //     the superblock-graph rebuild.
@@ -27,9 +39,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "isa/exec.h"
+#include "isa/kisa.h"
 
 namespace ksim::jit {
 
@@ -48,22 +62,62 @@ constexpr bool host_supported() {
 /// enough that one-shot startup code is never compiled.
 inline constexpr uint32_t kHotThreshold = 16;
 
+/// SIMOPs the translator emits inline (the narrowed kJitSimop veto,
+/// DESIGN.md §9).  Safe means: the libc emulator's handler touches only
+/// state JitContext exposes by pointer (call counter, LCG state, heap
+/// cursor), reads its argument from a plain register, writes at most one
+/// register, and can neither trap, produce output, halt, nor depend on
+/// host-side buffers.  Everything else (exit/putchar/printf/memcpy/...)
+/// stays vetoed.  Host-independent on purpose: the static translatability
+/// report (and its lint goldens) must not vary with the build's JIT arch.
+constexpr bool simop_fast_path(int op_number) {
+  switch (static_cast<isa::LibcOp>(op_number)) {
+    case isa::LibcOp::kMalloc:
+    case isa::LibcOp::kFree:
+    case isa::LibcOp::kRand:
+    case isa::LibcOp::kSrand:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Guest state handed to generated code in a fixed register (rdi).  The
 /// layout is ABI: the emitter hardcodes these offsets, so the struct is
 /// pinned by static_asserts in translator_x86.cpp.
+///
+/// executed/ops/chain_hits/side_exits are *per-call deltas*: the dispatcher
+/// zeroes them before every call and emitted exits accumulate with add, so a
+/// single host call that chains through several blocks reports the combined
+/// totals.  ckpt_room/budget are per-call headroom (UINT64_MAX = unlimited):
+/// an inline chain is taken only while executed stays below ckpt_room and
+/// executed + next block's length stays within budget — the same checks the
+/// C++ dispatch loop performs.
 struct JitContext {
-  uint32_t* regs = nullptr;  ///< +0  guest register file (32 x u32)
-  uint8_t* ram = nullptr;    ///< +8  simulated RAM base
-  uint32_t* ring = nullptr;  ///< +16 IP-history ring base (null = disabled)
-  uint64_t executed = 0;     ///< +24 instructions retired by the last call
-  uint64_t ops = 0;          ///< +32 operations retired by the last call
-  uint32_t ip = 0;           ///< +40 guest IP at exit
-  uint32_t ring_pos = 0;     ///< +44 IP-history cursor (live across calls)
-  uint32_t ring_full = 0;    ///< +48 IP-history wrapped flag
-  uint32_t reserved = 0;     ///< +52 padding, keeps the struct 8-aligned
+  uint32_t* regs = nullptr;     ///< +0   guest register file (32 x u32)
+  uint8_t* ram = nullptr;       ///< +8   simulated RAM base
+  uint32_t* ring = nullptr;     ///< +16  IP-history ring base (null = off)
+  uint64_t executed = 0;        ///< +24  instructions retired this call
+  uint64_t ops = 0;             ///< +32  operations retired this call
+  uint32_t ip = 0;              ///< +40  guest IP at exit
+  uint32_t ring_pos = 0;        ///< +44  IP-history cursor (live across calls)
+  uint32_t ring_full = 0;       ///< +48  IP-history wrapped flag
+  uint32_t reserved = 0;        ///< +52  padding, keeps wbuf 8-aligned
+  uint32_t wbuf[8] = {};        ///< +56  VLIW bundle write-back staging slots
+  uint64_t chain_hits = 0;      ///< +88  inline block->block chains this call
+  uint64_t side_exits = 0;      ///< +96  mid-block taken exits chained past
+  uint64_t ckpt_room = 0;       ///< +104 instrs until the next checkpoint
+  uint64_t budget = 0;          ///< +112 instrs until --max-instr
+  const void* exit_block = nullptr; ///< +120 Superblock* the call exited from
+  uint64_t* libc_calls = nullptr;   ///< +128 LibcEmulator call counter
+  uint32_t* rand_state = nullptr;   ///< +136 LibcEmulator LCG state
+  uint32_t* heap_ptr = nullptr;     ///< +144 LibcEmulator bump cursor
+  uint32_t* heap_end = nullptr;     ///< +152 LibcEmulator heap limit
 };
 
 /// Exit protocol: generated code returns kind | (instr_index << 8) in eax.
+/// instr_index (and JitContext::ip / exit_block) describe the *last* block
+/// of the call — the one actually exited from after any inline chains.
 enum ExitKind : uint32_t {
   kExitFallthrough = 0, ///< ran off the end; ip = next sequential address
   kExitTaken = 1,       ///< a branch fired at instr_index; ip = its target
@@ -82,6 +136,16 @@ using BlockFn = uint64_t (*)(JitContext*);
 struct TranslateEnv {
   uint32_t ram_size = 0;  ///< guest RAM size (memory-guard bound)
   uint32_t ring_size = 0; ///< IP-history length (0 = history disabled)
+  /// Identity of the block being translated, baked into every exit so the
+  /// dispatcher knows which block an inline chain ended in.  Required for
+  /// installation into a CodeCache (tests that only inspect code may leave
+  /// it null).
+  const void* self_block = nullptr;
+  /// Address of the block's successor-edge array (&Superblock::succ[0],
+  /// two pointers: [0] fallthrough, [1] taken).  Chain stubs re-load the
+  /// edge through this address at run time and compare against the patched
+  /// expected successor, so a re-linked edge falls back to the dispatcher.
+  const void* const* succ_edges = nullptr;
 };
 
 /// An address range the static translatability analysis vetoed
@@ -91,20 +155,43 @@ struct VetoRange {
   uint32_t end = 0; ///< first address past the range
 };
 
-/// Translates one superblock trace (instrs[0..n)) to host code bytes.
-/// Returns an empty vector to decline: unsupported operation, VLIW group
-/// (num_ops > 1), SIMOP/HALT/SWITCHTARGET, or a stub build.  Declining is
-/// always observation-safe — the caller keeps interpreting the block.
-std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
-                                     uint16_t num_instrs,
-                                     const TranslateEnv& env);
+/// A patchable exit recorded by the translator: once the successor for
+/// (kind, succ_ip) is translated, CodeCache::patch_chain() fills in the
+/// expected-successor immediate, the successor length, and the direct jmp,
+/// then unlocks the stub by zeroing the bypass jmp's displacement.
+/// All offsets are relative to the start of the translation's code.
+struct ChainSite {
+  uint8_t kind = 0;          ///< kExitFallthrough or kExitTaken (edge index)
+  uint16_t index = 0;        ///< exit_index of this exit
+  uint32_t succ_ip = 0;      ///< static guest address of the successor
+  uint32_t jmp_rel = 0;      ///< rel32 of the stub-bypass jmp (0 = enabled)
+  uint32_t expected_imm = 0; ///< imm64: expected Superblock* on the edge
+  uint32_t next_n_imm = 0;   ///< imm32: successor num_instrs (budget check)
+  uint32_t target_rel = 0;   ///< rel32 of the chain jmp to the successor
+};
 
-/// Executable-arena code cache (W^X): chunks are mmap'd read-write for
-/// emission and flipped to read-execute before use; install() copies a
-/// translation in and returns the executable entry point.  Entries are
-/// per-block — the owning Superblock (keyed by (addr, isa) like the decode
-/// cache) holds the pointer — and are only ever invalidated wholesale by
-/// clear(), together with the superblocks that reference them.
+/// A finished translation: host code plus its patchable chain exits.
+/// Empty code means the translator declined.
+struct Translation {
+  std::vector<uint8_t> code;
+  std::vector<ChainSite> sites;
+};
+
+/// Translates one superblock trace (instrs[0..n)) to host code.  Declines
+/// (empty code) on: unsupported operation, SWITCHTARGET/HALT, SIMOPs outside
+/// simop_fast_path() or not in single-op tail position, or a stub build.
+/// Declining is always observation-safe — the caller keeps interpreting.
+Translation translate_block(const isa::DecodedInstr* const* instrs,
+                            uint16_t num_instrs, const TranslateEnv& env);
+
+/// Executable code cache (W^X) with a chain-patch table.  The whole budget
+/// is reserved contiguously up front (PROT_NONE) and committed in chunks, so
+/// any translation can reach any other with a rel32 jmp; chunks are flipped
+/// RW for emission/patching and RX for execution — no page is ever both.
+/// Entries are per-block — the owning Superblock (keyed by (addr, isa) like
+/// the decode cache) holds the pointer — and are only ever invalidated
+/// wholesale by clear(), together with the superblocks that reference them
+/// and every chain patch between them.
 class CodeCache {
 public:
   CodeCache() = default;
@@ -112,18 +199,34 @@ public:
   CodeCache(const CodeCache&) = delete;
   CodeCache& operator=(const CodeCache&) = delete;
 
-  /// Copies `code` into executable memory.  Returns null when the arena
-  /// budget is exhausted or the host cannot map executable pages (the
-  /// caller marks the block declined and keeps interpreting).
-  BlockFn install(const std::vector<uint8_t>& code);
+  /// Overrides the arena budget (total reservation / commit granularity).
+  /// Only effective before the first install; exists so tests can exercise
+  /// cache exhaustion without emitting 64 MiB of code.
+  void set_budget(size_t total_bytes, size_t chunk_bytes);
 
-  /// Drops every translation and recycles the arena (W^X flip back to RW
-  /// happens lazily on the next install).  Callers must simultaneously null
-  /// all Superblock::jit_entry pointers — clear_decode_cache() does.
+  /// Copies a translation into executable memory and registers its chain
+  /// sites.  Returns null when the arena budget is exhausted or the host
+  /// cannot map executable pages (the caller may flush and retry, or mark
+  /// the block declined and keep interpreting).
+  BlockFn install(const Translation& tr);
+
+  /// Patches the chain site (kind, index) of `entry` into a direct jmp to
+  /// `succ_entry`, guarded on the edge still holding `succ_block`.  No-op
+  /// when already patched to the same successor; returns false when the
+  /// site does not exist (exit not chainable — dispatcher keeps looping).
+  bool patch_chain(BlockFn entry, uint32_t kind, uint32_t index,
+                   const void* succ_block, BlockFn succ_entry,
+                   uint32_t succ_num_instrs);
+
+  /// Drops every translation and chain patch and recycles the arena (W^X
+  /// flip back to RW happens lazily on the next install).  Callers must
+  /// simultaneously null all Superblock::jit_entry pointers —
+  /// clear_decode_cache() and the exhaustion flush both do.
   void clear();
 
   uint64_t blocks() const { return blocks_; }
   uint64_t code_bytes() const { return used_total_; }
+  uint64_t chain_patches() const { return patches_; }
 
 private:
   struct Chunk {
@@ -132,11 +235,30 @@ private:
     size_t used = 0;
     bool writable = false;
   };
+  /// One installed ChainSite, rebased to absolute host addresses.
+  struct Site {
+    uint8_t kind = 0;
+    uint16_t index = 0;
+    uint8_t* jmp_rel = nullptr;
+    uint8_t* expected_imm = nullptr;
+    uint8_t* next_n_imm = nullptr;
+    uint8_t* target_rel = nullptr;
+    const void* patched_to = nullptr; ///< successor block currently linked
+  };
   Chunk* writable_chunk(size_t need);
+  bool make_writable(Chunk& c);
+  bool make_executable(Chunk& c);
+  Chunk* chunk_of(const uint8_t* p);
 
+  uint8_t* reservation_ = nullptr;
+  size_t reserved_ = 0;
+  size_t total_budget_ = 0;
+  size_t chunk_bytes_ = 0;
   std::vector<Chunk> chunks_;
+  std::unordered_map<const void*, std::vector<Site>> sites_;
   uint64_t blocks_ = 0;
   uint64_t used_total_ = 0;
+  uint64_t patches_ = 0;
 };
 
 } // namespace ksim::jit

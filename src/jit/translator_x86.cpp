@@ -8,9 +8,11 @@
 //   r8   = simulated RAM base
 //   r10  = IP-history ring base        (only when the ring is enabled)
 //   r11d = IP-history ring cursor      (only when the ring is enabled)
+//   r9   = VLIW pending-branch flag: (1<<32) | target when a bundle slot
+//          took a branch, 0 otherwise (live only inside one bundle)
 //   eax, ecx, edx = scratch
 //
-// Per-instruction template shape:
+// Single-operation template shape (unchanged from kjit v1):
 //   [guards -> bail stub]   traps must be re-raised by the interpreter, so
 //                           any possibly-faulting access is guarded by the
 //                           exact interpreter fault condition and bails
@@ -22,10 +24,31 @@
 //   [ring write]            the retiring instruction is appended to the
 //                           IP-history ring, matching record_ip() exactly.
 //
-// Exit stubs write the retired instruction/operation counts, the final IP
-// and the ring cursor into the JitContext and return kind|(index<<8) (see
-// jit.h).  Bail stubs report the *not yet retired* instruction, so the
-// interpreter re-executes it from pristine state and raises the exact trap.
+// VLIW issue groups (num_ops > 1) translate with the interpreter's two-phase
+// bundle semantics (exec_block_fast + ExecCtx::wb):
+//   Phase A: every guard of every slot, in slot order — a failed guard bails
+//            with *nothing* of the bundle committed (the interpreter re-runs
+//            the whole group from pristine registers; RAM effects of earlier
+//            slots are recomputed identically, so hoisting is idempotent);
+//   Phase B: every slot's result computed from the *pre-bundle* register
+//            file and staged into JitContext::wbuf[slot]; memory writes are
+//            performed immediately in slot order (later loads in the same
+//            group see them, exactly like the interpreter); taken branches
+//            set r9 = (1<<32)|target, last taken wins;
+//   Phase C: wbuf committed to the register file in slot order (r0 elided),
+//            the ring entry written, then the pending branch resolved.
+//
+// Exit protocol v2 (inline chaining): the dispatcher zeroes the JitContext
+// delta counters before every call, and every exit *accumulates* its block's
+// retired instruction/operation counts with add.  Chainable exits (static
+// fallthrough/taken successors) carry a patchable stub that re-checks the
+// dispatch loop's chain conditions in emitted code — checkpoint room first,
+// then successor-edge identity, then instruction budget — bumps
+// chain_hits/side_exits, syncs the ring cursor and jumps straight into the
+// successor's entry.  Until CodeCache::patch_chain() links a site, a bypass
+// jmp skips the stub.  Every exit records which Superblock it left from
+// (JitContext::exit_block) so the dispatcher can resume/bail correctly after
+// any number of inline chains.
 #include "jit/jit.h"
 
 #include <string_view>
@@ -42,6 +65,16 @@ static_assert(offsetof(JitContext, ops) == 32);
 static_assert(offsetof(JitContext, ip) == 40);
 static_assert(offsetof(JitContext, ring_pos) == 44);
 static_assert(offsetof(JitContext, ring_full) == 48);
+static_assert(offsetof(JitContext, wbuf) == 56);
+static_assert(offsetof(JitContext, chain_hits) == 88);
+static_assert(offsetof(JitContext, side_exits) == 96);
+static_assert(offsetof(JitContext, ckpt_room) == 104);
+static_assert(offsetof(JitContext, budget) == 112);
+static_assert(offsetof(JitContext, exit_block) == 120);
+static_assert(offsetof(JitContext, libc_calls) == 128);
+static_assert(offsetof(JitContext, rand_state) == 136);
+static_assert(offsetof(JitContext, heap_ptr) == 144);
+static_assert(offsetof(JitContext, heap_end) == 152);
 
 namespace {
 
@@ -57,6 +90,10 @@ struct Emitter {
     out.push_back(static_cast<uint8_t>(v >> 8));
     out.push_back(static_cast<uint8_t>(v >> 16));
     out.push_back(static_cast<uint8_t>(v >> 24));
+  }
+  void imm64(uint64_t v) {
+    imm32(static_cast<uint32_t>(v));
+    imm32(static_cast<uint32_t>(v >> 32));
   }
   size_t pos() const { return out.size(); }
   void patch32(size_t at, uint32_t v) {
@@ -88,7 +125,8 @@ struct Label {
   }
 };
 
-// x86 condition codes (for 0F 8x jcc / 0F 9x setcc).
+// x86 condition codes (for 0F 8x jcc / 0F 9x setcc).  Each pairs with its
+// inverse via cc ^ 1.
 enum Cc : uint8_t {
   kCcB = 0x2,  // unsigned <
   kCcAe = 0x3, // unsigned >=
@@ -162,12 +200,36 @@ void alu_guest_imm(Emitter& e, uint8_t ext, uint8_t g, uint32_t imm) {
 void set_bool_eax(Emitter& e, uint8_t cc) {
   e.bs({0x0F, static_cast<uint8_t>(0x90 | cc), 0xC0, 0x0F, 0xB6, 0xC0});
 }
+/// mov [rdi + 56 + slot*4], host32  — stage a bundle result in wbuf
+void spill_wbuf(Emitter& e, uint8_t slot, uint8_t host) {
+  e.b(0x89);
+  e.b(static_cast<uint8_t>(0x40 | (host << 3) | 0x7)); // [rdi+disp8]
+  e.b(static_cast<uint8_t>(56 + slot * 4));
+}
+/// mov eax, [rdi + 56 + slot*4]
+void load_wbuf_eax(Emitter& e, uint8_t slot) {
+  e.bs({0x8B, 0x47, static_cast<uint8_t>(56 + slot * 4)});
+}
+/// add qword [rdi + off], imm  (off < 128; elided when imm == 0)
+void add_ctx64(Emitter& e, uint8_t off, uint64_t imm) {
+  if (imm == 0) return;
+  if (imm <= 127) {
+    e.bs({0x48, 0x83, 0x47, off, static_cast<uint8_t>(imm)});
+  } else {
+    e.bs({0x48, 0x81, 0x47, off});
+    e.imm32(static_cast<uint32_t>(imm));
+  }
+}
+/// mov rdx, [rdi + off32]  — reach the pointer fields past disp8 range
+void load_ctx_ptr_rdx(Emitter& e, uint32_t off) {
+  e.bs({0x48, 0x8B, 0x97});
+  e.imm32(off);
+}
 
 } // namespace
 
-std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
-                                     uint16_t num_instrs,
-                                     const TranslateEnv& env) {
+Translation translate_block(const isa::DecodedInstr* const* instrs,
+                            uint16_t num_instrs, const TranslateEnv& env) {
   using std::string_view;
 
   enum class K {
@@ -178,6 +240,7 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
     Lui, Orlo,
     Load, Store,
     CondBr, J, Jal, Jr, Jalr, Nop,
+    Simop,   // translatable only via simop_fast_path, single-op tail position
     No,      // untranslatable
   };
   struct OpPlan {
@@ -239,26 +302,37 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
     if (n == "JR") return {K::Jr, 0, false};
     if (n == "JALR") return {K::Jalr, 0, false};
     if (n == "NOP") return {K::Nop, 0, false};
-    return {K::No, 0, false}; // SIMOP, HALT, SWITCHTARGET, anything unknown
+    if (n == "SIMOP") return {K::Simop, 0, false};
+    return {K::No, 0, false}; // HALT, SWITCHTARGET, anything unknown
   };
 
   // -- decline pass ---------------------------------------------------------
-  // v1 scope: single-operation instructions only.  VLIW groups (num_ops > 1)
-  // need the §V-B read-before-write buffer across slots; they stay on the
-  // interpreter (DESIGN.md §9 lists this as the next extension).
+  // v2 scope: single operations, VLIW issue groups, and the fast-path SIMOPs
+  // (single-op tail position only: the libc handler reads its argument from
+  // and writes its result to the register file directly, which is only
+  // bundle-equivalent when there is no bundle).  HALT/SWITCHTARGET and
+  // everything unknown stays on the interpreter.
   if (num_instrs == 0) return {};
-  std::vector<OpPlan> plans(num_instrs);
+  std::vector<OpPlan> plans(static_cast<size_t>(num_instrs) * isa::kMaxSlots);
   for (uint16_t i = 0; i < num_instrs; ++i) {
     const isa::DecodedInstr* di = instrs[i];
-    if (di->num_ops != 1) return {};
-    const isa::DecodedOp& op = di->ops[0];
-    if (op.rd > 31 || op.ra > 31 || op.rb > 31) return {};
-    plans[i] = classify(op.info->name);
-    if (plans[i].k == K::No) return {};
+    if (di->num_ops < 1 || di->num_ops > isa::kMaxSlots) return {};
+    for (uint8_t s = 0; s < di->num_ops; ++s) {
+      const isa::DecodedOp& op = di->ops[s];
+      if (op.rd > 31 || op.ra > 31 || op.rb > 31) return {};
+      OpPlan plan = classify(op.info->name);
+      if (plan.k == K::Simop &&
+          (di->num_ops != 1 || i != num_instrs - 1 ||
+           !simop_fast_path(static_cast<int>(op.imm))))
+        plan.k = K::No;
+      if (plan.k == K::No) return {};
+      plans[static_cast<size_t>(i) * isa::kMaxSlots + s] = plan;
+    }
   }
 
   const bool ring = env.ring_size > 0;
   Emitter e;
+  Translation tr;
 
   // -- prologue -------------------------------------------------------------
   e.bs({0x48, 0x8B, 0x37});             // mov rsi, [rdi]       (guest regs)
@@ -282,35 +356,84 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
     e.imm32(1);
   };
 
-  // Exit epilogue: retire counts, final IP (constant or from ecx), ring
-  // cursor, exit code.  `executed`/`ops` are per-call absolutes (the stubs
-  // overwrite, they never accumulate), so the dispatcher reads clean deltas.
-  const auto emit_exit = [&](uint64_t executed, uint64_t ops, bool ip_in_ecx,
-                             uint32_t ip_const, uint32_t code) {
-    e.bs({0x48, 0xC7, 0x47, 0x18});     // mov qword [rdi+24], executed
-    e.imm32(static_cast<uint32_t>(executed));
-    e.bs({0x48, 0xC7, 0x47, 0x20});     // mov qword [rdi+32], ops
-    e.imm32(static_cast<uint32_t>(ops));
-    if (ip_in_ecx) {
-      e.bs({0x89, 0x4F, 0x28});         // mov [rdi+40], ecx
-    } else {
-      e.bs({0xC7, 0x47, 0x28});         // mov dword [rdi+40], ip
-      e.imm32(ip_const);
+  struct ExitSpec {
+    uint64_t retired = 0;  ///< instructions of *this* block retired here
+    uint64_t ops = 0;      ///< operations of *this* block retired here
+    bool ip_in_ecx = false;
+    uint32_t ip = 0;
+    uint32_t code = 0;
+    bool chainable = false; ///< static successor: emit a patchable chain stub
+    uint8_t kind = 0;       ///< successor-edge index (0 fallthrough, 1 taken)
+    uint16_t index = 0;     ///< exit_index
+    bool side_exit = false; ///< taken before the last instr (counts when chained)
+  };
+
+  // Exit epilogue v2.  Chained or not, the block's retired counts accumulate
+  // into the per-call deltas first; the chain stub then replays the dispatch
+  // loop's checks in order — checkpoint room, successor identity, budget —
+  // and either jumps into the successor or falls back to the regular exit,
+  // which records ip / ring cursor / exit block and returns the packed code.
+  const bool can_chain = env.self_block != nullptr && env.succ_edges != nullptr;
+  const auto emit_exit = [&](const ExitSpec& x) {
+    add_ctx64(e, 24, x.retired);                  // executed += retired
+    add_ctx64(e, 32, x.ops);                      // ops += ops
+    if (x.chainable && can_chain) {
+      Label regular;
+      ChainSite site;
+      site.kind = x.kind;
+      site.index = x.index;
+      site.succ_ip = x.ip;
+      e.b(0xE9);                                  // jmp regular (bypass; a
+      site.jmp_rel = static_cast<uint32_t>(e.pos()); // zero rel32 enables the
+      regular.jump_here_from(e);                  //  stub once it is patched)
+      e.bs({0x48, 0x8B, 0x47, 0x18});             // mov rax, [rdi+24]
+      e.bs({0x48, 0x3B, 0x47, 0x68});             // cmp rax, [rdi+104] ckpt
+      jcc(e, kCcAe, regular);                     // at/past a checkpoint: exit
+      e.bs({0x48, 0xBA});                         // movabs rdx, &succ[kind]
+      e.imm64(reinterpret_cast<uint64_t>(env.succ_edges + x.kind));
+      e.bs({0x48, 0xB9});                         // movabs rcx, expected succ
+      site.expected_imm = static_cast<uint32_t>(e.pos());
+      e.imm64(0);
+      e.bs({0x48, 0x39, 0x0A});                   // cmp [rdx], rcx
+      jcc(e, kCcNe, regular);                     // edge re-linked: exit
+      e.bs({0x48, 0x05});                         // add rax, succ num_instrs
+      site.next_n_imm = static_cast<uint32_t>(e.pos());
+      e.imm32(0);
+      e.bs({0x48, 0x3B, 0x47, 0x70});             // cmp rax, [rdi+112] budget
+      jcc(e, kCcA, regular);                      // would overshoot: exit
+      e.bs({0x48, 0xFF, 0x47, 0x58});             // inc qword [rdi+88] chains
+      if (x.side_exit)
+        e.bs({0x48, 0xFF, 0x47, 0x60});           // inc qword [rdi+96] side
+      if (ring) e.bs({0x44, 0x89, 0x5F, 0x2C});   // mov [rdi+44], r11d
+      e.b(0xE9);                                  // jmp successor entry
+      site.target_rel = static_cast<uint32_t>(e.pos());
+      e.imm32(0);
+      tr.sites.push_back(site);
+      regular.bind(e);
     }
-    if (ring) e.bs({0x44, 0x89, 0x5F, 0x2C}); // mov [rdi+44], r11d
-    e.b(0xB8);                          // mov eax, code
-    e.imm32(code);
-    e.b(0xC3);                          // ret
+    if (x.ip_in_ecx) {
+      e.bs({0x89, 0x4F, 0x28});                   // mov [rdi+40], ecx
+    } else {
+      e.bs({0xC7, 0x47, 0x28});                   // mov dword [rdi+40], ip
+      e.imm32(x.ip);
+    }
+    if (ring) e.bs({0x44, 0x89, 0x5F, 0x2C});     // mov [rdi+44], r11d
+    if (env.self_block != nullptr) {
+      e.bs({0x48, 0xBA});                         // movabs rdx, self block
+      e.imm64(reinterpret_cast<uint64_t>(env.self_block));
+      e.bs({0x48, 0x89, 0x57, 0x78});             // mov [rdi+120], rdx
+    }
+    e.b(0xB8);                                    // mov eax, code
+    e.imm32(x.code);
+    e.b(0xC3);                                    // ret
   };
 
   struct PendingStub {
     Label label;
-    uint64_t executed = 0;
-    uint64_t ops = 0;
-    uint32_t ip = 0;
-    uint32_t code = 0;
+    ExitSpec spec;
     uint32_t ring_addr = 0;
-    bool write_ring = false; ///< taken exits retire the instr in the stub
+    bool write_ring = false; ///< single-op taken exits retire in the stub
+    bool ecx_from_r9 = false; ///< dynamic bundle exits: ip = r9d
     bool used = false;
   };
   std::vector<PendingStub> bails(num_instrs);
@@ -320,25 +443,378 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
   // ring entry is not yet written; the interpreter re-runs it from scratch.
   const auto bail_to = [&](uint8_t cc, uint16_t i, uint64_t ops_before) {
     PendingStub& s = bails[i];
-    s.executed = i;
-    s.ops = ops_before;
-    s.ip = instrs[i]->addr;
-    s.code = kExitBail | (static_cast<uint32_t>(i) << 8);
+    s.spec.retired = i;
+    s.spec.ops = ops_before;
+    s.spec.ip = instrs[i]->addr;
+    s.spec.code = kExitBail | (static_cast<uint32_t>(i) << 8);
     s.used = true;
     jcc(e, cc, s.label);
+  };
+
+  // Computes one slot's EA into eax and emits the interpreter-exact
+  // alignment/range guards (shared by the single-op and bundle paths).
+  const auto guard_mem_ea = [&](const isa::DecodedOp& op, uint8_t size,
+                                uint16_t i, uint64_t ops_before) {
+    load_guest(e, kEax, op.ra);
+    const uint32_t imm = static_cast<uint32_t>(op.imm);
+    if (imm != 0) alu_eax_imm(e, 0, imm);  // eax = ra + imm (zero-extends)
+    if (size == 4) {
+      e.bs({0xA8, 0x03});                  // test al, 3 (alignment)
+      bail_to(kCcNe, i, ops_before);
+      alu_eax_imm(e, 7, env.ram_size - 4); // addr+3 >= size <=> > size-4
+      bail_to(kCcA, i, ops_before);
+    } else if (size == 2) {
+      e.bs({0xA8, 0x01});
+      bail_to(kCcNe, i, ops_before);
+      alu_eax_imm(e, 7, env.ram_size - 2);
+      bail_to(kCcA, i, ops_before);
+    } else {
+      alu_eax_imm(e, 7, env.ram_size);     // addr >= size
+      bail_to(kCcAe, i, ops_before);
+    }
+  };
+
+  // Memory access at [r8 + eax] with the result / source value in ecx.
+  const auto emit_load_ecx = [&](uint8_t size, bool sign) {
+    if (size == 4) {
+      e.bs({0x41, 0x8B, 0x0C, 0x00});      // mov ecx, [r8+rax]
+    } else if (size == 2) {
+      e.bs({0x41, 0x0F, sign ? uint8_t{0xBF} : uint8_t{0xB7}, 0x0C, 0x00});
+    } else {
+      e.bs({0x41, 0x0F, sign ? uint8_t{0xBE} : uint8_t{0xB6}, 0x0C, 0x00});
+    }
+  };
+  const auto emit_store_ecx = [&](uint8_t size) {
+    if (size == 4) {
+      e.bs({0x41, 0x89, 0x0C, 0x00});      // mov [r8+rax], ecx
+    } else if (size == 2) {
+      e.bs({0x66, 0x41, 0x89, 0x0C, 0x00});// mov [r8+rax], cx
+    } else {
+      e.bs({0x41, 0x88, 0x0C, 0x00});      // mov [r8+rax], cl
+    }
+  };
+
+  // Divide helpers shared by both paths: divisor in ecx (already guarded
+  // non-zero), dividend loaded from ra; result left in eax (quotient) and
+  // edx (remainder).
+  const auto emit_udiv = [&](const isa::DecodedOp& op) {
+    load_guest(e, kEax, op.ra);
+    e.bs({0x31, 0xD2});                    // xor edx, edx
+    e.bs({0xF7, 0xF1});                    // div ecx
+  };
+  const auto emit_sdiv = [&](const isa::DecodedOp& op) {
+    load_guest(e, kEax, op.ra);
+    Label general, done;
+    e.bs({0x83, 0xF9, 0xFF});              // cmp ecx, -1
+    jcc(e, kCcNe, general);
+    e.b(0x3D);                             // cmp eax, INT32_MIN
+    e.imm32(0x80000000u);
+    jcc(e, kCcNe, general);
+    e.bs({0x31, 0xD2});                    // INT32_MIN / -1: quot = eax
+    jmp(e, done);                          //   (already MIN), rem = 0
+    general.bind(e);
+    e.b(0x99);                             // cdq
+    e.bs({0xF7, 0xF9});                    // idiv ecx
+    done.bind(e);
+  };
+
+  // SIMOP fast paths (simop_fast_path set): the emitted sequence is the
+  // libc handler verbatim — bump the call counter through the JitContext
+  // pointer, then the op's own effect on LCG/heap state and r4.
+  const auto emit_simop = [&](const isa::DecodedOp& op) {
+    load_ctx_ptr_rdx(e, 128);              // mov rdx, [rdi+128] &calls_
+    e.bs({0x48, 0xFF, 0x02});              // inc qword [rdx]
+    switch (static_cast<isa::LibcOp>(op.imm)) {
+      case isa::LibcOp::kFree:
+        break;                             // bump allocator: free is a no-op
+      case isa::LibcOp::kRand: {
+        load_ctx_ptr_rdx(e, 136);          // mov rdx, [rdi+136] &rand_state_
+        e.bs({0x8B, 0x02});                // mov eax, [rdx]
+        e.bs({0x69, 0xC0});                // imul eax, eax, 1103515245
+        e.imm32(1103515245u);
+        e.b(0x05);                         // add eax, 12345
+        e.imm32(12345u);
+        e.bs({0x89, 0x02});                // mov [rdx], eax
+        e.bs({0xC1, 0xE8, 0x10});          // shr eax, 16
+        e.b(0x25);                         // and eax, 0x7FFF
+        e.imm32(0x7FFFu);
+        store_guest(e, isa::abi::kArg0, kEax);
+        break;
+      }
+      case isa::LibcOp::kSrand: {
+        load_guest(e, kEax, isa::abi::kArg0);
+        load_ctx_ptr_rdx(e, 136);
+        e.bs({0x89, 0x02});                // mov [rdx], eax
+        break;
+      }
+      case isa::LibcOp::kMalloc: {
+        Label null_out, done;
+        load_guest(e, kEax, isa::abi::kArg0);
+        e.bs({0x83, 0xC0, 0x07});          // add eax, 7
+        e.bs({0x83, 0xE0, 0xF8});          // and eax, ~7
+        load_ctx_ptr_rdx(e, 144);          // mov rdx, [rdi+144] &heap_ptr_
+        e.bs({0x8B, 0x0A});                // mov ecx, [rdx] (heap_ptr)
+        e.bs({0x01, 0xC8});                // add eax, ecx (eax = new cursor)
+        jcc(e, kCcB, null_out);            // carry: heap_ptr + size wrapped
+        e.bs({0x4C, 0x8B, 0x8F});          // mov r9, [rdi+152] &heap_end_
+        e.imm32(152);
+        e.bs({0x41, 0x3B, 0x01});          // cmp eax, [r9]
+        jcc(e, kCcA, null_out);            // past the heap: out of memory
+        store_guest(e, isa::abi::kArg0, kEcx); // r4 = old heap_ptr
+        e.bs({0x89, 0x02});                // heap_ptr = new cursor
+        jmp(e, done);
+        null_out.bind(e);
+        store_guest_imm(e, isa::abi::kArg0, 0);
+        done.bind(e);
+        break;
+      }
+      default:
+        break; // unreachable: the decline pass only admits the set above
+    }
   };
 
   uint64_t ops_before = 0; // operation count of instrs [0, i)
   bool falls_off_end = true;
   for (uint16_t i = 0; i < num_instrs; ++i) {
     const isa::DecodedInstr* di = instrs[i];
-    const isa::DecodedOp& op = di->ops[0];
-    const OpPlan plan = plans[i];
     const uint32_t seq_next = di->addr + di->size_bytes;
-    const uint32_t imm = static_cast<uint32_t>(op.imm);
     const uint64_t retired = i + 1u;
     const uint64_t retired_ops = ops_before + di->num_ops;
+    const bool last = i + 1 == num_instrs;
     falls_off_end = true;
+
+    if (di->num_ops > 1) {
+      // ---- VLIW issue group: two-phase read-before-write ----
+      const OpPlan* bplans = &plans[static_cast<size_t>(i) * isa::kMaxSlots];
+      int branches = 0;
+      int static_branch = -1; // slot of the sole static-target branch
+      for (uint8_t s = 0; s < di->num_ops; ++s) {
+        const K k = bplans[s].k;
+        if (k == K::CondBr || k == K::J || k == K::Jal || k == K::Jr ||
+            k == K::Jalr) {
+          static_branch = (k == K::Jr || k == K::Jalr) ? -2 : static_cast<int>(s);
+          ++branches;
+        }
+      }
+      if (branches > 1) static_branch = -2; // several branches: target dynamic
+
+      // Phase A: every guard, slot order, before anything commits.
+      for (uint8_t s = 0; s < di->num_ops; ++s) {
+        const isa::DecodedOp& op = di->ops[s];
+        switch (bplans[s].k) {
+          case K::Load:
+          case K::Store:
+            guard_mem_ea(op, bplans[s].x, i, ops_before);
+            break;
+          case K::Div:
+          case K::Divu:
+          case K::Rem:
+          case K::Remu:
+            load_guest(e, kEcx, op.rb);
+            e.bs({0x85, 0xC9});            // test ecx, ecx
+            bail_to(kCcE, i, ops_before);  // d == 0: interpreter traps
+            break;
+          default:
+            break;
+        }
+      }
+
+      if (branches > 0) e.bs({0x45, 0x31, 0xC9}); // xor r9d, r9d
+
+      // Phase B: compute every slot from the pre-bundle register file into
+      // wbuf; memory effects and pending branches happen in slot order.
+      // dests[s] records the register the commit phase writes (0 = none).
+      uint8_t dests[isa::kMaxSlots] = {};
+      for (uint8_t s = 0; s < di->num_ops; ++s) {
+        const isa::DecodedOp& op = di->ops[s];
+        const OpPlan plan = bplans[s];
+        const uint32_t imm = static_cast<uint32_t>(op.imm);
+        uint8_t result_host = kEax; // host register holding the slot result
+        bool have_result = false;
+        switch (plan.k) {
+          case K::AluRR:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.ra);
+            if (plan.x == 0xAF) {
+              e.b(0x0F); // imul eax, [rsi + rb*4]
+              alu_eax_guest(e, 0xAF, op.rb);
+            } else {
+              alu_eax_guest(e, plan.x, op.rb);
+              if (plan.sign) e.bs({0xF7, 0xD0}); // NOR: not eax
+            }
+            have_result = true;
+            break;
+          case K::Mulh:
+          case K::Mulhu:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.ra);
+            e.b(0xF7); // one-operand (i)mul dword [rsi + rb*4] -> edx:eax
+            e.b(static_cast<uint8_t>(0x40 | ((plan.k == K::Mulh ? 5 : 4) << 3) |
+                                     0x6));
+            e.b(static_cast<uint8_t>(op.rb * 4));
+            result_host = kEdx;
+            have_result = true;
+            break;
+          case K::Div:
+          case K::Rem:
+            load_guest(e, kEcx, op.rb);
+            emit_sdiv(op);
+            result_host = plan.k == K::Div ? kEax : kEdx;
+            have_result = op.rd != 0;
+            break;
+          case K::Divu:
+          case K::Remu:
+            load_guest(e, kEcx, op.rb);
+            emit_udiv(op);
+            result_host = plan.k == K::Divu ? kEax : kEdx;
+            have_result = op.rd != 0;
+            break;
+          case K::ShiftR:
+            if (op.rd == 0) break;
+            load_guest(e, kEcx, op.rb);    // hardware masks cl by 31,
+            load_guest(e, kEax, op.ra);    // exactly like the semantics
+            e.bs({0xD3, static_cast<uint8_t>(0xC0 | (plan.x << 3))});
+            have_result = true;
+            break;
+          case K::ShiftI:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.ra);
+            e.bs({0xC1, static_cast<uint8_t>(0xC0 | (plan.x << 3)),
+                  static_cast<uint8_t>(imm & 31u)});
+            have_result = true;
+            break;
+          case K::SetRR:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.ra);
+            alu_eax_guest(e, 0x3B, op.rb); // cmp eax, [rb]
+            set_bool_eax(e, plan.x);
+            have_result = true;
+            break;
+          case K::SetRI:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.ra);
+            alu_eax_imm(e, 7, imm);        // cmp eax, imm
+            set_bool_eax(e, plan.x);
+            have_result = true;
+            break;
+          case K::AluRI:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.ra);    // r0 reads as 0: generic form is
+            alu_eax_imm(e, plan.x, imm);   // exact for the mov special case
+            have_result = true;
+            break;
+          case K::Lui:
+            if (op.rd == 0) break;
+            e.b(0xB8);                     // mov eax, imm << 16
+            e.imm32(imm << 16);
+            have_result = true;
+            break;
+          case K::Orlo:
+            if (op.rd == 0) break;
+            load_guest(e, kEax, op.rd);    // rd_in | (imm & 0xFFFF)
+            alu_eax_imm(e, 1, imm & 0xFFFFu);
+            have_result = true;
+            break;
+          case K::Load:
+            if (op.rd == 0) break;         // guarded in phase A, no effect
+            load_guest(e, kEax, op.ra);
+            if (imm != 0) alu_eax_imm(e, 0, imm);
+            emit_load_ecx(plan.x, plan.sign);
+            result_host = kEcx;
+            have_result = true;
+            break;
+          case K::Store:
+            load_guest(e, kEcx, op.rd);    // value = pre-bundle rd
+            load_guest(e, kEax, op.ra);
+            if (imm != 0) alu_eax_imm(e, 0, imm);
+            emit_store_ecx(plan.x);        // committed immediately: later
+            break;                         // slots' loads see it (slot order)
+          case K::CondBr: {
+            load_guest(e, kEax, op.ra);
+            alu_eax_guest(e, 0x3B, op.rb); // cmp eax, [rb]
+            Label skip;
+            jcc(e, static_cast<uint8_t>(plan.x ^ 1u), skip); // inverted cc:
+                                           // fall through = taken
+            e.bs({0x49, 0xB9});            // movabs r9, (1<<32) | target
+            e.imm64((uint64_t{1} << 32) | (seq_next + (imm << 2)));
+            skip.bind(e);
+            break;
+          }
+          case K::J:
+          case K::Jal:
+            if (plan.k == K::Jal) {
+              e.b(0xB8);                   // link value -> wbuf, commits to r1
+              e.imm32(seq_next);
+              dests[s] = 1;
+              spill_wbuf(e, s, kEax);
+            }
+            e.bs({0x49, 0xB9});            // movabs r9, (1<<32) | target
+            e.imm64((uint64_t{1} << 32) | (imm << 2));
+            break;
+          case K::Jr:
+          case K::Jalr:
+            if (plan.k == K::Jalr && op.rd != 0) {
+              e.b(0xB8);                   // link value -> wbuf
+              e.imm32(seq_next);
+              dests[s] = op.rd;
+              spill_wbuf(e, s, kEax);
+            }
+            e.bs({0x44, 0x8B, 0x4E,        // mov r9d, [rsi + ra*4] (pre-
+                  static_cast<uint8_t>(op.ra * 4)}); // bundle target value)
+            e.bs({0x49, 0x0F, 0xBA, 0xE9, 0x20});    // bts r9, 32
+            break;
+          case K::Nop:
+            break;
+          case K::Simop:
+          case K::No:
+            return {}; // unreachable (decline pass), keep the compiler happy
+        }
+        if (have_result) {
+          dests[s] = op.rd;
+          spill_wbuf(e, s, result_host);
+        }
+      }
+
+      // Phase C: commit wbuf to the register file in slot order (set_reg
+      // skips r0; duplicate destinations resolve last-writer-wins).
+      for (uint8_t s = 0; s < di->num_ops; ++s) {
+        if (dests[s] == 0) continue;
+        load_wbuf_eax(e, s);
+        store_guest(e, dests[s], kEax);
+      }
+
+      ring_write(di->addr);
+
+      // Resolve the pending branch: r9 nonzero = taken (last writer won).
+      if (branches > 0) {
+        e.bs({0x4D, 0x85, 0xC9});          // test r9, r9
+        PendingStub& s = takens[i];
+        s.spec.retired = retired;
+        s.spec.ops = retired_ops;
+        s.spec.code = kExitTaken | (static_cast<uint32_t>(i) << 8);
+        s.spec.index = i;
+        s.spec.kind = 1;
+        s.spec.side_exit = !last;
+        s.used = true;
+        if (static_branch >= 0) {
+          const isa::DecodedOp& bop = di->ops[static_branch];
+          const uint32_t t = static_cast<uint32_t>(bop.imm) << 2;
+          s.spec.ip = bplans[static_branch].k == K::CondBr ? seq_next + t : t;
+          s.spec.chainable = true;
+        } else {
+          s.spec.ip_in_ecx = true;
+          s.ecx_from_r9 = true;
+        }
+        jcc(e, kCcNe, s.label);
+      }
+      ops_before = retired_ops;
+      continue;
+    }
+
+    // ---- single operation (kjit v1 template, v2 exits) ----
+    const isa::DecodedOp& op = di->ops[0];
+    const OpPlan plan = plans[static_cast<size_t>(i) * isa::kMaxSlots];
+    const uint32_t imm = static_cast<uint32_t>(op.imm);
 
     switch (plan.k) {
       case K::AluRR: { // add sub and or xor nor mul
@@ -370,9 +846,7 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
         load_guest(e, kEcx, op.rb);
         e.bs({0x85, 0xC9});                    // test ecx, ecx
         bail_to(kCcE, i, ops_before);          // d == 0: interpreter traps
-        load_guest(e, kEax, op.ra);
-        e.bs({0x31, 0xD2});                    // xor edx, edx
-        e.bs({0xF7, 0xF1});                    // div ecx
+        emit_udiv(op);
         if (op.rd != 0)
           store_guest(e, op.rd, plan.k == K::Divu ? kEax : kEdx);
         break;
@@ -382,19 +856,7 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
         load_guest(e, kEcx, op.rb);
         e.bs({0x85, 0xC9});                    // test ecx, ecx
         bail_to(kCcE, i, ops_before);          // d == 0: interpreter traps
-        load_guest(e, kEax, op.ra);
-        Label general, done;
-        e.bs({0x83, 0xF9, 0xFF});              // cmp ecx, -1
-        jcc(e, kCcNe, general);
-        e.b(0x3D);                             // cmp eax, INT32_MIN
-        e.imm32(0x80000000u);
-        jcc(e, kCcNe, general);
-        e.bs({0x31, 0xD2});                    // INT32_MIN / -1: quot = eax
-        jmp(e, done);                          //   (already MIN), rem = 0
-        general.bind(e);
-        e.b(0x99);                             // cdq
-        e.bs({0xF7, 0xF9});                    // idiv ecx
-        done.bind(e);
+        emit_sdiv(op);
         if (op.rd != 0)
           store_guest(e, op.rd, plan.k == K::Div ? kEax : kEdx);
         break;
@@ -451,61 +913,29 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
         if (op.rd != 0) alu_guest_imm(e, 1, op.rd, imm & 0xFFFFu);
         break;
       case K::Load: {
-        load_guest(e, kEax, op.ra);
-        if (imm != 0) alu_eax_imm(e, 0, imm);  // eax = ra + imm (zero-extends)
-        if (plan.x == 4) {
-          e.bs({0xA8, 0x03});                  // test al, 3 (alignment)
-          bail_to(kCcNe, i, ops_before);
-          alu_eax_imm(e, 7, env.ram_size - 4); // addr+3 >= size <=> > size-4
-          bail_to(kCcA, i, ops_before);
-          e.bs({0x41, 0x8B, 0x0C, 0x00});      // mov ecx, [r8+rax]
-        } else if (plan.x == 2) {
-          e.bs({0xA8, 0x01});
-          bail_to(kCcNe, i, ops_before);
-          alu_eax_imm(e, 7, env.ram_size - 2);
-          bail_to(kCcA, i, ops_before);
-          e.bs({0x41, 0x0F, plan.sign ? uint8_t{0xBF} : uint8_t{0xB7}, 0x0C,
-                0x00});                        // movsx/movzx ecx, word [r8+rax]
-        } else {
-          alu_eax_imm(e, 7, env.ram_size);     // addr >= size
-          bail_to(kCcAe, i, ops_before);
-          e.bs({0x41, 0x0F, plan.sign ? uint8_t{0xBE} : uint8_t{0xB6}, 0x0C,
-                0x00});                        // movsx/movzx ecx, byte [r8+rax]
-        }
+        guard_mem_ea(op, plan.x, i, ops_before);
+        emit_load_ecx(plan.x, plan.sign);
         if (op.rd != 0) store_guest(e, op.rd, kEcx);
         break;
       }
       case K::Store: {
         load_guest(e, kEcx, op.rd);            // store value = rd_in
-        load_guest(e, kEax, op.ra);
-        if (imm != 0) alu_eax_imm(e, 0, imm);
-        if (plan.x == 4) {
-          e.bs({0xA8, 0x03});
-          bail_to(kCcNe, i, ops_before);
-          alu_eax_imm(e, 7, env.ram_size - 4);
-          bail_to(kCcA, i, ops_before);
-          e.bs({0x41, 0x89, 0x0C, 0x00});      // mov [r8+rax], ecx
-        } else if (plan.x == 2) {
-          e.bs({0xA8, 0x01});
-          bail_to(kCcNe, i, ops_before);
-          alu_eax_imm(e, 7, env.ram_size - 2);
-          bail_to(kCcA, i, ops_before);
-          e.bs({0x66, 0x41, 0x89, 0x0C, 0x00});// mov [r8+rax], cx
-        } else {
-          alu_eax_imm(e, 7, env.ram_size);
-          bail_to(kCcAe, i, ops_before);
-          e.bs({0x41, 0x88, 0x0C, 0x00});      // mov [r8+rax], cl
-        }
+        guard_mem_ea(op, plan.x, i, ops_before);
+        emit_store_ecx(plan.x);
         break;
       }
       case K::CondBr: {
         load_guest(e, kEax, op.ra);
         alu_eax_guest(e, 0x3B, op.rb);         // cmp eax, [rb]
         PendingStub& s = takens[i];
-        s.executed = retired;
-        s.ops = retired_ops;
-        s.ip = seq_next + (imm << 2);
-        s.code = kExitTaken | (static_cast<uint32_t>(i) << 8);
+        s.spec.retired = retired;
+        s.spec.ops = retired_ops;
+        s.spec.ip = seq_next + (imm << 2);
+        s.spec.code = kExitTaken | (static_cast<uint32_t>(i) << 8);
+        s.spec.chainable = true;
+        s.spec.kind = 1;
+        s.spec.index = i;
+        s.spec.side_exit = !last;
         s.ring_addr = di->addr;
         s.write_ring = true;
         s.used = true;
@@ -517,8 +947,9 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
         if (plan.k == K::Jal)
           store_guest_imm(e, 1, seq_next);     // link register r1
         ring_write(di->addr);
-        emit_exit(retired, retired_ops, false, imm << 2,
-                  kExitTaken | (static_cast<uint32_t>(i) << 8));
+        emit_exit({retired, retired_ops, false, imm << 2,
+                   kExitTaken | (static_cast<uint32_t>(i) << 8), true, 1, i,
+                   !last});
         falls_off_end = false;
         break;
       }
@@ -528,11 +959,15 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
         if (plan.k == K::Jalr && op.rd != 0)   // write (rd == ra is legal)
           store_guest_imm(e, op.rd, seq_next);
         ring_write(di->addr);
-        emit_exit(retired, retired_ops, true, 0,
-                  kExitTaken | (static_cast<uint32_t>(i) << 8));
+        emit_exit({retired, retired_ops, true, 0,
+                   kExitTaken | (static_cast<uint32_t>(i) << 8), false, 1, i,
+                   false});
         falls_off_end = false;
         break;
       }
+      case K::Simop:
+        emit_simop(op);
+        break;
       case K::Nop:
         break;
       case K::No:
@@ -545,9 +980,9 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
 
   // Fall-through exit: the trace ran to its end without a taken branch.
   if (falls_off_end) {
-    const isa::DecodedInstr* last = instrs[num_instrs - 1];
-    emit_exit(num_instrs, ops_before, false, last->addr + last->size_bytes,
-              kExitFallthrough);
+    const isa::DecodedInstr* fin = instrs[num_instrs - 1];
+    emit_exit({num_instrs, ops_before, false, fin->addr + fin->size_bytes,
+               kExitFallthrough, true, 0, 0, false});
   }
 
   // Out-of-line stubs (taken exits first: they are hot, bails are cold).
@@ -556,24 +991,26 @@ std::vector<uint8_t> translate_block(const isa::DecodedInstr* const* instrs,
       PendingStub& s = takens[i];
       s.label.bind(e);
       if (s.write_ring) ring_write(s.ring_addr);
-      emit_exit(s.executed, s.ops, false, s.ip, s.code);
+      if (s.ecx_from_r9) e.bs({0x44, 0x89, 0xC9}); // mov ecx, r9d
+      emit_exit(s.spec);
     }
   }
   for (uint16_t i = 0; i < num_instrs; ++i) {
     if (bails[i].used) {
       PendingStub& s = bails[i];
       s.label.bind(e);
-      emit_exit(s.executed, s.ops, false, s.ip, s.code);
+      emit_exit(s.spec);
     }
   }
 
-  return std::move(e.out);
+  tr.code = std::move(e.out);
+  return tr;
 }
 
 #else // !KSIM_JIT_HOST
 
-std::vector<uint8_t> translate_block(const isa::DecodedInstr* const*, uint16_t,
-                                     const TranslateEnv&) {
+Translation translate_block(const isa::DecodedInstr* const*, uint16_t,
+                            const TranslateEnv&) {
   return {};
 }
 

@@ -40,6 +40,17 @@ public:
     return chunks_.empty() ? 0 : (chunks_.size() - 1) * ChunkSize + used_;
   }
 
+  /// Visits every allocated object in allocation order — including objects
+  /// no longer reachable through any index (callers may hold raw pointers to
+  /// them).  Used for whole-arena invalidation sweeps.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      const size_t n = c + 1 == chunks_.size() ? used_ : ChunkSize;
+      for (size_t i = 0; i < n; ++i) fn(chunks_[c]->items[i]);
+    }
+  }
+
 private:
   struct Chunk {
     T items[ChunkSize]{};

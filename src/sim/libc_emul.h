@@ -37,6 +37,14 @@ public:
   uint64_t calls() const { return calls_; }
   uint32_t heap_used() const { return heap_ptr_ - heap_start_; }
 
+  // kjit SIMOP fast paths (jit::simop_fast_path) mutate emulator state
+  // directly from generated code; these expose the exact fields the inline
+  // sequences need, by pointer so a checkpoint restore can never stale them.
+  uint64_t* jit_calls() { return &calls_; }
+  uint32_t* jit_rand_state() { return &rand_state_; }
+  uint32_t* jit_heap_ptr() { return &heap_ptr_; }
+  uint32_t* jit_heap_end() { return &heap_end_; }
+
   void handle(int op_number, isa::ExecCtx& ctx) override;
 
   /// Initial rand() state applied by reset() (SimOptions::libc_seed; the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <optional>
+#include <ostream>
 
 #include "kasm/disasm.h"
 #include "support/error.h"
@@ -67,13 +68,19 @@ void Simulator::load(const elf::ElfFile& executable) {
     profiler_->reset();
     profiler_->attach(&image_);
   }
-  // Guest-state pointers baked into the JIT ABI.  All three allocations are
-  // fixed for the simulator's lifetime (RAM and the ring are sized once and
-  // never reallocated), so translated code can cache them across calls.
+  // Guest-state pointers baked into the JIT ABI.  All these allocations are
+  // fixed for the simulator's lifetime (RAM, the ring and the libc emulator
+  // are sized/placed once and never reallocated), so translated code can
+  // cache them across calls.  The libc fields are pointers, not snapshots,
+  // so a checkpoint restore updates what generated code sees for free.
   jit_ctx_ = {};
   jit_ctx_.regs = state_.regs_data();
   jit_ctx_.ram = state_.ram_data();
   jit_ctx_.ring = ip_ring_.empty() ? nullptr : ip_ring_.data();
+  jit_ctx_.libc_calls = libc_.jit_calls();
+  jit_ctx_.rand_state = libc_.jit_rand_state();
+  jit_ctx_.heap_ptr = libc_.jit_heap_ptr();
+  jit_ctx_.heap_end = libc_.jit_heap_end();
   loaded_ = true;
 }
 
@@ -502,9 +509,9 @@ void Simulator::try_translate(Superblock* sb) {
   sb->jit_state = 2; // declined unless every step below succeeds
   if (!jit::host_supported()) return;
   // Static policy (PR 6): blocks overlapping a range the translatability
-  // analysis vetoed (SIMOPs, trap-risky or self-modifying code) are never
-  // compiled.  Superblock traces are contiguous, so an interval test is
-  // exact.
+  // analysis vetoed (unsafe SIMOPs, trap-risky or self-modifying code) are
+  // never compiled.  Superblock traces are contiguous, so an interval test
+  // is exact.
   const isa::DecodedInstr* last = sb->instrs[sb->num_instrs - 1];
   const uint32_t start = sb->entry_addr;
   const uint32_t end = last->addr + last->size_bytes;
@@ -513,23 +520,74 @@ void Simulator::try_translate(Superblock* sb) {
   jit::TranslateEnv env;
   env.ram_size = state_.ram_size();
   env.ring_size = static_cast<uint32_t>(ip_ring_.size());
-  const std::vector<uint8_t> code =
+  env.self_block = sb;
+  env.succ_edges = reinterpret_cast<const void* const*>(&sb->succ[0]);
+  const jit::Translation tr =
       jit::translate_block(sb->instrs, sb->num_instrs, env);
-  if (code.empty()) return; // translator declined (VLIW group, SIMOP, ...)
-  const jit::BlockFn fn = jit_cache_.install(code);
-  if (fn == nullptr) return; // arena exhausted: keep interpreting
+  if (tr.code.empty()) return; // translator declined (unsupported op, ...)
+  jit::BlockFn fn = jit_cache_.install(tr);
+  if (fn == nullptr && jit_cache_.blocks() > 0) {
+    // Arena exhausted.  The working set moved past what fits, so the oldest
+    // translations are the least likely to be hot again: flush everything
+    // and let the current working set re-earn translation.  At most one
+    // flush per attempt — if even an empty arena cannot hold this block,
+    // it is declined like any other untranslatable block.
+    flush_jit_translations();
+    ++stats_.jit_cache_flushes;
+    fn = jit_cache_.install(tr);
+  }
+  if (fn == nullptr) {
+    sb->jit_state = 2; // flush_jit_translations() reset it to cold
+    return;
+  }
   sb->jit_entry = reinterpret_cast<const void*>(fn);
   sb->jit_state = 1;
   ++stats_.jit_blocks_translated;
+  if (jit_dump_ != nullptr) dump_jit_translation(sb, tr, fn);
+}
+
+void Simulator::flush_jit_translations() {
+  // Dropping the code drops every chain patch with it, so all jit_entry
+  // pointers — including ones on blocks displaced from the index that only
+  // chain edges still reach — must be nulled in the same breath.  Hotness
+  // restarts from zero: the blocks that are still hot re-earn translation
+  // within kHotThreshold dispatches.
+  jit_cache_.clear();
+  block_cache_.for_each_block([](Superblock& b) {
+    b.exec_count = 0;
+    b.jit_state = 0;
+    b.jit_entry = nullptr;
+  });
+}
+
+void Simulator::dump_jit_translation(const Superblock* sb,
+                                     const jit::Translation& tr,
+                                     jit::BlockFn fn) const {
+  const isa::IsaInfo* isa = isa_by_id(sb->isa_id);
+  std::ostream& os = *jit_dump_;
+  os << "block " << hex32(sb->entry_addr) << " isa "
+     << (isa != nullptr ? isa->name : "?") << " instrs " << sb->num_instrs
+     << " code_bytes " << tr.code.size() << " chain_sites " << tr.sites.size()
+     << " host " << reinterpret_cast<const void*>(fn) << "\n";
+  static const char* kHex = "0123456789abcdef";
+  for (size_t i = 0; i < tr.code.size(); i += 16) {
+    os << " ";
+    for (size_t k = i; k < tr.code.size() && k < i + 16; ++k)
+      os << ' ' << kHex[tr.code[k] >> 4] << kHex[tr.code[k] & 0xF];
+    os << "\n";
+  }
 }
 
 std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) {
   // Executes `sb` as host code and keeps chaining translated successor
   // blocks without returning to the outer dispatcher, with all statistics in
   // locals — per-dispatch overhead is what separates a 2x from a 4x JIT.
-  // The accounting replicates run_superblocks()/exec_block_fast() exactly:
-  // per block one dispatch, a chain hit when the successor edge resolved it,
-  // and pred_hits for every instruction whose hash lookup was avoided.
+  // One host call can itself chain through many blocks inline (patched jmps,
+  // DESIGN.md §9): JitContext carries the call's combined deltas and the
+  // identity of the block the call finally exited from.  The accounting
+  // replicates run_superblocks()/exec_block_fast() exactly: per block one
+  // dispatch, a chain hit when the successor edge resolved it, and pred_hits
+  // for every instruction whose hash lookup was avoided.
   const uint64_t limit = options_.max_instructions;
   jit::JitContext& jc = jit_ctx_;
   jc.ring_pos = static_cast<uint32_t>(ip_ring_pos_);
@@ -544,25 +602,44 @@ std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) 
   uint64_t side_exits = 0;
 
   Superblock* cur = sb;
+  Superblock* exit_blk = sb;
   uint32_t kind = jit::kExitFallthrough;
   std::optional<StopReason> result;
   bool bailed = false;
 
   for (;;) {
-    ++dispatches;
-    ++jit_dispatches;
+    // Per-call delta protocol: C++ zeroes the accumulators and publishes the
+    // call's headroom; emitted code chains inline only while `executed` stays
+    // below ckpt_room and executed + next block's length stays within budget
+    // — the same checks this loop performs, in the same order.
+    jc.executed = 0;
+    jc.ops = 0;
+    jc.chain_hits = 0;
+    jc.side_exits = 0;
+    jc.ckpt_room =
+        ckpt_next_ == UINT64_MAX ? UINT64_MAX : ckpt_next_ - instructions;
+    jc.budget = limit == 0 ? UINT64_MAX : limit - instructions;
     const uint64_t code = reinterpret_cast<jit::BlockFn>(
         const_cast<void*>(cur->jit_entry))(&jc);
     kind = jit::exit_kind(code);
     const uint32_t index = jit::exit_index(code);
+    exit_blk = static_cast<Superblock*>(const_cast<void*>(jc.exit_block));
+
+    // Each inline chain was one dispatch + one chain hit (and, when it left
+    // mid-block, one side exit) this loop never saw; `index` and jc.ip
+    // describe exit_blk, the block the call actually ended in.
+    dispatches += 1 + jc.chain_hits;
+    jit_dispatches += 1 + jc.chain_hits;
+    chain_hits += jc.chain_hits;
+    side_exits += jc.side_exits;
 
     if (kind == jit::kExitBail) {
-      // A guard failed before instruction `index` retired.  Fold everything
-      // accumulated so far back into the simulator (exec_block_fast derives
-      // its budget from stats_), sync IP and ring, and let the interpreter
-      // finish the block from the un-retired instruction — it re-records and
-      // re-executes it from pristine state, so the trap (or the slow path)
-      // is bit-identical to a JIT-off run.
+      // A guard failed before instruction `index` of exit_blk retired.  Fold
+      // everything accumulated so far back into the simulator
+      // (exec_block_fast derives its budget from stats_), sync IP and ring,
+      // and let the interpreter finish that block from the un-retired
+      // instruction — it re-records and re-executes it from pristine state,
+      // so the trap (or the slow path) is bit-identical to a JIT-off run.
       stats_.instructions = instructions + jc.executed;
       stats_.operations = operations + jc.ops;
       stats_.block_dispatches += dispatches;
@@ -571,12 +648,15 @@ std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) 
       stats_.jit_dispatches += jit_dispatches;
       stats_.jit_side_exits += side_exits;
       ++stats_.jit_bailouts;
+      stats_.libc_calls = libc_.calls();
       ip_ring_pos_ = jc.ring_pos;
       ip_ring_full_ = jc.ring_full != 0;
       state_.set_ip(jc.ip);
-      const uint64_t block_start = stats_.instructions - jc.executed;
-      result = exec_block_fast(cur, static_cast<uint16_t>(index));
-      const uint64_t executed = stats_.instructions - block_start;
+      result = exec_block_fast(exit_blk, static_cast<uint16_t>(index));
+      // Dispatch accounting for the whole call + interpreter tail: only the
+      // call's first block (when un-chained) paid a hash lookup; everything
+      // else — inline-chained blocks and the resumed tail — was predicted.
+      const uint64_t executed = stats_.instructions - instructions;
       stats_.pred_hits += chained ? executed : (executed > 0 ? executed - 1 : 0);
       bailed = true;
       break;
@@ -588,20 +668,31 @@ std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) 
     instructions += jc.executed;
     operations += jc.ops;
     pred_hits += chained ? jc.executed : jc.executed - 1;
-    if (kind == jit::kExitTaken && index + 1u < cur->num_instrs) ++side_exits;
+    if (kind == jit::kExitTaken && index + 1u < exit_blk->num_instrs)
+      ++side_exits;
 
-    // Chain: same checks as the outer dispatcher (checkpoint boundary,
-    // matching successor edge, instruction budget), plus "is translated" —
-    // anything else returns to the outer loop, which re-resolves this very
-    // edge and interprets or forms as needed.
+    // Chain in C++: same checks as the outer dispatcher (checkpoint
+    // boundary, matching successor edge, instruction budget), plus "is
+    // translated" — anything else returns to the outer loop, which
+    // re-resolves this very edge and interprets or forms as needed.
     if (instructions >= ckpt_next_) break;
-    Superblock* next = cur->succ[kind == jit::kExitTaken ? 1 : 0];
+    Superblock* next = exit_blk->succ[kind == jit::kExitTaken ? 1 : 0];
     if (next == nullptr || next->entry_addr != jc.ip ||
-        next->isa_id != cur->isa_id || next->jit_entry == nullptr)
+        next->isa_id != exit_blk->isa_id || next->jit_entry == nullptr)
       break;
     if (limit != 0 && limit - instructions < next->num_instrs) break;
     ++chain_hits;
     chained = true;
+    // Both sides of a hot edge are translated: patch exit_blk's exit stub
+    // into a direct jmp so the next pass over this edge never leaves host
+    // code.  (No-op when this very edge is already linked; a re-linked edge
+    // falls back here through the stub's successor-identity guard and gets
+    // repatched.)
+    jit_cache_.patch_chain(
+        reinterpret_cast<jit::BlockFn>(const_cast<void*>(exit_blk->jit_entry)),
+        kind, index, next,
+        reinterpret_cast<jit::BlockFn>(const_cast<void*>(next->jit_entry)),
+        next->num_instrs);
     cur = next;
   }
 
@@ -613,6 +704,10 @@ std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) 
     stats_.pred_hits += pred_hits;
     stats_.jit_dispatches += jit_dispatches;
     stats_.jit_side_exits += side_exits;
+    // SIMOP fast paths advance the emulator's call counter from generated
+    // code; re-sync the derived statistic exactly like the interpreter does
+    // after a SIMOP-carrying instruction (idempotent when none ran).
+    stats_.libc_calls = libc_.calls();
     ip_ring_pos_ = jc.ring_pos;
     ip_ring_full_ = jc.ring_full != 0;
     state_.set_ip(jc.ip);
@@ -630,7 +725,7 @@ std::optional<StopReason> Simulator::run_jit_loop(Superblock* sb, bool chained) 
   if (bailed && ctx_.isa_switch) {
     last_block_ = nullptr;
   } else {
-    last_block_ = cur;
+    last_block_ = exit_blk;
     last_exit_taken_ = bailed ? (ctx_.branch_taken ? 1 : 0)
                               : (kind == jit::kExitTaken ? 1 : 0);
   }
@@ -877,6 +972,7 @@ void Simulator::restore_state(support::ByteReader& r) {
   stats_.jit_dispatches = 0;
   stats_.jit_side_exits = 0;
   stats_.jit_bailouts = 0;
+  stats_.jit_cache_flushes = 0;
 
   if (ckpt_every_ != 0)
     ckpt_next_ = (stats_.instructions / ckpt_every_ + 1) * ckpt_every_;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,14 +55,15 @@ struct SimStats {
   uint64_t block_dispatches = 0; ///< block executions of already-formed blocks
   uint64_t block_chain_hits = 0; ///< dispatches resolved via a cached successor edge
 
-  // kjit (see jit/jit.h).  These four counters describe the *current
-  // process's* translation activity; they are volatile by contract — reset
-  // by load() and restore_state() and never serialized — because hotness is
+  // kjit (see jit/jit.h).  These counters describe the *current process's*
+  // translation activity; they are volatile by contract — reset by load()
+  // and restore_state() and never serialized — because hotness is
   // hook-dependent and checkpoints carry no host code (DESIGN.md §9).
   uint64_t jit_blocks_translated = 0; ///< superblocks compiled to host code
   uint64_t jit_dispatches = 0;        ///< executions entered through host code
   uint64_t jit_side_exits = 0;        ///< mid-block taken-branch exits
   uint64_t jit_bailouts = 0;          ///< guard failures handed to the interpreter
+  uint64_t jit_cache_flushes = 0;     ///< code-cache exhaustion flush-and-rewarm
 
   /// Fraction of executed instructions whose detect & decode was avoided.
   double decode_avoidance() const {
@@ -127,6 +129,18 @@ public:
   /// any range are never translated; everything else is eligible once hot.
   void set_jit_policy(std::vector<jit::VetoRange> vetoes) {
     jit_vetoes_ = std::move(vetoes);
+  }
+
+  /// Streams every installed translation (superblock header + host code hex)
+  /// to `os` — `ksim run --jit-dump-asm`.  Null detaches.  Host-side debug
+  /// output only; it never influences translation or execution.
+  void set_jit_dump(std::ostream* os) { jit_dump_ = os; }
+
+  /// Overrides the JIT code-cache budget (see jit::CodeCache::set_budget).
+  /// Only effective before the first translation; exists so tests can
+  /// exercise cache exhaustion cheaply.
+  void set_jit_cache_budget(size_t total_bytes, size_t chunk_bytes) {
+    jit_cache_.set_budget(total_bytes, chunk_bytes);
   }
 
   /// Checkpoint hook (kckpt): every `every_instrs` executed instructions the
@@ -228,6 +242,9 @@ private:
 
   // -- kjit (see jit/jit.h and DESIGN.md §9) --------------------------------
   void try_translate(Superblock* sb);
+  void flush_jit_translations();
+  void dump_jit_translation(const Superblock* sb, const jit::Translation& tr,
+                            jit::BlockFn fn) const;
   std::optional<StopReason> run_jit_loop(Superblock* sb, bool chained);
 
   const isa::IsaSet& set_;
@@ -251,6 +268,7 @@ private:
   jit::CodeCache jit_cache_;
   jit::JitContext jit_ctx_;
   std::vector<jit::VetoRange> jit_vetoes_;
+  std::ostream* jit_dump_ = nullptr;
 
   cycle::CycleModel* cycle_model_ = nullptr;
   TraceWriter* trace_ = nullptr;

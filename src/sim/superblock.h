@@ -87,6 +87,15 @@ public:
     map_.for_each(std::forward<Fn>(fn));
   }
 
+  /// Visits every block in the arena — including blocks displaced from the
+  /// index by a re-formation, which chain edges may still reference.  A
+  /// JIT-wide invalidation (the code-cache exhaustion flush) must null
+  /// jit_entry on all of them, not just the indexed ones.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) {
+    arena_.for_each(std::forward<Fn>(fn));
+  }
+
 private:
   AddrIsaMap<Superblock> map_;
   ChunkArena<Superblock, 64> arena_;
