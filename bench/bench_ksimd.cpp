@@ -1,0 +1,137 @@
+// ksimd service load generator: N concurrent client connections each submit
+// M jobs back-to-back against an in-process daemon and wait for the streamed
+// ksim.job.done event.  Reports service throughput (jobs/s) and per-job
+// submit->done latency percentiles; ci.sh stores the --quick numbers as the
+// checked-in BENCH_ksimd.json trajectory.
+//
+//   --quick   4 clients x 4 jobs   (CI smoke)
+//   default   8 clients x 8 jobs
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ksimd/protocol.h"
+#include "ksimd/server.h"
+#include "support/error.h"
+
+namespace ksim::bench {
+namespace {
+
+api::RunConfig job_config() {
+  api::RunConfig cfg;
+  cfg.workload = "dct";
+  cfg.isa = "RISC";
+  cfg.model = "doe";
+  cfg.use_jit = false; // interpreter-bound: stable latencies across hosts
+  return cfg;
+}
+
+/// One client connection: submits `jobs` sequentially, waiting for each
+/// done event before the next submit.  Appends submit->done milliseconds.
+void client_main(uint16_t port, int jobs, const std::string& tenant,
+                 std::vector<double>* latencies_ms) {
+  ksimd::Client client("127.0.0.1", port);
+  for (int j = 0; j < jobs; ++j) {
+    ksimd::SubmitRequest req;
+    req.tenant = tenant;
+    req.config = job_config();
+    const auto t0 = std::chrono::steady_clock::now();
+    client.send_line(ksimd::encode(req));
+    for (;;) {
+      const auto msg = client.read_message();
+      check(msg.has_value(), "daemon closed the connection mid-job");
+      if (const auto* rej = std::get_if<ksimd::Rejected>(&*msg))
+        throw ksim::Error("bench job rejected: " + rej->error);
+      if (const auto* done = std::get_if<ksimd::Done>(&*msg)) {
+        check(done->state == ksimd::JobState::Done && done->exit_code == 0,
+              "bench job did not complete cleanly");
+        break;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_ms->push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  const size_t i = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+int bench_main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("ksimd", args);
+
+  const int clients = args.quick ? 4 : 8;
+  const int jobs_per_client = args.quick ? 4 : 8;
+  ksimd::SchedulerOptions sched;
+  sched.workers = 4;
+  sched.queue_capacity = static_cast<size_t>(clients) * jobs_per_client + 8;
+  ksimd::Server server(sched, {});
+  std::thread server_thread([&server] { server.run(); });
+
+  header("ksimd service throughput");
+  std::printf("%d clients x %d jobs on %zu workers (dct@RISC, doe model)\n",
+              clients, jobs_per_client, sched.workers);
+
+  std::vector<std::vector<double>> latencies(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back(client_main, server.port(), jobs_per_client,
+                         "bench-" + std::to_string(c), &latencies[c]);
+  for (std::thread& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const api::ImageCache::Stats cache = server.scheduler().image_cache_stats();
+  server.request_stop(/*drain=*/true);
+  server_thread.join();
+
+  std::vector<double> all;
+  for (const std::vector<double>& l : latencies)
+    all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end());
+  check(all.size() ==
+            static_cast<size_t>(clients) * static_cast<size_t>(jobs_per_client),
+        "lost jobs");
+
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const double jobs_per_s = static_cast<double>(all.size()) / wall_s;
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+  std::printf("  %zu jobs in %.3f s = %.1f jobs/s\n", all.size(), wall_s,
+              jobs_per_s);
+  std::printf("  latency p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf("  image cache: %llu hits, %llu builds\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
+
+  json.set("clients", clients);
+  json.set("jobs_per_client", jobs_per_client);
+  json.set("workers", static_cast<uint64_t>(sched.workers));
+  json.set("jobs", static_cast<uint64_t>(all.size()));
+  json.set("wall_s", wall_s);
+  json.set("jobs_per_s", jobs_per_s);
+  json.set("latency.p50_ms", p50);
+  json.set("latency.p99_ms", p99);
+  json.set("image_cache.hits", cache.hits);
+  json.set("image_cache.builds", cache.misses);
+  json.write();
+  return 0;
+}
+
+} // namespace
+} // namespace ksim::bench
+
+int main(int argc, char** argv) {
+  try {
+    return ksim::bench::bench_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_ksimd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,9 +3,11 @@
 # superblock engine and the kjit translator on and off), the same suite under
 # AddressSanitizer + UndefinedBehaviorSanitizer, the static C++ lint target
 # (when clang-tidy is installed), a checkpoint/replay equivalence gate with
-# and without the JIT, and a perf smoke that refreshes the checked-in
-# BENCH_simperf.json / BENCH_jit.json trajectories and gates the kjit
-# speedup on capable hosts.
+# and without the JIT, a perf smoke that refreshes the checked-in
+# BENCH_simperf.json / BENCH_jit.json / BENCH_ksimd.json trajectories and
+# gates the kjit speedup on capable hosts, and a ksimd service soak that
+# forces preemption under multi-tenant load and byte-diffs the resumed
+# job's report against an uninterrupted run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -60,13 +62,14 @@ echo "=== tier-1 tests (ASan+UBSan) ==="
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
-echo "=== build (TSan: sweep + api tests) ==="
+echo "=== build (TSan: sweep + api + ksimd tests) ==="
 cmake -B build-tsan -S . -DKSIM_TSAN=ON >/dev/null
-cmake --build build-tsan -j"$JOBS" --target test_sweep test_api
+cmake --build build-tsan -j"$JOBS" --target test_sweep test_api test_ksimd
 
-echo "=== sweep engine under ThreadSanitizer ==="
+echo "=== sweep engine + ksimd service under ThreadSanitizer ==="
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_sweep
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_api
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_ksimd
 
 echo "=== sweep smoke (CLI, parallel, machine-readable report) ==="
 ./build/src/driver/ksim sweep --workloads dct --isas RISC,VLIW4 \
@@ -133,13 +136,14 @@ ckpt_equivalence_leg jit RISC "exited after" "superblocks:" --
 ckpt_equivalence_leg jit-vliw VLIW4 "exited after" "superblocks:" --
 
 echo "=== perf smoke (machine-readable; simperf/jit trajectories checked in) ==="
-# BENCH_simperf.json and BENCH_jit.json are tracked in git (the perf
-# trajectory across PRs); commit the refreshed files with the change that
-# moved them.  BENCH_ckpt/BENCH_sweep stay local-only.
+# BENCH_simperf.json, BENCH_jit.json and BENCH_ksimd.json are tracked in
+# git (the perf trajectory across PRs); commit the refreshed files with the
+# change that moved them.  BENCH_ckpt/BENCH_sweep stay local-only.
 ./build/bench/bench_simperf_mips --quick --json BENCH_simperf.json
 ./build/bench/bench_jit --quick --json BENCH_jit.json
 ./build/bench/bench_ckpt --quick --json BENCH_ckpt.json
 ./build/bench/bench_sweep --quick --json BENCH_sweep.json
+./build/bench/bench_ksimd --quick --json BENCH_ksimd.json
 
 # kjit speedup gates: translated superblocks must beat the superblock
 # interpreter by >= 3x on cjpeg RISC and >= 2.5x on the VLIW instances
@@ -181,5 +185,55 @@ if [ "${HW_THREADS:-0}" -ge 4 ]; then
 else
   echo "sweep thread scaling not gated (${HW_THREADS} hardware thread(s))"
 fi
+
+echo "=== ksimd soak (daemon under multi-tenant load; preemption equivalence) ==="
+# A low-priority cjpeg job is evicted when an urgent tenant floods both
+# workers, resumed from its in-memory eviction snapshot, and must stream
+# back a report byte-identical to an uninterrupted local run of the same
+# configuration.  Eviction snapshots live only in daemon memory: any
+# *.kckpt file left on disk after the drain is a leak and fails the stage.
+SOAK_TMP=$(mktemp -d)
+trap 'rm -rf "$CKPT_TMP" "$SOAK_TMP"' EXIT
+$KSIM run --workload cjpeg --isa RISC --model doe --no-jit \
+  --json "$SOAK_TMP/straight.json" >/dev/null 2>&1
+$KSIM serve --port 0 --workers 2 --slice 100000 \
+  --port-file "$SOAK_TMP/port" >"$SOAK_TMP/serve.log" 2>&1 &
+SOAK_SERVE=$!
+for _ in $(seq 1 100); do [ -s "$SOAK_TMP/port" ] && break; sleep 0.05; done
+SOAK_PORT=$(cat "$SOAK_TMP/port")
+$KSIM submit --port "$SOAK_PORT" --tenant batch --priority 0 \
+  --workload cjpeg --isa RISC --model doe --no-jit \
+  --json "$SOAK_TMP/preempted.json" >"$SOAK_TMP/low.log" 2>&1 &
+SOAK_LOW=$!
+# Wait for the victim's first progress event, then flood both workers with
+# urgent traffic so the scheduler has to evict it.
+for _ in $(seq 1 200); do
+  grep -q "running at" "$SOAK_TMP/low.log" && break; sleep 0.02
+done
+for i in 1 2 3 4; do
+  $KSIM submit --port "$SOAK_PORT" --tenant urgent --priority 5 \
+    --workload dct --isa RISC --no-jit >"$SOAK_TMP/urgent$i.log" 2>&1 &
+done
+wait "$SOAK_LOW" || {
+  echo "ci.sh: ksimd soak: low-priority job failed" >&2; exit 1; }
+grep -q "preempted at" "$SOAK_TMP/low.log" || {
+  echo "ci.sh: ksimd soak: low-priority job was never preempted" >&2; exit 1; }
+grep -q "resumed at" "$SOAK_TMP/low.log" || {
+  echo "ci.sh: ksimd soak: preempted job was never resumed" >&2; exit 1; }
+$KSIM shutdown --port "$SOAK_PORT" >/dev/null
+wait "$SOAK_SERVE" || {
+  echo "ci.sh: ksimd soak: daemon exited nonzero" >&2; exit 1; }
+wait
+diff -u "$SOAK_TMP/straight.json" "$SOAK_TMP/preempted.json" || {
+  echo "ci.sh: ksimd soak: preempted+resumed report differs from the" \
+       "uninterrupted run" >&2
+  exit 1
+}
+LEFTOVER=$(find "$SOAK_TMP" -name '*.kckpt' | wc -l)
+if [ "$LEFTOVER" -ne 0 ]; then
+  echo "ci.sh: ksimd soak: $LEFTOVER orphaned checkpoint file(s)" >&2
+  exit 1
+fi
+echo "ksimd soak OK (preempted, resumed, report byte-identical, no orphans)"
 
 echo "ci.sh: all stages passed"

@@ -1,0 +1,33 @@
+#include "api/image_cache.h"
+
+namespace ksim::api {
+
+std::shared_ptr<const ProgramImage> ImageCache::get(const RunConfig& cfg) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cfg.workload.empty()) {
+    // File inputs are rebuilt every time; their contents are not stable.
+    ++misses_;
+    return std::make_shared<const ProgramImage>(resolve_input(cfg));
+  }
+  const std::string key = cfg.workload + "@" + cfg.isa;
+  if (const auto it = images_.find(key); it != images_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto image = std::make_shared<const ProgramImage>(resolve_input(cfg));
+  images_.emplace(key, image);
+  return image;
+}
+
+ImageCache::Stats ImageCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, images_.size()};
+}
+
+void ImageCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  images_.clear();
+}
+
+} // namespace ksim::api

@@ -1,0 +1,53 @@
+// libksim — refcounted sharing of immutable ProgramImages (DESIGN.md §10).
+//
+// Long-running embedders (the ksimd service daemon, repeated-submission
+// benches) resolve the same workload binary over and over; building it is by
+// far the most expensive part of a short job.  ImageCache keys resolved
+// images by what determines their bytes — the built-in workload name plus the
+// target ISA — and hands out shared_ptr references to one immutable build, so
+// any number of concurrent Sessions run against a single copy (the sharing
+// contract Session already documents for sweeps).
+//
+// Only built-in-workload configurations are cached: file inputs name paths
+// whose contents can change between submissions, so they are rebuilt on
+// every request and never enter the cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/session.h"
+
+namespace ksim::api {
+
+class ImageCache {
+public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;  ///< builds (cacheable or not)
+    size_t entries = 0;   ///< images currently retained
+  };
+
+  /// The image `cfg` selects: a cached shared build for workload configs, a
+  /// fresh uncached build otherwise.  Throws ksim::Error like resolve_input.
+  /// Builds are serialized on the cache lock (resolve_input is not meant to
+  /// run concurrently with itself); callers holding a returned image keep it
+  /// alive independently of the cache.
+  std::shared_ptr<const ProgramImage> get(const RunConfig& cfg);
+
+  Stats stats() const;
+
+  /// Drops all retained entries (outstanding shared_ptrs stay valid).
+  void clear();
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ProgramImage>> images_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+} // namespace ksim::api

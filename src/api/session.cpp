@@ -1,6 +1,7 @@
 #include "api/session.h"
 
 #include <fstream>
+#include <numeric>
 #include <sstream>
 
 #include "isa/kisa.h"
@@ -165,6 +166,80 @@ ckpt::Participants Session::participants() {
   return p;
 }
 
+std::unique_ptr<Session> Session::resume(const ckpt::Checkpoint& ck,
+                                         const ResumeOverrides& o) {
+  RunConfig cfg = RunConfig::from_run_record(ck.run);
+  // The recorded budget is whatever interrupted the original run; reapplying
+  // it would stop the resumed run on the spot (DESIGN.md §5c).
+  cfg.max_instructions = o.max_instructions;
+  cfg.echo_output = o.echo_output;
+  cfg.profile = o.profile;
+  cfg.trace_file = o.trace_file;
+  cfg.jit_dump_asm = o.jit_dump_asm;
+  cfg.ckpt_every = o.ckpt_every;
+  cfg.ckpt_dir = o.ckpt_dir;
+  cfg.ckpt_keep = o.ckpt_keep;
+
+  const elf::ElfFile exe = elf::ElfFile::parse(ck.run.elf_bytes);
+  auto session = std::make_unique<Session>(cfg, ck.run, exe);
+  ckpt::apply_checkpoint(ck, session->participants());
+  return session;
+}
+
+void Session::set_progress_hook(uint64_t every_instructions,
+                                std::function<bool(Session&)> fn) {
+  check(every_instructions != 0 || cfg_.ckpt_every != 0,
+        "progress hook needs a cadence (or a configured ckpt_every)");
+  progress_every_ = every_instructions != 0 ? every_instructions : cfg_.ckpt_every;
+  progress_fn_ = std::move(fn);
+}
+
+void Session::install_periodic_hook() {
+  const uint64_t sink_every = cfg_.ckpt_every;
+  const uint64_t prog_every = progress_fn_ ? progress_every_ : 0;
+  if (sink_every == 0 && prog_every == 0) return;
+  if (sink_every != 0 && !sink_.has_value()) {
+    check(!run_.elf_bytes.empty(),
+          "internal: checkpointing session lacks executable bytes");
+    sink_.emplace(cfg_.ckpt_dir, cfg_.ckpt_keep);
+  }
+  // One simulator hook serves both consumers: it fires at the gcd of the
+  // two cadences and each consumer advances its own next-due threshold.
+  // The hook only observes state at safe boundaries, so its cadence never
+  // affects simulated state or statistics.
+  const uint64_t cadence = sink_every != 0 && prog_every != 0
+                               ? std::gcd(sink_every, prog_every)
+                               : (sink_every != 0 ? sink_every : prog_every);
+  const uint64_t done = sim_->stats().instructions;
+  const auto next_due = [done](uint64_t every) {
+    return every == 0 ? UINT64_MAX : (done / every + 1) * every;
+  };
+  next_sink_ = next_due(sink_every);
+  next_progress_ = next_due(prog_every);
+  sim_->set_checkpoint_hook(cadence, [this, sink_every,
+                                      prog_every](sim::Simulator& s) {
+    const uint64_t n = s.stats().instructions;
+    if (n >= next_sink_) {
+      sink_->write(run_, participants()); // passive; never stops the run
+      next_sink_ = (n / sink_every + 1) * sink_every;
+    }
+    bool stop = false;
+    if (n >= next_progress_) {
+      stop = progress_fn_(*this);
+      next_progress_ = (n / prog_every + 1) * prog_every;
+    }
+    return stop;
+  });
+}
+
+std::string Session::snapshot_now() {
+  check(!cfg_.ckpt_dir.empty(), "snapshot_now requires a checkpoint directory");
+  check(!run_.elf_bytes.empty(),
+        "internal: checkpointing session lacks executable bytes");
+  if (!sink_.has_value()) sink_.emplace(cfg_.ckpt_dir, cfg_.ckpt_keep);
+  return sink_->write(run_, participants());
+}
+
 sim::StopReason Session::run() {
   if (!cfg_.trace_file.empty() && trace_ == nullptr) {
     trace_stream_.emplace(cfg_.trace_file);
@@ -178,15 +253,7 @@ sim::StopReason Session::run() {
     sim_->set_jit_dump(&*jit_dump_stream_);
   }
   if (cfg_.profile) sim_->set_profiler(&profiler_);
-  if (cfg_.ckpt_every != 0 && !sink_.has_value()) {
-    check(!run_.elf_bytes.empty(),
-          "internal: checkpointing session lacks executable bytes");
-    sink_.emplace(cfg_.ckpt_dir, cfg_.ckpt_keep);
-    sim_->set_checkpoint_hook(cfg_.ckpt_every, [this](sim::Simulator&) {
-      sink_->write(run_, participants());
-      return false; // keep running; snapshots are passive
-    });
-  }
+  install_periodic_hook();
   return sim_->run();
 }
 

@@ -16,7 +16,9 @@
 // must not be used from two threads simultaneously.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -47,6 +49,26 @@ struct ProgramImage {
 /// meant to run concurrently with itself — sweep builds images up front.
 ProgramImage resolve_input(const RunConfig& cfg);
 
+/// Host-side knobs a resumed session overlays on the configuration recorded
+/// in the checkpoint (Session::resume).  Simulation-relevant fields come
+/// from the RUN record and cannot be overridden — that is what makes the
+/// resumed run bit-identical.
+struct ResumeOverrides {
+  /// New absolute instruction budget (total since program start, the same
+  /// axis --max-instr counts on).  The budget recorded in the checkpoint is
+  /// what interrupted the original run, so it is never reapplied; 0 runs to
+  /// completion.  A preempted service job resumes in bounded slices by
+  /// passing its admission-time budget here.
+  uint64_t max_instructions = 0;
+  bool echo_output = true;
+  bool profile = false;
+  std::string trace_file;
+  std::string jit_dump_asm;
+  uint64_t ckpt_every = 0;  ///< continue periodic snapshotting (with dir)
+  std::string ckpt_dir;
+  unsigned ckpt_keep = 3;
+};
+
 class Session {
 public:
   /// Resolves cfg's program and wires the full session.
@@ -64,10 +86,36 @@ public:
 
   Session(Session&&) = delete; // hooks capture `this`; sessions stay put
 
+  /// Rebuilds and restores the session `ck` was taken from: the executable
+  /// and every simulation-relevant knob come from the RUN record, `o`
+  /// supplies the host-side overlay.  This is the one resume path shared by
+  /// `ksim resume` and the ksimd scheduler's preemption/eviction cycle.
+  static std::unique_ptr<Session> resume(const ckpt::Checkpoint& ck,
+                                         const ResumeOverrides& o);
+
   /// Runs to completion (or the configured bound), honouring the config's
   /// trace/profiler/periodic-checkpoint settings.  May be called again to
   /// continue after StopReason::InstructionLimit or ::Checkpoint.
   sim::StopReason run();
+
+  /// Cooperative progress/preemption hook: during run(), `fn` is invoked at
+  /// the first block/step boundary after every `every_instructions` executed
+  /// instructions — the same safe points periodic checkpointing uses, so a
+  /// hook that returns true stops the run with StopReason::Checkpoint in a
+  /// state that snapshots and resumes bit-identically.  Returning false
+  /// continues.  `every_instructions` == 0 aligns the hook with the config's
+  /// ckpt_every cadence (one of the two must be non-zero).  When both a
+  /// periodic sink and a progress hook are active they fire independently at
+  /// their own cadences (the underlying simulator hook runs at the gcd, so
+  /// prefer equal or multiple cadences).
+  void set_progress_hook(uint64_t every_instructions,
+                         std::function<bool(Session&)> fn);
+
+  /// Writes a checkpoint right now (e.g. the final snapshot on SIGINT, or a
+  /// service eviction to disk).  Requires the config's ckpt_dir; returns the
+  /// path written.  Only valid at a stopped boundary (before run(), or after
+  /// it returned) — never from arbitrary signal context.
+  std::string snapshot_now();
 
   /// The machine-readable summary of the session's state after run().
   Report report(sim::StopReason reason) const;
@@ -103,6 +151,7 @@ public:
 
 private:
   void wire(const elf::ElfFile& exe);
+  void install_periodic_hook();
 
   RunConfig cfg_;
   ckpt::RunRecord run_; ///< label + config (+ elf bytes when checkpointing)
@@ -119,6 +168,12 @@ private:
   std::optional<std::ofstream> jit_dump_stream_;
   std::unique_ptr<sim::TraceWriter> trace_;
   std::optional<ckpt::CheckpointSink> sink_;
+
+  // Progress/preemption hook state (set_progress_hook).
+  uint64_t progress_every_ = 0;
+  std::function<bool(Session&)> progress_fn_;
+  uint64_t next_sink_ = UINT64_MAX;
+  uint64_t next_progress_ = UINT64_MAX;
 };
 
 /// Text renderings of the per-run extras the CLI prints on demand.

@@ -139,6 +139,19 @@ std::vector<uint8_t> encode_checkpoint(const RunRecord& run, const Participants&
 
 // -- parse -------------------------------------------------------------------
 
+uint64_t checkpoint_instructions(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes, "checkpoint");
+  uint8_t magic[sizeof kMagic];
+  r.bytes(magic, sizeof magic);
+  check(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+        "not a ksim checkpoint (bad magic)");
+  const uint32_t version = r.u32();
+  check(version == kFormatVersion,
+        strf("unsupported checkpoint format version %u (this build reads version %u)",
+             version, kFormatVersion));
+  return r.u64();
+}
+
 Checkpoint parse_checkpoint(std::span<const uint8_t> bytes) {
   ByteReader r(bytes, "checkpoint");
   uint8_t magic[sizeof kMagic];

@@ -106,6 +106,12 @@ std::vector<uint8_t> encode_checkpoint(const RunRecord& run, const Participants&
 /// failure, unknown section) — never returns a partially valid result.
 Checkpoint parse_checkpoint(std::span<const uint8_t> bytes);
 
+/// Header-only peek at the snapshot's instruction count (validating magic
+/// and version but no section payloads).  The ksimd scheduler reports each
+/// evicted job's resume point from its retained checkpoint bytes without
+/// re-parsing whole snapshots on every listing.
+uint64_t checkpoint_instructions(std::span<const uint8_t> bytes);
+
 /// Reads + parses a checkpoint file.  Throws ksim::Error on I/O or format
 /// problems, naming the file in the message.
 Checkpoint read_checkpoint(const std::string& path);

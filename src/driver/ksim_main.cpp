@@ -15,6 +15,11 @@
 //   ksim workloads                                list built-in workloads
 //   ksim resume <ckpt|dir> [options]              resume a checkpointed run
 //   ksim replay <ckpt|dir>                        deterministic replay self-check
+//   ksim serve [options]                          ksimd multi-tenant service daemon
+//   ksim submit --port N [options]                submit a job, stream its events
+//   ksim jobs --port N [--tenant T]               list daemon jobs
+//   ksim cancel --port N <id>                     cancel a job
+//   ksim shutdown --port N [--no-drain]           stop the daemon (drain first)
 //
 // lint options (klint, see src/analysis/):
 //   --format text|json  report format (default text)
@@ -61,12 +66,35 @@
 // to the resumed portion, and --checkpoint-every/--ckpt-dir continue
 // periodic snapshotting.  The recorded --max-instr is NOT reapplied (it is
 // what interrupted the original run); pass --max-instr to bound the resumed
-// run again.
+// run again.  The limit counts total instructions since program start (the
+// same axis the original --max-instr counted on), so a job preempted at
+// 600k instructions and resumed with --max-instr 1000000 runs 400k more —
+// bounded slices for preempted service jobs.
+//
+// Signals: `ksim run` stops at the next block/step boundary on the first
+// SIGINT/SIGTERM — a bit-identical checkpoint point — writes a final
+// snapshot when checkpointing is configured, prints the usual report with
+// stop reason "checkpoint" and exits 130; a second signal hard-exits.
+// `ksim serve` drains on the first signal and hard-exits on the second.
+//
+// ksimd service (DESIGN.md §10):
+//   serve options: --port N (0 = ephemeral), --host A, --workers K,
+//     --queue-cap N, --slice N (progress/preemption cadence, instructions),
+//     --quota-queued N, --quota-running N, --quota-instr N (per-tenant),
+//     --port-file FILE (write the bound port, for scripts wrapping port 0)
+//   submit options: --port N [--host A] [--tenant T] [--priority P] plus the
+//     run flags that name a built-in workload configuration; streams the
+//     job's progress/preempted/resumed events and exits with the job's exit
+//     code (3 = rejected by admission control).  --json FILE writes the
+//     job's ksim.run report, byte-identical to a local `ksim run --json`.
 //
 // Deprecated environment knobs: KSIM_NO_SUPERBLOCKS, KSIM_NO_DECODE_CACHE,
 // KSIM_NO_PREDICTION and KSIM_SEED still work for run/sweep but print a
 // one-line warning; use the corresponding flags.
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -74,6 +102,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <variant>
 #include <vector>
 
 #include "analysis/lint.h"
@@ -89,6 +118,7 @@
 #include "kasm/linker.h"
 #include "kasm/stubs.h"
 #include "kcc/compiler.h"
+#include "ksimd/server.h"
 #include "sim/simulator.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -116,7 +146,15 @@ namespace {
                "       [--max-findings N]\n"
                "  resume <file.kckpt|dir>  [--trace FILE] [--profile] [--max-instr N]\n"
                "         [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
-               "  replay <file.kckpt|dir>  re-run from scratch, compare bit-for-bit\n";
+               "  replay <file.kckpt|dir>  re-run from scratch, compare bit-for-bit\n"
+               "  serve [--port N] [--host A] [--workers K] [--queue-cap N]\n"
+               "        [--slice N] [--quota-queued N] [--quota-running N]\n"
+               "        [--quota-instr N] [--port-file FILE]\n"
+               "  submit --port N [--host A] [--tenant T] [--priority P]\n"
+               "         --workload <name> [run options] [--json FILE]\n"
+               "  jobs --port N [--host A] [--tenant T]\n"
+               "  cancel --port N [--host A] <id>\n"
+               "  shutdown --port N [--host A] [--no-drain]\n";
   std::exit(2);
 }
 
@@ -171,6 +209,19 @@ struct Options {
   std::vector<std::string> sweep_isas;
   std::vector<std::string> sweep_models;
   int threads = 1;
+  // ksimd service (serve/submit/jobs/cancel/shutdown)
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string port_file;
+  int workers = 4;
+  int queue_cap = 64;
+  uint64_t slice = 1'000'000;
+  int quota_queued = 16;
+  int quota_running = 4;
+  uint64_t quota_instr = 0;
+  std::string tenant;
+  int priority = 0;
+  bool no_drain = false;
   std::vector<std::string> inputs;
 };
 
@@ -262,6 +313,49 @@ Options parse_options(int argc, char** argv, int first) {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--threads expects a positive count");
       opt.threads = static_cast<int>(v);
+    } else if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v >= 0 && v <= 65535,
+            "--port expects 0..65535");
+      opt.port = static_cast<int>(v);
+    } else if (arg == "--port-file") {
+      opt.port_file = next();
+    } else if (arg == "--workers") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--workers expects a positive count");
+      opt.workers = static_cast<int>(v);
+    } else if (arg == "--queue-cap") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--queue-cap expects a positive count");
+      opt.queue_cap = static_cast<int>(v);
+    } else if (arg == "--slice") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0,
+            "--slice expects an instruction count");
+      opt.slice = static_cast<uint64_t>(v);
+    } else if (arg == "--quota-queued") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--quota-queued expects a count");
+      opt.quota_queued = static_cast<int>(v);
+    } else if (arg == "--quota-running") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0, "--quota-running expects a count");
+      opt.quota_running = static_cast<int>(v);
+    } else if (arg == "--quota-instr") {
+      int64_t v = 0;
+      check(parse_int(next(), v) && v > 0,
+            "--quota-instr expects an instruction count");
+      opt.quota_instr = static_cast<uint64_t>(v);
+    } else if (arg == "--tenant") {
+      opt.tenant = next();
+    } else if (arg == "--priority") {
+      int64_t v = 0;
+      check(parse_int(next(), v), "--priority expects an integer");
+      opt.priority = static_cast<int>(v);
+    } else if (arg == "--no-drain") {
+      opt.no_drain = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
@@ -323,12 +417,41 @@ int report_outcome(api::Session& s, const Options& opt, sim::StopReason reason) 
   return s.exit_code();
 }
 
+// First SIGINT/SIGTERM: stop `ksim run` at the next cooperative boundary
+// (handler-safe flag, polled by the progress hook).  Second: hard exit.
+volatile std::sig_atomic_t g_run_interrupted = 0;
+
+void on_run_signal(int) {
+  if (g_run_interrupted != 0) ::_exit(130);
+  g_run_interrupted = 1;
+}
+
 int cmd_run(const Options& opt) {
+  // Install before compiling the workload so a signal during startup is
+  // still caught (the flag is simply observed at the first hook poll).
+  std::signal(SIGINT, on_run_signal);
+  std::signal(SIGTERM, on_run_signal);
   api::RunConfig cfg = to_run_config(opt);
   api::warn_env_overrides(api::apply_env_overrides(cfg));
   cfg.validate();
   api::Session s(cfg);
+  // Poll the signal flag at the checkpoint-safe cadence: the configured
+  // snapshot period when checkpointing, a fixed fine grain otherwise.
+  s.set_progress_hook(cfg.ckpt_every != 0 ? 0 : 65536,
+                      [](api::Session&) { return g_run_interrupted != 0; });
   const sim::StopReason reason = s.run();
+  if (g_run_interrupted != 0 && reason == sim::StopReason::Checkpoint) {
+    const auto n =
+        static_cast<unsigned long long>(s.simulator().stats().instructions);
+    if (!cfg.ckpt_dir.empty())
+      std::cerr << strf("[ksim] interrupted at %llu instructions; wrote %s\n",
+                        n, s.snapshot_now().c_str());
+    else
+      std::cerr << strf("[ksim] interrupted at %llu instructions"
+                        " (no --ckpt-dir, state not saved)\n", n);
+    report_outcome(s, opt, reason);
+    return 130;
+  }
   return report_outcome(s, opt, reason);
 }
 
@@ -406,33 +529,31 @@ std::string resolve_checkpoint_path(const Options& opt, const char* verb) {
 
 int cmd_resume(const Options& opt) {
   const std::string path = resolve_checkpoint_path(opt, "resume");
-  ckpt::Checkpoint ck = ckpt::read_checkpoint(path);
-  // The recorded limit is whatever interrupted the original run; reapplying
-  // it would stop the resumed run on the spot.  Resume runs to completion
-  // unless the user bounds it again.
-  ck.run.max_instructions = opt.max_instr;
-
-  api::RunConfig cfg = api::RunConfig::from_run_record(ck.run);
-  cfg.profile = opt.profile;
-  cfg.trace_file = opt.trace_file;
-  cfg.jit_dump_asm = opt.jit_dump_asm;
+  const ckpt::Checkpoint ck = ckpt::read_checkpoint(path);
+  api::ResumeOverrides overrides;
+  // Total-instruction semantics: the bound counts from program start, so a
+  // resumed slice runs (N - checkpoint instructions) more.  The recorded
+  // limit is whatever interrupted the original run; Session::resume never
+  // reapplies it.
+  overrides.max_instructions = opt.max_instr;
+  overrides.profile = opt.profile;
+  overrides.trace_file = opt.trace_file;
+  overrides.jit_dump_asm = opt.jit_dump_asm;
   if (opt.ckpt_every != 0 || !opt.ckpt_dir.empty()) {
     check(opt.ckpt_every != 0 && !opt.ckpt_dir.empty(),
           "--checkpoint-every and --ckpt-dir must be used together");
-    cfg.ckpt_every = opt.ckpt_every;
-    cfg.ckpt_dir = opt.ckpt_dir;
-    cfg.ckpt_keep = opt.ckpt_keep;
+    overrides.ckpt_every = opt.ckpt_every;
+    overrides.ckpt_dir = opt.ckpt_dir;
+    overrides.ckpt_keep = opt.ckpt_keep;
   }
 
-  const elf::ElfFile exe = elf::ElfFile::parse(ck.run.elf_bytes);
-  api::Session s(cfg, ck.run, exe);
-  ckpt::apply_checkpoint(ck, s.participants());
+  const std::unique_ptr<api::Session> s = api::Session::resume(ck, overrides);
   std::cerr << strf("[ksim] resumed %s from %s at %llu instructions\n",
                     ck.run.workload.c_str(), path.c_str(),
                     static_cast<unsigned long long>(ck.instructions));
 
-  const sim::StopReason reason = s.run();
-  return report_outcome(s, opt, reason);
+  const sim::StopReason reason = s->run();
+  return report_outcome(*s, opt, reason);
 }
 
 int cmd_replay(const Options& opt) {
@@ -620,6 +741,164 @@ int cmd_workloads() {
   return 0;
 }
 
+// -- ksimd service commands (DESIGN.md §10) ----------------------------------
+
+// First SIGINT/SIGTERM: ask the daemon to drain (request_stop only touches
+// an atomic and the self-pipe, both async-signal-safe).  Second: hard exit.
+ksimd::Server* g_server = nullptr;
+volatile std::sig_atomic_t g_serve_signalled = 0;
+
+void on_serve_signal(int) {
+  if (g_serve_signalled != 0) ::_exit(130);
+  g_serve_signalled = 1;
+  if (g_server != nullptr) g_server->request_stop(true);
+}
+
+int cmd_serve(const Options& opt) {
+  ksimd::SchedulerOptions sched;
+  sched.workers = static_cast<size_t>(opt.workers);
+  sched.queue_capacity = static_cast<size_t>(opt.queue_cap);
+  sched.slice_instructions = opt.slice;
+  sched.quota.max_queued = static_cast<size_t>(opt.quota_queued);
+  sched.quota.max_running = static_cast<size_t>(opt.quota_running);
+  sched.quota.max_instructions = opt.quota_instr;
+  ksimd::ServerOptions net;
+  net.host = opt.host;
+  net.port = static_cast<uint16_t>(opt.port);
+
+  ksimd::Server server(sched, net);
+  g_server = &server;
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+  std::cerr << strf("[ksimd] listening on %s:%u (%d workers, queue %d,"
+                    " slice %llu)\n",
+                    opt.host.c_str(), server.port(), opt.workers,
+                    opt.queue_cap,
+                    static_cast<unsigned long long>(opt.slice));
+  if (!opt.port_file.empty())
+    write_text_or_stdout(opt.port_file, std::to_string(server.port()) + "\n");
+  server.run();
+  g_server = nullptr;
+  std::cerr << "[ksimd] drained, exiting\n";
+  return 0;
+}
+
+int cmd_submit(const Options& opt) {
+  check(opt.port != 0, "submit requires --port");
+  check(!opt.workload.empty(), "submit requires --workload <built-in name>");
+  ksimd::SubmitRequest request;
+  if (!opt.tenant.empty()) request.tenant = opt.tenant;
+  request.priority = opt.priority;
+  request.config = to_run_config(opt);
+
+  ksimd::Client client(opt.host, static_cast<uint16_t>(opt.port));
+  client.send_line(ksimd::encode(request));
+  for (;;) {
+    const std::optional<ksimd::Message> msg = client.read_message();
+    check(msg.has_value(), "daemon closed the connection mid-job");
+    if (const auto* accepted = std::get_if<ksimd::Accepted>(&*msg)) {
+      std::cerr << strf("[ksimd] job %llu accepted\n",
+                        static_cast<unsigned long long>(accepted->id));
+    } else if (const auto* rejected = std::get_if<ksimd::Rejected>(&*msg)) {
+      std::cerr << strf("ksim: submit rejected (%s): %s\n",
+                        rejected->code.c_str(), rejected->error.c_str());
+      if (rejected->retry_after_ms > 0)
+        std::cerr << strf("ksim: retry after %d ms\n", rejected->retry_after_ms);
+      return 3;
+    } else if (const auto* progress = std::get_if<ksimd::Progress>(&*msg)) {
+      const char* what = progress->kind == ksimd::Progress::Kind::Preempted
+                             ? "preempted"
+                             : progress->kind == ksimd::Progress::Kind::Resumed
+                                   ? "resumed"
+                                   : "running";
+      std::cerr << strf("[ksimd] job %llu %s at %llu instructions\n",
+                        static_cast<unsigned long long>(progress->id), what,
+                        static_cast<unsigned long long>(progress->instructions));
+    } else if (const auto* done = std::get_if<ksimd::Done>(&*msg)) {
+      if (done->state == ksimd::JobState::Done) {
+        std::cerr << strf("[ksimd] job %llu finished (exit %d)\n",
+                          static_cast<unsigned long long>(done->id),
+                          done->exit_code);
+        if (!opt.json_path.empty())
+          write_text_or_stdout(opt.json_path, done->report);
+        return done->exit_code;
+      }
+      if (done->state == ksimd::JobState::Cancelled) {
+        std::cerr << strf("[ksimd] job %llu cancelled\n",
+                          static_cast<unsigned long long>(done->id));
+        return 1;
+      }
+      std::cerr << strf("[ksimd] job %llu FAILED\n",
+                        static_cast<unsigned long long>(done->id));
+      if (!done->error.empty()) std::cerr << done->error;
+      return 1;
+    }
+    // Status/Ok replies are not part of the submit conversation; ignore.
+  }
+}
+
+int cmd_jobs(const Options& opt) {
+  check(opt.port != 0, "jobs requires --port");
+  ksimd::ListRequest request;
+  request.tenant = opt.tenant;
+  ksimd::Client client(opt.host, static_cast<uint16_t>(opt.port));
+  client.send_line(ksimd::encode(request));
+  const std::optional<ksimd::Message> msg = client.read_message();
+  check(msg.has_value(), "daemon closed the connection");
+  const auto* status = std::get_if<ksimd::StatusReply>(&*msg);
+  check(status != nullptr, "unexpected reply to jobs request");
+  std::cout << strf("%-5s %-10s %-4s %-10s %-16s %12s %5s\n", "ID", "TENANT",
+                    "PRI", "STATE", "JOB", "INSTRUCTIONS", "EVICT");
+  for (const ksimd::JobInfo& j : status->jobs)
+    std::cout << strf("%-5llu %-10s %-4d %-10s %-16s %12llu %5llu\n",
+                      static_cast<unsigned long long>(j.id), j.tenant.c_str(),
+                      j.priority, ksimd::to_string(j.state), j.label.c_str(),
+                      static_cast<unsigned long long>(j.instructions),
+                      static_cast<unsigned long long>(j.preemptions));
+  return 0;
+}
+
+int cmd_cancel(const Options& opt) {
+  check(opt.port != 0, "cancel requires --port");
+  check(opt.inputs.size() == 1, "cancel expects one job id");
+  int64_t id = 0;
+  check(parse_int(opt.inputs[0], id) && id > 0, "cancel expects a job id");
+  ksimd::CancelRequest request;
+  request.id = static_cast<uint64_t>(id);
+  ksimd::Client client(opt.host, static_cast<uint16_t>(opt.port));
+  client.send_line(ksimd::encode(request));
+  const std::optional<ksimd::Message> msg = client.read_message();
+  check(msg.has_value(), "daemon closed the connection");
+  if (const auto* ok = std::get_if<ksimd::Ok>(&*msg)) {
+    std::cerr << "[ksimd] " << ok->message << "\n";
+    return 0;
+  }
+  if (const auto* rejected = std::get_if<ksimd::Rejected>(&*msg)) {
+    std::cerr << strf("ksim: cancel rejected (%s): %s\n",
+                      rejected->code.c_str(), rejected->error.c_str());
+    return 1;
+  }
+  throw Error("unexpected reply to cancel request");
+}
+
+int cmd_shutdown(const Options& opt) {
+  check(opt.port != 0, "shutdown requires --port");
+  ksimd::ShutdownRequest request;
+  request.drain = !opt.no_drain;
+  ksimd::Client client(opt.host, static_cast<uint16_t>(opt.port));
+  client.send_line(ksimd::encode(request));
+  const std::optional<ksimd::Message> msg = client.read_message();
+  check(msg.has_value(), "daemon closed the connection");
+  const auto* ok = std::get_if<ksimd::Ok>(&*msg);
+  check(ok != nullptr, "unexpected reply to shutdown request");
+  std::cerr << "[ksimd] " << ok->message << "\n";
+  // The daemon closes every connection once the drain completes; waiting for
+  // EOF makes `ksim shutdown` synchronous for scripts.
+  while (client.read_line().has_value()) {
+  }
+  return 0;
+}
+
 int main_impl(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
@@ -643,6 +922,11 @@ int main_impl(int argc, char** argv) {
   if (cmd == "workloads") return cmd_workloads();
   if (cmd == "resume") return cmd_resume(opt);
   if (cmd == "replay") return cmd_replay(opt);
+  if (cmd == "serve") return cmd_serve(opt);
+  if (cmd == "submit") return cmd_submit(opt);
+  if (cmd == "jobs") return cmd_jobs(opt);
+  if (cmd == "cancel") return cmd_cancel(opt);
+  if (cmd == "shutdown") return cmd_shutdown(opt);
   usage();
 }
 

@@ -1,0 +1,326 @@
+#include "ksimd/protocol.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace ksim::ksimd {
+
+using support::JsonStyle;
+using support::JsonValue;
+using support::JsonWriter;
+using support::kJsonSchemaVersion;
+
+// -- LineSplitter ------------------------------------------------------------
+
+void LineSplitter::feed(std::string_view bytes) {
+  if (overflow_) return;
+  size_t start = 0;
+  while (start < bytes.size()) {
+    const size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      partial_.append(bytes.substr(start));
+      break;
+    }
+    partial_.append(bytes.substr(start, nl - start));
+    if (partial_.size() > max_) {
+      overflow_ = true;
+      return;
+    }
+    lines_.push_back(std::move(partial_));
+    partial_.clear();
+    start = nl + 1;
+  }
+  if (partial_.size() > max_) overflow_ = true;
+}
+
+std::optional<std::string> LineSplitter::next() {
+  if (lines_.empty()) return std::nullopt;
+  std::string line = std::move(lines_.front());
+  lines_.pop_front();
+  return line;
+}
+
+// -- JobState ----------------------------------------------------------------
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Preempted: return "preempted";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobState job_state_from_string(std::string_view s) {
+  if (s == "queued") return JobState::Queued;
+  if (s == "running") return JobState::Running;
+  if (s == "preempted") return JobState::Preempted;
+  if (s == "done") return JobState::Done;
+  if (s == "failed") return JobState::Failed;
+  if (s == "cancelled") return JobState::Cancelled;
+  throw Error("ksimd: unknown job state \"" + std::string(s) + "\"");
+}
+
+// -- encode ------------------------------------------------------------------
+
+namespace {
+
+JsonWriter message_writer(std::string_view schema) {
+  JsonWriter w(JsonStyle::Compact);
+  w.begin_object();
+  w.field("schema", schema);
+  w.field("schema_version", kJsonSchemaVersion);
+  return w;
+}
+
+const char* progress_schema(Progress::Kind kind) {
+  switch (kind) {
+    case Progress::Kind::Running: return "ksim.job.progress";
+    case Progress::Kind::Preempted: return "ksim.job.preempted";
+    case Progress::Kind::Resumed: return "ksim.job.resumed";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string encode(const SubmitRequest& m) {
+  JsonWriter w = message_writer("ksim.job.submit");
+  w.field("tenant", m.tenant);
+  w.field("priority", m.priority);
+  w.begin_object("config");
+  const api::RunConfig& c = m.config;
+  w.field("workload", c.workload);
+  w.field("isa", c.isa);
+  w.field("model", c.model);
+  w.field("bp", c.bp_kind);
+  w.field("bp_penalty", c.bp_penalty);
+  w.field("decode_cache", c.use_decode_cache);
+  w.field("prediction", c.use_prediction);
+  w.field("superblocks", c.use_superblocks);
+  w.field("jit", c.use_jit);
+  w.field("opstats", c.collect_op_stats);
+  w.field("max_instr", c.max_instructions);
+  w.field("seed", static_cast<uint64_t>(c.seed));
+  w.end();
+  w.end();
+  return w.str();
+}
+
+std::string encode(const ListRequest& m) {
+  JsonWriter w = message_writer("ksim.job.list");
+  w.field("tenant", m.tenant);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const CancelRequest& m) {
+  JsonWriter w = message_writer("ksim.job.cancel");
+  w.field("id", m.id);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const ShutdownRequest& m) {
+  JsonWriter w = message_writer("ksim.daemon.shutdown");
+  w.field("drain", m.drain);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const Accepted& m) {
+  JsonWriter w = message_writer("ksim.job.accepted");
+  w.field("id", m.id);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const Rejected& m) {
+  JsonWriter w = message_writer("ksim.job.rejected");
+  w.field("code", m.code);
+  w.field("error", m.error);
+  w.field("retry_after_ms", m.retry_after_ms);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const Progress& m) {
+  JsonWriter w = message_writer(progress_schema(m.kind));
+  w.field("id", m.id);
+  w.field("instructions", m.instructions);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const Done& m) {
+  JsonWriter w = message_writer("ksim.job.done");
+  w.field("id", m.id);
+  w.field("state", to_string(m.state));
+  w.field("exit_code", m.exit_code);
+  w.field("error", m.error);
+  w.field("report", m.report);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const StatusReply& m) {
+  JsonWriter w = message_writer("ksim.job.status");
+  w.begin_array("jobs");
+  for (const JobInfo& j : m.jobs) {
+    w.begin_object();
+    w.field("id", j.id);
+    w.field("tenant", j.tenant);
+    w.field("priority", j.priority);
+    w.field("state", to_string(j.state));
+    w.field("label", j.label);
+    w.field("instructions", j.instructions);
+    w.field("preemptions", j.preemptions);
+    w.end();
+  }
+  w.end();
+  w.end();
+  return w.str();
+}
+
+std::string encode(const Ok& m) {
+  JsonWriter w = message_writer("ksim.daemon.ok");
+  w.field("message", m.message);
+  w.end();
+  return w.str();
+}
+
+// -- parse -------------------------------------------------------------------
+
+namespace {
+
+uint64_t as_uint(const JsonValue& v, std::string_view what) {
+  const int64_t n = v.as_int(what);
+  if (n < 0) throw Error("ksimd: " + std::string(what) + " must be >= 0");
+  return static_cast<uint64_t>(n);
+}
+
+Progress parse_progress(const JsonValue& v, Progress::Kind kind) {
+  Progress m;
+  m.kind = kind;
+  m.id = as_uint(v.at("id"), "id");
+  m.instructions = as_uint(v.at("instructions"), "instructions");
+  return m;
+}
+
+JobInfo parse_job_info(const JsonValue& v) {
+  JobInfo j;
+  j.id = as_uint(v.at("id"), "id");
+  j.tenant = v.at("tenant").as_string("tenant");
+  j.priority = static_cast<int>(v.at("priority").as_int("priority"));
+  j.state = job_state_from_string(v.at("state").as_string("state"));
+  j.label = v.at("label").as_string("label");
+  j.instructions = as_uint(v.at("instructions"), "instructions");
+  j.preemptions = as_uint(v.at("preemptions"), "preemptions");
+  return j;
+}
+
+} // namespace
+
+api::RunConfig job_config_from_json(const JsonValue& v) {
+  if (!v.is_object()) throw Error("ksimd: \"config\" must be an object");
+  api::RunConfig c;
+  for (const auto& [key, val] : v.entries) {
+    if (key == "workload") c.workload = val.as_string(key);
+    else if (key == "isa") c.isa = val.as_string(key);
+    else if (key == "model") c.model = val.as_string(key);
+    else if (key == "bp") c.bp_kind = val.as_string(key);
+    else if (key == "bp_penalty") c.bp_penalty = static_cast<int>(val.as_int(key));
+    else if (key == "decode_cache") c.use_decode_cache = val.as_bool(key);
+    else if (key == "prediction") c.use_prediction = val.as_bool(key);
+    else if (key == "superblocks") c.use_superblocks = val.as_bool(key);
+    else if (key == "jit") c.use_jit = val.as_bool(key);
+    else if (key == "opstats") c.collect_op_stats = val.as_bool(key);
+    else if (key == "max_instr") c.max_instructions = as_uint(val, key);
+    else if (key == "seed") c.seed = static_cast<uint32_t>(as_uint(val, key));
+    else throw Error("ksimd: unknown config key \"" + key + "\"");
+  }
+  if (c.workload.empty())
+    throw Error("ksimd: job config needs a built-in \"workload\"");
+  return c;
+}
+
+Message parse_message(std::string_view line) {
+  const JsonValue doc = support::parse_json(line, "<ksimd message>");
+  if (!doc.is_object()) throw Error("ksimd: message must be a JSON object");
+  const std::string& schema = doc.at("schema").as_string("schema");
+  const int64_t version = doc.at("schema_version").as_int("schema_version");
+  if (version != kJsonSchemaVersion)
+    throw Error("ksimd: schema_version " + std::to_string(version) +
+                " unsupported (daemon speaks " +
+                std::to_string(kJsonSchemaVersion) + ")");
+
+  if (schema == "ksim.job.submit") {
+    SubmitRequest m;
+    m.tenant = doc.at("tenant").as_string("tenant");
+    m.priority = static_cast<int>(doc.at("priority").as_int("priority"));
+    m.config = job_config_from_json(doc.at("config"));
+    return m;
+  }
+  if (schema == "ksim.job.list") {
+    ListRequest m;
+    m.tenant = doc.at("tenant").as_string("tenant");
+    return m;
+  }
+  if (schema == "ksim.job.cancel") {
+    CancelRequest m;
+    m.id = as_uint(doc.at("id"), "id");
+    return m;
+  }
+  if (schema == "ksim.daemon.shutdown") {
+    ShutdownRequest m;
+    m.drain = doc.at("drain").as_bool("drain");
+    return m;
+  }
+  if (schema == "ksim.job.accepted") {
+    Accepted m;
+    m.id = as_uint(doc.at("id"), "id");
+    return m;
+  }
+  if (schema == "ksim.job.rejected") {
+    Rejected m;
+    m.code = doc.at("code").as_string("code");
+    m.error = doc.at("error").as_string("error");
+    m.retry_after_ms = static_cast<int>(doc.at("retry_after_ms").as_int("retry_after_ms"));
+    return m;
+  }
+  if (schema == "ksim.job.progress")
+    return parse_progress(doc, Progress::Kind::Running);
+  if (schema == "ksim.job.preempted")
+    return parse_progress(doc, Progress::Kind::Preempted);
+  if (schema == "ksim.job.resumed")
+    return parse_progress(doc, Progress::Kind::Resumed);
+  if (schema == "ksim.job.done") {
+    Done m;
+    m.id = as_uint(doc.at("id"), "id");
+    m.state = job_state_from_string(doc.at("state").as_string("state"));
+    m.exit_code = static_cast<int>(doc.at("exit_code").as_int("exit_code"));
+    m.error = doc.at("error").as_string("error");
+    m.report = doc.at("report").as_string("report");
+    return m;
+  }
+  if (schema == "ksim.job.status") {
+    StatusReply m;
+    const JsonValue& jobs = doc.at("jobs");
+    if (!jobs.is_array()) throw Error("ksimd: \"jobs\" must be an array");
+    m.jobs.reserve(jobs.array.size());
+    for (const JsonValue& j : jobs.array) m.jobs.push_back(parse_job_info(j));
+    return m;
+  }
+  if (schema == "ksim.daemon.ok") {
+    Ok m;
+    m.message = doc.at("message").as_string("message");
+    return m;
+  }
+  throw Error("ksimd: unknown message schema \"" + schema + "\"");
+}
+
+} // namespace ksim::ksimd

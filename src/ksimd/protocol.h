@@ -1,0 +1,171 @@
+// ksimd — the wire protocol of the simulation service (DESIGN.md §10).
+//
+// Framing: one JSON document per line, '\n'-terminated, UTF-8, at most
+// kMaxLineBytes per message.  Every document opens with the standard
+// "schema"/"schema_version" header keys (DESIGN.md §7); the schema names the
+// message kind.  Encoders use the compact JsonWriter style, so an encoded
+// message is exactly one line and the encode/parse pair round-trips
+// byte-for-byte (pinned by the tests/fixtures/ksimd fixtures).
+//
+// Requests (client → daemon):
+//   ksim.job.submit      tenant, priority, config (the RunConfig payload)
+//   ksim.job.list        tenant filter ("" = all)
+//   ksim.job.cancel      id
+//   ksim.daemon.shutdown drain (finish queued work) or abort
+//
+// Replies and streamed events (daemon → client):
+//   ksim.job.accepted    id — job admitted; events for it follow
+//   ksim.job.rejected    typed admission error + retry_after_ms (the
+//                        429-style overload contract)
+//   ksim.job.progress    id, instructions — one per scheduler slice
+//   ksim.job.preempted   id, instructions — evicted to a checkpoint
+//   ksim.job.resumed     id, instructions — restored bit-identically
+//   ksim.job.done        id, terminal state, exit code, error, and the full
+//                        ksim.run report document as an opaque string (the
+//                        daemon forwards the bytes verbatim, so a resumed
+//                        job's report diffs cleanly against a local run)
+//   ksim.job.status      the ksim.job.list reply
+//   ksim.daemon.ok       generic acknowledgement
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "api/run_config.h"
+#include "support/json.h"
+
+namespace ksim::ksimd {
+
+/// Hard per-message size limit.  Configs are small; anything larger is a
+/// confused or malicious client and the connection is dropped after a typed
+/// error instead of buffering without bound.
+inline constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// Incremental '\n'-splitter for the line-delimited framing.  feed() accepts
+/// arbitrary byte chunks (messages may arrive split across any number of
+/// reads); next() yields complete lines in order.  A line exceeding the
+/// limit sets overflowed() and the splitter stops accepting input.
+class LineSplitter {
+public:
+  explicit LineSplitter(size_t max_line_bytes = kMaxLineBytes)
+      : max_(max_line_bytes) {}
+
+  void feed(std::string_view bytes);
+  std::optional<std::string> next();
+  bool overflowed() const { return overflow_; }
+
+private:
+  size_t max_;
+  std::string partial_;
+  std::deque<std::string> lines_;
+  bool overflow_ = false;
+};
+
+// -- typed messages ----------------------------------------------------------
+
+/// Job states as they appear on the wire and in listings.
+enum class JobState { Queued, Running, Preempted, Done, Failed, Cancelled };
+const char* to_string(JobState state);
+JobState job_state_from_string(std::string_view s);
+
+struct SubmitRequest {
+  std::string tenant = "default";
+  int priority = 0;            ///< higher preempts lower
+  api::RunConfig config;       ///< simulation-relevant fields only
+};
+
+struct ListRequest {
+  std::string tenant;          ///< "" = all tenants
+};
+
+struct CancelRequest {
+  uint64_t id = 0;
+};
+
+struct ShutdownRequest {
+  bool drain = true;           ///< finish queued+running work before exiting
+};
+
+struct Accepted {
+  uint64_t id = 0;
+};
+
+/// Typed admission/permanent errors.  Codes: "queue_full", "quota_queued",
+/// "quota_instructions", "bad_config", "draining", "oversized",
+/// "bad_message", "unknown_job".
+struct Rejected {
+  std::string code;
+  std::string error;
+  int retry_after_ms = 0;      ///< 0 = not retryable
+};
+
+struct Progress {
+  enum class Kind { Running, Preempted, Resumed };
+  Kind kind = Kind::Running;
+  uint64_t id = 0;
+  uint64_t instructions = 0;
+};
+
+struct Done {
+  uint64_t id = 0;
+  JobState state = JobState::Done; ///< Done | Failed | Cancelled
+  int exit_code = 0;
+  std::string error;           ///< Failed only
+  std::string report;          ///< the full ksim.run document, verbatim
+};
+
+struct JobInfo {
+  uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  JobState state = JobState::Queued;
+  std::string label;           ///< "<workload>@<ISA>"
+  uint64_t instructions = 0;   ///< progress (resume point when preempted)
+  uint64_t preemptions = 0;
+};
+
+struct StatusReply {
+  std::vector<JobInfo> jobs;
+};
+
+struct Ok {
+  std::string message;
+};
+
+using Message = std::variant<SubmitRequest, ListRequest, CancelRequest,
+                             ShutdownRequest, Accepted, Rejected, Progress,
+                             Done, StatusReply, Ok>;
+
+// -- encode ------------------------------------------------------------------
+// Every encoder returns exactly one '\n'-terminated line.
+
+std::string encode(const SubmitRequest& m);
+std::string encode(const ListRequest& m);
+std::string encode(const CancelRequest& m);
+std::string encode(const ShutdownRequest& m);
+std::string encode(const Accepted& m);
+std::string encode(const Rejected& m);
+std::string encode(const Progress& m);
+std::string encode(const Done& m);
+std::string encode(const StatusReply& m);
+std::string encode(const Ok& m);
+
+// -- parse -------------------------------------------------------------------
+
+/// Parses one protocol line into its typed message.  Throws ksim::Error on
+/// malformed JSON, an unknown schema, a schema_version mismatch, or missing/
+/// mistyped fields — the daemon answers with a "bad_message" rejection.
+Message parse_message(std::string_view line);
+
+/// The RunConfig payload of a submit message ("config" object).  Unknown
+/// keys are rejected so client/daemon version skew fails loudly.  Host-side
+/// RunConfig fields (echo, trace, profiling, checkpoint sinks) are not part
+/// of the protocol; the daemon owns them.
+api::RunConfig job_config_from_json(const support::JsonValue& v);
+
+} // namespace ksim::ksimd

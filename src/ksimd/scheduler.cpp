@@ -1,0 +1,341 @@
+#include "ksimd/scheduler.h"
+
+#include <exception>
+#include <utility>
+
+#include "api/report.h"
+#include "ckpt/checkpoint.h"
+#include "support/error.h"
+
+namespace ksim::ksimd {
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+Scheduler::~Scheduler() { shutdown(false); }
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return draining_;
+}
+
+size_t Scheduler::live_count_locked(const std::string& tenant) const {
+  size_t n = 0;
+  for (const auto& j : jobs_)
+    if (!terminal(j->state) && (tenant.empty() || j->tenant == tenant)) ++n;
+  return n;
+}
+
+std::variant<Accepted, Rejected> Scheduler::submit(const SubmitRequest& request,
+                                                   EventFn events) {
+  api::RunConfig cfg = request.config;
+  // The daemon owns all host-side behaviour: jobs never echo simulated
+  // output into the daemon's stdout, trace, profile, or write snapshot
+  // files (eviction checkpoints live in memory).
+  cfg.echo_output = false;
+  cfg.profile = false;
+  cfg.trace_file.clear();
+  cfg.jit_dump_asm.clear();
+  cfg.ckpt_every = 0;
+  cfg.ckpt_dir.clear();
+  if (cfg.workload.empty() || !cfg.inputs.empty())
+    return Rejected{"bad_config", "ksimd jobs must name a built-in workload", 0};
+  try {
+    cfg.validate();
+  } catch (const std::exception& e) {
+    return Rejected{"bad_config", e.what(), 0};
+  }
+
+  std::unique_lock<std::mutex> lk(m_);
+  if (draining_ || stop_)
+    return Rejected{"draining", "daemon is shutting down", 0};
+  if (live_count_locked({}) >= options_.queue_capacity)
+    return Rejected{"queue_full",
+                    "job queue is full (" +
+                        std::to_string(options_.queue_capacity) + " jobs)",
+                    options_.retry_after_ms};
+  if (live_count_locked(request.tenant) >= options_.quota.max_queued)
+    return Rejected{"quota_queued",
+                    "tenant \"" + request.tenant + "\" already has " +
+                        std::to_string(options_.quota.max_queued) +
+                        " live jobs",
+                    0};
+  if (options_.quota.max_instructions != 0 &&
+      (cfg.max_instructions == 0 ||
+       cfg.max_instructions > options_.quota.max_instructions))
+    return Rejected{"quota_instructions",
+                    "tenant jobs must set max_instr <= " +
+                        std::to_string(options_.quota.max_instructions),
+                    0};
+
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->seq = job->id;
+  job->tenant = request.tenant;
+  job->priority = request.priority;
+  job->label = cfg.workload + "@" + cfg.isa;
+  job->cfg = std::move(cfg);
+  job->events = std::move(events);
+  Job& admitted = *job;
+  jobs_.push_back(std::move(job));
+  request_preemption_locked(admitted);
+  cv_ready_.notify_one();
+  return Accepted{admitted.id};
+}
+
+void Scheduler::request_preemption_locked(const Job& incoming) {
+  if (running_ < workers_.size()) return; // an idle worker will pick it up
+  size_t tenant_running = 0;
+  for (const auto& j : jobs_)
+    if (j->state == JobState::Running && j->tenant == incoming.tenant)
+      ++tenant_running;
+  if (tenant_running >= options_.quota.max_running) return; // could not run
+  // Evict the lowest-priority running job strictly below the incoming one,
+  // youngest first (it has the least progress to redo); jobs already asked
+  // to yield are on their way out and count as the eviction in flight.
+  Job* victim = nullptr;
+  for (const auto& j : jobs_) {
+    if (j->state != JobState::Running || j->priority >= incoming.priority)
+      continue;
+    if (j->yield.load()) return;
+    if (!victim || j->priority < victim->priority ||
+        (j->priority == victim->priority && j->seq > victim->seq))
+      victim = j.get();
+  }
+  if (victim) victim->yield.store(true);
+}
+
+Scheduler::Job* Scheduler::pick_locked() {
+  Job* best = nullptr;
+  for (const auto& j : jobs_) {
+    if (j->state != JobState::Queued && j->state != JobState::Preempted)
+      continue;
+    size_t tenant_running = 0;
+    for (const auto& other : jobs_)
+      if (other->state == JobState::Running && other->tenant == j->tenant)
+        ++tenant_running;
+    if (tenant_running >= options_.quota.max_running) continue;
+    if (!best || j->priority > best->priority ||
+        (j->priority == best->priority && j->seq < best->seq))
+      best = j.get();
+  }
+  return best;
+}
+
+void Scheduler::worker_main() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    Job* job = nullptr;
+    cv_ready_.wait(lk, [&] {
+      if (stop_) return true;
+      job = pick_locked();
+      return job != nullptr;
+    });
+    if (job == nullptr) return; // stopping and nothing runnable
+    run_job(lk, *job);
+  }
+}
+
+void Scheduler::run_job(std::unique_lock<std::mutex>& lk, Job& job) {
+  job.state = JobState::Running;
+  ++running_;
+  const uint64_t id = job.id;
+  EventFn emit = job.events;
+  if (!emit) emit = [](const std::string&) {};
+  api::RunConfig cfg = job.cfg;
+  std::vector<uint8_t> snapshot = std::move(job.ckpt);
+  job.ckpt.clear();
+  lk.unlock();
+
+  bool preempted = false;
+  std::vector<uint8_t> new_ckpt;
+  JobState final_state = JobState::Done;
+  int exit_code = 0;
+  std::string error;
+  std::string report;
+  uint64_t done_instr = 0;
+
+  try {
+    std::unique_ptr<api::Session> session;
+    ckpt::RunRecord record;
+    if (!snapshot.empty()) {
+      ckpt::Checkpoint ck = ckpt::parse_checkpoint(snapshot);
+      const uint64_t resume_at = ck.instructions;
+      api::ResumeOverrides overrides;
+      overrides.max_instructions = cfg.max_instructions;
+      overrides.echo_output = false;
+      session = api::Session::resume(ck, overrides);
+      record = std::move(ck.run);
+      emit(encode(Progress{Progress::Kind::Resumed, id, resume_at}));
+    } else {
+      std::shared_ptr<const api::ProgramImage> image = images_.get(cfg);
+      session = std::make_unique<api::Session>(cfg, *image);
+      record = cfg.run_record(image->exe, image->label);
+    }
+    session->set_progress_hook(
+        options_.slice_instructions, [&](api::Session& s) {
+          const uint64_t n = s.simulator().stats().instructions;
+          job.instructions.store(n, std::memory_order_relaxed);
+          emit(encode(Progress{Progress::Kind::Running, id, n}));
+          return job.yield.load() || job.cancel.load();
+        });
+    const sim::StopReason reason = session->run();
+    done_instr = session->simulator().stats().instructions;
+    job.instructions.store(done_instr, std::memory_order_relaxed);
+    if (reason == sim::StopReason::Checkpoint) {
+      if (job.cancel.load()) {
+        final_state = JobState::Cancelled;
+      } else {
+        new_ckpt = ckpt::encode_checkpoint(record, session->participants());
+        preempted = true;
+      }
+    } else if (reason == sim::StopReason::Trap ||
+               reason == sim::StopReason::DecodeError) {
+      final_state = JobState::Failed;
+      exit_code = session->exit_code();
+      error = session->error_report();
+    } else {
+      final_state = JobState::Done;
+      exit_code = session->exit_code();
+      report = api::render_report_json(session->report(reason));
+    }
+  } catch (const std::exception& e) {
+    final_state = JobState::Failed;
+    exit_code = 1;
+    error = e.what();
+  }
+
+  std::string event;
+  lk.lock();
+  --running_;
+  if (preempted && job.cancel.load()) {
+    // Cancellation raced the eviction: drop the snapshot, finish now.
+    preempted = false;
+    final_state = JobState::Cancelled;
+    new_ckpt.clear();
+  }
+  if (preempted) {
+    job.ckpt = std::move(new_ckpt);
+    job.state = JobState::Preempted;
+    ++job.preemptions;
+    job.yield.store(false);
+    event = encode(Progress{Progress::Kind::Preempted, id, done_instr});
+  } else {
+    job.state = final_state;
+    Done done;
+    done.id = id;
+    done.state = final_state;
+    done.exit_code = exit_code;
+    done.error = std::move(error);
+    done.report = std::move(report);
+    event = encode(done);
+    cv_idle_.notify_all();
+  }
+  // Count the event as in flight until delivered: wait_idle()/shutdown()
+  // must not return (and let the caller destroy its sink) while a worker
+  // is still inside the EventFn.
+  ++events_in_flight_;
+  cv_ready_.notify_all(); // requeued work or a freed tenant running slot
+  lk.unlock();
+  emit(event);
+  lk.lock();
+  if (--events_in_flight_ == 0) cv_idle_.notify_all();
+}
+
+bool Scheduler::cancel(uint64_t id) {
+  std::string event;
+  EventFn emit;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    Job* job = nullptr;
+    for (const auto& j : jobs_)
+      if (j->id == id) job = j.get();
+    if (job == nullptr || terminal(job->state)) return false;
+    if (job->state == JobState::Running) {
+      job->cancel.store(true);
+      return true; // terminates at the next slice boundary
+    }
+    job->state = JobState::Cancelled;
+    job->ckpt.clear();
+    Done done;
+    done.id = id;
+    done.state = JobState::Cancelled;
+    event = encode(done);
+    emit = job->events;
+    if (emit) ++events_in_flight_;
+    cv_idle_.notify_all();
+  }
+  if (emit) {
+    emit(event);
+    std::lock_guard<std::mutex> lk(m_);
+    if (--events_in_flight_ == 0) cv_idle_.notify_all();
+  }
+  return true;
+}
+
+std::vector<JobInfo> Scheduler::jobs(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) {
+    if (!tenant.empty() && j->tenant != tenant) continue;
+    JobInfo info;
+    info.id = j->id;
+    info.tenant = j->tenant;
+    info.priority = j->priority;
+    info.state = j->state;
+    info.label = j->label;
+    info.instructions = j->instructions.load(std::memory_order_relaxed);
+    info.preemptions = j->preemptions;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_idle_.wait(
+      lk, [&] { return live_count_locked({}) == 0 && events_in_flight_ == 0; });
+}
+
+void Scheduler::shutdown(bool drain) {
+  std::unique_lock<std::mutex> lk(m_);
+  if (stop_ && workers_.empty()) return; // already shut down
+  draining_ = true;
+  if (!drain) {
+    std::vector<std::pair<EventFn, std::string>> cancelled;
+    for (const auto& j : jobs_) {
+      if (j->state == JobState::Queued || j->state == JobState::Preempted) {
+        j->state = JobState::Cancelled;
+        j->ckpt.clear();
+        Done done;
+        done.id = j->id;
+        done.state = JobState::Cancelled;
+        if (j->events) cancelled.emplace_back(j->events, encode(done));
+      } else if (j->state == JobState::Running) {
+        j->cancel.store(true);
+      }
+    }
+    events_in_flight_ += cancelled.size();
+    cv_idle_.notify_all();
+    lk.unlock();
+    for (const auto& [fn, line] : cancelled) fn(line);
+    lk.lock();
+    events_in_flight_ -= cancelled.size();
+    cv_idle_.notify_all();
+  }
+  cv_idle_.wait(
+      lk, [&] { return live_count_locked({}) == 0 && events_in_flight_ == 0; });
+  stop_ = true;
+  cv_ready_.notify_all();
+  std::vector<std::thread> workers = std::move(workers_);
+  workers_.clear();
+  lk.unlock();
+  for (std::thread& t : workers) t.join();
+}
+
+} // namespace ksim::ksimd

@@ -1,0 +1,156 @@
+// ksimd — the multi-tenant job scheduler (DESIGN.md §10).
+//
+// The scheduler owns a bounded queue of simulation jobs and a fixed pool of
+// worker threads.  Jobs are RunConfig payloads (built-in workloads only);
+// each runs inside its own api::Session against a shared, refcounted
+// ProgramImage (api::ImageCache), so concurrent jobs for the same workload
+// share one immutable build.
+//
+// Preemption is checkpoint-based: every job's Session carries a cooperative
+// progress hook at the slice cadence; when a higher-priority job arrives and
+// no worker is idle, the lowest-priority running job below it is asked to
+// yield.  At the next slice boundary the worker stops the run
+// (StopReason::Checkpoint — a bit-identical snapshot point), encodes the
+// session into in-memory kckpt bytes, emits `ksim.job.preempted`, and
+// requeues the job.  When the job is picked again the worker rebuilds the
+// session from those bytes via Session::resume, emits `ksim.job.resumed`,
+// and continues — the final report is byte-identical to an uninterrupted
+// run (the property the ci.sh soak stage pins; jit_* counters are process-
+// volatile, so byte-level comparisons use --no-jit configurations).
+//
+// Job lifecycle:    Queued ──> Running ──> Done | Failed | Cancelled
+//                     ^           │
+//                     │ (pick)    │ (yield at slice boundary)
+//                   Preempted <───┘
+// Cancellation from Queued/Preempted is immediate; from Running it rides the
+// same yield mechanism and terminates at the next slice boundary.
+//
+// Admission control (submit, all-or-nothing, typed Rejected answers):
+//   queue_full          total live jobs at queue_capacity (retryable —
+//                       retry_after_ms is the advisory backoff)
+//   quota_queued        tenant at max_queued live jobs
+//   quota_instructions  tenant quota demands a finite per-job budget
+//   bad_config          RunConfig validation failed / not a built-in workload
+//   draining            shutdown in progress
+//
+// Locking: one mutex guards all job and queue state; simulation runs with
+// the lock released.  Event callbacks are copied out and invoked unlocked,
+// so an EventFn may itself take locks (the server's per-connection write
+// mutex) without ordering against the scheduler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "api/image_cache.h"
+#include "ksimd/protocol.h"
+
+namespace ksim::ksimd {
+
+/// Per-tenant admission limits (one policy applied to every tenant).
+struct TenantQuota {
+  size_t max_queued = 16;         ///< live (non-terminal) jobs per tenant
+  size_t max_running = 4;         ///< concurrently running jobs per tenant
+  uint64_t max_instructions = 0;  ///< per-job budget ceiling (0 = unlimited)
+};
+
+struct SchedulerOptions {
+  size_t workers = 4;
+  size_t queue_capacity = 64;          ///< live jobs across all tenants
+  uint64_t slice_instructions = 1'000'000; ///< progress/yield cadence
+  int retry_after_ms = 1000;           ///< advisory backoff on queue_full
+  TenantQuota quota;
+};
+
+/// Receives one encoded protocol line per job event (`ksim.job.progress`,
+/// `.preempted`, `.resumed`, `.done`).  Invoked from worker threads with no
+/// scheduler lock held; must be callable after the submitting connection is
+/// gone (the server swaps in a null sink on disconnect).
+using EventFn = std::function<void(const std::string& line)>;
+
+class Scheduler {
+public:
+  explicit Scheduler(SchedulerOptions options);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits or rejects a job.  On Accepted the job is queued and `events`
+  /// will receive its lifecycle lines; on Rejected nothing was enqueued.
+  std::variant<Accepted, Rejected> submit(const SubmitRequest& request,
+                                          EventFn events);
+
+  /// Requests cancellation.  Returns false for unknown or already-terminal
+  /// jobs; queued/preempted jobs cancel immediately, running jobs at the
+  /// next slice boundary.
+  bool cancel(uint64_t id);
+
+  /// Snapshot of every job (newest last), optionally filtered by tenant.
+  std::vector<JobInfo> jobs(const std::string& tenant = {}) const;
+
+  /// Blocks until no job is queued, running, or preempted AND every
+  /// terminal event has been delivered — afterwards no worker is inside an
+  /// EventFn, so callers may safely destroy their event sinks.
+  void wait_idle();
+
+  /// Stops the pool.  drain=true finishes all live jobs first; drain=false
+  /// cancels queued/preempted jobs and yields running ones into
+  /// cancellation.  Idempotent; the destructor calls shutdown(false).
+  void shutdown(bool drain);
+
+  bool draining() const;
+  api::ImageCache::Stats image_cache_stats() const { return images_.stats(); }
+  const SchedulerOptions& options() const { return options_; }
+
+private:
+  struct Job {
+    uint64_t id = 0;
+    uint64_t seq = 0;               ///< admission order (FIFO tiebreak)
+    std::string tenant;
+    int priority = 0;
+    std::string label;              ///< "<workload>@<ISA>"
+    api::RunConfig cfg;
+    JobState state = JobState::Queued;
+    std::atomic<uint64_t> instructions{0}; ///< progress, read by jobs()
+    uint64_t preemptions = 0;
+    std::atomic<bool> yield{false};  ///< preempt at next slice boundary
+    std::atomic<bool> cancel{false}; ///< cancel at next slice boundary
+    std::vector<uint8_t> ckpt;       ///< eviction snapshot (Preempted only)
+    EventFn events;
+  };
+
+  void worker_main();
+  Job* pick_locked();
+  void request_preemption_locked(const Job& incoming);
+  void run_job(std::unique_lock<std::mutex>& lk, Job& job);
+  size_t live_count_locked(const std::string& tenant) const;
+  static bool terminal(JobState s) {
+    return s == JobState::Done || s == JobState::Failed ||
+           s == JobState::Cancelled;
+  }
+
+  SchedulerOptions options_;
+  api::ImageCache images_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_ready_; ///< queue/topology changed
+  std::condition_variable cv_idle_;  ///< a job reached a terminal state
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<std::thread> workers_;
+  uint64_t next_id_ = 1;
+  size_t running_ = 0;
+  size_t events_in_flight_ = 0; ///< terminal events not yet delivered
+  bool draining_ = false; ///< no new admissions
+  bool stop_ = false;     ///< workers exit once nothing is runnable
+};
+
+} // namespace ksim::ksimd

@@ -1,0 +1,276 @@
+#include "ksimd/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/error.h"
+
+namespace ksim::ksimd {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw Error("ksimd: bad IPv4 address \"" + host + "\"");
+  return addr;
+}
+
+} // namespace
+
+// -- Server::Sink ------------------------------------------------------------
+
+void Server::Sink::send_line(const std::string& line) {
+  std::lock_guard<std::mutex> lk(m);
+  if (fd < 0) return; // client gone; the job keeps running regardless
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      fd = -1; // broken pipe: stop writing, the reader thread owns close()
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void Server::Sink::detach() {
+  std::lock_guard<std::mutex> lk(m);
+  fd = -1;
+}
+
+// -- Server ------------------------------------------------------------------
+
+Server::Server(const SchedulerOptions& scheduler_options,
+               const ServerOptions& server_options)
+    : scheduler_(scheduler_options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("ksimd: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(server_options.host, server_options.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw Error("ksimd: cannot bind " + server_options.host + ":" +
+                std::to_string(server_options.port) + ": " + why);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    close_fd(listen_fd_);
+    throw Error("ksimd: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close_fd(listen_fd_);
+    throw Error("ksimd: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(stop_pipe_) != 0) {
+    close_fd(listen_fd_);
+    throw Error("ksimd: pipe() failed");
+  }
+}
+
+Server::~Server() {
+  if (!stop_requested_.load()) request_stop(false);
+  scheduler_.shutdown(false);
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (const auto& sink : conn_sinks_) {
+      std::lock_guard<std::mutex> slk(sink->m);
+      if (sink->fd >= 0) ::shutdown(sink->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : conn_threads_)
+    if (t.joinable()) t.join();
+  close_fd(listen_fd_);
+  close_fd(stop_pipe_[0]);
+  close_fd(stop_pipe_[1]);
+}
+
+void Server::request_stop(bool drain) {
+  bool expected = false;
+  if (stop_requested_.compare_exchange_strong(expected, true))
+    stop_drain_.store(drain);
+  const char byte = 's';
+  // Async-signal-safe wake-up; a full pipe already guarantees a pending one.
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void Server::run() {
+  while (!stop_requested_.load()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error("ksimd: poll() failed");
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto sink = std::make_shared<Sink>();
+    sink->fd = fd;
+    std::lock_guard<std::mutex> lk(conns_m_);
+    conn_sinks_.push_back(sink);
+    conn_threads_.emplace_back(
+        [this, fd, sink] { handle_connection(fd, sink); });
+  }
+
+  // Shutdown sequence: no new connections, then let the scheduler drain (or
+  // abort) while clients are still attached and receiving events, then
+  // unblock and join every connection reader.
+  scheduler_.shutdown(stop_drain_.load());
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (const auto& sink : conn_sinks_) {
+      std::lock_guard<std::mutex> slk(sink->m);
+      if (sink->fd >= 0) ::shutdown(sink->fd, SHUT_RDWR);
+    }
+    threads = std::move(conn_threads_);
+    conn_threads_.clear();
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void Server::handle_connection(int fd, const std::shared_ptr<Sink>& sink) {
+  LineSplitter splitter;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    splitter.feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (splitter.overflowed()) {
+      sink->send_line(encode(Rejected{
+          "oversized",
+          "message exceeds " + std::to_string(kMaxLineBytes) + " bytes", 0}));
+      break;
+    }
+    while (std::optional<std::string> line = splitter.next()) {
+      if (line->empty()) continue;
+      handle_line(*line, *sink);
+    }
+  }
+  sink->detach(); // running jobs keep going; their events go nowhere
+  ::close(fd);
+}
+
+void Server::handle_line(const std::string& line, Sink& sink) {
+  Message msg;
+  try {
+    msg = parse_message(line);
+  } catch (const std::exception& e) {
+    sink.send_line(encode(Rejected{"bad_message", e.what(), 0}));
+    return;
+  }
+
+  if (const auto* submit = std::get_if<SubmitRequest>(&msg)) {
+    // The event sink is shared with scheduler workers by value; it outlives
+    // the connection and goes inert when the client hangs up.
+    std::shared_ptr<Sink> shared;
+    {
+      std::lock_guard<std::mutex> lk(conns_m_);
+      for (const auto& s : conn_sinks_)
+        if (s.get() == &sink) shared = s;
+    }
+    auto outcome = scheduler_.submit(
+        *submit, [shared](const std::string& event) {
+          if (shared) shared->send_line(event);
+        });
+    if (const auto* accepted = std::get_if<Accepted>(&outcome))
+      sink.send_line(encode(*accepted));
+    else
+      sink.send_line(encode(std::get<Rejected>(outcome)));
+    return;
+  }
+  if (const auto* list = std::get_if<ListRequest>(&msg)) {
+    StatusReply reply;
+    reply.jobs = scheduler_.jobs(list->tenant);
+    sink.send_line(encode(reply));
+    return;
+  }
+  if (const auto* cancel = std::get_if<CancelRequest>(&msg)) {
+    if (scheduler_.cancel(cancel->id))
+      sink.send_line(encode(Ok{"cancelling job " + std::to_string(cancel->id)}));
+    else
+      sink.send_line(encode(Rejected{
+          "unknown_job",
+          "no live job " + std::to_string(cancel->id), 0}));
+    return;
+  }
+  if (const auto* shut = std::get_if<ShutdownRequest>(&msg)) {
+    sink.send_line(encode(Ok{shut->drain ? "draining" : "aborting"}));
+    request_stop(shut->drain);
+    return;
+  }
+  sink.send_line(encode(
+      Rejected{"bad_message", "not a request message", 0}));
+}
+
+// -- Client ------------------------------------------------------------------
+
+Client::Client(const std::string& host, uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("ksimd: socket() failed");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(fd_);
+    throw Error("ksimd: cannot connect to " + host + ":" +
+                std::to_string(port) + ": " + why);
+  }
+}
+
+Client::~Client() { close_fd(fd_); }
+
+void Client::send_line(const std::string& line) {
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) throw Error("ksimd: connection lost while sending");
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::read_line() {
+  for (;;) {
+    if (std::optional<std::string> line = splitter_.next()) return line;
+    if (splitter_.overflowed())
+      throw Error("ksimd: oversized message from daemon");
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return std::nullopt;
+    if (n < 0) throw Error("ksimd: connection lost while reading");
+    splitter_.feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+std::optional<Message> Client::read_message() {
+  std::optional<std::string> line = read_line();
+  if (!line) return std::nullopt;
+  return parse_message(*line);
+}
+
+} // namespace ksim::ksimd

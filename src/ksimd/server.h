@@ -1,0 +1,112 @@
+// ksimd — the TCP front end of the simulation service (DESIGN.md §10).
+//
+// The server listens on a local TCP port and speaks the line-delimited JSON
+// protocol of protocol.h.  Each accepted connection gets its own reader
+// thread and a shared, mutex-guarded event sink; job lifecycle events stream
+// to the submitting connection from scheduler worker threads through that
+// sink, which simply goes inert once the client disconnects (jobs outlive
+// their submitters).
+//
+// Shutdown: request_stop() — from the shutdown protocol message or a signal
+// handler (it only stores an atomic and write()s the self-pipe, both
+// async-signal-safe) — wakes the accept loop.  run() then stops accepting,
+// drains or aborts the scheduler (drain: queued and running jobs finish and
+// clients receive their events; abort: queued jobs cancel, running jobs
+// yield into cancellation at the next slice boundary), and finally unblocks
+// and joins every connection thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ksimd/scheduler.h"
+
+namespace ksim::ksimd {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1"; ///< bind address (local service)
+  uint16_t port = 0;              ///< 0 = ephemeral, see port()
+};
+
+class Server {
+public:
+  /// Binds and listens immediately (throws ksim::Error on failure), but
+  /// accepts nothing until run().
+  Server(const SchedulerOptions& scheduler_options,
+         const ServerOptions& server_options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Accept/serve loop; blocks until request_stop(), then performs the full
+  /// drain-or-abort shutdown sequence before returning.
+  void run();
+
+  /// Wakes run() out of its accept loop.  Async-signal-safe; the first call
+  /// wins the drain/abort decision.
+  void request_stop(bool drain);
+
+  Scheduler& scheduler() { return scheduler_; }
+
+private:
+  /// One connected client: the socket plus the write-side lock that
+  /// serializes replies and streamed events.  Scheduler EventFns hold a
+  /// shared_ptr, so the sink outlives both the connection and the server.
+  struct Sink {
+    std::mutex m;
+    int fd = -1; ///< -1 once detached
+    void send_line(const std::string& line);
+    void detach();
+  };
+
+  void handle_connection(int fd, const std::shared_ptr<Sink>& sink);
+  void handle_line(const std::string& line, Sink& sink);
+
+  Scheduler scheduler_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1}; ///< self-pipe waking the accept loop
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stop_drain_{true};
+
+  std::mutex conns_m_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::shared_ptr<Sink>> conn_sinks_;
+};
+
+/// Blocking protocol client used by `ksim submit/jobs/cancel/shutdown`, the
+/// tests and the load generator: connects, sends one line at a time, reads
+/// framed replies.
+class Client {
+public:
+  Client(const std::string& host, uint16_t port); ///< throws on failure
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send_line(const std::string& line);
+
+  /// Next complete line, or std::nullopt on EOF.  Throws on socket errors
+  /// and oversized frames.
+  std::optional<std::string> read_line();
+
+  /// read_line + parse_message convenience.
+  std::optional<Message> read_message();
+
+private:
+  int fd_ = -1;
+  LineSplitter splitter_;
+};
+
+} // namespace ksim::ksimd

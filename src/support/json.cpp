@@ -282,10 +282,12 @@ std::string json_escape(std::string_view s) {
 
 void JsonWriter::prefix(std::string_view key) {
   if (!stack_.empty()) {
-    if (has_items_.back()) out_ += ",";
+    if (has_items_.back()) out_ += style_ == JsonStyle::Compact ? ", " : ",";
     has_items_.back() = true;
-    out_ += "\n";
-    out_.append(stack_.size() * 2, ' ');
+    if (style_ == JsonStyle::Pretty) {
+      out_ += "\n";
+      out_.append(stack_.size() * 2, ' ');
+    }
   }
   if (!key.empty()) {
     check(stack_.empty() || stack_.back() == '{',
@@ -311,7 +313,7 @@ void JsonWriter::end() {
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
+  if (had_items && style_ == JsonStyle::Pretty) {
     out_ += "\n";
     out_.append(stack_.size() * 2, ' ');
   }

@@ -68,6 +68,12 @@ JsonValue parse_json(std::string_view text, std::string_view origin = "<json>");
 /// Escapes a string for inclusion in a JSON document (without the quotes).
 std::string json_escape(std::string_view s);
 
+/// Output styles for JsonWriter.  Pretty is the historical two-space-indent
+/// multi-line form every checked-in report uses; Compact renders the whole
+/// document on a single line (`{"a": 1, "b": [2, 3]}`) for line-delimited
+/// framing — the ksimd service protocol sends one document per '\n'.
+enum class JsonStyle { Pretty, Compact };
+
 /// Insertion-ordered JSON document builder.  Usage:
 ///   JsonWriter w;
 ///   w.begin_object();
@@ -75,10 +81,13 @@ std::string json_escape(std::string_view s);
 ///   w.begin_array("points"); ... w.end();
 ///   w.end();
 ///   std::string doc = w.str();
-/// The writer indents two spaces per level and never reorders keys, so the
-/// emitted document is byte-stable for identical field sequences.
+/// The writer indents two spaces per level (JsonStyle::Pretty) or emits one
+/// line (JsonStyle::Compact) and never reorders keys, so the emitted document
+/// is byte-stable for identical field sequences.
 class JsonWriter {
 public:
+  JsonWriter() = default;
+  explicit JsonWriter(JsonStyle style) : style_(style) {}
   void begin_object() { open('{'); }
   void begin_object(std::string_view key) { open('{', key); }
   void begin_array(std::string_view key) { open('[', key); }
@@ -113,6 +122,7 @@ private:
   void prefix(std::string_view key);
   void raw(std::string_view key, std::string_view rendered);
 
+  JsonStyle style_ = JsonStyle::Pretty;
   std::string out_;
   std::vector<char> stack_;      ///< open scopes: '{' or '['
   std::vector<bool> has_items_;  ///< parallel: did the scope emit anything yet

@@ -407,5 +407,134 @@ TEST(Driver, CheckpointOptionValidation) {
   EXPECT_NE(rtl.output.find("rtl"), std::string::npos) << rtl.output;
 }
 
+// -- signals & service daemon (DESIGN.md §10) --------------------------------
+
+/// Runs a raw shell script through popen, capturing stdout+stderr of the
+/// whole script (including backgrounded children).
+CmdResult run_shell(const std::string& script) {
+  FILE* pipe = popen(("( " + script + " ) 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CmdResult result;
+  std::array<char, 4096> buf;
+  size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    result.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(Driver, ResumeMaxInstrIsAbsolute) {
+  const std::string dir = ckpt_dir("ckpt_absolute");
+  const CmdResult part1 =
+      run_cmd("run --workload dct --isa RISC --model doe"
+              " --checkpoint-every 40000 --ckpt-dir " + dir +
+              " --max-instr 80000");
+  ASSERT_NE(part1.output.find("instruction limit after 80000 instructions"),
+            std::string::npos)
+      << part1.output;
+  ASSERT_FALSE(fs::is_empty(dir)) << part1.output;
+
+  // --max-instr on resume is an absolute budget (total instructions since
+  // program start), not an increment: a run stopped at 80k and resumed with
+  // --max-instr 120000 executes 40k more and stops at exactly 120k.
+  const CmdResult part2 = run_cmd("resume " + dir + " --max-instr 120000");
+  EXPECT_NE(part2.output.find("[ksim] resumed dct@RISC"), std::string::npos)
+      << part2.output;
+  EXPECT_NE(part2.output.find("instruction limit after 120000 instructions"),
+            std::string::npos)
+      << part2.output;
+}
+
+TEST(Driver, RunSigintWritesFinalCheckpoint) {
+  // A multi-second busy loop: the built-in workloads finish in well under a
+  // second on the slowed interpreter path, too fast to interrupt reliably.
+  const std::string src = write_temp("busy.c", R"(
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 3000; ++i)
+    for (int j = 0; j < 3000; ++j)
+      acc = acc + 1;
+  printf("acc %d\n", acc);
+  return 0;
+}
+)");
+  const std::string dir = ckpt_dir("ckpt_sigint");
+  const CmdResult r = run_shell(
+      std::string(KSIM_BIN) + " run " + src +
+      " --isa RISC --model doe --no-jit --no-superblocks --no-prediction"
+      " --checkpoint-every 50000 --ckpt-dir " + dir + " &\n"
+      "pid=$!\n"
+      "sleep 0.3\n"
+      "kill -INT $pid\n"
+      "wait $pid\n"
+      "echo \"run_exit=$?\"\n");
+  EXPECT_NE(r.output.find("run_exit=130"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[ksim] interrupted at"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[ksim] checkpoint after"), std::string::npos)
+      << r.output;
+  ASSERT_FALSE(fs::is_empty(dir)) << r.output;
+
+  // The final checkpoint written by the signal handler path is resumable:
+  // the run completes from where it was interrupted, program output intact.
+  const CmdResult resumed = run_cmd("resume " + dir);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("acc 9000000"), std::string::npos)
+      << resumed.output;
+  EXPECT_NE(resumed.output.find("exited after"), std::string::npos)
+      << resumed.output;
+}
+
+TEST(Driver, ServeSubmitJobsShutdownRoundTrip) {
+  const std::string dir = ckpt_dir("ksimd_cli");
+  fs::create_directories(dir);
+  const std::string bin = KSIM_BIN;
+  const std::string pf = dir + "/port";
+  // One script drives the whole session: daemon on an ephemeral port
+  // (discovered via --port-file), a submit streaming to completion, the
+  // job table, a cancel of an unknown id, and a drained shutdown.
+  const CmdResult r = run_shell(
+      bin + " serve --port 0 --workers 2 --slice 100000 --port-file " + pf +
+      " &\n"
+      "spid=$!\n"
+      "i=0; while [ $i -lt 100 ] && [ ! -s " + pf +
+      " ]; do sleep 0.05; i=$((i+1)); done\n"
+      "p=$(cat " + pf + ")\n" +
+      bin + " submit --port $p --tenant acme --workload dct --isa RISC"
+      " --no-jit --max-instr 300000 --json " + dir + "/job.json\n"
+      "echo \"submit=$?\"\n" +
+      bin + " jobs --port $p\n" +
+      bin + " cancel --port $p 999\n"
+      "echo \"cancel=$?\"\n" +
+      bin + " shutdown --port $p\n"
+      "echo \"shutdown=$?\"\n"
+      "wait $spid\n"
+      "echo \"serve=$?\"\n");
+  EXPECT_NE(r.output.find("[ksimd] job 1 accepted"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[ksimd] job 1 finished (exit 0)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("submit=0"), std::string::npos) << r.output;
+  EXPECT_NE(line_with(r.output, "dct@RISC").find("done"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unknown_job"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("cancel=1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("shutdown=0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("serve=0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[ksimd] drained, exiting"), std::string::npos)
+      << r.output;
+
+  // The --json report streamed back over the wire is a complete ksim.run
+  // document, byte-for-byte what an uninterrupted local run would write.
+  std::ifstream in(dir + "/job.json");
+  const std::string doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"schema\": \"ksim.run\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"stop_reason\": \"instruction limit\""),
+            std::string::npos)
+      << doc;
+}
+
 } // namespace
 } // namespace ksim

@@ -1,0 +1,677 @@
+// ksimd service tests: wire protocol (framing, fixtures, truncation),
+// scheduler (multi-tenant admission, preemption/resume bit-identity,
+// quotas, cancellation, drain) and the TCP server end to end.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "api/report.h"
+#include "api/session.h"
+#include "ckpt/checkpoint.h"
+#include "ksimd/protocol.h"
+#include "ksimd/scheduler.h"
+#include "ksimd/server.h"
+#include "support/error.h"
+
+namespace ksim::ksimd {
+namespace {
+
+#ifndef KSIMD_FIXTURES
+#error "KSIMD_FIXTURES must be defined by the build"
+#endif
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(KSIMD_FIXTURES) + "/" + name);
+}
+
+/// Collects a job's event stream; tests block on predicates over it.
+class EventLog {
+public:
+  EventFn fn() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lk(m_);
+      events_.push_back(parse_message(line));
+      cv_.notify_all();
+    };
+  }
+
+  /// Number of events whose schema kind matches.
+  template <typename T>
+  size_t count() {
+    std::lock_guard<std::mutex> lk(m_);
+    size_t n = 0;
+    for (const Message& m : events_)
+      if (std::holds_alternative<T>(m)) ++n;
+    return n;
+  }
+
+  size_t count_progress(Progress::Kind kind) {
+    std::lock_guard<std::mutex> lk(m_);
+    size_t n = 0;
+    for (const Message& m : events_)
+      if (const auto* p = std::get_if<Progress>(&m); p && p->kind == kind) ++n;
+    return n;
+  }
+
+  /// Blocks until at least one Progress event of `kind` arrived.
+  void wait_for_progress(Progress::Kind kind) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] {
+      for (const Message& m : events_)
+        if (const auto* p = std::get_if<Progress>(&m); p && p->kind == kind)
+          return true;
+      return false;
+    });
+  }
+
+  Done last_done() {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it)
+      if (const auto* d = std::get_if<Done>(&*it)) return *d;
+    ADD_FAILURE() << "no done event recorded";
+    return {};
+  }
+
+private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<Message> events_;
+};
+
+api::RunConfig job_config(const std::string& workload, uint64_t max_instr = 0) {
+  api::RunConfig cfg;
+  cfg.workload = workload;
+  cfg.isa = "RISC";
+  cfg.use_jit = false; // jit_* report counters are process-volatile
+  cfg.max_instructions = max_instr;
+  return cfg;
+}
+
+// -- LineSplitter ------------------------------------------------------------
+
+TEST(LineSplitter, SplitsAcrossArbitraryChunkBoundaries) {
+  const std::string stream = "first line\n{\"second\": 2}\n\nlast\n";
+  for (size_t chunk = 1; chunk <= 5; ++chunk) {
+    LineSplitter splitter;
+    for (size_t i = 0; i < stream.size(); i += chunk)
+      splitter.feed(std::string_view(stream).substr(i, chunk));
+    EXPECT_FALSE(splitter.overflowed());
+    std::vector<std::string> lines;
+    while (auto line = splitter.next()) lines.push_back(*line);
+    ASSERT_EQ(lines.size(), 4u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0], "first line");
+    EXPECT_EQ(lines[1], "{\"second\": 2}");
+    EXPECT_EQ(lines[2], "");
+    EXPECT_EQ(lines[3], "last");
+  }
+}
+
+TEST(LineSplitter, HoldsPartialLineUntilTerminated) {
+  LineSplitter splitter;
+  splitter.feed("incompl");
+  EXPECT_FALSE(splitter.next().has_value());
+  splitter.feed("ete\nnext");
+  const auto line = splitter.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "incomplete");
+  EXPECT_FALSE(splitter.next().has_value());
+}
+
+TEST(LineSplitter, RejectsOversizedLines) {
+  LineSplitter splitter(16);
+  splitter.feed("ok line\n");
+  splitter.feed(std::string(17, 'x')); // no terminator needed to overflow
+  EXPECT_TRUE(splitter.overflowed());
+  // Lines completed before the overflow still drain; new input is ignored.
+  ASSERT_TRUE(splitter.next().has_value());
+  splitter.feed("after\n");
+  EXPECT_FALSE(splitter.next().has_value());
+}
+
+// -- protocol fixtures -------------------------------------------------------
+// One checked-in fixture per message type pins the wire format byte for
+// byte: encode(message) must equal the fixture, and the fixture must parse
+// and re-encode to itself (round-trip).
+
+void expect_wire(const Message& message, const std::string& fixture_name) {
+  const std::string expected = fixture(fixture_name);
+  const std::string encoded =
+      std::visit([](const auto& m) { return encode(m); }, message);
+  EXPECT_EQ(encoded, expected) << fixture_name;
+  EXPECT_EQ(encoded.back(), '\n') << fixture_name << ": one-line framing";
+  EXPECT_EQ(encoded.find('\n'), encoded.size() - 1)
+      << fixture_name << ": one-line framing";
+  const Message reparsed = parse_message(expected);
+  EXPECT_EQ(std::visit([](const auto& m) { return encode(m); }, reparsed),
+            expected)
+      << fixture_name << ": round trip";
+}
+
+TEST(Protocol, SubmitWire) {
+  SubmitRequest m;
+  m.tenant = "acme";
+  m.priority = 5;
+  m.config.workload = "dct";
+  m.config.isa = "VLIW4";
+  m.config.model = "doe";
+  m.config.bp_kind = "gshare";
+  m.config.use_jit = false;
+  m.config.max_instructions = 1000000;
+  m.config.seed = 42;
+  expect_wire(m, "submit.json");
+}
+
+TEST(Protocol, ListWire) {
+  ListRequest m;
+  m.tenant = "acme";
+  expect_wire(m, "list.json");
+}
+
+TEST(Protocol, CancelWire) {
+  CancelRequest m;
+  m.id = 7;
+  expect_wire(m, "cancel.json");
+}
+
+TEST(Protocol, ShutdownWire) { expect_wire(ShutdownRequest{}, "shutdown.json"); }
+
+TEST(Protocol, AcceptedWire) {
+  Accepted m;
+  m.id = 7;
+  expect_wire(m, "accepted.json");
+}
+
+TEST(Protocol, RejectedWire) {
+  Rejected m;
+  m.code = "queue_full";
+  m.error = "job queue is full (64 jobs)";
+  m.retry_after_ms = 1000;
+  expect_wire(m, "rejected.json");
+}
+
+TEST(Protocol, ProgressWire) {
+  Progress m;
+  m.id = 7;
+  m.instructions = 150000;
+  expect_wire(m, "progress.json");
+  m.kind = Progress::Kind::Preempted;
+  expect_wire(m, "preempted.json");
+  m.kind = Progress::Kind::Resumed;
+  expect_wire(m, "resumed.json");
+}
+
+TEST(Protocol, DoneWire) {
+  Done m;
+  m.id = 7;
+  m.state = JobState::Done;
+  m.exit_code = 0;
+  m.report = "{\n  \"schema\": \"ksim.run\"\n}\n"; // escaping exercised
+  expect_wire(m, "done.json");
+}
+
+TEST(Protocol, StatusWire) {
+  StatusReply m;
+  JobInfo a;
+  a.id = 1;
+  a.tenant = "acme";
+  a.priority = 5;
+  a.state = JobState::Running;
+  a.label = "dct@VLIW4";
+  a.instructions = 250000;
+  JobInfo b;
+  b.id = 2;
+  b.tenant = "batch";
+  b.state = JobState::Preempted;
+  b.label = "cjpeg@RISC";
+  b.instructions = 600000;
+  b.preemptions = 1;
+  m.jobs = {a, b};
+  expect_wire(m, "status.json");
+}
+
+TEST(Protocol, OkWire) {
+  Ok m;
+  m.message = "draining";
+  expect_wire(m, "ok.json");
+}
+
+TEST(Protocol, RejectsTruncatedMessages) {
+  // Every strict prefix of a framed message (sans terminator) must fail to
+  // parse — the service never acts on a partially received document.
+  std::string line = fixture("submit.json");
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  for (size_t len = 1; len < line.size(); ++len)
+    EXPECT_THROW(parse_message(line.substr(0, len)), Error) << "len=" << len;
+}
+
+TEST(Protocol, RejectsUnknownSchemaVersionAndConfigKeys) {
+  EXPECT_THROW(parse_message("{\"schema\": \"ksim.job.nope\","
+                             " \"schema_version\": 2}"),
+               Error);
+  EXPECT_THROW(parse_message("{\"schema\": \"ksim.job.cancel\","
+                             " \"schema_version\": 99, \"id\": 1}"),
+               Error);
+  EXPECT_THROW(
+      parse_message("{\"schema\": \"ksim.job.submit\", \"schema_version\": 2,"
+                    " \"tenant\": \"t\", \"priority\": 0,"
+                    " \"config\": {\"workload\": \"dct\", \"evil\": 1}}"),
+      Error);
+  EXPECT_THROW(parse_message("not json at all"), Error);
+}
+
+// -- scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, RunsManyJobsFromTwoTenants) {
+  SchedulerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 64;
+  opts.quota.max_queued = 32;
+  opts.slice_instructions = 100000;
+  Scheduler sched(opts);
+
+  std::vector<std::unique_ptr<EventLog>> logs;
+  for (int i = 0; i < 32; ++i) {
+    auto log = std::make_unique<EventLog>();
+    SubmitRequest req;
+    req.tenant = i % 2 == 0 ? "alpha" : "beta";
+    req.config = job_config("dct", 150000);
+    const auto outcome = sched.submit(req, log->fn());
+    ASSERT_TRUE(std::holds_alternative<Accepted>(outcome)) << "job " << i;
+    logs.push_back(std::move(log));
+  }
+  sched.wait_idle();
+  for (size_t i = 0; i < logs.size(); ++i) {
+    ASSERT_EQ(logs[i]->count<Done>(), 1u) << "job " << i;
+    const Done done = logs[i]->last_done();
+    EXPECT_EQ(done.state, JobState::Done) << "job " << i;
+    EXPECT_EQ(done.exit_code, 0) << "job " << i;
+  }
+  // 32 identical dct@RISC jobs shared one cached build.
+  const api::ImageCache::Stats stats = sched.image_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 31u);
+}
+
+TEST(Scheduler, PreemptedJobResumesBitIdentically) {
+  // Reference: the same configuration run uninterrupted in-process.
+  const api::RunConfig cfg = [] {
+    api::RunConfig c = job_config("cjpeg");
+    c.echo_output = false; // scheduler jobs never echo
+    return c;
+  }();
+  std::string reference;
+  {
+    api::Session s(cfg);
+    const sim::StopReason reason = s.run();
+    reference = api::render_report_json(s.report(reason));
+  }
+
+  SchedulerOptions opts;
+  opts.workers = 1; // the high-priority job can only run by evicting
+  opts.slice_instructions = 25000;
+  Scheduler sched(opts);
+
+  EventLog low_log;
+  SubmitRequest low;
+  low.tenant = "batch";
+  low.priority = 0;
+  low.config = job_config("cjpeg");
+  ASSERT_TRUE(std::holds_alternative<Accepted>(sched.submit(low, low_log.fn())));
+  low_log.wait_for_progress(Progress::Kind::Running);
+
+  EventLog high_log;
+  SubmitRequest high;
+  high.tenant = "urgent";
+  high.priority = 5;
+  high.config = job_config("dct", 400000);
+  ASSERT_TRUE(
+      std::holds_alternative<Accepted>(sched.submit(high, high_log.fn())));
+
+  sched.wait_idle();
+  EXPECT_GE(low_log.count_progress(Progress::Kind::Preempted), 1u);
+  EXPECT_GE(low_log.count_progress(Progress::Kind::Resumed), 1u);
+  EXPECT_EQ(high_log.last_done().state, JobState::Done);
+
+  const Done done = low_log.last_done();
+  EXPECT_EQ(done.state, JobState::Done);
+  // The preempted-then-resumed job's report is byte-identical to the
+  // uninterrupted run: checkpoint eviction is invisible to simulation.
+  EXPECT_EQ(done.report, reference);
+  sched.shutdown(true);
+}
+
+TEST(Scheduler, RejectsWhenQueueFull) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.retry_after_ms = 250;
+  Scheduler sched(opts);
+
+  EventLog logs[3];
+  SubmitRequest req;
+  req.config = job_config("cjpeg");
+  ASSERT_TRUE(
+      std::holds_alternative<Accepted>(sched.submit(req, logs[0].fn())));
+  ASSERT_TRUE(
+      std::holds_alternative<Accepted>(sched.submit(req, logs[1].fn())));
+  const auto outcome = sched.submit(req, logs[2].fn());
+  const auto* rejected = std::get_if<Rejected>(&outcome);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->code, "queue_full");
+  EXPECT_EQ(rejected->retry_after_ms, 250);
+  sched.shutdown(true);
+}
+
+TEST(Scheduler, EnforcesTenantQuotas) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.quota.max_queued = 1;
+  opts.quota.max_instructions = 500000;
+  Scheduler sched(opts);
+
+  EventLog logs[4];
+  SubmitRequest req;
+  req.tenant = "greedy";
+  req.config = job_config("cjpeg", 400000);
+  ASSERT_TRUE(
+      std::holds_alternative<Accepted>(sched.submit(req, logs[0].fn())));
+
+  // Second live job for the same tenant: over max_queued.
+  const auto queued = sched.submit(req, logs[1].fn());
+  const auto* rejected = std::get_if<Rejected>(&queued);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->code, "quota_queued");
+
+  // Another tenant is unaffected — but must respect the instruction quota.
+  SubmitRequest other = req;
+  other.tenant = "modest";
+  other.config.max_instructions = 0; // unlimited: over max_instructions
+  const auto unlimited = sched.submit(other, logs[2].fn());
+  const auto* unlimited_rejected = std::get_if<Rejected>(&unlimited);
+  ASSERT_NE(unlimited_rejected, nullptr);
+  EXPECT_EQ(unlimited_rejected->code, "quota_instructions");
+
+  other.config.max_instructions = 400000;
+  EXPECT_TRUE(
+      std::holds_alternative<Accepted>(sched.submit(other, logs[3].fn())));
+  sched.wait_idle();
+  sched.shutdown(true);
+}
+
+TEST(Scheduler, RejectsBadConfigs) {
+  Scheduler sched(SchedulerOptions{});
+  EventLog log;
+  SubmitRequest req;
+  req.config = job_config("dct");
+  req.config.isa = "MIPS"; // unknown ISA fails RunConfig::validate
+  const auto bad_isa = sched.submit(req, log.fn());
+  const auto* rejected = std::get_if<Rejected>(&bad_isa);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->code, "bad_config");
+
+  req.config = job_config("dct");
+  req.config.workload.clear();
+  req.config.inputs = {"/tmp/some_file.c"}; // file inputs are not jobs
+  const auto file_input = sched.submit(req, log.fn());
+  ASSERT_TRUE(std::holds_alternative<Rejected>(file_input));
+  EXPECT_EQ(std::get<Rejected>(file_input).code, "bad_config");
+  sched.shutdown(false);
+}
+
+TEST(Scheduler, CancelsQueuedAndRunningJobs) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.slice_instructions = 25000;
+  Scheduler sched(opts);
+
+  EventLog running_log;
+  SubmitRequest req;
+  req.config = job_config("cjpeg");
+  const auto running = sched.submit(req, running_log.fn());
+  const auto* running_id = std::get_if<Accepted>(&running);
+  ASSERT_NE(running_id, nullptr);
+
+  EventLog queued_log;
+  const auto queued = sched.submit(req, queued_log.fn());
+  const auto* queued_id = std::get_if<Accepted>(&queued);
+  ASSERT_NE(queued_id, nullptr);
+
+  running_log.wait_for_progress(Progress::Kind::Running);
+  EXPECT_TRUE(sched.cancel(queued_id->id));  // immediate: still queued
+  EXPECT_TRUE(sched.cancel(running_id->id)); // at the next slice boundary
+  EXPECT_FALSE(sched.cancel(99));            // unknown id
+
+  sched.wait_idle();
+  EXPECT_EQ(queued_log.last_done().state, JobState::Cancelled);
+  EXPECT_EQ(running_log.last_done().state, JobState::Cancelled);
+  EXPECT_FALSE(sched.cancel(queued_id->id)); // already terminal
+  sched.shutdown(true);
+}
+
+TEST(Scheduler, DrainsOnShutdown) {
+  SchedulerOptions opts;
+  opts.workers = 2;
+  Scheduler sched(opts);
+
+  EventLog logs[4];
+  SubmitRequest req;
+  req.config = job_config("dct", 200000);
+  for (auto& log : logs)
+    ASSERT_TRUE(std::holds_alternative<Accepted>(sched.submit(req, log.fn())));
+  sched.shutdown(true); // drain: every accepted job still completes
+  for (auto& log : logs) EXPECT_EQ(log.last_done().state, JobState::Done);
+
+  EventLog late;
+  const auto outcome = sched.submit(req, late.fn());
+  ASSERT_TRUE(std::holds_alternative<Rejected>(outcome));
+  EXPECT_EQ(std::get<Rejected>(outcome).code, "draining");
+}
+
+// -- Session snapshot helpers used by the service ----------------------------
+
+TEST(SessionSnapshot, HeaderPeekMatchesFullParse) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "ksimd_snap_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  api::RunConfig cfg = job_config("dct");
+  cfg.echo_output = false;
+  cfg.ckpt_every = 100000;
+  cfg.ckpt_dir = dir;
+  api::Session s(cfg);
+  ASSERT_EQ(s.run(), sim::StopReason::Exited);
+  const std::string path = s.snapshot_now(); // explicit final snapshot
+
+  const std::string bytes = read_file(path);
+  const std::span<const uint8_t> span(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  const ckpt::Checkpoint ck = ckpt::parse_checkpoint(span);
+  EXPECT_EQ(ckpt::checkpoint_instructions(span), ck.instructions);
+  EXPECT_GT(ck.instructions, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// -- server ------------------------------------------------------------------
+
+class ServerFixture : public ::testing::Test {
+protected:
+  std::unique_ptr<Server> server_;
+  std::thread server_thread_;
+
+  void start(SchedulerOptions sched) {
+    server_ = std::make_unique<Server>(sched, ServerOptions{});
+    server_thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    if (!server_) return;
+    server_->request_stop(false);
+    server_thread_.join();
+    server_.reset();
+  }
+};
+
+TEST_F(ServerFixture, AcceptsManyJobsFromConcurrentTenants) {
+  SchedulerOptions sched;
+  sched.workers = 4;
+  sched.queue_capacity = 64;
+  sched.quota.max_queued = 32;
+  start(sched);
+
+  auto tenant_client = [&](const std::string& tenant, size_t jobs,
+                           size_t& done_count) {
+    Client client("127.0.0.1", server_->port());
+    SubmitRequest req;
+    req.tenant = tenant;
+    req.config = job_config("dct", 150000);
+    for (size_t i = 0; i < jobs; ++i) client.send_line(encode(req));
+    size_t accepted = 0;
+    while (done_count < jobs) {
+      const auto msg = client.read_message();
+      ASSERT_TRUE(msg.has_value()) << tenant << ": daemon hung up";
+      if (std::holds_alternative<Accepted>(*msg)) ++accepted;
+      ASSERT_FALSE(std::holds_alternative<Rejected>(*msg))
+          << tenant << ": " << std::get<Rejected>(*msg).error;
+      if (const auto* done = std::get_if<Done>(&*msg)) {
+        EXPECT_EQ(done->state, JobState::Done);
+        ++done_count;
+      }
+    }
+    EXPECT_EQ(accepted, jobs);
+  };
+
+  size_t done_a = 0;
+  size_t done_b = 0;
+  std::thread a([&] { tenant_client("alpha", 16, done_a); });
+  std::thread b([&] { tenant_client("beta", 16, done_b); });
+  a.join();
+  b.join();
+  EXPECT_EQ(done_a, 16u);
+  EXPECT_EQ(done_b, 16u);
+}
+
+TEST_F(ServerFixture, ListsCancelsAndRejectsOverWire) {
+  SchedulerOptions sched;
+  sched.workers = 1;
+  sched.queue_capacity = 2;
+  start(sched);
+
+  Client submitter("127.0.0.1", server_->port());
+  SubmitRequest req;
+  req.tenant = "acme";
+  req.config = job_config("cjpeg");
+  submitter.send_line(encode(req));
+  submitter.send_line(encode(req));
+  uint64_t first_id = 0;
+  for (int i = 0; i < 2; ++i) {
+    const auto msg = submitter.read_message();
+    ASSERT_TRUE(msg.has_value());
+    if (const auto* accepted = std::get_if<Accepted>(&*msg); accepted && i == 0)
+      first_id = accepted->id;
+  }
+
+  // Queue full: the third submission is rejected with the typed error.
+  submitter.send_line(encode(req));
+  for (;;) {
+    const auto msg = submitter.read_message();
+    ASSERT_TRUE(msg.has_value());
+    if (const auto* rejected = std::get_if<Rejected>(&*msg)) {
+      EXPECT_EQ(rejected->code, "queue_full");
+      EXPECT_GT(rejected->retry_after_ms, 0);
+      break;
+    }
+  }
+
+  Client controller("127.0.0.1", server_->port());
+  ListRequest list;
+  controller.send_line(encode(list));
+  const auto status = controller.read_message();
+  ASSERT_TRUE(status.has_value());
+  const auto* reply = std::get_if<StatusReply>(&*status);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->jobs.size(), 2u);
+
+  CancelRequest cancel;
+  cancel.id = first_id;
+  controller.send_line(encode(cancel));
+  const auto ok = controller.read_message();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(std::holds_alternative<Ok>(*ok));
+
+  cancel.id = 12345;
+  controller.send_line(encode(cancel));
+  const auto unknown = controller.read_message();
+  ASSERT_TRUE(unknown.has_value());
+  const auto* unknown_rejected = std::get_if<Rejected>(&*unknown);
+  ASSERT_NE(unknown_rejected, nullptr);
+  EXPECT_EQ(unknown_rejected->code, "unknown_job");
+
+  // Malformed line: typed error, connection stays usable.
+  controller.send_line("{\"schema\": \"ksim.job.nope\", \"schema_version\": 2}\n");
+  const auto bad = controller.read_message();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(std::get<Rejected>(*bad).code, "bad_message");
+  controller.send_line(encode(list));
+  EXPECT_TRUE(controller.read_message().has_value());
+}
+
+TEST_F(ServerFixture, RejectsOversizedPayloadAndDrainsOnShutdownMessage) {
+  SchedulerOptions sched;
+  sched.workers = 1;
+  start(sched);
+
+  {
+    Client flooder("127.0.0.1", server_->port());
+    flooder.send_line(std::string(kMaxLineBytes + 2, 'x') + "\n");
+    const auto msg = flooder.read_message();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(std::get<Rejected>(*msg).code, "oversized");
+    EXPECT_FALSE(flooder.read_line().has_value()); // connection dropped
+  }
+
+  Client client("127.0.0.1", server_->port());
+  SubmitRequest req;
+  req.config = job_config("dct", 200000);
+  client.send_line(encode(req));
+  client.send_line(encode(ShutdownRequest{}));
+  bool saw_done = false;
+  bool saw_ok = false;
+  for (;;) {
+    const auto msg = client.read_message();
+    if (!msg.has_value()) break; // daemon drained and hung up
+    if (std::holds_alternative<Ok>(*msg)) saw_ok = true;
+    if (const auto* done = std::get_if<Done>(&*msg)) {
+      EXPECT_EQ(done->state, JobState::Done); // drained, not cancelled
+      saw_done = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_done);
+  server_thread_.join();
+  server_.reset();
+}
+
+} // namespace
+} // namespace ksim::ksimd

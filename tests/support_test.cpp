@@ -221,5 +221,65 @@ TEST(Json, RoundTripKeyOrderStability) {
   EXPECT_EQ(w2.str(), doc);
 }
 
+TEST(Json, CompactStyleIsOneLine) {
+  // The ksimd service frames one document per line, so the Compact style
+  // must render any nesting without embedded newlines and still parse back
+  // identically to its Pretty twin.
+  const auto build = [](support::JsonWriter& w) {
+    w.begin_object();
+    w.field("schema", "ksim.test");
+    w.field("count", 3);
+    w.begin_array("items");
+    w.element(uint64_t{1});
+    w.element("two");
+    w.end();
+    w.begin_object("empty");
+    w.end();
+    w.begin_array("none");
+    w.end();
+    w.end();
+  };
+  support::JsonWriter compact(support::JsonStyle::Compact);
+  build(compact);
+  const std::string line = compact.str();
+  EXPECT_EQ(line,
+            "{\"schema\": \"ksim.test\", \"count\": 3, \"items\": [1, \"two\"],"
+            " \"empty\": {}, \"none\": []}\n");
+  // Exactly one line: the terminating newline is the only one.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+
+  support::JsonWriter pretty;
+  build(pretty);
+  const support::JsonValue from_compact = support::parse_json(line);
+  const support::JsonValue from_pretty = support::parse_json(pretty.str());
+  ASSERT_EQ(from_compact.entries.size(), from_pretty.entries.size());
+  for (size_t i = 0; i < from_compact.entries.size(); ++i)
+    EXPECT_EQ(from_compact.entries[i].first, from_pretty.entries[i].first);
+}
+
+TEST(Json, TruncatedDocumentsAlwaysFail) {
+  // Service condition: a client can disconnect mid-message, leaving any
+  // strict prefix of a document in the buffer.  No prefix may parse as a
+  // complete document (the trailing '\n' is the frame terminator, so the
+  // prefixes run to the full unterminated text).
+  support::JsonWriter w(support::JsonStyle::Compact);
+  w.begin_object();
+  w.field("schema", "ksim.job.submit");
+  w.field("schema_version", 2);
+  w.field("tenant", "acme");
+  w.begin_object("config");
+  w.field("workload", "dct");
+  w.field("max_instr", uint64_t{1000000});
+  w.end();
+  w.end();
+  std::string doc = w.str();
+  EXPECT_EQ(doc.back(), '\n');
+  doc.pop_back();
+  EXPECT_NO_THROW(support::parse_json(doc));
+  for (size_t len = 0; len < doc.size(); ++len)
+    EXPECT_THROW(support::parse_json(doc.substr(0, len)), Error)
+        << "prefix length " << len;
+}
+
 } // namespace
 } // namespace ksim
