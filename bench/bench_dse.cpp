@@ -1,0 +1,100 @@
+// kdse throughput: design-space-exploration sweeps over the memory-geometry
+// axis, measured three ways — bare (no journal), journaled (every finished
+// point CRC'd and flushed to the sweep journal), and a full resume (every
+// point pre-filled from the journal, no simulation at all).  The journal
+// overhead is the price of crash-resumability; the resume time is what a
+// `ksim sweep --resume` of a finished directory costs.
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "api/sweep.h"
+#include "api/sweep_journal.h"
+#include "bench_util.h"
+
+using namespace ksim;
+using namespace ksim::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchJson json("dse", args);
+  header("kdse: geometry-axis sweep throughput, journal overhead, resume");
+
+  // An L1 capacity ladder (sets doubling) is the classic first DSE question;
+  // quick mode keeps four rungs so CI finishes in seconds.
+  api::SweepSpec spec;
+  spec.workloads = {"dct"};
+  spec.isas = args.quick ? std::vector<std::string>{"RISC", "VLIW4"}
+                         : std::vector<std::string>{"RISC", "VLIW2", "VLIW4"};
+  spec.models = {"doe"};
+  spec.geometries.clear();
+  for (uint32_t sets = 8; sets <= (args.quick ? 64u : 256u); sets *= 2) {
+    cycle::MemGeometry g;
+    g.l1.sets = sets;
+    spec.geometries.push_back(g);
+  }
+  spec.base.echo_output = false;
+  spec.threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  spec.validate();
+
+  const size_t total = spec.workloads.size() * spec.isas.size() *
+                       spec.models.size() * spec.geometries.size();
+  std::printf("grid: %zu workloads x %zu ISAs x %zu models x %zu geometries"
+              " = %zu points, %d threads\n\n",
+              spec.workloads.size(), spec.isas.size(), spec.models.size(),
+              spec.geometries.size(), total, spec.threads);
+  json.set("points", static_cast<uint64_t>(total));
+  json.set("geometries", static_cast<uint64_t>(spec.geometries.size()));
+  json.set("threads", spec.threads);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ksim_bench_dse").string();
+  const int repeats = args.quick ? 2 : 3;
+
+  double bare_s = 1e30;
+  for (int r = 0; r < repeats; ++r) {
+    const api::SweepResult result = api::run_sweep(spec);
+    check(result.failed == 0, "bare sweep points failed under bench");
+    bare_s = std::min(bare_s, result.wall_seconds);
+  }
+  const double bare_pps = static_cast<double>(total) / bare_s;
+  std::printf("bare:      %7.3f s  %7.2f points/s\n", bare_s, bare_pps);
+  json.set("bare.wall_s", bare_s);
+  json.set("bare.points_per_s", bare_pps);
+
+  double journal_s = 1e30;
+  for (int r = 0; r < repeats; ++r) {
+    std::filesystem::remove_all(dir);
+    api::SweepJournal journal =
+        api::SweepJournal::create(dir, api::render_sweep_manifest(spec));
+    const api::SweepResult result = api::run_sweep(spec, {}, &journal);
+    check(result.failed == 0, "journaled sweep points failed under bench");
+    journal_s = std::min(journal_s, result.wall_seconds);
+  }
+  const double journal_pps = static_cast<double>(total) / journal_s;
+  const double overhead_pct = 100.0 * (journal_s - bare_s) / bare_s;
+  std::printf("journaled: %7.3f s  %7.2f points/s  (%+.1f%% vs bare)\n",
+              journal_s, journal_pps, overhead_pct);
+  json.set("journal.wall_s", journal_s);
+  json.set("journal.points_per_s", journal_pps);
+  json.set("journal.overhead_pct", overhead_pct);
+
+  // Resume of the finished directory: every point comes back from the
+  // journal; this is pure decode + render work.
+  double resume_s = 1e30;
+  for (int r = 0; r < repeats; ++r) {
+    api::SweepJournal journal = api::SweepJournal::resume(dir);
+    const api::SweepResult result = api::run_sweep(spec, {}, &journal);
+    check(result.resumed == total, "resume re-ran already-journaled points");
+    check(result.failed == 0, "resumed sweep points failed under bench");
+    resume_s = std::min(resume_s, result.wall_seconds);
+  }
+  std::printf("resume:    %7.3f s  (all %zu points pre-filled)\n", resume_s,
+              total);
+  json.set("resume.wall_s", resume_s);
+  std::filesystem::remove_all(dir);
+
+  json.write();
+  return 0;
+}

@@ -62,12 +62,13 @@ echo "=== tier-1 tests (ASan+UBSan) ==="
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
-echo "=== build (TSan: sweep + api + ksimd tests) ==="
+echo "=== build (TSan: sweep + dse + api + ksimd tests) ==="
 cmake -B build-tsan -S . -DKSIM_TSAN=ON >/dev/null
-cmake --build build-tsan -j"$JOBS" --target test_sweep test_api test_ksimd
+cmake --build build-tsan -j"$JOBS" --target test_sweep test_dse test_api test_ksimd
 
-echo "=== sweep engine + ksimd service under ThreadSanitizer ==="
+echo "=== sweep engine + kdse + ksimd service under ThreadSanitizer ==="
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_sweep
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_dse
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_api
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_ksimd
 
@@ -76,6 +77,38 @@ echo "=== sweep smoke (CLI, parallel, machine-readable report) ==="
   --models ilp,doe --threads 4 --json build/sweep_smoke.json
 grep -q '"schema": "ksim.sweep"' build/sweep_smoke.json
 grep -q '"ok": true' build/sweep_smoke.json
+grep -q '"pareto"' build/sweep_smoke.json
+
+echo "=== kdse resume gate (kill mid-sweep, --resume == uninterrupted) ==="
+# A journaled geometry sweep is killed mid-flight, then resumed; the resumed
+# run's final JSON must be byte-identical to an uninterrupted run of the
+# same manifest (the ksim.sweep document is deliberately wall-clock-free).
+DSE_TMP=$(mktemp -d)
+trap 'rm -rf "$DSE_TMP"' EXIT
+cat > "$DSE_TMP/manifest.json" <<'EOF'
+{"workloads": ["dct"], "isas": ["RISC", "VLIW4"], "models": ["doe"],
+ "memories": [{"l1": {"sets": {"min": 8, "max": 64}}}], "threads": 2}
+EOF
+./build/src/driver/ksim sweep --manifest "$DSE_TMP/manifest.json" \
+  --json "$DSE_TMP/straight.json" >/dev/null 2>&1
+./build/src/driver/ksim sweep --manifest "$DSE_TMP/manifest.json" \
+  --journal "$DSE_TMP/swp" >/dev/null 2>&1 &
+DSE_PID=$!
+# Let a few points land in the journal, then kill the sweep mid-flight.
+for _ in $(seq 1 200); do
+  [ -s "$DSE_TMP/swp/journal.kswpj" ] && break; sleep 0.02
+done
+sleep 0.2
+kill -9 "$DSE_PID" 2>/dev/null || true
+wait "$DSE_PID" 2>/dev/null || true
+./build/src/driver/ksim sweep --resume "$DSE_TMP/swp" \
+  --json "$DSE_TMP/resumed.json" >"$DSE_TMP/resume.log" 2>&1
+diff -u "$DSE_TMP/straight.json" "$DSE_TMP/resumed.json" || {
+  echo "ci.sh: kdse resume gate: resumed sweep JSON differs from the" \
+       "uninterrupted run" >&2
+  exit 1
+}
+echo "kdse resume gate OK (resumed JSON byte-identical)"
 
 echo "=== clang-tidy (gating: WarningsAsErrors '*') ==="
 cmake --build build --target lint-cxx
@@ -83,7 +116,7 @@ cmake --build build --target lint-cxx
 echo "=== checkpoint equivalence gate (interrupt + resume == straight run) ==="
 KSIM=./build/src/driver/ksim
 CKPT_TMP=$(mktemp -d)
-trap 'rm -rf "$CKPT_TMP"' EXIT
+trap 'rm -rf "$DSE_TMP" "$CKPT_TMP"' EXIT
 # Two legs: under a DOE cycle model (per-operation hooks; the JIT never
 # dispatches) and bare model-none (the JIT's fast path; snapshots land inside
 # translated regions).  The jit stats line is deliberately NOT compared —
@@ -144,6 +177,9 @@ echo "=== perf smoke (machine-readable; simperf/jit trajectories checked in) ===
 ./build/bench/bench_ckpt --quick --json BENCH_ckpt.json
 ./build/bench/bench_sweep --quick --json BENCH_sweep.json
 ./build/bench/bench_ksimd --quick --json BENCH_ksimd.json
+# BENCH_dse.json is also tracked: DSE points/s, the journal's overhead and
+# the cost of a full --resume.
+./build/bench/bench_dse --quick --json BENCH_dse.json
 
 # kjit speedup gates: translated superblocks must beat the superblock
 # interpreter by >= 3x on cjpeg RISC and >= 2.5x on the VLIW instances
@@ -193,7 +229,7 @@ echo "=== ksimd soak (daemon under multi-tenant load; preemption equivalence) ==
 # configuration.  Eviction snapshots live only in daemon memory: any
 # *.kckpt file left on disk after the drain is a leak and fails the stage.
 SOAK_TMP=$(mktemp -d)
-trap 'rm -rf "$CKPT_TMP" "$SOAK_TMP"' EXIT
+trap 'rm -rf "$DSE_TMP" "$CKPT_TMP" "$SOAK_TMP"' EXIT
 $KSIM run --workload cjpeg --isa RISC --model doe --no-jit \
   --json "$SOAK_TMP/straight.json" >/dev/null 2>&1
 $KSIM serve --port 0 --workers 2 --slice 100000 \
@@ -235,5 +271,38 @@ if [ "$LEFTOVER" -ne 0 ]; then
   exit 1
 fi
 echo "ksimd soak OK (preempted, resumed, report byte-identical, no orphans)"
+
+echo "=== ksimd sweep fan-out smoke (sweep-as-a-service == local sweep) ==="
+# The same manifest run locally and as daemon fan-out (ksim sweep --port)
+# must produce byte-identical ksim.sweep documents: point jobs are the exact
+# Sessions run_sweep would build, and outcomes land at spec-order indices.
+FAN_TMP=$(mktemp -d)
+trap 'rm -rf "$DSE_TMP" "$CKPT_TMP" "$SOAK_TMP" "$FAN_TMP"' EXIT
+cat > "$FAN_TMP/manifest.json" <<'EOF'
+{"workloads": ["dct"], "isas": ["RISC", "VLIW2"], "models": ["ilp"],
+ "memories": [{"l1": {"sets": [8, 16]}}], "jit": false}
+EOF
+$KSIM sweep --manifest "$FAN_TMP/manifest.json" \
+  --json "$FAN_TMP/local.json" >/dev/null 2>&1
+$KSIM serve --port 0 --workers 2 \
+  --port-file "$FAN_TMP/port" >"$FAN_TMP/serve.log" 2>&1 &
+FAN_SERVE=$!
+for _ in $(seq 1 100); do [ -s "$FAN_TMP/port" ] && break; sleep 0.05; done
+FAN_PORT=$(cat "$FAN_TMP/port")
+$KSIM sweep --manifest "$FAN_TMP/manifest.json" --port "$FAN_PORT" \
+  --json "$FAN_TMP/remote.json" >"$FAN_TMP/remote.log" 2>&1 || {
+  echo "ci.sh: ksimd fan-out: remote sweep failed" >&2
+  cat "$FAN_TMP/remote.log" >&2
+  exit 1
+}
+$KSIM shutdown --port "$FAN_PORT" >/dev/null
+wait "$FAN_SERVE" || {
+  echo "ci.sh: ksimd fan-out: daemon exited nonzero" >&2; exit 1; }
+diff -u "$FAN_TMP/local.json" "$FAN_TMP/remote.json" || {
+  echo "ci.sh: ksimd fan-out: daemon sweep report differs from the local" \
+       "sweep of the same manifest" >&2
+  exit 1
+}
+echo "ksimd sweep fan-out OK (report byte-identical to local sweep)"
 
 echo "ci.sh: all stages passed"

@@ -1,9 +1,120 @@
 #include "api/report.h"
 
+#include "api/run_config.h"
+#include "support/error.h"
 #include "support/json.h"
 #include "support/strings.h"
 
 namespace ksim::api {
+
+void write_mem_geometry(support::JsonWriter& w, const std::string& key,
+                        const cycle::MemGeometry& g) {
+  w.begin_object(key);
+  w.field("line_size", g.line_size);
+  w.begin_object("l1");
+  w.field("sets", g.l1.sets);
+  w.field("ways", g.l1.ways);
+  w.field("hit_latency", g.l1.hit_latency);
+  w.end();
+  w.begin_object("l2");
+  w.field("sets", g.l2.sets);
+  w.field("ways", g.l2.ways);
+  w.field("hit_latency", g.l2.hit_latency);
+  w.end();
+  w.field("ports", g.ports);
+  w.field("miss_latency", g.miss_latency);
+  w.end();
+}
+
+namespace {
+
+uint32_t geometry_u32(const support::JsonValue& v, const std::string& what) {
+  if (!v.is_number() || v.number < 0 || v.number > 4294967295.0 ||
+      v.number != static_cast<double>(static_cast<uint64_t>(v.number)))
+    throw ConfigError(what + " expects a non-negative integer");
+  return static_cast<uint32_t>(v.number);
+}
+
+cycle::LevelGeometry level_from_json(const support::JsonValue& v,
+                                     cycle::LevelGeometry defaults,
+                                     const std::string& what) {
+  if (!v.is_object()) throw ConfigError(what + " expects an object");
+  cycle::LevelGeometry g = defaults;
+  for (const auto& [key, value] : v.entries) {
+    if (key == "sets") g.sets = geometry_u32(value, what + ".sets");
+    else if (key == "ways") g.ways = geometry_u32(value, what + ".ways");
+    else if (key == "hit_latency")
+      g.hit_latency = geometry_u32(value, what + ".hit_latency");
+    else
+      throw ConfigError(what + ": unknown key \"" + key + "\"");
+  }
+  return g;
+}
+
+} // namespace
+
+cycle::MemGeometry mem_geometry_from_json(const support::JsonValue& v,
+                                          const std::string& context) {
+  const std::string what = context + ".memory";
+  if (!v.is_object()) throw ConfigError(what + " expects an object");
+  cycle::MemGeometry g;
+  for (const auto& [key, value] : v.entries) {
+    if (key == "line_size") g.line_size = geometry_u32(value, what + ".line_size");
+    else if (key == "l1") g.l1 = level_from_json(value, g.l1, what + ".l1");
+    else if (key == "l2") g.l2 = level_from_json(value, g.l2, what + ".l2");
+    else if (key == "ports") g.ports = geometry_u32(value, what + ".ports");
+    else if (key == "miss_latency")
+      g.miss_latency = geometry_u32(value, what + ".miss_latency");
+    else
+      throw ConfigError(what + ": unknown key \"" + key + "\"");
+  }
+  return g;
+}
+
+bool apply_flat_mem_key(cycle::MemGeometry& g, const std::string& key,
+                        const support::JsonValue& value,
+                        const std::string& context) {
+  struct FlatKey {
+    const char* key;
+    const char* replacement;
+    uint32_t cycle::MemGeometry::* u32_field;
+    cycle::LevelGeometry cycle::MemGeometry::* level;
+    uint32_t cycle::LevelGeometry::* leaf;
+  };
+  static constexpr FlatKey kFlatKeys[] = {
+      {"mem_line_size", "memory.line_size", &cycle::MemGeometry::line_size,
+       nullptr, nullptr},
+      {"mem_l1_sets", "memory.l1.sets", nullptr, &cycle::MemGeometry::l1,
+       &cycle::LevelGeometry::sets},
+      {"mem_l1_ways", "memory.l1.ways", nullptr, &cycle::MemGeometry::l1,
+       &cycle::LevelGeometry::ways},
+      {"mem_l1_latency", "memory.l1.hit_latency", nullptr,
+       &cycle::MemGeometry::l1, &cycle::LevelGeometry::hit_latency},
+      {"mem_l2_sets", "memory.l2.sets", nullptr, &cycle::MemGeometry::l2,
+       &cycle::LevelGeometry::sets},
+      {"mem_l2_ways", "memory.l2.ways", nullptr, &cycle::MemGeometry::l2,
+       &cycle::LevelGeometry::ways},
+      {"mem_l2_latency", "memory.l2.hit_latency", nullptr,
+       &cycle::MemGeometry::l2, &cycle::LevelGeometry::hit_latency},
+      {"mem_ports", "memory.ports", &cycle::MemGeometry::ports, nullptr,
+       nullptr},
+      {"mem_miss_latency", "memory.miss_latency",
+       &cycle::MemGeometry::miss_latency, nullptr, nullptr},
+  };
+  for (const FlatKey& flat : kFlatKeys) {
+    if (key != flat.key) continue;
+    warn_deprecated("flat memory key \"" + std::string(flat.key) + "\"",
+                    std::string("\"") + flat.replacement + "\"");
+    const uint32_t parsed =
+        geometry_u32(value, context + ": \"" + key + "\"");
+    if (flat.u32_field != nullptr)
+      g.*(flat.u32_field) = parsed;
+    else
+      g.*(flat.level).*(flat.leaf) = parsed;
+    return true;
+  }
+  return false;
+}
 
 std::string render_report_json(const Report& r) {
   support::JsonWriter w;
@@ -34,6 +145,7 @@ std::string render_report_json(const Report& r) {
     w.field("cycles", r.cycles);
     w.field("ops_per_cycle", r.ops_per_cycle);
   }
+  if (r.has_memory) write_mem_geometry(w, "memory", r.memory);
   if (r.has_predictor) {
     w.begin_object("branch_predictor");
     w.field("kind", r.bp_kind);

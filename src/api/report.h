@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cycle/mem_hierarchy.h"
 #include "sim/simulator.h"
 #include "support/json.h"
 
@@ -49,6 +50,9 @@ struct Report {
   uint64_t bp_mispredictions = 0;
   int bp_penalty = 0;
 
+  bool has_memory = false; ///< a memory hierarchy was attached (aie/doe/rtl)
+  cycle::MemGeometry memory;
+
   uint64_t output_bytes = 0; ///< simulated-stdout size
 };
 
@@ -58,13 +62,39 @@ struct Report {
 /// libc_calls, blocks_formed, block_dispatches, block_chain_hits,
 /// jit_blocks_translated, jit_dispatches, jit_side_exits, jit_bailouts,
 /// jit_cache_flushes, output_bytes, then the optional
-/// "cycles"/"ops_per_cycle" pair (cycle model attached) and the optional
-/// "branch_predictor" object.  The jit_* keys were appended in
-/// order-preserving, additive changes (same schema_version); they count this
-/// process's translation activity only.
+/// "cycles"/"ops_per_cycle" pair (cycle model attached), the optional
+/// "memory" geometry object (memory hierarchy attached — schema_version 3)
+/// and the optional "branch_predictor" object.  The jit_* keys were appended
+/// in order-preserving, additive changes (same schema_version); they count
+/// this process's translation activity only.
 std::string render_report_json(const Report& r);
 
 /// The classic `[ksim] ...` stderr summary lines for the same report.
 std::string render_report_text(const Report& r);
+
+/// Writes `"<key>": {...}` for a memory geometry with the fixed key order
+/// line_size, l1{sets,ways,hit_latency}, l2{sets,ways,hit_latency}, ports,
+/// miss_latency — shared by ksim.run, ksim.sweep, checkpoints' JSON echoes
+/// and the ksimd submit config.
+void write_mem_geometry(support::JsonWriter& w, const std::string& key,
+                        const cycle::MemGeometry& g);
+
+/// Parses the nested `"memory"` object written by write_mem_geometry.
+/// Missing keys keep their defaults; unknown keys and non-numeric values
+/// throw ksim::ConfigError.  `context` prefixes diagnostics ("manifest",
+/// "submit config").
+cycle::MemGeometry mem_geometry_from_json(const support::JsonValue& v,
+                                          const std::string& context);
+
+/// Applies one deprecated flat memory key ("mem_line_size", "mem_l1_sets",
+/// "mem_l1_ways", "mem_l1_latency", "mem_l2_sets", "mem_l2_ways",
+/// "mem_l2_latency", "mem_ports", "mem_miss_latency") to a geometry, with a
+/// one-per-process deprecation warning naming the nested replacement.
+/// Returns false when `key` is not a flat memory key; throws
+/// ksim::ConfigError when the value is not a non-negative integer.
+/// `context` prefixes diagnostics.
+bool apply_flat_mem_key(cycle::MemGeometry& g, const std::string& key,
+                        const support::JsonValue& value,
+                        const std::string& context);
 
 } // namespace ksim::api

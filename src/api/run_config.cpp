@@ -32,6 +32,7 @@ void RunConfig::validate() const {
     (void)cycle::make_predictor(bp_kind);
   }
   check(bp_penalty >= 0, "--bp-penalty expects a cycle count");
+  memory.validate(); // throws ConfigError (exit-2) on impossible geometries
   if (ckpt_every != 0 || !ckpt_dir.empty()) {
     check(ckpt_every != 0 && !ckpt_dir.empty(),
           "--checkpoint-every and --ckpt-dir must be used together");
@@ -76,6 +77,7 @@ ckpt::RunRecord RunConfig::run_record(const std::string& label) const {
   run.use_jit = use_jit ? 1 : 0;
   run.collect_op_stats = collect_op_stats ? 1 : 0;
   run.max_instructions = max_instructions;
+  run.memory = memory;
   return run;
 }
 
@@ -91,6 +93,7 @@ RunConfig RunConfig::from_run_record(const ckpt::RunRecord& run) {
   cfg.use_jit = run.use_jit != 0;
   cfg.collect_op_stats = run.collect_op_stats != 0;
   cfg.max_instructions = run.max_instructions;
+  cfg.memory = run.memory;
   return cfg;
 }
 
@@ -115,18 +118,17 @@ std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg) {
   return applied;
 }
 
-void warn_env_overrides(const std::vector<EnvOverride>& overrides) {
-  // Each variable warns at most once per process: sweeps and embedders
-  // construct many Sessions, and repeating the same deprecation line for
-  // every one of them is pure noise.
+void warn_deprecated(const std::string& what, const std::string& replacement) {
   static std::mutex mutex;
   static std::set<std::string> warned;
   const std::lock_guard<std::mutex> lock(mutex);
-  for (const EnvOverride& o : overrides) {
-    if (!warned.insert(o.var).second) continue;
-    std::cerr << strf("[ksim] warning: %s is deprecated; use %s instead\n",
-                      o.var.c_str(), o.replacement.c_str());
-  }
+  if (!warned.insert(what).second) return;
+  std::cerr << strf("[ksim] warning: %s is deprecated; use %s instead\n",
+                    what.c_str(), replacement.c_str());
+}
+
+void warn_env_overrides(const std::vector<EnvOverride>& overrides) {
+  for (const EnvOverride& o : overrides) warn_deprecated(o.var, o.replacement);
 }
 
 } // namespace ksim::api

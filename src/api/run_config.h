@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.h"
+#include "cycle/mem_hierarchy.h"
 #include "elf/elf.h"
 #include "sim/simulator.h"
 
@@ -33,6 +34,8 @@ struct RunConfig {
   std::string model = "none";      ///< none | ilp | aie | doe | rtl
   std::string bp_kind;             ///< predictor for AIE/DOE ("" = perfect)
   int bp_penalty = 3;              ///< mispredict refill penalty (cycles)
+  cycle::MemGeometry memory;       ///< kdse memory geometry (defaults = paper
+                                   ///< §VII hierarchy; ILP uses l1.hit_latency)
 
   // -- engine switches (paper §V-A + superblock engine + kjit) --------------
   bool use_decode_cache = true;
@@ -97,5 +100,11 @@ std::vector<EnvOverride> apply_env_overrides(RunConfig& cfg);
 
 /// Writes the standard one-line deprecation warning per override to stderr.
 void warn_env_overrides(const std::vector<EnvOverride>& overrides);
+
+/// Writes the standard `[ksim] warning: X is deprecated; use Y instead` line
+/// for any deprecated spelling (env knob, flat manifest key, legacy flag),
+/// at most once per process per `what` — sweeps parse many manifests and
+/// embedders construct many configs; repeating the same line is pure noise.
+void warn_deprecated(const std::string& what, const std::string& replacement);
 
 } // namespace ksim::api

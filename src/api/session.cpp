@@ -124,12 +124,13 @@ void Session::wire(const elf::ElfFile& exe) {
   }
 
   if (cfg_.model == "ilp") {
-    model_ = std::make_unique<cycle::IlpModel>();
+    // ILP assumes ideal memory: every access completes in one L1 hit.
+    model_ = std::make_unique<cycle::IlpModel>(cfg_.memory.l1.hit_latency);
   } else if (cfg_.model == "aie") {
-    memory_ = std::make_unique<cycle::MemoryHierarchy>();
+    memory_ = std::make_unique<cycle::MemoryHierarchy>(cfg_.memory.hierarchy_config());
     model_ = std::make_unique<cycle::AieModel>(memory_.get());
   } else if (cfg_.model == "doe" || cfg_.model == "rtl") {
-    memory_ = std::make_unique<cycle::MemoryHierarchy>();
+    memory_ = std::make_unique<cycle::MemoryHierarchy>(cfg_.memory.hierarchy_config());
     model_ = std::make_unique<cycle::DoeModel>(memory_.get());
   } else {
     check(cfg_.model == "none", "unknown cycle model " + cfg_.model);
@@ -279,6 +280,10 @@ Report Session::report(sim::StopReason reason) const {
     r.has_cycles = true;
     r.cycles = model_->cycles();
     r.ops_per_cycle = model_->ops_per_cycle();
+  }
+  if (memory_ != nullptr) {
+    r.has_memory = true;
+    r.memory = cfg_.memory;
   }
   if (predictor_ != nullptr) {
     r.has_predictor = true;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "analysis/lint.h"
@@ -18,16 +19,191 @@ namespace ksim::api {
 
 namespace {
 
+/// Hard ceiling on the expanded memory axis: a ranged generator that
+/// cross-products into more geometries than this is almost certainly a
+/// manifest mistake, and every geometry is simulated per grid cell.
+constexpr size_t kMaxGeometries = 4096;
+
 bool sweepable_model(const std::string& model) {
   return model == "none" || model == "ilp" || model == "aie" || model == "doe";
 }
 
+/// One leaf of a geometry spec: a number, an explicit array, or a
+/// {"min","max"} power-of-two-doubling range.
+std::vector<uint32_t> leaf_values(const support::JsonValue& v,
+                                  const std::string& what) {
+  const auto one = [&](const support::JsonValue& n) -> uint32_t {
+    if (!n.is_number() || n.number < 0 || n.number > 4294967295.0 ||
+        n.number != static_cast<double>(static_cast<uint64_t>(n.number)))
+      throw ConfigError(what + " expects a non-negative integer");
+    return static_cast<uint32_t>(n.number);
+  };
+  if (v.is_number()) return {one(v)};
+  if (v.is_array()) {
+    if (v.array.empty()) throw ConfigError(what + ": empty value list");
+    std::vector<uint32_t> out;
+    out.reserve(v.array.size());
+    for (const support::JsonValue& e : v.array) out.push_back(one(e));
+    return out;
+  }
+  if (v.is_object()) {
+    for (const auto& [key, _] : v.entries)
+      if (key != "min" && key != "max")
+        throw ConfigError(what + ": range takes only \"min\" and \"max\" (got \"" +
+                          key + "\")");
+    const support::JsonValue* min = v.find("min");
+    const support::JsonValue* max = v.find("max");
+    if (min == nullptr || max == nullptr)
+      throw ConfigError(what + ": range needs both \"min\" and \"max\"");
+    const uint32_t lo = one(*min);
+    const uint32_t hi = one(*max);
+    if (lo < 1 || hi < lo)
+      throw ConfigError(what + ": range expects 1 <= min <= max");
+    std::vector<uint32_t> out;
+    for (uint64_t x = lo; x <= hi; x *= 2) // doubling generator
+      out.push_back(static_cast<uint32_t>(x));
+    return out;
+  }
+  throw ConfigError(what + " expects a number, an array, or a min/max range");
+}
+
+/// Per-leaf value lists of one geometry spec entry, defaults filled in.
+struct GeometryLists {
+  std::vector<uint32_t> line_size, l1_sets, l1_ways, l1_lat;
+  std::vector<uint32_t> l2_sets, l2_ways, l2_lat, ports, miss;
+};
+
+GeometryLists parse_geometry_entry(const support::JsonValue& entry,
+                                   const std::string& what) {
+  if (!entry.is_object()) throw ConfigError(what + " expects an object");
+  const cycle::MemGeometry d; // defaults for absent leaves
+  GeometryLists g{{d.line_size}, {d.l1.sets},        {d.l1.ways},
+                  {d.l1.hit_latency}, {d.l2.sets},   {d.l2.ways},
+                  {d.l2.hit_latency}, {d.ports},     {d.miss_latency}};
+  const auto level = [&](const support::JsonValue& v, const std::string& name,
+                         std::vector<uint32_t>& sets, std::vector<uint32_t>& ways,
+                         std::vector<uint32_t>& lat) {
+    if (!v.is_object()) throw ConfigError(name + " expects an object");
+    for (const auto& [key, value] : v.entries) {
+      if (key == "sets") sets = leaf_values(value, name + ".sets");
+      else if (key == "ways") ways = leaf_values(value, name + ".ways");
+      else if (key == "hit_latency")
+        lat = leaf_values(value, name + ".hit_latency");
+      else
+        throw ConfigError(name + ": unknown key \"" + key + "\"");
+    }
+  };
+  for (const auto& [key, value] : entry.entries) {
+    if (key == "line_size") g.line_size = leaf_values(value, what + ".line_size");
+    else if (key == "l1") level(value, what + ".l1", g.l1_sets, g.l1_ways, g.l1_lat);
+    else if (key == "l2") level(value, what + ".l2", g.l2_sets, g.l2_ways, g.l2_lat);
+    else if (key == "ports") g.ports = leaf_values(value, what + ".ports");
+    else if (key == "miss_latency")
+      g.miss = leaf_values(value, what + ".miss_latency");
+    else
+      throw ConfigError(what + ": unknown key \"" + key + "\"");
+  }
+  return g;
+}
+
+/// Writes the geometry fields into the currently open object, in the
+/// canonical order shared with write_mem_geometry().
+void geometry_fields(support::JsonWriter& w, const cycle::MemGeometry& g) {
+  w.field("line_size", g.line_size);
+  w.begin_object("l1");
+  w.field("sets", g.l1.sets);
+  w.field("ways", g.l1.ways);
+  w.field("hit_latency", g.l1.hit_latency);
+  w.end();
+  w.begin_object("l2");
+  w.field("sets", g.l2.sets);
+  w.field("ways", g.l2.ways);
+  w.field("hit_latency", g.l2.hit_latency);
+  w.end();
+  w.field("ports", g.ports);
+  w.field("miss_latency", g.miss_latency);
+}
+
+/// The journal record for a finished point (see sweep_journal.h).
+SweepOutcome outcome_of(const SweepPoint& p, size_t index) {
+  SweepOutcome o;
+  o.point_index = index;
+  o.ok = p.ok;
+  o.error = p.error;
+  o.stop_reason = p.report.stop_reason;
+  o.exit_code = p.report.exit_code;
+  o.instructions = p.report.stats.instructions;
+  o.operations = p.report.stats.operations;
+  o.has_cycles = p.report.has_cycles;
+  o.cycles = p.report.cycles;
+  o.ops_per_cycle = p.report.ops_per_cycle;
+  o.output_bytes = p.report.output_bytes;
+  return o;
+}
+
+void apply_outcome(const SweepOutcome& o, SweepPoint& p) {
+  p.ok = o.ok;
+  p.error = o.error;
+  p.report.stop_reason = o.stop_reason;
+  p.report.exit_code = o.exit_code;
+  p.report.stats.instructions = o.instructions;
+  p.report.stats.operations = o.operations;
+  p.report.has_cycles = o.has_cycles;
+  p.report.cycles = o.cycles;
+  p.report.ops_per_cycle = o.ops_per_cycle;
+  p.report.output_bytes = o.output_bytes;
+}
+
 } // namespace
+
+std::vector<cycle::MemGeometry> parse_geometry_axis(
+    const support::JsonValue& memories, const std::string& origin) {
+  if (!memories.is_array())
+    throw ConfigError(origin + ": \"memories\" must be an array");
+  if (memories.array.empty())
+    throw ConfigError(origin + ": \"memories\" must not be empty");
+  std::vector<cycle::MemGeometry> out;
+  std::set<std::string> seen;
+  for (size_t e = 0; e < memories.array.size(); ++e) {
+    const std::string what = strf("%s: memories[%zu]", origin.c_str(), e);
+    const GeometryLists lists = parse_geometry_entry(memories.array[e], what);
+    // Cross product in fixed leaf order, so the expansion order — and with
+    // it every point index — is deterministic.
+    for (uint32_t line : lists.line_size)
+      for (uint32_t s1 : lists.l1_sets)
+        for (uint32_t w1 : lists.l1_ways)
+          for (uint32_t h1 : lists.l1_lat)
+            for (uint32_t s2 : lists.l2_sets)
+              for (uint32_t w2 : lists.l2_ways)
+                for (uint32_t h2 : lists.l2_lat)
+                  for (uint32_t p : lists.ports)
+                    for (uint32_t m : lists.miss) {
+                      cycle::MemGeometry g;
+                      g.line_size = line;
+                      g.l1 = {s1, w1, h1};
+                      g.l2 = {s2, w2, h2};
+                      g.ports = p;
+                      g.miss_latency = m;
+                      g.validate();
+                      if (!seen.insert(g.id()).second)
+                        throw ConfigError(what + ": duplicate geometry " + g.id());
+                      if (out.size() >= kMaxGeometries)
+                        throw ConfigError(
+                            strf("%s: memory axis exceeds %zu geometries",
+                                 origin.c_str(), kMaxGeometries));
+                      out.push_back(g);
+                    }
+  }
+  return out;
+}
 
 void SweepSpec::validate() const {
   check(!workloads.empty(), "sweep: no workloads given");
   check(!isas.empty(), "sweep: no ISA configurations given");
   check(!models.empty(), "sweep: no cycle models given");
+  check(!geometries.empty(), "sweep: no memory geometries given");
+  check(geometries.size() <= kMaxGeometries,
+        strf("sweep: memory axis exceeds %zu geometries", kMaxGeometries));
   check(threads >= 1, "sweep: --threads expects a positive count");
   for (const std::string& w : workloads)
     (void)workloads::by_name(w); // throws with the unknown name
@@ -37,6 +213,11 @@ void SweepSpec::validate() const {
     check(sweepable_model(m),
           "sweep: unknown or unsupported cycle model " + m +
               " (rtl records full traces and is excluded from sweeps)");
+  std::set<std::string> ids;
+  for (const cycle::MemGeometry& g : geometries) {
+    g.validate(); // throws ConfigError (exit 2)
+    check(ids.insert(g.id()).second, "sweep: duplicate memory geometry " + g.id());
+  }
   check(base.ckpt_every == 0 && base.ckpt_dir.empty(),
         "sweep: checkpointing is per-run; use ksim run --checkpoint-every");
   check(base.trace_file.empty(), "sweep: --trace is per-run; use ksim run");
@@ -47,44 +228,134 @@ SweepSpec SweepSpec::from_manifest(const std::string& json_text,
   const support::JsonValue doc = support::parse_json(json_text, origin);
   check(doc.is_object(), origin + ": manifest must be a JSON object");
   SweepSpec spec;
-  const auto strings = [&](const char* key) {
+  spec.geometries.clear();
+
+  const auto strings = [&](const support::JsonValue& v, const char* key) {
     std::vector<std::string> out;
-    const support::JsonValue& v = doc.at(key);
     check(v.is_array(), origin + ": \"" + key + "\" must be an array");
     for (const support::JsonValue& e : v.array)
       out.push_back(e.as_string(std::string(key) + " entry"));
     return out;
   };
-  spec.workloads = strings("workloads");
-  spec.isas = strings("isas");
-  spec.models = strings("models");
-  if (const support::JsonValue* v = doc.find("threads"); v != nullptr)
-    spec.threads = static_cast<int>(v->as_int("threads"));
-  if (const support::JsonValue* v = doc.find("seed"); v != nullptr)
-    spec.base.seed = static_cast<uint32_t>(v->as_int("seed"));
-  if (const support::JsonValue* v = doc.find("max_instructions"); v != nullptr)
-    spec.base.max_instructions = static_cast<uint64_t>(v->as_int("max_instructions"));
-  if (const support::JsonValue* v = doc.find("require_lint_clean"); v != nullptr)
-    spec.require_lint_clean = v->as_bool("require_lint_clean");
+
+  cycle::MemGeometry base_geometry;
+  bool has_memories = false;
+  bool has_base_geometry = false;
+  bool has_workloads = false, has_isas = false, has_models = false;
+
+  for (const auto& [key, value] : doc.entries) {
+    if (key == "workloads") {
+      spec.workloads = strings(value, "workloads");
+      has_workloads = true;
+    } else if (key == "isas") {
+      spec.isas = strings(value, "isas");
+      has_isas = true;
+    } else if (key == "models") {
+      spec.models = strings(value, "models");
+      has_models = true;
+    } else if (key == "memories") {
+      spec.geometries = parse_geometry_axis(value, origin);
+      has_memories = true;
+    } else if (key == "memory") {
+      base_geometry = mem_geometry_from_json(value, origin);
+      has_base_geometry = true;
+    } else if (key == "threads") {
+      spec.threads = static_cast<int>(value.as_int("threads"));
+    } else if (key == "seed") {
+      spec.base.seed = static_cast<uint32_t>(value.as_int("seed"));
+    } else if (key == "max_instructions") {
+      spec.base.max_instructions =
+          static_cast<uint64_t>(value.as_int("max_instructions"));
+    } else if (key == "require_lint_clean") {
+      spec.require_lint_clean = value.as_bool("require_lint_clean");
+    } else if (key == "bp") {
+      spec.base.bp_kind = value.as_string("bp");
+    } else if (key == "bp_penalty") {
+      spec.base.bp_penalty = static_cast<int>(value.as_int("bp_penalty"));
+    } else if (key == "decode_cache") {
+      spec.base.use_decode_cache = value.as_bool("decode_cache");
+    } else if (key == "prediction") {
+      spec.base.use_prediction = value.as_bool("prediction");
+    } else if (key == "superblocks") {
+      spec.base.use_superblocks = value.as_bool("superblocks");
+    } else if (key == "jit") {
+      spec.base.use_jit = value.as_bool("jit");
+    } else if (key == "opstats") {
+      spec.base.collect_op_stats = value.as_bool("opstats");
+    } else if (apply_flat_mem_key(base_geometry, key, value, origin)) {
+      has_base_geometry = true;
+    } else {
+      throw Error(origin + ": unknown manifest key \"" + key + "\"");
+    }
+  }
+  check(has_workloads, origin + ": missing \"workloads\"");
+  check(has_isas, origin + ": missing \"isas\"");
+  check(has_models, origin + ": missing \"models\"");
+  check(!(has_memories && has_base_geometry),
+        origin + ": \"memories\" is mutually exclusive with \"memory\" and "
+                 "the flat mem_* keys");
+  if (!has_memories) {
+    spec.base.memory = base_geometry;
+    spec.geometries = {base_geometry};
+  }
   return spec;
+}
+
+std::string render_sweep_manifest(const SweepSpec& spec) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.begin_array("workloads");
+  for (const std::string& s : spec.workloads) w.element(s);
+  w.end();
+  w.begin_array("isas");
+  for (const std::string& s : spec.isas) w.element(s);
+  w.end();
+  w.begin_array("models");
+  for (const std::string& s : spec.models) w.element(s);
+  w.end();
+  w.begin_array("memories");
+  for (const cycle::MemGeometry& g : spec.geometries) {
+    w.begin_object();
+    geometry_fields(w, g);
+    w.end();
+  }
+  w.end();
+  w.field("threads", spec.threads);
+  w.field("seed", spec.base.seed);
+  w.field("max_instructions", spec.base.max_instructions);
+  w.field("require_lint_clean", spec.require_lint_clean);
+  w.field("bp", spec.base.bp_kind);
+  w.field("bp_penalty", spec.base.bp_penalty);
+  w.field("decode_cache", spec.base.use_decode_cache);
+  w.field("prediction", spec.base.use_prediction);
+  w.field("superblocks", spec.base.use_superblocks);
+  w.field("jit", spec.base.use_jit);
+  w.field("opstats", spec.base.collect_op_stats);
+  w.end();
+  return w.str();
 }
 
 std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
   std::vector<SweepPoint> points;
-  points.reserve(spec.workloads.size() * spec.isas.size() * spec.models.size());
+  points.reserve(spec.workloads.size() * spec.isas.size() *
+                 spec.models.size() * spec.geometries.size());
   for (const std::string& w : spec.workloads)
     for (const std::string& i : spec.isas)
-      for (const std::string& m : spec.models) {
-        SweepPoint p;
-        p.workload = w;
-        p.isa = i;
-        p.model = m;
-        points.push_back(std::move(p));
-      }
+      for (const std::string& m : spec.models)
+        for (size_t g = 0; g < spec.geometries.size(); ++g) {
+          SweepPoint p;
+          p.workload = w;
+          p.isa = i;
+          p.model = m;
+          p.memory = spec.geometries[g];
+          p.memory_index = g;
+          points.push_back(std::move(p));
+        }
   return points;
 }
 
-SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress) {
+SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress,
+                      SweepJournal* journal) {
   spec.validate();
   // Touch every lazily initialized immutable singleton (ISA set, workload
   // table) before any worker starts, so the parallel phase is read-only.
@@ -96,106 +367,125 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress) {
   SweepResult result;
   result.points = expand_points(spec);
   const size_t total = result.points.size();
+  const size_t points_per_image = spec.models.size() * spec.geometries.size();
 
-  // Phase 1 (serial): build one immutable image per (workload, ISA) pair.
-  // The compiler/assembler/linker are not exercised concurrently; every
-  // session of the parallel phase only reads these.
-  std::vector<ProgramImage> images;
-  images.reserve(spec.workloads.size() * spec.isas.size());
-  for (const std::string& w : spec.workloads)
-    for (const std::string& i : spec.isas) {
-      RunConfig cfg = spec.base;
-      cfg.workload = w;
-      cfg.isa = i;
-      images.push_back(resolve_input(cfg));
-    }
-  const auto image_of = [&](size_t point_index) -> const ProgramImage& {
-    // Points are model-minor: consecutive runs of models.size() points share
-    // one image.
-    return images[point_index / spec.models.size()];
-  };
-
-  // Optional lint gate, still serial: unclean images disqualify their points
-  // up front (one lint per image, not per point).  The diagnostic carries the
-  // finding tally so sweep JSON/table consumers can see why the point is out.
-  std::vector<std::string> lint_errors(images.size());
-  if (spec.require_lint_clean) {
-    for (size_t i = 0; i < images.size(); ++i) {
-      const analysis::LintResult lint =
-          analysis::run_lint(images[i].exe, isa::kisa(), {});
-      if (!lint.clean())
-        lint_errors[i] = strf("lint: %s is not lint-clean (%d error%s, "
-                              "%d warning%s); point gated by require_lint_clean",
-                              images[i].label.c_str(), lint.errors,
-                              lint.errors == 1 ? "" : "s", lint.warnings,
-                              lint.warnings == 1 ? "" : "s");
+  // Journal pre-fill: points recorded by an earlier (killed) run of the same
+  // manifest are completed up front and skipped by the workers.
+  std::vector<char> prefilled(total, 0);
+  if (journal != nullptr) {
+    for (const SweepOutcome& o : journal->completed()) {
+      check(o.point_index < total,
+            "sweep journal: point index out of range (journal from a "
+            "different manifest?)");
+      if (prefilled[o.point_index] != 0) continue; // duplicate append
+      apply_outcome(o, result.points[o.point_index]);
+      prefilled[o.point_index] = 1;
+      ++result.resumed;
     }
   }
 
-  // Phase 2 (parallel): independent sessions over shared immutable images.
-  // The queue is a single atomic cursor: each idle worker claims ("steals")
-  // the next pending point, so imbalance between cheap and expensive points
-  // only ever idles workers at the very end of the sweep.
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
-  std::mutex progress_mutex;
-  const auto worker = [&]() {
-    while (true) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
-      SweepPoint& p = result.points[i];
-      const auto p0 = std::chrono::steady_clock::now();
-      if (const std::string& gate = lint_errors[i / spec.models.size()];
-          !gate.empty()) {
-        p.error = gate;
+  if (result.resumed < total) {
+    // Phase 1 (serial): build one immutable image per (workload, ISA) pair.
+    // The compiler/assembler/linker are not exercised concurrently; every
+    // session of the parallel phase only reads these.
+    std::vector<ProgramImage> images;
+    images.reserve(spec.workloads.size() * spec.isas.size());
+    for (const std::string& w : spec.workloads)
+      for (const std::string& i : spec.isas) {
+        RunConfig cfg = spec.base;
+        cfg.workload = w;
+        cfg.isa = i;
+        images.push_back(resolve_input(cfg));
+      }
+    const auto image_of = [&](size_t point_index) -> const ProgramImage& {
+      // Points are geometry-minor, model-next: consecutive runs of
+      // models × geometries points share one image.
+      return images[point_index / points_per_image];
+    };
+
+    // Optional lint gate, still serial: unclean images disqualify their
+    // points up front (one lint per image, not per point).  The diagnostic
+    // carries the finding tally so sweep JSON/table consumers can see why
+    // the point is out.
+    std::vector<std::string> lint_errors(images.size());
+    if (spec.require_lint_clean) {
+      for (size_t i = 0; i < images.size(); ++i) {
+        const analysis::LintResult lint =
+            analysis::run_lint(images[i].exe, isa::kisa(), {});
+        if (!lint.clean())
+          lint_errors[i] = strf("lint: %s is not lint-clean (%d error%s, "
+                                "%d warning%s); point gated by require_lint_clean",
+                                images[i].label.c_str(), lint.errors,
+                                lint.errors == 1 ? "" : "s", lint.warnings,
+                                lint.warnings == 1 ? "" : "s");
+      }
+    }
+
+    // Phase 2 (parallel): independent sessions over shared immutable images.
+    // The queue is a single atomic cursor: each idle worker claims ("steals")
+    // the next pending point, so imbalance between cheap and expensive points
+    // only ever idles workers at the very end of the sweep.
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{result.resumed};
+    std::mutex progress_mutex;
+    const auto worker = [&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        if (prefilled[i] != 0) continue; // journal already has this point
+        SweepPoint& p = result.points[i];
+        const auto p0 = std::chrono::steady_clock::now();
+        if (const std::string& gate = lint_errors[i / points_per_image];
+            !gate.empty()) {
+          p.error = gate;
+        } else {
+          try {
+            RunConfig cfg = spec.base;
+            cfg.workload = p.workload;
+            cfg.isa = p.isa;
+            cfg.model = p.model;
+            cfg.memory = p.memory;
+            cfg.echo_output = false; // simulated stdout stays in the session
+            cfg.profile = false;
+            Session session(cfg, image_of(i));
+            const sim::StopReason reason = session.run();
+            p.report = session.report(reason);
+            if (reason == sim::StopReason::Trap ||
+                reason == sim::StopReason::DecodeError) {
+              p.error = std::string(sim::to_string(reason)) + ":\n" +
+                        session.error_report();
+            } else {
+              p.ok = true;
+            }
+          } catch (const Error& e) {
+            p.error = e.what();
+          }
+          p.wall_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            p0)
+                  .count();
+        }
+        if (journal != nullptr) journal->append(outcome_of(p, i));
         const size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           progress(p, finished, total);
         }
-        continue;
       }
-      try {
-        RunConfig cfg = spec.base;
-        cfg.workload = p.workload;
-        cfg.isa = p.isa;
-        cfg.model = p.model;
-        cfg.echo_output = false; // simulated stdout stays in the session
-        cfg.profile = false;
-        Session session(cfg, image_of(i));
-        const sim::StopReason reason = session.run();
-        p.report = session.report(reason);
-        if (reason == sim::StopReason::Trap ||
-            reason == sim::StopReason::DecodeError) {
-          p.error = std::string(sim::to_string(reason)) + ":\n" +
-                    session.error_report();
-        } else {
-          p.ok = true;
-        }
-      } catch (const Error& e) {
-        p.error = e.what();
-      }
-      p.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
-              .count();
-      const size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        progress(p, finished, total);
-      }
-    }
-  };
+    };
 
-  const int workers =
-      static_cast<int>(std::min<size_t>(static_cast<size_t>(spec.threads), total));
-  result.threads = workers < 1 ? 1 : workers;
-  if (result.threads == 1) {
-    worker(); // run on the calling thread; no pool, no locks
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(result.threads));
-    for (int t = 0; t < result.threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    const int workers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(spec.threads),
+                         total - result.resumed));
+    result.threads = workers < 1 ? 1 : workers;
+    if (result.threads == 1) {
+      worker(); // run on the calling thread; no pool, no locks
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(result.threads));
+      for (int t = 0; t < result.threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
   }
 
   for (const SweepPoint& p : result.points)
@@ -205,16 +495,39 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress) {
   return result;
 }
 
+std::vector<size_t> pareto_front(
+    const std::vector<std::pair<uint64_t, uint64_t>>& points) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i) continue;
+      // j strictly dominates i: no worse on both axes, better on at least
+      // one.  Exact ties dominate nobody, so tied optima all survive.
+      dominated = points[j].first <= points[i].first &&
+                  points[j].second <= points[i].second &&
+                  (points[j].first < points[i].first ||
+                   points[j].second < points[i].second);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  std::sort(front.begin(), front.end(), [&](size_t a, size_t b) {
+    if (points[a].second != points[b].second)
+      return points[a].second < points[b].second; // area ascending
+    if (points[a].first != points[b].first)
+      return points[a].first < points[b].first;   // then cycles
+    return a < b;
+  });
+  return front;
+}
+
 std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result) {
   support::JsonWriter w;
   w.begin_object();
   w.field("schema", "ksim.sweep");
   w.field("schema_version", kSchemaVersion);
-  w.field("threads", result.threads);
   w.field("points_total", static_cast<uint64_t>(result.points.size()));
   w.field("points_failed", static_cast<uint64_t>(result.failed));
-  w.field("wall_seconds", result.wall_seconds);
-  w.field("points_per_second", result.points_per_second());
   w.begin_array("workloads");
   for (const std::string& s : spec.workloads) w.element(s);
   w.end();
@@ -224,12 +537,22 @@ std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result) 
   w.begin_array("models");
   for (const std::string& s : spec.models) w.element(s);
   w.end();
+  w.begin_array("memories");
+  for (const cycle::MemGeometry& g : spec.geometries) {
+    w.begin_object();
+    w.field("id", g.id());
+    geometry_fields(w, g);
+    w.field("area_proxy", g.area_proxy());
+    w.end();
+  }
+  w.end();
   w.begin_array("points");
   for (const SweepPoint& p : result.points) {
     w.begin_object();
     w.field("workload", p.workload);
     w.field("isa", p.isa);
     w.field("model", p.model);
+    w.field("memory", p.memory.id());
     w.field("ok", p.ok);
     if (p.ok) {
       w.field("stop_reason", p.report.stop_reason);
@@ -239,14 +562,51 @@ std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result) 
       if (p.report.has_cycles) {
         w.field("cycles", p.report.cycles);
         w.field("ops_per_cycle", p.report.ops_per_cycle);
+        w.field("area_proxy", p.memory.area_proxy());
       }
       w.field("output_bytes", p.report.output_bytes);
     } else {
       w.field("error", p.error);
     }
-    w.field("wall_seconds", p.wall_seconds);
     w.end();
   }
+  w.end();
+  // One Pareto front (cycles vs. area proxy, both minimized) per
+  // (workload, ISA, model) group that produced at least one cycle-counted
+  // point — the kdse design-space answer: which geometries are worth their
+  // silicon for this application.
+  w.begin_array("pareto");
+  const size_t n_geoms = spec.geometries.size();
+  for (size_t wl = 0; wl < spec.workloads.size(); ++wl)
+    for (size_t is = 0; is < spec.isas.size(); ++is)
+      for (size_t mo = 0; mo < spec.models.size(); ++mo) {
+        const size_t base =
+            ((wl * spec.isas.size() + is) * spec.models.size() + mo) * n_geoms;
+        std::vector<std::pair<uint64_t, uint64_t>> pairs;
+        std::vector<size_t> indices;
+        for (size_t g = 0; g < n_geoms; ++g) {
+          const SweepPoint& p = result.points[base + g];
+          if (!p.ok || !p.report.has_cycles) continue;
+          pairs.emplace_back(p.report.cycles, p.memory.area_proxy());
+          indices.push_back(base + g);
+        }
+        if (pairs.empty()) continue;
+        w.begin_object();
+        w.field("workload", spec.workloads[wl]);
+        w.field("isa", spec.isas[is]);
+        w.field("model", spec.models[mo]);
+        w.begin_array("points");
+        for (size_t f : pareto_front(pairs)) {
+          const SweepPoint& p = result.points[indices[f]];
+          w.begin_object();
+          w.field("memory", p.memory.id());
+          w.field("cycles", p.report.cycles);
+          w.field("area_proxy", p.memory.area_proxy());
+          w.end();
+        }
+        w.end();
+        w.end();
+      }
   w.end();
   w.end();
   return w.str();
@@ -254,11 +614,13 @@ std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result) 
 
 std::string render_sweep_table(const SweepSpec& spec, const SweepResult& result) {
   // Index points back into the grid: spec order is workload-major,
-  // model-minor.
+  // geometry-minor.  The matrix shows the first geometry of the axis (the
+  // full geometry comparison lives in the JSON document's pareto section).
   const size_t n_isas = spec.isas.size();
   const size_t n_models = spec.models.size();
+  const size_t n_geoms = spec.geometries.size();
   const auto point_at = [&](size_t w, size_t i, size_t m) -> const SweepPoint& {
-    return result.points[(w * n_isas + i) * n_models + m];
+    return result.points[((w * n_isas + i) * n_models + m) * n_geoms];
   };
   std::string out;
   for (size_t m = 0; m < n_models; ++m) {

@@ -14,7 +14,9 @@
 // construct for the same configuration; the simulator has no global mutable
 // state (see session.h), so per-point statistics and cycle counts are
 // bit-identical to serial runs regardless of thread count or completion
-// order.  Results are reported in spec order, never completion order.
+// order.  Results are reported in spec order, never completion order, and
+// the ksim.sweep document carries no wall-clock fields — identical runs
+// (including a journal-resumed one, DESIGN.md §11) render identical bytes.
 #pragma once
 
 #include <functional>
@@ -23,16 +25,22 @@
 
 #include "api/report.h"
 #include "api/run_config.h"
+#include "api/sweep_journal.h"
+#include "support/json.h"
 
 namespace ksim::api {
 
-/// The sweep grid: every workload × ISA × model combination becomes one
-/// point.  `base` supplies everything else (engine switches, seed, bounds);
-/// its program-selection and model fields are ignored.
+/// The sweep grid: every workload × ISA × model × memory-geometry
+/// combination becomes one point.  `base` supplies everything else (engine
+/// switches, seed, bounds); its program-selection, model and memory fields
+/// are ignored.
 struct SweepSpec {
   std::vector<std::string> workloads; ///< built-in workload names
   std::vector<std::string> isas;      ///< "RISC", "VLIW2", ...
   std::vector<std::string> models;    ///< "none", "ilp", "aie", "doe" (no rtl)
+  /// The kdse memory-geometry axis; defaults to one entry, the paper
+  /// hierarchy, so grid-only sweeps behave exactly as before.
+  std::vector<cycle::MemGeometry> geometries{cycle::MemGeometry{}};
   RunConfig base;
   int threads = 1;
   /// When set, every (workload, ISA) image is linted (analysis::run_lint)
@@ -41,28 +49,60 @@ struct SweepSpec {
   /// affect cleanliness, matching `ksim lint` exit semantics.
   bool require_lint_clean = false;
 
-  /// Throws ksim::Error on empty dimensions, unknown names, rtl, threads < 1.
+  /// Throws ksim::Error on empty dimensions, unknown names, rtl,
+  /// threads < 1, duplicate geometry ids; ksim::ConfigError on impossible
+  /// geometries (the exit-2 contract).
   void validate() const;
 
-  /// Parses a JSON manifest:
+  /// Parses a JSON manifest (the single expansion/validation path — CLI flag
+  /// grids are sugar that synthesizes one of these):
   ///   {"workloads": ["cjpeg", ...], "isas": ["RISC", ...],
-  ///    "models": ["ilp", ...], "threads": 8, "seed": 1,
-  ///    "max_instructions": 0, "require_lint_clean": true}
-  /// threads/seed/max_instructions/require_lint_clean are optional.
-  /// `origin` names the file in diagnostics.
+  ///    "models": ["ilp", ...],
+  ///    "memories": [{"line_size": [32, 64],
+  ///                  "l1": {"sets": {"min": 16, "max": 64}, "ways": 4,
+  ///                         "hit_latency": 3},
+  ///                  "l2": {...}, "ports": 1, "miss_latency": 18}, ...],
+  ///    "memory": {...}, "threads": 8, "seed": 1, "max_instructions": 0,
+  ///    "require_lint_clean": true, "bp": "gshare", "bp_penalty": 3,
+  ///    "decode_cache": true, "prediction": true, "superblocks": true,
+  ///    "jit": true, "opstats": false}
+  /// Only workloads/isas/models are required; unknown keys are rejected.
+  /// "memories" enumerates the geometry axis (each leaf is a number, an
+  /// explicit array, or a {"min","max"} power-of-two-doubling range; each
+  /// entry cross-products its leaves, entries concatenate); "memory" sets
+  /// one base geometry and is mutually exclusive with "memories".  The
+  /// legacy flat keys ("mem_line_size", "mem_l1_sets", "mem_l1_ways",
+  /// "mem_l1_latency", "mem_l2_sets", "mem_l2_ways", "mem_l2_latency",
+  /// "mem_ports", "mem_miss_latency") still parse with a one-per-process
+  /// deprecation warning each.  `origin` names the file in diagnostics.
   static SweepSpec from_manifest(const std::string& json_text,
                                  const std::string& origin);
 };
+
+/// Renders the canonical manifest for a spec: every key explicit, fixed key
+/// order, geometries as explicit objects (ranges already expanded).  The
+/// round trip from_manifest(render_sweep_manifest(spec)) reproduces the spec
+/// — this is what `ksim sweep --dump-manifest` emits and what a sweep
+/// journal directory pins as <dir>/manifest.json.
+std::string render_sweep_manifest(const SweepSpec& spec);
+
+/// Expands one "memories" manifest axis value (a JSON array of geometry
+/// spec objects) into concrete geometries.  Exposed for tests.  Throws
+/// ksim::ConfigError on malformed specs, duplicate ids or > 4096 points.
+std::vector<cycle::MemGeometry> parse_geometry_axis(
+    const support::JsonValue& memories, const std::string& origin);
 
 /// One expanded grid point and (after run_sweep) its outcome.
 struct SweepPoint {
   std::string workload;
   std::string isa;
   std::string model;
+  cycle::MemGeometry memory;
+  size_t memory_index = 0; ///< index into SweepSpec::geometries
   bool ok = false;
   std::string error;   ///< failure diagnostic when !ok
   Report report;       ///< valid when ok
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0; ///< stderr progress only; never serialized
 };
 
 struct SweepResult {
@@ -70,6 +110,7 @@ struct SweepResult {
   int threads = 1;                ///< workers actually used
   double wall_seconds = 0.0;      ///< whole sweep, image building included
   size_t failed = 0;
+  size_t resumed = 0;             ///< points pre-filled from a journal
 
   double points_per_second() const {
     return wall_seconds <= 0.0 ? 0.0
@@ -82,16 +123,33 @@ struct SweepResult {
 using SweepProgress = std::function<void(const SweepPoint&, size_t, size_t)>;
 
 /// Expands the spec in deterministic workload-major order (workload, then
-/// ISA, then model) — the order points and reports are emitted in.
+/// ISA, then model, then memory geometry) — the order points and reports
+/// are emitted in.
 std::vector<SweepPoint> expand_points(const SweepSpec& spec);
 
 /// Runs the whole sweep.  A point that traps or errors is recorded as
 /// !ok with its diagnostic; the sweep always completes.  Throws only on
-/// spec/setup errors (validate, image building).
-SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress = {});
+/// spec/setup errors (validate, image building).  With a journal attached,
+/// points already recorded in it are pre-filled and skipped, and every
+/// newly finished point is appended — so a killed sweep resumes where it
+/// stopped and renders byte-identical final JSON.
+SweepResult run_sweep(const SweepSpec& spec, const SweepProgress& progress = {},
+                      SweepJournal* journal = nullptr);
 
-/// The "ksim.sweep" JSON document (schema_version kSchemaVersion): header,
-/// grid dimensions, throughput, then one entry per point in spec order.
+/// Indices of the Pareto-optimal points (minimize both coordinates) among
+/// (cycles, area) pairs: strictly dominated points are removed, exact ties
+/// all survive.  Returned sorted by area ascending, then cycles, then index.
+std::vector<size_t> pareto_front(
+    const std::vector<std::pair<uint64_t, uint64_t>>& points);
+
+/// The "ksim.sweep" JSON document (schema_version kSchemaVersion).  Key
+/// order: schema, schema_version, points_total, points_failed, the grid
+/// dimensions (workloads, isas, models, memories — each memory entry carries
+/// its id, geometry and area_proxy), "points" in spec order (each with its
+/// geometry id and, when cycles are available, the cycles/area pair), then
+/// "pareto": one front per (workload, isa, model) group that produced at
+/// least one cycle-counted point.  Deliberately wall-clock-free: identical
+/// sweeps (serial, threaded, or journal-resumed) render identical bytes.
 std::string render_sweep_json(const SweepSpec& spec, const SweepResult& result);
 
 /// Figure-4-style text matrix: one table per model, workloads down,

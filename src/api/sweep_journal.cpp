@@ -1,0 +1,194 @@
+#include "api/sweep_journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/byte_stream.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace ksim::api {
+
+namespace {
+
+using support::ByteReader;
+using support::ByteWriter;
+
+constexpr char kMagic[8] = {'K', 'S', 'I', 'M', 'S', 'W', 'P', 'J'};
+
+std::string journal_path(const std::string& dir) {
+  return (fs::path(dir) / kJournalFileName).string();
+}
+
+std::string manifest_path(const std::string& dir) {
+  return (fs::path(dir) / kManifestFileName).string();
+}
+
+std::vector<uint8_t> encode_outcome(const SweepOutcome& o) {
+  ByteWriter w;
+  w.u64(o.point_index);
+  w.u8(o.ok ? 1 : 0);
+  w.str(o.error);
+  w.str(o.stop_reason);
+  w.u32(static_cast<uint32_t>(o.exit_code));
+  w.u64(o.instructions);
+  w.u64(o.operations);
+  w.u8(o.has_cycles ? 1 : 0);
+  w.u64(o.cycles);
+  uint64_t opc_bits = 0; // raw IEEE-754 bits: the JSON re-render is exact
+  static_assert(sizeof(opc_bits) == sizeof(o.ops_per_cycle));
+  std::memcpy(&opc_bits, &o.ops_per_cycle, sizeof(opc_bits));
+  w.u64(opc_bits);
+  w.u64(o.output_bytes);
+  return w.take();
+}
+
+SweepOutcome decode_outcome(std::span<const uint8_t> payload) {
+  ByteReader r(payload, "sweep journal record");
+  SweepOutcome o;
+  o.point_index = r.u64();
+  o.ok = r.u8() != 0;
+  o.error = r.str();
+  o.stop_reason = r.str();
+  o.exit_code = static_cast<int32_t>(r.u32());
+  o.instructions = r.u64();
+  o.operations = r.u64();
+  o.has_cycles = r.u8() != 0;
+  o.cycles = r.u64();
+  const uint64_t opc_bits = r.u64();
+  std::memcpy(&o.ops_per_cycle, &opc_bits, sizeof(o.ops_per_cycle));
+  o.output_bytes = r.u64();
+  r.expect_end();
+  return o;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  const fs::path target(path);
+  fs::path tmp(target);
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    check(out.good(), strf("cannot create '%s'", tmp.string().c_str()));
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    check(out.good(), strf("error writing '%s'", tmp.string().c_str()));
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error(strf("cannot move manifest into place at '%s'", path.c_str()));
+  }
+}
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(in.good(), strf("cannot open '%s'", path.c_str()));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  check(!in.bad(), strf("error reading '%s'", path.c_str()));
+  return text;
+}
+
+} // namespace
+
+SweepJournal SweepJournal::create(const std::string& dir,
+                                  const std::string& manifest_text) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  check(!ec, strf("cannot create sweep directory '%s'", dir.c_str()));
+  write_text_atomic(manifest_path(dir), manifest_text);
+
+  SweepJournal j;
+  j.dir_ = dir;
+  j.manifest_text_ = manifest_text;
+  j.mutex_ = std::make_unique<std::mutex>();
+  j.file_.reset(std::fopen(journal_path(dir).c_str(), "wb"));
+  check(j.file_ != nullptr,
+        strf("cannot create '%s'", journal_path(dir).c_str()));
+  ByteWriter header;
+  header.bytes(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic));
+  header.u32(kJournalVersion);
+  header.u32(support::crc32(manifest_text.data(), manifest_text.size()));
+  const std::vector<uint8_t> bytes = header.take();
+  check(std::fwrite(bytes.data(), 1, bytes.size(), j.file_.get()) ==
+                bytes.size() &&
+            std::fflush(j.file_.get()) == 0,
+        strf("error writing '%s'", journal_path(dir).c_str()));
+  return j;
+}
+
+SweepJournal SweepJournal::resume(const std::string& dir) {
+  SweepJournal j;
+  j.dir_ = dir;
+  j.manifest_text_ = read_text(manifest_path(dir));
+  j.mutex_ = std::make_unique<std::mutex>();
+
+  const std::string path = journal_path(dir);
+  const std::string raw = read_text(path);
+  const auto* data = reinterpret_cast<const uint8_t*>(raw.data());
+  check(raw.size() >= sizeof(kMagic) + 8 &&
+            std::memcmp(data, kMagic, sizeof(kMagic)) == 0,
+        strf("'%s' is not a ksim sweep journal", path.c_str()));
+  ByteReader header(std::span(data + sizeof(kMagic), 8), "sweep journal header");
+  const uint32_t version = header.u32();
+  check(version == kJournalVersion,
+        strf("unsupported sweep journal version %u (this build reads "
+             "version %u)", version, kJournalVersion));
+  const uint32_t manifest_crc = header.u32();
+  check(manifest_crc == support::crc32(j.manifest_text_.data(),
+                                       j.manifest_text_.size()),
+        strf("'%s' does not match %s/manifest.json (manifest edited after "
+             "the sweep started?)", path.c_str(), dir.c_str()));
+
+  // Records until EOF.  A torn *tail* (the record being appended when the
+  // sweep was killed) is silently discarded; a bad checksum with further
+  // bytes after it means real corruption and is an error.
+  size_t pos = sizeof(kMagic) + 8;
+  while (pos < raw.size()) {
+    if (raw.size() - pos < 8) break; // torn length/CRC prefix
+    ByteReader prefix(std::span(data + pos, 8), "sweep journal record");
+    const uint32_t size = prefix.u32();
+    const uint32_t crc = prefix.u32();
+    if (raw.size() - pos - 8 < size) break; // torn payload
+    const std::span<const uint8_t> payload(data + pos + 8, size);
+    if (support::crc32(payload.data(), payload.size()) != crc) {
+      check(pos + 8 + size == raw.size(),
+            strf("'%s': record checksum mismatch mid-file", path.c_str()));
+      break; // torn final record
+    }
+    j.completed_.push_back(decode_outcome(payload));
+    pos += 8 + size;
+  }
+
+  // Drop the torn tail before appending: without the truncate, new records
+  // would land after the partial bytes and a second resume would see a
+  // checksum mismatch mid-file.
+  if (pos < raw.size()) {
+    std::error_code ec;
+    fs::resize_file(path, pos, ec);
+    check(!ec, strf("cannot truncate torn tail of '%s'", path.c_str()));
+  }
+  j.file_.reset(std::fopen(path.c_str(), "ab"));
+  check(j.file_ != nullptr, strf("cannot append to '%s'", path.c_str()));
+  return j;
+}
+
+void SweepJournal::append(const SweepOutcome& outcome) {
+  const std::vector<uint8_t> payload = encode_outcome(outcome);
+  ByteWriter record;
+  record.u32(static_cast<uint32_t>(payload.size()));
+  record.u32(support::crc32(payload.data(), payload.size()));
+  record.bytes(payload.data(), payload.size());
+  const std::vector<uint8_t> bytes = record.take();
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  check(std::fwrite(bytes.data(), 1, bytes.size(), file_.get()) ==
+                bytes.size() &&
+            std::fflush(file_.get()) == 0,
+        strf("error appending to sweep journal in '%s'", dir_.c_str()));
+}
+
+} // namespace ksim::api

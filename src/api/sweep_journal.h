@@ -1,0 +1,100 @@
+// kdse — the resumable-sweep journal (DESIGN.md §11).
+//
+// A journaled sweep owns a directory:
+//   <dir>/manifest.json   the canonical manifest the sweep runs (written
+//                         atomically at creation; --resume re-reads it, so a
+//                         resumed sweep can never drift from the original)
+//   <dir>/journal.kswpj   append-only completed-point records
+//
+// The journal is the sweep analogue of kckpt: binary, versioned, CRC'd, and
+// tolerant of a torn tail.  Each record carries one point's *reported
+// outcome* — exactly the fields render_sweep_json() serializes — keyed by the
+// point's index in deterministic spec order.  A resumed sweep pre-fills those
+// points, skips them in the worker phase, and therefore produces final JSON
+// byte-identical to an uninterrupted run (the ksim.sweep document contains no
+// wall-clock fields; timing is reported on stderr and in BENCH files only).
+//
+// Crash model: records are appended with a single buffered write + flush
+// under a mutex.  A kill can leave at most one torn record at the tail;
+// readers stop at the first short or checksum-failing record and the resumed
+// sweep simply re-runs that point.
+//
+// File layout (little-endian):
+//   "KSIMSWPJ"  8-byte magic
+//   u32         journal format version (kJournalVersion)
+//   u32         CRC-32 of the manifest text (binds journal to manifest)
+//   records:    u32 payload size | u32 payload CRC-32 | payload
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ksim::api {
+
+inline constexpr uint32_t kJournalVersion = 1;
+inline constexpr char kJournalFileName[] = "journal.kswpj";
+inline constexpr char kManifestFileName[] = "manifest.json";
+
+/// One completed sweep point as the journal stores it: the reported outcome,
+/// nothing host-volatile.  Mirrors what render_sweep_json() reads per point.
+struct SweepOutcome {
+  uint64_t point_index = 0; ///< index into expand_points() spec order
+  bool ok = false;
+  std::string error;        ///< failure diagnostic when !ok
+  std::string stop_reason;
+  int32_t exit_code = 0;
+  uint64_t instructions = 0;
+  uint64_t operations = 0;
+  bool has_cycles = false;
+  uint64_t cycles = 0;
+  double ops_per_cycle = 0.0; ///< stored as raw IEEE-754 bits (exact)
+  uint64_t output_bytes = 0;
+};
+
+/// The journal for one sweep directory.  Thread-safe append; reading happens
+/// once, at open time, before any worker starts.
+class SweepJournal {
+public:
+  /// Starts a fresh journal: creates `dir`, writes the manifest atomically
+  /// and truncates the record file.  Throws ksim::Error on I/O failure.
+  static SweepJournal create(const std::string& dir,
+                             const std::string& manifest_text);
+
+  /// Re-opens an interrupted sweep: reads back `dir`/manifest.json, verifies
+  /// the journal header binds to it, and loads every intact record (a torn
+  /// tail record is discarded; corruption before the tail is an error).
+  static SweepJournal resume(const std::string& dir);
+
+  SweepJournal(SweepJournal&&) noexcept = default;
+  SweepJournal& operator=(SweepJournal&&) noexcept = default;
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  const std::string& manifest_text() const { return manifest_text_; }
+
+  /// Records loaded by resume() (empty for a fresh journal), journal order.
+  const std::vector<SweepOutcome>& completed() const { return completed_; }
+
+  /// Appends one finished point and flushes it to the OS.  Thread-safe.
+  void append(const SweepOutcome& outcome);
+
+private:
+  SweepJournal() = default;
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+
+  std::string dir_;
+  std::string manifest_text_;
+  std::vector<SweepOutcome> completed_;
+  std::unique_ptr<std::FILE, FileCloser> file_; ///< open for append
+  std::unique_ptr<std::mutex> mutex_; ///< pointer: journal stays movable
+};
+
+} // namespace ksim::api

@@ -65,6 +65,7 @@ void RunRecord::save(ByteWriter& w) const {
   w.u8(use_jit);
   w.u8(collect_op_stats);
   w.u64(max_instructions);
+  memory.save(w);
 }
 
 void RunRecord::restore(ByteReader& r) {
@@ -83,6 +84,7 @@ void RunRecord::restore(ByteReader& r) {
   use_jit = r.u8();
   collect_op_stats = r.u8();
   max_instructions = r.u64();
+  memory.restore(r);
 }
 
 // -- encode ------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cycle/mem_hierarchy.h"
 #include "support/byte_stream.h"
 
 namespace ksim::sim {
@@ -37,7 +38,6 @@ class Simulator;
 }
 namespace ksim::cycle {
 class CycleModel;
-class MemoryHierarchy;
 class BranchPredictor;
 }
 
@@ -45,8 +45,9 @@ namespace ksim::ckpt {
 
 // Version history: 1 = initial format; 2 = RUN section gained use_jit (the
 // kjit engine switch — configuration only, checkpoints never carry host code
-// or translation state).
-inline constexpr uint32_t kFormatVersion = 2;
+// or translation state); 3 = RUN section gained the kdse MemGeometry, so a
+// snapshot pins the exact memory hierarchy it was taken on.
+inline constexpr uint32_t kFormatVersion = 3;
 inline constexpr char kFileSuffix[] = ".kckpt";
 
 /// The run configuration recorded into every checkpoint (RUN section): all
@@ -65,6 +66,7 @@ struct RunRecord {
   uint8_t use_jit = 1;
   uint8_t collect_op_stats = 0;
   uint64_t max_instructions = 0;   ///< original --max-instr (0 = unlimited)
+  cycle::MemGeometry memory;       ///< kdse memory geometry (format v3)
 
   void save(support::ByteWriter& w) const;
   void restore(support::ByteReader& r);

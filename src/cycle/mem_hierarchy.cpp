@@ -226,6 +226,79 @@ void ConnectionLimit::restore(support::ByteReader& r) {
   }
 }
 
+// -- MemGeometry ---------------------------------------------------------------------
+
+void MemGeometry::validate() const {
+  auto fail = [](const std::string& message) { throw ConfigError(message); };
+  if (line_size < 4 || !is_pow2(line_size))
+    fail(strf("memory.line_size must be a power of two >= 4 (got %u)", line_size));
+  auto level = [&](const char* name, const LevelGeometry& g) {
+    if (g.sets == 0 || !is_pow2(g.sets))
+      fail(strf("memory.%s.sets must be a power of two (got %u)", name, g.sets));
+    if (g.ways == 0 || !is_pow2(g.ways))
+      fail(strf("memory.%s.ways must be a power of two (got %u)", name, g.ways));
+    if (g.hit_latency == 0)
+      fail(strf("memory.%s.hit_latency must be >= 1 cycle", name));
+    const uint64_t bytes = uint64_t{g.sets} * g.ways * line_size;
+    if (bytes > (1u << 30))
+      fail(strf("memory.%s capacity %llu B exceeds 1 GiB", name,
+                static_cast<unsigned long long>(bytes)));
+  };
+  level("l1", l1);
+  level("l2", l2);
+  if (ports == 0) fail("memory.ports must be >= 1");
+  if (miss_latency == 0) fail("memory.miss_latency must be >= 1 cycle");
+}
+
+HierarchyConfig MemGeometry::hierarchy_config() const {
+  HierarchyConfig config;
+  config.l1_ports = ports;
+  config.l1 = CacheConfig{l1.sets * l1.ways * line_size, line_size, l1.ways,
+                          l1.hit_latency, "L1"};
+  config.l2 = CacheConfig{l2.sets * l2.ways * line_size, line_size, l2.ways,
+                          l2.hit_latency, "L2"};
+  config.memory_delay = miss_latency;
+  return config;
+}
+
+uint64_t MemGeometry::area_proxy() const {
+  const uint64_t l1_bytes = uint64_t{l1.sets} * l1.ways * line_size;
+  const uint64_t l2_bytes = uint64_t{l2.sets} * l2.ways * line_size;
+  const uint64_t lines =
+      uint64_t{l1.sets} * l1.ways + uint64_t{l2.sets} * l2.ways;
+  return l1_bytes + l2_bytes + 4 * lines + (ports - 1) * (l1_bytes / 2);
+}
+
+std::string MemGeometry::id() const {
+  return strf("l1:%ux%u@%u,l2:%ux%u@%u,line:%u,ports:%u,mem:%u", l1.sets,
+              l1.ways, l1.hit_latency, l2.sets, l2.ways, l2.hit_latency,
+              line_size, ports, miss_latency);
+}
+
+void MemGeometry::save(support::ByteWriter& w) const {
+  w.u32(line_size);
+  w.u32(l1.sets);
+  w.u32(l1.ways);
+  w.u32(l1.hit_latency);
+  w.u32(l2.sets);
+  w.u32(l2.ways);
+  w.u32(l2.hit_latency);
+  w.u32(ports);
+  w.u32(miss_latency);
+}
+
+void MemGeometry::restore(support::ByteReader& r) {
+  line_size = r.u32();
+  l1.sets = r.u32();
+  l1.ways = r.u32();
+  l1.hit_latency = r.u32();
+  l2.sets = r.u32();
+  l2.ways = r.u32();
+  l2.hit_latency = r.u32();
+  ports = r.u32();
+  miss_latency = r.u32();
+}
+
 // -- MemoryHierarchy -----------------------------------------------------------------
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config) {

@@ -156,6 +156,55 @@ struct HierarchyConfig {
   unsigned memory_delay = 18;
 };
 
+/// Geometry of one cache level, in sets × ways (capacity = sets * ways *
+/// line_size bytes; the line size is shared by both levels).
+struct LevelGeometry {
+  uint32_t sets = 0;
+  uint32_t ways = 0;
+  uint32_t hit_latency = 0;  ///< access delay in cycles
+
+  bool operator==(const LevelGeometry&) const = default;
+};
+
+/// The kdse design-space parameterization of the memory hierarchy: everything
+/// that makes one memory configuration a different machine.  The defaults
+/// reproduce the paper's §VII evaluation hierarchy exactly (16×4×32 B = 2 KiB
+/// L1 at 3 cycles, 2048×4×32 B = 256 KiB L2 at 6 cycles, one L1 port, 18
+/// cycles to main memory), so a default-constructed geometry behaves — and
+/// checkpoints — identically to the pre-kdse fixed hierarchy.  The ILP
+/// model's "ideal memory" delay is the L1 hit latency.
+struct MemGeometry {
+  uint32_t line_size = 32;           ///< bytes, shared by L1 and L2
+  LevelGeometry l1{16, 4, 3};
+  LevelGeometry l2{2048, 4, 6};
+  uint32_t ports = 1;                ///< L1 connection limit (accesses/cycle)
+  uint32_t miss_latency = 18;        ///< main-memory access delay, cycles
+
+  bool operator==(const MemGeometry&) const = default;
+
+  /// Throws ksim::ConfigError (the exit-2 contract) on geometries the cache
+  /// model cannot represent: non-power-of-two sets/ways/line sizes, zero
+  /// ports, zero latencies, or capacities past 1 GiB per level.
+  void validate() const;
+
+  /// The composed-hierarchy configuration this geometry describes.
+  HierarchyConfig hierarchy_config() const;
+
+  /// Deterministic integer area proxy (byte-equivalents) for Pareto fronts:
+  /// data bytes of both levels, plus 4 tag/state bytes per line, plus half
+  /// the L1 data bytes again per L1 port beyond the first (multi-porting
+  /// replicates sense amps and decoders, not capacity).
+  uint64_t area_proxy() const;
+
+  /// Canonical short identifier, e.g.
+  /// "l1:16x4@3,l2:2048x4@6,line:32,ports:1,mem:18" — the stable point key
+  /// in sweep reports and journals.
+  std::string id() const;
+
+  void save(support::ByteWriter& w) const;
+  void restore(support::ByteReader& r);
+};
+
 /// Owns a composed hierarchy; entry() is the module the cycle models call.
 class MemoryHierarchy {
 public:

@@ -52,14 +52,37 @@
 //   --ckpt-dir DIR   directory for ckpt-<n>.kckpt snapshots
 //   --ckpt-keep K    how many snapshots to keep (default 3)
 //
-// sweep options (ksweep, see src/api/sweep.h):
+// sweep options (ksweep + kdse, see src/api/sweep.h):
+//   --manifest FILE  the sweep manifest: grids, memory-geometry axis
+//                    ("memories"), base configuration.  The manifest is the
+//                    primary interface; the grid flags below are sugar that
+//                    synthesizes one internally, so both go through a single
+//                    expansion/validation path.  Mutually exclusive with the
+//                    grid flags.
 //   --workloads A,B  comma-separated built-in workloads (default: all)
 //   --isas A,B       ISA configurations (default: RISC,VLIW2,VLIW4,VLIW6,VLIW8)
 //   --models A,B     cycle models: none,ilp,aie,doe (default: ilp)
-//   --threads N      worker threads (default 1)
-//   --manifest FILE  read the grid from a JSON manifest instead of flags
-//   --json FILE      write the aggregate ksim.sweep report ("-" = stdout)
-//   engine switches, --seed and --max-instr apply to every point
+//   --threads N      worker threads (default 1; an explicit flag wins over
+//                    the manifest's "threads")
+//   --dump-manifest FILE  write the canonical manifest ("-" = stdout) that
+//                    this invocation would run — ranges expanded, defaults
+//                    explicit — and exit without running anything
+//   --journal DIR    make the sweep resumable: pin the canonical manifest as
+//                    DIR/manifest.json and append every finished point to a
+//                    CRC'd journal (DIR/journal.kswpj)
+//   --resume DIR     resume a --journal sweep: skip the journaled points and
+//                    render final JSON byte-identical to an uninterrupted
+//                    run.  Conflicts with --manifest/grid flags/--journal.
+//   --json FILE      write the aggregate ksim.sweep report ("-" = stdout);
+//                    includes per-geometry cycles/area_proxy pairs and the
+//                    Pareto front per (workload, isa, model) group
+//   --port N [--host A] [--tenant T] [--priority P]  run the sweep on a
+//                    ksimd daemon (sweep-as-a-service): the canonical
+//                    manifest ships as one ksim.sweep.submit request and the
+//                    daemon fans it out under its quotas and preemption;
+//                    --json receives the daemon's ksim.sweep report
+//   engine switches, --seed and --max-instr apply to every point (with
+//   --manifest the manifest's base configuration wins)
 //
 // resume options: the run configuration (model, predictor, seed, engine
 // flags) is restored from the checkpoint; --trace/--profile/--opstats apply
@@ -136,8 +159,10 @@ namespace {
                "      [--no-jit] [--jit-dump-asm FILE]\n"
                "      [--max-instr N] [--seed N] [--json FILE]\n"
                "      [--checkpoint-every N --ckpt-dir DIR [--ckpt-keep K]]\n"
-               "  sweep [--workloads A,B] [--isas A,B] [--models A,B]\n"
-               "        [--threads N] [--manifest FILE] [--json FILE]\n"
+               "  sweep [--manifest FILE | --workloads A,B --isas A,B --models A,B]\n"
+               "        [--threads N] [--dump-manifest FILE] [--journal DIR]\n"
+               "        [--resume DIR] [--json FILE]\n"
+               "        [--port N [--host A] [--tenant T] [--priority P]]\n"
                "  build -o <out.elf> [--isa NAME] <file.c|.s ...>\n"
                "  cc [--isa NAME] <file.c>\n"
                "  disasm <file.elf>\n"
@@ -205,10 +230,14 @@ struct Options {
   unsigned ckpt_keep = 3;
   std::string json_path;       ///< run/resume/sweep report destination
   std::string manifest;        ///< sweep JSON manifest
+  std::string dump_manifest;   ///< sweep: write canonical manifest, don't run
+  std::string journal_dir;     ///< sweep: fresh resumable journal directory
+  std::string resume_dir;      ///< sweep: resume an interrupted journal
   std::vector<std::string> sweep_workloads;
   std::vector<std::string> sweep_isas;
   std::vector<std::string> sweep_models;
   int threads = 1;
+  bool threads_set = false;    ///< --threads given explicitly (wins over manifest)
   // ksimd service (serve/submit/jobs/cancel/shutdown)
   std::string host = "127.0.0.1";
   int port = 0;
@@ -303,6 +332,12 @@ Options parse_options(int argc, char** argv, int first) {
       opt.json_path = next();
     } else if (arg == "--manifest") {
       opt.manifest = next();
+    } else if (arg == "--dump-manifest") {
+      opt.dump_manifest = next();
+    } else if (arg == "--journal") {
+      opt.journal_dir = next();
+    } else if (arg == "--resume") {
+      opt.resume_dir = next();
     } else if (arg == "--workloads") {
       opt.sweep_workloads = split_list(next());
     } else if (arg == "--isas") {
@@ -313,6 +348,7 @@ Options parse_options(int argc, char** argv, int first) {
       int64_t v = 0;
       check(parse_int(next(), v) && v > 0, "--threads expects a positive count");
       opt.threads = static_cast<int>(v);
+      opt.threads_set = true;
     } else if (arg == "--host") {
       opt.host = next();
     } else if (arg == "--port") {
@@ -455,42 +491,134 @@ int cmd_run(const Options& opt) {
   return report_outcome(s, opt, reason);
 }
 
-int cmd_sweep(const Options& opt) {
+/// The flag-grid sugar path: synthesizes the SweepSpec a manifest would
+/// describe — flag grids with defaults filled, base configuration from the
+/// run flags, the memory axis pinned to the base geometry.  cmd_sweep
+/// renders this spec to the canonical manifest and re-parses it, so flags
+/// and manifests share one expansion/validation path.
+api::SweepSpec spec_from_flags(const Options& opt) {
   api::SweepSpec spec;
-  if (!opt.manifest.empty()) {
-    spec = api::SweepSpec::from_manifest(read_file(opt.manifest), opt.manifest);
-  } else {
-    spec.workloads = opt.sweep_workloads;
-    spec.isas = opt.sweep_isas;
-    spec.models = opt.sweep_models;
-    spec.threads = opt.threads;
-  }
+  spec.workloads = opt.sweep_workloads;
+  spec.isas = opt.sweep_isas;
+  spec.models = opt.sweep_models;
   if (spec.workloads.empty())
     for (const workloads::Workload& w : workloads::all())
       spec.workloads.push_back(w.name);
   if (spec.isas.empty())
     spec.isas = {"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"};
   if (spec.models.empty()) spec.models = {"ilp"};
-
   api::RunConfig base = to_run_config(opt);
   base.workload.clear();
   base.inputs.clear();
   base.model = "none";
-  // Manifest-provided seed/bounds win over flag defaults.
-  if (!opt.manifest.empty()) {
-    base.seed = spec.base.seed;
-    base.max_instructions = spec.base.max_instructions;
-  }
   spec.base = base;
+  spec.geometries = {base.memory};
+  spec.threads = opt.threads;
+  return spec;
+}
+
+/// `ksim sweep --port N`: sweep-as-a-service.  Ships the canonical manifest
+/// to a ksimd daemon as one ksim.sweep.submit request, streams per-point
+/// progress to stderr, and writes the daemon's ksim.sweep report (rendered
+/// from the same spec-ordered points as a local sweep) to --json.
+int cmd_sweep_remote(const Options& opt, const std::string& manifest_text) {
+  ksimd::SweepSubmitRequest request;
+  request.tenant = opt.tenant;
+  request.priority = opt.priority;
+  request.manifest = manifest_text;
+  ksimd::Client client(opt.host, static_cast<uint16_t>(opt.port));
+  client.send_line(ksimd::encode(request));
+  for (;;) {
+    const std::optional<ksimd::Message> msg = client.read_message();
+    check(msg.has_value(), "daemon closed the connection mid-sweep");
+    if (const auto* accepted = std::get_if<ksimd::Accepted>(&*msg)) {
+      std::cerr << strf("[ksimd] sweep %llu accepted\n",
+                        static_cast<unsigned long long>(accepted->id));
+    } else if (const auto* rejected = std::get_if<ksimd::Rejected>(&*msg)) {
+      std::cerr << strf("ksim: sweep rejected (%s): %s\n",
+                        rejected->code.c_str(), rejected->error.c_str());
+      if (rejected->retry_after_ms > 0)
+        std::cerr << strf("ksim: retry after %d ms\n", rejected->retry_after_ms);
+      return 3;
+    } else if (const auto* progress = std::get_if<ksimd::SweepProgress>(&*msg)) {
+      std::cerr << strf("[sweep] (%llu/%llu) %s%s\n",
+                        static_cast<unsigned long long>(progress->done),
+                        static_cast<unsigned long long>(progress->total),
+                        progress->label.c_str(),
+                        progress->ok ? "" : ": FAILED");
+    } else if (const auto* done = std::get_if<ksimd::SweepDone>(&*msg)) {
+      std::cerr << strf("[sweep] sweep %llu %s, %llu point%s failed\n",
+                        static_cast<unsigned long long>(done->id),
+                        ksimd::to_string(done->state),
+                        static_cast<unsigned long long>(done->points_failed),
+                        done->points_failed == 1 ? "" : "s");
+      if (!opt.json_path.empty())
+        write_text_or_stdout(opt.json_path, done->report);
+      return done->state == ksimd::JobState::Done && done->points_failed == 0
+                 ? 0
+                 : 1;
+    }
+    // Other replies are not part of the sweep conversation; ignore.
+  }
+}
+
+int cmd_sweep(const Options& opt) {
+  const bool grid_flags = !opt.sweep_workloads.empty() ||
+                          !opt.sweep_isas.empty() || !opt.sweep_models.empty();
+  api::SweepSpec spec;
+  std::optional<api::SweepJournal> journal;
+  if (!opt.resume_dir.empty()) {
+    check(opt.manifest.empty() && !grid_flags && opt.journal_dir.empty() &&
+              opt.dump_manifest.empty(),
+          "--resume re-reads the manifest pinned in the sweep directory; it "
+          "conflicts with --manifest, --workloads/--isas/--models, --journal "
+          "and --dump-manifest");
+    journal = api::SweepJournal::resume(opt.resume_dir);
+    spec = api::SweepSpec::from_manifest(
+        journal->manifest_text(),
+        opt.resume_dir + "/" + api::kManifestFileName);
+  } else if (!opt.manifest.empty()) {
+    check(!grid_flags,
+          "--manifest and --workloads/--isas/--models are mutually exclusive"
+          " (the flags are sugar that synthesizes a manifest; see"
+          " --dump-manifest)");
+    spec = api::SweepSpec::from_manifest(read_file(opt.manifest), opt.manifest);
+  } else {
+    spec = api::SweepSpec::from_manifest(
+        api::render_sweep_manifest(spec_from_flags(opt)), "<flags>");
+  }
+  if (opt.threads_set) spec.threads = opt.threads; // explicit flag wins
   api::warn_env_overrides(api::apply_env_overrides(spec.base));
   spec.validate();
 
+  if (!opt.dump_manifest.empty()) {
+    write_text_or_stdout(opt.dump_manifest, api::render_sweep_manifest(spec));
+    return 0;
+  }
+  if (opt.port != 0) {
+    check(opt.journal_dir.empty() && opt.resume_dir.empty(),
+          "--journal/--resume manage a local sweep directory and cannot be "
+          "combined with --port (the daemon owns remote sweep state)");
+    return cmd_sweep_remote(opt, api::render_sweep_manifest(spec));
+  }
+  if (!opt.journal_dir.empty())
+    journal = api::SweepJournal::create(opt.journal_dir,
+                                        api::render_sweep_manifest(spec));
+
+  const bool many_geometries = spec.geometries.size() > 1;
   const api::SweepResult result = api::run_sweep(
-      spec, [](const api::SweepPoint& p, size_t done, size_t total) {
+      spec,
+      [many_geometries](const api::SweepPoint& p, size_t done, size_t total) {
+        const std::string label =
+            many_geometries
+                ? strf("%s@%s %s [%s]", p.workload.c_str(), p.isa.c_str(),
+                       p.model.c_str(), p.memory.id().c_str())
+                : strf("%s@%s %s", p.workload.c_str(), p.isa.c_str(),
+                       p.model.c_str());
         if (p.ok)
           std::cerr << strf(
-              "[sweep] (%zu/%zu) %s@%s %s: %llu instructions%s in %.2fs\n",
-              done, total, p.workload.c_str(), p.isa.c_str(), p.model.c_str(),
+              "[sweep] (%zu/%zu) %s: %llu instructions%s in %.2fs\n",
+              done, total, label.c_str(),
               static_cast<unsigned long long>(p.report.stats.instructions),
               p.report.has_cycles
                   ? strf(", %llu cycles",
@@ -499,11 +627,15 @@ int cmd_sweep(const Options& opt) {
                   : "",
               p.wall_seconds);
         else
-          std::cerr << strf("[sweep] (%zu/%zu) %s@%s %s: FAILED (%s)\n", done,
-                            total, p.workload.c_str(), p.isa.c_str(),
-                            p.model.c_str(), p.error.c_str());
-      });
+          std::cerr << strf("[sweep] (%zu/%zu) %s: FAILED (%s)\n", done, total,
+                            label.c_str(), p.error.c_str());
+      },
+      journal.has_value() ? &*journal : nullptr);
 
+  if (result.resumed != 0)
+    std::cerr << strf("[sweep] resumed %zu of %zu points from %s\n",
+                      result.resumed, result.points.size(),
+                      opt.resume_dir.c_str());
   std::cerr << strf("[sweep] %zu points on %d threads in %.2fs (%.2f points/s)"
                     ", %zu failed\n",
                     result.points.size(), result.threads, result.wall_seconds,
@@ -936,6 +1068,11 @@ int main_impl(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return ksim::main_impl(argc, argv);
+  } catch (const ksim::ConfigError& e) {
+    // Impossible configurations (e.g. a non-power-of-two cache geometry)
+    // share lint's exit-2 "broken invocation" contract.
+    std::cerr << "ksim: error: " << e.what() << "\n";
+    return 2;
   } catch (const ksim::Error& e) {
     std::cerr << "ksim: error: " << e.what() << "\n";
     return 1;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "api/report.h"
 #include "support/error.h"
 
 namespace ksim::ksimd {
@@ -106,7 +107,17 @@ std::string encode(const SubmitRequest& m) {
   w.field("opstats", c.collect_op_stats);
   w.field("max_instr", c.max_instructions);
   w.field("seed", static_cast<uint64_t>(c.seed));
+  api::write_mem_geometry(w, "memory", c.memory);
   w.end();
+  w.end();
+  return w.str();
+}
+
+std::string encode(const SweepSubmitRequest& m) {
+  JsonWriter w = message_writer("ksim.sweep.submit");
+  w.field("tenant", m.tenant);
+  w.field("priority", m.priority);
+  w.field("manifest", m.manifest);
   w.end();
   return w.str();
 }
@@ -162,6 +173,27 @@ std::string encode(const Done& m) {
   w.field("state", to_string(m.state));
   w.field("exit_code", m.exit_code);
   w.field("error", m.error);
+  w.field("report", m.report);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const SweepProgress& m) {
+  JsonWriter w = message_writer("ksim.sweep.progress");
+  w.field("id", m.id);
+  w.field("done", m.done);
+  w.field("total", m.total);
+  w.field("label", m.label);
+  w.field("ok", m.ok);
+  w.end();
+  return w.str();
+}
+
+std::string encode(const SweepDone& m) {
+  JsonWriter w = message_writer("ksim.sweep.done");
+  w.field("id", m.id);
+  w.field("state", to_string(m.state));
+  w.field("points_failed", m.points_failed);
   w.field("report", m.report);
   w.end();
   return w.str();
@@ -241,6 +273,8 @@ api::RunConfig job_config_from_json(const JsonValue& v) {
     else if (key == "opstats") c.collect_op_stats = val.as_bool(key);
     else if (key == "max_instr") c.max_instructions = as_uint(val, key);
     else if (key == "seed") c.seed = static_cast<uint32_t>(as_uint(val, key));
+    else if (key == "memory") c.memory = api::mem_geometry_from_json(val, "config");
+    else if (api::apply_flat_mem_key(c.memory, key, val, "config")) continue;
     else throw Error("ksimd: unknown config key \"" + key + "\"");
   }
   if (c.workload.empty())
@@ -263,6 +297,13 @@ Message parse_message(std::string_view line) {
     m.tenant = doc.at("tenant").as_string("tenant");
     m.priority = static_cast<int>(doc.at("priority").as_int("priority"));
     m.config = job_config_from_json(doc.at("config"));
+    return m;
+  }
+  if (schema == "ksim.sweep.submit") {
+    SweepSubmitRequest m;
+    m.tenant = doc.at("tenant").as_string("tenant");
+    m.priority = static_cast<int>(doc.at("priority").as_int("priority"));
+    m.manifest = doc.at("manifest").as_string("manifest");
     return m;
   }
   if (schema == "ksim.job.list") {
@@ -304,6 +345,23 @@ Message parse_message(std::string_view line) {
     m.state = job_state_from_string(doc.at("state").as_string("state"));
     m.exit_code = static_cast<int>(doc.at("exit_code").as_int("exit_code"));
     m.error = doc.at("error").as_string("error");
+    m.report = doc.at("report").as_string("report");
+    return m;
+  }
+  if (schema == "ksim.sweep.progress") {
+    SweepProgress m;
+    m.id = as_uint(doc.at("id"), "id");
+    m.done = as_uint(doc.at("done"), "done");
+    m.total = as_uint(doc.at("total"), "total");
+    m.label = doc.at("label").as_string("label");
+    m.ok = doc.at("ok").as_bool("ok");
+    return m;
+  }
+  if (schema == "ksim.sweep.done") {
+    SweepDone m;
+    m.id = as_uint(doc.at("id"), "id");
+    m.state = job_state_from_string(doc.at("state").as_string("state"));
+    m.points_failed = as_uint(doc.at("points_failed"), "points_failed");
     m.report = doc.at("report").as_string("report");
     return m;
   }

@@ -9,8 +9,11 @@
 //
 // Requests (client → daemon):
 //   ksim.job.submit      tenant, priority, config (the RunConfig payload)
+//   ksim.sweep.submit    tenant, priority, manifest — a whole ksweep manifest
+//                        as one request; the daemon fans the grid out into
+//                        point jobs under the same quotas and preemption
 //   ksim.job.list        tenant filter ("" = all)
-//   ksim.job.cancel      id
+//   ksim.job.cancel      id (a job id or a sweep id)
 //   ksim.daemon.shutdown drain (finish queued work) or abort
 //
 // Replies and streamed events (daemon → client):
@@ -24,6 +27,11 @@
 //                        ksim.run report document as an opaque string (the
 //                        daemon forwards the bytes verbatim, so a resumed
 //                        job's report diffs cleanly against a local run)
+//   ksim.sweep.progress  id, done, total, label, ok — one per finished point
+//   ksim.sweep.done      id, terminal state, points_failed, and the full
+//                        ksim.sweep document as an opaque string — rendered
+//                        from the same spec-ordered points as a local
+//                        `ksim sweep --json`, so the bytes diff cleanly
 //   ksim.job.status      the ksim.job.list reply
 //   ksim.daemon.ok       generic acknowledgement
 #pragma once
@@ -79,6 +87,16 @@ struct SubmitRequest {
   api::RunConfig config;       ///< simulation-relevant fields only
 };
 
+/// Sweep-as-a-service (kdse): one request fans a whole sweep manifest out
+/// into point jobs.  The manifest rides as an opaque string and is parsed by
+/// api::SweepSpec::from_manifest on the daemon, so client and daemon agree
+/// on exactly one manifest grammar.
+struct SweepSubmitRequest {
+  std::string tenant = "default";
+  int priority = 0;            ///< applied to every point job
+  std::string manifest;        ///< the sweep manifest document, verbatim
+};
+
 struct ListRequest {
   std::string tenant;          ///< "" = all tenants
 };
@@ -119,6 +137,22 @@ struct Done {
   std::string report;          ///< the full ksim.run document, verbatim
 };
 
+/// One line per finished sweep point, in completion order.
+struct SweepProgress {
+  uint64_t id = 0;             ///< the sweep id, not the point job id
+  uint64_t done = 0;
+  uint64_t total = 0;
+  std::string label;           ///< "<workload>@<ISA> <model> [<geometry>]"
+  bool ok = true;
+};
+
+struct SweepDone {
+  uint64_t id = 0;
+  JobState state = JobState::Done; ///< Done | Cancelled
+  uint64_t points_failed = 0;
+  std::string report;          ///< the full ksim.sweep document, verbatim
+};
+
 struct JobInfo {
   uint64_t id = 0;
   std::string tenant;
@@ -137,14 +171,16 @@ struct Ok {
   std::string message;
 };
 
-using Message = std::variant<SubmitRequest, ListRequest, CancelRequest,
-                             ShutdownRequest, Accepted, Rejected, Progress,
-                             Done, StatusReply, Ok>;
+using Message = std::variant<SubmitRequest, SweepSubmitRequest, ListRequest,
+                             CancelRequest, ShutdownRequest, Accepted, Rejected,
+                             Progress, Done, SweepProgress, SweepDone,
+                             StatusReply, Ok>;
 
 // -- encode ------------------------------------------------------------------
 // Every encoder returns exactly one '\n'-terminated line.
 
 std::string encode(const SubmitRequest& m);
+std::string encode(const SweepSubmitRequest& m);
 std::string encode(const ListRequest& m);
 std::string encode(const CancelRequest& m);
 std::string encode(const ShutdownRequest& m);
@@ -152,6 +188,8 @@ std::string encode(const Accepted& m);
 std::string encode(const Rejected& m);
 std::string encode(const Progress& m);
 std::string encode(const Done& m);
+std::string encode(const SweepProgress& m);
+std::string encode(const SweepDone& m);
 std::string encode(const StatusReply& m);
 std::string encode(const Ok& m);
 

@@ -5,9 +5,21 @@
 
 #include "api/report.h"
 #include "ckpt/checkpoint.h"
+#include "sim/simulator.h"
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace ksim::ksimd {
+
+namespace {
+
+/// The label a sweep progress line carries for one point.
+std::string point_label(const api::SweepPoint& p) {
+  return strf("%s@%s %s [%s]", p.workload.c_str(), p.isa.c_str(),
+              p.model.c_str(), p.memory.id().c_str());
+}
+
+} // namespace
 
 Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
   if (options_.workers == 0) options_.workers = 1;
@@ -87,6 +99,155 @@ std::variant<Accepted, Rejected> Scheduler::submit(const SubmitRequest& request,
   return Accepted{admitted.id};
 }
 
+std::variant<Accepted, Rejected> Scheduler::submit_sweep(
+    const SweepSubmitRequest& request, EventFn events) {
+  api::SweepSpec spec;
+  try {
+    spec = api::SweepSpec::from_manifest(request.manifest, "<sweep manifest>");
+    // The daemon owns all host-side behaviour, exactly as for plain jobs.
+    spec.base.echo_output = false;
+    spec.base.profile = false;
+    spec.base.trace_file.clear();
+    spec.base.jit_dump_asm.clear();
+    spec.base.ckpt_every = 0;
+    spec.base.ckpt_dir.clear();
+    spec.validate();
+  } catch (const std::exception& e) {
+    return Rejected{"bad_config", e.what(), 0};
+  }
+  if (spec.require_lint_clean)
+    return Rejected{"bad_config",
+                    "require_lint_clean sweeps are not supported by the "
+                    "service (the daemon never runs the serial lint phase)",
+                    0};
+  if (options_.quota.max_instructions != 0 &&
+      (spec.base.max_instructions == 0 ||
+       spec.base.max_instructions > options_.quota.max_instructions))
+    return Rejected{"quota_instructions",
+                    "sweep points must set max_instructions <= " +
+                        std::to_string(options_.quota.max_instructions),
+                    0};
+  std::vector<api::SweepPoint> points = api::expand_points(spec);
+
+  std::unique_lock<std::mutex> lk(m_);
+  if (draining_ || stop_)
+    return Rejected{"draining", "daemon is shutting down", 0};
+  // A sweep holds at most `workers` point jobs in flight; admission only
+  // needs room for that window, not for the whole grid.
+  const size_t window = std::min(workers_.size(), points.size());
+  if (live_count_locked({}) + window > options_.queue_capacity)
+    return Rejected{"queue_full",
+                    "job queue cannot fit a sweep window of " +
+                        std::to_string(window) + " points",
+                    options_.retry_after_ms};
+  if (live_count_locked(request.tenant) + window > options_.quota.max_queued)
+    return Rejected{"quota_queued",
+                    "tenant \"" + request.tenant + "\" cannot fit a sweep "
+                    "window of " + std::to_string(window) + " points",
+                    0};
+
+  auto op = std::make_unique<SweepOp>();
+  op->id = next_id_++;
+  op->tenant = request.tenant;
+  op->priority = request.priority;
+  op->spec = std::move(spec);
+  op->points = std::move(points);
+  op->events = std::move(events);
+  SweepOp& admitted = *op;
+  sweeps_.push_back(std::move(op));
+  for (size_t k = 0; k < window; ++k) feed_sweep_point_locked(admitted);
+  cv_ready_.notify_all();
+  return Accepted{admitted.id};
+}
+
+void Scheduler::feed_sweep_point_locked(SweepOp& op) {
+  if (op.cancelled || op.next_point >= op.points.size()) return;
+  const size_t index = op.next_point++;
+  const api::SweepPoint& p = op.points[index];
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->seq = job->id;
+  job->tenant = op.tenant;
+  job->priority = op.priority;
+  job->label = p.workload + "@" + p.isa;
+  api::RunConfig cfg = op.spec.base;
+  cfg.workload = p.workload;
+  cfg.isa = p.isa;
+  cfg.model = p.model;
+  cfg.memory = p.memory;
+  cfg.echo_output = false; // simulated stdout stays in the session
+  cfg.profile = false;
+  job->cfg = std::move(cfg);
+  job->sweep = &op;
+  job->sweep_point = index;
+  // Point jobs carry no per-job EventFn: the sweep streams its own
+  // ksim.sweep.* lines instead of per-point ksim.job.* lifecycles.
+  Job& admitted = *job;
+  jobs_.push_back(std::move(job));
+  request_preemption_locked(admitted);
+  cv_ready_.notify_one();
+}
+
+void Scheduler::record_sweep_outcome_locked(SweepOp& op, size_t index,
+                                            JobState state, std::string error,
+                                            const api::Report& report,
+                                            EventBatch& out) {
+  api::SweepPoint& p = op.points[index];
+  p.report = report;
+  if (state == JobState::Done) {
+    p.ok = true;
+  } else if (state == JobState::Cancelled) {
+    p.ok = false;
+    p.error = "cancelled";
+  } else {
+    p.ok = false;
+    p.error = std::move(error);
+  }
+  ++op.done;
+  if (!p.ok) ++op.failed;
+  feed_sweep_point_locked(op);
+  if (op.events) {
+    SweepProgress progress;
+    progress.id = op.id;
+    progress.done = op.done;
+    progress.total = op.points.size();
+    progress.label = point_label(p);
+    progress.ok = p.ok;
+    out.emplace_back(op.events, encode(progress));
+  }
+  if (op.done == op.points.size()) {
+    api::SweepResult result;
+    result.points = op.points;
+    result.failed = op.failed;
+    SweepDone done;
+    done.id = op.id;
+    done.state = op.cancelled ? JobState::Cancelled : JobState::Done;
+    done.points_failed = op.failed;
+    done.report = api::render_sweep_json(op.spec, result);
+    if (op.events) out.emplace_back(op.events, encode(done));
+  }
+}
+
+void Scheduler::cancel_sweep_locked(SweepOp& op, EventBatch& out) {
+  op.cancelled = true;
+  // Unfed points first: they have no job to wait for.
+  while (op.next_point < op.points.size())
+    record_sweep_outcome_locked(op, op.next_point++, JobState::Cancelled, {},
+                                {}, out);
+  for (const auto& j : jobs_) {
+    if (j->sweep != &op || terminal(j->state)) continue;
+    if (j->state == JobState::Running) {
+      j->cancel.store(true); // records its outcome at the next slice boundary
+    } else {
+      j->state = JobState::Cancelled;
+      j->ckpt.clear();
+      record_sweep_outcome_locked(op, j->sweep_point, JobState::Cancelled, {},
+                                  {}, out);
+    }
+  }
+  cv_idle_.notify_all();
+}
+
 void Scheduler::request_preemption_locked(const Job& incoming) {
   if (running_ < workers_.size()) return; // an idle worker will pick it up
   size_t tenant_running = 0;
@@ -157,6 +318,7 @@ void Scheduler::run_job(std::unique_lock<std::mutex>& lk, Job& job) {
   int exit_code = 0;
   std::string error;
   std::string report;
+  api::Report point_report; // sweep points: feeds the final ksim.sweep doc
   uint64_t done_instr = 0;
 
   try {
@@ -198,10 +360,19 @@ void Scheduler::run_job(std::unique_lock<std::mutex>& lk, Job& job) {
       final_state = JobState::Failed;
       exit_code = session->exit_code();
       error = session->error_report();
+      if (job.sweep != nullptr) {
+        // Mirror run_sweep's point semantics exactly: the report is taken
+        // even on a trap, and the diagnostic is prefixed with the reason.
+        point_report = session->report(reason);
+        error = std::string(sim::to_string(reason)) + ":\n" + error;
+      }
     } else {
       final_state = JobState::Done;
       exit_code = session->exit_code();
-      report = api::render_report_json(session->report(reason));
+      if (job.sweep != nullptr)
+        point_report = session->report(reason);
+      else
+        report = api::render_report_json(session->report(reason));
     }
   } catch (const std::exception& e) {
     final_state = JobState::Failed;
@@ -209,7 +380,7 @@ void Scheduler::run_job(std::unique_lock<std::mutex>& lk, Job& job) {
     error = e.what();
   }
 
-  std::string event;
+  EventBatch emits;
   lk.lock();
   --running_;
   if (preempted && job.cancel.load()) {
@@ -223,56 +394,72 @@ void Scheduler::run_job(std::unique_lock<std::mutex>& lk, Job& job) {
     job.state = JobState::Preempted;
     ++job.preemptions;
     job.yield.store(false);
-    event = encode(Progress{Progress::Kind::Preempted, id, done_instr});
+    emits.emplace_back(emit,
+                       encode(Progress{Progress::Kind::Preempted, id,
+                                       done_instr}));
   } else {
     job.state = final_state;
-    Done done;
-    done.id = id;
-    done.state = final_state;
-    done.exit_code = exit_code;
-    done.error = std::move(error);
-    done.report = std::move(report);
-    event = encode(done);
+    if (job.sweep != nullptr) {
+      record_sweep_outcome_locked(*job.sweep, job.sweep_point, final_state,
+                                  std::move(error), point_report, emits);
+    } else {
+      Done done;
+      done.id = id;
+      done.state = final_state;
+      done.exit_code = exit_code;
+      done.error = std::move(error);
+      done.report = std::move(report);
+      emits.emplace_back(emit, encode(done));
+    }
     cv_idle_.notify_all();
   }
-  // Count the event as in flight until delivered: wait_idle()/shutdown()
+  // Count the events as in flight until delivered: wait_idle()/shutdown()
   // must not return (and let the caller destroy its sink) while a worker
-  // is still inside the EventFn.
-  ++events_in_flight_;
+  // is still inside an EventFn.
+  events_in_flight_ += emits.size();
   cv_ready_.notify_all(); // requeued work or a freed tenant running slot
   lk.unlock();
-  emit(event);
+  for (const auto& [fn, line] : emits) fn(line);
   lk.lock();
-  if (--events_in_flight_ == 0) cv_idle_.notify_all();
+  events_in_flight_ -= emits.size();
+  if (events_in_flight_ == 0) cv_idle_.notify_all();
 }
 
 bool Scheduler::cancel(uint64_t id) {
-  std::string event;
-  EventFn emit;
+  EventBatch emits;
   {
     std::lock_guard<std::mutex> lk(m_);
     Job* job = nullptr;
     for (const auto& j : jobs_)
       if (j->id == id) job = j.get();
-    if (job == nullptr || terminal(job->state)) return false;
-    if (job->state == JobState::Running) {
-      job->cancel.store(true);
-      return true; // terminates at the next slice boundary
+    if (job != nullptr) {
+      // Point jobs are internal to their sweep; cancel the sweep id instead.
+      if (job->sweep != nullptr || terminal(job->state)) return false;
+      if (job->state == JobState::Running) {
+        job->cancel.store(true);
+        return true; // terminates at the next slice boundary
+      }
+      job->state = JobState::Cancelled;
+      job->ckpt.clear();
+      Done done;
+      done.id = id;
+      done.state = JobState::Cancelled;
+      if (job->events) emits.emplace_back(job->events, encode(done));
+      cv_idle_.notify_all();
+    } else {
+      SweepOp* op = nullptr;
+      for (const auto& s : sweeps_)
+        if (s->id == id) op = s.get();
+      if (op == nullptr || op->done == op->points.size()) return false;
+      cancel_sweep_locked(*op, emits);
     }
-    job->state = JobState::Cancelled;
-    job->ckpt.clear();
-    Done done;
-    done.id = id;
-    done.state = JobState::Cancelled;
-    event = encode(done);
-    emit = job->events;
-    if (emit) ++events_in_flight_;
-    cv_idle_.notify_all();
+    events_in_flight_ += emits.size();
   }
-  if (emit) {
-    emit(event);
+  for (const auto& [fn, line] : emits) fn(line);
+  {
     std::lock_guard<std::mutex> lk(m_);
-    if (--events_in_flight_ == 0) cv_idle_.notify_all();
+    events_in_flight_ -= emits.size();
+    if (events_in_flight_ == 0) cv_idle_.notify_all();
   }
   return true;
 }
@@ -307,7 +494,11 @@ void Scheduler::shutdown(bool drain) {
   if (stop_ && workers_.empty()) return; // already shut down
   draining_ = true;
   if (!drain) {
-    std::vector<std::pair<EventFn, std::string>> cancelled;
+    EventBatch cancelled;
+    // Sweeps first: cancel_sweep_locked marks their queued/preempted point
+    // jobs terminal, so the plain-job loop below only sees its own.
+    for (const auto& op : sweeps_)
+      if (op->done < op->points.size()) cancel_sweep_locked(*op, cancelled);
     for (const auto& j : jobs_) {
       if (j->state == JobState::Queued || j->state == JobState::Preempted) {
         j->state = JobState::Cancelled;

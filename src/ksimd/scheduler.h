@@ -33,6 +33,15 @@
 //   bad_config          RunConfig validation failed / not a built-in workload
 //   draining            shutdown in progress
 //
+// Sweep fan-out (kdse, DESIGN.md §11): submit_sweep() turns one manifest
+// into a SweepOp whose grid points run as ordinary point jobs — same
+// quotas, same priority-based preemption.  Points are fed lazily (at most
+// `workers` in flight per sweep) and their outcomes land at spec-order
+// indices, so the terminal ksim.sweep.done report is byte-comparable to a
+// local `ksim sweep --json` of the same manifest.  A sweep keeps at least
+// one live point job until every point is recorded, which is what lets
+// wait_idle()/shutdown() treat sweeps as ordinary pending work.
+//
 // Locking: one mutex guards all job and queue state; simulation runs with
 // the lock released.  Event callbacks are copied out and invoked unlocked,
 // so an EventFn may itself take locks (the server's per-connection write
@@ -51,6 +60,7 @@
 #include <vector>
 
 #include "api/image_cache.h"
+#include "api/sweep.h"
 #include "ksimd/protocol.h"
 
 namespace ksim::ksimd {
@@ -89,6 +99,20 @@ public:
   std::variant<Accepted, Rejected> submit(const SubmitRequest& request,
                                           EventFn events);
 
+  /// Admits or rejects a whole sweep (kdse sweep-as-a-service).  The
+  /// manifest is parsed and expanded like a local `ksim sweep --manifest`;
+  /// each grid point becomes an ordinary point job under the tenant's
+  /// quotas, priority and checkpoint preemption.  At most `workers` point
+  /// jobs are in flight at a time (the next point is fed as one finishes),
+  /// so one sweep cannot monopolize the admission queue.  `events` receives
+  /// one ksim.sweep.progress line per finished point and a final
+  /// ksim.sweep.done whose report is the ksim.sweep document rendered from
+  /// the same spec-ordered points as a local sweep.  require_lint_clean
+  /// manifests are rejected (bad_config): the daemon never runs the serial
+  /// lint phase.
+  std::variant<Accepted, Rejected> submit_sweep(
+      const SweepSubmitRequest& request, EventFn events);
+
   /// Requests cancellation.  Returns false for unknown or already-terminal
   /// jobs; queued/preempted jobs cancel immediately, running jobs at the
   /// next slice boundary.
@@ -112,6 +136,22 @@ public:
   const SchedulerOptions& options() const { return options_; }
 
 private:
+  /// A live sweep fan-out.  Points complete in arbitrary order but are
+  /// stored at their spec-order index, so the final report is rendered from
+  /// exactly the point list a local run_sweep would produce.
+  struct SweepOp {
+    uint64_t id = 0;
+    std::string tenant;
+    int priority = 0;
+    api::SweepSpec spec;
+    std::vector<api::SweepPoint> points;
+    size_t next_point = 0;          ///< feed cursor into `points`
+    size_t done = 0;                ///< points with a recorded outcome
+    size_t failed = 0;
+    bool cancelled = false;
+    EventFn events;
+  };
+
   struct Job {
     uint64_t id = 0;
     uint64_t seq = 0;               ///< admission order (FIFO tiebreak)
@@ -125,13 +165,23 @@ private:
     std::atomic<bool> yield{false};  ///< preempt at next slice boundary
     std::atomic<bool> cancel{false}; ///< cancel at next slice boundary
     std::vector<uint8_t> ckpt;       ///< eviction snapshot (Preempted only)
+    SweepOp* sweep = nullptr;        ///< owning sweep for point jobs
+    size_t sweep_point = 0;          ///< spec-order index into sweep->points
     EventFn events;
   };
+
+  /// Deferred event lines: collected under the lock, delivered outside it.
+  using EventBatch = std::vector<std::pair<EventFn, std::string>>;
 
   void worker_main();
   Job* pick_locked();
   void request_preemption_locked(const Job& incoming);
   void run_job(std::unique_lock<std::mutex>& lk, Job& job);
+  void feed_sweep_point_locked(SweepOp& op);
+  void record_sweep_outcome_locked(SweepOp& op, size_t index, JobState state,
+                                   std::string error, const api::Report& report,
+                                   EventBatch& out);
+  void cancel_sweep_locked(SweepOp& op, EventBatch& out);
   size_t live_count_locked(const std::string& tenant) const;
   static bool terminal(JobState s) {
     return s == JobState::Done || s == JobState::Failed ||
@@ -145,6 +195,7 @@ private:
   std::condition_variable cv_ready_; ///< queue/topology changed
   std::condition_variable cv_idle_;  ///< a job reached a terminal state
   std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<std::unique_ptr<SweepOp>> sweeps_;
   std::vector<std::thread> workers_;
   uint64_t next_id_ = 1;
   size_t running_ = 0;

@@ -184,19 +184,30 @@ void Server::handle_line(const std::string& line, Sink& sink) {
     return;
   }
 
-  if (const auto* submit = std::get_if<SubmitRequest>(&msg)) {
-    // The event sink is shared with scheduler workers by value; it outlives
-    // the connection and goes inert when the client hangs up.
+  // The event sink is shared with scheduler workers by value; it outlives
+  // the connection and goes inert when the client hangs up.
+  const auto event_fn = [this, &sink]() -> EventFn {
     std::shared_ptr<Sink> shared;
     {
       std::lock_guard<std::mutex> lk(conns_m_);
       for (const auto& s : conn_sinks_)
         if (s.get() == &sink) shared = s;
     }
-    auto outcome = scheduler_.submit(
-        *submit, [shared](const std::string& event) {
-          if (shared) shared->send_line(event);
-        });
+    return [shared](const std::string& event) {
+      if (shared) shared->send_line(event);
+    };
+  };
+
+  if (const auto* submit = std::get_if<SubmitRequest>(&msg)) {
+    auto outcome = scheduler_.submit(*submit, event_fn());
+    if (const auto* accepted = std::get_if<Accepted>(&outcome))
+      sink.send_line(encode(*accepted));
+    else
+      sink.send_line(encode(std::get<Rejected>(outcome)));
+    return;
+  }
+  if (const auto* sweep = std::get_if<SweepSubmitRequest>(&msg)) {
+    auto outcome = scheduler_.submit_sweep(*sweep, event_fn());
     if (const auto* accepted = std::get_if<Accepted>(&outcome))
       sink.send_line(encode(*accepted));
     else

@@ -17,6 +17,15 @@ public:
   explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
 };
 
+/// User-facing configuration errors: a flag, manifest or protocol value that
+/// names an impossible machine (non-power-of-two cache geometry, zero ports).
+/// CLI entry points map ConfigError to exit code 2 — the usage contract —
+/// so scripts can tell "bad invocation" from "the simulation failed" (1).
+class ConfigError : public Error {
+public:
+  using Error::Error;
+};
+
 /// Throws ksim::Error with the given message if `condition` is false.
 inline void check(bool condition, const std::string& message) {
   if (!condition) throw Error(message);

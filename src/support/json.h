@@ -22,7 +22,7 @@ namespace ksim::support {
 /// Version of every ksim.* JSON document schema ("schema_version" header
 /// key; DESIGN.md §7).  All document kinds version together — bump on any
 /// incompatible change to any of them.
-inline constexpr int kJsonSchemaVersion = 2;
+inline constexpr int kJsonSchemaVersion = 3;
 
 /// Maximum container nesting the parser accepts.  The recursive-descent
 /// parser uses one host stack frame per level; deeper input is rejected with

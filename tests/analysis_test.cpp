@@ -859,7 +859,7 @@ TEST(Render, CallgraphStatsAndTranslatabilityInJson) {
   EXPECT_EQ(r.callgraph.max_stack_depth, 8);
   const std::string json = render_json(r, "fixture");
   EXPECT_NE(json.find("\"schema\": \"ksim.lint\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"callgraph\": {"), std::string::npos);
   EXPECT_NE(json.find("\"max_stack_depth\": 8"), std::string::npos);
   EXPECT_NE(json.find("\"translatability\": {"), std::string::npos);

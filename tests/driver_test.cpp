@@ -392,6 +392,50 @@ TEST(Driver, SweepRejectsBadGrid) {
   EXPECT_NE(r.output.find("rtl"), std::string::npos) << r.output;
 }
 
+TEST(Driver, SweepDumpManifestRoundTrips) {
+  // Flag grids are sugar over a manifest: --dump-manifest emits the
+  // canonical form without running anything, and feeding it back through
+  // --manifest --dump-manifest is a fixed point (one expansion path).
+  const CmdResult first = run_cmd(
+      "sweep --workloads dct --isas RISC --models ilp --dump-manifest -");
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_NE(first.output.find("\"workloads\""), std::string::npos)
+      << first.output;
+  EXPECT_NE(first.output.find("\"memories\""), std::string::npos)
+      << first.output;
+  EXPECT_EQ(first.output.find("[sweep]"), std::string::npos) << first.output;
+
+  // run_cmd merges stderr into stdout; skip anything before the manifest
+  // itself (e.g. the KSIM_NO_JIT deprecation warning in CI fallback legs).
+  const size_t brace = first.output.find('{');
+  ASSERT_NE(brace, std::string::npos) << first.output;
+  const std::string manifest = first.output.substr(brace);
+  const std::string path = write_temp("dumped.json", manifest);
+  const CmdResult second =
+      run_cmd("sweep --manifest " + path + " --dump-manifest -");
+  ASSERT_EQ(second.exit_code, 0) << second.output;
+  ASSERT_NE(second.output.find('{'), std::string::npos) << second.output;
+  EXPECT_EQ(second.output.substr(second.output.find('{')), manifest);
+}
+
+TEST(Driver, SweepImpossibleGeometryExitsTwo) {
+  // The typed ConfigError contract: impossible geometries are a distinct
+  // exit code (2) from grid/usage errors (1).
+  const std::string manifest = write_temp("badgeom.json", R"({
+    "workloads": ["dct"], "isas": ["RISC"], "models": ["ilp"],
+    "memory": {"l1": {"sets": 17}}
+  })");
+  const CmdResult r = run_cmd("sweep --manifest " + manifest);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("power of two"), std::string::npos) << r.output;
+
+  const std::string zero_ports = write_temp("zeroports.json", R"({
+    "workloads": ["dct"], "isas": ["RISC"], "models": ["ilp"],
+    "memory": {"ports": 0}
+  })");
+  EXPECT_EQ(run_cmd("sweep --manifest " + zero_ports).exit_code, 2);
+}
+
 TEST(Driver, CheckpointOptionValidation) {
   // --checkpoint-every needs --ckpt-dir (and vice versa), and the RTL
   // trace recorder opts out of checkpointing.

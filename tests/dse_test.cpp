@@ -1,0 +1,284 @@
+// kdse tests (DESIGN.md §11): memory-geometry round-trips (nested JSON,
+// checkpoint RUN record, raw save/restore bytes), the flat-key compatibility
+// shim, Pareto-front extraction edge cases, and the resumable sweep's
+// headline guarantee — a journal-resumed sweep renders final JSON
+// byte-identical to an uninterrupted run at any thread count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/report.h"
+#include "api/run_config.h"
+#include "api/sweep.h"
+#include "api/sweep_journal.h"
+#include "ckpt/checkpoint.h"
+#include "cycle/mem_hierarchy.h"
+#include "support/byte_stream.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace ksim {
+namespace {
+
+cycle::MemGeometry non_default_geometry() {
+  cycle::MemGeometry g;
+  g.line_size = 64;
+  g.l1 = {64, 2, 2};
+  g.l2 = {4096, 8, 9};
+  g.ports = 2;
+  g.miss_latency = 40;
+  return g;
+}
+
+// -- geometry round-trips ----------------------------------------------------
+
+TEST(DseGeometry, NestedJsonRoundTrips) {
+  const cycle::MemGeometry g = non_default_geometry();
+  support::JsonWriter w;
+  w.begin_object();
+  api::write_mem_geometry(w, "memory", g);
+  w.end();
+  const support::JsonValue v = support::parse_json(w.str());
+  EXPECT_EQ(api::mem_geometry_from_json(v.at("memory"), "test"), g);
+
+  // Missing keys keep their defaults; unknown keys are typed config errors.
+  const support::JsonValue partial =
+      support::parse_json(R"({"l1": {"sets": 32}})");
+  cycle::MemGeometry expect;
+  expect.l1.sets = 32;
+  EXPECT_EQ(api::mem_geometry_from_json(partial, "test"), expect);
+  EXPECT_THROW(api::mem_geometry_from_json(
+                   support::parse_json(R"({"l3": {}})"), "test"),
+               ConfigError);
+  EXPECT_THROW(api::mem_geometry_from_json(
+                   support::parse_json(R"({"ports": -1})"), "test"),
+               ConfigError);
+}
+
+TEST(DseGeometry, RunRecordRoundTrips) {
+  api::RunConfig cfg;
+  cfg.workload = "dct";
+  cfg.model = "doe";
+  cfg.memory = non_default_geometry();
+  const ckpt::RunRecord run = cfg.run_record("dct@RISC");
+  EXPECT_EQ(run.memory, cfg.memory);
+  const api::RunConfig back = api::RunConfig::from_run_record(run);
+  EXPECT_EQ(back.memory, cfg.memory);
+  EXPECT_EQ(back.model, cfg.model);
+}
+
+TEST(DseGeometry, SaveRestoreRoundTrips) {
+  const cycle::MemGeometry g = non_default_geometry();
+  support::ByteWriter w;
+  g.save(w);
+  support::ByteReader r(w.buffer(), "geometry");
+  cycle::MemGeometry back;
+  back.restore(r);
+  EXPECT_EQ(back, g);
+}
+
+TEST(DseGeometry, ValidateRejectsImpossibleGeometries) {
+  EXPECT_NO_THROW(cycle::MemGeometry{}.validate());
+  EXPECT_NO_THROW(non_default_geometry().validate());
+
+  cycle::MemGeometry bad;
+  bad.l1.sets = 17; // non-power-of-two
+  EXPECT_THROW(bad.validate(), ConfigError);
+
+  bad = cycle::MemGeometry{};
+  bad.ports = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+
+  bad = cycle::MemGeometry{};
+  bad.line_size = 48;
+  EXPECT_THROW(bad.validate(), ConfigError);
+
+  bad = cycle::MemGeometry{};
+  bad.l2.hit_latency = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+
+  // ConfigError is an Error: legacy catch sites keep working.
+  bad = cycle::MemGeometry{};
+  bad.l1.ways = 0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(DseGeometry, IdAndAreaProxyAreStable) {
+  EXPECT_EQ(cycle::MemGeometry{}.id(),
+            "l1:16x4@3,l2:2048x4@6,line:32,ports:1,mem:18");
+
+  // Doubling a cache dimension strictly grows the area proxy; extra L1
+  // ports cost area without adding capacity.
+  const cycle::MemGeometry base;
+  cycle::MemGeometry bigger = base;
+  bigger.l1.sets *= 2;
+  EXPECT_GT(bigger.area_proxy(), base.area_proxy());
+  cycle::MemGeometry ported = base;
+  ported.ports = 2;
+  EXPECT_GT(ported.area_proxy(), base.area_proxy());
+  EXPECT_NE(bigger.id(), base.id());
+}
+
+TEST(DseGeometry, FlatKeysApplyWithDeprecationShim) {
+  cycle::MemGeometry g;
+  const support::JsonValue v = support::parse_json("64");
+  EXPECT_TRUE(api::apply_flat_mem_key(g, "mem_l1_sets", v, "test"));
+  EXPECT_EQ(g.l1.sets, 64u);
+  EXPECT_TRUE(api::apply_flat_mem_key(g, "mem_ports", v, "test"));
+  EXPECT_EQ(g.ports, 64u);
+  EXPECT_FALSE(api::apply_flat_mem_key(g, "workloads", v, "test"));
+  EXPECT_THROW(api::apply_flat_mem_key(g, "mem_l2_ways",
+                                       support::parse_json("\"x\""), "test"),
+               ConfigError);
+}
+
+// -- Pareto extraction -------------------------------------------------------
+
+using CyclesArea = std::vector<std::pair<uint64_t, uint64_t>>;
+
+TEST(DsePareto, SinglePointIsItsOwnFront) {
+  EXPECT_EQ(api::pareto_front(CyclesArea{{100, 2048}}),
+            (std::vector<size_t>{0}));
+  EXPECT_TRUE(api::pareto_front(CyclesArea{}).empty());
+}
+
+TEST(DsePareto, ExactTiesAllSurvive) {
+  // Two identical optima plus one dominated point: both ties stay, sorted
+  // by area then cycles then index.
+  const CyclesArea pts = {{100, 10}, {100, 10}, {200, 20}};
+  EXPECT_EQ(api::pareto_front(pts), (std::vector<size_t>{0, 1}));
+}
+
+TEST(DsePareto, AllDominatedCollapseToOne) {
+  const CyclesArea pts = {{300, 30}, {100, 10}, {200, 20}, {100, 20}};
+  EXPECT_EQ(api::pareto_front(pts), (std::vector<size_t>{1}));
+}
+
+TEST(DsePareto, TradeoffCurveSurvivesSortedByArea) {
+  // Classic frontier: cheaper-but-slower vs bigger-but-faster, with one
+  // strictly dominated interior point (index 2).
+  const CyclesArea pts = {{100, 40}, {400, 10}, {350, 30}, {200, 20}};
+  EXPECT_EQ(api::pareto_front(pts), (std::vector<size_t>{1, 3, 0}));
+}
+
+// -- resumable sweeps --------------------------------------------------------
+
+api::SweepSpec resume_spec() {
+  api::SweepSpec spec;
+  spec.workloads = {"dct"};
+  spec.isas = {"RISC", "VLIW4"};
+  spec.models = {"ilp"};
+  cycle::MemGeometry small;
+  small.l1.sets = 8;
+  spec.geometries = {cycle::MemGeometry{}, small};
+  spec.base.echo_output = false;
+  return spec;
+}
+
+api::SweepOutcome outcome_of(const api::SweepPoint& p, size_t index) {
+  api::SweepOutcome o;
+  o.point_index = index;
+  o.ok = p.ok;
+  o.error = p.error;
+  o.stop_reason = p.report.stop_reason;
+  o.exit_code = p.report.exit_code;
+  o.instructions = p.report.stats.instructions;
+  o.operations = p.report.stats.operations;
+  o.has_cycles = p.report.has_cycles;
+  o.cycles = p.report.cycles;
+  o.ops_per_cycle = p.report.ops_per_cycle;
+  o.output_bytes = p.report.output_bytes;
+  return o;
+}
+
+TEST(DseSweep, ResumedSweepIsByteIdenticalAcrossThreadCounts) {
+  api::SweepSpec spec = resume_spec();
+  const api::SweepResult reference = api::run_sweep(spec);
+  ASSERT_EQ(reference.failed, 0u);
+  ASSERT_EQ(reference.points.size(), 4u);
+  const std::string expected = api::render_sweep_json(spec, reference);
+
+  for (const int threads : {1, 2, 8}) {
+    // Simulate a sweep killed after two points: the journal holds their
+    // outcomes, the resumed run must only execute the remaining two and
+    // still render the exact same bytes.
+    const std::string dir = std::string(::testing::TempDir()) +
+                            "dse_resume_t" + std::to_string(threads);
+    std::filesystem::remove_all(dir);
+    {
+      api::SweepJournal journal =
+          api::SweepJournal::create(dir, api::render_sweep_manifest(spec));
+      journal.append(outcome_of(reference.points[0], 0));
+      journal.append(outcome_of(reference.points[2], 2)); // out of order is fine
+    }
+    api::SweepJournal resumed = api::SweepJournal::resume(dir);
+    EXPECT_EQ(resumed.completed().size(), 2u) << threads << " threads";
+
+    spec.threads = threads;
+    const api::SweepResult result = api::run_sweep(spec, {}, &resumed);
+    EXPECT_EQ(result.resumed, 2u) << threads << " threads";
+    EXPECT_EQ(result.failed, 0u) << threads << " threads";
+    EXPECT_EQ(api::render_sweep_json(spec, result), expected)
+        << threads << " threads";
+  }
+}
+
+TEST(DseSweep, JournalRejectsForeignManifest) {
+  const api::SweepSpec spec = resume_spec();
+  const std::string dir = std::string(::testing::TempDir()) + "dse_foreign";
+  std::filesystem::remove_all(dir);
+  { api::SweepJournal::create(dir, api::render_sweep_manifest(spec)); }
+
+  // Swapping the pinned manifest breaks the CRC binding in the journal
+  // header: a resumed sweep can never silently run a different grid.
+  api::SweepSpec other = resume_spec();
+  other.workloads = {"aes"};
+  {
+    std::ofstream out(dir + "/" + api::kManifestFileName);
+    out << api::render_sweep_manifest(other);
+  }
+  EXPECT_THROW(api::SweepJournal::resume(dir), Error);
+}
+
+TEST(DseSweep, ManifestRoundTripsThroughCanonicalRender) {
+  api::SweepSpec spec = resume_spec();
+  spec.threads = 3;
+  spec.base.seed = 7;
+  const std::string manifest = api::render_sweep_manifest(spec);
+  const api::SweepSpec back = api::SweepSpec::from_manifest(manifest, "<rt>");
+  EXPECT_EQ(back.workloads, spec.workloads);
+  EXPECT_EQ(back.isas, spec.isas);
+  EXPECT_EQ(back.models, spec.models);
+  EXPECT_EQ(back.geometries, spec.geometries);
+  EXPECT_EQ(back.threads, spec.threads);
+  EXPECT_EQ(back.base.seed, spec.base.seed);
+  // Canonical render is a fixed point.
+  EXPECT_EQ(api::render_sweep_manifest(back), manifest);
+}
+
+TEST(DseSweep, SweepJsonCarriesGeometriesAndPareto) {
+  api::SweepSpec spec = resume_spec();
+  const api::SweepResult result = api::run_sweep(spec);
+  const support::JsonValue v =
+      support::parse_json(api::render_sweep_json(spec, result));
+  const support::JsonValue& memories = v.at("memories");
+  ASSERT_EQ(memories.array.size(), 2u);
+  EXPECT_EQ(memories.array[0].at("id").as_string("id"),
+            cycle::MemGeometry{}.id());
+  EXPECT_GT(memories.array[0].at("area_proxy").as_int("area"), 0);
+  const support::JsonValue& pareto = v.at("pareto");
+  // One front per (workload, isa, model) group with cycle-counted points.
+  ASSERT_EQ(pareto.array.size(), 2u);
+  for (const support::JsonValue& front : pareto.array) {
+    EXPECT_EQ(front.at("workload").as_string("w"), "dct");
+    EXPECT_GE(front.at("points").array.size(), 1u);
+    EXPECT_LE(front.at("points").array.size(), 2u);
+  }
+}
+
+} // namespace
+} // namespace ksim

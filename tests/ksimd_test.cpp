@@ -19,6 +19,7 @@
 
 #include "api/report.h"
 #include "api/session.h"
+#include "api/sweep.h"
 #include "ckpt/checkpoint.h"
 #include "ksimd/protocol.h"
 #include "ksimd/scheduler.h"
@@ -89,6 +90,16 @@ public:
     for (auto it = events_.rbegin(); it != events_.rend(); ++it)
       if (const auto* d = std::get_if<Done>(&*it)) return *d;
     ADD_FAILURE() << "no done event recorded";
+    return {};
+  }
+
+  /// Most recent event of type T (e.g. the terminal SweepDone).
+  template <typename T>
+  T last_of() {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it)
+      if (const auto* e = std::get_if<T>(&*it)) return *e;
+    ADD_FAILURE() << "no event of the requested type recorded";
     return {};
   }
 
@@ -178,7 +189,36 @@ TEST(Protocol, SubmitWire) {
   m.config.use_jit = false;
   m.config.max_instructions = 1000000;
   m.config.seed = 42;
+  m.config.memory.l1.sets = 32; // non-default kdse geometry rides the wire
+  m.config.memory.ports = 2;
   expect_wire(m, "submit.json");
+}
+
+TEST(Protocol, SweepSubmitWire) {
+  SweepSubmitRequest m;
+  m.tenant = "acme";
+  m.priority = 5;
+  m.manifest = "{\"workloads\": [\"dct\"]}";
+  expect_wire(m, "sweep_submit.json");
+}
+
+TEST(Protocol, SweepProgressWire) {
+  SweepProgress m;
+  m.id = 9;
+  m.done = 3;
+  m.total = 12;
+  m.label = "dct@RISC doe [l1:16x4@3,l2:2048x4@6,line:32,ports:1,mem:18]";
+  m.ok = false;
+  expect_wire(m, "sweep_progress.json");
+}
+
+TEST(Protocol, SweepDoneWire) {
+  SweepDone m;
+  m.id = 9;
+  m.state = JobState::Done;
+  m.points_failed = 1;
+  m.report = "{\"schema\": \"ksim.sweep\"}";
+  expect_wire(m, "sweep_done.json");
 }
 
 TEST(Protocol, ListWire) {
@@ -267,13 +307,13 @@ TEST(Protocol, RejectsTruncatedMessages) {
 
 TEST(Protocol, RejectsUnknownSchemaVersionAndConfigKeys) {
   EXPECT_THROW(parse_message("{\"schema\": \"ksim.job.nope\","
-                             " \"schema_version\": 2}"),
+                             " \"schema_version\": 3}"),
                Error);
   EXPECT_THROW(parse_message("{\"schema\": \"ksim.job.cancel\","
                              " \"schema_version\": 99, \"id\": 1}"),
                Error);
   EXPECT_THROW(
-      parse_message("{\"schema\": \"ksim.job.submit\", \"schema_version\": 2,"
+      parse_message("{\"schema\": \"ksim.job.submit\", \"schema_version\": 3,"
                     " \"tenant\": \"t\", \"priority\": 0,"
                     " \"config\": {\"workload\": \"dct\", \"evil\": 1}}"),
       Error);
@@ -488,6 +528,68 @@ TEST(Scheduler, DrainsOnShutdown) {
   EXPECT_EQ(std::get<Rejected>(outcome).code, "draining");
 }
 
+// -- sweep fan-out (kdse sweep-as-a-service) ---------------------------------
+
+TEST(Scheduler, SweepFanOutMatchesLocalSweep) {
+  const std::string manifest = R"({
+    "workloads": ["dct"], "isas": ["RISC", "VLIW2"], "models": ["ilp"],
+    "memories": [{"l1": {"sets": [8, 16]}}], "jit": false})";
+
+  // Reference: the same manifest run locally, as `ksim sweep --manifest`
+  // would (the daemon forces echo_output off exactly like run_sweep's
+  // points never echo here).
+  api::SweepSpec spec = api::SweepSpec::from_manifest(manifest, "<test>");
+  spec.base.echo_output = false;
+  const api::SweepResult local = api::run_sweep(spec);
+  ASSERT_EQ(local.failed, 0u);
+  const std::string reference = api::render_sweep_json(spec, local);
+
+  SchedulerOptions opts;
+  opts.workers = 2;
+  Scheduler sched(opts);
+  EventLog log;
+  SweepSubmitRequest req;
+  req.tenant = "dse";
+  req.manifest = manifest;
+  ASSERT_TRUE(
+      std::holds_alternative<Accepted>(sched.submit_sweep(req, log.fn())));
+  sched.wait_idle();
+
+  EXPECT_EQ(log.count<SweepProgress>(), 4u);
+  const SweepDone done = log.last_of<SweepDone>();
+  EXPECT_EQ(done.state, JobState::Done);
+  EXPECT_EQ(done.points_failed, 0u);
+  // The distributed sweep's terminal report is byte-identical to the local
+  // sweep of the same manifest: point jobs are the exact Sessions run_sweep
+  // would build, and outcomes land at spec-order indices.
+  EXPECT_EQ(done.report, reference);
+  sched.shutdown(true);
+}
+
+TEST(Scheduler, SweepRejectsBadManifestAndLintGate) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(opts);
+
+  EventLog log;
+  SweepSubmitRequest req;
+  req.manifest = R"({"workloads": ["no-such-workload"], "isas": ["RISC"],)"
+                 R"( "models": ["ilp"]})";
+  auto outcome = sched.submit_sweep(req, log.fn());
+  const auto* rejected = std::get_if<Rejected>(&outcome);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->code, "bad_config");
+
+  // The daemon never runs the serial lint phase.
+  req.manifest = R"({"workloads": ["dct"], "isas": ["RISC"],)"
+                 R"( "models": ["ilp"], "require_lint_clean": true})";
+  outcome = sched.submit_sweep(req, log.fn());
+  rejected = std::get_if<Rejected>(&outcome);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->code, "bad_config");
+  sched.shutdown(true);
+}
+
 // -- Session snapshot helpers used by the service ----------------------------
 
 TEST(SessionSnapshot, HeaderPeekMatchesFullParse) {
@@ -629,7 +731,7 @@ TEST_F(ServerFixture, ListsCancelsAndRejectsOverWire) {
   EXPECT_EQ(unknown_rejected->code, "unknown_job");
 
   // Malformed line: typed error, connection stays usable.
-  controller.send_line("{\"schema\": \"ksim.job.nope\", \"schema_version\": 2}\n");
+  controller.send_line("{\"schema\": \"ksim.job.nope\", \"schema_version\": 3}\n");
   const auto bad = controller.read_message();
   ASSERT_TRUE(bad.has_value());
   EXPECT_EQ(std::get<Rejected>(*bad).code, "bad_message");
